@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fig. 13 — speedup (top) and relative energy with component breakdown
+ * (bottom) of GPU / ITC / Diffy / Cambricon-D / Ditto / Ditto+ across
+ * the seven models. Normalised to ITC.
+ */
+#include <iostream>
+
+#include "sim/experiments.h"
+#include "sim/table_printer.h"
+
+int
+main()
+{
+    using namespace ditto;
+    const auto rows = runFig13Comparison();
+    const auto gpu = runFig13Gpu();
+
+    std::cout << "== Fig. 13 (top): speedup normalised to ITC ==\n";
+    TablePrinter t({"Model", "GPU", "ITC", "Diffy", "Cam-D", "Ditto",
+                    "Ditto+"});
+    double sums[6] = {};
+    int models = 0;
+    for (size_t i = 0; i < gpu.size(); ++i) {
+        const std::string &model = gpu[i].model;
+        double v[6] = {gpu[i].speedup, 0, 0, 0, 0, 0};
+        int k = 1;
+        for (const ComparisonRow &r : rows)
+            if (r.model == model)
+                v[k++] = r.speedup;
+        t.addRow(model, TablePrinter::num(v[0]), TablePrinter::num(v[1]),
+                 TablePrinter::num(v[2]), TablePrinter::num(v[3]),
+                 TablePrinter::num(v[4]), TablePrinter::num(v[5]));
+        for (int j = 0; j < 6; ++j)
+            sums[j] += v[j];
+        ++models;
+    }
+    t.addRow("AVG.", TablePrinter::num(sums[0] / models),
+             TablePrinter::num(sums[1] / models),
+             TablePrinter::num(sums[2] / models),
+             TablePrinter::num(sums[3] / models),
+             TablePrinter::num(sums[4] / models),
+             TablePrinter::num(sums[5] / models));
+    t.print();
+    std::cout << "Paper: Ditto 1.5x over ITC on average (1.56x over "
+                 "Cambricon-D, Diffy 24% below Ditto); Ditto+ 1.06x "
+                 "over Ditto\n";
+
+    std::cout << "\n== Fig. 13 (bottom): relative energy vs ITC ==\n";
+    TablePrinter e({"Model", "GPU", "ITC", "Diffy", "Cam-D", "Ditto",
+                    "Ditto+"});
+    double esums[6] = {};
+    for (size_t i = 0; i < gpu.size(); ++i) {
+        const std::string &model = gpu[i].model;
+        double v[6] = {gpu[i].relativeEnergy, 0, 0, 0, 0, 0};
+        int k = 1;
+        for (const ComparisonRow &r : rows)
+            if (r.model == model)
+                v[k++] = r.relativeEnergy;
+        e.addRow(model, TablePrinter::num(v[0], 1),
+                 TablePrinter::num(v[1]), TablePrinter::num(v[2]),
+                 TablePrinter::num(v[3]), TablePrinter::num(v[4]),
+                 TablePrinter::num(v[5]));
+        for (int j = 0; j < 6; ++j)
+            esums[j] += v[j];
+    }
+    e.addRow("AVG.", TablePrinter::num(esums[0] / models, 1),
+             TablePrinter::num(esums[1] / models),
+             TablePrinter::num(esums[2] / models),
+             TablePrinter::num(esums[3] / models),
+             TablePrinter::num(esums[4] / models),
+             TablePrinter::num(esums[5] / models));
+    e.print();
+    std::cout << "Paper: Ditto saves 17.74% energy vs ITC (Ditto+ "
+                 "22.92%, Diffy 14.3%); Cambricon-D exceeds ITC on "
+                 "average, driven by BED/CHUR/SDM\n";
+
+    std::cout << "\n== Fig. 13 (bottom): Ditto energy breakdown ==\n";
+    TablePrinter b({"Model", "CU", "EU", "VPU", "Defo", "SRAM", "DRAM",
+                    "Static"});
+    for (const ComparisonRow &r : rows) {
+        if (r.hardware != "Ditto")
+            continue;
+        const EnergyBreakdown &d = r.energy;
+        const double total = d.total();
+        b.addRow(r.model, TablePrinter::pct(d.computeUnit / total),
+                 TablePrinter::pct(d.encodingUnit / total),
+                 TablePrinter::pct(d.vectorUnit / total),
+                 TablePrinter::pct(d.defoUnit / total, 4),
+                 TablePrinter::pct(d.sram / total),
+                 TablePrinter::pct(d.dram / total),
+                 TablePrinter::pct(d.staticIdle / total));
+    }
+    b.print();
+    std::cout << "Paper: EU / VPU / Defo account for 2.23% / 2.9% / "
+                 "~0.0001% of Ditto's energy\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 14 — relative DRAM accesses of the temporal-difference designs,
+ * normalised to ITC.
+ */
+#include <iostream>
+
+#include "sim/experiments.h"
+#include "sim/table_printer.h"
+
+int
+main()
+{
+    using namespace ditto;
+    const auto rows = runFig13Comparison();
+    std::cout << "== Fig. 14: relative memory accesses vs ITC ==\n";
+    TablePrinter t({"Model", "ITC", "Cam-D", "Ditto", "Ditto+"});
+    double sums[3] = {};
+    int models = 0;
+    for (size_t i = 0; i < rows.size(); i += 5) {
+        const std::string &model = rows[i].model;
+        double camd = 0.0;
+        double ditto = 0.0;
+        double dittop = 0.0;
+        for (size_t j = i; j < i + 5; ++j) {
+            if (rows[j].hardware == "Cambricon-D")
+                camd = rows[j].relativeMemAccess;
+            if (rows[j].hardware == "Ditto")
+                ditto = rows[j].relativeMemAccess;
+            if (rows[j].hardware == "Ditto+")
+                dittop = rows[j].relativeMemAccess;
+        }
+        t.addRow(model, TablePrinter::num(1.0), TablePrinter::num(camd, 2),
+                 TablePrinter::num(ditto, 2),
+                 TablePrinter::num(dittop, 2));
+        sums[0] += camd;
+        sums[1] += ditto;
+        sums[2] += dittop;
+        ++models;
+    }
+    t.addRow("AVG.", TablePrinter::num(1.0),
+             TablePrinter::num(sums[0] / models, 2),
+             TablePrinter::num(sums[1] / models, 2),
+             TablePrinter::num(sums[2] / models, 2));
+    t.print();
+    std::cout << "Paper: Cambricon-D 1.95x, Ditto 1.56x, Ditto+ 1.36x "
+                 "more accesses than ITC\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 19 — Dynamic-Ditto on drifting-similarity workloads: traces
+ * whose temporal similarity oscillates across the time domain, so the
+ * per-layer optimum changes mid-run.
+ */
+#include <iostream>
+
+#include "sim/experiments.h"
+#include "sim/table_printer.h"
+
+int
+main()
+{
+    using namespace ditto;
+    const auto rows = runFig19Dynamic();
+    std::cout << "== Fig. 19: drifting similarity (speedup vs ITC on "
+                 "the same drifted traces) ==\n";
+    TablePrinter t({"Model", "Ditto", "Dynamic-Ditto", "Ideal-Ditto",
+                    "Defo accuracy"});
+    double frac = 0.0;
+    double frac_dyn = 0.0;
+    double acc = 0.0;
+    for (const DynamicRow &r : rows) {
+        t.addRow(r.model, TablePrinter::num(r.ditto),
+                 TablePrinter::num(r.dynamicDitto),
+                 TablePrinter::num(r.idealDitto),
+                 TablePrinter::pct(r.defoAccuracy));
+        frac += r.ditto / r.idealDitto;
+        frac_dyn += r.dynamicDitto / r.idealDitto;
+        acc += r.defoAccuracy;
+    }
+    t.print();
+    std::cout << "Ditto reaches " << TablePrinter::pct(frac / rows.size())
+              << " and Dynamic-Ditto "
+              << TablePrinter::pct(frac_dyn / rows.size())
+              << " of Ideal-Ditto; average Defo accuracy "
+              << TablePrinter::pct(acc / rows.size()) << "\n";
+    std::cout << "Paper: accuracy declines ~7% vs the stationary "
+                 "benchmark; Ditto and Dynamic-Ditto reach 98.03% and "
+                 "98.18% of ideal, Dynamic-Ditto slightly ahead\n";
+    return 0;
+}

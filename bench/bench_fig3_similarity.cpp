@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 3b — average temporal vs spatial cosine similarity of
+ * activations across the seven models, plus a Fig. 3a-style detail on
+ * sampled activation sequences.
+ */
+#include <iostream>
+
+#include "sim/experiments.h"
+#include "sim/table_printer.h"
+#include "stats/similarity.h"
+#include "trace/calibrate.h"
+#include "trace/sampler.h"
+
+int
+main()
+{
+    using namespace ditto;
+    std::cout << "== Fig. 3b: temporal vs spatial cosine similarity ==\n";
+    TablePrinter t({"Model", "Temporal cosine", "Spatial cosine"});
+    double sum_t = 0.0;
+    double sum_s = 0.0;
+    const auto rows = runFig3Similarity();
+    for (const SimilarityRow &r : rows) {
+        t.addRow(r.model, TablePrinter::num(r.temporalCosine),
+                 TablePrinter::num(r.spatialCosine));
+        sum_t += r.temporalCosine;
+        sum_s += r.spatialCosine;
+    }
+    t.addRow("AVG.", TablePrinter::num(sum_t / rows.size()),
+             TablePrinter::num(sum_s / rows.size()));
+    t.print();
+    std::cout << "Paper: temporal avg 0.983 (all models > 0.947), "
+                 "spatial avg 0.31\n";
+
+    std::cout << "\n== Fig. 3a-style detail: sampled SDM sequence ==\n";
+    MixtureSampler sampler(calibratedParams(ModelId::SDM), 11);
+    const auto seq = sampler.sampleSequence(8192, 6);
+    TablePrinter d({"Adjacent steps", "Cosine similarity"});
+    for (size_t i = 1; i < seq.size(); ++i) {
+        d.addRow("t" + std::to_string(i - 1) + " -> t" +
+                     std::to_string(i),
+                 TablePrinter::num(cosineSimilarity(seq[i - 1], seq[i]),
+                                   4));
+    }
+    d.print();
+    std::cout << "Paper Fig. 3a: per-layer cosine similarity 0.948.."
+                 "0.9997\n";
+    return 0;
+}

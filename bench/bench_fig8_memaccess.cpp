@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fig. 8 — algorithm-level relative memory accesses of naive temporal
+ * difference processing (before Defo).
+ */
+#include <iostream>
+
+#include "sim/experiments.h"
+#include "sim/table_printer.h"
+
+int
+main()
+{
+    using namespace ditto;
+    std::cout << "== Fig. 8: relative memory accesses of naive temporal "
+                 "difference processing ==\n";
+    TablePrinter t({"Model", "Activation", "Temporal difference"});
+    double sum = 0.0;
+    const auto rows = runFig8MemAccess();
+    for (const MemAccessRow &r : rows) {
+        t.addRow(r.model, TablePrinter::num(1.0),
+                 TablePrinter::num(r.relativeAccesses, 2));
+        sum += r.relativeAccesses;
+    }
+    t.addRow("AVG.", TablePrinter::num(1.0),
+             TablePrinter::num(sum / rows.size(), 2));
+    t.print();
+    std::cout << "Paper: naive temporal difference processing incurs "
+                 "2.75x more memory accesses on average\n";
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional substrate: the
+ * integer GEMM kernels, the difference engines, the Encoding Unit and
+ * the adder-tree PE. These measure this library's software kernels
+ * (used by the tests and functional pipeline), not the modelled
+ * accelerator — the accelerator's performance claims come from the
+ * cycle model, not wall-clock time.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/diff_linear.h"
+#include "hw/encoding_unit.h"
+#include "hw/pe.h"
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+#include "trace/calibrate.h"
+#include "trace/sampler.h"
+
+namespace {
+
+using namespace ditto;
+
+Int8Tensor
+randomInt8(int64_t rows, int64_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    Int8Tensor t(Shape{rows, cols});
+    t.fillUniformInt(rng, -127, 127);
+    return t;
+}
+
+void
+BM_MatmulInt8(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const Int8Tensor a = randomInt8(n, n, 1);
+    const Int8Tensor b = randomInt8(n, n, 2);
+    for (auto _ : state) {
+        Int32Tensor c = matmulInt8(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulInt8)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_FcDirectVsDiff(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const bool diff = state.range(1) != 0;
+    DiffFcEngine engine(randomInt8(n, n, 3));
+    // Make adjacent-step inputs genuinely similar so the diff path sees
+    // realistic sparsity.
+    MixtureSampler sampler(calibratedParams(ModelId::SDM), 4);
+    const auto seq = sampler.sampleSequence(n * n, 2);
+    const QuantParams qp = chooseDynamicScale(seq[0]);
+    Int8Tensor x0 = quantize(seq[0], qp);
+    Int8Tensor x1 = quantize(seq[1], qp);
+    Int8Tensor x0m(Shape{n, n});
+    Int8Tensor x1m(Shape{n, n});
+    for (int64_t i = 0; i < n * n; ++i) {
+        x0m.at(i) = x0.at(i);
+        x1m.at(i) = x1.at(i);
+    }
+    const Int32Tensor out0 = engine.runDirect(x0m);
+    for (auto _ : state) {
+        Int32Tensor out = diff ? engine.runDiff(x1m, x0m, out0)
+                               : engine.runDirect(x1m);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_FcDirectVsDiff)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1});
+
+void
+BM_EncodingUnit(benchmark::State &state)
+{
+    const int64_t elems = state.range(0);
+    MixtureSampler sampler(calibratedParams(ModelId::DDPM), 5);
+    const auto seq = sampler.sampleSequence(elems, 2);
+    const QuantParams qp = chooseDynamicScale(seq[0]);
+    const Int8Tensor prev = quantize(seq[0], qp);
+    const Int8Tensor cur = quantize(seq[1], qp);
+    const EncodingUnit eu;
+    for (auto _ : state) {
+        EncodedStream s = eu.encodeTemporal(cur, prev);
+        benchmark::DoNotOptimize(s.lanes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * elems);
+}
+BENCHMARK(BM_EncodingUnit)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_AdderTreePe(benchmark::State &state)
+{
+    const int64_t elems = state.range(0);
+    MixtureSampler sampler(calibratedParams(ModelId::SDM), 6);
+    const auto seq = sampler.sampleSequence(elems, 2);
+    const QuantParams qp = chooseDynamicScale(seq[0]);
+    const Int8Tensor prev = quantize(seq[0], qp);
+    const Int8Tensor cur = quantize(seq[1], qp);
+    const Int8Tensor weights = randomInt8(elems, 1, 7);
+    const EncodingUnit eu;
+    const EncodedStream stream = eu.encodeTemporal(cur, prev);
+    const AdderTreePe pe;
+    for (auto _ : state) {
+        PeRunResult r = pe.run(stream, [&](int32_t i) {
+            return weights.at(i);
+        });
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * elems);
+}
+BENCHMARK(BM_AdderTreePe)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_Conv2dInt8(benchmark::State &state)
+{
+    const int64_t ch = state.range(0);
+    Rng rng(8);
+    Int8Tensor input(Shape{1, ch, 16, 16});
+    input.fillUniformInt(rng, -127, 127);
+    Int8Tensor weight(Shape{ch, ch, 3, 3});
+    weight.fillUniformInt(rng, -127, 127);
+    const Conv2dParams p{ch, ch, 3, 1, 1};
+    for (auto _ : state) {
+        Int32Tensor out = conv2dInt8(input, weight, p);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * ch * ch * 9 * 16 * 16);
+}
+BENCHMARK(BM_Conv2dInt8)->Arg(16)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Compare every accelerator design on one diffusion model.
+ *
+ * Usage: accelerator_comparison [DDPM|BED|CHUR|IMG|SDM|DiT|Latte]
+ *
+ * Runs the GPU baseline, ITC, Diffy, Cambricon-D, Ditto and Ditto+ on
+ * the chosen model and prints latency, speedup, energy and memory
+ * traffic side by side — the per-model slice of Fig. 13/14.
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "hw/accelerator.h"
+#include "hw/gpu_model.h"
+#include "model/zoo.h"
+#include "trace/provider.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ditto;
+
+    ModelId id = ModelId::SDM;
+    if (argc > 1) {
+        bool found = false;
+        for (ModelId candidate : allModels()) {
+            if (modelAbbr(candidate) == argv[1]) {
+                id = candidate;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "unknown model '%s'; expected one of DDPM BED "
+                         "CHUR IMG SDM DiT Latte\n",
+                         argv[1]);
+            return 1;
+        }
+    }
+
+    const ModelSpec &spec = modelSpec(id);
+    const ModelGraph graph = buildModel(id);
+    const TraceProvider trace(id, graph);
+    std::printf("model %s: %s / %s, %s %d steps, %d compute layers, "
+                "%.1f GMACs/step\n\n",
+                spec.abbr.c_str(), spec.model.c_str(),
+                spec.dataset.c_str(), spec.sampler.name.c_str(),
+                spec.sampler.steps, graph.numComputeLayers(),
+                static_cast<double>(graph.totalMacs()) / 1.0e9);
+
+    const RunResult itc = simulate(makeConfig(HwDesign::ITC), graph,
+                                   trace);
+    const GpuResult gpu = simulateGpu(graph, trace.steps());
+    std::printf("%-12s %10s %9s %10s %10s\n", "hardware", "latency",
+                "speedup", "energy", "DRAM");
+    std::printf("%-12s %9.1fms %8.2fx %9.2fJ %9s\n", "A100 GPU",
+                gpu.timeMs, itc.timeMs / gpu.timeMs, gpu.energyJ, "-");
+    for (HwDesign d : allDesigns()) {
+        const RunResult r =
+            d == HwDesign::ITC ? itc
+                               : simulate(makeConfig(d), graph, trace);
+        std::printf("%-12s %9.1fms %8.2fx %9.2fJ %8.2fx\n",
+                    r.hwName.c_str(), r.timeMs,
+                    itc.totalCycles / r.totalCycles, r.totalEnergyJ(),
+                    r.dramBytes / itc.dramBytes);
+    }
+    std::printf("\n(speedup and DRAM traffic normalised to ITC)\n");
+    return 0;
+}

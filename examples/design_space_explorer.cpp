@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Design-space exploration of the Ditto hardware.
+ *
+ * Sweeps the three resources that bound the design — multiplier lanes,
+ * DRAM bandwidth and generation batch (weight-traffic amortisation) —
+ * and reports how the speedup over ITC and the Defo reversion ratio
+ * respond. Useful for sizing a derivative design before synthesis.
+ */
+#include <cstdio>
+
+#include "hw/accelerator.h"
+#include "model/zoo.h"
+#include "trace/provider.h"
+
+namespace {
+
+using namespace ditto;
+
+void
+sweepLanes(const ModelGraph &graph, const TraceProvider &trace,
+           const RunResult &itc)
+{
+    std::printf("-- lane-count sweep (DRAM 512 GB/s) --\n");
+    std::printf("%10s %10s %12s %10s\n", "A4W8 lanes", "speedup",
+                "energy rel.", "reverted");
+    for (int64_t lanes : {9850, 19699, 39398, 78796, 157592}) {
+        HwConfig cfg = makeConfig(HwDesign::Ditto);
+        cfg.lanes4 = lanes;
+        const RunResult r = simulate(cfg, graph, trace);
+        std::printf("%10lld %9.2fx %12.3f %9.1f%%\n",
+                    static_cast<long long>(lanes),
+                    itc.totalCycles / r.totalCycles,
+                    r.energy.total() / itc.energy.total(),
+                    100.0 * r.revertedLayers / r.computeLayers);
+    }
+    std::printf("\n");
+}
+
+void
+sweepBandwidth(const ModelGraph &graph, const TraceProvider &trace)
+{
+    std::printf("-- DRAM bandwidth sweep (39398 lanes) --\n");
+    std::printf("%10s %10s %12s %10s\n", "GB/s", "speedup",
+                "stall frac", "reverted");
+    for (double bw : {128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+        HwConfig itc_cfg = makeConfig(HwDesign::ITC);
+        itc_cfg.dramGBs = bw;
+        HwConfig cfg = makeConfig(HwDesign::Ditto);
+        cfg.dramGBs = bw;
+        const RunResult itc = simulate(itc_cfg, graph, trace);
+        const RunResult r = simulate(cfg, graph, trace);
+        std::printf("%10.0f %9.2fx %11.1f%% %9.1f%%\n", bw,
+                    itc.totalCycles / r.totalCycles,
+                    100.0 * r.memStallCycles / r.totalCycles,
+                    100.0 * r.revertedLayers / r.computeLayers);
+    }
+    std::printf("\n");
+}
+
+void
+sweepBatch(const ModelGraph &graph, const TraceProvider &trace)
+{
+    std::printf("-- generation-batch sweep (weight amortisation) --\n");
+    std::printf("%10s %10s %12s\n", "batch", "speedup", "energy rel.");
+    for (int64_t batch : {1, 4, 16, 64}) {
+        HwConfig itc_cfg = makeConfig(HwDesign::ITC);
+        itc_cfg.genBatch = batch;
+        HwConfig cfg = makeConfig(HwDesign::Ditto);
+        cfg.genBatch = batch;
+        const RunResult itc = simulate(itc_cfg, graph, trace);
+        const RunResult r = simulate(cfg, graph, trace);
+        std::printf("%10lld %9.2fx %12.3f\n",
+                    static_cast<long long>(batch),
+                    itc.totalCycles / r.totalCycles,
+                    r.energy.total() / itc.energy.total());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ditto;
+    const ModelId id = ModelId::SDM;
+    const ModelGraph graph = buildModel(id);
+    const TraceProvider trace(id, graph);
+    std::printf("Design-space exploration on %s\n\n",
+                modelAbbr(id).c_str());
+
+    const RunResult itc =
+        simulate(makeConfig(HwDesign::ITC), graph, trace);
+    sweepLanes(graph, trace, itc);
+    sweepBandwidth(graph, trace);
+    sweepBatch(graph, trace);
+    std::printf("Observations: lane scaling saturates once layers turn "
+                "memory bound;\nlow bandwidth drives Defo to revert "
+                "more layers (its purpose); batching\namortises weight "
+                "traffic and widens Ditto's lead.\n");
+    return 0;
+}

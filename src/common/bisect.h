@@ -1,0 +1,61 @@
+/**
+ * @file
+ * One-dimensional monotone root finding used by the trace calibrator.
+ */
+#ifndef DITTO_COMMON_BISECT_H
+#define DITTO_COMMON_BISECT_H
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace ditto {
+
+/**
+ * Solve f(x) = target for a monotone f on [lo, hi] by bisection.
+ *
+ * @param f monotone (either direction) objective.
+ * @param target desired value of f.
+ * @param lo lower bracket.
+ * @param hi upper bracket.
+ * @param iters bisection iterations (each halves the bracket).
+ * @return the midpoint of the final bracket. If target lies outside
+ *         [f(lo), f(hi)], returns the nearer endpoint.
+ */
+inline double
+bisectMonotone(const std::function<double(double)> &f, double target,
+               double lo, double hi, int iters = 60)
+{
+    DITTO_ASSERT(lo < hi, "bisection bracket must be ordered");
+    double flo = f(lo);
+    double fhi = f(hi);
+    bool increasing = fhi >= flo;
+    // Clamp to the achievable range instead of failing: calibration targets
+    // read off figures can fall slightly outside the model family's reach.
+    if (increasing) {
+        if (target <= flo)
+            return lo;
+        if (target >= fhi)
+            return hi;
+    } else {
+        if (target >= flo)
+            return lo;
+        if (target <= fhi)
+            return hi;
+    }
+    for (int i = 0; i < iters; ++i) {
+        double mid = 0.5 * (lo + hi);
+        double fm = f(mid);
+        bool go_right = increasing ? (fm < target) : (fm > target);
+        if (go_right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace ditto
+
+#endif // DITTO_COMMON_BISECT_H

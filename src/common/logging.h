@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error handling and logging primitives for the Ditto reproduction.
+ *
+ * Follows the gem5 convention of distinguishing internal invariant
+ * violations (panic) from user-facing configuration errors (fatal).
+ */
+#ifndef DITTO_COMMON_LOGGING_H
+#define DITTO_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ditto {
+
+/** Severity used by detail::logAndAbort. */
+enum class LogSeverity { kPanic, kFatal };
+
+namespace detail {
+
+/**
+ * Print a formatted diagnostic and terminate.
+ *
+ * panic() (internal bug) aborts so a debugger or core dump can catch it;
+ * fatal() (user/configuration error) exits with status 1.
+ */
+[[noreturn]] inline void
+logAndAbort(LogSeverity sev, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n",
+                 sev == LogSeverity::kPanic ? "panic" : "fatal",
+                 file, line, msg.c_str());
+    if (sev == LogSeverity::kPanic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace ditto
+
+/** Abort on an internal invariant violation (a bug in this library). */
+#define DITTO_PANIC(msg)                                                     \
+    ::ditto::detail::logAndAbort(::ditto::LogSeverity::kPanic, __FILE__,     \
+                                 __LINE__, (std::ostringstream{} << msg).str())
+
+/** Exit on an unrecoverable user/configuration error. */
+#define DITTO_FATAL(msg)                                                     \
+    ::ditto::detail::logAndAbort(::ditto::LogSeverity::kFatal, __FILE__,     \
+                                 __LINE__, (std::ostringstream{} << msg).str())
+
+/** Check an invariant that must hold regardless of user input. */
+#define DITTO_ASSERT(cond, msg)                                              \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            DITTO_PANIC("assertion failed: " #cond << " — " << msg);         \
+    } while (0)
+
+#endif // DITTO_COMMON_LOGGING_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small arithmetic helpers shared across the library.
+ */
+#ifndef DITTO_COMMON_MATH_UTIL_H
+#define DITTO_COMMON_MATH_UTIL_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace ditto {
+
+/** Integer ceiling division. Requires b > 0. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round n up to the next multiple of m. Requires m > 0. */
+template <typename T>
+constexpr T
+roundUp(T n, T m)
+{
+    return ceilDiv(n, m) * m;
+}
+
+/** True when |a - b| <= tol. */
+inline bool
+nearlyEqual(double a, double b, double tol = 1e-9)
+{
+    return std::fabs(a - b) <= tol;
+}
+
+/** True when a is within rel_tol relative distance of b (b != 0). */
+inline bool
+withinRelative(double a, double b, double rel_tol)
+{
+    DITTO_ASSERT(b != 0.0, "relative comparison against zero");
+    return std::fabs(a - b) <= rel_tol * std::fabs(b);
+}
+
+/** Clamp v into [lo, hi]. */
+template <typename T>
+constexpr T
+clampValue(T v, T lo, T hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+/** Number of bits needed to represent a signed integer in two's complement. */
+inline int
+signedBitWidth(int64_t v)
+{
+    // Two's complement n bits covers [-2^(n-1), 2^(n-1) - 1].
+    if (v == 0)
+        return 0;
+    int bits = 1;
+    while (v < -(int64_t{1} << (bits - 1)) ||
+           v > (int64_t{1} << (bits - 1)) - 1) {
+        ++bits;
+    }
+    return bits;
+}
+
+/** Standard normal cumulative distribution function. */
+inline double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+/** P(|Z| <= x) for a standard normal Z (x >= 0). */
+inline double
+normalAbsCdf(double x)
+{
+    return std::erf(x / std::sqrt(2.0));
+}
+
+} // namespace ditto
+
+#endif // DITTO_COMMON_MATH_UTIL_H

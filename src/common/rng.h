@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic, splittable random number generation.
+ *
+ * Every stochastic component of the reproduction (activation synthesis,
+ * noise injection, workload perturbation) draws from SplitMix64 streams
+ * keyed by (experiment seed, model, layer, step) so results are exactly
+ * reproducible and independent of evaluation order.
+ */
+#ifndef DITTO_COMMON_RNG_H
+#define DITTO_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace ditto {
+
+/**
+ * SplitMix64 pseudo-random generator.
+ *
+ * Small state, excellent statistical quality for simulation workloads, and
+ * cheap to construct per (layer, step) key. Not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Construct a stream from a 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+    /**
+     * Derive an independent stream from this seed and a list of keys.
+     * Used to key streams by (model, layer, step).
+     */
+    static Rng
+    fromKeys(uint64_t seed, uint64_t k0, uint64_t k1 = 0, uint64_t k2 = 0)
+    {
+        Rng r(seed);
+        r.state_ ^= mix(k0 + 0x9E3779B97F4A7C15ULL);
+        r.state_ = mix(r.state_);
+        r.state_ ^= mix(k1 + 0xBF58476D1CE4E5B9ULL);
+        r.state_ = mix(r.state_);
+        r.state_ ^= mix(k2 + 0x94D049BB133111EBULL);
+        r.state_ = mix(r.state_);
+        return r;
+    }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    nextU64()
+    {
+        state_ += 0x9E3779B97F4A7C15ULL;
+        return mix(state_);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    uniformInt(uint64_t n)
+    {
+        return nextU64() % n;
+    }
+
+    /** Standard normal draw (Box-Muller; one value per call). */
+    double
+    normal()
+    {
+        // Avoid log(0) by keeping u strictly positive.
+        double u = 0.0;
+        do {
+            u = uniform();
+        } while (u <= 0.0);
+        double v = uniform();
+        return std::sqrt(-2.0 * std::log(u)) *
+               std::cos(2.0 * 3.14159265358979323846 * v);
+    }
+
+    /** Normal draw with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static uint64_t
+    mix(uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state_;
+};
+
+} // namespace ditto
+
+#endif // DITTO_COMMON_RNG_H

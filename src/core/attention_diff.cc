@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Attention difference processing implementation.
+ */
+#include "core/attention_diff.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace ditto {
+
+Int32Tensor
+attentionScoresDirect(const Int8Tensor &q, const Int8Tensor &k)
+{
+    return matmulTransposedInt8(q, k);
+}
+
+Int32Tensor
+attentionScoresDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
+                    const Int8Tensor &k, const Int8Tensor &prev_k,
+                    const Int32Tensor &prev_scores, OpCounts *counts)
+{
+    DITTO_ASSERT(q.shape() == prev_q.shape() && k.shape() == prev_k.shape(),
+                 "attention diff operand shape mismatch");
+    const Int16Tensor dq = subtractInt8(q, prev_q);
+    const Int16Tensor dk = subtractInt8(k, prev_k);
+    if (counts) {
+        // Sub-op 1: Q_t dK^T — dK elements each multiply `tokens` rows
+        // of Q. Sub-op 2: dQ K_prev^T — dQ elements each multiply
+        // `tokens` rows of K.
+        counts->merge(tallyOps(dk, q.shape()[0]));
+        counts->merge(tallyOps(dq, k.shape()[0]));
+    }
+    // S_t = prev + Q_t dK^T + dQ K_prev^T.
+    const int64_t tokens = q.shape()[0];
+    const int64_t ctx = k.shape()[0];
+    const int64_t d = q.shape()[1];
+    Int32Tensor out(prev_scores.shape());
+    DITTO_ASSERT(prev_scores.shape() == Shape({tokens, ctx}),
+                 "previous scores shape mismatch");
+    for (int64_t i = 0; i < tokens; ++i) {
+        for (int64_t j = 0; j < ctx; ++j) {
+            int64_t acc = 0;
+            for (int64_t x = 0; x < d; ++x) {
+                acc += static_cast<int64_t>(q.at(i, x)) * dk.at(j, x);
+                acc += static_cast<int64_t>(dq.at(i, x)) *
+                       prev_k.at(j, x);
+            }
+            out.at(i, j) = prev_scores.at(i, j) +
+                           static_cast<int32_t>(acc);
+        }
+    }
+    return out;
+}
+
+Int32Tensor
+attentionOutputDirect(const Int8Tensor &p, const Int8Tensor &v)
+{
+    return matmulInt8(p, v);
+}
+
+Int32Tensor
+attentionOutputDiff(const Int8Tensor &p, const Int8Tensor &prev_p,
+                    const Int8Tensor &v, const Int8Tensor &prev_v,
+                    const Int32Tensor &prev_out, OpCounts *counts)
+{
+    DITTO_ASSERT(p.shape() == prev_p.shape() && v.shape() == prev_v.shape(),
+                 "attention diff operand shape mismatch");
+    const Int16Tensor dp = subtractInt8(p, prev_p);
+    const Int16Tensor dv = subtractInt8(v, prev_v);
+    if (counts) {
+        counts->merge(tallyOps(dv, p.shape()[0]));
+        counts->merge(tallyOps(dp, v.shape()[1]));
+    }
+    // O_t = prev + P_t dV + dP V_prev.
+    const int64_t rows = p.shape()[0];
+    const int64_t inner = p.shape()[1];
+    const int64_t d = v.shape()[1];
+    DITTO_ASSERT(v.shape()[0] == inner, "P/V inner dimension mismatch");
+    DITTO_ASSERT(prev_out.shape() == Shape({rows, d}),
+                 "previous output shape mismatch");
+    Int32Tensor out(prev_out.shape());
+    for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < d; ++j) {
+            int64_t acc = 0;
+            for (int64_t x = 0; x < inner; ++x) {
+                acc += static_cast<int64_t>(p.at(i, x)) * dv.at(x, j);
+                acc += static_cast<int64_t>(dp.at(i, x)) *
+                       prev_v.at(x, j);
+            }
+            out.at(i, j) = prev_out.at(i, j) + static_cast<int32_t>(acc);
+        }
+    }
+    return out;
+}
+
+CrossAttentionEngine::CrossAttentionEngine(Int8Tensor k_const)
+    : kConst_(std::move(k_const))
+{
+    DITTO_ASSERT(kConst_.shape().rank() == 2,
+                 "context operand must be a matrix");
+}
+
+Int32Tensor
+CrossAttentionEngine::runDirect(const Int8Tensor &q) const
+{
+    return matmulTransposedInt8(q, kConst_);
+}
+
+Int32Tensor
+CrossAttentionEngine::runDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
+                              const Int32Tensor &prev_scores,
+                              OpCounts *counts) const
+{
+    DITTO_ASSERT(q.shape() == prev_q.shape(),
+                 "cross attention diff shape mismatch");
+    const Int16Tensor dq = subtractInt8(q, prev_q);
+    if (counts)
+        counts->merge(tallyOps(dq, kConst_.shape()[0]));
+    const Int32Tensor delta = matmulTransposedDiffInt16(dq, kConst_);
+    return addInt32(prev_scores, delta);
+}
+
+} // namespace ditto

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Temporal difference processing for attention layers (Section IV-A).
+ *
+ * Attention matmuls multiply two *dynamic* operands, so the naive
+ * expansion of Q_t K_t^T around the previous step's operands needs
+ * three correction terms. The paper folds them into two:
+ *
+ *   Q_t K_t^T = Q_p K_p^T + Q_t dK^T + dQ K_p^T,
+ *
+ * where p is the previous step, dQ = Q_t - Q_p and dK = K_t - K_p
+ * (because Q_p dK^T + dQ dK^T = Q_t dK^T). Each sub-operation pairs one
+ * full-bit-width operand, treated as the "weight", with one narrow
+ * difference operand — exactly the shape the Compute Unit handles. The
+ * same identity applies to P x V.
+ *
+ * Cross attention is simpler: the context projections K' and V' do not
+ * change across time steps, so Q' K'^T is an ordinary weight-stationary
+ * layer with K' as the weight (and likewise P' V').
+ */
+#ifndef DITTO_CORE_ATTENTION_DIFF_H
+#define DITTO_CORE_ATTENTION_DIFF_H
+
+#include "core/diff_linear.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/**
+ * Direct score computation S = Q K^T (int8 operands, int32 scores).
+ * Q:[tokens,d], K:[tokens,d].
+ */
+Int32Tensor attentionScoresDirect(const Int8Tensor &q, const Int8Tensor &k);
+
+/**
+ * Difference-processed scores:
+ * S_t = prev_scores + Q_t dK^T + dQ K_prev^T.
+ *
+ * @param counts tallies the multiplies of both sub-operations by the
+ *        bit class of their difference operand.
+ */
+Int32Tensor attentionScoresDiff(const Int8Tensor &q,
+                                const Int8Tensor &prev_q,
+                                const Int8Tensor &k,
+                                const Int8Tensor &prev_k,
+                                const Int32Tensor &prev_scores,
+                                OpCounts *counts = nullptr);
+
+/** Direct weighted sum O = P V. P:[tokens,tokens], V:[tokens,d]. */
+Int32Tensor attentionOutputDirect(const Int8Tensor &p, const Int8Tensor &v);
+
+/**
+ * Difference-processed weighted sum:
+ * O_t = prev_out + P_t dV + dP V_prev.
+ */
+Int32Tensor attentionOutputDiff(const Int8Tensor &p,
+                                const Int8Tensor &prev_p,
+                                const Int8Tensor &v,
+                                const Int8Tensor &prev_v,
+                                const Int32Tensor &prev_out,
+                                OpCounts *counts = nullptr);
+
+/**
+ * Cross-attention scores with a constant context projection:
+ * S = Q' K'^T where K' never changes across steps. Difference
+ * processing degenerates to the weight-stationary form
+ * S_t = prev + dQ' K'^T.
+ */
+class CrossAttentionEngine
+{
+  public:
+    /** @param k_const constant K' matrix [ctx_tokens, d]. */
+    explicit CrossAttentionEngine(Int8Tensor k_const);
+
+    Int32Tensor runDirect(const Int8Tensor &q) const;
+
+    Int32Tensor runDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
+                        const Int32Tensor &prev_scores,
+                        OpCounts *counts = nullptr) const;
+
+  private:
+    Int8Tensor kConst_;
+};
+
+} // namespace ditto
+
+#endif // DITTO_CORE_ATTENTION_DIFF_H

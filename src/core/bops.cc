@@ -1,0 +1,82 @@
+/**
+ * @file
+ * BOPs and lane-occupancy accounting.
+ */
+#include "core/bops.h"
+
+#include "common/logging.h"
+
+namespace ditto {
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Act: return "act";
+      case ExecMode::TemporalDiff: return "temporal";
+      case ExecMode::SpatialDiff: return "spatial";
+    }
+    DITTO_PANIC("unknown ExecMode");
+}
+
+namespace {
+
+/** BOPs per MAC given the difference operand's bit-class fractions. */
+double
+bopsPerMac(const BitFractions &f)
+{
+    return f.low4 * 32.0 + f.full8 * 64.0;
+}
+
+/** Lane slots per MAC on a 4-bit PE array. */
+double
+slotsPerMac(const BitFractions &f)
+{
+    return f.low4 * 1.0 + f.full8 * 2.0;
+}
+
+/**
+ * Dynamic attention runs two sub-operations (Q_t dK^T and dQ K_p^T),
+ * each with the layer's nominal MAC count; both difference operands
+ * follow the same per-layer statistics.
+ */
+double
+attentionFactor(const Layer &layer)
+{
+    return isDynamicAttention(layer.kind) ? 2.0 : 1.0;
+}
+
+} // namespace
+
+double
+layerBops(const Layer &layer, ExecMode mode, const BitFractions &diff)
+{
+    DITTO_ASSERT(layer.isCompute(), "BOPs of a non-compute layer");
+    const double macs = static_cast<double>(layer.macs);
+    switch (mode) {
+      case ExecMode::Act:
+        return macs * 64.0;
+      case ExecMode::TemporalDiff:
+      case ExecMode::SpatialDiff:
+        return attentionFactor(layer) * macs * bopsPerMac(diff);
+    }
+    DITTO_PANIC("unknown ExecMode");
+}
+
+double
+layerLaneSlots(const Layer &layer, ExecMode mode, const BitFractions &diff)
+{
+    DITTO_ASSERT(layer.isCompute(), "lane slots of a non-compute layer");
+    const double macs = static_cast<double>(layer.macs);
+    switch (mode) {
+      case ExecMode::Act:
+        // 8-bit activations occupy two 4-bit lanes each.
+        return macs * 2.0;
+      case ExecMode::TemporalDiff:
+      case ExecMode::SpatialDiff:
+        return attentionFactor(layer) * macs * slotsPerMac(diff);
+    }
+    DITTO_PANIC("unknown ExecMode");
+}
+
+} // namespace ditto

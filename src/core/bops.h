@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bit-operations (BOPs) accounting (paper Section III-B, Fig. 6).
+ *
+ * BOPs weight each multiply by the product of its operand bit-widths:
+ * an A8W8 multiply costs 64 BOPs, a 4-bit-difference multiply 32, and
+ * a zero difference is skipped outright. For weight-stationary layers
+ * one pass over the difference suffices; dynamic attention needs the
+ * two sub-operations of the Section IV-A decomposition, each pairing a
+ * full-bit-width operand with a narrow difference.
+ */
+#ifndef DITTO_CORE_BOPS_H
+#define DITTO_CORE_BOPS_H
+
+#include <cstdint>
+
+#include "model/graph.h"
+#include "trace/mixture.h"
+
+namespace ditto {
+
+/** Execution mode of a compute layer. */
+enum class ExecMode
+{
+    Act,          //!< original quantized activations, full bit-width
+    TemporalDiff, //!< differences between adjacent time steps
+    SpatialDiff,  //!< differences between adjacent elements (Defo+)
+};
+
+/** Human-readable name of an ExecMode. */
+const char *execModeName(ExecMode mode);
+
+/**
+ * Expected BOPs of one layer execution.
+ *
+ * @param layer the compute layer (macs, kind).
+ * @param mode execution mode.
+ * @param diff bit-class fractions of the difference operand used by
+ *        `mode` (temporal or spatial; ignored for Act).
+ */
+double layerBops(const Layer &layer, ExecMode mode,
+                 const BitFractions &diff);
+
+/**
+ * Expected multiplier-lane slots of one layer execution on a 4-bit PE
+ * array: a 4-bit multiply occupies one lane-slot, an 8-bit operand two
+ * (double multiplier + shift), zero differences none. Act mode on a
+ * 4-bit array costs 2 slots per MAC.
+ */
+double layerLaneSlots(const Layer &layer, ExecMode mode,
+                      const BitFractions &diff);
+
+} // namespace ditto
+
+#endif // DITTO_CORE_BOPS_H

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Defo controller implementation.
+ */
+#include "core/defo.h"
+
+#include "common/logging.h"
+
+namespace ditto {
+
+const char *
+flowPolicyName(FlowPolicy policy)
+{
+    switch (policy) {
+      case FlowPolicy::AlwaysAct: return "act";
+      case FlowPolicy::AlwaysDiff: return "temporal-diff";
+      case FlowPolicy::AlwaysSpatial: return "spatial-diff";
+      case FlowPolicy::Defo: return "Defo";
+      case FlowPolicy::DefoPlus: return "Defo+";
+      case FlowPolicy::DynamicDefo: return "Dynamic-Defo";
+      case FlowPolicy::Ideal: return "Ideal";
+      case FlowPolicy::IdealPlus: return "Ideal+";
+    }
+    DITTO_PANIC("unknown FlowPolicy");
+}
+
+DefoController::DefoController(FlowPolicy policy, int num_layers)
+    : policy_(policy), table_(static_cast<size_t>(num_layers))
+{
+    DITTO_ASSERT(num_layers > 0, "empty layer table");
+}
+
+ExecMode
+DefoController::actStyleMode() const
+{
+    // Under Defo+ (and its oracle) "original" execution uses spatial
+    // differences, which the hardware supports with an offset register
+    // and a multiplexer in the Encoding Unit.
+    return (policy_ == FlowPolicy::DefoPlus ||
+            policy_ == FlowPolicy::IdealPlus ||
+            policy_ == FlowPolicy::AlwaysSpatial)
+        ? ExecMode::SpatialDiff : ExecMode::Act;
+}
+
+ExecMode
+DefoController::chooseMode(int layer, int step) const
+{
+    const Entry &e = table_[layer];
+    switch (policy_) {
+      case FlowPolicy::AlwaysAct:
+        return ExecMode::Act;
+      case FlowPolicy::AlwaysSpatial:
+        return ExecMode::SpatialDiff;
+      case FlowPolicy::AlwaysDiff:
+        // The first step has no predecessor; it must run full bit-width.
+        return step == 0 ? ExecMode::Act : ExecMode::TemporalDiff;
+      case FlowPolicy::Defo:
+      case FlowPolicy::DefoPlus:
+        if (step == 0)
+            return actStyleMode();
+        if (step == 1)
+            return ExecMode::TemporalDiff;
+        return e.useDiff ? ExecMode::TemporalDiff : actStyleMode();
+      case FlowPolicy::DynamicDefo:
+        if (step == 0)
+            return ExecMode::Act;
+        if (step == 1)
+            return ExecMode::TemporalDiff;
+        return (e.useDiff && !e.demoted) ? ExecMode::TemporalDiff
+                                         : ExecMode::Act;
+      case FlowPolicy::Ideal:
+        if (step == 0)
+            return ExecMode::Act;
+        return e.oracleTemporal <= e.oracleAct ? ExecMode::TemporalDiff
+                                               : ExecMode::Act;
+      case FlowPolicy::IdealPlus: {
+        if (step == 0)
+            return ExecMode::SpatialDiff;
+        return e.oracleTemporal <= e.oracleSpatial
+            ? ExecMode::TemporalDiff : ExecMode::SpatialDiff;
+      }
+    }
+    DITTO_PANIC("unknown FlowPolicy");
+}
+
+void
+DefoController::observe(int layer, int step, ExecMode used, double cycles)
+{
+    Entry &e = table_[layer];
+    if (step == 0) {
+        e.actCycles = cycles;
+        return;
+    }
+    if (step == 1 && used == ExecMode::TemporalDiff) {
+        e.diffCycles = cycles;
+        // The locked decision for all later steps (Fig. 9): difference
+        // processing stays enabled only when it beat the first step.
+        e.useDiff = e.actCycles > e.diffCycles;
+        return;
+    }
+    // Dynamic-Ditto: a difference-mode layer whose *running mean*
+    // cycles exceed the recorded act cycles is demoted permanently
+    // (the reverse transition is impossible to evaluate while in act
+    // mode). The running mean, rather than a single step, keeps one
+    // expensive phase of an oscillating workload from locking the
+    // layer out of a mode that is better on average.
+    if (policy_ == FlowPolicy::DynamicDefo &&
+        used == ExecMode::TemporalDiff) {
+        e.diffCycleSum += cycles;
+        ++e.diffCycleCount;
+        if (e.diffCycleCount >= 4 &&
+            e.diffCycleSum / e.diffCycleCount > e.actCycles) {
+            e.demoted = true;
+        }
+    }
+}
+
+void
+DefoController::observeOracle(int layer, int step, double act_cycles,
+                              double temporal_cycles, double spatial_cycles)
+{
+    (void)step;
+    Entry &e = table_[layer];
+    e.oracleAct = act_cycles;
+    e.oracleTemporal = temporal_cycles;
+    e.oracleSpatial = spatial_cycles;
+}
+
+bool
+DefoController::revertedToAct(int layer) const
+{
+    const Entry &e = table_[layer];
+    if (policy_ == FlowPolicy::DynamicDefo)
+        return !e.useDiff || e.demoted;
+    return !e.useDiff;
+}
+
+} // namespace ditto

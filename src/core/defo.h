@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ditto execution flow optimization — Defo (paper Section IV-B, Fig. 9).
+ *
+ * Temporal difference processing turns some layers memory bound (the
+ * Encoding Unit must stream the previous step's input, and summation
+ * the previous output). Defo fixes this with a two-phase scheme:
+ *
+ *  - static: dependency analysis (ModelGraph::analyzeDependencies)
+ *    places difference calculation and summation only at non-linear
+ *    boundaries;
+ *  - runtime: the first time step runs every layer with original
+ *    activations and records its cycles; the second step runs every
+ *    layer with temporal differences and records again; from the third
+ *    step on, each layer is locked to the cheaper mode.
+ *
+ * Variants modelled here:
+ *  - Defo+  : layers reverting to "original" execution instead run with
+ *    spatial differences (which also lowers the first-step cost and
+ *    therefore the reversion threshold);
+ *  - Dynamic-Ditto: keeps monitoring difference-mode layers at every
+ *    step and may demote them to act mode later (demotion only — the
+ *    act-mode cycles of the current step are unknown while running in
+ *    difference mode);
+ *  - Ideal: an oracle that picks the per-step optimum, the upper bound
+ *    of Figs. 18/19.
+ */
+#ifndef DITTO_CORE_DEFO_H
+#define DITTO_CORE_DEFO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bops.h"
+
+namespace ditto {
+
+/** Execution-flow policy of an accelerator configuration. */
+enum class FlowPolicy
+{
+    AlwaysAct,    //!< baseline: original activations every step
+    AlwaysDiff,   //!< naive temporal differences (no runtime reversion)
+    AlwaysSpatial,//!< spatial differences every step (Diffy-style)
+    Defo,         //!< Ditto: lock per-layer mode at the second step
+    DefoPlus,     //!< Ditto+: act-mode layers use spatial differences
+    DynamicDefo,  //!< Dynamic-Ditto: demote diff layers at any step
+    Ideal,        //!< oracle per-step optimum
+    IdealPlus,    //!< oracle including spatial mode (Ideal-Ditto+)
+};
+
+/** Human-readable name of a FlowPolicy. */
+const char *flowPolicyName(FlowPolicy policy);
+
+/**
+ * Runtime mode controller for one accelerator run.
+ *
+ * Mirrors the hardware Defo Unit: a per-layer table recording first and
+ * second step cycles and the locked decision bit. The simulator drives
+ * it layer by layer: chooseMode() before executing, observe() after
+ * (with the cycles of the mode used), and observeOracle() when oracle
+ * costs are available (Ideal policies and accuracy scoring).
+ */
+class DefoController
+{
+  public:
+    DefoController(FlowPolicy policy, int num_layers);
+
+    FlowPolicy policy() const { return policy_; }
+
+    /** Mode for compute layer `layer` at step `step`. */
+    ExecMode chooseMode(int layer, int step) const;
+
+    /** Record the cycles of the executed mode. */
+    void observe(int layer, int step, ExecMode used, double cycles);
+
+    /**
+     * Record oracle per-mode costs (used by Ideal policies and by the
+     * Fig. 17 accuracy metric).
+     */
+    void observeOracle(int layer, int step, double act_cycles,
+                       double temporal_cycles, double spatial_cycles);
+
+    /** True when the layer is locked to act-style mode (Figs. 17). */
+    bool revertedToAct(int layer) const;
+
+    /** First-step (act-mode) cycles recorded for a layer. */
+    double actCycles(int layer) const { return table_[layer].actCycles; }
+
+    /** Second-step (diff-mode) cycles recorded for a layer. */
+    double diffCycles(int layer) const { return table_[layer].diffCycles; }
+
+  private:
+    /** One Defo Unit table entry (16+16+1 bits in hardware). */
+    struct Entry
+    {
+        double actCycles = 0.0;   //!< step-0 cycles (act or spatial mode)
+        double diffCycles = 0.0;  //!< step-1 cycles (temporal mode)
+        bool useDiff = true;      //!< locked decision for steps >= 2
+        bool demoted = false;     //!< Dynamic-Ditto demotion latch
+        double diffCycleSum = 0.0; //!< running diff-mode cycle total
+        int diffCycleCount = 0;    //!< steps contributing to the sum
+        double oracleAct = 0.0;
+        double oracleTemporal = 0.0;
+        double oracleSpatial = 0.0;
+    };
+
+    FlowPolicy policy_;
+    std::vector<Entry> table_;
+
+    /** Mode used by "act-style" execution under this policy. */
+    ExecMode actStyleMode() const;
+};
+
+} // namespace ditto
+
+#endif // DITTO_CORE_DEFO_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Difference-processing engines for FC and convolution layers.
+ */
+#include "core/diff_linear.h"
+
+#include "common/logging.h"
+
+namespace ditto {
+
+OpCounts
+tallyOps(const Int16Tensor &values, int64_t macs_per_element)
+{
+    OpCounts c;
+    for (int16_t v : values.data()) {
+        switch (classifyValue(v)) {
+          case BitClass::Zero:
+            c.zeroSkipped += macs_per_element;
+            break;
+          case BitClass::Low4:
+            c.low4 += macs_per_element;
+            break;
+          case BitClass::Full8:
+            c.full8 += macs_per_element;
+            break;
+        }
+    }
+    return c;
+}
+
+DiffFcEngine::DiffFcEngine(Int8Tensor weight) : weight_(std::move(weight))
+{
+    DITTO_ASSERT(weight_.shape().rank() == 2,
+                 "fc weight must be [out, in]");
+}
+
+Int32Tensor
+DiffFcEngine::runDirect(const Int8Tensor &x) const
+{
+    return fullyConnectedInt8(x, weight_);
+}
+
+Int32Tensor
+DiffFcEngine::runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
+                      const Int32Tensor &prev_out, OpCounts *counts) const
+{
+    DITTO_ASSERT(x.shape() == prev_x.shape(),
+                 "fc diff input shape mismatch");
+    const Int16Tensor diff = subtractInt8(x, prev_x);
+    if (counts) {
+        // Every input element feeds out_features multiplies.
+        counts->merge(tallyOps(diff, weight_.shape()[0]));
+    }
+    const Int32Tensor delta = fullyConnectedDiffInt16(diff, weight_);
+    return addInt32(prev_out, delta);
+}
+
+DiffConvEngine::DiffConvEngine(Int8Tensor weight, Conv2dParams params)
+    : weight_(std::move(weight)), params_(params)
+{
+    DITTO_ASSERT(weight_.shape().rank() == 4,
+                 "conv weight must be OIHW");
+}
+
+Int32Tensor
+DiffConvEngine::runDirect(const Int8Tensor &x) const
+{
+    return conv2dInt8(x, weight_, params_);
+}
+
+Int32Tensor
+DiffConvEngine::runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
+                        const Int32Tensor &prev_out,
+                        OpCounts *counts) const
+{
+    DITTO_ASSERT(x.shape() == prev_x.shape(),
+                 "conv diff input shape mismatch");
+    const Int16Tensor diff = subtractInt8(x, prev_x);
+    if (counts) {
+        // Each input element is touched by roughly
+        // out_channels * k * k / stride^2 multiplies; use the exact
+        // average macs / input elements for the tally weight.
+        const int64_t per_elem = std::max<int64_t>(
+            1, weight_.shape()[0] * weight_.shape()[2] *
+                   weight_.shape()[3] /
+                   (params_.stride * params_.stride));
+        counts->merge(tallyOps(diff, per_elem));
+    }
+    const Int32Tensor delta = conv2dDiffInt16(diff, weight_, params_);
+    return addInt32(prev_out, delta);
+}
+
+} // namespace ditto

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Temporal difference processing for weight-stationary linear layers
+ * (paper Section IV-A, Fig. 7).
+ *
+ * Executes a quantized linear layer at time step t as
+ *
+ *     out_t = out_{t+1} + W (x_t - x_{t+1})
+ *
+ * using the distributive property (the reverse process runs from high
+ * step indices down, so step t+1 is the already-computed predecessor).
+ * In the integer domain with a shared scale this is *exact*: the test
+ * suite asserts bit-equality against direct execution. The difference
+ * operand is narrow — mostly zero or 4-bit — which is where the
+ * hardware's zero skipping and reduced-bit-width lanes gain their
+ * speedup.
+ *
+ * The engines also tally how many multiplies fall in each bit class,
+ * the quantity the BOPs analysis (Fig. 6) and the cycle model consume.
+ */
+#ifndef DITTO_CORE_DIFF_LINEAR_H
+#define DITTO_CORE_DIFF_LINEAR_H
+
+#include <cstdint>
+
+#include "quant/bitwidth.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/** Multiply counts by operand bit class for one layer execution. */
+struct OpCounts
+{
+    int64_t zeroSkipped = 0; //!< multiplies skipped (zero difference)
+    int64_t low4 = 0;        //!< multiplies on the 4-bit lane
+    int64_t full8 = 0;       //!< multiplies needing the 8-bit path
+
+    int64_t total() const { return zeroSkipped + low4 + full8; }
+
+    /**
+     * Bit operations, counting a 4-bit x 8-bit multiply as 32 BOPs and
+     * an 8-bit x 8-bit multiply as 64 (the paper's BOPs metric).
+     */
+    int64_t bops() const { return low4 * 32 + full8 * 64; }
+
+    void
+    merge(const OpCounts &o)
+    {
+        zeroSkipped += o.zeroSkipped;
+        low4 += o.low4;
+        full8 += o.full8;
+    }
+};
+
+/** Tally the bit classes of `values` weighted by `macs_per_element`. */
+OpCounts tallyOps(const Int16Tensor &values, int64_t macs_per_element);
+
+/**
+ * Fully-connected layer with temporal difference processing.
+ *
+ * Holds the quantized weight; callers drive it step by step.
+ */
+class DiffFcEngine
+{
+  public:
+    /** @param weight int8 weight matrix [out_features, in_features]. */
+    explicit DiffFcEngine(Int8Tensor weight);
+
+    /** Direct (full bit-width) execution: y = x W^T. */
+    Int32Tensor runDirect(const Int8Tensor &x) const;
+
+    /**
+     * Difference execution: y_t = prev_out + W (x - prev_x).
+     *
+     * @param x current-step input codes.
+     * @param prev_x previous-step input codes.
+     * @param prev_out previous-step int32 output.
+     * @param counts optional tally of multiplier-lane usage.
+     */
+    Int32Tensor runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
+                        const Int32Tensor &prev_out,
+                        OpCounts *counts = nullptr) const;
+
+    const Int8Tensor &weight() const { return weight_; }
+
+  private:
+    Int8Tensor weight_;
+};
+
+/** 2-D convolution with temporal difference processing. */
+class DiffConvEngine
+{
+  public:
+    DiffConvEngine(Int8Tensor weight, Conv2dParams params);
+
+    /** Direct (full bit-width) execution. */
+    Int32Tensor runDirect(const Int8Tensor &x) const;
+
+    /** Difference execution: y_t = prev_out + conv(x - prev_x). */
+    Int32Tensor runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
+                        const Int32Tensor &prev_out,
+                        OpCounts *counts = nullptr) const;
+
+    const Conv2dParams &params() const { return params_; }
+
+  private:
+    Int8Tensor weight_;
+    Conv2dParams params_;
+};
+
+} // namespace ditto
+
+#endif // DITTO_CORE_DIFF_LINEAR_H

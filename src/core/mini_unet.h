@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A small but complete functional denoising model.
+ *
+ * MiniUnet is a numerically-executable UNet slice containing every layer
+ * species the Ditto algorithm must handle: convolutions, a residual
+ * block with GroupNorm/SiLU, single-head self attention (dynamic QK and
+ * PV), cross attention against a constant context (K'/V' as weights),
+ * and fully-connected projections. It runs a multi-step reverse
+ * diffusion in three modes:
+ *
+ *  - Fp32: floating-point reference,
+ *  - QuantDirect: A8W8 execution with static per-tensor scales
+ *    (offline calibration, Q-Diffusion style),
+ *  - QuantDitto: the same quantized network executed with temporal
+ *    difference processing for every linear layer.
+ *
+ * QuantDitto is bit-exact against QuantDirect — the reproduction's
+ * stand-in for Table II's "accuracy preserved" claim — and both are
+ * compared against Fp32 via SQNR.
+ */
+#ifndef DITTO_CORE_MINI_UNET_H
+#define DITTO_CORE_MINI_UNET_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/attention_diff.h"
+#include "core/diff_linear.h"
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/** MiniUnet configuration. */
+struct MiniUnetConfig
+{
+    int64_t channels = 8;    //!< working channel width
+    int64_t resolution = 8;  //!< spatial extent
+    int64_t inChannels = 3;  //!< input/output channels
+    int64_t ctxTokens = 4;   //!< cross-attention context length
+    int64_t ctxDim = 8;      //!< cross-attention context width
+    int steps = 6;           //!< reverse-diffusion steps
+    uint64_t seed = 42;      //!< weight/init RNG seed
+};
+
+/** Execution mode of a MiniUnet rollout. */
+enum class RunMode
+{
+    Fp32,
+    QuantDirect,
+    QuantDitto,
+};
+
+/** Result of a full reverse-diffusion rollout. */
+struct RolloutResult
+{
+    FloatTensor finalImage;
+    /** Multiplier-lane tallies accumulated over all Ditto diff steps. */
+    OpCounts dittoOps;
+    /** MACs executed per step (for relative-BOPs reporting). */
+    int64_t totalMacsPerStep = 0;
+};
+
+/**
+ * Functional denoising model with FP32, quantized and Ditto execution.
+ */
+class MiniUnet
+{
+  public:
+    explicit MiniUnet(MiniUnetConfig cfg);
+
+    const MiniUnetConfig &config() const { return cfg_; }
+
+    /**
+     * Run the full reverse diffusion from a seeded noise tensor.
+     * Identical seeds produce identical trajectories across modes up to
+     * the mode's arithmetic.
+     */
+    RolloutResult rollout(RunMode mode) const;
+
+    /**
+     * One denoising-model evaluation (predicted noise).
+     *
+     * @param state Ditto per-layer state threaded across steps; pass the
+     *        same object for consecutive steps. Required (and used) only
+     *        for RunMode::QuantDitto.
+     */
+    struct DittoState;
+    FloatTensor forward(const FloatTensor &x, RunMode mode,
+                        DittoState *state, OpCounts *counts) const;
+
+    /** Per-layer state for difference processing across steps. */
+    struct DittoState
+    {
+        std::vector<Int8Tensor> prevIn;   //!< previous input codes
+        std::vector<Int32Tensor> prevOut; //!< previous int32 outputs
+        bool primed = false;
+    };
+
+  private:
+    MiniUnetConfig cfg_;
+
+    // FP32 weights.
+    FloatTensor wConvIn_, wRes1_, wRes2_;
+    FloatTensor wAttnQ_, wAttnK_, wAttnV_, wAttnProj_;
+    FloatTensor wCrossQ_, wCrossK_, wCrossV_, wCrossOut_;
+    FloatTensor wConvOut_;
+    FloatTensor context_;
+
+    // Quantized weights and scales.
+    struct QuantWeight
+    {
+        Int8Tensor codes;
+        float scale = 1.0f;
+    };
+    QuantWeight qConvIn_, qRes1_, qRes2_;
+    QuantWeight qAttnQ_, qAttnK_, qAttnV_, qAttnProj_;
+    QuantWeight qCrossQ_, qCrossOut_, qConvOut_;
+    QuantWeight qCrossKConst_, qCrossVConst_; //!< projected context
+
+    /** Static activation scales per quantization point. */
+    std::vector<float> actScale_;
+
+    /** Calibration hook observing quantization points (FP32 pass). */
+    mutable std::function<void(int, const FloatTensor &)> observer_;
+
+    FloatTensor noiseInit_;
+
+    void calibrateActScales();
+    FloatTensor forwardFp32(const FloatTensor &x) const;
+    FloatTensor forwardQuant(const FloatTensor &x, bool use_ditto,
+                             DittoState *state, OpCounts *counts) const;
+};
+
+} // namespace ditto
+
+#endif // DITTO_CORE_MINI_UNET_H

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Accelerator simulator implementation.
+ */
+#include "hw/accelerator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ditto {
+
+namespace {
+
+/**
+ * DRAM service-time jitter for one (layer, step): row-buffer locality
+ * and refresh interference make achieved bandwidth vary around its
+ * mean. Applied identically to every candidate mode of the same
+ * execution (same memory conditions), it still flips the comparison of
+ * a memory-bound mode against a compute-bound one — the source of
+ * Defo's imperfect locked decisions (Fig. 17).
+ */
+double
+memJitter(uint64_t seed, int layer, int step)
+{
+    Rng rng = Rng::fromKeys(seed ^ 0xD3A9, static_cast<uint64_t>(layer),
+                            static_cast<uint64_t>(step));
+    return std::exp(rng.normal(0.0, 0.12));
+}
+
+/** Re-derive the overlap totals after scaling the memory time. */
+void
+applyMemJitter(LayerCost &cost, double factor)
+{
+    cost.memoryCycles *= factor;
+    const double busy = cost.computeCycles + cost.vectorCycles;
+    cost.totalCycles = std::max(busy, cost.memoryCycles);
+    cost.stallCycles = cost.totalCycles - busy;
+}
+
+} // namespace
+
+RunResult
+simulate(const HwConfig &cfg, const ModelGraph &graph,
+         const TraceProvider &trace, const EnergyTable &et)
+{
+    RunResult result;
+    result.hwName = cfg.name;
+    result.modelName = graph.name();
+
+    const std::vector<LayerDependency> deps = graph.analyzeDependencies();
+    const std::vector<OnChipFlags> onchip = deriveOnChipFlags(graph);
+    const int steps = trace.steps();
+
+    // Weight residency: small models keep all weights in SRAM after the
+    // first step.
+    const double weight_bytes =
+        static_cast<double>(graph.totalWeightElems());
+    const bool weights_resident =
+        weight_bytes <= 0.7 * cfg.sramMB * 1.0e6;
+
+    DefoController controller(cfg.policy, graph.numLayers());
+
+    // Oracle cost sums over the locked region (steps >= 2), for the
+    // Fig. 17 decision-accuracy metric.
+    std::vector<double> sum_act(graph.numLayers(), 0.0);
+    std::vector<double> sum_temp(graph.numLayers(), 0.0);
+    std::vector<double> sum_spat(graph.numLayers(), 0.0);
+
+    for (int t = 0; t < steps; ++t) {
+        for (const Layer &l : graph.layers()) {
+            if (l.kind == OpKind::Input)
+                continue;
+            if (l.constPerRun && t > 0)
+                continue; // K'/V' projections execute once per image
+            if (!l.isCompute()) {
+                const LayerCost c =
+                    vectorLayerCost(cfg, et, l, onchip[l.id]);
+                result.totalCycles += c.totalCycles;
+                result.vectorCycles += c.vectorCycles;
+                result.memStallCycles += c.stallCycles;
+                result.dramBytes += c.dramBytes;
+                result.energy.merge(c.energy);
+                continue;
+            }
+
+            const bool charge_weight = !(weights_resident && t > 0);
+            const LayerStepStats &st = trace.stats(l.id, t);
+            auto price = [&](ExecMode m) {
+                return computeLayerCost(cfg, et, l, deps[l.id],
+                                        onchip[l.id], st,
+                                        legaliseMode(cfg, l, m),
+                                        charge_weight);
+            };
+            LayerCost cost_act = price(ExecMode::Act);
+            LayerCost cost_temp = price(ExecMode::TemporalDiff);
+            LayerCost cost_spat = price(ExecMode::SpatialDiff);
+            const double jitter = memJitter(7, l.id, t);
+            applyMemJitter(cost_act, jitter);
+            applyMemJitter(cost_temp, jitter);
+            applyMemJitter(cost_spat, jitter);
+            controller.observeOracle(l.id, t, cost_act.totalCycles,
+                                     cost_temp.totalCycles,
+                                     cost_spat.totalCycles);
+            if (t >= 2) {
+                sum_act[l.id] += cost_act.totalCycles;
+                sum_temp[l.id] += cost_temp.totalCycles;
+                sum_spat[l.id] += cost_spat.totalCycles;
+            }
+
+            const ExecMode requested = controller.chooseMode(l.id, t);
+            const LayerCost &cost =
+                requested == ExecMode::Act ? cost_act
+                : requested == ExecMode::TemporalDiff ? cost_temp
+                                                      : cost_spat;
+            controller.observe(l.id, t, requested, cost.totalCycles);
+
+            result.totalCycles += cost.totalCycles;
+            result.computeCycles += cost.computeCycles;
+            result.memStallCycles += cost.stallCycles;
+            result.dramBytes += cost.dramBytes;
+            result.energy.merge(cost.energy);
+        }
+    }
+
+    // Defo statistics: reversion ratio and decision accuracy against
+    // the oracle-optimal locked mode.
+    const bool has_defo = cfg.policy == FlowPolicy::Defo ||
+                          cfg.policy == FlowPolicy::DefoPlus ||
+                          cfg.policy == FlowPolicy::DynamicDefo;
+    int correct = 0;
+    for (const Layer &l : graph.layers()) {
+        if (!l.isCompute() || l.constPerRun)
+            continue;
+        ++result.computeLayers;
+        if (!has_defo)
+            continue;
+        const bool reverted = controller.revertedToAct(l.id);
+        if (reverted)
+            ++result.revertedLayers;
+        const double act_style_cost =
+            cfg.policy == FlowPolicy::DefoPlus ? sum_spat[l.id]
+                                               : sum_act[l.id];
+        const bool oracle_reverts = act_style_cost < sum_temp[l.id];
+        if (reverted == oracle_reverts)
+            ++correct;
+    }
+    if (has_defo && result.computeLayers > 0) {
+        result.defoAccuracy =
+            static_cast<double>(correct) / result.computeLayers;
+    }
+
+    // Static/leakage energy over the whole run.
+    result.energy.staticIdle = et.staticFraction * cfg.powerW *
+                               result.totalCycles /
+                               (cfg.freqGhz * 1.0e9) * 1.0e12;
+
+    result.timeMs = result.totalCycles / (cfg.freqGhz * 1.0e6);
+    return result;
+}
+
+} // namespace ditto

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cycle-level accelerator simulator.
+ *
+ * Drives one hardware configuration through the full reverse-diffusion
+ * schedule of one model: for every (step, layer) it derives the
+ * execution mode from the design's flow policy (via the Defo
+ * controller), prices the execution with the analytic cost model and
+ * accumulates cycles, traffic and energy. Oracle per-mode costs are
+ * computed alongside to support the Ideal configurations and the Defo
+ * decision-accuracy metric (Figs. 17-19).
+ *
+ * This plays the role of the modified Sparse-DySta simulator in the
+ * paper's methodology, with the TraceProvider standing in for the
+ * PyTorch activation hooks.
+ */
+#ifndef DITTO_HW_ACCELERATOR_H
+#define DITTO_HW_ACCELERATOR_H
+
+#include <string>
+#include <vector>
+
+#include "core/defo.h"
+#include "hw/config.h"
+#include "hw/cost_model.h"
+#include "model/graph.h"
+#include "trace/provider.h"
+
+namespace ditto {
+
+/** Aggregate result of simulating one (hardware, model) pair. */
+struct RunResult
+{
+    std::string hwName;
+    std::string modelName;
+
+    double totalCycles = 0.0;
+    double computeCycles = 0.0;   //!< MAC-array busy cycles
+    double vectorCycles = 0.0;    //!< VPU busy cycles
+    double memStallCycles = 0.0;  //!< exposed memory stalls
+    double dramBytes = 0.0;
+    EnergyBreakdown energy;
+
+    int computeLayers = 0;     //!< compute layers in the model
+    int revertedLayers = 0;    //!< layers Defo locked to act-style mode
+    double defoAccuracy = 1.0; //!< locked decision vs oracle optimum
+
+    double timeMs = 0.0; //!< totalCycles / frequency
+
+    double totalEnergyJ() const { return energy.total() * 1e-12; }
+};
+
+/** Simulate one hardware configuration over one model's full schedule. */
+RunResult simulate(const HwConfig &cfg, const ModelGraph &graph,
+                   const TraceProvider &trace,
+                   const EnergyTable &et = defaultEnergyTable());
+
+} // namespace ditto
+
+#endif // DITTO_HW_ACCELERATOR_H

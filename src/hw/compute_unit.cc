@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Functional Compute Unit implementation.
+ */
+#include "hw/compute_unit.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ditto {
+
+namespace {
+
+/** Copy one row of a [rows, cols] int8 matrix into a flat tensor. */
+Int8Tensor
+rowSlice(const Int8Tensor &m, int64_t row)
+{
+    const int64_t cols = m.shape()[1];
+    Int8Tensor out(Shape{cols});
+    for (int64_t c = 0; c < cols; ++c)
+        out.at(c) = m.at(row, c);
+    return out;
+}
+
+} // namespace
+
+ComputeUnit::ComputeUnit(int num_pes, int lanes)
+    : numPes_(num_pes), lanes_(lanes)
+{
+    DITTO_ASSERT(num_pes > 0, "Compute Unit needs at least one PE");
+}
+
+ComputeUnitRun
+ComputeUnit::runStream(const EncodedStream &stream,
+                       const Int8Tensor &weight) const
+{
+    // Every PE consumes the broadcast stream with its own output
+    // neuron's weights; outputs beyond the PE count run in additional
+    // waves over the same stream.
+    ComputeUnitRun run;
+    run.laneSlots = stream.laneSlots();
+    run.zeroSkipped = stream.zeroSkipped;
+    const int64_t out_features = weight.shape()[0];
+    const AdderTreePe pe(lanes_);
+    run.output = Int32Tensor(Shape{out_features});
+    const int64_t waves = ceilDiv<int64_t>(out_features, numPes_);
+    int64_t wave_cycles = 0;
+    for (int64_t o = 0; o < out_features; ++o) {
+        const PeRunResult r = pe.run(stream, [&](int32_t i) {
+            return weight.at(o, i);
+        });
+        run.output.at(o) = static_cast<int32_t>(r.accumulator);
+        wave_cycles = r.cycles; // identical for every PE (same stream)
+    }
+    run.cycles = waves * wave_cycles;
+    return run;
+}
+
+ComputeUnitRun
+ComputeUnit::runFcDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
+                       const Int32Tensor &prev_out,
+                       const Int8Tensor &weight) const
+{
+    DITTO_ASSERT(x.shape().rank() == 2 && x.shape() == prev_x.shape(),
+                 "fc diff operands must be equal matrices");
+    const int64_t rows = x.shape()[0];
+    const int64_t out_features = weight.shape()[0];
+    DITTO_ASSERT(prev_out.shape() == Shape({rows, out_features}),
+                 "previous output shape mismatch");
+    ComputeUnitRun total;
+    total.output = Int32Tensor(Shape{rows, out_features});
+    for (int64_t r = 0; r < rows; ++r) {
+        const EncodedStream stream = encoder_.encodeTemporal(
+            rowSlice(x, r), rowSlice(prev_x, r));
+        const ComputeUnitRun row = runStream(stream, weight);
+        for (int64_t o = 0; o < out_features; ++o)
+            total.output.at(r, o) = prev_out.at(r, o) + row.output.at(o);
+        total.cycles += row.cycles;
+        total.laneSlots += row.laneSlots;
+        total.zeroSkipped += row.zeroSkipped;
+    }
+    return total;
+}
+
+ComputeUnitRun
+ComputeUnit::runFcAct(const Int8Tensor &x, const Int8Tensor &weight) const
+{
+    DITTO_ASSERT(x.shape().rank() == 2, "fc input must be a matrix");
+    const int64_t rows = x.shape()[0];
+    const int64_t out_features = weight.shape()[0];
+    ComputeUnitRun total;
+    total.output = Int32Tensor(Shape{rows, out_features});
+    for (int64_t r = 0; r < rows; ++r) {
+        const EncodedStream stream = encoder_.encodeAct(rowSlice(x, r));
+        const ComputeUnitRun row = runStream(stream, weight);
+        for (int64_t o = 0; o < out_features; ++o)
+            total.output.at(r, o) = row.output.at(o);
+        total.cycles += row.cycles;
+        total.laneSlots += row.laneSlots;
+    }
+    return total;
+}
+
+ComputeUnitRun
+ComputeUnit::runAttnScoresDiff(const Int8Tensor &q,
+                               const Int8Tensor &prev_q,
+                               const Int8Tensor &k,
+                               const Int8Tensor &prev_k,
+                               const Int32Tensor &prev_scores) const
+{
+    DITTO_ASSERT(q.shape().rank() == 2 && q.shape() == prev_q.shape() &&
+                 k.shape() == prev_k.shape(),
+                 "attention operands must be equal matrices");
+    const int64_t tokens = q.shape()[0];
+    const int64_t ctx = k.shape()[0];
+    DITTO_ASSERT(prev_scores.shape() == Shape({tokens, ctx}),
+                 "previous scores shape mismatch");
+    ComputeUnitRun total;
+    total.output = prev_scores;
+
+    // Sub-operation 1: Q_t dK^T — for each context row j, encode dK_j
+    // once and let the PEs hold Q_t rows as their weight side.
+    for (int64_t j = 0; j < ctx; ++j) {
+        const EncodedStream stream = encoder_.encodeTemporal(
+            rowSlice(k, j), rowSlice(prev_k, j));
+        const ComputeUnitRun part = runStream(stream, q);
+        for (int64_t i = 0; i < tokens; ++i)
+            total.output.at(i, j) += part.output.at(i);
+        total.cycles += part.cycles;
+        total.laneSlots += part.laneSlots;
+        total.zeroSkipped += part.zeroSkipped;
+    }
+    // Sub-operation 2: dQ K_prev^T — encode dQ_i, weights are K_prev.
+    for (int64_t i = 0; i < tokens; ++i) {
+        const EncodedStream stream = encoder_.encodeTemporal(
+            rowSlice(q, i), rowSlice(prev_q, i));
+        const ComputeUnitRun part = runStream(stream, prev_k);
+        for (int64_t j = 0; j < ctx; ++j)
+            total.output.at(i, j) += part.output.at(j);
+        total.cycles += part.cycles;
+        total.laneSlots += part.laneSlots;
+        total.zeroSkipped += part.zeroSkipped;
+    }
+    return total;
+}
+
+ComputeUnitRun
+ComputeUnit::runFcSpatial(const Int8Tensor &x,
+                          const Int8Tensor &weight) const
+{
+    DITTO_ASSERT(x.shape().rank() == 2, "fc input must be a matrix");
+    const int64_t rows = x.shape()[0];
+    const int64_t out_features = weight.shape()[0];
+    ComputeUnitRun total;
+    total.output = Int32Tensor(Shape{rows, out_features});
+    Int8Tensor zero_row(Shape{x.shape()[1]});
+    for (int64_t r = 0; r < rows; ++r) {
+        // Row recurrence: the offset register supplies the previous
+        // row (zero for the first), the summation reuses y_{r-1}.
+        const Int8Tensor prev =
+            r == 0 ? zero_row : rowSlice(x, r - 1);
+        const EncodedStream stream =
+            encoder_.encodeTemporal(rowSlice(x, r), prev);
+        const ComputeUnitRun row = runStream(stream, weight);
+        for (int64_t o = 0; o < out_features; ++o) {
+            const int32_t base =
+                r == 0 ? 0 : total.output.at(r - 1, o);
+            total.output.at(r, o) = base + row.output.at(o);
+        }
+        total.cycles += row.cycles;
+        total.laneSlots += row.laneSlots;
+        total.zeroSkipped += row.zeroSkipped;
+    }
+    return total;
+}
+
+} // namespace ditto

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Functional model of the Compute Unit at layer granularity.
+ *
+ * Wires the Encoding Unit to an array of adder-tree PEs the way the
+ * hardware does for a weight-stationary layer: the encoder runs once
+ * over the dynamic operand and broadcasts the reordered lane stream;
+ * each PE holds one output neuron's weights and accumulates its dot
+ * product; outputs beyond the PE count execute in waves. The cycle
+ * count is therefore
+ *
+ *     ceil(out_features / num_pes) * ceil(lane_slots / lanes_per_pe),
+ *
+ * and the numeric result is bit-exact against the algorithm-level
+ * difference engines (asserted in tests/test_integration.cc) — closing
+ * the loop between the Ditto algorithm and the Ditto hardware.
+ */
+#ifndef DITTO_HW_COMPUTE_UNIT_H
+#define DITTO_HW_COMPUTE_UNIT_H
+
+#include <cstdint>
+
+#include "hw/encoding_unit.h"
+#include "hw/pe.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/** Result of one layer execution on the functional Compute Unit. */
+struct ComputeUnitRun
+{
+    Int32Tensor output;     //!< int32 accumulator outputs
+    int64_t cycles = 0;     //!< PE-array busy cycles
+    int64_t laneSlots = 0;  //!< lane slots executed per wave
+    int64_t zeroSkipped = 0; //!< differences skipped by the encoder
+};
+
+/** A PE array fed by one Encoding Unit. */
+class ComputeUnit
+{
+  public:
+    /**
+     * @param num_pes parallel adder-tree PEs (output neurons per wave).
+     * @param lanes multiplier lanes per PE (4 in the paper).
+     */
+    explicit ComputeUnit(int num_pes = 64, int lanes = 4);
+
+    /**
+     * Fully-connected layer in temporal-difference mode:
+     * y = prev_out + W (x - prev_x); x:[rows,in], W:[out,in].
+     */
+    ComputeUnitRun runFcDiff(const Int8Tensor &x,
+                             const Int8Tensor &prev_x,
+                             const Int32Tensor &prev_out,
+                             const Int8Tensor &weight) const;
+
+    /** Fully-connected layer on original activations (full bit-width). */
+    ComputeUnitRun runFcAct(const Int8Tensor &x,
+                            const Int8Tensor &weight) const;
+
+    /**
+     * Fully-connected layer in spatial-difference mode: the encoder
+     * differences along each input row; the row recurrence
+     * y_r = y_{r-1} + W (x_r - x_{r-1}) reconstructs exact outputs.
+     */
+    ComputeUnitRun runFcSpatial(const Int8Tensor &x,
+                                const Int8Tensor &weight) const;
+
+    /**
+     * Attention scores in temporal-difference mode (Section IV-A):
+     * S_t = prev_scores + Q_t dK^T + dQ K_prev^T. Each sub-operation
+     * streams one encoded difference operand against one full
+     * bit-width operand held as the weight side of the lanes — exactly
+     * how the paper maps the decomposition onto the A4W8 PEs.
+     * Q,K:[tokens,d]; prev_scores:[tokens,tokens].
+     */
+    ComputeUnitRun runAttnScoresDiff(const Int8Tensor &q,
+                                     const Int8Tensor &prev_q,
+                                     const Int8Tensor &k,
+                                     const Int8Tensor &prev_k,
+                                     const Int32Tensor &prev_scores) const;
+
+    int numPes() const { return numPes_; }
+    int lanes() const { return lanes_; }
+
+  private:
+    int numPes_;
+    int lanes_;
+    EncodingUnit encoder_;
+
+    /** Drain one encoded row stream through the PE array. */
+    ComputeUnitRun runStream(const EncodedStream &stream,
+                             const Int8Tensor &weight) const;
+};
+
+} // namespace ditto
+
+#endif // DITTO_HW_COMPUTE_UNIT_H

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Accelerator configuration tables.
+ */
+#include "hw/config.h"
+
+#include "common/logging.h"
+
+namespace ditto {
+
+const std::vector<HwDesign> &
+allDesigns()
+{
+    static const std::vector<HwDesign> kAll = {
+        HwDesign::ITC, HwDesign::Diffy, HwDesign::CambriconD,
+        HwDesign::Ditto, HwDesign::DittoPlus,
+    };
+    return kAll;
+}
+
+const char *
+designName(HwDesign design)
+{
+    switch (design) {
+      case HwDesign::ITC: return "ITC";
+      case HwDesign::Diffy: return "Diffy";
+      case HwDesign::CambriconD: return "Cambricon-D";
+      case HwDesign::Ditto: return "Ditto";
+      case HwDesign::DittoPlus: return "Ditto+";
+    }
+    DITTO_PANIC("unknown HwDesign");
+}
+
+HwConfig
+makeConfig(HwDesign design)
+{
+    HwConfig c;
+    c.name = designName(design);
+    switch (design) {
+      case HwDesign::ITC:
+        c.lanes8 = 27648;
+        c.peDescription = "A8W8";
+        c.powerW = 36.9;
+        c.policy = FlowPolicy::AlwaysAct;
+        break;
+      case HwDesign::Diffy:
+        c.lanes4 = 39398;
+        c.peDescription = "A4W8";
+        c.powerW = 33.6;
+        c.policy = FlowPolicy::AlwaysSpatial;
+        c.spatialMode = true;
+        // Diffy's zero-length delta encoding skips zero spatial
+        // differences, and its per-group precision narrows the rest.
+        c.zeroSkip = true;
+        break;
+      case HwDesign::CambriconD:
+        c.lanes4 = 38280;
+        c.lanes8 = 2552;
+        c.peDescription = "A4W8 + outlier A8W8";
+        c.powerW = 33.3;
+        c.policy = FlowPolicy::AlwaysDiff;
+        c.signMask = true;
+        // Cambricon-D's normal PEs have no paired-lane 8-bit path;
+        // original-activation execution runs on the outlier PEs alone
+        // (Sec. VI-B: "performing original activation execution with a
+        // smaller number of PEs").
+        c.actOnLanes4 = false;
+        // Fairness additions from the paper's methodology: dependency
+        // check and attention difference processing are integrated.
+        c.attnDiff = true;
+        break;
+      case HwDesign::Ditto:
+        c.lanes4 = 39398;
+        c.peDescription = "A4W8";
+        c.powerW = 33.6;
+        c.policy = FlowPolicy::Defo;
+        c.zeroSkip = true;
+        c.attnDiff = true;
+        break;
+      case HwDesign::DittoPlus:
+        c.lanes4 = 39398;
+        c.peDescription = "A4W8";
+        c.powerW = 33.6;
+        c.policy = FlowPolicy::DefoPlus;
+        c.zeroSkip = true;
+        c.attnDiff = true;
+        c.spatialMode = true;
+        break;
+    }
+    return c;
+}
+
+HwConfig
+makeAblationConfig(const std::string &variant)
+{
+    // All ablation designs share Ditto's lane budget and the layer
+    // dependency check (Fig. 16 caption).
+    HwConfig c = makeConfig(HwDesign::Ditto);
+    c.name = variant;
+    if (variant == "DB") {
+        // Dynamic bit-width only (Bit Fusion / DRQ style): narrow
+        // differences run on one lane, but zeros still execute and the
+        // difference tensor spills (no inline encoder).
+        c.zeroSkip = false;
+        c.attnDiff = false;
+        c.policy = FlowPolicy::AlwaysDiff;
+        c.streamDiff = false;
+    } else if (variant == "DS") {
+        // Dynamic sparsity only (SparTen / SpAtten style): zero
+        // differences are skipped, but every survivor runs at full
+        // bit-width on A8W8 lanes (iso-area lane count of ITC).
+        c.lanes4 = 0;
+        c.lanes8 = 27648;
+        c.zeroSkip = true;
+        c.attnDiff = false;
+        c.policy = FlowPolicy::AlwaysDiff;
+        c.streamDiff = false;
+    } else if (variant == "DB&DS") {
+        c.zeroSkip = true;
+        c.attnDiff = false;
+        c.policy = FlowPolicy::AlwaysDiff;
+        c.streamDiff = false;
+    } else if (variant == "DB&DS&Attn") {
+        c.zeroSkip = true;
+        c.attnDiff = true;
+        c.policy = FlowPolicy::AlwaysDiff;
+        c.streamDiff = false;
+    } else if (variant == "Ditto") {
+        // Full design (Defo).
+    } else if (variant == "Ditto+") {
+        c = makeConfig(HwDesign::DittoPlus);
+        c.name = variant;
+    } else {
+        DITTO_FATAL("unknown ablation variant '" << variant << "'");
+    }
+    return c;
+}
+
+} // namespace ditto

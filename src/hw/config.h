@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Accelerator configurations (paper Table III) and capability flags.
+ *
+ * All designs share the memory system (192 MB SRAM, HBM-class DRAM) and
+ * 1 GHz clock; they differ in multiplier-lane organisation and in which
+ * Ditto mechanisms they support:
+ *
+ *  - ITC: integer Tensor-Core-like baseline, 27648 A8W8 lanes, original
+ *    activations only.
+ *  - Diffy: 39398 A4W8 lanes, per-element dynamic bit-width on
+ *    *spatial* differences (extended, like the paper, to FC and
+ *    attention row differences), no zero skipping.
+ *  - Cambricon-D: 38280 normal A4W8 lanes + 2552 outlier A8W8 lanes on
+ *    temporal differences; no zero skipping; sign-mask data flow
+ *    bypasses prev-step traffic at SiLU/GroupNorm boundaries only.
+ *    (As in the paper's evaluation, the Fig. 13 configuration also
+ *    carries Ditto's dependency check and attention difference
+ *    processing for fairness.)
+ *  - Ditto: 39398 A4W8 lanes, zero skipping + dynamic bit-width in a
+ *    single PE design, Defo runtime flow control.
+ *  - Ditto+: Ditto with spatial differences in place of act-mode
+ *    execution.
+ *
+ * Every 4-bit-lane design can execute an 8-bit operand as two lane
+ * slots (double multiplier + shift), so "act mode" halves its
+ * throughput rather than collapsing onto a handful of outlier PEs.
+ */
+#ifndef DITTO_HW_CONFIG_H
+#define DITTO_HW_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/defo.h"
+
+namespace ditto {
+
+/** One accelerator configuration. */
+struct HwConfig
+{
+    std::string name;
+
+    // Compute organisation.
+    int64_t lanes4 = 0;  //!< A4W8 multiplier lanes
+    int64_t lanes8 = 0;  //!< native A8W8 multiplier lanes (ITC, outliers)
+
+    // Mechanism support.
+    bool zeroSkip = false;     //!< dynamic sparsity (skip zero diffs)
+    bool attnDiff = false;     //!< Section IV-A attention decomposition
+    bool signMask = false;     //!< Cambricon-D sign-mask data flow
+    bool depCheck = true;      //!< static dependency check (Defo static)
+    bool spatialMode = false;  //!< Encoding Unit spatial offset support
+
+    /**
+     * True when the PE array can execute an 8-bit activation as two
+     * 4-bit lane slots (paired multipliers + shifter in the adder
+     * tree). This is part of the Ditto PE design; Cambricon-D's normal
+     * PEs lack it, so its act-mode work falls back to the outlier
+     * lanes alone.
+     */
+    bool actOnLanes4 = true;
+
+    /**
+     * True when an inline Encoding Unit computes differences on the fly
+     * (Ditto, Cambricon-D). Generic sparse/bit-width accelerators (the
+     * DB/DS ablations) must instead produce the difference tensor in a
+     * separate pass, spilling it to DRAM and reloading it.
+     */
+    bool streamDiff = true;
+
+    /** Runtime execution-flow policy. */
+    FlowPolicy policy = FlowPolicy::AlwaysAct;
+
+    // Shared platform parameters (Table III).
+    double freqGhz = 1.0;
+    double sramMB = 192.0;
+    double dramGBs = 512.0;       //!< DRAM bandwidth
+    int64_t vpuLanes = 16384;     //!< vector elementwise ops per cycle
+
+    /**
+     * Difference-mode pipeline efficiency: the Encoding Unit's reorder
+     * queues introduce bubbles and the adder trees see load imbalance
+     * when consecutive values straddle the 4/8-bit classes, so the
+     * effective lane throughput in difference modes is derated.
+     */
+    double diffPipelineEff = 0.78;
+
+    /**
+     * Images generated per batch. The evaluation workloads produce
+     * image batches (FID/IS need thousands of samples), so streamed
+     * weight traffic amortises across the batch while activation
+     * traffic — including every temporal-difference overhead — scales
+     * per image. All per-image results divide weight DRAM traffic by
+     * this factor.
+     */
+    int64_t genBatch = 16;
+
+    // Table III reporting fields.
+    std::string peDescription;   //!< e.g. "A4W8"
+    double powerW = 0.0;
+    double areaMm2 = 64.48;
+
+    /** Act-mode MAC throughput per cycle (8-bit activations). */
+    double
+    actMacsPerCycle() const
+    {
+        return static_cast<double>(lanes8) +
+               (actOnLanes4 ? static_cast<double>(lanes4) / 2.0 : 0.0);
+    }
+};
+
+/** The evaluated hardware designs, Fig. 13 order. */
+enum class HwDesign
+{
+    ITC,
+    Diffy,
+    CambriconD,
+    Ditto,
+    DittoPlus,
+};
+
+/** All designs in Fig. 13 order. */
+const std::vector<HwDesign> &allDesigns();
+
+/** Table III configuration of one design. */
+HwConfig makeConfig(HwDesign design);
+
+/** Short display name of one design. */
+const char *designName(HwDesign design);
+
+/**
+ * Ablation configurations of Fig. 16: dynamic-bit-width-only (DB),
+ * dynamic-sparsity-only (DS), DB&DS, DB&DS with attention differences,
+ * full Ditto and Ditto+. All carry the dependency-check technique, as
+ * the figure caption states.
+ */
+HwConfig makeAblationConfig(const std::string &variant);
+
+} // namespace ditto
+
+#endif // DITTO_HW_CONFIG_H

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Analytic layer cost model implementation.
+ */
+#include "hw/cost_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ditto {
+
+namespace {
+
+/** Bytes the DRAM can serve per core cycle. */
+double
+bytesPerCycle(const HwConfig &cfg)
+{
+    return cfg.dramGBs / cfg.freqGhz;
+}
+
+/** True when every non-linear boundary of the layer is SiLU/GroupNorm
+ *  (the only functions Cambricon-D's sign-mask data flow covers). */
+bool
+signMaskCovers(const LayerDependency &dep)
+{
+    if (dep.boundaryNonLinears.empty())
+        return false;
+    for (OpKind k : dep.boundaryNonLinears)
+        if (k != OpKind::SiLU && k != OpKind::GroupNorm)
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::vector<OnChipFlags>
+deriveOnChipFlags(const ModelGraph &graph)
+{
+    std::vector<OnChipFlags> flags(graph.numLayers());
+    for (const Layer &l : graph.layers()) {
+        if (l.kind == OpKind::AttnQK || l.kind == OpKind::CrossQK) {
+            flags[l.id].output = true;
+            // The softmax fed by these scores stays on chip too.
+            for (int c : graph.consumers(l.id)) {
+                if (graph.layer(c).kind == OpKind::Softmax) {
+                    flags[c].input1 = true;
+                    flags[c].output = true;
+                }
+            }
+        }
+        if (l.kind == OpKind::AttnPV || l.kind == OpKind::CrossPV)
+            flags[l.id].input1 = true;
+    }
+    return flags;
+}
+
+ExecMode
+legaliseMode(const HwConfig &cfg, const Layer &layer, ExecMode mode)
+{
+    if (mode == ExecMode::TemporalDiff && isDynamicAttention(layer.kind) &&
+        !cfg.attnDiff) {
+        return ExecMode::Act;
+    }
+    if (mode == ExecMode::SpatialDiff && !cfg.spatialMode)
+        return ExecMode::Act;
+    return mode;
+}
+
+LayerCost
+computeLayerCost(const HwConfig &cfg, const EnergyTable &et,
+                 const Layer &layer, const LayerDependency &dep,
+                 const OnChipFlags &onchip, const LayerStepStats &stats,
+                 ExecMode mode, bool charge_weight)
+{
+    DITTO_ASSERT(layer.isCompute(), "compute cost of a vector layer");
+    LayerCost cost;
+    const double macs = static_cast<double>(layer.macs);
+    const double in1 = static_cast<double>(layer.inputElems);
+    const double in2 = static_cast<double>(layer.inputElems2);
+    const double out = static_cast<double>(layer.outputElems);
+    const double w = charge_weight
+        ? static_cast<double>(layer.weightElems) /
+              static_cast<double>(cfg.genBatch)
+        : 0.0;
+
+    // ---- Compute cycles and Compute Unit energy -----------------------
+    double d4 = 0.0; //!< 4-bit lane ops
+    double d8 = 0.0; //!< 8-bit ops
+    bool act_style = false;
+    if (mode == ExecMode::Act) {
+        act_style = true;
+    } else {
+        const BitFractions &f =
+            mode == ExecMode::TemporalDiff ? stats.temp : stats.spat;
+        const double factor =
+            (mode == ExecMode::TemporalDiff &&
+             isDynamicAttention(layer.kind)) ? 2.0 : 1.0;
+        d4 = (f.zero * (cfg.zeroSkip ? 0.0 : 1.0) + f.low4) * macs *
+             factor;
+        d8 = f.full8 * macs * factor;
+    }
+
+    const double eff = cfg.diffPipelineEff;
+    if (act_style && !cfg.actOnLanes4 && cfg.lanes4 > 0 &&
+        cfg.lanes8 > 0) {
+        // Heterogeneous design without the paired-lane 8-bit path
+        // (Cambricon-D): full-precision data is processed as a
+        // difference against a zero baseline, so the activation's own
+        // bit classes split across the normal and outlier partitions.
+        const double a4 = (stats.act.zero + stats.act.low4) * macs;
+        const double a8 = stats.act.full8 * macs;
+        cost.computeCycles =
+            std::max(a4 / static_cast<double>(cfg.lanes4),
+                     a8 / static_cast<double>(cfg.lanes8)) / eff;
+        cost.energy.computeUnit = a4 * (et.mult4x8 + et.accumulate) +
+                                  a8 * (et.mult8x8 + et.accumulate);
+    } else if (act_style) {
+        const double thr = cfg.actMacsPerCycle();
+        DITTO_ASSERT(thr > 0.0, "design has no act-mode throughput");
+        cost.computeCycles = macs / thr;
+        cost.energy.computeUnit =
+            macs * (et.mult8x8 + 2.0 * et.accumulate);
+    } else if (cfg.lanes4 > 0 && cfg.lanes8 > 0) {
+        // Heterogeneous (Cambricon-D): parallel partitions.
+        cost.computeCycles =
+            std::max(d4 / static_cast<double>(cfg.lanes4),
+                     d8 / static_cast<double>(cfg.lanes8)) / eff;
+        cost.energy.computeUnit = d4 * (et.mult4x8 + et.accumulate) +
+                                  d8 * (et.mult8x8 + et.accumulate);
+    } else if (cfg.lanes4 > 0) {
+        cost.computeCycles =
+            (d4 + 2.0 * d8) / static_cast<double>(cfg.lanes4) / eff;
+        cost.energy.computeUnit =
+            d4 * (et.mult4x8 + et.accumulate) +
+            d8 * (et.mult8x8 + 2.0 * et.accumulate);
+    } else {
+        // 8-bit-lane design with zero skipping (DS ablation): every
+        // surviving op costs one full-width slot.
+        cost.computeCycles =
+            (d4 + d8) / static_cast<double>(cfg.lanes8) / eff;
+        cost.energy.computeUnit =
+            (d4 + d8) * (et.mult8x8 + et.accumulate);
+    }
+
+    // ---- DRAM traffic -------------------------------------------------
+    double bytes = w + in2 + (onchip.input1 ? 0.0 : in1) +
+                   (onchip.output ? 0.0 : out);
+    if (mode == ExecMode::TemporalDiff) {
+        // Sign-mask data flow (Cambricon-D) propagates differences
+        // through SiLU/GroupNorm, avoiding the full-value summation at
+        // those boundaries; the previous-step input must still stream
+        // in for the difference, and the sign masks themselves move
+        // (one bit per element).
+        const bool waived = cfg.signMask && signMaskCovers(dep);
+        const bool diff_calc = cfg.depCheck ? dep.diffCalcNeeded : true;
+        const bool summation = cfg.depCheck ? dep.summationNeeded : true;
+        if (diff_calc) {
+            // Previous-step inputs stream through the Encoding Unit;
+            // on-chip operands must additionally persist to DRAM now to
+            // be available next step.
+            bytes += in1 + in2;
+            if (onchip.input1)
+                bytes += in1;
+        }
+        if (summation) {
+            if (!waived) {
+                bytes += out; // previous-step output for the summation
+            } else {
+                bytes += out / 8.0; // sign-mask bits
+            }
+            if (onchip.output)
+                bytes += out; // persist this step's scores
+        }
+        // Without an inline Encoding Unit the difference tensor is
+        // produced by a separate pass: one spill write plus one reload
+        // for every DRAM-resident dynamic operand.
+        if (!cfg.streamDiff)
+            bytes += 2.0 * ((onchip.input1 ? 0.0 : in1) + in2);
+    }
+    cost.dramBytes = bytes;
+    cost.memoryCycles = bytes / bytesPerCycle(cfg);
+
+    // ---- Other units ---------------------------------------------------
+    // Encoding Unit processes the dynamic operands in difference modes.
+    if (!act_style && cfg.lanes4 > 0)
+        cost.energy.encodingUnit = (in1 + in2) * et.encodePerElem;
+    // VPU re-quantizes outputs always; temporal summation adds a pass.
+    cost.energy.vectorUnit = 0.5 * out * et.vectorOp;
+    if (mode == ExecMode::TemporalDiff &&
+        (cfg.depCheck ? dep.summationNeeded : true)) {
+        cost.energy.vectorUnit += out * et.vectorOp;
+    }
+    if (cfg.policy == FlowPolicy::Defo ||
+        cfg.policy == FlowPolicy::DefoPlus ||
+        cfg.policy == FlowPolicy::DynamicDefo) {
+        cost.energy.defoUnit = et.defoAccess;
+    }
+
+    // Memory energy: SRAM sees fill+drain of DRAM traffic plus operand
+    // streaming from the tiled GEMM (about one byte per eight MACs).
+    const double slots = act_style ? 2.0 * macs : d4 + 2.0 * d8;
+    cost.energy.sram = (2.0 * bytes + 0.125 * slots) * et.sramPerByte;
+    cost.energy.dram = bytes * et.dramPerByte;
+
+    cost.totalCycles = std::max(cost.computeCycles, cost.memoryCycles);
+    cost.stallCycles = cost.totalCycles - cost.computeCycles;
+    return cost;
+}
+
+LayerCost
+vectorLayerCost(const HwConfig &cfg, const EnergyTable &et,
+                const Layer &layer, const OnChipFlags &onchip)
+{
+    LayerCost cost;
+    if (layer.kind == OpKind::Input)
+        return cost;
+    const double ops = static_cast<double>(layer.vectorOps);
+    const double in1 = static_cast<double>(layer.inputElems);
+    const double out = static_cast<double>(layer.outputElems);
+    cost.vectorCycles = ops / static_cast<double>(cfg.vpuLanes);
+    const double bytes = (onchip.input1 ? 0.0 : in1) +
+                         (onchip.output ? 0.0 : out);
+    cost.dramBytes = bytes;
+    cost.memoryCycles = bytes / bytesPerCycle(cfg);
+    cost.energy.vectorUnit = ops * et.vectorOp;
+    cost.energy.sram = 2.0 * bytes * et.sramPerByte;
+    cost.energy.dram = bytes * et.dramPerByte;
+    cost.totalCycles = std::max(cost.vectorCycles, cost.memoryCycles);
+    cost.stallCycles = cost.totalCycles - cost.vectorCycles;
+    return cost;
+}
+
+double
+actBytes(const Layer &layer)
+{
+    // Weight traffic is identical under both processing schemes, so the
+    // Fig. 8 comparison isolates the activation-related accesses.
+    return static_cast<double>(layer.inputElems + layer.inputElems2 +
+                               layer.outputElems);
+}
+
+double
+naiveDiffBytes(const Layer &layer)
+{
+    // Generic-substrate accounting: read both current and previous
+    // operands, spill the difference tensor and reload it (partially
+    // fused with the subtraction), read the previous output for the
+    // summation and write the new one.
+    const double in = static_cast<double>(layer.inputElems +
+                                          layer.inputElems2);
+    const double out = static_cast<double>(layer.outputElems);
+    return 3.5 * in + 2.0 * out;
+}
+
+} // namespace ditto

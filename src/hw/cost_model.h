@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Analytic per-layer cost model: cycles, DRAM traffic and energy for
+ * one layer execution at one step in one mode.
+ *
+ * Modelling decisions (each recorded in DESIGN.md):
+ *
+ *  - Lane-slot compute model: a 4-bit difference occupies one A4W8
+ *    lane-slot, an 8-bit value two (double multiplier + shift), zeros
+ *    none when the design skips them. Heterogeneous designs
+ *    (Cambricon-D) run 4-bit work on normal lanes and 8-bit work on
+ *    outlier lanes in parallel; their bound is the slower partition.
+ *  - Dynamic attention in temporal-difference mode executes the two
+ *    sub-operations of Section IV-A (twice the nominal MACs, each on
+ *    narrow differences); in spatial mode the row-recurrence needs a
+ *    single pass.
+ *  - Attention score matrices are tiled through SRAM (QK output,
+ *    softmax, PV probability input never touch DRAM within a step);
+ *    temporal-difference processing however must persist them across
+ *    steps, paying a write now plus a read next step — the dominant
+ *    memory overhead of naive temporal attention processing.
+ *  - Weight residency: when a model's total weights fit in 70% of
+ *    SRAM, weight DRAM traffic is charged only at the first step.
+ *  - Per-layer time is max(compute, DRAM service) — double-buffered
+ *    pipelining — and layers execute sequentially (data dependences).
+ */
+#ifndef DITTO_HW_COST_MODEL_H
+#define DITTO_HW_COST_MODEL_H
+
+#include "core/bops.h"
+#include "hw/config.h"
+#include "hw/energy.h"
+#include "model/graph.h"
+#include "trace/provider.h"
+
+namespace ditto {
+
+/** Per-layer on-chip operand flags (attention score tiling). */
+struct OnChipFlags
+{
+    bool input1 = false; //!< primary input stays in SRAM (PV's P)
+    bool output = false; //!< output stays in SRAM (QK's scores)
+};
+
+/** Cost of one layer execution. */
+struct LayerCost
+{
+    double computeCycles = 0.0; //!< MAC-array busy cycles
+    double vectorCycles = 0.0;  //!< VPU busy cycles (vector layers)
+    double memoryCycles = 0.0;  //!< DRAM service time in cycles
+    double totalCycles = 0.0;   //!< max(compute+vector, memory)
+    double stallCycles = 0.0;   //!< totalCycles - busy cycles
+    double dramBytes = 0.0;
+    EnergyBreakdown energy;
+};
+
+/** Derive the on-chip flags for every layer of a graph. */
+std::vector<OnChipFlags> deriveOnChipFlags(const ModelGraph &graph);
+
+/**
+ * Cost of one compute layer.
+ *
+ * @param dep static dependency analysis of the layer.
+ * @param onchip score-tiling flags of the layer.
+ * @param stats trace statistics of the layer at this step.
+ * @param mode execution mode (already legalised for the design).
+ * @param charge_weight false when weights are SRAM-resident after the
+ *        first step.
+ */
+LayerCost computeLayerCost(const HwConfig &cfg, const EnergyTable &et,
+                           const Layer &layer, const LayerDependency &dep,
+                           const OnChipFlags &onchip,
+                           const LayerStepStats &stats, ExecMode mode,
+                           bool charge_weight);
+
+/** Cost of one vector / structural layer (mode-independent). */
+LayerCost vectorLayerCost(const HwConfig &cfg, const EnergyTable &et,
+                          const Layer &layer, const OnChipFlags &onchip);
+
+/**
+ * Algorithm-level memory accesses of naive temporal difference
+ * processing (Fig. 8): on a generic substrate the difference tensor
+ * spills and reloads, and both previous operands stream in.
+ */
+double naiveDiffBytes(const Layer &layer);
+
+/** Algorithm-level memory accesses of original-activation processing. */
+double actBytes(const Layer &layer);
+
+/**
+ * Legalise a requested mode for a design and layer: designs without
+ * attention-difference support run dynamic attention with original
+ * activations; designs without spatial support fall back likewise.
+ */
+ExecMode legaliseMode(const HwConfig &cfg, const Layer &layer,
+                      ExecMode mode);
+
+} // namespace ditto
+
+#endif // DITTO_HW_COST_MODEL_H

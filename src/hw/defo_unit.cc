@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Defo Unit table implementation.
+ */
+#include "hw/defo_unit.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ditto {
+
+DefoUnitTable::DefoUnitTable(int shift)
+    : shift_(shift), table_(kEntries)
+{
+    DITTO_ASSERT(shift_ >= 0 && shift_ < 31, "bad cycle-count shift");
+}
+
+uint32_t
+DefoUnitTable::quantize(double cycles) const
+{
+    DITTO_ASSERT(cycles >= 0.0, "negative cycle count");
+    const double shifted = cycles / static_cast<double>(1u << shift_);
+    const double rounded = std::nearbyint(shifted);
+    return rounded >= static_cast<double>(kMaxCount)
+        ? kMaxCount : static_cast<uint32_t>(rounded);
+}
+
+const DefoUnitTable::Entry &
+DefoUnitTable::entry(int layer) const
+{
+    DITTO_ASSERT(layer >= 0 && layer < kEntries,
+                 "layer exceeds the Defo table capacity");
+    return table_[static_cast<size_t>(layer)];
+}
+
+void
+DefoUnitTable::recordFirstStep(int layer, double cycles)
+{
+    DITTO_ASSERT(layer >= 0 && layer < kEntries,
+                 "layer exceeds the Defo table capacity");
+    table_[static_cast<size_t>(layer)].actCount = quantize(cycles);
+}
+
+void
+DefoUnitTable::recordSecondStep(int layer, double cycles)
+{
+    DITTO_ASSERT(layer >= 0 && layer < kEntries,
+                 "layer exceeds the Defo table capacity");
+    Entry &e = table_[static_cast<size_t>(layer)];
+    e.diffCount = quantize(cycles);
+    // The compare logic writes the decision bit once, exactly like
+    // Fig. 9's runtime flow.
+    e.useDiff = e.actCount > e.diffCount;
+}
+
+ExecMode
+DefoUnitTable::lockedMode(int layer) const
+{
+    return entry(layer).useDiff ? ExecMode::TemporalDiff : ExecMode::Act;
+}
+
+bool
+DefoUnitTable::revertedToAct(int layer) const
+{
+    return !entry(layer).useDiff;
+}
+
+uint32_t
+DefoUnitTable::storedActCount(int layer) const
+{
+    return entry(layer).actCount;
+}
+
+uint32_t
+DefoUnitTable::storedDiffCount(int layer) const
+{
+    return entry(layer).diffCount;
+}
+
+} // namespace ditto

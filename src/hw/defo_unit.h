@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Hardware-faithful model of the Defo Unit table (paper Section V-B).
+ *
+ * The Defo Unit stores per-layer cycle measurements in a 512-entry
+ * table (sized for the 347-layer maximum across the benchmark, rounded
+ * to a power of two). Each entry is 33 bits: 16 bits for the first-step
+ * cycles, 16 bits for the second-step cycles, and 1 bit for the locked
+ * later-step decision. Real layer cycle counts exceed 16 bits, so the
+ * unit records them at a coarser granularity (a configurable right
+ * shift) with saturation — this model quantifies how little that
+ * quantization costs (tests compare its decisions against the
+ * full-precision DefoController).
+ */
+#ifndef DITTO_HW_DEFO_UNIT_H
+#define DITTO_HW_DEFO_UNIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bops.h"
+
+namespace ditto {
+
+/** The 512-entry, 33-bit-per-entry Defo table. */
+class DefoUnitTable
+{
+  public:
+    static constexpr int kEntries = 512;
+    static constexpr uint32_t kMaxCount = 0xFFFF; //!< 16-bit saturation
+
+    /**
+     * @param shift right shift applied to cycle counts before storage
+     *        (granularity of 2^shift cycles).
+     */
+    explicit DefoUnitTable(int shift = 6);
+
+    /** Record a layer's first-step (act-mode) cycles. */
+    void recordFirstStep(int layer, double cycles);
+
+    /** Record the second-step (diff-mode) cycles and lock the bit. */
+    void recordSecondStep(int layer, double cycles);
+
+    /** Locked decision for steps >= 2. */
+    ExecMode lockedMode(int layer) const;
+
+    /** True when the layer reverts to act-style execution. */
+    bool revertedToAct(int layer) const;
+
+    /** Stored (quantized) first-step count. */
+    uint32_t storedActCount(int layer) const;
+
+    /** Stored (quantized) second-step count. */
+    uint32_t storedDiffCount(int layer) const;
+
+    /** Bits per entry (16 + 16 + 1 as in the paper). */
+    static constexpr int entryBits() { return 33; }
+
+    /** Total table capacity in bits. */
+    static constexpr int tableBits() { return kEntries * entryBits(); }
+
+  private:
+    struct Entry
+    {
+        uint32_t actCount = 0;
+        uint32_t diffCount = 0;
+        bool useDiff = true;
+    };
+
+    int shift_;
+    std::vector<Entry> table_;
+
+    uint32_t quantize(double cycles) const;
+    const Entry &entry(int layer) const;
+};
+
+} // namespace ditto
+
+#endif // DITTO_HW_DEFO_UNIT_H

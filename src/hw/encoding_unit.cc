@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Functional Encoding Unit implementation.
+ *
+ * Nibble convention (Bit Fusion-style slicing): a multi-lane value v is
+ * split as v = hi * 16 + lo with an *unsigned* low slice lo in [0, 15]
+ * and a signed high slice. For 8-bit activations the high slice fits 4
+ * signed bits; temporal differences of int8 codes span 9 bits, so their
+ * high slice needs 5 signed bits ([-16, 15]). We model the high-lane
+ * multiplier as 5-bit x 8-bit — a small widening over the paper's
+ * description that keeps the difference path exact for all code pairs.
+ */
+#include "hw/encoding_unit.h"
+
+#include "common/logging.h"
+#include "quant/bitwidth.h"
+
+namespace ditto {
+
+namespace {
+
+/** Append the lane operands of one value to a stream. */
+void
+enqueueValue(EncodedStream &out, int16_t v, int32_t index)
+{
+    switch (classifyValue(v)) {
+      case BitClass::Zero:
+        ++out.zeroSkipped;
+        return;
+      case BitClass::Low4:
+        ++out.low4Count;
+        out.lanes.push_back({static_cast<int8_t>(v), false, index});
+        return;
+      case BitClass::Full8: {
+        ++out.full8Count;
+        const int lo = v & 0xF;
+        const int hi = (v - lo) >> 4;
+        DITTO_ASSERT(hi >= -16 && hi <= 15,
+                     "high slice out of the 5-bit range");
+        out.lanes.push_back({static_cast<int8_t>(lo), false, index});
+        out.lanes.push_back({static_cast<int8_t>(hi), true, index});
+        return;
+      }
+    }
+}
+
+} // namespace
+
+EncodedStream
+EncodingUnit::encodeTemporal(const Int8Tensor &current,
+                             const Int8Tensor &previous) const
+{
+    DITTO_ASSERT(current.shape() == previous.shape(),
+                 "temporal encode shape mismatch");
+    EncodedStream out;
+    auto sc = current.data();
+    auto sp = previous.data();
+    for (size_t i = 0; i < sc.size(); ++i) {
+        const auto d = static_cast<int16_t>(static_cast<int16_t>(sc[i]) -
+                                            static_cast<int16_t>(sp[i]));
+        enqueueValue(out, d, static_cast<int32_t>(i));
+    }
+    return out;
+}
+
+EncodedStream
+EncodingUnit::encodeSpatial(const Int8Tensor &current) const
+{
+    const Shape &s = current.shape();
+    DITTO_ASSERT(s.rank() >= 1 && s.numel() > 0, "empty tensor");
+    const int64_t cols = s.dim(s.rank() - 1);
+    const int64_t rows = s.numel() / cols;
+    EncodedStream out;
+    auto sd = current.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+            const int64_t i = r * cols + c;
+            // The leftmost element of each row has no neighbour: the
+            // offset register supplies zero, so it encodes at its own
+            // magnitude.
+            const int16_t v = c == 0
+                ? static_cast<int16_t>(sd[i])
+                : static_cast<int16_t>(static_cast<int16_t>(sd[i]) -
+                                       static_cast<int16_t>(sd[i - 1]));
+            enqueueValue(out, v, static_cast<int32_t>(i));
+        }
+    }
+    return out;
+}
+
+EncodedStream
+EncodingUnit::encodeAct(const Int8Tensor &current) const
+{
+    EncodedStream out;
+    auto sc = current.data();
+    for (size_t i = 0; i < sc.size(); ++i) {
+        const auto v = static_cast<int16_t>(sc[i]);
+        // The act path performs no skipping or narrowing: every value
+        // occupies both lanes of a multiplier pair (Fig. 12, left).
+        ++out.full8Count;
+        const int lo = v & 0xF;
+        const int hi = (v - lo) >> 4;
+        out.lanes.push_back(
+            {static_cast<int8_t>(lo), false, static_cast<int32_t>(i)});
+        out.lanes.push_back(
+            {static_cast<int8_t>(hi), true, static_cast<int32_t>(i)});
+    }
+    return out;
+}
+
+EncodedStream
+EncodingUnit::encodeValues(const std::vector<int16_t> &values) const
+{
+    EncodedStream out;
+    for (size_t i = 0; i < values.size(); ++i)
+        enqueueValue(out, values[i], static_cast<int32_t>(i));
+    return out;
+}
+
+} // namespace ditto

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Functional model of the Ditto Encoding Unit (paper Section V-B,
+ * Fig. 11).
+ *
+ * The Encoding Unit sits between the activation buffers and the
+ * Compute Unit. Per element pair (previous, current) it:
+ *
+ *  1. subtracts to form the temporal difference,
+ *  2. classifies the difference by comparing its high and low 4-bit
+ *     parts against zero (2-bit control signal),
+ *  3. reorders: zero differences are dropped (zero skipping); 4-bit
+ *     differences enqueue one lane operand; full 8-bit differences
+ *     enqueue their low and high nibbles as two lane operands with the
+ *     high nibble flagged for the shifter.
+ *
+ * This functional model produces the exact lane stream a cycle-true
+ * encoder would, and is verified against the scalar bit-class oracle
+ * (quant/bitwidth.h) and against reference dot products through the PE
+ * model in pe.h. A spatial mode replaces the previous-step operand with
+ * the left neighbour (offset register + multiplexer in hardware).
+ */
+#ifndef DITTO_HW_ENCODING_UNIT_H
+#define DITTO_HW_ENCODING_UNIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/** One operand enqueued toward a Compute Unit lane. */
+struct LaneOperand
+{
+    int8_t nibble = 0;   //!< signed 4-bit value in [-8, 7]
+    bool highPart = false; //!< apply <<4 after multiplying
+    int32_t index = 0;   //!< element index (selects the weight operand)
+};
+
+/** Output of encoding one tensor: the reordered lane stream. */
+struct EncodedStream
+{
+    std::vector<LaneOperand> lanes;
+    int64_t zeroSkipped = 0;  //!< differences dropped
+    int64_t low4Count = 0;    //!< one-lane differences
+    int64_t full8Count = 0;   //!< two-lane differences
+
+    /** Total lane-slots the Compute Unit must execute. */
+    int64_t laneSlots() const
+    {
+        return static_cast<int64_t>(lanes.size());
+    }
+};
+
+/** Functional Encoding Unit. */
+class EncodingUnit
+{
+  public:
+    /**
+     * Encode temporal differences current - previous.
+     * Differences of int8 codes fit in 9 bits; values outside the
+     * signed 8-bit range are split with a saturating high nibble model
+     * (see encode() implementation notes).
+     */
+    EncodedStream encodeTemporal(const Int8Tensor &current,
+                                 const Int8Tensor &previous) const;
+
+    /** Encode spatial differences along the last dimension. */
+    EncodedStream encodeSpatial(const Int8Tensor &current) const;
+
+    /** Encode original activations (full bit-width path, no skipping). */
+    EncodedStream encodeAct(const Int8Tensor &current) const;
+
+    /**
+     * Encode an arbitrary int16 difference stream (already subtracted).
+     */
+    EncodedStream encodeValues(const std::vector<int16_t> &values) const;
+};
+
+} // namespace ditto
+
+#endif // DITTO_HW_ENCODING_UNIT_H

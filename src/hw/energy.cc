@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Energy/area constants.
+ */
+#include "hw/energy.h"
+
+namespace ditto {
+
+const EnergyTable &
+defaultEnergyTable()
+{
+    static const EnergyTable kTable{};
+    return kTable;
+}
+
+double
+estimateCoreAreaMm2(int64_t lanes4, int64_t lanes8, bool with_encoder)
+{
+    // 45 nm synthesis-class estimates per lane, including the adder
+    // tree share: a 4x8 multiplier lane ~520 um^2, an 8x8 lane
+    // ~740 um^2. The encoder adds ~12% on top of the 4-bit lanes
+    // (subtractor, comparators, reorder queues).
+    const double lane4_um2 = 520.0;
+    const double lane8_um2 = 740.0;
+    double area = static_cast<double>(lanes4) * lane4_um2 +
+                  static_cast<double>(lanes8) * lane8_um2;
+    if (with_encoder)
+        area += static_cast<double>(lanes4) * lane4_um2 * 0.12;
+    return area / 1.0e6;
+}
+
+} // namespace ditto

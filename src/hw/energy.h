@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Energy and area model (45 nm constants; paper Table III and the
+ * Fig. 13 energy breakdown).
+ *
+ * Relative energy between designs is driven by the operation mix
+ * (4-bit vs 8-bit multiplies, skipped zeros, SRAM/DRAM traffic) plus
+ * the constant overheads of the encoder, vector unit and Defo table.
+ * Constants are literature values for a 45 nm node (Horowitz ISSCC'14
+ * scaling, CACTI-class SRAM energies, DDR-class DRAM energies), the
+ * same toolchain class the paper uses (Synopsys DC + FreePDK45 +
+ * CACTI).
+ */
+#ifndef DITTO_HW_ENERGY_H
+#define DITTO_HW_ENERGY_H
+
+#include <cstdint>
+#include <string>
+
+namespace ditto {
+
+/** Per-operation energy constants in picojoules. */
+struct EnergyTable
+{
+    // Compute Unit.
+    double mult4x8 = 0.10;    //!< 4-bit x 8-bit multiply + tree share
+    double mult8x8 = 0.20;    //!< 8-bit multiply (two lanes + shift)
+    double accumulate = 0.03; //!< partial-sum register update per lane
+
+    // Encoding Unit: subtract + two comparators + reorder, per element.
+    double encodePerElem = 0.25;
+
+    // Vector Processing Unit: per elementwise op (incl. quant/dequant).
+    double vectorOp = 0.5;
+
+    // Defo Unit: per table access.
+    double defoAccess = 0.005;
+
+    // Memory.
+    double sramPerByte = 1.2;  //!< large-bank SRAM access
+    double dramPerByte = 160.0; //!< DDR-class DRAM access (~20 pJ/bit)
+
+    /**
+     * Fraction of the design's nominal power drawn regardless of
+     * activity (clock tree, leakage, control). Charged per cycle and
+     * reported as the staticIdle component.
+     */
+    double staticFraction = 0.45;
+};
+
+/** Energy consumption of one run, by component (Fig. 13 breakdown). */
+struct EnergyBreakdown
+{
+    double computeUnit = 0.0;
+    double encodingUnit = 0.0;
+    double vectorUnit = 0.0;
+    double defoUnit = 0.0;
+    double sram = 0.0;
+    double dram = 0.0;
+    double staticIdle = 0.0;
+
+    double
+    total() const
+    {
+        return computeUnit + encodingUnit + vectorUnit + defoUnit +
+               sram + dram + staticIdle;
+    }
+
+    void
+    merge(const EnergyBreakdown &o)
+    {
+        computeUnit += o.computeUnit;
+        encodingUnit += o.encodingUnit;
+        vectorUnit += o.vectorUnit;
+        defoUnit += o.defoUnit;
+        sram += o.sram;
+        dram += o.dram;
+        staticIdle += o.staticIdle;
+    }
+};
+
+/** Default 45 nm energy table. */
+const EnergyTable &defaultEnergyTable();
+
+/**
+ * Area estimate of a lane configuration in mm^2 (45 nm): multiplier
+ * lanes, adder trees, encoder share and SRAM macro. Used to reproduce
+ * the iso-area lane counts of Table III.
+ */
+double estimateCoreAreaMm2(int64_t lanes4, int64_t lanes8,
+                           bool with_encoder);
+
+} // namespace ditto
+
+#endif // DITTO_HW_ENERGY_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * GPU roofline model implementation.
+ */
+#include "hw/gpu_model.h"
+
+#include <algorithm>
+
+#include "hw/cost_model.h"
+
+namespace ditto {
+
+GpuResult
+simulateGpu(const ModelGraph &graph, int steps, const GpuConfig &cfg)
+{
+    double step_seconds = 0.0;
+    for (const Layer &l : graph.layers()) {
+        if (l.kind == OpKind::Input)
+            continue;
+        const double compute_s = l.isCompute()
+            ? static_cast<double>(l.macs) /
+                  (cfg.macTeraPerSec * 1.0e12 * cfg.utilization)
+            : static_cast<double>(l.vectorOps) /
+                  (cfg.vectorTeraPerSec * 1.0e12 * cfg.utilization);
+        const double bytes =
+            static_cast<double>(l.weightElems + l.inputElems +
+                                l.inputElems2 + l.outputElems);
+        const double mem_s = bytes / (cfg.bwGBs * 1.0e9);
+        step_seconds +=
+            std::max(compute_s, mem_s) + cfg.launchUs * 1.0e-6;
+    }
+    GpuResult r;
+    r.timeMs = step_seconds * 1.0e3 * steps;
+    r.energyJ = cfg.powerW * step_seconds * steps;
+    return r;
+}
+
+} // namespace ditto

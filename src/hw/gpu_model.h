@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Roofline model of the A100 GPU baseline.
+ *
+ * The paper measures real GPU latency (method of SpAtten [87]); a
+ * dedicated 1 GHz ASIC outruns the GPU on these small-batch diffusion
+ * workloads because the GPU reaches only a small fraction of its INT8
+ * tensor-core peak and pays a launch overhead per kernel. We model
+ * exactly those effects: a utilisation-derated roofline over compute
+ * and HBM bandwidth plus a fixed per-layer launch cost. Attention
+ * scores are materialised through HBM (the measurement predates
+ * fused-attention kernels in these pipelines).
+ */
+#ifndef DITTO_HW_GPU_MODEL_H
+#define DITTO_HW_GPU_MODEL_H
+
+#include "model/graph.h"
+
+namespace ditto {
+
+/** A100-class GPU parameters. */
+struct GpuConfig
+{
+    double macTeraPerSec = 312.0; //!< INT8 tensor-core peak (624 TOPS)
+    double utilization = 0.03;    //!< achieved fraction at batch 1
+    double vectorTeraPerSec = 19.5; //!< CUDA-core elementwise peak
+    double bwGBs = 1555.0;        //!< HBM2e bandwidth
+    double powerW = 300.0;        //!< average board power
+    double launchUs = 12.0;       //!< per-kernel launch + framework cost
+};
+
+/** GPU execution estimate for a full generation run. */
+struct GpuResult
+{
+    double timeMs = 0.0;
+    double energyJ = 0.0;
+};
+
+/** Estimate GPU latency/energy for `steps` denoising steps. */
+GpuResult simulateGpu(const ModelGraph &graph, int steps,
+                      const GpuConfig &cfg = {});
+
+} // namespace ditto
+
+#endif // DITTO_HW_GPU_MODEL_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Adder-tree PE implementation.
+ */
+#include "hw/pe.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ditto {
+
+AdderTreePe::AdderTreePe(int lanes) : lanes_(lanes)
+{
+    DITTO_ASSERT(lanes_ > 0 && lanes_ % 2 == 0,
+                 "PE lanes must be a positive even count (shifter pairs)");
+}
+
+PeRunResult
+AdderTreePe::run(const EncodedStream &stream,
+                 const std::function<int8_t(int32_t)> &weight_of) const
+{
+    PeRunResult result;
+    // Lanes execute in groups; each group is one cycle. Multiplies are
+    // 4/5-bit x 8-bit; the shifter applies <<4 to high slices before
+    // the adder tree, and the tree output accumulates in the partial
+    // sum register.
+    int64_t i = 0;
+    const auto n = static_cast<int64_t>(stream.lanes.size());
+    while (i < n) {
+        int64_t tree_sum = 0;
+        for (int l = 0; l < lanes_ && i < n; ++l, ++i) {
+            const LaneOperand &op = stream.lanes[static_cast<size_t>(i)];
+            const int64_t product =
+                static_cast<int64_t>(op.nibble) * weight_of(op.index);
+            tree_sum += op.highPart ? (product << 4) : product;
+        }
+        result.accumulator += tree_sum;
+        ++result.cycles;
+    }
+    return result;
+}
+
+} // namespace ditto

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Functional model of the Ditto Compute Unit PE (paper Section V-B,
+ * Fig. 12).
+ *
+ * Each PE is an adder-tree MAC unit with four 4-bit x 8-bit multiplier
+ * lanes; a shifter per lane pair applies <<4 to high slices so an 8-bit
+ * (or difference) operand occupies two lanes. Accumulation order is
+ * irrelevant for a dot product, so high/low slices of one value need
+ * not meet in the same tree stage — they combine in the partial-sum
+ * register, exactly as the hardware argues.
+ *
+ * The model consumes the lane stream an EncodingUnit produced plus a
+ * weight-lookup callback and returns both the numeric result (verified
+ * bit-exact against reference dot products in the tests) and the cycle
+ * count (ceil(lanes / laneCount)).
+ */
+#ifndef DITTO_HW_PE_H
+#define DITTO_HW_PE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "hw/encoding_unit.h"
+
+namespace ditto {
+
+/** Result of draining one lane stream through a PE. */
+struct PeRunResult
+{
+    int64_t accumulator = 0; //!< dot product of differences and weights
+    int64_t cycles = 0;      //!< ceil(laneSlots / lanes)
+};
+
+/** Adder-tree PE with a configurable lane count (4 in the paper). */
+class AdderTreePe
+{
+  public:
+    explicit AdderTreePe(int lanes = 4);
+
+    /**
+     * Drain a lane stream.
+     *
+     * @param stream encoded operands.
+     * @param weight_of maps an element index to its int8 weight operand.
+     */
+    PeRunResult run(const EncodedStream &stream,
+                    const std::function<int8_t(int32_t)> &weight_of) const;
+
+    int lanes() const { return lanes_; }
+
+  private:
+    int lanes_;
+};
+
+} // namespace ditto
+
+#endif // DITTO_HW_PE_H

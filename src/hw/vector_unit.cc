@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Vector Processing Unit implementation.
+ */
+#include "hw/vector_unit.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ditto {
+
+VectorUnit::VectorUnit(int64_t lanes) : lanes_(lanes)
+{
+    DITTO_ASSERT(lanes_ > 0, "VPU needs at least one lane");
+}
+
+void
+VectorUnit::charge(VectorUnitRun *run, int64_t ops) const
+{
+    if (!run)
+        return;
+    run->elementOps += ops;
+    run->cycles += ceilDiv(ops, lanes_);
+}
+
+FloatTensor
+VectorUnit::dequantize(const Int32Tensor &acc, float combined_scale,
+                       VectorUnitRun *run) const
+{
+    charge(run, acc.numel());
+    return dequantizeAccum(acc, combined_scale);
+}
+
+Int8Tensor
+VectorUnit::quantize(const FloatTensor &x, const QuantParams &params,
+                     VectorUnitRun *run) const
+{
+    charge(run, x.numel());
+    return ditto::quantize(x, params);
+}
+
+Int32Tensor
+VectorUnit::summation(const Int32Tensor &prev, const Int32Tensor &delta,
+                      VectorUnitRun *run) const
+{
+    charge(run, prev.numel());
+    return addInt32(prev, delta);
+}
+
+FloatTensor
+VectorUnit::silu(const FloatTensor &x, VectorUnitRun *run) const
+{
+    charge(run, 2 * x.numel()); // sigmoid + multiply
+    return ditto::silu(x);
+}
+
+FloatTensor
+VectorUnit::gelu(const FloatTensor &x, VectorUnitRun *run) const
+{
+    charge(run, 2 * x.numel());
+    return ditto::gelu(x);
+}
+
+FloatTensor
+VectorUnit::softmax(const FloatTensor &x, VectorUnitRun *run) const
+{
+    charge(run, 4 * x.numel()); // max + exp + sum + divide passes
+    return softmaxRows(x);
+}
+
+} // namespace ditto

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional model of the Vector Processing Unit (paper Section V-B).
+ *
+ * The VPU owns everything the MAC array does not: non-linear functions,
+ * quantization and dequantization, and the summation that merges a
+ * difference-processed partial result with the previous step's output.
+ * This functional model executes those operations on real tensors with
+ * the unit's lane-parallel cycle accounting, and is verified against
+ * the scalar quantizer and float kernels.
+ */
+#ifndef DITTO_HW_VECTOR_UNIT_H
+#define DITTO_HW_VECTOR_UNIT_H
+
+#include <cstdint>
+
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/** Result of one VPU operation. */
+struct VectorUnitRun
+{
+    int64_t cycles = 0;
+    int64_t elementOps = 0;
+};
+
+/** Lane-parallel vector unit for non-linear and (de)quant operations. */
+class VectorUnit
+{
+  public:
+    explicit VectorUnit(int64_t lanes = 16384);
+
+    /**
+     * Dequantize an int32 accumulator tensor with a combined scale.
+     */
+    FloatTensor dequantize(const Int32Tensor &acc, float combined_scale,
+                           VectorUnitRun *run = nullptr) const;
+
+    /** Quantize a float tensor to int8 codes. */
+    Int8Tensor quantize(const FloatTensor &x, const QuantParams &params,
+                        VectorUnitRun *run = nullptr) const;
+
+    /**
+     * Difference-processing summation: out = prev + delta on int32
+     * accumulators (the third stage of Fig. 7).
+     */
+    Int32Tensor summation(const Int32Tensor &prev,
+                          const Int32Tensor &delta,
+                          VectorUnitRun *run = nullptr) const;
+
+    /** SiLU on dequantized values. */
+    FloatTensor silu(const FloatTensor &x,
+                     VectorUnitRun *run = nullptr) const;
+
+    /** GeLU on dequantized values. */
+    FloatTensor gelu(const FloatTensor &x,
+                     VectorUnitRun *run = nullptr) const;
+
+    /** Row-wise softmax. */
+    FloatTensor softmax(const FloatTensor &x,
+                        VectorUnitRun *run = nullptr) const;
+
+    int64_t lanes() const { return lanes_; }
+
+  private:
+    int64_t lanes_;
+
+    void charge(VectorUnitRun *run, int64_t ops) const;
+};
+
+} // namespace ditto
+
+#endif // DITTO_HW_VECTOR_UNIT_H

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * GraphBuilder implementation.
+ */
+#include "model/builder.h"
+
+#include "common/logging.h"
+
+namespace ditto {
+
+namespace {
+
+/** VPU cost multipliers per elementwise op (relative to one element). */
+constexpr int64_t kNormCost = 4;     // mean + var + normalise passes
+constexpr int64_t kSoftmaxCost = 4;  // max + exp + sum + divide
+constexpr int64_t kActCost = 2;      // sigmoid/tanh lookup + multiply
+
+int64_t
+nonLinearCost(OpKind kind, int64_t elems)
+{
+    switch (kind) {
+      case OpKind::GroupNorm:
+      case OpKind::LayerNorm:
+        return elems * kNormCost;
+      case OpKind::Softmax:
+        return elems * kSoftmaxCost;
+      case OpKind::SiLU:
+      case OpKind::GeLU:
+        return elems * kActCost;
+      default:
+        DITTO_PANIC("nonLinear() called with non-VPU kind "
+                    << opKindName(kind));
+    }
+}
+
+} // namespace
+
+int
+GraphBuilder::input(const std::string &name, int64_t elems)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::Input;
+    l.outputElems = elems;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::conv2d(const std::string &name, int in, int64_t cin,
+                     int64_t cout, int64_t kernel, int64_t stride,
+                     int64_t padding, int64_t h, int64_t w)
+{
+    DITTO_ASSERT(cin > 0 && cout > 0 && kernel > 0 && stride > 0,
+                 "bad conv parameters for " << name);
+    const int64_t oh = (h + 2 * padding - kernel) / stride + 1;
+    const int64_t ow = (w + 2 * padding - kernel) / stride + 1;
+    DITTO_ASSERT(oh > 0 && ow > 0, "conv " << name << " output empty");
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::Conv2d;
+    l.inputs = {in};
+    l.inputElems = cin * h * w;
+    l.outputElems = cout * oh * ow;
+    l.weightElems = cout * cin * kernel * kernel;
+    l.macs = l.outputElems * cin * kernel * kernel;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::fc(const std::string &name, int in, int64_t rows,
+                 int64_t in_f, int64_t out_f, bool const_per_run)
+{
+    DITTO_ASSERT(rows > 0 && in_f > 0 && out_f > 0,
+                 "bad fc parameters for " << name);
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::Fc;
+    l.inputs = {in};
+    l.inputElems = rows * in_f;
+    l.outputElems = rows * out_f;
+    l.weightElems = in_f * out_f;
+    l.macs = rows * in_f * out_f;
+    l.constPerRun = const_per_run;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::attnQK(const std::string &name, int q, int k, int64_t tokens,
+                     int64_t dim, int64_t heads, int64_t batch)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::AttnQK;
+    l.inputs = {q, k};
+    l.inputElems = batch * tokens * dim; // Q
+    l.inputElems2 = batch * tokens * dim; // K
+    l.outputElems = batch * heads * tokens * tokens;
+    l.macs = batch * tokens * tokens * dim;
+    l.tokens = tokens;
+    l.dim = dim;
+    l.heads = heads;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::attnPV(const std::string &name, int p, int v, int64_t tokens,
+                     int64_t dim, int64_t heads, int64_t batch)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::AttnPV;
+    l.inputs = {p, v};
+    l.inputElems = batch * heads * tokens * tokens; // P
+    l.inputElems2 = batch * tokens * dim; // V
+    l.outputElems = batch * tokens * dim;
+    l.macs = batch * tokens * tokens * dim;
+    l.tokens = tokens;
+    l.dim = dim;
+    l.heads = heads;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::crossQK(const std::string &name, int q, int64_t tokens,
+                      int64_t ctx_tokens, int64_t dim, int64_t heads,
+                      int64_t batch)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::CrossQK;
+    l.inputs = {q};
+    l.inputElems = batch * tokens * dim;
+    l.outputElems = batch * heads * tokens * ctx_tokens;
+    l.weightElems = ctx_tokens * dim; // constant K'
+    l.macs = batch * tokens * ctx_tokens * dim;
+    l.tokens = tokens;
+    l.dim = dim;
+    l.heads = heads;
+    l.ctxTokens = ctx_tokens;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::crossPV(const std::string &name, int p, int64_t tokens,
+                      int64_t ctx_tokens, int64_t dim, int64_t heads,
+                      int64_t batch)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::CrossPV;
+    l.inputs = {p};
+    l.inputElems = batch * heads * tokens * ctx_tokens;
+    l.outputElems = batch * tokens * dim;
+    l.weightElems = ctx_tokens * dim; // constant V'
+    l.macs = batch * tokens * ctx_tokens * dim;
+    l.tokens = tokens;
+    l.dim = dim;
+    l.heads = heads;
+    l.ctxTokens = ctx_tokens;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::nonLinear(const std::string &name, OpKind kind, int in,
+                        int64_t elems)
+{
+    DITTO_ASSERT(isNonLinear(kind), "nonLinear() with non-VPU kind");
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.inputs = {in};
+    l.inputElems = elems;
+    l.outputElems = elems;
+    l.vectorOps = nonLinearCost(kind, elems);
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::add(const std::string &name, int a, int b, int64_t elems)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::Add;
+    l.inputs = {a, b};
+    l.inputElems = elems;
+    l.outputElems = elems;
+    l.vectorOps = elems;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::scale(const std::string &name, int in, int64_t elems)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::Scale;
+    l.inputs = {in};
+    l.inputElems = elems;
+    l.outputElems = elems;
+    l.vectorOps = 2 * elems; // multiply + shift
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::concat(const std::string &name, int a, int b,
+                     int64_t out_elems)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::Concat;
+    l.inputs = {a, b};
+    l.inputElems = out_elems;
+    l.outputElems = out_elems;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::upsample(const std::string &name, int in, int64_t out_elems)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::Upsample;
+    l.inputs = {in};
+    l.inputElems = out_elems / 4;
+    l.outputElems = out_elems;
+    l.vectorOps = out_elems;
+    return graph_.addLayer(std::move(l));
+}
+
+int
+GraphBuilder::pool(const std::string &name, int in, int64_t out_elems)
+{
+    Layer l;
+    l.name = name;
+    l.kind = OpKind::Pool;
+    l.inputs = {in};
+    l.inputElems = out_elems * 4;
+    l.outputElems = out_elems;
+    l.vectorOps = out_elems * 4;
+    return graph_.addLayer(std::move(l));
+}
+
+} // namespace ditto

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Convenience builder for denoising-model graphs.
+ *
+ * Wraps ModelGraph::addLayer with per-kind helpers that derive element
+ * counts, MACs and weight sizes from natural layer parameters, so the
+ * model definitions in unet.cc / transformer.cc read like network
+ * configuration files.
+ */
+#ifndef DITTO_MODEL_BUILDER_H
+#define DITTO_MODEL_BUILDER_H
+
+#include <string>
+#include <utility>
+
+#include "model/graph.h"
+
+namespace ditto {
+
+/** Fluent layer-graph construction helper. */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(std::string name) : graph_(std::move(name)) {}
+
+    /** Graph input (noisy latent, time embedding, context). */
+    int input(const std::string &name, int64_t elems);
+
+    /**
+     * 2-D convolution with square kernel.
+     *
+     * @param h,w input spatial extent; output extent follows from
+     *        stride/padding like Conv2dParams::outExtent.
+     * @return layer id.
+     */
+    int conv2d(const std::string &name, int in, int64_t cin, int64_t cout,
+               int64_t kernel, int64_t stride, int64_t padding, int64_t h,
+               int64_t w);
+
+    /** Fully-connected layer on `rows` independent rows. */
+    int fc(const std::string &name, int in, int64_t rows, int64_t in_f,
+           int64_t out_f, bool const_per_run = false);
+
+    /** Self-attention Q x K^T (batch x heads x tokens x tokens output). */
+    int attnQK(const std::string &name, int q, int k, int64_t tokens,
+               int64_t dim, int64_t heads, int64_t batch = 1);
+
+    /** Self-attention P x V. */
+    int attnPV(const std::string &name, int p, int v, int64_t tokens,
+               int64_t dim, int64_t heads, int64_t batch = 1);
+
+    /** Cross-attention Q x K'^T with constant K' treated as weight. */
+    int crossQK(const std::string &name, int q, int64_t tokens,
+                int64_t ctx_tokens, int64_t dim, int64_t heads,
+                int64_t batch = 1);
+
+    /** Cross-attention P x V' with constant V' treated as weight. */
+    int crossPV(const std::string &name, int p, int64_t tokens,
+                int64_t ctx_tokens, int64_t dim, int64_t heads,
+                int64_t batch = 1);
+
+    /** Non-linear function over `elems` elements. */
+    int nonLinear(const std::string &name, OpKind kind, int in,
+                  int64_t elems);
+
+    /** Elementwise sum of two producers. */
+    int add(const std::string &name, int a, int b, int64_t elems);
+
+    /** adaLN-style modulation x * (1 + scale) + shift. */
+    int scale(const std::string &name, int in, int64_t elems);
+
+    /** Channel concatenation of two producers. */
+    int concat(const std::string &name, int a, int b, int64_t out_elems);
+
+    /** Nearest-neighbour 2x upsample. */
+    int upsample(const std::string &name, int in, int64_t out_elems);
+
+    /** Average pooling. */
+    int pool(const std::string &name, int in, int64_t out_elems);
+
+    ModelGraph take() { return std::move(graph_); }
+
+    const ModelGraph &graph() const { return graph_; }
+
+  private:
+    ModelGraph graph_;
+};
+
+} // namespace ditto
+
+#endif // DITTO_MODEL_BUILDER_H

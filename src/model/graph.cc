@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Graph implementation and Defo static dependency analysis.
+ */
+#include "model/graph.h"
+
+#include "common/logging.h"
+
+namespace ditto {
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Conv2d: return "Conv2d";
+      case OpKind::Fc: return "FC";
+      case OpKind::AttnQK: return "AttnQK";
+      case OpKind::AttnPV: return "AttnPV";
+      case OpKind::CrossQK: return "CrossQK";
+      case OpKind::CrossPV: return "CrossPV";
+      case OpKind::GroupNorm: return "GroupNorm";
+      case OpKind::LayerNorm: return "LayerNorm";
+      case OpKind::SiLU: return "SiLU";
+      case OpKind::GeLU: return "GeLU";
+      case OpKind::Softmax: return "Softmax";
+      case OpKind::Add: return "Add";
+      case OpKind::Scale: return "Scale";
+      case OpKind::Concat: return "Concat";
+      case OpKind::Upsample: return "Upsample";
+      case OpKind::Pool: return "Pool";
+      case OpKind::Input: return "Input";
+    }
+    DITTO_PANIC("unknown OpKind");
+}
+
+bool
+isComputeOp(OpKind k)
+{
+    switch (k) {
+      case OpKind::Conv2d:
+      case OpKind::Fc:
+      case OpKind::AttnQK:
+      case OpKind::AttnPV:
+      case OpKind::CrossQK:
+      case OpKind::CrossPV:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isWeightStationary(OpKind k)
+{
+    switch (k) {
+      case OpKind::Conv2d:
+      case OpKind::Fc:
+      case OpKind::CrossQK:
+      case OpKind::CrossPV:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isDynamicAttention(OpKind k)
+{
+    return k == OpKind::AttnQK || k == OpKind::AttnPV;
+}
+
+bool
+isNonLinear(OpKind k)
+{
+    switch (k) {
+      case OpKind::GroupNorm:
+      case OpKind::LayerNorm:
+      case OpKind::SiLU:
+      case OpKind::GeLU:
+      case OpKind::Softmax:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isDiffTransparent(OpKind k)
+{
+    // d(a + b) = da + db, d(concat) = concat(d), d(upsample) = upsample(d),
+    // d(avg pool) = avg pool(d). Scale (adaLN modulation) multiplies by a
+    // per-step constant; the multiplicative part is linear in the input so
+    // a difference passes through scaled — but the shift term cancels in
+    // the difference, so Scale is transparent for differences as long as
+    // the scale factor of the *current* step is applied. We model it as
+    // transparent (the VPU applies the scale to the difference).
+    switch (k) {
+      case OpKind::Add:
+      case OpKind::Scale:
+      case OpKind::Concat:
+      case OpKind::Upsample:
+      case OpKind::Pool:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+ModelGraph::addLayer(Layer layer)
+{
+    const int id = static_cast<int>(layers_.size());
+    layer.id = id;
+    for (int in : layer.inputs) {
+        DITTO_ASSERT(in >= 0 && in < id,
+                     "layer '" << layer.name
+                               << "' references a later/unknown producer");
+        consumers_[in].push_back(id);
+    }
+    layers_.push_back(std::move(layer));
+    consumers_.emplace_back();
+    return id;
+}
+
+const Layer &
+ModelGraph::layer(int id) const
+{
+    DITTO_ASSERT(id >= 0 && id < numLayers(), "layer id out of range");
+    return layers_[id];
+}
+
+const std::vector<int> &
+ModelGraph::consumers(int id) const
+{
+    DITTO_ASSERT(id >= 0 && id < numLayers(), "layer id out of range");
+    return consumers_[id];
+}
+
+int64_t
+ModelGraph::totalMacs() const
+{
+    int64_t total = 0;
+    for (const Layer &l : layers_)
+        total += l.macs;
+    return total;
+}
+
+int64_t
+ModelGraph::totalVectorOps() const
+{
+    int64_t total = 0;
+    for (const Layer &l : layers_)
+        total += l.vectorOps;
+    return total;
+}
+
+int
+ModelGraph::numComputeLayers() const
+{
+    int n = 0;
+    for (const Layer &l : layers_)
+        if (l.isCompute())
+            ++n;
+    return n;
+}
+
+int64_t
+ModelGraph::totalWeightElems() const
+{
+    int64_t total = 0;
+    for (const Layer &l : layers_)
+        total += l.weightElems;
+    return total;
+}
+
+std::vector<LayerDependency>
+ModelGraph::analyzeDependencies() const
+{
+    std::vector<LayerDependency> deps(layers_.size());
+
+    // Upstream walk: does the dynamic input of a compute layer reach a
+    // full-value source (non-linear output or graph input) before hitting
+    // another compute layer? Structural ops are transparent.
+    auto inputIsFullValue = [&](int id, auto &&self,
+                                std::vector<OpKind> *boundary) -> bool {
+        bool any_full = false;
+        for (int in : layers_[id].inputs) {
+            const Layer &p = layers_[in];
+            if (p.isCompute()) {
+                // Producer is a compute layer: under difference
+                // processing it emits a difference directly.
+                continue;
+            }
+            if (isNonLinear(p.kind) || p.kind == OpKind::Input) {
+                any_full = true;
+                if (boundary)
+                    boundary->push_back(p.kind);
+                continue;
+            }
+            DITTO_ASSERT(isDiffTransparent(p.kind),
+                         "unhandled producer kind");
+            if (self(in, self, boundary))
+                any_full = true;
+        }
+        return any_full;
+    };
+
+    // Downstream walk: does any consumer require full values? Non-linear
+    // functions need original data; dynamic attention needs both the full
+    // previous-step operand and the difference (Section IV-A), so its
+    // producers must materialise full values too. The graph output (no
+    // consumers) is full-value by definition (the sampler consumes it).
+    auto outputNeedsFullValue = [&](int id, auto &&self,
+                                    std::vector<OpKind> *boundary) -> bool {
+        if (consumers_[id].empty())
+            return true;
+        bool any_full = false;
+        for (int c : consumers_[id]) {
+            const Layer &consumer = layers_[c];
+            if (isNonLinear(consumer.kind) ||
+                isDynamicAttention(consumer.kind)) {
+                any_full = true;
+                if (boundary)
+                    boundary->push_back(consumer.kind);
+                continue;
+            }
+            if (consumer.isCompute())
+                continue; // weight-stationary: consumes differences
+            DITTO_ASSERT(isDiffTransparent(consumer.kind),
+                         "unhandled consumer kind");
+            if (self(c, self, boundary))
+                any_full = true;
+        }
+        return any_full;
+    };
+
+    for (const Layer &l : layers_) {
+        if (!l.isCompute())
+            continue;
+        LayerDependency &d = deps[l.id];
+        d.boundaryNonLinears.clear();
+        d.diffCalcNeeded =
+            inputIsFullValue(l.id, inputIsFullValue,
+                             &d.boundaryNonLinears);
+        d.summationNeeded =
+            outputNeedsFullValue(l.id, outputNeedsFullValue,
+                                 &d.boundaryNonLinears);
+    }
+    return deps;
+}
+
+int
+ModelGraph::findLayer(const std::string &name) const
+{
+    for (const Layer &l : layers_)
+        if (l.name == name)
+            return l.id;
+    return -1;
+}
+
+} // namespace ditto

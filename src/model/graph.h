@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Denoising-model graph: layers in topological order plus the
+ * dependency analysis Defo's static pass relies on (Section IV-B).
+ */
+#ifndef DITTO_MODEL_GRAPH_H
+#define DITTO_MODEL_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/layer.h"
+
+namespace ditto {
+
+/**
+ * Per-layer results of the static dependency analysis.
+ *
+ * For a compute layer executed with temporal differences:
+ *  - `diffCalcNeeded`: its dynamic input arrives as full values (from a
+ *    non-linear function or a graph input), so the Encoding Unit must
+ *    load the previous step's input and subtract. If the input instead
+ *    arrives from another compute layer (possibly through structural
+ *    ops), the producer's output *is already a difference* and the
+ *    subtraction — and its memory traffic — is bypassed.
+ *  - `summationNeeded`: at least one consumer requires full values (a
+ *    non-linear function, a dynamic attention operand, or the graph
+ *    output), so the previous step's output must be loaded and added.
+ *
+ * The naive algorithm (no dependency check) performs both around every
+ * compute layer; the difference between the two policies is the memory
+ * overhead Fig. 8 and Fig. 14 quantify.
+ */
+struct LayerDependency
+{
+    bool diffCalcNeeded = true;
+    bool summationNeeded = true;
+    /** Non-linear kinds adjacent to this layer (for sign-mask modelling:
+     *  Cambricon-D can only bypass SiLU and GroupNorm boundaries). */
+    std::vector<OpKind> boundaryNonLinears;
+};
+
+/**
+ * A complete denoising model graph in topological order.
+ */
+class ModelGraph
+{
+  public:
+    explicit ModelGraph(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Append a layer; returns its id. Inputs must already exist. */
+    int addLayer(Layer layer);
+
+    const std::vector<Layer> &layers() const { return layers_; }
+    const Layer &layer(int id) const;
+    int numLayers() const { return static_cast<int>(layers_.size()); }
+
+    /** Ids of layers consuming layer `id`'s output. */
+    const std::vector<int> &consumers(int id) const;
+
+    /** Total MACs over all compute layers (one denoising step). */
+    int64_t totalMacs() const;
+
+    /** Total elementwise ops over all vector layers. */
+    int64_t totalVectorOps() const;
+
+    /** Number of compute (Compute Unit) layers. */
+    int numComputeLayers() const;
+
+    /** Total weight elements (model size in A8W8 bytes). */
+    int64_t totalWeightElems() const;
+
+    /**
+     * Static dependency analysis (Defo's compile-time pass).
+     *
+     * Walks producers/consumers through diff-transparent structural ops
+     * and decides, per compute layer, whether difference calculation and
+     * summation are really required at its boundaries.
+     */
+    std::vector<LayerDependency> analyzeDependencies() const;
+
+    /** Find a layer id by exact name; -1 when absent. */
+    int findLayer(const std::string &name) const;
+
+  private:
+    std::string name_;
+    std::vector<Layer> layers_;
+    std::vector<std::vector<int>> consumers_;
+};
+
+} // namespace ditto
+
+#endif // DITTO_MODEL_GRAPH_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Layer-level intermediate representation of denoising models.
+ *
+ * The Ditto algorithm and hardware only need each layer's *kind*
+ * (linear / attention / non-linear), its operand geometry (element
+ * counts, MACs), and its dependencies. This IR captures exactly that;
+ * the seven evaluated models (Table I of the paper) are built as graphs
+ * of these layers by the builders in unet.h and transformer.h.
+ */
+#ifndef DITTO_MODEL_LAYER_H
+#define DITTO_MODEL_LAYER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ditto {
+
+/**
+ * Operation kinds.
+ *
+ * Linear kinds execute on the Compute Unit and are candidates for
+ * difference processing; non-linear kinds execute on the Vector
+ * Processing Unit and force full-value materialisation at their
+ * boundaries. Structural kinds (Add/Concat/Chunk) are linear in the
+ * algebraic sense — a difference flows through them unchanged — and are
+ * modelled on the VPU with negligible cost.
+ */
+enum class OpKind
+{
+    // Weight-stationary linear layers (difference processing, Fig. 7).
+    Conv2d,
+    Fc,
+    // Attention matmuls between two dynamic operands (Section IV-A).
+    AttnQK,     //!< Q x K^T, both operands change across time steps
+    AttnPV,     //!< P x V, both operands change across time steps
+    // Cross-attention matmuls whose K'/V' context operand is constant
+    // across time steps and is therefore treated as a weight.
+    CrossQK,
+    CrossPV,
+    // Non-linear functions (Vector Processing Unit).
+    GroupNorm,
+    LayerNorm,
+    SiLU,
+    GeLU,
+    Softmax,
+    // Structural / elementwise ops; linear w.r.t. differences.
+    Add,
+    Scale,      //!< adaLN modulation: x * (1 + scale) + shift
+    Concat,
+    Upsample,
+    Pool,
+    Input,      //!< graph input placeholder (x_t, time embedding, context)
+};
+
+/** Human-readable name of an OpKind. */
+const char *opKindName(OpKind k);
+
+/** True for layers executed on the Compute Unit (MAC arrays). */
+bool isComputeOp(OpKind k);
+
+/** True for weight-stationary linear layers (Conv2d/Fc/CrossQK/CrossPV). */
+bool isWeightStationary(OpKind k);
+
+/** True for the dynamic-dynamic attention matmuls (AttnQK/AttnPV). */
+bool isDynamicAttention(OpKind k);
+
+/** True for non-linear functions that require full (original) values. */
+bool isNonLinear(OpKind k);
+
+/** True for structural ops through which a difference passes unchanged. */
+bool isDiffTransparent(OpKind k);
+
+/**
+ * One layer (node) of a denoising-model graph.
+ *
+ * Element counts are per network evaluation (one denoising step, batch
+ * already applied). `macs` counts multiply-accumulates for compute ops;
+ * `vectorOps` counts elementwise operations for VPU ops.
+ */
+struct Layer
+{
+    int id = -1;
+    std::string name;
+    OpKind kind = OpKind::Input;
+
+    /** Producer layer ids. Empty for graph inputs. */
+    std::vector<int> inputs;
+
+    int64_t inputElems = 0;   //!< elements of the primary dynamic operand
+    int64_t inputElems2 = 0;  //!< second dynamic operand (AttnQK/AttnPV)
+    int64_t outputElems = 0;  //!< elements produced
+    int64_t weightElems = 0;  //!< static operand elements (incl. K'/V')
+    int64_t macs = 0;         //!< multiply-accumulates (compute ops)
+    int64_t vectorOps = 0;    //!< elementwise operations (VPU ops)
+
+    /** Attention geometry; only meaningful for attention kinds. */
+    int64_t tokens = 0;
+    int64_t dim = 0;
+    int64_t heads = 0;
+    int64_t ctxTokens = 0;
+
+    /**
+     * True for layers whose output is constant across time steps (e.g.
+     * the FC layers projecting the cross-attention context to K'/V').
+     * They execute once per image generation, not once per step.
+     */
+    bool constPerRun = false;
+
+    bool isCompute() const { return isComputeOp(kind); }
+    bool isVector() const { return !isComputeOp(kind); }
+};
+
+} // namespace ditto
+
+#endif // DITTO_MODEL_LAYER_H

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * DiT / Latte builder implementation.
+ */
+#include "model/transformer.h"
+
+#include "common/logging.h"
+#include "model/builder.h"
+
+namespace ditto {
+
+namespace {
+
+/** Mutable build state for the transformer builders. */
+struct DitBuild
+{
+    const DitConfig &cfg;
+    GraphBuilder b;
+    int cond = -1;          //!< conditioning embedding (time + class)
+    int64_t allTokens = 0;  //!< tokens across all frames
+
+    explicit DitBuild(const DitConfig &cfg_) : cfg(cfg_), b(cfg_.name) {}
+};
+
+/**
+ * One adaLN transformer block.
+ *
+ * @param attn_tokens tokens participating in one attention instance.
+ * @param attn_batch independent attention instances (frames for spatial
+ *        attention, spatial positions for temporal attention).
+ */
+int
+adaLnBlock(DitBuild &u, const std::string &name, int x,
+           int64_t attn_tokens, int64_t attn_batch)
+{
+    const DitConfig &cfg = u.cfg;
+    const int64_t d = cfg.hidden;
+    const int64_t rows = u.allTokens;
+    const int64_t elems = rows * d;
+
+    // adaLN modulation: SiLU -> FC producing 6 per-channel vectors.
+    int m = u.b.nonLinear(name + ".ada_silu", OpKind::SiLU, u.cond, d);
+    m = u.b.fc(name + ".adaLN", m, 1, d, 6 * d);
+    (void)m; // modulation parameters feed the Scale layers below
+
+    // Attention half-block.
+    int h = u.b.nonLinear(name + ".ln1", OpKind::LayerNorm, x, elems);
+    h = u.b.scale(name + ".mod_msa", h, elems);
+    const int q = u.b.fc(name + ".q", h, rows, d, d);
+    const int k = u.b.fc(name + ".k", h, rows, d, d);
+    const int v = u.b.fc(name + ".v", h, rows, d, d);
+    int a = u.b.attnQK(name + ".qk", q, k, attn_tokens, d, cfg.heads,
+                       attn_batch);
+    a = u.b.nonLinear(name + ".softmax", OpKind::Softmax, a,
+                      attn_batch * cfg.heads * attn_tokens * attn_tokens);
+    a = u.b.attnPV(name + ".pv", a, v, attn_tokens, d, cfg.heads,
+                   attn_batch);
+    a = u.b.fc(name + ".proj", a, rows, d, d);
+    a = u.b.scale(name + ".gate_msa", a, elems);
+    int res = u.b.add(name + ".res1", a, x, elems);
+
+    // MLP half-block.
+    int f = u.b.nonLinear(name + ".ln2", OpKind::LayerNorm, res, elems);
+    f = u.b.scale(name + ".mod_mlp", f, elems);
+    f = u.b.fc(name + ".mlp1", f, rows, d, cfg.mlpRatio * d);
+    f = u.b.nonLinear(name + ".gelu", OpKind::GeLU, f,
+                      rows * cfg.mlpRatio * d);
+    f = u.b.fc(name + ".mlp2", f, rows, cfg.mlpRatio * d, d);
+    f = u.b.scale(name + ".gate_mlp", f, elems);
+    return u.b.add(name + ".res2", f, res, elems);
+}
+
+} // namespace
+
+ModelGraph
+buildDit(const DitConfig &cfg)
+{
+    DITTO_ASSERT(cfg.latentRes % cfg.patch == 0,
+                 "patch must divide the latent resolution");
+    DitBuild u(cfg);
+
+    const int64_t side = cfg.latentRes / cfg.patch;
+    const int64_t frame_tokens = side * side;
+    u.allTokens = cfg.frames * frame_tokens;
+    const int64_t patch_dim = cfg.latentCh * cfg.patch * cfg.patch;
+    const int64_t d = cfg.hidden;
+
+    // Conditioning embedding (timestep + class / text pooled).
+    int c = u.b.input("cond_in", d);
+    c = u.b.fc("cond.fc1", c, 1, d, d);
+    c = u.b.nonLinear("cond.silu", OpKind::SiLU, c, d);
+    u.cond = u.b.fc("cond.fc2", c, 1, d, d);
+
+    // Patchify: linear projection of non-overlapping patches.
+    const int x_in = u.b.input(
+        "x", cfg.frames * cfg.latentCh * cfg.latentRes * cfg.latentRes);
+    int h = u.b.fc("patchify", x_in, u.allTokens, patch_dim, d);
+
+    for (int64_t blk = 0; blk < cfg.depth; ++blk) {
+        const bool temporal = cfg.frames > 1 && (blk % 2 == 1);
+        const std::string nm = (temporal ? "tblock." : "block.") +
+                               std::to_string(blk);
+        if (temporal) {
+            // Latte temporal block: attention across frames at each
+            // spatial location.
+            h = adaLnBlock(u, nm, h, cfg.frames, frame_tokens);
+        } else {
+            // Spatial block: attention within each frame.
+            h = adaLnBlock(u, nm, h, frame_tokens, cfg.frames);
+        }
+    }
+
+    // Final layer: LN -> modulate -> linear to patch pixels (noise and
+    // per-channel sigma, hence the factor 2).
+    const int64_t elems = u.allTokens * d;
+    h = u.b.nonLinear("final.ln", OpKind::LayerNorm, h, elems);
+    h = u.b.scale("final.mod", h, elems);
+    u.b.fc("final.proj", h, u.allTokens, d, 2 * patch_dim);
+
+    return u.b.take();
+}
+
+} // namespace ditto

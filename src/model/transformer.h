@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Diffusion-transformer denoising-model builders (DiT, Latte).
+ *
+ * Both models follow the adaLN transformer block of Fig. 2 (right): a
+ * per-block FC produces six modulation vectors from the conditioning
+ * embedding; each half-block is LN -> modulate -> linear stack ->
+ * gate -> residual add. Latte additionally alternates spatial blocks
+ * (attention within each video frame) with temporal blocks (attention
+ * across frames at each spatial location).
+ */
+#ifndef DITTO_MODEL_TRANSFORMER_H
+#define DITTO_MODEL_TRANSFORMER_H
+
+#include <cstdint>
+#include <string>
+
+#include "model/graph.h"
+
+namespace ditto {
+
+/** Configuration of a DiT-style diffusion transformer. */
+struct DitConfig
+{
+    std::string name = "DiT-XL/2";
+    int64_t latentRes = 32;    //!< latent spatial extent
+    int64_t latentCh = 4;      //!< latent channels
+    int64_t patch = 2;         //!< patch size
+    int64_t hidden = 1152;     //!< model width
+    int64_t depth = 28;        //!< transformer blocks
+    int64_t heads = 16;
+    int64_t mlpRatio = 4;
+    int64_t frames = 1;        //!< >1 enables Latte's factorised attention
+};
+
+/** Build a DiT / Latte layer graph. */
+ModelGraph buildDit(const DitConfig &cfg);
+
+} // namespace ditto
+
+#endif // DITTO_MODEL_TRANSFORMER_H

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * UNet builder implementation.
+ */
+#include "model/unet.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "model/builder.h"
+
+namespace ditto {
+
+namespace {
+
+/** A saved skip-connection operand. */
+struct SkipEntry
+{
+    int id;
+    int64_t ch;
+    int64_t res;
+};
+
+/** Mutable build state threaded through the helper functions. */
+struct UnetBuild
+{
+    const UnetConfig &cfg;
+    GraphBuilder b;
+    int temb = -1;        //!< time-embedding layer id
+    int64_t tembDim = 0;
+    int context = -1;     //!< cross-attention context input id (or -1)
+
+    explicit UnetBuild(const UnetConfig &cfg_)
+        : cfg(cfg_), b(cfg_.name)
+    {}
+};
+
+/**
+ * Residual block: GN-SiLU-conv3x3, time-embedding injection,
+ * GN-SiLU-conv3x3, and a 1x1 skip convolution when channels change.
+ */
+int
+resBlock(UnetBuild &u, const std::string &name, int x, int64_t cin,
+         int64_t cout, int64_t res)
+{
+    const int64_t in_elems = cin * res * res;
+    const int64_t out_elems = cout * res * res;
+    int h = u.b.nonLinear(name + ".norm1", OpKind::GroupNorm, x, in_elems);
+    h = u.b.nonLinear(name + ".silu1", OpKind::SiLU, h, in_elems);
+    h = u.b.conv2d(name + ".conv1", h, cin, cout, 3, 1, 1, res, res);
+
+    // Per-block time-embedding projection, broadcast-added per channel.
+    int t = u.b.nonLinear(name + ".temb_silu", OpKind::SiLU, u.temb,
+                          u.tembDim);
+    t = u.b.fc(name + ".temb_proj", t, 1, u.tembDim, cout);
+    h = u.b.add(name + ".temb_add", h, t, out_elems);
+
+    h = u.b.nonLinear(name + ".norm2", OpKind::GroupNorm, h, out_elems);
+    h = u.b.nonLinear(name + ".silu2", OpKind::SiLU, h, out_elems);
+    h = u.b.conv2d(name + ".conv2", h, cout, cout, 3, 1, 1, res, res);
+
+    int skip = x;
+    if (cin != cout)
+        skip = u.b.conv2d(name + ".skip", x, cin, cout, 1, 1, 0, res, res);
+    return u.b.add(name + ".out", h, skip, out_elems);
+}
+
+/** Plain single-head attention block (DDPM / unconditional LDM). */
+int
+plainAttnBlock(UnetBuild &u, const std::string &name, int x, int64_t ch,
+               int64_t res)
+{
+    const int64_t elems = ch * res * res;
+    const int64_t tokens = res * res;
+    int h = u.b.nonLinear(name + ".norm", OpKind::GroupNorm, x, elems);
+    const int q = u.b.conv2d(name + ".q", h, ch, ch, 1, 1, 0, res, res);
+    const int k = u.b.conv2d(name + ".k", h, ch, ch, 1, 1, 0, res, res);
+    const int v = u.b.conv2d(name + ".v", h, ch, ch, 1, 1, 0, res, res);
+    int a = u.b.attnQK(name + ".qk", q, k, tokens, ch, 1);
+    a = u.b.nonLinear(name + ".softmax", OpKind::Softmax, a,
+                      tokens * tokens);
+    a = u.b.attnPV(name + ".pv", a, v, tokens, ch, 1);
+    a = u.b.conv2d(name + ".proj", a, ch, ch, 1, 1, 0, res, res);
+    return u.b.add(name + ".out", a, x, elems);
+}
+
+/**
+ * Conditional latent diffusion transformer block (Fig. 2, second
+ * column): GN + proj-in, self attention, cross attention against a
+ * constant context, GeLU MLP, proj-out. The context K'/V' projections
+ * are constant across time steps (constPerRun) and the cross-attention
+ * matmuls treat them as weights (Section IV-A).
+ */
+int
+transformerBlock(UnetBuild &u, const std::string &name, int x, int64_t ch,
+                 int64_t res)
+{
+    const UnetConfig &cfg = u.cfg;
+    const int64_t elems = ch * res * res;
+    const int64_t tokens = res * res;
+    const int64_t heads = std::max<int64_t>(1, ch / cfg.headDim);
+
+    int h = u.b.nonLinear(name + ".norm", OpKind::GroupNorm, x, elems);
+    h = u.b.conv2d(name + ".proj_in", h, ch, ch, 1, 1, 0, res, res);
+    const int inner = h;
+
+    // Self attention.
+    int s = u.b.nonLinear(name + ".ln1", OpKind::LayerNorm, h, elems);
+    const int q = u.b.fc(name + ".self.q", s, tokens, ch, ch);
+    const int k = u.b.fc(name + ".self.k", s, tokens, ch, ch);
+    const int v = u.b.fc(name + ".self.v", s, tokens, ch, ch);
+    int a = u.b.attnQK(name + ".self.qk", q, k, tokens, ch, heads);
+    a = u.b.nonLinear(name + ".self.softmax", OpKind::Softmax, a,
+                      heads * tokens * tokens);
+    a = u.b.attnPV(name + ".self.pv", a, v, tokens, ch, heads);
+    a = u.b.fc(name + ".self.out", a, tokens, ch, ch);
+    h = u.b.add(name + ".self.res", a, h, elems);
+
+    // Cross attention; K'/V' constant across steps.
+    int c = u.b.nonLinear(name + ".ln2", OpKind::LayerNorm, h, elems);
+    const int cq = u.b.fc(name + ".cross.q", c, tokens, ch, ch);
+    u.b.fc(name + ".cross.k", u.context, cfg.ctxTokens, cfg.ctxDim, ch,
+           /*const_per_run=*/true);
+    u.b.fc(name + ".cross.v", u.context, cfg.ctxTokens, cfg.ctxDim, ch,
+           /*const_per_run=*/true);
+    int ca = u.b.crossQK(name + ".cross.qk", cq, tokens, cfg.ctxTokens,
+                         ch, heads);
+    ca = u.b.nonLinear(name + ".cross.softmax", OpKind::Softmax, ca,
+                       heads * tokens * cfg.ctxTokens);
+    ca = u.b.crossPV(name + ".cross.pv", ca, tokens, cfg.ctxTokens, ch,
+                     heads);
+    ca = u.b.fc(name + ".cross.out", ca, tokens, ch, ch);
+    h = u.b.add(name + ".cross.res", ca, h, elems);
+
+    // Feed-forward MLP.
+    int f = u.b.nonLinear(name + ".ln3", OpKind::LayerNorm, h, elems);
+    f = u.b.fc(name + ".ff1", f, tokens, ch, 4 * ch);
+    f = u.b.nonLinear(name + ".gelu", OpKind::GeLU, f,
+                      tokens * 4 * ch);
+    f = u.b.fc(name + ".ff2", f, tokens, 4 * ch, ch);
+    h = u.b.add(name + ".ff.res", f, h, elems);
+
+    h = u.b.conv2d(name + ".proj_out", h, ch, ch, 1, 1, 0, res, res);
+    return u.b.add(name + ".out", h, inner, elems);
+}
+
+/** Dispatch to the configured attention style. */
+int
+attnStage(UnetBuild &u, const std::string &name, int x, int64_t ch,
+          int64_t res)
+{
+    if (u.cfg.transformerBlocks)
+        return transformerBlock(u, name, x, ch, res);
+    return plainAttnBlock(u, name, x, ch, res);
+}
+
+bool
+hasAttnAt(const UnetConfig &cfg, int64_t res)
+{
+    return std::find(cfg.attnResolutions.begin(),
+                     cfg.attnResolutions.end(),
+                     res) != cfg.attnResolutions.end();
+}
+
+} // namespace
+
+ModelGraph
+buildUnet(const UnetConfig &cfg)
+{
+    DITTO_ASSERT(!cfg.chMult.empty(), "UNet needs at least one level");
+    DITTO_ASSERT(!cfg.transformerBlocks ||
+                 (cfg.ctxTokens > 0 && cfg.ctxDim > 0),
+                 "transformer blocks need a context");
+    UnetBuild u(cfg);
+
+    // Time embedding: sinusoidal input -> MLP, shared by all res blocks.
+    u.tembDim = 4 * cfg.baseCh;
+    int t = u.b.input("temb_in", cfg.baseCh);
+    t = u.b.fc("temb.fc1", t, 1, cfg.baseCh, u.tembDim);
+    t = u.b.nonLinear("temb.silu", OpKind::SiLU, t, u.tembDim);
+    u.temb = u.b.fc("temb.fc2", t, 1, u.tembDim, u.tembDim);
+
+    if (cfg.transformerBlocks)
+        u.context = u.b.input("context", cfg.ctxTokens * cfg.ctxDim);
+
+    const int x_in =
+        u.b.input("x", cfg.inChannels * cfg.resolution * cfg.resolution);
+
+    const int levels = static_cast<int>(cfg.chMult.size());
+    int64_t res = cfg.resolution;
+    int64_t ch = cfg.baseCh;
+    int h = u.b.conv2d("conv-in", x_in, cfg.inChannels, cfg.baseCh, 3, 1, 1,
+                       res, res);
+
+    // Down path; remember every block output for the up-path skips.
+    std::deque<SkipEntry> skips;
+    skips.push_back({h, ch, res});
+    for (int lvl = 0; lvl < levels; ++lvl) {
+        const int64_t out_ch = cfg.baseCh * cfg.chMult[lvl];
+        for (int blk = 0; blk < cfg.numResBlocks; ++blk) {
+            const std::string nm =
+                "down." + std::to_string(lvl) + "." + std::to_string(blk);
+            h = resBlock(u, nm, h, ch, out_ch, res);
+            ch = out_ch;
+            if (hasAttnAt(cfg, res))
+                h = attnStage(u, nm + ".attn", h, ch, res);
+            skips.push_back({h, ch, res});
+        }
+        if (lvl < levels - 1) {
+            h = u.b.conv2d("down." + std::to_string(lvl) + ".downsample",
+                           h, ch, ch, 3, 2, 1, res, res);
+            res /= 2;
+            skips.push_back({h, ch, res});
+        }
+    }
+
+    // Middle: res block, attention, res block.
+    h = resBlock(u, "mid.0", h, ch, ch, res);
+    h = attnStage(u, "mid.attn", h, ch, res);
+    h = resBlock(u, "mid.1", h, ch, ch, res);
+
+    // Up path: one more block per level than the down path, each
+    // consuming one skip. up.0.0 is the deepest block, matching the
+    // paper's naming of the SDM layer "up.0.0.skip".
+    for (int lvl = levels - 1; lvl >= 0; --lvl) {
+        const int64_t out_ch = cfg.baseCh * cfg.chMult[lvl];
+        const int up_idx = levels - 1 - lvl;
+        for (int blk = 0; blk <= cfg.numResBlocks; ++blk) {
+            DITTO_ASSERT(!skips.empty(), "UNet skip bookkeeping broken");
+            const SkipEntry skip = skips.back();
+            skips.pop_back();
+            DITTO_ASSERT(skip.res == res, "skip resolution mismatch");
+            const std::string nm =
+                "up." + std::to_string(up_idx) + "." + std::to_string(blk);
+            const int64_t cat_ch = ch + skip.ch;
+            const int cat =
+                u.b.concat(nm + ".cat", h, skip.id, cat_ch * res * res);
+            h = resBlock(u, nm, cat, cat_ch, out_ch, res);
+            ch = out_ch;
+            if (hasAttnAt(cfg, res))
+                h = attnStage(u, nm + ".attn", h, ch, res);
+        }
+        if (lvl > 0) {
+            res *= 2;
+            const int up = u.b.upsample(
+                "up." + std::to_string(up_idx) + ".upsample", h,
+                ch * res * res);
+            h = u.b.conv2d("up." + std::to_string(up_idx) + ".conv", up,
+                           ch, ch, 3, 1, 1, res, res);
+        }
+    }
+    DITTO_ASSERT(skips.empty(), "unconsumed UNet skips");
+
+    // Output head.
+    const int64_t elems = ch * res * res;
+    h = u.b.nonLinear("out.norm", OpKind::GroupNorm, h, elems);
+    h = u.b.nonLinear("out.silu", OpKind::SiLU, h, elems);
+    u.b.conv2d("conv-out", h, ch, cfg.outChannels, 3, 1, 1, res, res);
+
+    return u.b.take();
+}
+
+} // namespace ditto

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Parametric UNet denoising-model builder.
+ *
+ * One builder covers the five UNet-based models of Table I: DDPM
+ * (pixel-space), BED/CHUR (latent-space unconditional, plain attention
+ * blocks), and IMG/SDM (latent-space conditional, transformer blocks
+ * with cross attention per Fig. 2 of the paper). The graphs reproduce
+ * each network's layer topology — kinds, operand shapes, dependencies,
+ * non-linearity placement — which is everything the Ditto algorithm and
+ * cycle model consume.
+ */
+#ifndef DITTO_MODEL_UNET_H
+#define DITTO_MODEL_UNET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/graph.h"
+
+namespace ditto {
+
+/** Configuration of a UNet denoising model. */
+struct UnetConfig
+{
+    std::string name;
+    int64_t resolution = 32;    //!< input spatial extent (pixel or latent)
+    int64_t inChannels = 3;     //!< input channels
+    int64_t outChannels = 3;    //!< predicted-noise channels
+    int64_t baseCh = 128;       //!< channel width at the top level
+    std::vector<int64_t> chMult = {1, 2, 2, 2};
+    int numResBlocks = 2;       //!< residual blocks per level
+    std::vector<int64_t> attnResolutions = {16};
+
+    /**
+     * Attention style: plain single-head attention blocks (DDPM/LDM
+     * unconditional) vs. conditional latent diffusion transformer blocks
+     * with self attention, cross attention and a GeLU MLP (IMG/SDM).
+     */
+    bool transformerBlocks = false;
+    int64_t ctxTokens = 0;      //!< cross-attention context length
+    int64_t ctxDim = 0;         //!< cross-attention context width
+    int64_t headDim = 64;       //!< attention head size (transformer)
+};
+
+/** Build the layer graph for a UNet configuration. */
+ModelGraph buildUnet(const UnetConfig &cfg);
+
+} // namespace ditto
+
+#endif // DITTO_MODEL_UNET_H

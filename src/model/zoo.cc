@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Model zoo implementation: Table I metadata and per-model builders.
+ *
+ * Architecture hyper-parameters follow the public configurations of
+ * each model family: DDPM (Ho et al.), latent-diffusion LSUN/ImageNet
+ * UNets (Rombach et al.), Stable Diffusion v1 (Rombach et al.), DiT-XL/2
+ * (Peebles & Xie) and Latte-XL/2 (Ma et al.). The graphs reproduce the
+ * layer topology and operand geometry that the Ditto algorithm, Defo
+ * analysis and hardware model consume.
+ */
+#include "model/zoo.h"
+
+#include "common/logging.h"
+#include "model/transformer.h"
+#include "model/unet.h"
+
+namespace ditto {
+
+const std::vector<ModelId> &
+allModels()
+{
+    static const std::vector<ModelId> kAll = {
+        ModelId::DDPM, ModelId::BED, ModelId::CHUR, ModelId::IMG,
+        ModelId::SDM, ModelId::DiT, ModelId::Latte,
+    };
+    return kAll;
+}
+
+const ModelSpec &
+modelSpec(ModelId id)
+{
+    static const std::vector<ModelSpec> kSpecs = {
+        {ModelId::DDPM, "DDPM", "DDPM", "Cifar-10",
+         {"DDIM", 100, 0}, QuantMethod::QDiffusion, false},
+        {ModelId::BED, "BED", "Latent-Diffusion", "LSUN-Bed",
+         {"DDIM", 200, 0}, QuantMethod::QDiffusion, false},
+        {ModelId::CHUR, "CHUR", "Latent-Diffusion", "LSUN-Church",
+         {"DDIM", 200, 0}, QuantMethod::QDiffusion, false},
+        {ModelId::IMG, "IMG", "Latent-Diffusion", "ImageNet",
+         {"DDIM", 20, 0}, QuantMethod::QDiffusion, false},
+        {ModelId::SDM, "SDM", "Stable-Diffusion", "COCO2017",
+         {"PLMS", 50, 1}, QuantMethod::QDiffusion, false},
+        {ModelId::DiT, "DiT", "DiT-XL/2", "ImageNet",
+         {"DDIM", 250, 0}, QuantMethod::Dynamic, false},
+        {ModelId::Latte, "Latte", "Latte-XL/2", "UCF-101",
+         {"DDIM", 20, 0}, QuantMethod::Dynamic, true},
+    };
+    for (const ModelSpec &s : kSpecs)
+        if (s.id == id)
+            return s;
+    DITTO_PANIC("unknown ModelId");
+}
+
+const std::string &
+modelAbbr(ModelId id)
+{
+    return modelSpec(id).abbr;
+}
+
+ModelGraph
+buildModel(ModelId id)
+{
+    switch (id) {
+      case ModelId::DDPM: {
+        // Pixel-space CIFAR-10 UNet: 32x32x3, ch 128, mult (1,2,2,2),
+        // two res blocks per level, single-head attention at 16x16.
+        UnetConfig cfg;
+        cfg.name = "DDPM";
+        cfg.resolution = 32;
+        cfg.inChannels = 3;
+        cfg.outChannels = 3;
+        cfg.baseCh = 128;
+        cfg.chMult = {1, 2, 2, 2};
+        cfg.numResBlocks = 2;
+        cfg.attnResolutions = {16};
+        return buildUnet(cfg);
+      }
+      case ModelId::BED: {
+        // LDM-4 LSUN-Bedrooms: 64x64x3 latent, ch 224, mult (1,2,3,4),
+        // plain attention at 32/16/8.
+        UnetConfig cfg;
+        cfg.name = "BED";
+        cfg.resolution = 64;
+        cfg.inChannels = 3;
+        cfg.outChannels = 3;
+        cfg.baseCh = 224;
+        cfg.chMult = {1, 2, 3, 4};
+        cfg.numResBlocks = 2;
+        cfg.attnResolutions = {32, 16, 8};
+        return buildUnet(cfg);
+      }
+      case ModelId::CHUR: {
+        // LDM-8 LSUN-Churches: 32x32x4 latent, ch 192, mult (1,2,2,4,4),
+        // plain attention at 32/16/8.
+        UnetConfig cfg;
+        cfg.name = "CHUR";
+        cfg.resolution = 32;
+        cfg.inChannels = 4;
+        cfg.outChannels = 4;
+        cfg.baseCh = 192;
+        cfg.chMult = {1, 2, 2, 4, 4};
+        cfg.numResBlocks = 2;
+        cfg.attnResolutions = {32, 16, 8};
+        return buildUnet(cfg);
+      }
+      case ModelId::IMG: {
+        // LDM-4 class-conditional ImageNet: 64x64x3 latent, ch 192,
+        // mult (1,2,3,5), transformer blocks with a one-token class
+        // context at 32/16/8.
+        UnetConfig cfg;
+        cfg.name = "IMG";
+        cfg.resolution = 64;
+        cfg.inChannels = 3;
+        cfg.outChannels = 3;
+        cfg.baseCh = 192;
+        cfg.chMult = {1, 2, 3, 5};
+        cfg.numResBlocks = 2;
+        cfg.attnResolutions = {32, 16, 8};
+        cfg.transformerBlocks = true;
+        cfg.ctxTokens = 1;
+        cfg.ctxDim = 512;
+        return buildUnet(cfg);
+      }
+      case ModelId::SDM: {
+        // Stable Diffusion v1.4: 64x64x4 latent, ch 320, mult (1,2,4,4),
+        // transformer blocks with a 77x768 text context at 64/32/16.
+        UnetConfig cfg;
+        cfg.name = "SDM";
+        cfg.resolution = 64;
+        cfg.inChannels = 4;
+        cfg.outChannels = 4;
+        cfg.baseCh = 320;
+        cfg.chMult = {1, 2, 4, 4};
+        cfg.numResBlocks = 2;
+        cfg.attnResolutions = {64, 32, 16};
+        cfg.transformerBlocks = true;
+        cfg.ctxTokens = 77;
+        cfg.ctxDim = 768;
+        return buildUnet(cfg);
+      }
+      case ModelId::DiT: {
+        // DiT-XL/2 on 256x256 ImageNet: 32x32x4 latent, patch 2,
+        // width 1152, depth 28, 16 heads.
+        DitConfig cfg;
+        cfg.name = "DiT";
+        cfg.latentRes = 32;
+        cfg.latentCh = 4;
+        cfg.patch = 2;
+        cfg.hidden = 1152;
+        cfg.depth = 28;
+        cfg.heads = 16;
+        return buildDit(cfg);
+      }
+      case ModelId::Latte: {
+        // Latte-XL/2 on UCF-101: 16-frame video, per-frame 32x32x4
+        // latent, factorised spatial/temporal attention.
+        DitConfig cfg;
+        cfg.name = "Latte";
+        cfg.latentRes = 32;
+        cfg.latentCh = 4;
+        cfg.patch = 2;
+        cfg.hidden = 1152;
+        cfg.depth = 28;
+        cfg.heads = 16;
+        cfg.frames = 16;
+        return buildDit(cfg);
+      }
+    }
+    DITTO_PANIC("unknown ModelId");
+}
+
+} // namespace ditto

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The evaluated model zoo (paper Table I).
+ *
+ * Seven diffusion models spanning pixel-space unconditional (DDPM),
+ * latent-space unconditional (BED, CHUR), latent-space conditional
+ * (IMG, SDM) and diffusion transformers (DiT, Latte), each with the
+ * sampler and step count the paper uses.
+ */
+#ifndef DITTO_MODEL_ZOO_H
+#define DITTO_MODEL_ZOO_H
+
+#include <string>
+#include <vector>
+
+#include "model/graph.h"
+
+namespace ditto {
+
+/** The seven evaluated models. */
+enum class ModelId
+{
+    DDPM,
+    BED,
+    CHUR,
+    IMG,
+    SDM,
+    DiT,
+    Latte,
+};
+
+/** All model ids in Table I order. */
+const std::vector<ModelId> &allModels();
+
+/** Sampler configuration. */
+struct SamplerSpec
+{
+    std::string name;  //!< "DDIM" or "PLMS"
+    int steps = 0;     //!< denoising steps
+    int extraSteps = 0; //!< PLMS warm-up steps (the 50' step in Fig. 4a)
+
+    int totalSteps() const { return steps + extraSteps; }
+};
+
+/** Quantization method applied in the paper's evaluation. */
+enum class QuantMethod
+{
+    QDiffusion, //!< offline-calibrated, time-step-clustered scales
+    Dynamic,    //!< simple per-tensor dynamic quantization (DiT, Latte)
+};
+
+/** One row of Table I plus build metadata. */
+struct ModelSpec
+{
+    ModelId id;
+    std::string abbr;     //!< DDPM / BED / CHUR / IMG / SDM / DiT / Latte
+    std::string model;    //!< architecture name
+    std::string dataset;
+    SamplerSpec sampler;
+    QuantMethod quant;
+    bool videoTask = false; //!< Latte: frames carry spatial similarity
+};
+
+/** Metadata for one model. */
+const ModelSpec &modelSpec(ModelId id);
+
+/** Short name (abbr) of a model. */
+const std::string &modelAbbr(ModelId id);
+
+/** Build the denoising-model layer graph for a model. */
+ModelGraph buildModel(ModelId id);
+
+} // namespace ditto
+
+#endif // DITTO_MODEL_ZOO_H

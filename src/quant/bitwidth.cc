@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Bit-width requirement analysis implementation.
+ */
+#include "quant/bitwidth.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ditto {
+
+const char *
+bitClassName(BitClass c)
+{
+    switch (c) {
+      case BitClass::Zero:
+        return "zero";
+      case BitClass::Low4:
+        return "4-bit";
+      case BitClass::Full8:
+        return ">4-bit";
+    }
+    DITTO_PANIC("unknown BitClass");
+}
+
+BitClass
+classifyValue(int16_t v, int low_bits)
+{
+    DITTO_ASSERT(low_bits >= 1 && low_bits <= 8, "low_bits out of range");
+    if (v == 0)
+        return BitClass::Zero;
+    const int16_t lo = static_cast<int16_t>(-(1 << (low_bits - 1)));
+    const int16_t hi = static_cast<int16_t>((1 << (low_bits - 1)) - 1);
+    return (v >= lo && v <= hi) ? BitClass::Low4 : BitClass::Full8;
+}
+
+void
+BitClassHistogram::merge(const BitClassHistogram &other)
+{
+    const int64_t n = total + other.total;
+    if (n == 0)
+        return;
+    const double wa = static_cast<double>(total) / n;
+    const double wb = static_cast<double>(other.total) / n;
+    zeroFrac = zeroFrac * wa + other.zeroFrac * wb;
+    low4Frac = low4Frac * wa + other.low4Frac * wb;
+    full8Frac = full8Frac * wa + other.full8Frac * wb;
+    total = n;
+}
+
+std::string
+BitClassHistogram::toString() const
+{
+    std::ostringstream os;
+    os << "zero " << zeroFrac * 100.0 << "% / 4-bit " << low4Frac * 100.0
+       << "% / >4-bit " << full8Frac * 100.0 << "%";
+    return os.str();
+}
+
+namespace {
+
+template <typename T>
+BitClassHistogram
+classifySpan(std::span<const T> values, int low_bits)
+{
+    BitClassHistogram h;
+    int64_t zero = 0;
+    int64_t low = 0;
+    int64_t full = 0;
+    for (T v : values) {
+        switch (classifyValue(static_cast<int16_t>(v), low_bits)) {
+          case BitClass::Zero:
+            ++zero;
+            break;
+          case BitClass::Low4:
+            ++low;
+            break;
+          case BitClass::Full8:
+            ++full;
+            break;
+        }
+    }
+    h.total = static_cast<int64_t>(values.size());
+    if (h.total > 0) {
+        h.zeroFrac = static_cast<double>(zero) / h.total;
+        h.low4Frac = static_cast<double>(low) / h.total;
+        h.full8Frac = static_cast<double>(full) / h.total;
+    }
+    return h;
+}
+
+} // namespace
+
+BitClassHistogram
+classifyTensor(const Int8Tensor &t, int low_bits)
+{
+    return classifySpan<int8_t>(t.data(), low_bits);
+}
+
+BitClassHistogram
+classifyTensor(const Int16Tensor &t, int low_bits)
+{
+    return classifySpan<int16_t>(t.data(), low_bits);
+}
+
+BitClassHistogram
+classifyTemporalDiff(const Int8Tensor &current, const Int8Tensor &previous,
+                     int low_bits)
+{
+    DITTO_ASSERT(current.shape() == previous.shape(),
+                 "temporal diff shape mismatch");
+    BitClassHistogram h;
+    int64_t zero = 0;
+    int64_t low = 0;
+    int64_t full = 0;
+    auto sc = current.data();
+    auto sp = previous.data();
+    for (size_t i = 0; i < sc.size(); ++i) {
+        const auto d = static_cast<int16_t>(static_cast<int16_t>(sc[i]) -
+                                            static_cast<int16_t>(sp[i]));
+        switch (classifyValue(d, low_bits)) {
+          case BitClass::Zero:
+            ++zero;
+            break;
+          case BitClass::Low4:
+            ++low;
+            break;
+          case BitClass::Full8:
+            ++full;
+            break;
+        }
+    }
+    h.total = static_cast<int64_t>(sc.size());
+    if (h.total > 0) {
+        h.zeroFrac = static_cast<double>(zero) / h.total;
+        h.low4Frac = static_cast<double>(low) / h.total;
+        h.full8Frac = static_cast<double>(full) / h.total;
+    }
+    return h;
+}
+
+BitClassHistogram
+classifySpatialDiff(const Int8Tensor &t, int low_bits)
+{
+    const Shape &s = t.shape();
+    DITTO_ASSERT(s.rank() >= 1, "spatial diff needs a shaped tensor");
+    const int64_t cols = s.dim(s.rank() - 1);
+    const int64_t rows = s.numel() / cols;
+    BitClassHistogram h;
+    int64_t zero = 0;
+    int64_t low = 0;
+    int64_t full = 0;
+    auto sd = t.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+            const int64_t idx = r * cols + c;
+            const int16_t v = c == 0
+                ? static_cast<int16_t>(sd[idx])
+                : static_cast<int16_t>(static_cast<int16_t>(sd[idx]) -
+                                       static_cast<int16_t>(sd[idx - 1]));
+            switch (classifyValue(v, low_bits)) {
+              case BitClass::Zero:
+                ++zero;
+                break;
+              case BitClass::Low4:
+                ++low;
+                break;
+              case BitClass::Full8:
+                ++full;
+                break;
+            }
+        }
+    }
+    h.total = s.numel();
+    if (h.total > 0) {
+        h.zeroFrac = static_cast<double>(zero) / h.total;
+        h.low4Frac = static_cast<double>(low) / h.total;
+        h.full8Frac = static_cast<double>(full) / h.total;
+    }
+    return h;
+}
+
+} // namespace ditto

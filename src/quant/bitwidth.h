@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bit-width requirement analysis (paper Section III-B, Fig. 5).
+ *
+ * The paper defines the "bit-width requirement" of a quantized value as
+ * the minimum number of bits needed to represent it, and buckets values
+ * into three classes the hardware cares about: exactly zero (skippable),
+ * representable in the low 4-bit lane, and requiring the full 8-bit path
+ * (two lanes plus shift). The Encoding Unit performs exactly this
+ * classification in hardware; this module is the software oracle it is
+ * verified against.
+ */
+#ifndef DITTO_QUANT_BITWIDTH_H
+#define DITTO_QUANT_BITWIDTH_H
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/** Hardware-relevant bit-width class of one quantized value. */
+enum class BitClass
+{
+    Zero,     //!< value is 0: skipped entirely
+    Low4,     //!< fits the signed 4-bit lane: one multiplier
+    Full8,    //!< needs the full path: two multipliers + shifter
+};
+
+/** Human-readable name for a BitClass. */
+const char *bitClassName(BitClass c);
+
+/**
+ * Classify one value against a low bit-width boundary.
+ *
+ * @param v the quantized (integer) value; differences of int8 codes can
+ *          reach [-254, 254] so the domain is int16.
+ * @param low_bits lane width; values in [-2^(low_bits-1), 2^(low_bits-1)-1]
+ *        classify as Low4.
+ */
+BitClass classifyValue(int16_t v, int low_bits = 4);
+
+/** Fractions of a population falling in each BitClass; sums to 1. */
+struct BitClassHistogram
+{
+    double zeroFrac = 0.0;
+    double low4Frac = 0.0;
+    double full8Frac = 0.0;
+    int64_t total = 0;
+
+    /** Fraction representable in at most 4 bits (zero + low4). */
+    double atMost4Frac() const { return zeroFrac + low4Frac; }
+
+    /** Merge another histogram, weighting by element counts. */
+    void merge(const BitClassHistogram &other);
+
+    /** Render as "zero a% / 4-bit b% / >4-bit c%". */
+    std::string toString() const;
+};
+
+/** Classify every element of an int8 tensor. */
+BitClassHistogram classifyTensor(const Int8Tensor &t, int low_bits = 4);
+
+/** Classify every element of an int16 difference tensor. */
+BitClassHistogram classifyTensor(const Int16Tensor &t, int low_bits = 4);
+
+/**
+ * Histogram of the temporal difference between two int8 code tensors
+ * (current - previous), the quantity the Encoding Unit classifies.
+ */
+BitClassHistogram classifyTemporalDiff(const Int8Tensor &current,
+                                       const Int8Tensor &previous,
+                                       int low_bits = 4);
+
+/**
+ * Histogram of spatial differences along the last dimension (Diffy-style
+ * row-dimension differences; the first element of each row is charged at
+ * its own magnitude as there is no left neighbour).
+ */
+BitClassHistogram classifySpatialDiff(const Int8Tensor &t,
+                                      int low_bits = 4);
+
+} // namespace ditto
+
+#endif // DITTO_QUANT_BITWIDTH_H

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Experiment drivers: one function per table/figure of the paper's
+ * evaluation. Each returns plain row structs; the bench binaries print
+ * them and the test suite asserts the headline bands on them.
+ */
+#ifndef DITTO_SIM_EXPERIMENTS_H
+#define DITTO_SIM_EXPERIMENTS_H
+
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.h"
+#include "hw/config.h"
+#include "model/zoo.h"
+#include "trace/mixture.h"
+
+namespace ditto {
+
+/** Table I: the model zoo. */
+struct ModelZooRow
+{
+    std::string abbr, model, dataset, sampler;
+    int steps = 0;
+    int layers = 0;        //!< compute layers in the graph
+    double gmacsPerStep = 0.0;
+    double weightsMB = 0.0;
+};
+std::vector<ModelZooRow> runTable1();
+
+/** Fig. 3b: temporal vs spatial cosine similarity per model. */
+struct SimilarityRow
+{
+    std::string model;
+    double temporalCosine = 0.0;
+    double spatialCosine = 0.0;
+};
+std::vector<SimilarityRow> runFig3Similarity();
+
+/** Fig. 4b: average value ranges of activations and temporal diffs. */
+struct ValueRangeRow
+{
+    std::string model;
+    double actRange = 0.0;
+    double diffRange = 0.0;
+    double ratio = 0.0;
+};
+std::vector<ValueRangeRow> runFig4ValueRange();
+
+/** Fig. 4a: per-step ranges of two named SDM layers. */
+struct LayerRangeSeries
+{
+    std::string layer;
+    std::vector<double> actRange;   //!< per executed step
+    std::vector<double> diffRange;
+};
+std::vector<LayerRangeSeries> runFig4LayerDetail();
+
+/** Fig. 5: bit-width requirement per model and data kind. */
+struct BitwidthRow
+{
+    std::string model;
+    BitFractions act, spatial, temporal;
+};
+std::vector<BitwidthRow> runFig5Bitwidth();
+
+/** Fig. 6a: relative BOPs of act / spatial / temporal processing. */
+struct BopsRow
+{
+    std::string model;
+    double act = 1.0;
+    double spatial = 0.0;
+    double temporal = 0.0;
+};
+std::vector<BopsRow> runFig6Bops();
+
+/** Fig. 6b: per-step relative BOPs of two named SDM layers. */
+struct BopsSeries
+{
+    std::string layer;
+    std::vector<double> relativeBops;
+};
+std::vector<BopsSeries> runFig6StepDetail();
+
+/** Fig. 8: algorithm-level relative memory accesses of naive diffs. */
+struct MemAccessRow
+{
+    std::string model;
+    double relativeAccesses = 0.0;
+};
+std::vector<MemAccessRow> runFig8MemAccess();
+
+/** Table II proxy: numerical fidelity of the Ditto transform. */
+struct AccuracyRow
+{
+    std::string model;
+    std::string metric;      //!< paper metric names (FID/IS/CS)
+    std::string paperFp32;   //!< paper-reported FP32 score
+    std::string paperDitto;  //!< paper-reported Ditto score
+};
+struct AccuracyProxy
+{
+    bool bitExact = false;    //!< Ditto == direct quantized execution
+    double sqnrQuantDb = 0.0; //!< quantized vs FP32 rollout
+    double sqnrDittoDb = 0.0; //!< Ditto vs FP32 rollout (equal if exact)
+    std::vector<AccuracyRow> paperRows;
+};
+AccuracyProxy runTable2Accuracy();
+
+/** Table III: hardware configurations. */
+struct HwConfigRow
+{
+    std::string hardware;
+    std::string pes;
+    int64_t lanes = 0;
+    double powerW = 0.0;
+    double sramMB = 0.0;
+    double areaMm2 = 0.0;
+    double estCoreAreaMm2 = 0.0; //!< our synthesis-class estimate
+};
+std::vector<HwConfigRow> runTable3HwConfig();
+
+/** Fig. 13 / Fig. 14: full cross-hardware comparison. */
+struct ComparisonRow
+{
+    std::string model;
+    std::string hardware;
+    double speedup = 0.0;        //!< vs ITC
+    double relativeEnergy = 0.0; //!< vs ITC
+    double relativeMemAccess = 0.0; //!< vs ITC (Fig. 14)
+    EnergyBreakdown energy;      //!< absolute, for the breakdown bars
+    RunResult run;               //!< full detail
+};
+std::vector<ComparisonRow> runFig13Comparison();
+
+/** GPU baseline rows of Fig. 13. */
+struct GpuRow
+{
+    std::string model;
+    double speedup = 0.0;        //!< vs ITC (below 1)
+    double relativeEnergy = 0.0; //!< vs ITC (far above 1)
+};
+std::vector<GpuRow> runFig13Gpu();
+
+/** Fig. 15: cross-applying software techniques. */
+struct TechniqueRow
+{
+    std::string model;
+    std::string variant;
+    double speedup = 0.0; //!< normalised to "Org. Cam-D"
+};
+std::vector<TechniqueRow> runFig15Techniques();
+/** Variant labels of Fig. 15 in print order. */
+const std::vector<std::string> &fig15Variants();
+
+/** Fig. 16: ablation cycle breakdown. */
+struct AblationRow
+{
+    std::string model;
+    std::string variant;
+    double computeCycles = 0.0; //!< relative to ITC total
+    double stallCycles = 0.0;   //!< relative to ITC total
+};
+std::vector<AblationRow> runFig16Ablation();
+const std::vector<std::string> &fig16Variants();
+
+/** Fig. 17: Defo execution-type changes and decision accuracy. */
+struct DefoRow
+{
+    std::string model;
+    std::string variant;    //!< "Defo" or "Defo+"
+    double changedFrac = 0.0;
+    double accuracy = 0.0;
+};
+std::vector<DefoRow> runFig17Defo();
+
+/** Fig. 18: Ditto vs oracle-Defo (Ideal) designs. */
+struct IdealRow
+{
+    std::string model;
+    double ditto = 0.0;      //!< speedup vs ITC
+    double idealDitto = 0.0;
+    double dittoPlus = 0.0;
+    double idealDittoPlus = 0.0;
+};
+std::vector<IdealRow> runFig18Ideal();
+
+/** Fig. 19: drifting-similarity stress (Dynamic-Ditto). */
+struct DynamicRow
+{
+    std::string model;
+    double ditto = 0.0;        //!< speedup vs ITC on drifted traces
+    double dynamicDitto = 0.0;
+    double idealDitto = 0.0;
+    double defoAccuracy = 0.0; //!< static Defo accuracy under drift
+};
+std::vector<DynamicRow> runFig19Dynamic();
+
+} // namespace ditto
+
+#endif // DITTO_SIM_EXPERIMENTS_H

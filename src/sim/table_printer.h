@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal fixed-width table printer shared by the bench binaries.
+ */
+#ifndef DITTO_SIM_TABLE_PRINTER_H
+#define DITTO_SIM_TABLE_PRINTER_H
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ditto {
+
+/** Accumulates rows of strings and prints an aligned ASCII table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append one row; cells convert via operator<<. */
+    template <typename... Cells>
+    void
+    addRow(const Cells &...cells)
+    {
+        std::vector<std::string> row;
+        (row.push_back(toCell(cells)), ...);
+        rows_.push_back(std::move(row));
+    }
+
+    /** Print to stdout with a separator under the header. */
+    void
+    print() const
+    {
+        std::vector<size_t> width(header_.size(), 0);
+        for (size_t i = 0; i < header_.size(); ++i)
+            width[i] = header_[i].size();
+        for (const auto &row : rows_)
+            for (size_t i = 0; i < row.size() && i < width.size(); ++i)
+                width[i] = std::max(width[i], row[i].size());
+        printRow(header_, width);
+        std::string sep;
+        for (size_t i = 0; i < width.size(); ++i)
+            sep += std::string(width[i], '-') + (i + 1 < width.size()
+                                                     ? "-+-" : "");
+        std::cout << sep << "\n";
+        for (const auto &row : rows_)
+            printRow(row, width);
+    }
+
+    /** Format a double with the given precision. */
+    static std::string
+    num(double v, int precision = 3)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+    /** Format a fraction as a percentage string. */
+    static std::string
+    pct(double v, int precision = 1)
+    {
+        return num(v * 100.0, precision) + "%";
+    }
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(const T &v)
+    {
+        if constexpr (std::is_convertible_v<T, std::string>) {
+            return std::string(v);
+        } else {
+            std::ostringstream os;
+            os << v;
+            return os.str();
+        }
+    }
+
+    static void
+    printRow(const std::vector<std::string> &row,
+             const std::vector<size_t> &width)
+    {
+        for (size_t i = 0; i < row.size(); ++i) {
+            std::cout << std::left
+                      << std::setw(static_cast<int>(width[i])) << row[i];
+            if (i + 1 < row.size())
+                std::cout << " | ";
+        }
+        std::cout << "\n";
+    }
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ditto
+
+#endif // DITTO_SIM_TABLE_PRINTER_H

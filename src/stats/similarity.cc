@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Similarity and value-range analysis implementation.
+ */
+#include "stats/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ditto {
+
+double
+cosineSimilarity(const FloatTensor &a, const FloatTensor &b)
+{
+    DITTO_ASSERT(a.shape() == b.shape(), "cosine similarity shape mismatch");
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    auto sa = a.data();
+    auto sb = b.data();
+    for (size_t i = 0; i < sa.size(); ++i) {
+        dot += static_cast<double>(sa[i]) * sb[i];
+        na += static_cast<double>(sa[i]) * sa[i];
+        nb += static_cast<double>(sb[i]) * sb[i];
+    }
+    if (na == 0.0 || nb == 0.0)
+        return 1.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double
+spatialSimilarity(const FloatTensor &t)
+{
+    const Shape &s = t.shape();
+    DITTO_ASSERT(s.rank() >= 1 && s.numel() > 0, "empty tensor");
+    const int64_t cols = s.dim(s.rank() - 1);
+    if (cols < 2)
+        return 1.0;
+    const int64_t rows = s.numel() / cols;
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    auto sd = t.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 1; c < cols; ++c) {
+            const double x = sd[r * cols + c];
+            const double y = sd[r * cols + c - 1];
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+    }
+    if (na == 0.0 || nb == 0.0)
+        return 1.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double
+valueRange(const FloatTensor &t)
+{
+    DITTO_ASSERT(t.numel() > 0, "value range of an empty tensor");
+    float lo = std::numeric_limits<float>::max();
+    float hi = std::numeric_limits<float>::lowest();
+    for (float v : t.data()) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    return static_cast<double>(hi) - lo;
+}
+
+double
+diffValueRange(const FloatTensor &a, const FloatTensor &b)
+{
+    DITTO_ASSERT(a.shape() == b.shape(), "diff range shape mismatch");
+    DITTO_ASSERT(a.numel() > 0, "diff range of an empty tensor");
+    float lo = std::numeric_limits<float>::max();
+    float hi = std::numeric_limits<float>::lowest();
+    auto sa = a.data();
+    auto sb = b.data();
+    for (size_t i = 0; i < sa.size(); ++i) {
+        const float d = sa[i] - sb[i];
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    return static_cast<double>(hi) - lo;
+}
+
+double
+maxAbs(const FloatTensor &t)
+{
+    double m = 0.0;
+    for (float v : t.data())
+        m = std::max(m, static_cast<double>(std::fabs(v)));
+    return m;
+}
+
+double
+meanSquaredError(const FloatTensor &a, const FloatTensor &b)
+{
+    DITTO_ASSERT(a.shape() == b.shape(), "MSE shape mismatch");
+    DITTO_ASSERT(a.numel() > 0, "MSE of an empty tensor");
+    double acc = 0.0;
+    auto sa = a.data();
+    auto sb = b.data();
+    for (size_t i = 0; i < sa.size(); ++i) {
+        const double d = static_cast<double>(sa[i]) - sb[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(sa.size());
+}
+
+double
+sqnrDb(const FloatTensor &ref, const FloatTensor &approx)
+{
+    DITTO_ASSERT(ref.shape() == approx.shape(), "SQNR shape mismatch");
+    double sig = 0.0;
+    double noise = 0.0;
+    auto sr = ref.data();
+    auto sa = approx.data();
+    for (size_t i = 0; i < sr.size(); ++i) {
+        sig += static_cast<double>(sr[i]) * sr[i];
+        const double d = static_cast<double>(sr[i]) - sa[i];
+        noise += d * d;
+    }
+    if (noise == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(sig / noise);
+}
+
+void
+RunningStats::add(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    sumSq_ += v * v;
+    ++count_;
+}
+
+double
+RunningStats::mean() const
+{
+    DITTO_ASSERT(count_ > 0, "mean of empty series");
+    return sum_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    DITTO_ASSERT(count_ > 0, "stddev of empty series");
+    const double m = mean();
+    const double v = sumSq_ / static_cast<double>(count_) - m * m;
+    return std::sqrt(std::max(v, 0.0));
+}
+
+} // namespace ditto

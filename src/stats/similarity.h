@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Similarity and value-range analysis (paper Section II-B / III-A,
+ * Figs. 3 and 4).
+ *
+ * The observation driving Ditto is that activations of the same layer at
+ * adjacent denoising time steps are highly similar (cosine similarity
+ * ~0.98), far more so than neighbouring elements inside one activation
+ * (spatial similarity ~0.31). This module measures both quantities, plus
+ * the value ranges of activations and of temporal differences whose
+ * ratio (avg. 8.96x) motivates the reduced-bit-width execution.
+ */
+#ifndef DITTO_STATS_SIMILARITY_H
+#define DITTO_STATS_SIMILARITY_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/**
+ * Cosine similarity of two equally-shaped tensors, treated as flat
+ * vectors. Returns 1 when either vector is all zero (identical "empty"
+ * directions; keeps step-to-step series well defined).
+ */
+double cosineSimilarity(const FloatTensor &a, const FloatTensor &b);
+
+/**
+ * Spatial cosine similarity inside one tensor: similarity between the
+ * flattened tensor and a copy shifted by one along the last dimension
+ * (the row dimension the modified Diffy method differences along).
+ */
+double spatialSimilarity(const FloatTensor &t);
+
+/** Value range (max - min) of a tensor. */
+double valueRange(const FloatTensor &t);
+
+/** Value range of the elementwise difference a - b. */
+double diffValueRange(const FloatTensor &a, const FloatTensor &b);
+
+/** Max absolute value of a tensor. */
+double maxAbs(const FloatTensor &t);
+
+/** Mean squared error between two equally-shaped tensors. */
+double meanSquaredError(const FloatTensor &a, const FloatTensor &b);
+
+/**
+ * Signal-to-quantization-noise ratio in dB of `approx` against `ref`
+ * (10 log10(E[ref^2] / E[(ref-approx)^2])). Returns +inf for an exact
+ * match, used as the Table II accuracy proxy.
+ */
+double sqnrDb(const FloatTensor &ref, const FloatTensor &approx);
+
+/** Streaming mean/min/max accumulator for scalar series. */
+class RunningStats
+{
+  public:
+    void add(double v);
+
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    int64_t count() const { return count_; }
+
+    /** Standard deviation (population). */
+    double stddev() const;
+
+  private:
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    int64_t count_ = 0;
+};
+
+} // namespace ditto
+
+#endif // DITTO_STATS_SIMILARITY_H

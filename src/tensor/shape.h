@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tensor shape: a small fixed-capacity list of dimensions.
+ */
+#ifndef DITTO_TENSOR_SHAPE_H
+#define DITTO_TENSOR_SHAPE_H
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+
+namespace ditto {
+
+/**
+ * Dense row-major tensor shape with up to four dimensions.
+ *
+ * Four dimensions cover every tensor in the reproduction: NCHW feature
+ * maps, (rows, cols) matrices, and (heads, tokens, dim) attention tensors
+ * padded with leading 1s.
+ */
+class Shape
+{
+  public:
+    static constexpr int kMaxRank = 4;
+
+    Shape() : rank_(0), dims_{} {}
+
+    Shape(std::initializer_list<int64_t> dims) : rank_(0), dims_{}
+    {
+        DITTO_ASSERT(dims.size() <= kMaxRank, "shape rank above kMaxRank");
+        for (int64_t d : dims) {
+            DITTO_ASSERT(d > 0, "shape dimensions must be positive");
+            dims_[rank_++] = d;
+        }
+    }
+
+    int rank() const { return rank_; }
+
+    int64_t
+    dim(int i) const
+    {
+        DITTO_ASSERT(i >= 0 && i < rank_, "shape dim index out of range");
+        return dims_[i];
+    }
+
+    int64_t operator[](int i) const { return dim(i); }
+
+    /** Total number of elements. */
+    int64_t
+    numel() const
+    {
+        int64_t n = 1;
+        for (int i = 0; i < rank_; ++i)
+            n *= dims_[i];
+        return rank_ == 0 ? 0 : n;
+    }
+
+    bool
+    operator==(const Shape &other) const
+    {
+        if (rank_ != other.rank_)
+            return false;
+        for (int i = 0; i < rank_; ++i) {
+            if (dims_[i] != other.dims_[i])
+                return false;
+        }
+        return true;
+    }
+
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** Render as "[a, b, c]" for diagnostics. */
+    std::string
+    toString() const
+    {
+        std::ostringstream os;
+        os << "[";
+        for (int i = 0; i < rank_; ++i)
+            os << (i ? ", " : "") << dims_[i];
+        os << "]";
+        return os.str();
+    }
+
+  private:
+    int rank_;
+    std::array<int64_t, kMaxRank> dims_;
+};
+
+} // namespace ditto
+
+#endif // DITTO_TENSOR_SHAPE_H

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Analytic mixture statistics implementation.
+ */
+#include "trace/mixture.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ditto {
+
+namespace {
+
+constexpr double kSqrt2Pi = 2.506628274631000502;
+
+/** Standard normal pdf. */
+double
+phi(double u)
+{
+    return std::exp(-0.5 * u * u) / kSqrt2Pi;
+}
+
+} // namespace
+
+double
+quantScale(const MixtureParams &p)
+{
+    const double maxsigma = std::max({p.sigma0, 1.0, p.beta});
+    return p.clipK * maxsigma / 127.0;
+}
+
+double
+zeroProbGaussian(double sigma, double s)
+{
+    DITTO_ASSERT(sigma > 0.0 && s > 0.0, "bad zeroProbGaussian args");
+    return normalAbsCdf(0.5 * s / sigma);
+}
+
+double
+zeroProbQuantDiff(double sigma_d, double s)
+{
+    DITTO_ASSERT(s > 0.0, "bad quantization step");
+    if (sigma_d <= 1e-12)
+        return 1.0; // no change between steps: codes always match
+    const double z = s / sigma_d;
+    // E[max(0, 1 - |d|/s)] = P(|d|<=s) - (2/z) (phi(0) - phi(z)).
+    return normalAbsCdf(z) - (2.0 / z) * (phi(0.0) - phi(z));
+}
+
+double
+atMostProbGaussian(double sigma, double s, int m)
+{
+    DITTO_ASSERT(sigma > 0.0 && s > 0.0 && m >= 0, "bad atMostProb args");
+    return normalAbsCdf((static_cast<double>(m) + 0.5) * s / sigma);
+}
+
+double
+diffSigma(double sigma, double rho)
+{
+    return sigma * std::sqrt(std::max(2.0 * (1.0 - rho), 0.0));
+}
+
+namespace {
+
+/**
+ * Combine per-component zero and <=4-bit probabilities into fractions.
+ * Component stds of the analysed quantity are passed in `sig`; a
+ * non-positive std means the component never changes (always zero).
+ */
+BitFractions
+combine(const MixtureParams &p, const double sig[3], double s,
+        bool smooth_zero)
+{
+    const double w[3] = {p.w0, p.w1(), p.w2};
+    BitFractions f;
+    double at_most4 = 0.0;
+    for (int c = 0; c < 3; ++c) {
+        if (sig[c] <= 1e-12) {
+            f.zero += w[c];
+            at_most4 += w[c];
+            continue;
+        }
+        f.zero += w[c] * (smooth_zero ? zeroProbQuantDiff(sig[c], s)
+                                      : zeroProbGaussian(sig[c], s));
+        at_most4 += w[c] * atMostProbGaussian(sig[c], s, 7);
+    }
+    f.low4 = std::max(at_most4 - f.zero, 0.0);
+    f.full8 = std::max(1.0 - at_most4, 0.0);
+    return f;
+}
+
+} // namespace
+
+BitFractions
+activationFractions(const MixtureParams &p)
+{
+    const double s = quantScale(p);
+    const double sig[3] = {p.sigma0, 1.0, p.beta};
+    return combine(p, sig, s, /*smooth_zero=*/false);
+}
+
+BitFractions
+temporalDiffFractions(const MixtureParams &p)
+{
+    const double s = quantScale(p);
+    const double sig[3] = {
+        diffSigma(p.sigma0, p.rhoT0),
+        diffSigma(1.0, p.rhoT1),
+        diffSigma(p.beta, p.rhoT2),
+    };
+    const BitFractions base = combine(p, sig, s, /*smooth_zero=*/true);
+    if (p.jumpProb <= 0.0)
+        return base;
+    double jump_sig[3];
+    for (int c = 0; c < 3; ++c)
+        jump_sig[c] = sig[c] * p.jumpScale;
+    const BitFractions jump = combine(p, jump_sig, s, /*smooth_zero=*/true);
+    BitFractions f;
+    f.zero = (1.0 - p.jumpProb) * base.zero + p.jumpProb * jump.zero;
+    f.low4 = (1.0 - p.jumpProb) * base.low4 + p.jumpProb * jump.low4;
+    f.full8 = (1.0 - p.jumpProb) * base.full8 + p.jumpProb * jump.full8;
+    return f;
+}
+
+BitFractions
+spatialDiffFractions(const MixtureParams &p)
+{
+    const double s = quantScale(p);
+    const double sig[3] = {
+        diffSigma(p.sigma0, p.rhoS0),
+        diffSigma(1.0, p.rhoS1),
+        diffSigma(p.beta, p.rhoS2),
+    };
+    return combine(p, sig, s, /*smooth_zero=*/true);
+}
+
+namespace {
+
+/** Variance-weighted correlation across components. */
+double
+mixtureCosine(const MixtureParams &p, double r0, double r1, double r2)
+{
+    const double v0 = p.w0 * p.sigma0 * p.sigma0;
+    const double v1 = p.w1();
+    const double v2 = p.w2 * p.beta * p.beta;
+    const double total = v0 + v1 + v2;
+    DITTO_ASSERT(total > 0.0, "degenerate mixture");
+    return (v0 * r0 + v1 * r1 + v2 * r2) / total;
+}
+
+} // namespace
+
+double
+temporalCosine(const MixtureParams &p)
+{
+    return mixtureCosine(p, p.rhoT0, p.rhoT1, p.rhoT2);
+}
+
+double
+spatialCosine(const MixtureParams &p)
+{
+    return mixtureCosine(p, p.rhoS0, p.rhoS1, p.rhoS2);
+}
+
+double
+activationRange(const MixtureParams &p)
+{
+    return 2.0 * p.clipK * std::max({p.sigma0, 1.0, p.beta});
+}
+
+double
+temporalDiffRange(const MixtureParams &p)
+{
+    const double sd = std::max({diffSigma(p.sigma0, p.rhoT0),
+                                diffSigma(1.0, p.rhoT1),
+                                diffSigma(p.beta, p.rhoT2)});
+    return 2.0 * p.clipK * sd;
+}
+
+double
+rangeRatio(const MixtureParams &p)
+{
+    const double dr = temporalDiffRange(p);
+    DITTO_ASSERT(dr > 0.0, "zero difference range");
+    return activationRange(p) / dr;
+}
+
+} // namespace ditto

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * TraceProvider implementation.
+ */
+#include "trace/provider.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "trace/calibrate.h"
+
+namespace ditto {
+
+namespace {
+
+constexpr double kRhoMax = 0.9999995;
+
+/** Scale (1 - rho) by `factor`, keeping rho in a valid band. */
+double
+modulateRho(double rho, double factor)
+{
+    const double one_minus = (1.0 - rho) * factor;
+    return std::clamp(1.0 - one_minus, -0.9, kRhoMax);
+}
+
+} // namespace
+
+TraceProvider::TraceProvider(ModelId id, const ModelGraph &graph,
+                             TraceOptions options)
+    : graph_(&graph), modelId_(id), options_(options),
+      base_(calibratedParams(id)),
+      steps_(modelSpec(id).sampler.totalSteps())
+{
+    const int n = graph.numLayers();
+    layerFactor_.resize(n, 1.0);
+    layerAmplitude_.resize(n, 1.0);
+    layerPhase_.resize(n, 0.0);
+    cache_.resize(n);
+    cached_.assign(n, false);
+
+    // Per-layer jitter on (1 - rho): log-normal, later normalised to a
+    // mean of one so the model-level averages stay on target.
+    double factor_sum = 0.0;
+    int compute_layers = 0;
+    int64_t max_cin = 1;
+    for (const Layer &l : graph.layers())
+        if (l.isCompute())
+            max_cin = std::max(max_cin, l.inputElems);
+    for (const Layer &l : graph.layers()) {
+        if (!l.isCompute())
+            continue;
+        Rng rng = Rng::fromKeys(options_.seed,
+                                static_cast<uint64_t>(modelId_),
+                                static_cast<uint64_t>(l.id));
+        layerFactor_[l.id] = std::exp(rng.normal(0.0, 0.35));
+        factor_sum += layerFactor_[l.id];
+        ++compute_layers;
+        // Wider layers carry larger magnitudes (Fig. 4a): amplitude
+        // grows with the operand size to the 1/4 power.
+        const double rel =
+            static_cast<double>(std::max<int64_t>(l.inputElems, 1)) /
+            static_cast<double>(max_cin);
+        layerAmplitude_[l.id] =
+            std::pow(std::max(rel, 1e-6), 0.5) *
+            std::exp(rng.normal(0.0, 0.2));
+        layerPhase_[l.id] = rng.uniform(0.0, 2.0 * 3.14159265358979);
+    }
+    DITTO_ASSERT(compute_layers > 0, "graph has no compute layers");
+    const double factor_mean = factor_sum / compute_layers;
+    double amp_sum = 0.0;
+    for (const Layer &l : graph.layers()) {
+        if (!l.isCompute())
+            continue;
+        layerFactor_[l.id] /= factor_mean;
+        amp_sum += layerAmplitude_[l.id];
+    }
+    // Normalise amplitudes so the mean activation range matches the
+    // Fig. 4b target for this model.
+    const double amp_mean = amp_sum / compute_layers;
+    const double range_base = activationRange(base_);
+    const double amp_scale =
+        statTargets(modelId_).avgActRange / (amp_mean * range_base);
+    for (const Layer &l : graph.layers())
+        if (l.isCompute())
+            layerAmplitude_[l.id] *= amp_scale;
+
+    // Per-step profile: the final steps of the reverse process denoise
+    // the most, lowering similarity. Normalised to mean one.
+    stepFactor_.resize(steps_, 1.0);
+    const double tau = std::max(2.0, steps_ / 16.0);
+    double step_sum = 0.0;
+    for (int t = 0; t < steps_; ++t) {
+        const double from_end = static_cast<double>(steps_ - 1 - t);
+        stepFactor_[t] = 1.0 + 2.0 * std::exp(-from_end / tau);
+        step_sum += stepFactor_[t];
+    }
+    for (int t = 0; t < steps_; ++t)
+        stepFactor_[t] *= steps_ / step_sum;
+}
+
+double
+TraceProvider::layerAmplitude(int layer_id) const
+{
+    DITTO_ASSERT(layer_id >= 0 && layer_id < graph_->numLayers(),
+                 "layer id out of range");
+    return layerAmplitude_[layer_id];
+}
+
+double
+TraceProvider::stepFactor(int step) const
+{
+    DITTO_ASSERT(step >= 0 && step < steps_, "step out of range");
+    return stepFactor_[step];
+}
+
+void
+TraceProvider::computeLayer(int layer_id) const
+{
+    auto &row = cache_[layer_id];
+    row.resize(steps_);
+    const double lf = layerFactor_[layer_id];
+    const double amp = layerAmplitude_[layer_id];
+
+    Rng step_rng = Rng::fromKeys(options_.seed ^ 0x57E9,
+                                 static_cast<uint64_t>(modelId_),
+                                 static_cast<uint64_t>(layer_id));
+    for (int t = 0; t < steps_; ++t) {
+        // Per-(layer, step) jitter: real activation statistics are not
+        // perfectly smooth across steps, which is what makes Defo's
+        // locked second-step decision occasionally wrong (Fig. 17's
+        // 92% accuracy).
+        double factor = lf * stepFactor_[t] *
+                        std::exp(step_rng.normal(0.0, 0.25));
+        double drift_mult = 1.0;
+        if (options_.driftSimilarity) {
+            // Oscillating similarity: alternates the per-layer
+            // difference-processing benefit across the time domain.
+            const double osc = options_.driftAmplitude *
+                std::sin(2.0 * 3.14159265358979 * t /
+                             std::max(4.0, steps_ / 3.0) +
+                         layerPhase_[layer_id]);
+            drift_mult = std::exp(osc);
+            factor *= drift_mult;
+        }
+        MixtureParams p = base_;
+        if (options_.driftSimilarity) {
+            // Distribution shifts move the tails, not just the widths:
+            // low-similarity phases see far more full-bit-width jumps,
+            // which is what makes the per-layer execution-type optimum
+            // change across the time domain (Fig. 19's premise).
+            p.jumpProb = std::min(0.95, p.jumpProb * drift_mult);
+        }
+        p.rhoT0 = modulateRho(p.rhoT0, factor);
+        p.rhoT1 = modulateRho(p.rhoT1, factor);
+        p.rhoT2 = modulateRho(p.rhoT2, factor);
+        // Spatial structure varies across layers but not across steps.
+        p.rhoS0 = modulateRho(p.rhoS0, lf);
+        p.rhoS1 = modulateRho(p.rhoS1, lf);
+        p.rhoS2 = modulateRho(p.rhoS2, lf);
+
+        LayerStepStats &st = row[t];
+        st.act = activationFractions(p);
+        st.temp = temporalDiffFractions(p);
+        st.spat = spatialDiffFractions(p);
+        st.cosT = temporalCosine(p);
+        st.cosS = spatialCosine(p);
+        st.actRange = amp * activationRange(p);
+        st.diffRange = amp * temporalDiffRange(p);
+    }
+    cached_[layer_id] = true;
+}
+
+const LayerStepStats &
+TraceProvider::stats(int layer_id, int step) const
+{
+    DITTO_ASSERT(layer_id >= 0 && layer_id < graph_->numLayers(),
+                 "layer id out of range");
+    DITTO_ASSERT(step >= 0 && step < steps_, "step out of range");
+    if (!cached_[layer_id])
+        computeLayer(layer_id);
+    return cache_[layer_id][step];
+}
+
+} // namespace ditto

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-layer, per-step activation statistics for a model graph.
+ *
+ * This is the reproduction's replacement for the Sparse-DySta
+ * simulator's PyTorch hooks: where the paper observes real activations
+ * per layer and time step, we derive the same statistics from the
+ * calibrated mixture, modulated by
+ *
+ *  - a per-layer factor (deterministic hash jitter; wide/deep layers
+ *    carry larger magnitudes, matching Fig. 4a's conv-in vs
+ *    up.0.0.skip contrast),
+ *  - a per-step profile: the final denoising steps change the image the
+ *    most, so (1 - rho) grows toward the end of the reverse process —
+ *    reproducing the lower BOPs reduction of the last steps (Fig. 6b),
+ *  - an optional drift mode that oscillates the temporal similarity
+ *    across steps, the stress scenario of the Dynamic-Ditto study
+ *    (Fig. 19).
+ */
+#ifndef DITTO_TRACE_PROVIDER_H
+#define DITTO_TRACE_PROVIDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/graph.h"
+#include "model/zoo.h"
+#include "trace/mixture.h"
+
+namespace ditto {
+
+/** Statistics of one layer's dynamic input at one denoising step. */
+struct LayerStepStats
+{
+    BitFractions act;   //!< quantized activation bit classes
+    BitFractions temp;  //!< quantized temporal-difference bit classes
+    BitFractions spat;  //!< quantized spatial-difference bit classes
+    double cosT = 1.0;  //!< cosine similarity to the previous step
+    double cosS = 0.0;  //!< spatial cosine similarity
+    double actRange = 0.0;   //!< activation value range (model units)
+    double diffRange = 0.0;  //!< temporal-difference value range
+};
+
+/** Options controlling trace synthesis. */
+struct TraceOptions
+{
+    uint64_t seed = 7;
+    /** Fig. 19 stress mode: oscillate temporal similarity across steps. */
+    bool driftSimilarity = false;
+    double driftAmplitude = 3.0; //!< log-amplitude of the oscillation
+};
+
+/**
+ * Supplies LayerStepStats for every (compute layer, step) pair of one
+ * model. Construction is cheap; statistics are precomputed lazily per
+ * layer and cached.
+ */
+class TraceProvider
+{
+  public:
+    TraceProvider(ModelId id, const ModelGraph &graph,
+                  TraceOptions options = {});
+
+    /** Stats of layer `layer_id` at executed step `step` (0-based). */
+    const LayerStepStats &stats(int layer_id, int step) const;
+
+    /** Number of executed denoising steps (sampler steps + extra). */
+    int steps() const { return steps_; }
+
+    const ModelGraph &graph() const { return *graph_; }
+    const MixtureParams &baseParams() const { return base_; }
+
+    /** Per-layer magnitude amplitude (value-range scale). */
+    double layerAmplitude(int layer_id) const;
+
+    /** Per-step modulation factor applied to (1 - rho_temporal). */
+    double stepFactor(int step) const;
+
+  private:
+    const ModelGraph *graph_;
+    ModelId modelId_;
+    TraceOptions options_;
+    MixtureParams base_;
+    int steps_;
+    std::vector<double> layerFactor_;    //!< per-layer (1-rho) multiplier
+    std::vector<double> layerAmplitude_;
+    std::vector<double> stepFactor_;     //!< per-step (1-rho) multiplier
+    std::vector<double> layerPhase_;     //!< drift-mode oscillation phase
+    mutable std::vector<std::vector<LayerStepStats>> cache_;
+    mutable std::vector<bool> cached_;
+
+    void computeLayer(int layer_id) const;
+};
+
+} // namespace ditto
+
+#endif // DITTO_TRACE_PROVIDER_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Monte Carlo mixture sampler implementation.
+ */
+#include "trace/sampler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ditto {
+
+MixtureSampler::MixtureSampler(const MixtureParams &params, uint64_t seed)
+    : params_(params), seed_(seed)
+{}
+
+std::vector<FloatTensor>
+MixtureSampler::sampleSequence(int64_t elems, int steps, double amplitude)
+{
+    DITTO_ASSERT(elems > 0 && steps > 0, "bad sample request");
+    Rng rng = Rng::fromKeys(seed_, 0xD1770, sequence_++);
+
+    // Assign one mixture component per contiguous block of elements.
+    const int64_t blocks = (elems + kBlock - 1) / kBlock;
+    std::vector<int> component(blocks);
+    for (int64_t b = 0; b < blocks; ++b) {
+        const double u = rng.uniform();
+        component[b] = u < params_.w0 ? 0 : (u < params_.w0 + params_.w1()
+                                                 ? 1 : 2);
+    }
+    auto sigma_of = [&](int c) {
+        return c == 0 ? params_.sigma0 : (c == 1 ? 1.0 : params_.beta);
+    };
+    auto rho_t_of = [&](int c) {
+        return c == 0 ? params_.rhoT0 : (c == 1 ? params_.rhoT1
+                                                : params_.rhoT2);
+    };
+    auto rho_s_of = [&](int c) {
+        return c == 0 ? params_.rhoS0 : (c == 1 ? params_.rhoS1
+                                                : params_.rhoS2);
+    };
+
+    // Draw a spatially-correlated standard field: AR(1) along elements,
+    // restarting at block boundaries.
+    auto draw_field = [&](std::vector<double> &field) {
+        for (int64_t b = 0; b < blocks; ++b) {
+            const double rho_s = rho_s_of(component[b]);
+            const double innov = std::sqrt(
+                std::max(1.0 - rho_s * rho_s, 0.0));
+            const int64_t lo = b * kBlock;
+            const int64_t hi = std::min(lo + kBlock, elems);
+            for (int64_t i = lo; i < hi; ++i) {
+                field[i] = i == lo
+                    ? rng.normal()
+                    : rho_s * field[i - 1] + innov * rng.normal();
+            }
+        }
+    };
+
+    std::vector<double> state(elems);
+    std::vector<double> innovation(elems);
+    draw_field(state);
+
+    std::vector<FloatTensor> out;
+    out.reserve(steps);
+    for (int t = 0; t < steps; ++t) {
+        if (t > 0) {
+            // Temporal AR(1) with spatially-correlated innovations keeps
+            // both correlation structures at every step.
+            draw_field(innovation);
+            for (int64_t b = 0; b < blocks; ++b) {
+                const double rho_t = rho_t_of(component[b]);
+                const double innov = std::sqrt(
+                    std::max(1.0 - rho_t * rho_t, 0.0));
+                const int64_t lo = b * kBlock;
+                const int64_t hi = std::min(lo + kBlock, elems);
+                for (int64_t i = lo; i < hi; ++i) {
+                    // Heavy-tail jumps: rare, larger step changes.
+                    const double jump =
+                        params_.jumpProb > 0.0 &&
+                                rng.bernoulli(params_.jumpProb)
+                            ? params_.jumpScale : 1.0;
+                    state[i] = rho_t * state[i] +
+                               jump * innov * innovation[i];
+                }
+            }
+        }
+        FloatTensor tensor(Shape{elems});
+        auto span = tensor.data();
+        for (int64_t i = 0; i < elems; ++i) {
+            const double sigma = sigma_of(component[i / kBlock]);
+            span[i] = static_cast<float>(amplitude * sigma * state[i]);
+        }
+        out.push_back(std::move(tensor));
+    }
+    return out;
+}
+
+} // namespace ditto

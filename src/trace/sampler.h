@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Monte Carlo sampler of the calibrated activation process.
+ *
+ * Generates actual float tensors following the mixture model — the same
+ * element-level process the analytic formulas of mixture.h describe —
+ * so that (a) the analytic statistics can be validated empirically,
+ * (b) figure-level analyses (value heatmaps, per-step ranges) run on
+ * concrete data, and (c) the functional Ditto pipeline has realistic
+ * multi-step inputs.
+ *
+ * Elements are grouped into contiguous blocks that share a mixture
+ * component (mimicking the channel structure of real activations:
+ * outliers concentrate in specific channels). Each element carries an
+ * AR(1) chain across time steps; innovations are spatially correlated
+ * within a block so spatial similarity is preserved at every step.
+ */
+#ifndef DITTO_TRACE_SAMPLER_H
+#define DITTO_TRACE_SAMPLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "trace/mixture.h"
+
+namespace ditto {
+
+/** Generates temporally and spatially correlated activation sequences. */
+class MixtureSampler
+{
+  public:
+    /** Elements per component block (channel-run granularity). */
+    static constexpr int64_t kBlock = 32;
+
+    MixtureSampler(const MixtureParams &params, uint64_t seed);
+
+    /**
+     * Sample a sequence of `steps` activation tensors with `elems`
+     * elements each, scaled by `amplitude`.
+     */
+    std::vector<FloatTensor> sampleSequence(int64_t elems, int steps,
+                                            double amplitude = 1.0);
+
+    const MixtureParams &params() const { return params_; }
+
+  private:
+    MixtureParams params_;
+    uint64_t seed_;
+    uint64_t sequence_ = 0;
+};
+
+} // namespace ditto
+
+#endif // DITTO_TRACE_SAMPLER_H

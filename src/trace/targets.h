@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-model statistical calibration targets.
+ *
+ * Each entry is the set of headline statistics the paper reports (or
+ * that we read off its figures) for one benchmark model. The calibrator
+ * in calibrate.h fits mixture parameters to these targets; the bench
+ * binaries then re-measure the statistics from the fitted model so
+ * EXPERIMENTS.md can record paper-vs-measured.
+ *
+ * Provenance codes used in targets.cc:
+ *  (a) number stated in the paper text,
+ *  (b) bar height read off a figure to ~1 significant digit,
+ *  (c) interpolated so the 7-model average matches a stated average.
+ */
+#ifndef DITTO_TRACE_TARGETS_H
+#define DITTO_TRACE_TARGETS_H
+
+#include "model/zoo.h"
+
+namespace ditto {
+
+/** Calibration targets for one model. */
+struct StatTargets
+{
+    double cosT = 0.98;       //!< temporal cosine similarity (Fig. 3b)
+    double cosS = 0.31;       //!< spatial cosine similarity (Fig. 3b)
+    double rangeRatio = 8.96; //!< act range / temporal diff range (Fig. 4b)
+    double zeroT = 0.4448;    //!< zero fraction of temporal diffs (Fig. 5)
+    double le4T = 0.9601;     //!< <=4-bit fraction of temporal diffs
+    double zeroA = 0.1836;    //!< zero fraction of activations
+    double le4A = 0.5772;     //!< <=4-bit fraction of activations
+    double zeroS = 0.2644;    //!< zero fraction of spatial diffs
+    double le4S = 0.7442;     //!< <=4-bit fraction of spatial diffs
+    double avgActRange = 12.0; //!< mean activation value range (Fig. 4b)
+};
+
+/** Targets for one model of the zoo. */
+const StatTargets &statTargets(ModelId id);
+
+} // namespace ditto
+
+#endif // DITTO_TRACE_TARGETS_H

@@ -1,0 +1,616 @@
+/**
+ * @file
+ * Tests for src/hw: the functional Encoding Unit and adder-tree PE
+ * (verified bit-exact against scalar oracles), the analytic cost
+ * model, the accelerator simulator invariants and the GPU model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "hw/accelerator.h"
+#include "hw/config.h"
+#include "hw/cost_model.h"
+#include "hw/encoding_unit.h"
+#include "hw/energy.h"
+#include "hw/gpu_model.h"
+#include "hw/pe.h"
+#include "model/zoo.h"
+#include "quant/bitwidth.h"
+#include "trace/provider.h"
+
+namespace ditto {
+namespace {
+
+Int8Tensor
+randomCodes(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Int8Tensor t(Shape{n});
+    t.fillUniformInt(rng, -127, 127);
+    return t;
+}
+
+Int8Tensor
+similarCodes(const Int8Tensor &base, uint64_t seed)
+{
+    Rng rng(seed);
+    Int8Tensor out = base;
+    for (auto &v : out.data()) {
+        if (rng.bernoulli(0.5)) {
+            const int nv = std::clamp(
+                static_cast<int>(v) +
+                    static_cast<int>(rng.uniformInt(11)) - 5,
+                -127, 127);
+            v = static_cast<int8_t>(nv);
+        }
+    }
+    return out;
+}
+
+// ---- Encoding Unit -------------------------------------------------------
+
+TEST(EncodingUnit, ClassificationMatchesOracle)
+{
+    const Int8Tensor prev = randomCodes(4096, 1);
+    const Int8Tensor cur = similarCodes(prev, 2);
+    const EncodingUnit eu;
+    const EncodedStream s = eu.encodeTemporal(cur, prev);
+    const BitClassHistogram h = classifyTemporalDiff(cur, prev);
+    EXPECT_EQ(s.zeroSkipped,
+              static_cast<int64_t>(std::lround(h.zeroFrac * 4096)));
+    EXPECT_EQ(s.low4Count,
+              static_cast<int64_t>(std::lround(h.low4Frac * 4096)));
+    EXPECT_EQ(s.full8Count,
+              static_cast<int64_t>(std::lround(h.full8Frac * 4096)));
+}
+
+TEST(EncodingUnit, LaneSlotsCountOnePlusTwo)
+{
+    const Int8Tensor prev = randomCodes(1024, 3);
+    const Int8Tensor cur = similarCodes(prev, 4);
+    const EncodingUnit eu;
+    const EncodedStream s = eu.encodeTemporal(cur, prev);
+    EXPECT_EQ(s.laneSlots(), s.low4Count + 2 * s.full8Count);
+}
+
+TEST(EncodingUnit, LanesReconstructDifferencesExactly)
+{
+    const Int8Tensor prev = randomCodes(512, 5);
+    const Int8Tensor cur = similarCodes(prev, 6);
+    const EncodingUnit eu;
+    const EncodedStream s = eu.encodeTemporal(cur, prev);
+    // Reassemble per-index values from lanes and compare with the
+    // actual differences.
+    std::vector<int32_t> rebuilt(512, 0);
+    for (const LaneOperand &op : s.lanes)
+        rebuilt[static_cast<size_t>(op.index)] +=
+            op.highPart ? (static_cast<int32_t>(op.nibble) << 4)
+                        : op.nibble;
+    for (int64_t i = 0; i < 512; ++i) {
+        const int32_t expect = static_cast<int32_t>(cur.at(i)) -
+                               static_cast<int32_t>(prev.at(i));
+        EXPECT_EQ(rebuilt[static_cast<size_t>(i)], expect)
+            << "element " << i;
+    }
+}
+
+TEST(EncodingUnit, ExtremeDifferencesStayExact)
+{
+    // The widest possible difference spans 9 bits.
+    Int8Tensor prev(Shape{2});
+    Int8Tensor cur(Shape{2});
+    prev.at(0) = -127;
+    cur.at(0) = 127; // +254
+    prev.at(1) = 127;
+    cur.at(1) = -127; // -254
+    const EncodingUnit eu;
+    const EncodedStream s = eu.encodeTemporal(cur, prev);
+    int32_t v0 = 0;
+    int32_t v1 = 0;
+    for (const LaneOperand &op : s.lanes) {
+        int32_t &acc = op.index == 0 ? v0 : v1;
+        acc += op.highPart ? (static_cast<int32_t>(op.nibble) << 4)
+                           : op.nibble;
+    }
+    EXPECT_EQ(v0, 254);
+    EXPECT_EQ(v1, -254);
+}
+
+TEST(EncodingUnit, ActPathEncodesEveryValueOnTwoLanes)
+{
+    const Int8Tensor cur = randomCodes(256, 7);
+    const EncodingUnit eu;
+    const EncodedStream s = eu.encodeAct(cur);
+    EXPECT_EQ(s.laneSlots(), 512);
+    EXPECT_EQ(s.zeroSkipped, 0);
+    std::vector<int32_t> rebuilt(256, 0);
+    for (const LaneOperand &op : s.lanes)
+        rebuilt[static_cast<size_t>(op.index)] +=
+            op.highPart ? (static_cast<int32_t>(op.nibble) << 4)
+                        : op.nibble;
+    for (int64_t i = 0; i < 256; ++i)
+        EXPECT_EQ(rebuilt[static_cast<size_t>(i)], cur.at(i));
+}
+
+TEST(EncodingUnit, SpatialModeMatchesSpatialOracle)
+{
+    Rng rng(8);
+    Int8Tensor cur(Shape{16, 64});
+    cur.fillUniformInt(rng, -20, 20);
+    const EncodingUnit eu;
+    const EncodedStream s = eu.encodeSpatial(cur);
+    const BitClassHistogram h = classifySpatialDiff(cur);
+    EXPECT_EQ(s.zeroSkipped,
+              static_cast<int64_t>(std::lround(h.zeroFrac * 1024)));
+    EXPECT_EQ(s.full8Count,
+              static_cast<int64_t>(std::lround(h.full8Frac * 1024)));
+}
+
+// ---- Adder-tree PE --------------------------------------------------------
+
+TEST(AdderTreePe, DotProductBitExactOnTemporalDiffs)
+{
+    const Int8Tensor prev = randomCodes(1024, 9);
+    const Int8Tensor cur = similarCodes(prev, 10);
+    const Int8Tensor weights = randomCodes(1024, 11);
+    const EncodingUnit eu;
+    const AdderTreePe pe;
+    const PeRunResult r = pe.run(
+        eu.encodeTemporal(cur, prev),
+        [&](int32_t i) { return weights.at(i); });
+    int64_t expect = 0;
+    for (int64_t i = 0; i < 1024; ++i)
+        expect += (static_cast<int64_t>(cur.at(i)) - prev.at(i)) *
+                  weights.at(i);
+    EXPECT_EQ(r.accumulator, expect);
+}
+
+TEST(AdderTreePe, DotProductBitExactOnActPath)
+{
+    const Int8Tensor cur = randomCodes(777, 12);
+    const Int8Tensor weights = randomCodes(777, 13);
+    const EncodingUnit eu;
+    const AdderTreePe pe;
+    const PeRunResult r = pe.run(eu.encodeAct(cur), [&](int32_t i) {
+        return weights.at(i);
+    });
+    int64_t expect = 0;
+    for (int64_t i = 0; i < 777; ++i)
+        expect += static_cast<int64_t>(cur.at(i)) * weights.at(i);
+    EXPECT_EQ(r.accumulator, expect);
+}
+
+TEST(AdderTreePe, CyclesAreCeilOfLanesOverWidth)
+{
+    const Int8Tensor prev = randomCodes(100, 14);
+    const Int8Tensor cur = similarCodes(prev, 15);
+    const EncodingUnit eu;
+    const EncodedStream s = eu.encodeTemporal(cur, prev);
+    const AdderTreePe pe(4);
+    const PeRunResult r = pe.run(s, [](int32_t) { return int8_t{1}; });
+    EXPECT_EQ(r.cycles, (s.laneSlots() + 3) / 4);
+}
+
+TEST(AdderTreePe, ZeroSkippingReducesCycles)
+{
+    // Identical tensors: all differences zero, no lanes, zero cycles.
+    const Int8Tensor x = randomCodes(256, 16);
+    const EncodingUnit eu;
+    const AdderTreePe pe;
+    const PeRunResult r = pe.run(eu.encodeTemporal(x, x),
+                                 [](int32_t) { return int8_t{1}; });
+    EXPECT_EQ(r.cycles, 0);
+    EXPECT_EQ(r.accumulator, 0);
+}
+
+/** Property sweep: exactness across seeds and sizes. */
+class PeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(PeProperty, RandomStreamsExact)
+{
+    const auto [n, seed] = GetParam();
+    const Int8Tensor prev = randomCodes(n, static_cast<uint64_t>(seed));
+    const Int8Tensor cur =
+        similarCodes(prev, static_cast<uint64_t>(seed) + 1);
+    const Int8Tensor weights =
+        randomCodes(n, static_cast<uint64_t>(seed) + 2);
+    const EncodingUnit eu;
+    const AdderTreePe pe;
+    const PeRunResult r = pe.run(
+        eu.encodeTemporal(cur, prev),
+        [&](int32_t i) { return weights.at(i); });
+    int64_t expect = 0;
+    for (int64_t i = 0; i < n; ++i)
+        expect += (static_cast<int64_t>(cur.at(i)) - prev.at(i)) *
+                  weights.at(i);
+    EXPECT_EQ(r.accumulator, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, PeProperty,
+    ::testing::Combine(::testing::Values(16, 64, 257, 1000),
+                       ::testing::Values(1, 2, 3)));
+
+// ---- Cost model -----------------------------------------------------------
+
+class CostModelTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        layer_.id = 0;
+        layer_.kind = OpKind::Conv2d;
+        layer_.macs = 1'000'000;
+        layer_.inputElems = 10'000;
+        layer_.outputElems = 10'000;
+        layer_.weightElems = 100'000;
+        stats_.temp = {0.45, 0.51, 0.04};
+        stats_.spat = {0.26, 0.48, 0.26};
+        stats_.act = {0.18, 0.40, 0.42};
+    }
+
+    Layer layer_;
+    LayerDependency dep_;
+    OnChipFlags onchip_;
+    LayerStepStats stats_;
+    EnergyTable et_;
+};
+
+TEST_F(CostModelTest, DiffModeFasterThanActOnDittoLanes)
+{
+    const HwConfig cfg = makeConfig(HwDesign::Ditto);
+    const LayerCost act = computeLayerCost(cfg, et_, layer_, dep_,
+                                           onchip_, stats_,
+                                           ExecMode::Act, true);
+    const LayerCost diff = computeLayerCost(cfg, et_, layer_, dep_,
+                                            onchip_, stats_,
+                                            ExecMode::TemporalDiff,
+                                            true);
+    EXPECT_LT(diff.computeCycles, act.computeCycles);
+}
+
+TEST_F(CostModelTest, ZeroSkipReducesComputeCycles)
+{
+    HwConfig with = makeConfig(HwDesign::Ditto);
+    HwConfig without = with;
+    without.zeroSkip = false;
+    const double c_with =
+        computeLayerCost(with, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::TemporalDiff, true)
+            .computeCycles;
+    const double c_without =
+        computeLayerCost(without, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::TemporalDiff, true)
+            .computeCycles;
+    EXPECT_LT(c_with, c_without);
+}
+
+TEST_F(CostModelTest, TemporalModeAddsPrevTraffic)
+{
+    const HwConfig cfg = makeConfig(HwDesign::Ditto);
+    const double act_bytes =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::Act, true)
+            .dramBytes;
+    const double diff_bytes =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::TemporalDiff, true)
+            .dramBytes;
+    // Dependency flags default to true: prev input + prev output.
+    EXPECT_DOUBLE_EQ(diff_bytes - act_bytes,
+                     static_cast<double>(layer_.inputElems +
+                                         layer_.outputElems));
+}
+
+TEST_F(CostModelTest, DependencyBypassRemovesPrevTraffic)
+{
+    const HwConfig cfg = makeConfig(HwDesign::Ditto);
+    dep_.diffCalcNeeded = false;
+    dep_.summationNeeded = false;
+    const double act_bytes =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::Act, true)
+            .dramBytes;
+    const double diff_bytes =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::TemporalDiff, true)
+            .dramBytes;
+    EXPECT_DOUBLE_EQ(diff_bytes, act_bytes);
+}
+
+TEST_F(CostModelTest, SignMaskWaivesSiLuBoundaries)
+{
+    HwConfig cfg = makeConfig(HwDesign::CambriconD);
+    dep_.boundaryNonLinears = {OpKind::SiLU, OpKind::GroupNorm};
+    const double with_mask =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::TemporalDiff, true)
+            .dramBytes;
+    cfg.signMask = false;
+    const double without_mask =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::TemporalDiff, true)
+            .dramBytes;
+    EXPECT_LT(with_mask, without_mask);
+}
+
+TEST_F(CostModelTest, SignMaskCannotWaiveSoftmaxBoundaries)
+{
+    HwConfig cfg = makeConfig(HwDesign::CambriconD);
+    dep_.boundaryNonLinears = {OpKind::Softmax};
+    const double masked =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::TemporalDiff, true)
+            .dramBytes;
+    cfg.signMask = false;
+    const double unmasked =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::TemporalDiff, true)
+            .dramBytes;
+    EXPECT_DOUBLE_EQ(masked, unmasked);
+}
+
+TEST_F(CostModelTest, SpatialModeHasNoTemporalTraffic)
+{
+    const HwConfig cfg = makeConfig(HwDesign::DittoPlus);
+    const double act_bytes =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::Act, true)
+            .dramBytes;
+    const double spat_bytes =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::SpatialDiff, true)
+            .dramBytes;
+    EXPECT_DOUBLE_EQ(spat_bytes, act_bytes);
+}
+
+TEST_F(CostModelTest, CambriconDActModeCollapsesToOutlierLanes)
+{
+    const HwConfig camd = makeConfig(HwDesign::CambriconD);
+    const HwConfig ditto = makeConfig(HwDesign::Ditto);
+    const double camd_act =
+        computeLayerCost(camd, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::Act, true)
+            .computeCycles;
+    const double ditto_act =
+        computeLayerCost(ditto, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::Act, true)
+            .computeCycles;
+    EXPECT_GT(camd_act, 3.0 * ditto_act);
+}
+
+TEST_F(CostModelTest, LegaliseAttentionWithoutSupport)
+{
+    HwConfig cfg = makeConfig(HwDesign::Ditto);
+    cfg.attnDiff = false;
+    Layer attn = layer_;
+    attn.kind = OpKind::AttnQK;
+    EXPECT_EQ(legaliseMode(cfg, attn, ExecMode::TemporalDiff),
+              ExecMode::Act);
+    EXPECT_EQ(legaliseMode(cfg, layer_, ExecMode::TemporalDiff),
+              ExecMode::TemporalDiff);
+}
+
+TEST_F(CostModelTest, LegaliseSpatialWithoutSupport)
+{
+    const HwConfig cfg = makeConfig(HwDesign::Ditto); // no spatialMode
+    EXPECT_EQ(legaliseMode(cfg, layer_, ExecMode::SpatialDiff),
+              ExecMode::Act);
+}
+
+TEST_F(CostModelTest, StallIsTotalMinusBusy)
+{
+    const HwConfig cfg = makeConfig(HwDesign::Ditto);
+    const LayerCost c =
+        computeLayerCost(cfg, et_, layer_, dep_, onchip_, stats_,
+                         ExecMode::TemporalDiff, true);
+    EXPECT_NEAR(c.totalCycles, c.computeCycles + c.stallCycles, 1e-9);
+    EXPECT_GE(c.stallCycles, 0.0);
+}
+
+/**
+ * Property sweep over every design and mode: basic cost invariants
+ * that must hold regardless of configuration.
+ */
+class CostSweep
+    : public ::testing::TestWithParam<std::tuple<HwDesign, ExecMode>>
+{};
+
+TEST_P(CostSweep, CostsAreFiniteConsistentAndPositive)
+{
+    const auto [design, mode] = GetParam();
+    const HwConfig cfg = makeConfig(design);
+    const EnergyTable et;
+    Layer layer;
+    layer.id = 0;
+    layer.kind = OpKind::Conv2d;
+    layer.macs = 500'000;
+    layer.inputElems = 5'000;
+    layer.outputElems = 5'000;
+    layer.weightElems = 50'000;
+    LayerDependency dep;
+    OnChipFlags onchip;
+    LayerStepStats stats;
+    stats.temp = {0.45, 0.51, 0.04};
+    stats.spat = {0.26, 0.48, 0.26};
+    stats.act = {0.18, 0.40, 0.42};
+    const ExecMode legal = legaliseMode(cfg, layer, mode);
+    const LayerCost c = computeLayerCost(cfg, et, layer, dep, onchip,
+                                         stats, legal, true);
+    EXPECT_GT(c.computeCycles, 0.0);
+    EXPECT_GT(c.dramBytes, 0.0);
+    EXPECT_GE(c.stallCycles, 0.0);
+    EXPECT_NEAR(c.totalCycles, c.computeCycles + c.stallCycles, 1e-9);
+    EXPECT_GT(c.energy.computeUnit, 0.0);
+    EXPECT_GT(c.energy.sram, 0.0);
+    EXPECT_GT(c.energy.dram, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignsAndModes, CostSweep,
+    ::testing::Combine(::testing::ValuesIn(allDesigns()),
+                       ::testing::Values(ExecMode::Act,
+                                         ExecMode::TemporalDiff,
+                                         ExecMode::SpatialDiff)),
+    [](const ::testing::TestParamInfo<std::tuple<HwDesign, ExecMode>>
+           &info) {
+        std::string name =
+            designName(std::get<0>(info.param));
+        name += "_";
+        name += execModeName(std::get<1>(info.param));
+        for (char &c : name)
+            if (c == '-' || c == '+')
+                c = 'X';
+        return name;
+    });
+
+TEST(OnChip, AttentionScoresTiledThroughSram)
+{
+    const ModelGraph g = buildModel(ModelId::SDM);
+    const auto flags = deriveOnChipFlags(g);
+    bool saw_qk = false;
+    bool saw_pv = false;
+    for (const Layer &l : g.layers()) {
+        if (l.kind == OpKind::AttnQK) {
+            EXPECT_TRUE(flags[l.id].output);
+            saw_qk = true;
+        }
+        if (l.kind == OpKind::AttnPV) {
+            EXPECT_TRUE(flags[l.id].input1);
+            saw_pv = true;
+        }
+    }
+    EXPECT_TRUE(saw_qk);
+    EXPECT_TRUE(saw_pv);
+}
+
+// ---- Accelerator simulator -------------------------------------------------
+
+TEST(Accelerator, CycleAccountingBalances)
+{
+    const ModelGraph g = buildModel(ModelId::DDPM);
+    const TraceProvider trace(ModelId::DDPM, g);
+    const RunResult r = simulate(makeConfig(HwDesign::Ditto), g, trace);
+    EXPECT_NEAR(r.totalCycles,
+                r.computeCycles + r.vectorCycles + r.memStallCycles,
+                r.totalCycles * 1e-9);
+}
+
+TEST(Accelerator, EnergyComponentsPositiveAndConsistent)
+{
+    const ModelGraph g = buildModel(ModelId::DDPM);
+    const TraceProvider trace(ModelId::DDPM, g);
+    const RunResult r = simulate(makeConfig(HwDesign::Ditto), g, trace);
+    EXPECT_GT(r.energy.computeUnit, 0.0);
+    EXPECT_GT(r.energy.encodingUnit, 0.0);
+    EXPECT_GT(r.energy.vectorUnit, 0.0);
+    EXPECT_GT(r.energy.sram, 0.0);
+    EXPECT_GT(r.energy.dram, 0.0);
+    EXPECT_GT(r.energy.staticIdle, 0.0);
+    EXPECT_NEAR(r.energy.total(),
+                r.energy.computeUnit + r.energy.encodingUnit +
+                    r.energy.vectorUnit + r.energy.defoUnit +
+                    r.energy.sram + r.energy.dram + r.energy.staticIdle,
+                r.energy.total() * 1e-12);
+}
+
+TEST(Accelerator, ItcHasNoEncoderOrDefoEnergy)
+{
+    const ModelGraph g = buildModel(ModelId::DDPM);
+    const TraceProvider trace(ModelId::DDPM, g);
+    const RunResult r = simulate(makeConfig(HwDesign::ITC), g, trace);
+    EXPECT_DOUBLE_EQ(r.energy.encodingUnit, 0.0);
+    EXPECT_DOUBLE_EQ(r.energy.defoUnit, 0.0);
+    EXPECT_EQ(r.revertedLayers, 0);
+}
+
+TEST(Accelerator, DeterministicAcrossRuns)
+{
+    const ModelGraph g = buildModel(ModelId::CHUR);
+    const TraceProvider trace(ModelId::CHUR, g);
+    const RunResult a = simulate(makeConfig(HwDesign::Ditto), g, trace);
+    const RunResult b = simulate(makeConfig(HwDesign::Ditto), g, trace);
+    EXPECT_DOUBLE_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(Accelerator, MoreLanesNeverSlower)
+{
+    const ModelGraph g = buildModel(ModelId::DDPM);
+    const TraceProvider trace(ModelId::DDPM, g);
+    HwConfig small = makeConfig(HwDesign::Ditto);
+    small.lanes4 = 10000;
+    HwConfig big = makeConfig(HwDesign::Ditto);
+    big.lanes4 = 80000;
+    const RunResult rs = simulate(small, g, trace);
+    const RunResult rb = simulate(big, g, trace);
+    EXPECT_LE(rb.totalCycles, rs.totalCycles);
+}
+
+TEST(Accelerator, HigherBandwidthNeverSlower)
+{
+    const ModelGraph g = buildModel(ModelId::SDM);
+    const TraceProvider trace(ModelId::SDM, g);
+    HwConfig slow = makeConfig(HwDesign::Ditto);
+    slow.dramGBs = 128.0;
+    HwConfig fast = makeConfig(HwDesign::Ditto);
+    fast.dramGBs = 2048.0;
+    EXPECT_LE(simulate(fast, g, trace).totalCycles,
+              simulate(slow, g, trace).totalCycles);
+}
+
+TEST(Accelerator, DefoAccuracyWithinUnitInterval)
+{
+    const ModelGraph g = buildModel(ModelId::BED);
+    const TraceProvider trace(ModelId::BED, g);
+    const RunResult r = simulate(makeConfig(HwDesign::Ditto), g, trace);
+    EXPECT_GE(r.defoAccuracy, 0.0);
+    EXPECT_LE(r.defoAccuracy, 1.0);
+    EXPECT_GT(r.computeLayers, 0);
+    EXPECT_LE(r.revertedLayers, r.computeLayers);
+}
+
+TEST(Energy, AreaEstimateScalesWithLanes)
+{
+    const double a1 = estimateCoreAreaMm2(10000, 0, true);
+    const double a2 = estimateCoreAreaMm2(20000, 0, true);
+    EXPECT_NEAR(a2, 2.0 * a1, 1e-9);
+    // 8-bit lanes cost more than 4-bit lanes.
+    EXPECT_GT(estimateCoreAreaMm2(0, 10000, false),
+              estimateCoreAreaMm2(10000, 0, false));
+}
+
+TEST(Energy, Table3LaneCountsAreIsoArea)
+{
+    // ITC's 27648 A8W8 lanes and Ditto's 39398 A4W8 lanes plus encoder
+    // should occupy comparable silicon (the premise of Table III).
+    const double itc = estimateCoreAreaMm2(0, 27648, false);
+    const double ditto = estimateCoreAreaMm2(39398, 0, true);
+    EXPECT_NEAR(ditto / itc, 1.0, 0.15);
+}
+
+TEST(Gpu, SlowerThanDedicatedHardware)
+{
+    const ModelGraph g = buildModel(ModelId::DDPM);
+    const TraceProvider trace(ModelId::DDPM, g);
+    const RunResult itc = simulate(makeConfig(HwDesign::ITC), g, trace);
+    const GpuResult gpu = simulateGpu(g, trace.steps());
+    EXPECT_GT(gpu.timeMs, itc.timeMs);
+    EXPECT_GT(gpu.energyJ, itc.totalEnergyJ());
+}
+
+TEST(Gpu, TimeScalesWithSteps)
+{
+    const ModelGraph g = buildModel(ModelId::DDPM);
+    const GpuResult g10 = simulateGpu(g, 10);
+    const GpuResult g20 = simulateGpu(g, 20);
+    EXPECT_NEAR(g20.timeMs, 2.0 * g10.timeMs, 1e-6);
+}
+
+} // namespace
+} // namespace ditto

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for src/model: the layer IR, graph invariants, the Defo static
+ * dependency analysis, and the seven model reconstructions.
+ */
+#include <gtest/gtest.h>
+
+#include "model/builder.h"
+#include "model/graph.h"
+#include "model/zoo.h"
+
+namespace ditto {
+namespace {
+
+TEST(OpKind, ComputeClassification)
+{
+    EXPECT_TRUE(isComputeOp(OpKind::Conv2d));
+    EXPECT_TRUE(isComputeOp(OpKind::Fc));
+    EXPECT_TRUE(isComputeOp(OpKind::AttnQK));
+    EXPECT_TRUE(isComputeOp(OpKind::CrossPV));
+    EXPECT_FALSE(isComputeOp(OpKind::SiLU));
+    EXPECT_FALSE(isComputeOp(OpKind::Add));
+    EXPECT_FALSE(isComputeOp(OpKind::Input));
+}
+
+TEST(OpKind, WeightStationaryVsDynamic)
+{
+    EXPECT_TRUE(isWeightStationary(OpKind::Conv2d));
+    EXPECT_TRUE(isWeightStationary(OpKind::CrossQK));
+    EXPECT_FALSE(isWeightStationary(OpKind::AttnQK));
+    EXPECT_TRUE(isDynamicAttention(OpKind::AttnQK));
+    EXPECT_TRUE(isDynamicAttention(OpKind::AttnPV));
+    EXPECT_FALSE(isDynamicAttention(OpKind::CrossQK));
+}
+
+TEST(OpKind, NonLinearAndTransparent)
+{
+    EXPECT_TRUE(isNonLinear(OpKind::Softmax));
+    EXPECT_TRUE(isNonLinear(OpKind::GeLU));
+    EXPECT_TRUE(isNonLinear(OpKind::LayerNorm));
+    EXPECT_FALSE(isNonLinear(OpKind::Add));
+    EXPECT_TRUE(isDiffTransparent(OpKind::Add));
+    EXPECT_TRUE(isDiffTransparent(OpKind::Concat));
+    EXPECT_TRUE(isDiffTransparent(OpKind::Scale));
+    EXPECT_FALSE(isDiffTransparent(OpKind::SiLU));
+}
+
+TEST(GraphBuilder, ConvGeometry)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 3 * 8 * 8);
+    const int c = b.conv2d("conv", x, 3, 16, 3, 1, 1, 8, 8);
+    const Layer &l = b.graph().layer(c);
+    EXPECT_EQ(l.inputElems, 3 * 8 * 8);
+    EXPECT_EQ(l.outputElems, 16 * 8 * 8);
+    EXPECT_EQ(l.weightElems, 16 * 3 * 3 * 3);
+    EXPECT_EQ(l.macs, 16 * 8 * 8 * 3 * 3 * 3);
+}
+
+TEST(GraphBuilder, StridedConvHalvesOutput)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 4 * 8 * 8);
+    const int c = b.conv2d("down", x, 4, 4, 3, 2, 1, 8, 8);
+    EXPECT_EQ(b.graph().layer(c).outputElems, 4 * 4 * 4);
+}
+
+TEST(GraphBuilder, FcGeometry)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 10 * 32);
+    const int f = b.fc("fc", x, 10, 32, 64);
+    const Layer &l = b.graph().layer(f);
+    EXPECT_EQ(l.macs, 10 * 32 * 64);
+    EXPECT_EQ(l.weightElems, 32 * 64);
+    EXPECT_EQ(l.outputElems, 10 * 64);
+}
+
+TEST(GraphBuilder, AttentionGeometry)
+{
+    GraphBuilder b("g");
+    const int q = b.input("q", 16 * 32);
+    const int k = b.input("k", 16 * 32);
+    const int s = b.attnQK("qk", q, k, 16, 32, 4);
+    const Layer &l = b.graph().layer(s);
+    EXPECT_EQ(l.macs, 16 * 16 * 32);
+    EXPECT_EQ(l.inputElems, 16 * 32);
+    EXPECT_EQ(l.inputElems2, 16 * 32);
+    EXPECT_EQ(l.outputElems, 4 * 16 * 16);
+    EXPECT_EQ(l.weightElems, 0);
+}
+
+TEST(GraphBuilder, CrossAttentionTreatsContextAsWeight)
+{
+    GraphBuilder b("g");
+    const int q = b.input("q", 16 * 32);
+    const int s = b.crossQK("cqk", q, 16, 7, 32, 4);
+    const Layer &l = b.graph().layer(s);
+    EXPECT_EQ(l.weightElems, 7 * 32);
+    EXPECT_EQ(l.macs, 16 * 7 * 32);
+    EXPECT_EQ(l.inputElems2, 0);
+}
+
+TEST(Graph, ConsumersTracked)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 8);
+    const int a = b.nonLinear("silu", OpKind::SiLU, x, 8);
+    const int c1 = b.fc("f1", a, 1, 8, 8);
+    const int c2 = b.fc("f2", a, 1, 8, 8);
+    const ModelGraph g = b.take();
+    EXPECT_EQ(g.consumers(a).size(), 2u);
+    EXPECT_EQ(g.consumers(a)[0], c1);
+    EXPECT_EQ(g.consumers(a)[1], c2);
+    EXPECT_TRUE(g.consumers(c2).empty());
+}
+
+TEST(Graph, FindLayerByName)
+{
+    GraphBuilder b("g");
+    b.input("x", 8);
+    const ModelGraph g = b.take();
+    EXPECT_EQ(g.findLayer("x"), 0);
+    EXPECT_EQ(g.findLayer("nope"), -1);
+}
+
+// ---- Dependency analysis (Defo static pass) --------------------------
+
+TEST(Dependency, LinearAfterNonLinearNeedsDiffCalc)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 64);
+    const int s = b.nonLinear("silu", OpKind::SiLU, x, 64);
+    const int f = b.fc("fc", s, 1, 64, 64);
+    const ModelGraph g = b.take();
+    const auto deps = g.analyzeDependencies();
+    EXPECT_TRUE(deps[f].diffCalcNeeded);
+    // Output feeds the graph output: summation needed.
+    EXPECT_TRUE(deps[f].summationNeeded);
+}
+
+TEST(Dependency, LinearChainBypassesDiffCalcAndSummation)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 64);
+    const int f1 = b.fc("fc1", x, 1, 64, 64);
+    const int f2 = b.fc("fc2", f1, 1, 64, 64);
+    b.fc("fc3", f2, 1, 64, 64);
+    const ModelGraph g = b.take();
+    const auto deps = g.analyzeDependencies();
+    // fc1 reads the graph input: must compute the difference itself.
+    EXPECT_TRUE(deps[f1].diffCalcNeeded);
+    // fc1 feeds only fc2 (a compute layer): the difference propagates.
+    EXPECT_FALSE(deps[f1].summationNeeded);
+    // fc2 receives a difference directly.
+    EXPECT_FALSE(deps[f2].diffCalcNeeded);
+    EXPECT_FALSE(deps[f2].summationNeeded);
+}
+
+TEST(Dependency, AddOfTwoLinearsStaysTransparent)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 64);
+    const int f1 = b.fc("fc1", x, 1, 64, 64);
+    const int f2 = b.fc("fc2", x, 1, 64, 64);
+    const int a = b.add("add", f1, f2, 64);
+    const int f3 = b.fc("fc3", a, 1, 64, 64);
+    const ModelGraph g = b.take();
+    const auto deps = g.analyzeDependencies();
+    // d(f1+f2) = d(f1) + d(f2): no summation at f1/f2, no diff calc at
+    // f3.
+    EXPECT_FALSE(deps[f1].summationNeeded);
+    EXPECT_FALSE(deps[f2].summationNeeded);
+    EXPECT_FALSE(deps[f3].diffCalcNeeded);
+}
+
+TEST(Dependency, NonLinearConsumerForcesSummation)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 64);
+    const int f = b.fc("fc", x, 1, 64, 64);
+    b.nonLinear("gelu", OpKind::GeLU, f, 64);
+    const ModelGraph g = b.take();
+    const auto deps = g.analyzeDependencies();
+    EXPECT_TRUE(deps[f].summationNeeded);
+    // The boundary kind is recorded for the sign-mask model.
+    bool saw_gelu = false;
+    for (OpKind k : deps[f].boundaryNonLinears)
+        saw_gelu |= k == OpKind::GeLU;
+    EXPECT_TRUE(saw_gelu);
+}
+
+TEST(Dependency, DynamicAttentionConsumerForcesSummation)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 16 * 32);
+    const int q = b.fc("q", x, 16, 32, 32);
+    const int k = b.fc("k", x, 16, 32, 32);
+    b.attnQK("qk", q, k, 16, 32, 1);
+    const ModelGraph g = b.take();
+    const auto deps = g.analyzeDependencies();
+    // Q and K must be materialised as full values: the attention
+    // decomposition multiplies Q_t and K_prev directly.
+    EXPECT_TRUE(deps[q].summationNeeded);
+    EXPECT_TRUE(deps[k].summationNeeded);
+}
+
+TEST(Dependency, TransparentChainPropagatesThroughConcat)
+{
+    GraphBuilder b("g");
+    const int x = b.input("x", 64);
+    const int f1 = b.fc("fc1", x, 1, 64, 64);
+    const int f2 = b.fc("fc2", x, 1, 64, 64);
+    const int cat = b.concat("cat", f1, f2, 128);
+    const int f3 = b.fc("fc3", cat, 1, 128, 64);
+    const ModelGraph g = b.take();
+    const auto deps = g.analyzeDependencies();
+    EXPECT_FALSE(deps[f3].diffCalcNeeded);
+    EXPECT_FALSE(deps[f1].summationNeeded);
+}
+
+// ---- The seven model reconstructions ---------------------------------
+
+class ZooTest : public ::testing::TestWithParam<ModelId>
+{};
+
+TEST_P(ZooTest, GraphBuildsWithValidStructure)
+{
+    const ModelGraph g = buildModel(GetParam());
+    EXPECT_GT(g.numLayers(), 10);
+    EXPECT_GT(g.numComputeLayers(), 5);
+    EXPECT_GT(g.totalMacs(), 0);
+    EXPECT_GT(g.totalWeightElems(), 0);
+    // Producer ids are always earlier than consumers (topological).
+    for (const Layer &l : g.layers())
+        for (int in : l.inputs)
+            EXPECT_LT(in, l.id);
+}
+
+TEST_P(ZooTest, ComputeLayersFitTheDefoTable)
+{
+    const ModelGraph g = buildModel(GetParam());
+    // The paper sizes the Defo table at 512 entries for a maximum of
+    // 347 layers.
+    EXPECT_LE(g.numComputeLayers(), 512);
+}
+
+TEST_P(ZooTest, SamplerSpecMatchesTable1)
+{
+    const ModelSpec &spec = modelSpec(GetParam());
+    EXPECT_GT(spec.sampler.steps, 0);
+    EXPECT_FALSE(spec.abbr.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooTest, ::testing::ValuesIn(allModels()),
+    [](const ::testing::TestParamInfo<ModelId> &info) {
+        return modelAbbr(info.param);
+    });
+
+TEST(Zoo, MaxComputeLayersMatchesPaper)
+{
+    int max_layers = 0;
+    for (ModelId id : allModels())
+        max_layers =
+            std::max(max_layers, buildModel(id).numComputeLayers());
+    // Paper Section V-B: "the maximum number of layers of the diffusion
+    // model is 347".
+    EXPECT_EQ(max_layers, 347);
+}
+
+TEST(Zoo, SdmContainsTheNamedLayers)
+{
+    const ModelGraph g = buildModel(ModelId::SDM);
+    EXPECT_GE(g.findLayer("conv-in"), 0);
+    EXPECT_GE(g.findLayer("up.0.0.skip"), 0);
+}
+
+TEST(Zoo, DdpmParameterCountNearPublicCheckpoint)
+{
+    const ModelGraph g = buildModel(ModelId::DDPM);
+    const double params_m =
+        static_cast<double>(g.totalWeightElems()) / 1.0e6;
+    // Ho et al. CIFAR-10 DDPM is ~35.7M parameters.
+    EXPECT_GT(params_m, 20.0);
+    EXPECT_LT(params_m, 60.0);
+}
+
+TEST(Zoo, SdmParameterCountNearStableDiffusionUnet)
+{
+    const ModelGraph g = buildModel(ModelId::SDM);
+    const double params_m =
+        static_cast<double>(g.totalWeightElems()) / 1.0e6;
+    // SD v1 UNet is ~860M parameters.
+    EXPECT_GT(params_m, 600.0);
+    EXPECT_LT(params_m, 1100.0);
+}
+
+TEST(Zoo, DitParameterCountNearPublicCheckpoint)
+{
+    const ModelGraph g = buildModel(ModelId::DiT);
+    const double params_m =
+        static_cast<double>(g.totalWeightElems()) / 1.0e6;
+    // DiT-XL/2 is ~675M parameters.
+    EXPECT_GT(params_m, 500.0);
+    EXPECT_LT(params_m, 900.0);
+}
+
+TEST(Zoo, CrossAttentionContextProjectionsAreConstPerRun)
+{
+    const ModelGraph g = buildModel(ModelId::SDM);
+    int const_layers = 0;
+    for (const Layer &l : g.layers())
+        if (l.constPerRun)
+            ++const_layers;
+    // Two (K'/V') per transformer block.
+    EXPECT_GT(const_layers, 10);
+}
+
+TEST(Zoo, LatteAlternatesSpatialAndTemporalBlocks)
+{
+    const ModelGraph g = buildModel(ModelId::Latte);
+    int spatial = 0;
+    int temporal = 0;
+    for (const Layer &l : g.layers()) {
+        if (l.kind != OpKind::AttnQK)
+            continue;
+        // Spatial blocks attend over 256 tokens, temporal over 16.
+        if (l.tokens == 256)
+            ++spatial;
+        else if (l.tokens == 16)
+            ++temporal;
+    }
+    EXPECT_EQ(spatial, 14);
+    EXPECT_EQ(temporal, 14);
+}
+
+TEST(Zoo, UnconditionalModelsHaveNoCrossAttention)
+{
+    for (ModelId id : {ModelId::DDPM, ModelId::BED, ModelId::CHUR}) {
+        const ModelGraph g = buildModel(id);
+        for (const Layer &l : g.layers()) {
+            EXPECT_NE(l.kind, OpKind::CrossQK)
+                << modelAbbr(id) << " layer " << l.name;
+        }
+    }
+}
+
+TEST(Zoo, ConditionalModelsUseCrossAttention)
+{
+    for (ModelId id : {ModelId::IMG, ModelId::SDM}) {
+        const ModelGraph g = buildModel(id);
+        bool has_cross = false;
+        for (const Layer &l : g.layers())
+            has_cross |= l.kind == OpKind::CrossQK;
+        EXPECT_TRUE(has_cross) << modelAbbr(id);
+    }
+}
+
+TEST(Zoo, TransformersUseLayerNormAndGelu)
+{
+    const ModelGraph g = buildModel(ModelId::DiT);
+    bool has_ln = false;
+    bool has_gelu = false;
+    bool has_gn = false;
+    for (const Layer &l : g.layers()) {
+        has_ln |= l.kind == OpKind::LayerNorm;
+        has_gelu |= l.kind == OpKind::GeLU;
+        has_gn |= l.kind == OpKind::GroupNorm;
+    }
+    EXPECT_TRUE(has_ln);
+    EXPECT_TRUE(has_gelu);
+    EXPECT_FALSE(has_gn); // DiT has no ResNet blocks
+}
+
+} // namespace
+} // namespace ditto

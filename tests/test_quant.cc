@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit and property tests for src/quant: quantizer, clustered scales
+ * and the bit-width requirement analysis.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quant/bitwidth.h"
+#include "quant/quantizer.h"
+
+namespace ditto {
+namespace {
+
+TEST(Quantizer, RoundTripErrorBounded)
+{
+    Rng rng(1);
+    FloatTensor x(Shape{512});
+    x.fillNormal(rng, 0.0, 2.0);
+    const QuantParams p = chooseDynamicScale(x);
+    const float err = maxQuantError(x, p);
+    EXPECT_LE(err, 0.5f * p.scale + 1e-6f);
+}
+
+TEST(Quantizer, CodesWithinSymmetricRange)
+{
+    Rng rng(2);
+    FloatTensor x(Shape{512});
+    x.fillNormal(rng, 0.0, 10.0);
+    const QuantParams p = chooseDynamicScale(x);
+    const Int8Tensor q = quantize(x, p);
+    for (int8_t v : q.data()) {
+        EXPECT_GE(v, -127);
+        EXPECT_LE(v, 127);
+    }
+}
+
+TEST(Quantizer, DynamicScaleCoversMaxAbs)
+{
+    FloatTensor x(Shape{3});
+    x.at(0) = -6.35f;
+    x.at(1) = 1.0f;
+    x.at(2) = 2.0f;
+    const QuantParams p = chooseDynamicScale(x);
+    EXPECT_NEAR(p.scale, 6.35f / 127.0f, 1e-6f);
+}
+
+TEST(Quantizer, AllZeroTensorUsesUnitScale)
+{
+    FloatTensor x(Shape{4}, 0.0f);
+    const QuantParams p = chooseDynamicScale(x);
+    EXPECT_FLOAT_EQ(p.scale, 1.0f);
+    const Int8Tensor q = quantize(x, p);
+    for (int8_t v : q.data())
+        EXPECT_EQ(v, 0);
+}
+
+TEST(Quantizer, StaticScaleCoversAllSamples)
+{
+    std::vector<FloatTensor> samples;
+    for (int i = 1; i <= 3; ++i) {
+        FloatTensor t(Shape{2}, static_cast<float>(i));
+        samples.push_back(std::move(t));
+    }
+    const QuantParams p = chooseStaticScale(samples);
+    EXPECT_NEAR(p.scale, 3.0f / 127.0f, 1e-6f);
+}
+
+TEST(Quantizer, LowerBitWidthCoarserScale)
+{
+    FloatTensor x(Shape{2});
+    x.at(0) = 7.0f;
+    x.at(1) = -7.0f;
+    const QuantParams p4 = chooseDynamicScale(x, 4);
+    EXPECT_EQ(p4.maxCode(), 7);
+    EXPECT_NEAR(p4.scale, 1.0f, 1e-6f);
+}
+
+TEST(Quantizer, DequantizeAccumCombinedScale)
+{
+    Int32Tensor acc(Shape{2});
+    acc.at(0) = 100;
+    acc.at(1) = -50;
+    const FloatTensor y = dequantizeAccum(acc, 0.01f);
+    EXPECT_FLOAT_EQ(y.at(0), 1.0f);
+    EXPECT_FLOAT_EQ(y.at(1), -0.5f);
+}
+
+TEST(ClusteredQuantizer, AssignsAllStepsAndClusters)
+{
+    // Range grows monotonically: early steps small, late steps large.
+    std::vector<float> maxabs;
+    for (int t = 0; t < 50; ++t)
+        maxabs.push_back(1.0f + 0.2f * t);
+    TimestepClusteredQuantizer q(maxabs, 4);
+    EXPECT_EQ(q.numSteps(), 50);
+    EXPECT_LE(q.numClusters(), 4);
+    for (int t = 0; t < 50; ++t) {
+        EXPECT_GE(q.clusterOfStep(t), 0);
+        EXPECT_LT(q.clusterOfStep(t), q.numClusters());
+    }
+}
+
+TEST(ClusteredQuantizer, ScalesCoverClusterMaxima)
+{
+    std::vector<float> maxabs = {1.0f, 1.1f, 8.0f, 8.2f, 30.0f, 31.0f};
+    TimestepClusteredQuantizer q(maxabs, 3);
+    for (int t = 0; t < 6; ++t) {
+        const QuantParams &p = q.paramsForStep(t);
+        // The scale must be able to represent this step's max-abs.
+        EXPECT_GE(p.scale * 127.0f, maxabs[t] - 1e-4f);
+    }
+}
+
+TEST(ClusteredQuantizer, BeatsSingleStaticScaleOnDriftingRanges)
+{
+    // A small-range step quantized with a huge static scale loses most
+    // of its resolution; clustered scales keep it sharp.
+    std::vector<float> maxabs;
+    for (int t = 0; t < 20; ++t)
+        maxabs.push_back(t < 10 ? 0.5f : 50.0f);
+    TimestepClusteredQuantizer clustered(maxabs, 2);
+
+    Rng rng(3);
+    FloatTensor small(Shape{256});
+    small.fillNormal(rng, 0.0, 0.1);
+    QuantParams single;
+    single.scale = 50.0f / 127.0f;
+
+    const float err_single = maxQuantError(small, single);
+    const float err_clustered =
+        maxQuantError(small, clustered.paramsForStep(0));
+    EXPECT_LT(err_clustered, err_single);
+}
+
+TEST(ClusteredQuantizer, SeparatesTwoRangeRegimes)
+{
+    // Ten small-range steps followed by ten large-range steps: two
+    // clusters should isolate them and give each regime a tight scale.
+    std::vector<float> maxabs;
+    for (int t = 0; t < 20; ++t)
+        maxabs.push_back(t < 10 ? 0.5f : 50.0f);
+    TimestepClusteredQuantizer q(maxabs, 2);
+    EXPECT_NEAR(q.paramsForStep(0).scale, 0.5f / 127.0f, 1e-5f);
+    EXPECT_NEAR(q.paramsForStep(19).scale, 50.0f / 127.0f, 1e-3f);
+    EXPECT_NE(q.clusterOfStep(0), q.clusterOfStep(19));
+}
+
+TEST(BitClass, ClassifyValueBoundaries)
+{
+    EXPECT_EQ(classifyValue(0), BitClass::Zero);
+    EXPECT_EQ(classifyValue(1), BitClass::Low4);
+    EXPECT_EQ(classifyValue(-1), BitClass::Low4);
+    EXPECT_EQ(classifyValue(7), BitClass::Low4);
+    EXPECT_EQ(classifyValue(-8), BitClass::Low4);
+    EXPECT_EQ(classifyValue(8), BitClass::Full8);
+    EXPECT_EQ(classifyValue(-9), BitClass::Full8);
+    EXPECT_EQ(classifyValue(127), BitClass::Full8);
+    EXPECT_EQ(classifyValue(-254), BitClass::Full8);
+}
+
+TEST(BitClass, NamesAreStable)
+{
+    EXPECT_STREQ(bitClassName(BitClass::Zero), "zero");
+    EXPECT_STREQ(bitClassName(BitClass::Low4), "4-bit");
+    EXPECT_STREQ(bitClassName(BitClass::Full8), ">4-bit");
+}
+
+TEST(BitClass, HistogramSumsToOne)
+{
+    Rng rng(4);
+    Int8Tensor t(Shape{1024});
+    t.fillUniformInt(rng, -127, 127);
+    const BitClassHistogram h = classifyTensor(t);
+    EXPECT_NEAR(h.zeroFrac + h.low4Frac + h.full8Frac, 1.0, 1e-9);
+    EXPECT_EQ(h.total, 1024);
+}
+
+TEST(BitClass, HistogramOfKnownValues)
+{
+    Int8Tensor t(Shape{4});
+    t.at(0) = 0;
+    t.at(1) = 3;
+    t.at(2) = -8;
+    t.at(3) = 100;
+    const BitClassHistogram h = classifyTensor(t);
+    EXPECT_DOUBLE_EQ(h.zeroFrac, 0.25);
+    EXPECT_DOUBLE_EQ(h.low4Frac, 0.5);
+    EXPECT_DOUBLE_EQ(h.full8Frac, 0.25);
+}
+
+TEST(BitClass, TemporalDiffMatchesManualSubtraction)
+{
+    Int8Tensor cur(Shape{3});
+    Int8Tensor prev(Shape{3});
+    cur.at(0) = 10;
+    prev.at(0) = 10; // zero
+    cur.at(1) = 10;
+    prev.at(1) = 5; // 5 -> low4
+    cur.at(2) = 100;
+    prev.at(2) = -100; // 200 -> full8
+    const BitClassHistogram h = classifyTemporalDiff(cur, prev);
+    EXPECT_DOUBLE_EQ(h.zeroFrac, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.low4Frac, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.full8Frac, 1.0 / 3.0);
+}
+
+TEST(BitClass, SpatialDiffFirstColumnAtOwnMagnitude)
+{
+    Int8Tensor t(Shape{1, 3});
+    t.at(0) = 100; // no left neighbour: classified at 100 -> full8
+    t.at(1) = 101; // diff 1 -> low4
+    t.at(2) = 101; // diff 0 -> zero
+    const BitClassHistogram h = classifySpatialDiff(t);
+    EXPECT_DOUBLE_EQ(h.full8Frac, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.low4Frac, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.zeroFrac, 1.0 / 3.0);
+}
+
+TEST(BitClass, MergeWeightsByCounts)
+{
+    BitClassHistogram a;
+    a.zeroFrac = 1.0;
+    a.total = 10;
+    BitClassHistogram b;
+    b.full8Frac = 1.0;
+    b.total = 30;
+    a.merge(b);
+    EXPECT_EQ(a.total, 40);
+    EXPECT_NEAR(a.zeroFrac, 0.25, 1e-12);
+    EXPECT_NEAR(a.full8Frac, 0.75, 1e-12);
+}
+
+/** Property sweep: classification respects the low_bits parameter. */
+class BitClassParamTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BitClassParamTest, BoundaryMatchesTwoComplementRange)
+{
+    const int bits = GetParam();
+    const auto hi = static_cast<int16_t>((1 << (bits - 1)) - 1);
+    const auto lo = static_cast<int16_t>(-(1 << (bits - 1)));
+    EXPECT_EQ(classifyValue(hi, bits), BitClass::Low4);
+    EXPECT_EQ(classifyValue(lo, bits), BitClass::Low4);
+    EXPECT_EQ(classifyValue(static_cast<int16_t>(hi + 1), bits),
+              BitClass::Full8);
+    EXPECT_EQ(classifyValue(static_cast<int16_t>(lo - 1), bits),
+              BitClass::Full8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLowBitWidths, BitClassParamTest,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+/** Property: quantization round-trip error bounded for many shapes. */
+class QuantRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{};
+
+TEST_P(QuantRoundTripTest, ErrorWithinHalfStep)
+{
+    const auto [seed, sigma] = GetParam();
+    Rng rng(static_cast<uint64_t>(seed));
+    FloatTensor x(Shape{256});
+    x.fillNormal(rng, 0.0, sigma);
+    const QuantParams p = chooseDynamicScale(x);
+    EXPECT_LE(maxQuantError(x, p), 0.5f * p.scale + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndScales, QuantRoundTripTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.01, 1.0, 100.0)));
+
+} // namespace
+} // namespace ditto

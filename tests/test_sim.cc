@@ -1,0 +1,386 @@
+/**
+ * @file
+ * End-to-end band tests: the experiment drivers must reproduce the
+ * paper's headline results in *shape* — who wins, by roughly what
+ * factor, where the crossovers fall. Tolerances are generous by design:
+ * our substrate is a calibrated simulator, not the authors' testbed.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/experiments.h"
+
+namespace ditto {
+namespace {
+
+double
+average(const std::vector<double> &v)
+{
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+TEST(Bands, Fig3TemporalSimilarityHighSpatialLow)
+{
+    std::vector<double> temporal;
+    std::vector<double> spatial;
+    for (const SimilarityRow &r : runFig3Similarity()) {
+        temporal.push_back(r.temporalCosine);
+        spatial.push_back(r.spatialCosine);
+        // Paper: every model above 0.947 temporal.
+        EXPECT_GT(r.temporalCosine, 0.94) << r.model;
+        EXPECT_LT(r.spatialCosine, r.temporalCosine) << r.model;
+    }
+    EXPECT_NEAR(average(temporal), 0.983, 0.012);
+    EXPECT_NEAR(average(spatial), 0.31, 0.12);
+}
+
+TEST(Bands, Fig4RangeCompression)
+{
+    std::vector<double> ratios;
+    std::map<std::string, double> by_model;
+    for (const ValueRangeRow &r : runFig4ValueRange()) {
+        ratios.push_back(r.ratio);
+        by_model[r.model] = r.ratio;
+        EXPECT_GT(r.ratio, 1.5) << r.model;
+    }
+    EXPECT_NEAR(average(ratios), 8.96, 1.0);
+    // DDPM compresses the most, CHUR the least (paper Sec. III-A).
+    EXPECT_NEAR(by_model["DDPM"], 25.02, 3.0);
+    EXPECT_NEAR(by_model["CHUR"], 2.44, 0.5);
+    for (const auto &[model, ratio] : by_model) {
+        EXPECT_LE(ratio, by_model["DDPM"] + 1e-9) << model;
+        EXPECT_GE(ratio, by_model["CHUR"] - 1e-9) << model;
+    }
+}
+
+TEST(Bands, Fig4NamedLayerContrast)
+{
+    const auto detail = runFig4LayerDetail();
+    ASSERT_EQ(detail.size(), 2u);
+    // conv-in carries a much smaller range than up.0.0.skip at every
+    // step, and differences stay far below activations.
+    for (size_t i = 0; i < detail[0].actRange.size(); ++i) {
+        EXPECT_LT(detail[0].actRange[i], detail[1].actRange[i]);
+        EXPECT_LT(detail[0].diffRange[i], detail[0].actRange[i]);
+        EXPECT_LT(detail[1].diffRange[i], detail[1].actRange[i]);
+    }
+}
+
+TEST(Bands, Fig5BitwidthRequirement)
+{
+    std::vector<double> zero_t, le4_t, full_a, full_s;
+    for (const BitwidthRow &r : runFig5Bitwidth()) {
+        zero_t.push_back(r.temporal.zero);
+        le4_t.push_back(r.temporal.atMost4());
+        full_a.push_back(r.act.full8);
+        full_s.push_back(r.spatial.full8);
+        // Temporal diffs are narrower than spatial diffs, which are
+        // narrower than activations — except Latte, whose video frames
+        // give spatial differences near-temporal sparsity (Sec. VI-C).
+        if (r.model != "Latte") {
+            EXPECT_GT(r.temporal.zero, r.spatial.zero) << r.model;
+        }
+        EXPECT_GT(r.spatial.zero, r.act.zero) << r.model;
+        EXPECT_LT(r.temporal.full8, r.spatial.full8) << r.model;
+    }
+    EXPECT_NEAR(average(zero_t), 0.4448, 0.035);
+    EXPECT_NEAR(average(le4_t), 0.9601, 0.02);
+    EXPECT_NEAR(average(full_a), 0.4228, 0.06);
+    EXPECT_NEAR(average(full_s), 0.2558, 0.06);
+}
+
+TEST(Bands, Fig6BopsReduction)
+{
+    std::vector<double> temporal, spatial;
+    std::map<std::string, double> by_model;
+    for (const BopsRow &r : runFig6Bops()) {
+        temporal.push_back(r.temporal);
+        spatial.push_back(r.spatial);
+        by_model[r.model] = r.temporal;
+        // Temporal beats spatial (except Latte, whose video frames
+        // make spatial differences competitive); both beat act
+        // processing.
+        if (r.model != "Latte") {
+            EXPECT_LT(r.temporal, r.spatial) << r.model;
+        }
+        EXPECT_LT(r.spatial, 1.0) << r.model;
+    }
+    // Paper: 53.3% below act on average, 23.1% below spatial. Our
+    // pure-MAC BOPs accounting reduces more than the paper's (which
+    // evidently carries per-element overhead terms); the band is wide
+    // and one-sided, the orderings are strict.
+    EXPECT_GT(average(temporal), 0.25);
+    EXPECT_LT(average(temporal), 0.55);
+    EXPECT_LT(average(temporal), average(spatial) - 0.1);
+    // DDPM and CHUR achieve the deepest reductions (68.8% / 71.5%).
+    EXPECT_LT(by_model["DDPM"], 0.42);
+    EXPECT_LT(by_model["CHUR"], 0.42);
+}
+
+TEST(Bands, Fig6PerStepReductionConsistent)
+{
+    for (const BopsSeries &s : runFig6StepDetail()) {
+        // Every step reduces BOPs; the final steps reduce least.
+        double first_ten = 0.0;
+        double last_ten = 0.0;
+        const size_t n = s.relativeBops.size();
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_LT(s.relativeBops[i], 1.0)
+                << s.layer << " step " << i;
+        }
+        for (size_t i = 0; i < 10; ++i) {
+            first_ten += s.relativeBops[i] / 10.0;
+            last_ten += s.relativeBops[n - 1 - i] / 10.0;
+        }
+        EXPECT_GT(last_ten, first_ten) << s.layer;
+    }
+}
+
+TEST(Bands, Fig8NaiveDiffMemoryOverhead)
+{
+    std::vector<double> ratios;
+    for (const MemAccessRow &r : runFig8MemAccess()) {
+        ratios.push_back(r.relativeAccesses);
+        EXPECT_GT(r.relativeAccesses, 1.5) << r.model;
+    }
+    EXPECT_NEAR(average(ratios), 2.75, 0.45);
+}
+
+TEST(Bands, Table2DittoIsBitExact)
+{
+    const AccuracyProxy proxy = runTable2Accuracy();
+    EXPECT_TRUE(proxy.bitExact);
+    EXPECT_GT(proxy.sqnrQuantDb, 25.0);
+    EXPECT_DOUBLE_EQ(proxy.sqnrQuantDb, proxy.sqnrDittoDb);
+    EXPECT_EQ(proxy.paperRows.size(), 7u);
+}
+
+TEST(Bands, Table3ConfigurationsMatchPaper)
+{
+    const auto rows = runTable3HwConfig();
+    ASSERT_EQ(rows.size(), 5u);
+    std::map<std::string, int64_t> lanes;
+    for (const HwConfigRow &r : rows)
+        lanes[r.hardware] = r.lanes;
+    EXPECT_EQ(lanes["ITC"], 27648);
+    EXPECT_EQ(lanes["Diffy"], 39398);
+    EXPECT_EQ(lanes["Cambricon-D"], 38280 + 2552);
+    EXPECT_EQ(lanes["Ditto"], 39398);
+}
+
+class Fig13Fixture : public ::testing::Test
+{
+  protected:
+    static const std::vector<ComparisonRow> &
+    rows()
+    {
+        static const std::vector<ComparisonRow> kRows =
+            runFig13Comparison();
+        return kRows;
+    }
+
+    static double
+    avgFor(const std::string &hw,
+           double ComparisonRow::*field)
+    {
+        double sum = 0.0;
+        int n = 0;
+        for (const ComparisonRow &r : rows()) {
+            if (r.hardware == hw) {
+                sum += r.*field;
+                ++n;
+            }
+        }
+        return sum / n;
+    }
+};
+
+TEST_F(Fig13Fixture, DittoFastestAcrossAllModels)
+{
+    std::map<std::string, double> best;
+    for (const ComparisonRow &r : rows()) {
+        if (r.hardware == "Ditto+")
+            continue;
+        if (r.hardware != "Ditto") {
+            EXPECT_LE(r.speedup,
+                      avgFor("Ditto", &ComparisonRow::speedup) * 1.6)
+                << r.hardware;
+        }
+    }
+    for (const ComparisonRow &r : rows()) {
+        // Latte is the documented exception for Diffy: its video
+        // frames give spatial differences near-temporal quality.
+        if (r.hardware == "Diffy" && r.model == "Latte")
+            continue;
+        if (r.hardware == "Diffy" || r.hardware == "Cambricon-D") {
+            double ditto = 0.0;
+            for (const ComparisonRow &d : rows())
+                if (d.model == r.model && d.hardware == "Ditto")
+                    ditto = d.speedup;
+            EXPECT_LT(r.speedup, ditto) << r.hardware << " " << r.model;
+        }
+    }
+}
+
+TEST_F(Fig13Fixture, HeadlineSpeedups)
+{
+    const double ditto = avgFor("Ditto", &ComparisonRow::speedup);
+    const double ditto_plus = avgFor("Ditto+", &ComparisonRow::speedup);
+    const double diffy = avgFor("Diffy", &ComparisonRow::speedup);
+    const double camd = avgFor("Cambricon-D", &ComparisonRow::speedup);
+    EXPECT_NEAR(ditto, 1.5, 0.15);            // paper: 1.5x
+    EXPECT_NEAR(ditto_plus / ditto, 1.06, 0.04); // paper: 1.06x
+    EXPECT_NEAR(ditto / camd, 1.56, 0.27);    // paper: 1.56x
+    EXPECT_NEAR(diffy, 1.21, 0.12);           // paper: ~24% below Ditto
+}
+
+TEST_F(Fig13Fixture, HeadlineEnergySavings)
+{
+    const double ditto = avgFor("Ditto", &ComparisonRow::relativeEnergy);
+    const double ditto_plus =
+        avgFor("Ditto+", &ComparisonRow::relativeEnergy);
+    const double camd =
+        avgFor("Cambricon-D", &ComparisonRow::relativeEnergy);
+    // Paper: 17.74% / 22.92% savings; Cambricon-D above ITC on average.
+    EXPECT_NEAR(ditto, 0.8226, 0.07);
+    EXPECT_NEAR(ditto_plus, 0.7708, 0.075);
+    EXPECT_LT(ditto_plus, ditto);
+    EXPECT_GT(camd, 0.95);
+    // SDM is a named Cambricon-D pathology.
+    for (const ComparisonRow &r : rows())
+        if (r.hardware == "Cambricon-D" && r.model == "SDM") {
+            EXPECT_GT(r.relativeEnergy, 1.0);
+        }
+}
+
+TEST_F(Fig13Fixture, Fig14MemoryAccessOrdering)
+{
+    const double camd =
+        avgFor("Cambricon-D", &ComparisonRow::relativeMemAccess);
+    const double ditto =
+        avgFor("Ditto", &ComparisonRow::relativeMemAccess);
+    const double ditto_plus =
+        avgFor("Ditto+", &ComparisonRow::relativeMemAccess);
+    // Paper: 1.95x / 1.56x / 1.36x; all above ITC, strictly ordered.
+    EXPECT_GT(camd, ditto);
+    EXPECT_GE(ditto, ditto_plus);
+    EXPECT_GT(ditto_plus, 1.0);
+    EXPECT_NEAR(camd, 1.95, 0.45);
+    EXPECT_NEAR(ditto, 1.56, 0.3);
+    EXPECT_NEAR(ditto_plus, 1.36, 0.25);
+}
+
+TEST(Bands, Fig13GpuFarSlowerAndHungrier)
+{
+    for (const GpuRow &r : runFig13Gpu()) {
+        EXPECT_LT(r.speedup, 0.6) << r.model;
+        EXPECT_GT(r.relativeEnergy, 10.0) << r.model;
+    }
+}
+
+TEST(Bands, Fig16AblationShape)
+{
+    std::map<std::string, double> total;
+    std::map<std::string, double> stall;
+    for (const AblationRow &r : runFig16Ablation()) {
+        total[r.variant] += (r.computeCycles + r.stallCycles) / 7.0;
+        stall[r.variant] += r.stallCycles / 7.0;
+    }
+    // DB alone is barely better than ITC; every mechanism addition
+    // improves the total; Defo slashes the stall cycles.
+    EXPECT_GT(total["DB"], 0.9);
+    EXPECT_LT(total["DB&DS"], total["DB"]);
+    EXPECT_LT(total["Ditto"], total["DB&DS&Attn"]);
+    EXPECT_LT(total["Ditto+"], total["Ditto"]);
+    EXPECT_LT(stall["Ditto"], stall["DB&DS&Attn"] * 0.75);
+}
+
+TEST(Bands, Fig17DefoBehaviour)
+{
+    double change_defo = 0.0;
+    double change_plus = 0.0;
+    double acc_defo = 0.0;
+    double acc_plus = 0.0;
+    double latte_plus = 0.0;
+    double max_plus = 0.0;
+    for (const DefoRow &r : runFig17Defo()) {
+        if (r.variant == "Defo") {
+            change_defo += r.changedFrac / 7.0;
+            acc_defo += r.accuracy / 7.0;
+        } else {
+            change_plus += r.changedFrac / 7.0;
+            acc_plus += r.accuracy / 7.0;
+            max_plus = std::max(max_plus, r.changedFrac);
+            if (r.model == "Latte")
+                latte_plus = r.changedFrac;
+        }
+    }
+    // Paper: 14.4% (Defo) vs 38.29% (Defo+); Latte changes 81.6% under
+    // Defo+. Our statistical family cannot reproduce a Latte spatial
+    // advantage that strong (see EXPERIMENTS.md), so the Latte check is
+    // directional only. Accuracy: 92% / 88.11%.
+    EXPECT_NEAR(change_defo, 0.144, 0.08);
+    EXPECT_GT(change_plus, change_defo);
+    EXPECT_GT(latte_plus, 0.1);
+    (void)max_plus;
+    EXPECT_NEAR(acc_defo, 0.92, 0.05);
+    EXPECT_NEAR(acc_plus, 0.8811, 0.09);
+}
+
+TEST(Bands, Fig18NearIdeal)
+{
+    for (const IdealRow &r : runFig18Ideal()) {
+        // Paper: Ditto reaches 98.8% of Ideal-Ditto, Ditto+ 95.8%.
+        EXPECT_GT(r.ditto / r.idealDitto, 0.95) << r.model;
+        EXPECT_LE(r.ditto, r.idealDitto * (1.0 + 1e-9)) << r.model;
+        EXPECT_GT(r.dittoPlus / r.idealDittoPlus, 0.93) << r.model;
+    }
+}
+
+TEST(Bands, Fig19DriftDegradesAccuracyButNotPerformance)
+{
+    double drift_acc = 0.0;
+    double ditto_frac = 0.0;
+    double dynamic_frac = 0.0;
+    for (const DynamicRow &r : runFig19Dynamic()) {
+        drift_acc += r.defoAccuracy / 7.0;
+        ditto_frac += r.ditto / r.idealDitto / 7.0;
+        dynamic_frac += r.dynamicDitto / r.idealDitto / 7.0;
+    }
+    double stationary_acc = 0.0;
+    for (const DefoRow &r : runFig17Defo())
+        if (r.variant == "Defo")
+            stationary_acc += r.accuracy / 7.0;
+    // Accuracy declines under drift, yet both designs stay above ~96%
+    // of the oracle (paper: ~7% decline; 98.03% / 98.18% of ideal).
+    EXPECT_LT(drift_acc, stationary_acc);
+    EXPECT_GT(ditto_frac, 0.95);
+    EXPECT_GT(dynamic_frac, 0.95);
+}
+
+TEST(Bands, Fig15SignMaskAndTechniquesCompose)
+{
+    std::map<std::string, double> avg;
+    for (const TechniqueRow &r : runFig15Techniques())
+        avg[r.variant] += r.speedup / 7.0;
+    // Attention differences rescue Cambricon-D's outlier-lane attention
+    // fallback; Defo adds nothing there (act mode is too slow to revert
+    // to); Defo+ helps; sign-mask gives Ditto a small push; and every
+    // Cambricon-D variant stays below the Ditto hardware.
+    EXPECT_GT(avg["Org. Cam-D & Attn. Diff."], 1.05);
+    EXPECT_NEAR(avg["Org. Cam-D & Attn. Diff. & Defo"],
+                avg["Org. Cam-D & Attn. Diff."], 0.05);
+    EXPECT_GT(avg["Org. Cam-D & Attn. Diff. & Defo+"],
+              avg["Org. Cam-D & Attn. Diff."]);
+    EXPECT_GE(avg["Ditto & Sign-mask"], avg["Ditto"]);
+    EXPECT_GE(avg["Ditto+ & Sign-mask"], avg["Ditto+"]);
+    EXPECT_GT(avg["Ditto"],
+              avg["Org. Cam-D & Attn. Diff. & Defo+"]);
+}
+
+} // namespace
+} // namespace ditto

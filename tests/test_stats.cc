@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for src/stats: similarity metrics and accumulators.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/similarity.h"
+
+namespace ditto {
+namespace {
+
+TEST(Cosine, IdenticalVectorsGiveOne)
+{
+    Rng rng(1);
+    FloatTensor a(Shape{64});
+    a.fillNormal(rng);
+    EXPECT_NEAR(cosineSimilarity(a, a), 1.0, 1e-6);
+}
+
+TEST(Cosine, OppositeVectorsGiveMinusOne)
+{
+    Rng rng(2);
+    FloatTensor a(Shape{64});
+    a.fillNormal(rng);
+    FloatTensor b(Shape{64});
+    for (int64_t i = 0; i < 64; ++i)
+        b.at(i) = -a.at(i);
+    EXPECT_NEAR(cosineSimilarity(a, b), -1.0, 1e-6);
+}
+
+TEST(Cosine, OrthogonalVectorsGiveZero)
+{
+    FloatTensor a(Shape{2});
+    FloatTensor b(Shape{2});
+    a.at(0) = 1.0f;
+    b.at(1) = 1.0f;
+    EXPECT_NEAR(cosineSimilarity(a, b), 0.0, 1e-9);
+}
+
+TEST(Cosine, ZeroVectorConventionReturnsOne)
+{
+    FloatTensor a(Shape{4}, 0.0f);
+    FloatTensor b(Shape{4}, 1.0f);
+    EXPECT_DOUBLE_EQ(cosineSimilarity(a, b), 1.0);
+}
+
+TEST(Cosine, ScaleInvariant)
+{
+    Rng rng(3);
+    FloatTensor a(Shape{128});
+    a.fillNormal(rng);
+    FloatTensor b(Shape{128});
+    for (int64_t i = 0; i < 128; ++i)
+        b.at(i) = 5.0f * a.at(i);
+    EXPECT_NEAR(cosineSimilarity(a, b), 1.0, 1e-6);
+}
+
+TEST(SpatialSimilarity, ConstantRowsAreFullySimilar)
+{
+    FloatTensor a(Shape{4, 8}, 3.0f);
+    EXPECT_NEAR(spatialSimilarity(a), 1.0, 1e-9);
+}
+
+TEST(SpatialSimilarity, AlternatingSignsAreAntiSimilar)
+{
+    FloatTensor a(Shape{1, 64});
+    for (int64_t i = 0; i < 64; ++i)
+        a.at(i) = (i % 2 == 0) ? 1.0f : -1.0f;
+    EXPECT_NEAR(spatialSimilarity(a), -1.0, 1e-6);
+}
+
+TEST(SpatialSimilarity, IidNoiseNearZero)
+{
+    Rng rng(4);
+    FloatTensor a(Shape{1, 20000});
+    a.fillNormal(rng);
+    EXPECT_NEAR(spatialSimilarity(a), 0.0, 0.03);
+}
+
+TEST(ValueRange, MaxMinusMin)
+{
+    FloatTensor a(Shape{3});
+    a.at(0) = -2.0f;
+    a.at(1) = 0.5f;
+    a.at(2) = 7.0f;
+    EXPECT_DOUBLE_EQ(valueRange(a), 9.0);
+}
+
+TEST(ValueRange, DiffRangeOfIdenticalTensorsIsZero)
+{
+    Rng rng(5);
+    FloatTensor a(Shape{32});
+    a.fillNormal(rng);
+    EXPECT_DOUBLE_EQ(diffValueRange(a, a), 0.0);
+}
+
+TEST(ValueRange, DiffRangeNarrowerForSimilarTensors)
+{
+    Rng rng(6);
+    FloatTensor a(Shape{4096});
+    a.fillNormal(rng, 0.0, 5.0);
+    FloatTensor b(Shape{4096});
+    for (int64_t i = 0; i < 4096; ++i)
+        b.at(i) = a.at(i) + 0.01f * static_cast<float>(rng.normal());
+    EXPECT_LT(diffValueRange(a, b), valueRange(a) / 10.0);
+}
+
+TEST(MaxAbs, KnownValues)
+{
+    FloatTensor a(Shape{3});
+    a.at(0) = -9.0f;
+    a.at(1) = 2.0f;
+    a.at(2) = 4.0f;
+    EXPECT_DOUBLE_EQ(maxAbs(a), 9.0);
+}
+
+TEST(Mse, ZeroForIdentical)
+{
+    Rng rng(7);
+    FloatTensor a(Shape{32});
+    a.fillNormal(rng);
+    EXPECT_DOUBLE_EQ(meanSquaredError(a, a), 0.0);
+}
+
+TEST(Mse, KnownValue)
+{
+    FloatTensor a(Shape{2}, 0.0f);
+    FloatTensor b(Shape{2});
+    b.at(0) = 3.0f;
+    b.at(1) = 4.0f;
+    EXPECT_DOUBLE_EQ(meanSquaredError(a, b), 12.5);
+}
+
+TEST(Sqnr, InfiniteForExactMatch)
+{
+    Rng rng(8);
+    FloatTensor a(Shape{16});
+    a.fillNormal(rng);
+    EXPECT_TRUE(std::isinf(sqnrDb(a, a)));
+}
+
+TEST(Sqnr, TenDbPerOrderOfMagnitude)
+{
+    FloatTensor ref(Shape{1000}, 1.0f);
+    FloatTensor approx(Shape{1000});
+    for (int64_t i = 0; i < 1000; ++i)
+        approx.at(i) = 1.0f + 0.01f;
+    // noise power 1e-4, signal 1 -> 40 dB.
+    EXPECT_NEAR(sqnrDb(ref, approx), 40.0, 0.1);
+}
+
+TEST(RunningStats, MeanMinMax)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_EQ(s.count(), 3);
+}
+
+TEST(RunningStats, StddevOfConstantIsZero)
+{
+    RunningStats s;
+    for (int i = 0; i < 5; ++i)
+        s.add(4.2);
+    EXPECT_NEAR(s.stddev(), 0.0, 1e-9);
+}
+
+TEST(RunningStats, StddevKnownValue)
+{
+    RunningStats s;
+    s.add(2.0);
+    s.add(4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+}
+
+} // namespace
+} // namespace ditto

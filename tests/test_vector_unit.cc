@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the Vector Processing Unit functional model.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hw/vector_unit.h"
+
+namespace ditto {
+namespace {
+
+FloatTensor
+randomFloats(int64_t n, uint64_t seed, double sigma = 1.0)
+{
+    Rng rng(seed);
+    FloatTensor t(Shape{n});
+    t.fillNormal(rng, 0.0, sigma);
+    return t;
+}
+
+TEST(VectorUnit, QuantizeMatchesScalarQuantizer)
+{
+    const FloatTensor x = randomFloats(512, 1, 2.0);
+    const QuantParams p = chooseDynamicScale(x);
+    const VectorUnit vpu;
+    VectorUnitRun run;
+    const Int8Tensor hw = vpu.quantize(x, p, &run);
+    const Int8Tensor ref = quantize(x, p);
+    EXPECT_TRUE(hw == ref);
+    EXPECT_EQ(run.elementOps, 512);
+}
+
+TEST(VectorUnit, DequantizeMatchesScalar)
+{
+    Rng rng(2);
+    Int32Tensor acc(Shape{128});
+    acc.fillUniformInt(rng, -100000, 100000);
+    const VectorUnit vpu;
+    const FloatTensor hw = vpu.dequantize(acc, 0.001f);
+    const FloatTensor ref = dequantizeAccum(acc, 0.001f);
+    EXPECT_TRUE(hw == ref);
+}
+
+TEST(VectorUnit, SummationIsExactIntAdd)
+{
+    Rng rng(3);
+    Int32Tensor a(Shape{64});
+    Int32Tensor b(Shape{64});
+    a.fillUniformInt(rng, -1000, 1000);
+    b.fillUniformInt(rng, -1000, 1000);
+    const VectorUnit vpu;
+    VectorUnitRun run;
+    const Int32Tensor sum = vpu.summation(a, b, &run);
+    for (int64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(sum.at(i), a.at(i) + b.at(i));
+    EXPECT_EQ(run.elementOps, 64);
+}
+
+TEST(VectorUnit, NonLinearsMatchKernels)
+{
+    const FloatTensor x = randomFloats(256, 4, 3.0);
+    const VectorUnit vpu;
+    EXPECT_TRUE(vpu.silu(x) == silu(x));
+    EXPECT_TRUE(vpu.gelu(x) == gelu(x));
+    Rng rng(5);
+    FloatTensor m(Shape{8, 32});
+    m.fillNormal(rng);
+    EXPECT_TRUE(vpu.softmax(m) == softmaxRows(m));
+}
+
+TEST(VectorUnit, CyclesScaleInverselyWithLanes)
+{
+    const FloatTensor x = randomFloats(1 << 16, 6);
+    const QuantParams p = chooseDynamicScale(x);
+    VectorUnit narrow(1024);
+    VectorUnit wide(16384);
+    VectorUnitRun rn, rw;
+    narrow.quantize(x, p, &rn);
+    wide.quantize(x, p, &rw);
+    EXPECT_EQ(rn.cycles, 64);
+    EXPECT_EQ(rw.cycles, 4);
+}
+
+TEST(VectorUnit, SoftmaxChargesFourPasses)
+{
+    Rng rng(7);
+    FloatTensor m(Shape{16, 64});
+    m.fillNormal(rng);
+    const VectorUnit vpu(256);
+    VectorUnitRun run;
+    vpu.softmax(m, &run);
+    EXPECT_EQ(run.elementOps, 4 * 16 * 64);
+    EXPECT_EQ(run.cycles, 16);
+}
+
+TEST(VectorUnit, RunAccumulatesAcrossCalls)
+{
+    const FloatTensor x = randomFloats(100, 8);
+    const QuantParams p = chooseDynamicScale(x);
+    const VectorUnit vpu(64);
+    VectorUnitRun run;
+    vpu.quantize(x, p, &run);
+    vpu.quantize(x, p, &run);
+    EXPECT_EQ(run.elementOps, 200);
+    EXPECT_EQ(run.cycles, 2 * 2); // ceil(100/64) per call
+}
+
+} // namespace
+} // namespace ditto
