@@ -1,14 +1,24 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the functional substrate: the
- * integer GEMM kernels, the difference engines, the Encoding Unit and
- * the adder-tree PE. These measure this library's software kernels
- * (used by the tests and functional pipeline), not the modelled
- * accelerator — the accelerator's performance claims come from the
- * cycle model, not wall-clock time.
+ * blocked kernel library against its retained naive:: references, the
+ * difference engines, the Encoding Unit and the adder-tree PE. These
+ * measure this library's software kernels (used by the tests and
+ * functional pipeline), not the modelled accelerator — the
+ * accelerator's performance claims come from the cycle model, not
+ * wall-clock time.
+ *
+ * Results are always emitted to BENCH_kernels.json (google-benchmark
+ * JSON format, thread count recorded in the context) so the kernel
+ * perf trajectory is tracked PR over PR; pass --benchmark_out=... to
+ * redirect.
  */
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
 #include "core/diff_linear.h"
 #include "hw/encoding_unit.h"
 #include "hw/pe.h"
@@ -30,6 +40,15 @@ randomInt8(int64_t rows, int64_t cols, uint64_t seed)
     return t;
 }
 
+FloatTensor
+randomFloat(const Shape &shape, uint64_t seed)
+{
+    Rng rng(seed);
+    FloatTensor t(shape);
+    t.fillNormal(rng, 0.0, 1.0);
+    return t;
+}
+
 void
 BM_MatmulInt8(benchmark::State &state)
 {
@@ -42,7 +61,81 @@ BM_MatmulInt8(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatmulInt8)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatmulInt8)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulInt8Naive(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const Int8Tensor a = randomInt8(n, n, 1);
+    const Int8Tensor b = randomInt8(n, n, 2);
+    for (auto _ : state) {
+        Int32Tensor c = naive::matmulInt8(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulInt8Naive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulFloat(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const FloatTensor a = randomFloat(Shape{n, n}, 1);
+    const FloatTensor b = randomFloat(Shape{n, n}, 2);
+    for (auto _ : state) {
+        FloatTensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulFloat)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulFloatNaive(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const FloatTensor a = randomFloat(Shape{n, n}, 1);
+    const FloatTensor b = randomFloat(Shape{n, n}, 2);
+    for (auto _ : state) {
+        FloatTensor c = naive::matmul(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulFloatNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulDiffInt16(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    Int16Tensor a(Shape{n, n});
+    a.fillUniformInt(rng, -254, 254);
+    const Int8Tensor b = randomInt8(n, n, 4);
+    for (auto _ : state) {
+        Int32Tensor c = matmulDiffInt16(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulDiffInt16)->Arg(64)->Arg(128);
+
+void
+BM_MatmulDiffInt16Naive(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    Int16Tensor a(Shape{n, n});
+    a.fillUniformInt(rng, -254, 254);
+    const Int8Tensor b = randomInt8(n, n, 4);
+    for (auto _ : state) {
+        Int32Tensor c = naive::matmulDiffInt16(a, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulDiffInt16Naive)->Arg(64)->Arg(128);
 
 void
 BM_FcDirectVsDiff(benchmark::State &state)
@@ -136,6 +229,116 @@ BM_Conv2dInt8(benchmark::State &state)
 }
 BENCHMARK(BM_Conv2dInt8)->Arg(16)->Arg(32);
 
+void
+BM_Conv2dInt8Naive(benchmark::State &state)
+{
+    const int64_t ch = state.range(0);
+    Rng rng(8);
+    Int8Tensor input(Shape{1, ch, 16, 16});
+    input.fillUniformInt(rng, -127, 127);
+    Int8Tensor weight(Shape{ch, ch, 3, 3});
+    weight.fillUniformInt(rng, -127, 127);
+    const Conv2dParams p{ch, ch, 3, 1, 1};
+    for (auto _ : state) {
+        Int32Tensor out = naive::conv2dInt8(input, weight, p);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * ch * ch * 9 * 16 * 16);
+}
+BENCHMARK(BM_Conv2dInt8Naive)->Arg(16)->Arg(32);
+
+void
+BM_Conv2dFloat(benchmark::State &state)
+{
+    const int64_t ch = state.range(0);
+    const FloatTensor input = randomFloat(Shape{1, ch, 32, 32}, 9);
+    const FloatTensor weight = randomFloat(Shape{ch, ch, 3, 3}, 10);
+    const Conv2dParams p{ch, ch, 3, 1, 1};
+    for (auto _ : state) {
+        FloatTensor out = conv2d(input, weight, nullptr, p);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * ch * ch * 9 * 32 * 32);
+}
+BENCHMARK(BM_Conv2dFloat)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_Conv2dFloatNaive(benchmark::State &state)
+{
+    const int64_t ch = state.range(0);
+    const FloatTensor input = randomFloat(Shape{1, ch, 32, 32}, 9);
+    const FloatTensor weight = randomFloat(Shape{ch, ch, 3, 3}, 10);
+    const Conv2dParams p{ch, ch, 3, 1, 1};
+    for (auto _ : state) {
+        FloatTensor out = naive::conv2d(input, weight, nullptr, p);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * ch * ch * 9 * 32 * 32);
+}
+BENCHMARK(BM_Conv2dFloatNaive)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_GroupNorm(benchmark::State &state)
+{
+    const int64_t ch = state.range(0);
+    const FloatTensor x = randomFloat(Shape{1, ch, 32, 32}, 11);
+    for (auto _ : state) {
+        FloatTensor out = groupNorm(x, 2);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * ch * 32 * 32);
+}
+BENCHMARK(BM_GroupNorm)->Arg(32)->Arg(128);
+
+void
+BM_GroupNormNaive(benchmark::State &state)
+{
+    const int64_t ch = state.range(0);
+    const FloatTensor x = randomFloat(Shape{1, ch, 32, 32}, 11);
+    for (auto _ : state) {
+        FloatTensor out = naive::groupNorm(x, 2);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * ch * 32 * 32);
+}
+BENCHMARK(BM_GroupNormNaive)->Arg(32)->Arg(128);
+
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: always mirror results into a JSON file (default
+ * BENCH_kernels.json, --benchmark_out overrides) with the worker
+ * thread count recorded in the context, so every CI run leaves a
+ * machine-readable record of the kernel perf trajectory.
+ */
+int
+main(int argc, char **argv)
+{
+    benchmark::AddCustomContext("ditto_num_threads",
+                                std::to_string(ditto::threadCount()));
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        // Exact flag or --benchmark_out=...; must not match
+        // --benchmark_out_format, which alone should not disable the
+        // default JSON emission.
+        if (arg == "--benchmark_out" ||
+            arg.rfind("--benchmark_out=", 0) == 0) {
+            has_out = true;
+        }
+    }
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Global thread pool backing parallelFor.
+ */
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ditto {
+
+namespace {
+
+/** True while the current thread is executing pool work. */
+thread_local bool tls_in_pool_worker = false;
+
+/**
+ * Fixed-size fork-join pool executing one parallelFor job at a time.
+ *
+ * Chunks are assigned statically: participant `i` runs chunks
+ * i, i + T, i + 2T, ... This keeps the job state trivially stable (no
+ * work stealing, no shared counters) — a job's fields are only
+ * overwritten after every participant has checked out, and chunk
+ * boundaries depend only on (begin, end, grain), never on the thread
+ * count, so output ranges are partitioned identically at any pool size.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int threads) : threads_(threads)
+    {
+        DITTO_ASSERT(threads >= 1, "thread pool needs >= 1 thread");
+        for (int i = 0; i + 1 < threads; ++i)
+            workers_.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    int threadCount() const { return threads_; }
+
+    void
+    run(int64_t begin, int64_t end, int64_t grain, const RangeFn &fn)
+    {
+        const int64_t n = end - begin;
+        if (n <= 0)
+            return;
+        DITTO_ASSERT(grain >= 1, "parallelFor grain must be positive");
+        const int64_t chunks = (n + grain - 1) / grain;
+        // Serial fast path: nothing to split, pool is size 1, or we are
+        // already inside a pool worker (nested parallelism runs inline).
+        if (chunks == 1 || workers_.empty() || tls_in_pool_worker) {
+            fn(begin, end);
+            return;
+        }
+
+        // One job at a time: a second top-level caller waits here
+        // instead of overwriting the in-flight job state.
+        std::unique_lock<std::mutex> serial(job_serial_);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            job_.fn = &fn;
+            job_.begin = begin;
+            job_.end = end;
+            job_.grain = grain;
+            job_.chunks = chunks;
+            job_.pending = threads_;
+            ++job_.epoch;
+        }
+        wake_.notify_all();
+        // The caller participates as the last worker. Mark it as
+        // inside pool work so a parallelFor issued from fn() takes
+        // the inline path instead of clobbering the live job.
+        tls_in_pool_worker = true;
+        drainAs(threads_ - 1);
+        tls_in_pool_worker = false;
+
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return job_.pending == 0; });
+        job_.fn = nullptr;
+    }
+
+  private:
+    struct Job
+    {
+        const RangeFn *fn = nullptr;
+        int64_t begin = 0;
+        int64_t end = 0;
+        int64_t grain = 1;
+        int64_t chunks = 0;
+        int pending = 0;    //!< participants not yet checked out
+        uint64_t epoch = 0; //!< bumped per job so workers see new work
+    };
+
+    /** Execute this participant's strided share, then check out. */
+    void
+    drainAs(int id)
+    {
+        for (int64_t c = id; c < job_.chunks; c += threads_) {
+            const int64_t lo = job_.begin + c * job_.grain;
+            const int64_t hi = std::min(job_.end, lo + job_.grain);
+            (*job_.fn)(lo, hi);
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (--job_.pending == 0) {
+            lock.unlock();
+            done_.notify_all();
+        }
+    }
+
+    void
+    workerLoop(int id)
+    {
+        tls_in_pool_worker = true;
+        uint64_t seen_epoch = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] {
+                    return stop_ || job_.epoch != seen_epoch;
+                });
+                if (stop_)
+                    return;
+                seen_epoch = job_.epoch;
+            }
+            drainAs(id);
+        }
+    }
+
+    const int threads_;
+    std::vector<std::thread> workers_;
+    std::mutex job_serial_; //!< serializes whole jobs across callers
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    Job job_;
+    bool stop_ = false;
+};
+
+/** Valid DITTO_NUM_THREADS value, or 0 if unset/invalid. */
+int
+envThreadCount()
+{
+    const char *env = std::getenv("DITTO_NUM_THREADS");
+    if (!env)
+        return 0;
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1)
+        return static_cast<int>(v);
+    std::fprintf(stderr,
+                 "[ditto] ignoring invalid DITTO_NUM_THREADS=\"%s\"\n",
+                 env);
+    return 0;
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_requested_threads = 0; //!< 0 = resolve from env/hardware
+
+ThreadPool &
+pool()
+{
+    std::unique_lock<std::mutex> lock(g_pool_mutex);
+    if (!g_pool) {
+        const int from_env = g_requested_threads > 0 ? 0 : envThreadCount();
+        int n = g_requested_threads > 0 ? g_requested_threads : from_env;
+        if (n == 0) {
+            const unsigned hw = std::thread::hardware_concurrency();
+            n = hw >= 1 ? static_cast<int>(hw) : 1;
+        }
+        g_pool = std::make_unique<ThreadPool>(n);
+        std::fprintf(stderr, "[ditto] thread pool: %d thread%s%s\n", n,
+                     n == 1 ? "" : "s",
+                     from_env > 0 ? " (from DITTO_NUM_THREADS)" : "");
+    }
+    return *g_pool;
+}
+
+} // namespace
+
+int
+threadCount()
+{
+    return pool().threadCount();
+}
+
+void
+setThreadCount(int n)
+{
+    DITTO_ASSERT(n >= 1, "setThreadCount needs n >= 1");
+    std::unique_lock<std::mutex> lock(g_pool_mutex);
+    if (g_pool && g_pool->threadCount() == n)
+        return;
+    g_requested_threads = n;
+    g_pool.reset();
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain, const RangeFn &fn)
+{
+    pool().run(begin, end, grain, fn);
+}
+
+void
+parallelFor(int64_t begin, int64_t end, const RangeFn &fn)
+{
+    const int64_t n = end - begin;
+    if (n <= 0)
+        return;
+    const int t = threadCount();
+    const int64_t grain = (n + t - 1) / t;
+    parallelFor(begin, end, grain, fn);
+}
+
+} // namespace ditto

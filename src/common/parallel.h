@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal persistent thread pool and a parallelFor primitive.
+ *
+ * The blocked kernels in tensor/kernels.cc split their outermost loop
+ * (GEMM row panels, conv batches, norm rows/groups) into index ranges
+ * and hand them to parallelFor. With an explicit grain, chunk
+ * boundaries are a pure function of (begin, end, grain) — never of the
+ * thread count. The grain-less convenience overload sizes chunks from
+ * the thread count, so it is only for loops where each index's result
+ * is computed entirely within its own iteration (true of every kernel
+ * here: integer kernels stay bitwise-identical and float kernels keep
+ * a fixed per-output accumulation order at any pool size; the
+ * KernelsDeterminism tests assert this).
+ *
+ * Thread count resolution, in priority order:
+ *   1. setThreadCount(n) (tests / benches),
+ *   2. the DITTO_NUM_THREADS environment variable,
+ *   3. std::thread::hardware_concurrency().
+ * The chosen count is logged once per pool (re)build so benchmark runs
+ * and CI logs record the parallelism they measured.
+ */
+#ifndef DITTO_COMMON_PARALLEL_H
+#define DITTO_COMMON_PARALLEL_H
+
+#include <cstdint>
+#include <functional>
+
+namespace ditto {
+
+/** Half-open index range [begin, end) processed by one pool task. */
+using RangeFn = std::function<void(int64_t begin, int64_t end)>;
+
+/** Number of threads the global pool runs with (including the caller). */
+int threadCount();
+
+/**
+ * Rebuild the global pool with `n` threads (n >= 1).
+ *
+ * Intended for tests (1-thread vs N-thread determinism checks) and
+ * benches; production code should rely on DITTO_NUM_THREADS.
+ */
+void setThreadCount(int n);
+
+/**
+ * Run `fn` over [begin, end) split into contiguous chunks of at most
+ * `grain` iterations.
+ *
+ * The caller's thread participates, so the call is valid (and serial)
+ * with a 1-thread pool. Chunk boundaries depend only on (begin, end,
+ * grain). Nested calls from inside a worker run inline on the calling
+ * worker rather than deadlocking the pool.
+ */
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const RangeFn &fn);
+
+/** parallelFor with grain chosen so each thread gets ~one chunk. */
+void parallelFor(int64_t begin, int64_t end, const RangeFn &fn);
+
+} // namespace ditto
+
+#endif // DITTO_COMMON_PARALLEL_H

@@ -1,0 +1,628 @@
+/**
+ * @file
+ * Blocked, parallel kernel implementations.
+ *
+ * Layout conventions (see docs/kernels.md):
+ *  - A panels: kMr rows x KC columns, stored k-major (ap[k*kMr + r])
+ *    and zero-padded to kMr rows so the micro-kernel never branches.
+ *  - B panels: KC rows x kNr columns, stored k-major (bp[k*kNr + j])
+ *    and zero-padded to kNr columns. Zero padding contributes exact
+ *    zeros, so fringe tiles stay bit-correct for every element type.
+ *  - The K dimension is processed in serial KC-sized blocks; threads
+ *    split only the row-panel (M) dimension, so every output element
+ *    accumulates in one fixed order regardless of thread count.
+ */
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+#define DITTO_RESTRICT __restrict__
+
+namespace ditto {
+namespace kernels {
+
+namespace {
+
+/** Micro-tile rows: output rows accumulated per micro-kernel call. */
+constexpr int64_t kMr = 4;
+/** Micro-tile columns: one or two SIMD vectors of accumulators. */
+constexpr int64_t kNr = 16;
+/** K-dimension cache block (panel depth). */
+constexpr int64_t kKc = 256;
+/** N-dimension cache block (columns packed per B slab). */
+constexpr int64_t kNc = 4096;
+/** Elements per chunk for parallel elementwise sweeps. */
+constexpr int64_t kElemGrain = 1 << 15;
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+float
+siluScalar(float v)
+{
+    return v / (1.0f + std::exp(-v));
+}
+
+float
+geluScalar(float v)
+{
+    // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+    constexpr float kC = 0.7978845608028654f; // sqrt(2/pi)
+    return 0.5f * v * (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
+}
+
+float
+applyActivation(float v, Activation act)
+{
+    switch (act) {
+      case Activation::kNone:
+        return v;
+      case Activation::kSiLU:
+        return siluScalar(v);
+      case Activation::kGELU:
+        return geluScalar(v);
+    }
+    DITTO_PANIC("unknown Activation");
+}
+
+/**
+ * Pack one kMr-row panel of A (row-major, leading dim lda), k-major,
+ * widening the elements to the accumulator type. Widening here (once
+ * per packed element, amortized over a whole row of micro-kernel
+ * calls) keeps the micro-kernel arithmetic uniform in TAcc, which is
+ * what lets the compiler turn its inner loop into plain vector FMAs /
+ * 32-bit multiplies instead of scalar widening sequences.
+ */
+template <typename TA, typename TAcc>
+void
+packPanelA(const TA *DITTO_RESTRICT a, int64_t lda, int64_t row0,
+           int64_t rows, int64_t k0, int64_t kcs, TAcc *DITTO_RESTRICT ap)
+{
+    for (int64_t kk = 0; kk < kcs; ++kk) {
+        for (int64_t r = 0; r < kMr; ++r) {
+            ap[kk * kMr + r] =
+                r < rows ? static_cast<TAcc>(a[(row0 + r) * lda + k0 + kk])
+                         : TAcc{0};
+        }
+    }
+}
+
+/**
+ * Pack one kNr-column panel of B, k-major, widened to TAcc.
+ *
+ * trans_b selects the logical orientation: false reads row-major
+ * B[k,n] (b[kk*ldb + col]), true reads row-major B[n,k] (b[col*ldb +
+ * kk], i.e. the operand of a transposed product).
+ */
+template <typename TB, typename TAcc>
+void
+packPanelB(const TB *DITTO_RESTRICT b, int64_t ldb, bool trans_b,
+           int64_t col0, int64_t cols, int64_t k0, int64_t kcs,
+           TAcc *DITTO_RESTRICT bp)
+{
+    if (!trans_b) {
+        for (int64_t kk = 0; kk < kcs; ++kk) {
+            const TB *src = b + (k0 + kk) * ldb + col0;
+            for (int64_t j = 0; j < kNr; ++j)
+                bp[kk * kNr + j] =
+                    j < cols ? static_cast<TAcc>(src[j]) : TAcc{0};
+        }
+    } else {
+        for (int64_t j = 0; j < kNr; ++j) {
+            if (j < cols) {
+                const TB *src = b + (col0 + j) * ldb + k0;
+                for (int64_t kk = 0; kk < kcs; ++kk)
+                    bp[kk * kNr + j] = static_cast<TAcc>(src[kk]);
+            } else {
+                for (int64_t kk = 0; kk < kcs; ++kk)
+                    bp[kk * kNr + j] = TAcc{0};
+            }
+        }
+    }
+}
+
+/**
+ * kMr x kNr register tile over a KC block of packed, pre-widened
+ * panels: acc[r][j] += ap[k][r] * bp[k][j].
+ *
+ * On GCC/Clang the kNr-wide accumulator rows are expressed with
+ * portable vector extensions — one vector register per row, a
+ * broadcast-multiply-accumulate per (k, row) — because the
+ * auto-vectorizer otherwise picks the 4-wide row dimension and emits
+ * shuffle-heavy code. Element semantics are identical to the scalar
+ * fallback (same per-element accumulation order), so results do not
+ * depend on which path was compiled in.
+ */
+template <typename TAcc>
+void
+microKernel(int64_t kcs, const TAcc *DITTO_RESTRICT ap,
+            const TAcc *DITTO_RESTRICT bp, TAcc *DITTO_RESTRICT acc)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    static_assert(kMr == 4, "micro-kernel is unrolled for kMr == 4");
+    // aligned(alignof(TAcc)): packed panels come from std::vector, so
+    // loads/stores must not assume full vector alignment.
+    typedef TAcc Vec __attribute__((vector_size(kNr * sizeof(TAcc)),
+                                    aligned(alignof(TAcc))));
+    Vec a0{}, a1{}, a2{}, a3{};
+    for (int64_t kk = 0; kk < kcs; ++kk) {
+        const TAcc *DITTO_RESTRICT arow = ap + kk * kMr;
+        const Vec b = *reinterpret_cast<const Vec *>(bp + kk * kNr);
+        a0 += b * arow[0];
+        a1 += b * arow[1];
+        a2 += b * arow[2];
+        a3 += b * arow[3];
+    }
+    *reinterpret_cast<Vec *>(acc + 0 * kNr) += a0;
+    *reinterpret_cast<Vec *>(acc + 1 * kNr) += a1;
+    *reinterpret_cast<Vec *>(acc + 2 * kNr) += a2;
+    *reinterpret_cast<Vec *>(acc + 3 * kNr) += a3;
+#else
+    for (int64_t kk = 0; kk < kcs; ++kk) {
+        const TAcc *DITTO_RESTRICT arow = ap + kk * kMr;
+        const TAcc *DITTO_RESTRICT brow = bp + kk * kNr;
+        for (int64_t r = 0; r < kMr; ++r) {
+            const TAcc av = arow[r];
+            for (int64_t j = 0; j < kNr; ++j)
+                acc[r * kNr + j] += av * brow[j];
+        }
+    }
+#endif
+}
+
+/**
+ * Blocked GEMM on raw row-major buffers: C += A * op(B), with an
+ * optional fused bias/activation epilogue for float accumulators.
+ *
+ * C must be zero-initialized (freshly constructed tensors are).
+ * When bias_per_row is false the bias indexes columns (fully-connected
+ * convention); when true it indexes rows (conv output channels).
+ */
+template <typename TA, typename TB, typename TAcc>
+void
+gemmDriver(const TA *a, int64_t lda, const TB *b, int64_t ldb,
+           bool trans_b, TAcc *c, int64_t ldc, int64_t m, int64_t n,
+           int64_t k, const float *bias = nullptr,
+           bool bias_per_row = false, Activation act = Activation::kNone)
+{
+    const int64_t row_panels = ceilDiv(m, kMr);
+    std::vector<TAcc> bpack;
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t ncs = std::min(kNc, n - jc);
+        const int64_t col_panels = ceilDiv(ncs, kNr);
+        for (int64_t kc = 0; kc < k; kc += kKc) {
+            const int64_t kcs = std::min(kKc, k - kc);
+            const bool last_kc = kc + kcs == k;
+            bpack.resize(static_cast<size_t>(col_panels * kNr * kcs));
+            TAcc *bpack_data = bpack.data();
+            parallelFor(0, col_panels, [&](int64_t lo, int64_t hi) {
+                for (int64_t cp = lo; cp < hi; ++cp) {
+                    packPanelB(b, ldb, trans_b, jc + cp * kNr,
+                               std::min(kNr, ncs - cp * kNr), kc, kcs,
+                               bpack_data + cp * kNr * kcs);
+                }
+            });
+            parallelFor(0, row_panels, [&](int64_t lo, int64_t hi) {
+                thread_local std::vector<TAcc> apack;
+                apack.resize(static_cast<size_t>(kMr * kcs));
+                for (int64_t rp = lo; rp < hi; ++rp) {
+                    const int64_t row0 = rp * kMr;
+                    const int64_t rows = std::min(kMr, m - row0);
+                    packPanelA(a, lda, row0, rows, kc, kcs, apack.data());
+                    for (int64_t cp = 0; cp < col_panels; ++cp) {
+                        TAcc acc[kMr * kNr] = {};
+                        microKernel(kcs, apack.data(),
+                                    bpack_data + cp * kNr * kcs, acc);
+                        const int64_t col0 = jc + cp * kNr;
+                        const int64_t cols = std::min(kNr, ncs - cp * kNr);
+                        for (int64_t r = 0; r < rows; ++r) {
+                            TAcc *crow = c + (row0 + r) * ldc + col0;
+                            for (int64_t j = 0; j < cols; ++j)
+                                crow[j] += acc[r * kNr + j];
+                            if constexpr (std::is_same_v<TAcc, float>) {
+                                // Fused epilogue once the K reduction
+                                // for these columns is complete.
+                                if (last_kc &&
+                                    (bias || act != Activation::kNone)) {
+                                    for (int64_t j = 0; j < cols; ++j) {
+                                        float v = crow[j];
+                                        if (bias)
+                                            v += bias_per_row
+                                                     ? bias[row0 + r]
+                                                     : bias[col0 + j];
+                                        crow[j] = applyActivation(v, act);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/** Shape checks + driver dispatch for the matrix entry points. */
+template <typename TA, typename TB, typename TAcc>
+Tensor<TAcc>
+gemmTensor(const Tensor<TA> &a, const Tensor<TB> &b, bool trans_b,
+           const FloatTensor *bias = nullptr,
+           Activation act = Activation::kNone)
+{
+    DITTO_ASSERT(a.shape().rank() == 2 && b.shape().rank() == 2,
+                 "gemm operands must be matrices");
+    const int64_t m = a.shape()[0];
+    const int64_t k = a.shape()[1];
+    const int64_t n = trans_b ? b.shape()[0] : b.shape()[1];
+    const int64_t inner = trans_b ? b.shape()[1] : b.shape()[0];
+    DITTO_ASSERT(inner == k, "gemm inner dimensions mismatch");
+    if (bias)
+        DITTO_ASSERT(bias->numel() == n, "gemm bias size mismatch");
+    Tensor<TAcc> c(Shape{m, n});
+    gemmDriver<TA, TB, TAcc>(a.data().data(), k, b.data().data(),
+                             trans_b ? k : n, trans_b, c.data().data(), n,
+                             m, n, k,
+                             bias ? bias->data().data() : nullptr,
+                             /*bias_per_row=*/false, act);
+    return c;
+}
+
+/**
+ * im2col: one batch of NCHW input -> patch matrix col[P, K] with
+ * P = oh*ow and K = cin*kernel*kernel (OIHW weight order), zero-filled
+ * where the window overhangs the padding border.
+ */
+template <typename TIn>
+void
+im2col(const TIn *DITTO_RESTRICT in, int64_t h, int64_t w, int64_t cin,
+       const Conv2dParams &p, int64_t oh, int64_t ow,
+       TIn *DITTO_RESTRICT col)
+{
+    const int64_t kk = p.kernel;
+    const int64_t patch = cin * kk * kk;
+    parallelFor(0, oh * ow, [&](int64_t lo, int64_t hi) {
+        for (int64_t pix = lo; pix < hi; ++pix) {
+            const int64_t oy = pix / ow;
+            const int64_t ox = pix % ow;
+            TIn *DITTO_RESTRICT dst = col + pix * patch;
+            for (int64_t ic = 0; ic < cin; ++ic) {
+                const TIn *plane = in + ic * h * w;
+                for (int64_t ky = 0; ky < kk; ++ky) {
+                    const int64_t iy = oy * p.stride + ky - p.padding;
+                    if (iy < 0 || iy >= h) {
+                        for (int64_t kx = 0; kx < kk; ++kx)
+                            *dst++ = TIn{0};
+                        continue;
+                    }
+                    const TIn *row = plane + iy * w;
+                    for (int64_t kx = 0; kx < kk; ++kx) {
+                        const int64_t ix = ox * p.stride + kx - p.padding;
+                        *dst++ = (ix >= 0 && ix < w) ? row[ix] : TIn{0};
+                    }
+                }
+            }
+        }
+    });
+}
+
+/**
+ * Convolution lowered onto the blocked GEMM, one batch at a time:
+ * out[b] (viewed as [cout, oh*ow]) = W[cout, K] * col[b]^T.
+ *
+ * 1x1/stride-1/pad-0 convolutions skip im2col entirely: the input slab
+ * [cin, h*w] already is the K x P operand in row-major order.
+ */
+template <typename TIn, typename TW, typename TAcc>
+Tensor<TAcc>
+convBlocked(const Tensor<TIn> &input, const Tensor<TW> &weight,
+            const FloatTensor *bias, const Conv2dParams &p,
+            Activation act = Activation::kNone)
+{
+    DITTO_ASSERT(input.shape().rank() == 4, "conv input must be NCHW");
+    DITTO_ASSERT(weight.shape().rank() == 4, "conv weight must be OIHW");
+    const int64_t batches = input.shape()[0];
+    const int64_t cin = input.shape()[1];
+    const int64_t h = input.shape()[2];
+    const int64_t w = input.shape()[3];
+    DITTO_ASSERT(cin == p.inChannels, "conv input channels mismatch");
+    DITTO_ASSERT(weight.shape()[0] == p.outChannels &&
+                 weight.shape()[1] == p.inChannels &&
+                 weight.shape()[2] == p.kernel &&
+                 weight.shape()[3] == p.kernel,
+                 "conv weight shape mismatch");
+    const int64_t oh = p.outExtent(h);
+    const int64_t ow = p.outExtent(w);
+    DITTO_ASSERT(oh > 0 && ow > 0, "conv output would be empty");
+    if (bias)
+        DITTO_ASSERT(bias->numel() == p.outChannels,
+                     "conv bias size mismatch");
+
+    const int64_t pix = oh * ow;
+    const int64_t patch = cin * p.kernel * p.kernel;
+    const bool pointwise =
+        p.kernel == 1 && p.stride == 1 && p.padding == 0;
+    Tensor<TAcc> out(Shape{batches, p.outChannels, oh, ow});
+    const TW *wmat = weight.data().data();
+    const float *bias_data = bias ? bias->data().data() : nullptr;
+
+    auto runBatch = [&](int64_t b, std::vector<TIn> &col) {
+        const TIn *in_slab = input.data().data() + b * cin * h * w;
+        TAcc *out_slab = out.data().data() + b * p.outChannels * pix;
+        if (pointwise) {
+            // B = input slab [cin, pix] row-major, not transposed.
+            gemmDriver<TW, TIn, TAcc>(wmat, patch, in_slab, pix,
+                                      /*trans_b=*/false, out_slab, pix,
+                                      p.outChannels, pix, patch,
+                                      bias_data, /*bias_per_row=*/true,
+                                      act);
+        } else {
+            col.resize(static_cast<size_t>(pix * patch));
+            im2col(in_slab, h, w, cin, p, oh, ow, col.data());
+            // B = col [pix, patch] row-major, transposed product.
+            gemmDriver<TW, TIn, TAcc>(wmat, patch, col.data(), patch,
+                                      /*trans_b=*/true, out_slab, pix,
+                                      p.outChannels, pix, patch,
+                                      bias_data, /*bias_per_row=*/true,
+                                      act);
+        }
+    };
+    // Pick the parallel level by shape: enough batches to occupy the
+    // pool -> parallelize across batches (inner parallelFor calls run
+    // inline on the workers); few batches -> keep the batch loop
+    // serial and exploit the parallelism inside im2col and the GEMM
+    // row panels. Either way each output element is produced by the
+    // same fixed accumulation order, so results are identical.
+    if (batches >= threadCount() && batches > 1) {
+        parallelFor(0, batches, 1, [&](int64_t lo, int64_t hi) {
+            thread_local std::vector<TIn> col;
+            for (int64_t b = lo; b < hi; ++b)
+                runBatch(b, col);
+        });
+    } else {
+        std::vector<TIn> col;
+        for (int64_t b = 0; b < batches; ++b)
+            runBatch(b, col);
+    }
+    return out;
+}
+
+/** Parallel elementwise binary kernel. */
+template <typename T, typename Fn>
+Tensor<T>
+zipWithParallel(const Tensor<T> &a, const Tensor<T> &b, Fn fn)
+{
+    DITTO_ASSERT(a.shape() == b.shape(), "elementwise shape mismatch");
+    Tensor<T> out(a.shape());
+    const T *DITTO_RESTRICT sa = a.data().data();
+    const T *DITTO_RESTRICT sb = b.data().data();
+    T *DITTO_RESTRICT so = out.data().data();
+    parallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            so[i] = fn(sa[i], sb[i]);
+    });
+    return out;
+}
+
+/** Parallel elementwise unary kernel. */
+template <typename T, typename Fn>
+Tensor<T>
+mapParallel(const Tensor<T> &x, Fn fn)
+{
+    Tensor<T> out(x.shape());
+    const T *DITTO_RESTRICT sx = x.data().data();
+    T *DITTO_RESTRICT so = out.data().data();
+    parallelFor(0, x.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            so[i] = fn(sx[i]);
+    });
+    return out;
+}
+
+/**
+ * Normalize `count` contiguous values with a single fused
+ * sum/sum-of-squares sweep (vs the naive references' three passes).
+ */
+void
+normalizeSpan(const float *DITTO_RESTRICT src, float *DITTO_RESTRICT dst,
+              int64_t count, float eps)
+{
+    double sum = 0.0;
+    double sumsq = 0.0;
+    for (int64_t i = 0; i < count; ++i) {
+        const double v = src[i];
+        sum += v;
+        sumsq += v * v;
+    }
+    const double mean = sum / static_cast<double>(count);
+    const double var =
+        std::max(0.0, sumsq / static_cast<double>(count) - mean * mean);
+    const float fmean = static_cast<float>(mean);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    for (int64_t i = 0; i < count; ++i)
+        dst[i] = (src[i] - fmean) * inv;
+}
+
+} // namespace
+
+FloatTensor
+gemm(const FloatTensor &a, const FloatTensor &b, bool transpose_b,
+     const FloatTensor *bias, Activation act)
+{
+    return gemmTensor<float, float, float>(a, b, transpose_b, bias, act);
+}
+
+Int32Tensor
+gemmInt8(const Int8Tensor &a, const Int8Tensor &b, bool transpose_b)
+{
+    return gemmTensor<int8_t, int8_t, int32_t>(a, b, transpose_b);
+}
+
+Int32Tensor
+gemmDiffInt16(const Int16Tensor &a, const Int8Tensor &b, bool transpose_b)
+{
+    return gemmTensor<int16_t, int8_t, int32_t>(a, b, transpose_b);
+}
+
+FloatTensor
+conv2d(const FloatTensor &input, const FloatTensor &weight,
+       const FloatTensor *bias, const Conv2dParams &params, Activation act)
+{
+    return convBlocked<float, float, float>(input, weight, bias, params,
+                                            act);
+}
+
+Int32Tensor
+conv2dInt8(const Int8Tensor &input, const Int8Tensor &weight,
+           const Conv2dParams &params)
+{
+    return convBlocked<int8_t, int8_t, int32_t>(input, weight, nullptr,
+                                                params);
+}
+
+Int32Tensor
+conv2dDiffInt16(const Int16Tensor &input, const Int8Tensor &weight,
+                const Conv2dParams &params)
+{
+    return convBlocked<int16_t, int8_t, int32_t>(input, weight, nullptr,
+                                                 params);
+}
+
+FloatTensor
+add(const FloatTensor &a, const FloatTensor &b)
+{
+    return zipWithParallel<float>(a, b,
+                                  [](float x, float y) { return x + y; });
+}
+
+FloatTensor
+subtract(const FloatTensor &a, const FloatTensor &b)
+{
+    return zipWithParallel<float>(a, b,
+                                  [](float x, float y) { return x - y; });
+}
+
+FloatTensor
+multiply(const FloatTensor &a, const FloatTensor &b)
+{
+    return zipWithParallel<float>(a, b,
+                                  [](float x, float y) { return x * y; });
+}
+
+FloatTensor
+affine(const FloatTensor &x, float scale, float shift)
+{
+    return mapParallel<float>(
+        x, [scale, shift](float v) { return v * scale + shift; });
+}
+
+FloatTensor
+silu(const FloatTensor &x)
+{
+    return mapParallel<float>(x, siluScalar);
+}
+
+FloatTensor
+gelu(const FloatTensor &x)
+{
+    return mapParallel<float>(x, geluScalar);
+}
+
+FloatTensor
+softmaxRows(const FloatTensor &x)
+{
+    DITTO_ASSERT(x.shape().rank() == 2, "softmaxRows expects a matrix");
+    const int64_t n = x.shape()[0];
+    const int64_t d = x.shape()[1];
+    FloatTensor out(x.shape());
+    const float *sx = x.data().data();
+    float *so = out.data().data();
+    parallelFor(0, n, [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+            const float *DITTO_RESTRICT row = sx + r * d;
+            float *DITTO_RESTRICT orow = so + r * d;
+            float mx = row[0];
+            for (int64_t c = 1; c < d; ++c)
+                mx = std::max(mx, row[c]);
+            float sum = 0.0f;
+            for (int64_t c = 0; c < d; ++c) {
+                const float e = std::exp(row[c] - mx);
+                orow[c] = e;
+                sum += e;
+            }
+            for (int64_t c = 0; c < d; ++c)
+                orow[c] /= sum;
+        }
+    });
+    return out;
+}
+
+FloatTensor
+groupNorm(const FloatTensor &x, int64_t groups, float eps)
+{
+    DITTO_ASSERT(x.shape().rank() == 4, "groupNorm expects NCHW");
+    const int64_t n = x.shape()[0];
+    const int64_t c = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    const int64_t w = x.shape()[3];
+    DITTO_ASSERT(groups > 0 && c % groups == 0,
+                 "groups must divide channel count");
+    const int64_t span = (c / groups) * h * w; // one group is contiguous
+    FloatTensor out(x.shape());
+    const float *sx = x.data().data();
+    float *so = out.data().data();
+    parallelFor(0, n * groups, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            normalizeSpan(sx + i * span, so + i * span, span, eps);
+    });
+    return out;
+}
+
+FloatTensor
+layerNorm(const FloatTensor &x, float eps)
+{
+    DITTO_ASSERT(x.shape().rank() == 2, "layerNorm expects a matrix");
+    const int64_t n = x.shape()[0];
+    const int64_t d = x.shape()[1];
+    FloatTensor out(x.shape());
+    const float *sx = x.data().data();
+    float *so = out.data().data();
+    parallelFor(0, n, [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r)
+            normalizeSpan(sx + r * d, so + r * d, d, eps);
+    });
+    return out;
+}
+
+Int32Tensor
+addInt32(const Int32Tensor &a, const Int32Tensor &b)
+{
+    return zipWithParallel<int32_t>(
+        a, b, [](int32_t x, int32_t y) { return x + y; });
+}
+
+Int16Tensor
+subtractInt8(const Int8Tensor &a, const Int8Tensor &b)
+{
+    DITTO_ASSERT(a.shape() == b.shape(), "difference shape mismatch");
+    Int16Tensor out(a.shape());
+    const int8_t *DITTO_RESTRICT sa = a.data().data();
+    const int8_t *DITTO_RESTRICT sb = b.data().data();
+    int16_t *DITTO_RESTRICT so = out.data().data();
+    parallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            so[i] = static_cast<int16_t>(static_cast<int16_t>(sa[i]) -
+                                         static_cast<int16_t>(sb[i]));
+    });
+    return out;
+}
+
+} // namespace kernels
+} // namespace ditto

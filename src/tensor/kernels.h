@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Blocked, parallel kernel library — the fast execution substrate.
+ *
+ * Every public op in tensor/ops.h routes through these kernels; the
+ * scalar triple-loop references they replace live on as ditto::naive::
+ * and are used only for parity testing and speedup baselines.
+ *
+ * Design (see docs/kernels.md for the full picture):
+ *  - GEMM is packed-panel and register-tiled: A is packed into
+ *    MR-row column-major panels, B into NR-column row-major panels,
+ *    and an MR x NR micro-kernel accumulates over KC-length K-blocks
+ *    with raw restrict pointers so the compiler vectorizes the inner
+ *    loop. The K-block loop is serial, so each output element has a
+ *    fixed accumulation order: integer results are bitwise identical
+ *    at any thread count, float results are deterministic too.
+ *  - Convolutions lower to the same GEMM via im2col (1x1/stride-1/
+ *    pad-0 convolutions skip the copy and feed the input slab to the
+ *    packer directly).
+ *  - Bias and SiLU/GELU epilogues are fused into the GEMM/conv
+ *    write-back instead of running as separate tensor passes.
+ *  - GEMM row panels, im2col rows, conv batches (when there are
+ *    enough to occupy the pool) and the elementwise/normalization ops
+ *    are parallelized with common/parallel.h's parallelFor.
+ */
+#ifndef DITTO_TENSOR_KERNELS_H
+#define DITTO_TENSOR_KERNELS_H
+
+#include <cstdint>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+namespace kernels {
+
+/** Epilogue activation fused into GEMM/conv write-back. */
+enum class Activation { kNone, kSiLU, kGELU };
+
+/**
+ * @name Blocked GEMM
+ *
+ * C[m,n] = A[m,k] * op(B) with op(B) = B[k,n] or B^T for B:[n,k].
+ * Float GEMM optionally fuses a bias row ([n]) and an activation.
+ * @{
+ */
+FloatTensor gemm(const FloatTensor &a, const FloatTensor &b,
+                 bool transpose_b, const FloatTensor *bias = nullptr,
+                 Activation act = Activation::kNone);
+Int32Tensor gemmInt8(const Int8Tensor &a, const Int8Tensor &b,
+                     bool transpose_b);
+Int32Tensor gemmDiffInt16(const Int16Tensor &a, const Int8Tensor &b,
+                          bool transpose_b);
+/** @} */
+
+/**
+ * @name im2col convolutions on the blocked GEMM
+ *
+ * Input NCHW, weight OIHW; float conv fuses bias [O] and activation.
+ * @{
+ */
+FloatTensor conv2d(const FloatTensor &input, const FloatTensor &weight,
+                   const FloatTensor *bias, const Conv2dParams &params,
+                   Activation act = Activation::kNone);
+Int32Tensor conv2dInt8(const Int8Tensor &input, const Int8Tensor &weight,
+                       const Conv2dParams &params);
+Int32Tensor conv2dDiffInt16(const Int16Tensor &input,
+                            const Int8Tensor &weight,
+                            const Conv2dParams &params);
+/** @} */
+
+/**
+ * @name Parallel elementwise and normalization kernels
+ *
+ * groupNorm/layerNorm accumulate mean and variance in a single fused
+ * sum/sum-of-squares sweep per group/row (the naive references sweep
+ * the data three times).
+ * @{
+ */
+FloatTensor add(const FloatTensor &a, const FloatTensor &b);
+FloatTensor subtract(const FloatTensor &a, const FloatTensor &b);
+FloatTensor multiply(const FloatTensor &a, const FloatTensor &b);
+FloatTensor affine(const FloatTensor &x, float scale, float shift);
+FloatTensor silu(const FloatTensor &x);
+FloatTensor gelu(const FloatTensor &x);
+FloatTensor softmaxRows(const FloatTensor &x);
+FloatTensor groupNorm(const FloatTensor &x, int64_t groups, float eps);
+FloatTensor layerNorm(const FloatTensor &x, float eps);
+Int32Tensor addInt32(const Int32Tensor &a, const Int32Tensor &b);
+Int16Tensor subtractInt8(const Int8Tensor &a, const Int8Tensor &b);
+/** @} */
+
+} // namespace kernels
+} // namespace ditto
+
+#endif // DITTO_TENSOR_KERNELS_H

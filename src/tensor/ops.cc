@@ -1,12 +1,19 @@
 /**
  * @file
- * Implementation of the reference numeric kernels.
+ * Public kernel entry points and the scalar naive:: references.
+ *
+ * The public functions forward to the blocked, parallel kernels in
+ * tensor/kernels.h so every caller (diff engines, attention, MiniUnet,
+ * traces, benches) gets the fast substrate with zero call-site churn.
+ * The clarity-first triple loops remain below as ditto::naive, the
+ * ground truth the fast kernels are parity-tested against.
  */
 #include "tensor/ops.h"
 
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace ditto {
 
@@ -115,22 +122,159 @@ matmulTransposedLoop(const Tensor<A> &a, const Tensor<B> &b)
     return c;
 }
 
-/** Elementwise binary op helper. */
-template <typename T, typename Fn>
-Tensor<T>
-zipWith(const Tensor<T> &a, const Tensor<T> &b, Fn fn)
+} // namespace
+
+//
+// Public entry points: blocked, parallel fast paths.
+//
+
+FloatTensor
+matmul(const FloatTensor &a, const FloatTensor &b)
 {
-    DITTO_ASSERT(a.shape() == b.shape(), "elementwise shape mismatch");
-    Tensor<T> out(a.shape());
-    auto sa = a.data();
-    auto sb = b.data();
-    auto so = out.data();
-    for (size_t i = 0; i < sa.size(); ++i)
-        so[i] = fn(sa[i], sb[i]);
-    return out;
+    return kernels::gemm(a, b, /*transpose_b=*/false);
 }
 
-} // namespace
+FloatTensor
+matmulTransposed(const FloatTensor &a, const FloatTensor &b)
+{
+    return kernels::gemm(a, b, /*transpose_b=*/true);
+}
+
+FloatTensor
+conv2d(const FloatTensor &input, const FloatTensor &weight,
+       const FloatTensor *bias, const Conv2dParams &params)
+{
+    return kernels::conv2d(input, weight, bias, params);
+}
+
+FloatTensor
+fullyConnected(const FloatTensor &input, const FloatTensor &weight,
+               const FloatTensor *bias)
+{
+    return kernels::gemm(input, weight, /*transpose_b=*/true, bias);
+}
+
+FloatTensor
+add(const FloatTensor &a, const FloatTensor &b)
+{
+    return kernels::add(a, b);
+}
+
+FloatTensor
+subtract(const FloatTensor &a, const FloatTensor &b)
+{
+    return kernels::subtract(a, b);
+}
+
+FloatTensor
+multiply(const FloatTensor &a, const FloatTensor &b)
+{
+    return kernels::multiply(a, b);
+}
+
+FloatTensor
+affine(const FloatTensor &x, float scale, float shift)
+{
+    return kernels::affine(x, scale, shift);
+}
+
+FloatTensor
+silu(const FloatTensor &x)
+{
+    return kernels::silu(x);
+}
+
+FloatTensor
+gelu(const FloatTensor &x)
+{
+    return kernels::gelu(x);
+}
+
+FloatTensor
+softmaxRows(const FloatTensor &x)
+{
+    return kernels::softmaxRows(x);
+}
+
+FloatTensor
+groupNorm(const FloatTensor &x, int64_t groups, float eps)
+{
+    return kernels::groupNorm(x, groups, eps);
+}
+
+FloatTensor
+layerNorm(const FloatTensor &x, float eps)
+{
+    return kernels::layerNorm(x, eps);
+}
+
+Int32Tensor
+matmulInt8(const Int8Tensor &a, const Int8Tensor &b)
+{
+    return kernels::gemmInt8(a, b, /*transpose_b=*/false);
+}
+
+Int32Tensor
+matmulTransposedInt8(const Int8Tensor &a, const Int8Tensor &b)
+{
+    return kernels::gemmInt8(a, b, /*transpose_b=*/true);
+}
+
+Int32Tensor
+conv2dInt8(const Int8Tensor &input, const Int8Tensor &weight,
+           const Conv2dParams &params)
+{
+    return kernels::conv2dInt8(input, weight, params);
+}
+
+Int32Tensor
+fullyConnectedInt8(const Int8Tensor &input, const Int8Tensor &weight)
+{
+    return kernels::gemmInt8(input, weight, /*transpose_b=*/true);
+}
+
+Int32Tensor
+matmulDiffInt16(const Int16Tensor &a, const Int8Tensor &b)
+{
+    return kernels::gemmDiffInt16(a, b, /*transpose_b=*/false);
+}
+
+Int32Tensor
+matmulTransposedDiffInt16(const Int16Tensor &a, const Int8Tensor &b)
+{
+    return kernels::gemmDiffInt16(a, b, /*transpose_b=*/true);
+}
+
+Int32Tensor
+conv2dDiffInt16(const Int16Tensor &input, const Int8Tensor &weight,
+                const Conv2dParams &params)
+{
+    return kernels::conv2dDiffInt16(input, weight, params);
+}
+
+Int32Tensor
+fullyConnectedDiffInt16(const Int16Tensor &input, const Int8Tensor &weight)
+{
+    return kernels::gemmDiffInt16(input, weight, /*transpose_b=*/true);
+}
+
+Int32Tensor
+addInt32(const Int32Tensor &a, const Int32Tensor &b)
+{
+    return kernels::addInt32(a, b);
+}
+
+Int16Tensor
+subtractInt8(const Int8Tensor &a, const Int8Tensor &b)
+{
+    return kernels::subtractInt8(a, b);
+}
+
+//
+// Scalar reference kernels.
+//
+
+namespace naive {
 
 FloatTensor
 matmul(const FloatTensor &a, const FloatTensor &b)
@@ -164,35 +308,6 @@ fullyConnected(const FloatTensor &input, const FloatTensor &weight,
             for (int64_t c = 0; c < out.shape()[1]; ++c)
                 out.at(r, c) += bias->at(c);
     }
-    return out;
-}
-
-FloatTensor
-add(const FloatTensor &a, const FloatTensor &b)
-{
-    return zipWith<float>(a, b, [](float x, float y) { return x + y; });
-}
-
-FloatTensor
-subtract(const FloatTensor &a, const FloatTensor &b)
-{
-    return zipWith<float>(a, b, [](float x, float y) { return x - y; });
-}
-
-FloatTensor
-multiply(const FloatTensor &a, const FloatTensor &b)
-{
-    return zipWith<float>(a, b, [](float x, float y) { return x * y; });
-}
-
-FloatTensor
-affine(const FloatTensor &x, float scale, float shift)
-{
-    FloatTensor out(x.shape());
-    auto sx = x.data();
-    auto so = out.data();
-    for (size_t i = 0; i < sx.size(); ++i)
-        so[i] = sx[i] * scale + shift;
     return out;
 }
 
@@ -368,25 +483,6 @@ fullyConnectedDiffInt16(const Int16Tensor &input, const Int8Tensor &weight)
     return matmulTransposedLoop<int16_t, int8_t, int32_t>(input, weight);
 }
 
-Int32Tensor
-addInt32(const Int32Tensor &a, const Int32Tensor &b)
-{
-    return zipWith<int32_t>(a, b,
-                            [](int32_t x, int32_t y) { return x + y; });
-}
-
-Int16Tensor
-subtractInt8(const Int8Tensor &a, const Int8Tensor &b)
-{
-    DITTO_ASSERT(a.shape() == b.shape(), "difference shape mismatch");
-    Int16Tensor out(a.shape());
-    auto sa = a.data();
-    auto sb = b.data();
-    auto so = out.data();
-    for (size_t i = 0; i < sa.size(); ++i)
-        so[i] = static_cast<int16_t>(static_cast<int16_t>(sa[i]) -
-                                     static_cast<int16_t>(sb[i]));
-    return out;
-}
+} // namespace naive
 
 } // namespace ditto

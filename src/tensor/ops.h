@@ -1,12 +1,15 @@
 /**
  * @file
- * Reference numeric kernels over dense tensors.
+ * Numeric kernels over dense tensors.
  *
- * These kernels are the functional substrate for the Ditto reproduction:
- * every quantized / difference-processed execution path is validated
- * against them. They are written for clarity and testability, not speed;
- * the performance claims of the paper are evaluated by the cycle-level
- * hardware model in src/hw, not by wall-clock time of these loops.
+ * These entry points are the functional substrate for the Ditto
+ * reproduction: every quantized / difference-processed execution path
+ * is validated against them. They forward to the blocked, parallel
+ * kernel library in tensor/kernels.h; the original scalar triple-loop
+ * implementations are retained in ditto::naive as reference kernels
+ * for parity tests and speedup baselines. The paper's performance
+ * claims are still evaluated by the cycle-level hardware model in
+ * src/hw — these kernels just make the functional pipeline fast.
  */
 #ifndef DITTO_TENSOR_OPS_H
 #define DITTO_TENSOR_OPS_H
@@ -140,6 +143,46 @@ Int32Tensor addInt32(const Int32Tensor &a, const Int32Tensor &b);
 Int16Tensor subtractInt8(const Int8Tensor &a, const Int8Tensor &b);
 
 /** @} */
+
+/**
+ * Scalar reference kernels.
+ *
+ * The original clarity-first triple loops. The blocked kernels in
+ * tensor/kernels.h are parity-tested against these (bitwise for the
+ * integer kernels, tight epsilon for float), and bench_kernels
+ * measures its speedups relative to them. Not used on any hot path.
+ */
+namespace naive {
+
+FloatTensor matmul(const FloatTensor &a, const FloatTensor &b);
+FloatTensor matmulTransposed(const FloatTensor &a, const FloatTensor &b);
+FloatTensor conv2d(const FloatTensor &input, const FloatTensor &weight,
+                   const FloatTensor *bias, const Conv2dParams &params);
+FloatTensor fullyConnected(const FloatTensor &input,
+                           const FloatTensor &weight,
+                           const FloatTensor *bias);
+FloatTensor silu(const FloatTensor &x);
+FloatTensor gelu(const FloatTensor &x);
+FloatTensor softmaxRows(const FloatTensor &x);
+FloatTensor groupNorm(const FloatTensor &x, int64_t groups,
+                      float eps = 1e-5f);
+FloatTensor layerNorm(const FloatTensor &x, float eps = 1e-5f);
+Int32Tensor matmulInt8(const Int8Tensor &a, const Int8Tensor &b);
+Int32Tensor matmulTransposedInt8(const Int8Tensor &a, const Int8Tensor &b);
+Int32Tensor conv2dInt8(const Int8Tensor &input, const Int8Tensor &weight,
+                       const Conv2dParams &params);
+Int32Tensor fullyConnectedInt8(const Int8Tensor &input,
+                               const Int8Tensor &weight);
+Int32Tensor matmulDiffInt16(const Int16Tensor &a, const Int8Tensor &b);
+Int32Tensor matmulTransposedDiffInt16(const Int16Tensor &a,
+                                      const Int8Tensor &b);
+Int32Tensor conv2dDiffInt16(const Int16Tensor &input,
+                            const Int8Tensor &weight,
+                            const Conv2dParams &params);
+Int32Tensor fullyConnectedDiffInt16(const Int16Tensor &input,
+                                    const Int8Tensor &weight);
+
+} // namespace naive
 
 } // namespace ditto
 
