@@ -15,13 +15,16 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/parallel.h"
 #include "core/diff_linear.h"
+#include "core/mini_unet.h"
 #include "hw/encoding_unit.h"
 #include "hw/pe.h"
+#include "quant/encoder.h"
 #include "quant/quantizer.h"
 #include "tensor/ops.h"
 #include "trace/calibrate.h"
@@ -158,7 +161,10 @@ BM_FcDirectVsDiff(benchmark::State &state)
     }
     const Int32Tensor out0 = engine.runDirect(x0m);
     for (auto _ : state) {
-        Int32Tensor out = diff ? engine.runDiff(x1m, x0m, out0)
+        // ForceDiff so the sparse machinery itself is measured even
+        // when the software Defo policy would revert at this mix.
+        Int32Tensor out = diff ? engine.runDiff(x1m, x0m, out0, nullptr,
+                                                DiffPolicy::ForceDiff)
                                : engine.runDirect(x1m);
         benchmark::DoNotOptimize(out.data().data());
     }
@@ -169,6 +175,144 @@ BENCHMARK(BM_FcDirectVsDiff)
     ->Args({64, 1})
     ->Args({128, 0})
     ->Args({128, 1});
+
+/**
+ * Difference matrix with a synthetic zero / low4 / full8 element mix
+ * (percentages; the remainder is full8).
+ */
+Int16Tensor
+makeMixDiff(int64_t m, int64_t k, int zero_pct, int low4_pct, uint64_t seed)
+{
+    Rng rng(seed);
+    Int16Tensor t(Shape{m, k});
+    for (auto &v : t.data()) {
+        const int u = static_cast<int>(rng.uniformInt(100));
+        if (u < zero_pct) {
+            v = 0;
+        } else if (u < zero_pct + low4_pct) {
+            const int64_t mag = 1 + static_cast<int64_t>(rng.uniformInt(7));
+            v = static_cast<int16_t>(rng.bernoulli(0.5) ? mag : -mag);
+        } else {
+            const int64_t mag = 8 + static_cast<int64_t>(rng.uniformInt(247));
+            v = static_cast<int16_t>(rng.bernoulli(0.5) ? mag : -mag);
+        }
+    }
+    return t;
+}
+
+/**
+ * Sparse diff path at a synthetic zero/low4/full8 mix: encode the
+ * difference into a panel plan and execute the plan-driven GEMM,
+ * accumulating into the previous output — everything a Ditto step
+ * pays after quantization. Args: {zero %, low4 %}; remainder full8.
+ */
+void
+BM_DiffGemmSparse(benchmark::State &state)
+{
+    const int64_t n = 256;
+    const Int16Tensor diff =
+        makeMixDiff(n, n, static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(1)), 40);
+    // Steady state of a weight-stationary layer: the engine caches the
+    // transposed weight once, so each step pays encode + plan GEMM.
+    const Int8Tensor wt = transposeInt8(randomInt8(n, n, 41));
+    Rng rng(42);
+    Int32Tensor prev(Shape{n, n});
+    prev.fillUniformInt(rng, -100000, 100000);
+    for (auto _ : state) {
+        const DiffGemmPlan plan = encodeDiff(diff);
+        Int32Tensor out = matmulDiffPlan(plan, wt, &prev);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DiffGemmSparse)
+    ->Args({90, 9})
+    ->Args({70, 25})
+    ->Args({0, 0});
+
+/** Dense diff baseline on the same mixes: full int16 GEMM + add. */
+void
+BM_DiffGemmDense(benchmark::State &state)
+{
+    const int64_t n = 256;
+    const Int16Tensor diff =
+        makeMixDiff(n, n, static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(1)), 40);
+    const Int8Tensor w = randomInt8(n, n, 41);
+    Rng rng(42);
+    Int32Tensor prev(Shape{n, n});
+    prev.fillUniformInt(rng, -100000, 100000);
+    for (auto _ : state) {
+        Int32Tensor out =
+            addInt32(prev, matmulTransposedDiffInt16(diff, w));
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DiffGemmDense)
+    ->Args({90, 9})
+    ->Args({70, 25})
+    ->Args({0, 0});
+
+/**
+ * Dense int8 direct baseline at the diff-GEMM shape: what a
+ * QuantDirect step pays for the same layer. The acceptance target is
+ * sparse-diff >= 2x over this at a >= 70% zero+low4 mix.
+ */
+void
+BM_DiffGemmInt8Direct(benchmark::State &state)
+{
+    const int64_t n = 256;
+    const Int8Tensor x = randomInt8(n, n, 43);
+    const Int8Tensor w = randomInt8(n, n, 41);
+    for (auto _ : state) {
+        Int32Tensor out = matmulTransposedInt8(x, w);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DiffGemmInt8Direct);
+
+/** Software Encoding Unit alone (plan construction cost). */
+void
+BM_DiffGemmEncode(benchmark::State &state)
+{
+    const int64_t n = 256;
+    const Int16Tensor diff =
+        makeMixDiff(n, n, static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(1)), 40);
+    for (auto _ : state) {
+        DiffGemmPlan plan = encodeDiff(diff);
+        benchmark::DoNotOptimize(plan.panels.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DiffGemmEncode)->Args({90, 9})->Args({70, 25});
+
+/**
+ * End-to-end MiniUnet rollout wall-clock, QuantDirect vs QuantDitto:
+ * the paper's claim that difference processing is faster, measured in
+ * software. Arg: 1 = Ditto.
+ */
+void
+BM_MiniUnetRollout(benchmark::State &state)
+{
+    setenv("DITTO_NO_CACHE", "1", 0); // keep bench runs hermetic
+    MiniUnetConfig cfg;
+    cfg.channels = 32;
+    cfg.resolution = 16;
+    cfg.steps = 8;
+    const MiniUnet net(cfg);
+    const RunMode mode =
+        state.range(0) ? RunMode::QuantDitto : RunMode::QuantDirect;
+    for (auto _ : state) {
+        RolloutResult r = net.rollout(mode);
+        benchmark::DoNotOptimize(r.finalImage.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.steps);
+}
+BENCHMARK(BM_MiniUnetRollout)->Arg(0)->Arg(1);
 
 void
 BM_EncodingUnit(benchmark::State &state)

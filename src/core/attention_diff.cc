@@ -1,10 +1,22 @@
 /**
  * @file
  * Attention difference processing implementation.
+ *
+ * Each of the two correction terms pairs one full-bit-width operand
+ * with one narrow difference operand; the difference operand is
+ * encoded into a sparse panel plan and executed by the plan-driven
+ * diff GEMM. Terms whose sparse operand sits on the right of the
+ * product are computed transposed — (X dY^T)^T = dY X^T — so the plan
+ * operand is always the left factor, then folded back with a fused
+ * transpose-add. The scalar two-term expansions are retained under
+ * naive:: as parity references.
  */
 #include "core/attention_diff.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "quant/encoder.h"
 #include "tensor/ops.h"
 
 namespace ditto {
@@ -18,6 +30,122 @@ attentionScoresDirect(const Int8Tensor &q, const Int8Tensor &k)
 Int32Tensor
 attentionScoresDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
                     const Int8Tensor &k, const Int8Tensor &prev_k,
+                    const Int32Tensor &prev_scores, OpCounts *counts,
+                    DiffPolicy policy)
+{
+    DITTO_ASSERT(q.shape() == prev_q.shape() && k.shape() == prev_k.shape(),
+                 "attention diff operand shape mismatch");
+    const int64_t tokens = q.shape()[0];
+    const int64_t ctx = k.shape()[0];
+    const int64_t d = q.shape()[1];
+    DITTO_ASSERT(prev_scores.shape() == Shape({tokens, ctx}),
+                 "previous scores shape mismatch");
+    // Sub-op 1: Q_t dK^T — dK elements each multiply `tokens` rows of
+    // Q. Sub-op 2: dQ K_prev^T — dQ elements each multiply `ctx` rows
+    // of K.
+    const DiffClassCounts probe_dq = countTemporalDiffClasses(q, prev_q);
+    const DiffClassCounts probe_dk = countTemporalDiffClasses(k, prev_k);
+    if (counts) {
+        counts->merge(probeOpCounts(probe_dk, tokens));
+        counts->merge(probeOpCounts(probe_dq, ctx));
+    }
+    // Two sub-ops against one dense product: revert unless the
+    // combined predicted sparse cost undercuts Q_t K_t^T.
+    const double predicted =
+        diffMacPenalty(tokens) * static_cast<double>(probe_dk.nonzero()) *
+            static_cast<double>(tokens) +
+        diffMacPenalty(ctx) * static_cast<double>(probe_dq.nonzero()) *
+            static_cast<double>(ctx);
+    if (policy == DiffPolicy::Auto &&
+        predicted >= static_cast<double>(tokens * ctx * d))
+        return attentionScoresDirect(q, k);
+    // S_t = prev + dQ K_prev^T + (dK Q_t^T)^T.
+    const DiffGemmPlan plan_dq = encodeTemporalDiff(q, prev_q);
+    const DiffGemmPlan plan_dk = encodeTemporalDiff(k, prev_k);
+    Int32Tensor partial =
+        matmulTransposedDiffPlan(plan_dq, prev_k, &prev_scores);
+    const Int32Tensor qdk_t = matmulTransposedDiffPlan(plan_dk, q);
+    return addTransposedInt32(partial, qdk_t);
+}
+
+Int32Tensor
+attentionOutputDirect(const Int8Tensor &p, const Int8Tensor &v)
+{
+    return matmulInt8(p, v);
+}
+
+Int32Tensor
+attentionOutputDiff(const Int8Tensor &p, const Int8Tensor &prev_p,
+                    const Int8Tensor &v, const Int8Tensor &prev_v,
+                    const Int32Tensor &prev_out, OpCounts *counts,
+                    DiffPolicy policy)
+{
+    DITTO_ASSERT(p.shape() == prev_p.shape() && v.shape() == prev_v.shape(),
+                 "attention diff operand shape mismatch");
+    const int64_t rows = p.shape()[0];
+    const int64_t inner = p.shape()[1];
+    const int64_t d = v.shape()[1];
+    DITTO_ASSERT(v.shape()[0] == inner, "P/V inner dimension mismatch");
+    DITTO_ASSERT(prev_out.shape() == Shape({rows, d}),
+                 "previous output shape mismatch");
+    const DiffClassCounts probe_dp = countTemporalDiffClasses(p, prev_p);
+    const DiffClassCounts probe_dv = countTemporalDiffClasses(v, prev_v);
+    if (counts) {
+        counts->merge(probeOpCounts(probe_dv, rows));
+        counts->merge(probeOpCounts(probe_dp, d));
+    }
+    const double predicted =
+        diffMacPenalty(rows) * static_cast<double>(probe_dv.nonzero()) *
+            static_cast<double>(rows) +
+        diffMacPenalty(d) * static_cast<double>(probe_dp.nonzero()) *
+            static_cast<double>(d);
+    if (policy == DiffPolicy::Auto &&
+        predicted >= static_cast<double>(rows * inner * d))
+        return attentionOutputDirect(p, v);
+    // O_t = prev + dP V_prev + (dV^T P_t^T)^T.
+    const DiffGemmPlan plan_dp = encodeTemporalDiff(p, prev_p);
+    const DiffGemmPlan plan_dvt = encodeTemporalDiffTransposed(v, prev_v);
+    Int32Tensor partial = matmulDiffPlan(plan_dp, prev_v, &prev_out);
+    const Int32Tensor pdv_t = matmulTransposedDiffPlan(plan_dvt, p);
+    return addTransposedInt32(partial, pdv_t);
+}
+
+CrossAttentionEngine::CrossAttentionEngine(Int8Tensor k_const)
+    : kConst_(std::move(k_const))
+{
+    DITTO_ASSERT(kConst_.shape().rank() == 2,
+                 "context operand must be a matrix");
+    kConstT_ = transposeInt8(kConst_);
+}
+
+Int32Tensor
+CrossAttentionEngine::runDirect(const Int8Tensor &q) const
+{
+    return matmulTransposedInt8(q, kConst_);
+}
+
+Int32Tensor
+CrossAttentionEngine::runDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
+                              const Int32Tensor &prev_scores,
+                              OpCounts *counts, DiffPolicy policy) const
+{
+    DITTO_ASSERT(q.shape() == prev_q.shape(),
+                 "cross attention diff shape mismatch");
+    const int64_t ctx = kConst_.shape()[0];
+    const DiffClassCounts probe = countTemporalDiffClasses(q, prev_q);
+    if (counts)
+        counts->merge(probeOpCounts(probe, ctx));
+    if (policy == DiffPolicy::Auto && !diffWorthIt(probe, ctx))
+        return runDirect(q);
+    const DiffGemmPlan plan = encodeTemporalDiff(q, prev_q);
+    return matmulDiffPlan(plan, kConstT_, &prev_scores);
+}
+
+namespace naive {
+
+Int32Tensor
+attentionScoresDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
+                    const Int8Tensor &k, const Int8Tensor &prev_k,
                     const Int32Tensor &prev_scores, OpCounts *counts)
 {
     DITTO_ASSERT(q.shape() == prev_q.shape() && k.shape() == prev_k.shape(),
@@ -25,9 +153,6 @@ attentionScoresDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
     const Int16Tensor dq = subtractInt8(q, prev_q);
     const Int16Tensor dk = subtractInt8(k, prev_k);
     if (counts) {
-        // Sub-op 1: Q_t dK^T — dK elements each multiply `tokens` rows
-        // of Q. Sub-op 2: dQ K_prev^T — dQ elements each multiply
-        // `tokens` rows of K.
         counts->merge(tallyOps(dk, q.shape()[0]));
         counts->merge(tallyOps(dq, k.shape()[0]));
     }
@@ -51,12 +176,6 @@ attentionScoresDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
         }
     }
     return out;
-}
-
-Int32Tensor
-attentionOutputDirect(const Int8Tensor &p, const Int8Tensor &v)
-{
-    return matmulInt8(p, v);
 }
 
 Int32Tensor
@@ -94,31 +213,20 @@ attentionOutputDiff(const Int8Tensor &p, const Int8Tensor &prev_p,
     return out;
 }
 
-CrossAttentionEngine::CrossAttentionEngine(Int8Tensor k_const)
-    : kConst_(std::move(k_const))
-{
-    DITTO_ASSERT(kConst_.shape().rank() == 2,
-                 "context operand must be a matrix");
-}
-
 Int32Tensor
-CrossAttentionEngine::runDirect(const Int8Tensor &q) const
-{
-    return matmulTransposedInt8(q, kConst_);
-}
-
-Int32Tensor
-CrossAttentionEngine::runDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
-                              const Int32Tensor &prev_scores,
-                              OpCounts *counts) const
+crossAttentionScoresDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
+                         const Int8Tensor &k_const,
+                         const Int32Tensor &prev_scores, OpCounts *counts)
 {
     DITTO_ASSERT(q.shape() == prev_q.shape(),
                  "cross attention diff shape mismatch");
     const Int16Tensor dq = subtractInt8(q, prev_q);
     if (counts)
-        counts->merge(tallyOps(dq, kConst_.shape()[0]));
-    const Int32Tensor delta = matmulTransposedDiffInt16(dq, kConst_);
+        counts->merge(tallyOps(dq, k_const.shape()[0]));
+    const Int32Tensor delta = ditto::matmulTransposedDiffInt16(dq, k_const);
     return addInt32(prev_scores, delta);
 }
+
+} // namespace naive
 
 } // namespace ditto

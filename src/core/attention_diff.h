@@ -17,6 +17,11 @@
  * Cross attention is simpler: the context projections K' and V' do not
  * change across time steps, so Q' K'^T is an ordinary weight-stationary
  * layer with K' as the weight (and likewise P' V').
+ *
+ * All difference operands are executed through the sparse panel-plan
+ * path (quant/encoder.h + the plan-driven ops.h entry points); the
+ * dense two-term expansions live on under ditto::naive as parity
+ * references.
  */
 #ifndef DITTO_CORE_ATTENTION_DIFF_H
 #define DITTO_CORE_ATTENTION_DIFF_H
@@ -38,13 +43,19 @@ Int32Tensor attentionScoresDirect(const Int8Tensor &q, const Int8Tensor &k);
  *
  * @param counts tallies the multiplies of both sub-operations by the
  *        bit class of their difference operand.
+ * @param policy Auto reverts to direct execution (bit-identical) when
+ *        the class-count probe predicts both sub-operations together
+ *        cost more than one dense product — attention pays two
+ *        difference sub-ops per matmul, so it needs roughly twice the
+ *        sparsity a weight-stationary layer does.
  */
 Int32Tensor attentionScoresDiff(const Int8Tensor &q,
                                 const Int8Tensor &prev_q,
                                 const Int8Tensor &k,
                                 const Int8Tensor &prev_k,
                                 const Int32Tensor &prev_scores,
-                                OpCounts *counts = nullptr);
+                                OpCounts *counts = nullptr,
+                                DiffPolicy policy = DiffPolicy::Auto);
 
 /** Direct weighted sum O = P V. P:[tokens,tokens], V:[tokens,d]. */
 Int32Tensor attentionOutputDirect(const Int8Tensor &p, const Int8Tensor &v);
@@ -58,7 +69,8 @@ Int32Tensor attentionOutputDiff(const Int8Tensor &p,
                                 const Int8Tensor &v,
                                 const Int8Tensor &prev_v,
                                 const Int32Tensor &prev_out,
-                                OpCounts *counts = nullptr);
+                                OpCounts *counts = nullptr,
+                                DiffPolicy policy = DiffPolicy::Auto);
 
 /**
  * Cross-attention scores with a constant context projection:
@@ -76,11 +88,39 @@ class CrossAttentionEngine
 
     Int32Tensor runDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
                         const Int32Tensor &prev_scores,
-                        OpCounts *counts = nullptr) const;
+                        OpCounts *counts = nullptr,
+                        DiffPolicy policy = DiffPolicy::Auto) const;
 
   private:
     Int8Tensor kConst_;
+    Int8Tensor kConstT_; //!< [d, ctx] copy: plan B operand
 };
+
+namespace naive {
+
+/**
+ * Dense difference references: the scalar two-term expansions the
+ * sparse plan-driven paths above are parity-tested against.
+ */
+Int32Tensor attentionScoresDiff(const Int8Tensor &q,
+                                const Int8Tensor &prev_q,
+                                const Int8Tensor &k,
+                                const Int8Tensor &prev_k,
+                                const Int32Tensor &prev_scores,
+                                OpCounts *counts = nullptr);
+Int32Tensor attentionOutputDiff(const Int8Tensor &p,
+                                const Int8Tensor &prev_p,
+                                const Int8Tensor &v,
+                                const Int8Tensor &prev_v,
+                                const Int32Tensor &prev_out,
+                                OpCounts *counts = nullptr);
+Int32Tensor crossAttentionScoresDiff(const Int8Tensor &q,
+                                     const Int8Tensor &prev_q,
+                                     const Int8Tensor &k_const,
+                                     const Int32Tensor &prev_scores,
+                                     OpCounts *counts = nullptr);
+
+} // namespace naive
 
 } // namespace ditto
 

@@ -1,10 +1,18 @@
 /**
  * @file
  * Difference-processing engines for FC and convolution layers.
+ *
+ * runDiff routes through the sparse plan path: encode once (fused
+ * subtract + classify), execute zero-skipping diff GEMM, accumulate
+ * into the previous output. The dense execution is retained under
+ * naive:: for parity tests and baselines.
  */
 #include "core/diff_linear.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "quant/encoder.h"
 
 namespace ditto {
 
@@ -28,10 +36,46 @@ tallyOps(const Int16Tensor &values, int64_t macs_per_element)
     return c;
 }
 
+OpCounts
+planOpCounts(const DiffGemmPlan &plan, int64_t macs_per_element)
+{
+    OpCounts c;
+    c.zeroSkipped = plan.zeroElems * macs_per_element;
+    c.low4 = plan.low4Elems * macs_per_element;
+    c.full8 = plan.full8Elems * macs_per_element;
+    return c;
+}
+
+OpCounts
+probeOpCounts(const DiffClassCounts &probe, int64_t macs_per_element)
+{
+    OpCounts c;
+    c.zeroSkipped = probe.zero * macs_per_element;
+    c.low4 = probe.low4 * macs_per_element;
+    c.full8 = probe.full8 * macs_per_element;
+    return c;
+}
+
+bool
+diffWorthIt(const DiffClassCounts &probe, int64_t n)
+{
+    const double density =
+        static_cast<double>(probe.nonzero()) /
+        static_cast<double>(std::max<int64_t>(1, probe.total()));
+    return density * diffMacPenalty(n) < 1.0;
+}
+
+double
+diffMacPenalty(int64_t n)
+{
+    return n >= 64 ? 1.3 : 3.0;
+}
+
 DiffFcEngine::DiffFcEngine(Int8Tensor weight) : weight_(std::move(weight))
 {
     DITTO_ASSERT(weight_.shape().rank() == 2,
                  "fc weight must be [out, in]");
+    weightT_ = transposeInt8(weight_);
 }
 
 Int32Tensor
@@ -42,17 +86,21 @@ DiffFcEngine::runDirect(const Int8Tensor &x) const
 
 Int32Tensor
 DiffFcEngine::runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
-                      const Int32Tensor &prev_out, OpCounts *counts) const
+                      const Int32Tensor &prev_out, OpCounts *counts,
+                      DiffPolicy policy) const
 {
     DITTO_ASSERT(x.shape() == prev_x.shape(),
                  "fc diff input shape mismatch");
-    const Int16Tensor diff = subtractInt8(x, prev_x);
+    const int64_t out_features = weight_.shape()[0];
+    const DiffClassCounts probe = countTemporalDiffClasses(x, prev_x);
     if (counts) {
         // Every input element feeds out_features multiplies.
-        counts->merge(tallyOps(diff, weight_.shape()[0]));
+        counts->merge(probeOpCounts(probe, out_features));
     }
-    const Int32Tensor delta = fullyConnectedDiffInt16(diff, weight_);
-    return addInt32(prev_out, delta);
+    if (policy == DiffPolicy::Auto && !diffWorthIt(probe, out_features))
+        return runDirect(x);
+    const DiffGemmPlan plan = encodeTemporalDiff(x, prev_x);
+    return matmulDiffPlan(plan, weightT_, &prev_out);
 }
 
 DiffConvEngine::DiffConvEngine(Int8Tensor weight, Conv2dParams params)
@@ -60,6 +108,27 @@ DiffConvEngine::DiffConvEngine(Int8Tensor weight, Conv2dParams params)
 {
     DITTO_ASSERT(weight_.shape().rank() == 4,
                  "conv weight must be OIHW");
+    // The OIHW weight viewed as [Cout, Cin*K*K], transposed once so
+    // the sparse conv delta reads contiguous tap rows, plus the
+    // kx-reversed regrouping the stride-1 interior fast path wants.
+    const int64_t cout = weight_.shape()[0];
+    const int64_t kk = weight_.shape()[2];
+    Int8Tensor wmat(Shape{cout, weight_.numel() / cout});
+    std::copy(weight_.data().begin(), weight_.data().end(),
+              wmat.data().begin());
+    wmatT_ = transposeInt8(wmat);
+    wrevT_ = Int8Tensor(wmatT_.shape());
+    const int64_t cin = weight_.shape()[1];
+    for (int64_t ic = 0; ic < cin; ++ic)
+        for (int64_t ky = 0; ky < kk; ++ky)
+            for (int64_t kx = 0; kx < kk; ++kx)
+                std::copy(
+                    wmatT_.data().begin() +
+                        ((ic * kk + ky) * kk + kx) * cout,
+                    wmatT_.data().begin() +
+                        ((ic * kk + ky) * kk + kx + 1) * cout,
+                    wrevT_.data().begin() +
+                        ((ic * kk + ky) * kk + (kk - 1 - kx)) * cout);
 }
 
 Int32Tensor
@@ -70,24 +139,89 @@ DiffConvEngine::runDirect(const Int8Tensor &x) const
 
 Int32Tensor
 DiffConvEngine::runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
-                        const Int32Tensor &prev_out,
-                        OpCounts *counts) const
+                        const Int32Tensor &prev_out, OpCounts *counts,
+                        DiffPolicy policy) const
+{
+    DITTO_ASSERT(x.shape() == prev_x.shape(),
+                 "conv diff input shape mismatch");
+    DITTO_ASSERT(x.shape().rank() == 4, "conv diff input must be NCHW");
+    const int64_t batches = x.shape()[0];
+    const int64_t cin = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    const int64_t w = x.shape()[3];
+    const int64_t oh = params_.outExtent(h);
+    const int64_t ow = params_.outExtent(w);
+    const int64_t cout = weight_.shape()[0];
+    // Each input element is touched by roughly
+    // out_channels * k * k / stride^2 multiplies; use the exact
+    // average macs / input elements for the tally weight (same
+    // convention as the dense reference and the BOPs model).
+    const int64_t per_elem = std::max<int64_t>(
+        1, cout * params_.kernel * params_.kernel /
+               (params_.stride * params_.stride));
+
+    const DiffClassCounts probe = countTemporalDiffClasses(x, prev_x);
+    if (counts)
+        counts->merge(probeOpCounts(probe, per_elem));
+    // The interior fast path accumulates kernel*cout-wide rows; use
+    // that as the amortization width for the cost model.
+    if (policy == DiffPolicy::Auto &&
+        !diffWorthIt(probe, params_.kernel * cout))
+        return runDirect(x);
+
+    // The raw [Cin, H*W] difference slab is encoded per batch — no
+    // im2col expansion — and scattered through the cached transposed
+    // weight into a pixel-major delta.
+    Int32Tensor delta(Shape{batches * oh * ow, cout});
+    for (int64_t b = 0; b < batches; ++b) {
+        const DiffGemmPlan plan = encodeTemporalDiffRegion(
+            x, prev_x, b * cin * h * w, cin, h * w);
+        const Int32Tensor d =
+            convDeltaDiffPlan(plan, wmatT_, wrevT_, params_, h, w);
+        std::copy(d.data().begin(), d.data().end(),
+                  delta.data().begin() + b * oh * ow * cout);
+    }
+    return addConvDeltaInt32(prev_out, delta);
+}
+
+namespace naive {
+
+Int32Tensor
+fcRunDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
+          const Int32Tensor &prev_out, const Int8Tensor &weight,
+          OpCounts *counts)
+{
+    DITTO_ASSERT(x.shape() == prev_x.shape(),
+                 "fc diff input shape mismatch");
+    const Int16Tensor diff = subtractInt8(x, prev_x);
+    if (counts)
+        counts->merge(tallyOps(diff, weight.shape()[0]));
+    // Explicitly the fast dense kernel, not naive::'s scalar loop:
+    // this reference isolates "dense diff" from "sparse diff".
+    const Int32Tensor delta = ditto::fullyConnectedDiffInt16(diff, weight);
+    return addInt32(prev_out, delta);
+}
+
+Int32Tensor
+convRunDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
+            const Int32Tensor &prev_out, const Int8Tensor &weight,
+            const Conv2dParams &params, OpCounts *counts)
 {
     DITTO_ASSERT(x.shape() == prev_x.shape(),
                  "conv diff input shape mismatch");
     const Int16Tensor diff = subtractInt8(x, prev_x);
     if (counts) {
-        // Each input element is touched by roughly
-        // out_channels * k * k / stride^2 multiplies; use the exact
-        // average macs / input elements for the tally weight.
+        // The historic approximation: each input element is charged
+        // out_channels * k * k / stride^2 multiplies.
         const int64_t per_elem = std::max<int64_t>(
-            1, weight_.shape()[0] * weight_.shape()[2] *
-                   weight_.shape()[3] /
-                   (params_.stride * params_.stride));
+            1, weight.shape()[0] * weight.shape()[2] * weight.shape()[3] /
+                   (params.stride * params.stride));
         counts->merge(tallyOps(diff, per_elem));
     }
-    const Int32Tensor delta = conv2dDiffInt16(diff, weight_, params_);
+    const Int32Tensor delta = ditto::conv2dDiffInt16(diff, weight, params);
     return addInt32(prev_out, delta);
 }
+
+} // namespace naive
 
 } // namespace ditto

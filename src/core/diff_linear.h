@@ -15,8 +15,19 @@
  * hardware's zero skipping and reduced-bit-width lanes gain their
  * speedup.
  *
+ * Since the sparse diff-GEMM refactor the engines realize that speedup
+ * in software too: the difference operand is classified once by the
+ * software Encoding Unit (quant/encoder.h) into a panel plan that the
+ * plan-driven ops.h entry points execute, skipping zero values and
+ * reading 4-bit values from packed nibble panels. The previous dense
+ * execution (full int16 GEMM over the difference) is retained under
+ * ditto::naive as the reference the sparse path is parity-tested
+ * against.
+ *
  * The engines also tally how many multiplies fall in each bit class,
- * the quantity the BOPs analysis (Fig. 6) and the cycle model consume.
+ * the quantity the BOPs analysis (Fig. 6) and the cycle model consume;
+ * the tallies now fall out of the encoder pass that drives execution,
+ * so accounting and execution cannot diverge.
  */
 #ifndef DITTO_CORE_DIFF_LINEAR_H
 #define DITTO_CORE_DIFF_LINEAR_H
@@ -24,6 +35,7 @@
 #include <cstdint>
 
 #include "quant/bitwidth.h"
+#include "quant/encoder.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -53,8 +65,56 @@ struct OpCounts
     }
 };
 
+/**
+ * Execution policy for the difference engines (software Defo, paper
+ * Section IV-C). Difference execution only pays off when enough of
+ * the difference stream is skippable: the engines probe the stream's
+ * class counts (one cheap vectorized sweep, which also feeds OpCounts)
+ * and compare the predicted sparse cost against the dense direct cost.
+ *
+ *  - Auto: revert to direct execution when the probe predicts the
+ *    diff path is more expensive. Results are bitwise identical either
+ *    way (the distributive identity is exact), so reversion changes
+ *    wall-clock only; the decision is a pure function of the codes,
+ *    never of timers or thread counts.
+ *  - ForceDiff: always run the sparse plan path (parity tests,
+ *    kernel benchmarks).
+ */
+enum class DiffPolicy
+{
+    Auto,
+    ForceDiff,
+};
+
+/**
+ * Software Defo cost model: per-MAC penalty of the sparse diff path
+ * relative to the dense blocked GEMM, as a function of the
+ * accumulation row width n. Wide rows amortize the per-entry decode
+ * and read-modify-write overhead (~1.3x); narrow rows do not (~3x).
+ * Predicted sparse cost = nonzero_fraction * penalty * dense cost.
+ */
+double diffMacPenalty(int64_t n);
+
 /** Tally the bit classes of `values` weighted by `macs_per_element`. */
 OpCounts tallyOps(const Int16Tensor &values, int64_t macs_per_element);
+
+/**
+ * OpCounts from an encoding plan's element tallies: every element
+ * drives `macs_per_element` multiplies of its own bit class. Equals
+ * tallyOps of the plan's source operand.
+ */
+OpCounts planOpCounts(const DiffGemmPlan &plan, int64_t macs_per_element);
+
+/** OpCounts from a class-count probe (same convention). */
+OpCounts probeOpCounts(const DiffClassCounts &probe,
+                       int64_t macs_per_element);
+
+/**
+ * True when the probe predicts the sparse path wins for a single
+ * weight-stationary sub-op with an n-wide accumulation row:
+ * density * diffMacPenalty(n) < 1.
+ */
+bool diffWorthIt(const DiffClassCounts &probe, int64_t n);
 
 /**
  * Fully-connected layer with temporal difference processing.
@@ -77,15 +137,19 @@ class DiffFcEngine
      * @param prev_x previous-step input codes.
      * @param prev_out previous-step int32 output.
      * @param counts optional tally of multiplier-lane usage.
+     * @param policy Auto reverts to direct execution (bit-identical)
+     *        when the class-count probe predicts diff is slower.
      */
     Int32Tensor runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
                         const Int32Tensor &prev_out,
-                        OpCounts *counts = nullptr) const;
+                        OpCounts *counts = nullptr,
+                        DiffPolicy policy = DiffPolicy::Auto) const;
 
     const Int8Tensor &weight() const { return weight_; }
 
   private:
     Int8Tensor weight_;
+    Int8Tensor weightT_; //!< [in, out] copy: plan B operand, no repacking
 };
 
 /** 2-D convolution with temporal difference processing. */
@@ -97,17 +161,46 @@ class DiffConvEngine
     /** Direct (full bit-width) execution. */
     Int32Tensor runDirect(const Int8Tensor &x) const;
 
-    /** Difference execution: y_t = prev_out + conv(x - prev_x). */
+    /**
+     * Difference execution: y_t = prev_out + conv(x - prev_x).
+     *
+     * The raw difference is encoded per batch slab and scattered
+     * through the kernel windows (kernels::convDiffScatter); `counts`
+     * classifies each input element once, charged the average
+     * out_channels * k * k / stride^2 multiplies — the same convention
+     * as the dense reference and the BOPs model.
+     */
     Int32Tensor runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
                         const Int32Tensor &prev_out,
-                        OpCounts *counts = nullptr) const;
+                        OpCounts *counts = nullptr,
+                        DiffPolicy policy = DiffPolicy::Auto) const;
 
     const Conv2dParams &params() const { return params_; }
 
   private:
     Int8Tensor weight_;
+    Int8Tensor wmatT_; //!< [Cin*K*K, Cout] copy: scatter tap rows
+    Int8Tensor wrevT_; //!< kx-reversed rows for the interior fast path
     Conv2dParams params_;
 };
+
+namespace naive {
+
+/**
+ * Dense difference execution references (the pre-sparse engine bodies):
+ * widen the whole difference to int16, run the dense diff GEMM / conv,
+ * add the previous output. Used by parity tests and as the
+ * sparse-vs-dense baseline in bench_kernels.
+ */
+Int32Tensor fcRunDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
+                      const Int32Tensor &prev_out, const Int8Tensor &weight,
+                      OpCounts *counts = nullptr);
+Int32Tensor convRunDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
+                        const Int32Tensor &prev_out,
+                        const Int8Tensor &weight, const Conv2dParams &params,
+                        OpCounts *counts = nullptr);
+
+} // namespace naive
 
 } // namespace ditto
 

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "trace/calibrate.h"
 
 namespace ditto {
 
@@ -175,12 +176,47 @@ MiniUnet::MiniUnet(MiniUnetConfig cfg) : cfg_(cfg)
     qCrossKConst_ = quantw(k_const);
     qCrossVConst_ = quantw(v_const);
 
+    // Persistent difference engines: weight-stationary layers keep
+    // their engine (and its weight copy) for the model's lifetime
+    // instead of rebuilding one per forward step.
+    eConvIn_.emplace(qConvIn_.codes, Conv2dParams{ic, c, 3, 1, 1});
+    eRes1_.emplace(qRes1_.codes, Conv2dParams{c, c, 3, 1, 1});
+    eRes2_.emplace(qRes2_.codes, Conv2dParams{c, c, 3, 1, 1});
+    eAttnQ_.emplace(qAttnQ_.codes, Conv2dParams{c, c, 1, 1, 0});
+    eAttnK_.emplace(qAttnK_.codes, Conv2dParams{c, c, 1, 1, 0});
+    eAttnV_.emplace(qAttnV_.codes, Conv2dParams{c, c, 1, 1, 0});
+    eAttnProj_.emplace(qAttnProj_.codes, Conv2dParams{c, c, 1, 1, 0});
+    eConvOut_.emplace(qConvOut_.codes, Conv2dParams{c, ic, 3, 1, 1});
+    eCrossQ_.emplace(qCrossQ_.codes);
+    eCrossOut_.emplace(qCrossOut_.codes);
+    eCrossQk_.emplace(qCrossKConst_.codes);
+    // P' x V' with constant V' is weight-stationary with V'^T as the
+    // weight: O = P' V' = P' (V'^T)^T.
+    eCrossPv_.emplace(transposeInt8(qCrossVConst_.codes));
+
     calibrateActScales();
 }
 
 void
 MiniUnet::calibrateActScales()
 {
+    // The calibration result is a pure function of the configuration
+    // (weights, noise and trajectory all derive from cfg_.seed), so a
+    // config-keyed disk cache lets repeated bench/test runs skip the
+    // FP32 rollout. The leading salt versions the calibration
+    // algorithm itself.
+    uint64_t key = hashMix(0xD1770ACC, 2);
+    key = hashMix(key, static_cast<uint64_t>(cfg_.channels));
+    key = hashMix(key, static_cast<uint64_t>(cfg_.resolution));
+    key = hashMix(key, static_cast<uint64_t>(cfg_.inChannels));
+    key = hashMix(key, static_cast<uint64_t>(cfg_.ctxTokens));
+    key = hashMix(key, static_cast<uint64_t>(cfg_.ctxDim));
+    key = hashMix(key, static_cast<uint64_t>(cfg_.steps));
+    key = hashMix(key, cfg_.seed);
+    key = hashMix(key, static_cast<uint64_t>(kNumActScales));
+    if (loadCachedScales(key, kNumActScales, &actScale_))
+        return;
+
     // Offline calibration: FP32 rollout, record max-abs at every
     // quantization point across all steps (Q-Diffusion style, one
     // static scale per point), with a 10% safety margin.
@@ -208,6 +244,7 @@ MiniUnet::calibrateActScales()
     actScale_.resize(kNumActScales);
     for (int i = 0; i < kNumActScales; ++i)
         actScale_[i] = std::max(maxabs[i], 1e-6f) * 1.1f / 127.0f;
+    storeCachedScales(key, actScale_);
 }
 
 FloatTensor
@@ -295,75 +332,77 @@ MiniUnet::forwardQuant(const FloatTensor &x, bool use_ditto,
         state->prevOut.resize(kNumOutSlots);
     }
 
-    // Weight-stationary convolution, optionally via differences.
-    auto run_conv = [&](const QuantWeight &w, const FloatTensor &in,
-                        int scale_idx, InSlot in_slot, OutSlot out_slot,
-                        const Conv2dParams &p) {
+    // Weight-stationary convolution, optionally via differences; the
+    // engines are persistent members so the diff path reuses them
+    // instead of rebuilding one per step.
+    auto run_conv = [&](const DiffConvEngine &eng, const QuantWeight &w,
+                        const FloatTensor &in, int scale_idx,
+                        InSlot in_slot, OutSlot out_slot) {
         const QuantParams qp{actScale_[scale_idx], 8};
-        const Int8Tensor codes = quantize(in, qp);
+        Int8Tensor codes = quantize(in, qp);
         Int32Tensor acc;
         if (primed) {
-            const DiffConvEngine engine(w.codes, p);
-            acc = engine.runDiff(codes, state->prevIn[in_slot],
-                                 state->prevOut[out_slot], counts);
+            acc = eng.runDiff(codes, state->prevIn[in_slot],
+                              state->prevOut[out_slot], counts);
         } else {
-            acc = conv2dInt8(codes, w.codes, p);
+            acc = eng.runDirect(codes);
         }
         if (use_ditto) {
-            state->prevIn[in_slot] = codes;
-            state->prevOut[out_slot] = acc;
+            // Move the step's tensors into the state (no copies); the
+            // dequantized return reads from the state slot.
+            state->prevIn[in_slot] = std::move(codes);
+            state->prevOut[out_slot] = std::move(acc);
+            return dequantizeAccum(state->prevOut[out_slot],
+                                   qp.scale * w.scale);
         }
         return dequantizeAccum(acc, qp.scale * w.scale);
     };
     // Weight-stationary FC, optionally via differences.
-    auto run_fc = [&](const QuantWeight &w, const FloatTensor &in,
-                      int scale_idx, InSlot in_slot, OutSlot out_slot) {
+    auto run_fc = [&](const DiffFcEngine &eng, const QuantWeight &w,
+                      const FloatTensor &in, int scale_idx, InSlot in_slot,
+                      OutSlot out_slot) {
         const QuantParams qp{actScale_[scale_idx], 8};
-        const Int8Tensor codes = quantize(in, qp);
+        Int8Tensor codes = quantize(in, qp);
         Int32Tensor acc;
         if (primed) {
-            const DiffFcEngine engine(w.codes);
-            acc = engine.runDiff(codes, state->prevIn[in_slot],
-                                 state->prevOut[out_slot], counts);
+            acc = eng.runDiff(codes, state->prevIn[in_slot],
+                              state->prevOut[out_slot], counts);
         } else {
-            acc = fullyConnectedInt8(codes, w.codes);
+            acc = eng.runDirect(codes);
         }
         if (use_ditto) {
-            state->prevIn[in_slot] = codes;
-            state->prevOut[out_slot] = acc;
+            state->prevIn[in_slot] = std::move(codes);
+            state->prevOut[out_slot] = std::move(acc);
+            return dequantizeAccum(state->prevOut[out_slot],
+                                   qp.scale * w.scale);
         }
         return dequantizeAccum(acc, qp.scale * w.scale);
     };
 
-    const Conv2dParams p3{cfg_.inChannels, c, 3, 1, 1};
-    const Conv2dParams p3c{c, c, 3, 1, 1};
-    const Conv2dParams p1{c, c, 1, 1, 0};
-    const Conv2dParams p3o{c, cfg_.inChannels, 3, 1, 1};
-
-    const FloatTensor h0 =
-        run_conv(qConvIn_, x, kScaleConvIn, kInConvIn, kOutConvIn, p3);
+    const FloatTensor h0 = run_conv(*eConvIn_, qConvIn_, x, kScaleConvIn,
+                                    kInConvIn, kOutConvIn);
 
     // Residual block (non-linear functions stay in FP32 on dequantized
     // values, as the Vector Processing Unit would).
     FloatTensor a = silu(groupNorm(h0, 2));
-    a = run_conv(qRes1_, a, kScaleRes1, kInRes1, kOutRes1, p3c);
+    a = run_conv(*eRes1_, qRes1_, a, kScaleRes1, kInRes1, kOutRes1);
     a = silu(groupNorm(a, 2));
-    a = run_conv(qRes2_, a, kScaleRes2, kInRes2, kOutRes2, p3c);
+    a = run_conv(*eRes2_, qRes2_, a, kScaleRes2, kInRes2, kOutRes2);
     const FloatTensor h1 = add(h0, a);
 
     // Self attention: QK and PV are dynamic-dynamic matmuls.
     FloatTensor g = groupNorm(h1, 2);
-    const FloatTensor qf = nchwToTokens(
-        run_conv(qAttnQ_, g, kScaleAttnIn, kInAttnQ, kOutAttnQ, p1));
-    const FloatTensor kf = nchwToTokens(
-        run_conv(qAttnK_, g, kScaleAttnIn, kInAttnK, kOutAttnK, p1));
-    const FloatTensor vf = nchwToTokens(
-        run_conv(qAttnV_, g, kScaleAttnIn, kInAttnV, kOutAttnV, p1));
+    const FloatTensor qf = nchwToTokens(run_conv(
+        *eAttnQ_, qAttnQ_, g, kScaleAttnIn, kInAttnQ, kOutAttnQ));
+    const FloatTensor kf = nchwToTokens(run_conv(
+        *eAttnK_, qAttnK_, g, kScaleAttnIn, kInAttnK, kOutAttnK));
+    const FloatTensor vf = nchwToTokens(run_conv(
+        *eAttnV_, qAttnV_, g, kScaleAttnIn, kInAttnV, kOutAttnV));
 
     const QuantParams qpq{actScale_[kScaleAttnQ], 8};
     const QuantParams qpk{actScale_[kScaleAttnK], 8};
-    const Int8Tensor q_codes = quantize(qf, qpq);
-    const Int8Tensor k_codes = quantize(kf, qpk);
+    Int8Tensor q_codes = quantize(qf, qpq);
+    Int8Tensor k_codes = quantize(kf, qpk);
     Int32Tensor s_acc;
     if (primed) {
         s_acc = attentionScoresDiff(q_codes, state->prevIn[kInQkQ],
@@ -373,18 +412,20 @@ MiniUnet::forwardQuant(const FloatTensor &x, bool use_ditto,
         s_acc = attentionScoresDirect(q_codes, k_codes);
     }
     if (use_ditto) {
-        state->prevIn[kInQkQ] = q_codes;
-        state->prevIn[kInQkK] = k_codes;
-        state->prevOut[kOutQk] = s_acc;
+        state->prevIn[kInQkQ] = std::move(q_codes);
+        state->prevIn[kInQkK] = std::move(k_codes);
+        state->prevOut[kOutQk] = std::move(s_acc);
     }
-    FloatTensor s = dequantizeAccum(s_acc, qpq.scale * qpk.scale);
+    const Int32Tensor &s_ref =
+        use_ditto ? state->prevOut[kOutQk] : s_acc;
+    FloatTensor s = dequantizeAccum(s_ref, qpq.scale * qpk.scale);
     s = affine(s, inv_sqrt_c, 0.0f);
     const FloatTensor prob = softmaxRows(s);
 
     const QuantParams qpp{actScale_[kScaleAttnP], 8};
     const QuantParams qpv{actScale_[kScaleAttnV], 8};
-    const Int8Tensor p_codes = quantize(prob, qpp);
-    const Int8Tensor v_codes = quantize(vf, qpv);
+    Int8Tensor p_codes = quantize(prob, qpp);
+    Int8Tensor v_codes = quantize(vf, qpv);
     Int32Tensor o_acc;
     if (primed) {
         o_acc = attentionOutputDiff(p_codes, state->prevIn[kInPvP],
@@ -394,70 +435,69 @@ MiniUnet::forwardQuant(const FloatTensor &x, bool use_ditto,
         o_acc = attentionOutputDirect(p_codes, v_codes);
     }
     if (use_ditto) {
-        state->prevIn[kInPvP] = p_codes;
-        state->prevIn[kInPvV] = v_codes;
-        state->prevOut[kOutPv] = o_acc;
+        state->prevIn[kInPvP] = std::move(p_codes);
+        state->prevIn[kInPvV] = std::move(v_codes);
+        state->prevOut[kOutPv] = std::move(o_acc);
     }
-    const FloatTensor o = dequantizeAccum(o_acc, qpp.scale * qpv.scale);
+    const FloatTensor o = dequantizeAccum(
+        use_ditto ? state->prevOut[kOutPv] : o_acc,
+        qpp.scale * qpv.scale);
 
-    const FloatTensor proj = run_conv(qAttnProj_, tokensToNchw(o, res, res),
-                                      kScaleProj, kInProj, kOutProj, p1);
+    const FloatTensor proj =
+        run_conv(*eAttnProj_, qAttnProj_, tokensToNchw(o, res, res),
+                 kScaleProj, kInProj, kOutProj);
     const FloatTensor h2 = add(h1, proj);
 
     // Cross attention: K'/V' constant, weight-stationary difference
     // processing applies directly.
     const FloatTensor tok = nchwToTokens(h2);
-    const FloatTensor q2 =
-        run_fc(qCrossQ_, tok, kScaleCrossIn, kInCrossQ, kOutCrossQ);
+    const FloatTensor q2 = run_fc(*eCrossQ_, qCrossQ_, tok, kScaleCrossIn,
+                                  kInCrossQ, kOutCrossQ);
     const QuantParams qpq2{actScale_[kScaleCrossQ], 8};
-    const Int8Tensor q2_codes = quantize(q2, qpq2);
-    const CrossAttentionEngine cross_qk(qCrossKConst_.codes);
+    Int8Tensor q2_codes = quantize(q2, qpq2);
     Int32Tensor s2_acc;
     if (primed) {
-        s2_acc = cross_qk.runDiff(q2_codes, state->prevIn[kInCrossQkQ],
-                                  state->prevOut[kOutCrossQk], counts);
+        s2_acc = eCrossQk_->runDiff(q2_codes, state->prevIn[kInCrossQkQ],
+                                    state->prevOut[kOutCrossQk], counts);
     } else {
-        s2_acc = cross_qk.runDirect(q2_codes);
+        s2_acc = eCrossQk_->runDirect(q2_codes);
     }
     if (use_ditto) {
-        state->prevIn[kInCrossQkQ] = q2_codes;
-        state->prevOut[kOutCrossQk] = s2_acc;
+        state->prevIn[kInCrossQkQ] = std::move(q2_codes);
+        state->prevOut[kOutCrossQk] = std::move(s2_acc);
     }
     FloatTensor s2 =
-        dequantizeAccum(s2_acc, qpq2.scale * qCrossKConst_.scale);
+        dequantizeAccum(use_ditto ? state->prevOut[kOutCrossQk] : s2_acc,
+                        qpq2.scale * qCrossKConst_.scale);
     s2 = affine(s2, inv_sqrt_c, 0.0f);
     const FloatTensor prob2 = softmaxRows(s2);
 
     const QuantParams qpp2{actScale_[kScaleCrossP], 8};
-    const Int8Tensor p2_codes = quantize(prob2, qpp2);
-    // P' x V' with constant V': weight-stationary on transposed
-    // operand order (O = P' V' = (V'^T P'^T)^T); the engine treats V'^T
-    // as the weight, which matmulInt8 realises directly.
+    Int8Tensor p2_codes = quantize(prob2, qpp2);
+    // P' x V' with constant V' runs as a weight-stationary layer with
+    // V'^T as the weight (persistent eCrossPv_ engine).
     Int32Tensor o2_acc;
     if (primed) {
-        const Int16Tensor dp = subtractInt8(p2_codes,
-                                            state->prevIn[kInCrossPvP]);
-        if (counts)
-            counts->merge(tallyOps(dp, qCrossVConst_.codes.shape()[1]));
-        const Int32Tensor delta = matmulDiffInt16(dp, qCrossVConst_.codes);
-        o2_acc = addInt32(state->prevOut[kOutCrossPv], delta);
+        o2_acc = eCrossPv_->runDiff(p2_codes, state->prevIn[kInCrossPvP],
+                                    state->prevOut[kOutCrossPv], counts);
     } else {
-        o2_acc = matmulInt8(p2_codes, qCrossVConst_.codes);
+        o2_acc = eCrossPv_->runDirect(p2_codes);
     }
     if (use_ditto) {
-        state->prevIn[kInCrossPvP] = p2_codes;
-        state->prevOut[kOutCrossPv] = o2_acc;
+        state->prevIn[kInCrossPvP] = std::move(p2_codes);
+        state->prevOut[kOutCrossPv] = std::move(o2_acc);
     }
     const FloatTensor o2 =
-        dequantizeAccum(o2_acc, qpp2.scale * qCrossVConst_.scale);
+        dequantizeAccum(use_ditto ? state->prevOut[kOutCrossPv] : o2_acc,
+                        qpp2.scale * qCrossVConst_.scale);
 
-    const FloatTensor co = run_fc(qCrossOut_, o2, kScaleCrossO,
+    const FloatTensor co = run_fc(*eCrossOut_, qCrossOut_, o2, kScaleCrossO,
                                   kInCrossOut, kOutCrossOut);
     const FloatTensor h3 = add(h2, tokensToNchw(co, res, res));
 
     FloatTensor out = silu(groupNorm(h3, 2));
-    const FloatTensor eps = run_conv(qConvOut_, out, kScaleConvOut,
-                                     kInConvOut, kOutConvOut, p3o);
+    const FloatTensor eps = run_conv(*eConvOut_, qConvOut_, out,
+                                     kScaleConvOut, kInConvOut, kOutConvOut);
     if (use_ditto)
         state->primed = true;
     return eps;

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/attention_diff.h"
@@ -120,6 +121,16 @@ class MiniUnet
     QuantWeight qAttnQ_, qAttnK_, qAttnV_, qAttnProj_;
     QuantWeight qCrossQ_, qCrossOut_, qConvOut_;
     QuantWeight qCrossKConst_, qCrossVConst_; //!< projected context
+
+    // Persistent difference engines (weight-stationary layers), built
+    // once at construction instead of per forward step. optional<> only
+    // because the engines are constructed after quantization.
+    std::optional<DiffConvEngine> eConvIn_, eRes1_, eRes2_;
+    std::optional<DiffConvEngine> eAttnQ_, eAttnK_, eAttnV_, eAttnProj_;
+    std::optional<DiffConvEngine> eConvOut_;
+    std::optional<DiffFcEngine> eCrossQ_, eCrossOut_;
+    std::optional<CrossAttentionEngine> eCrossQk_;
+    std::optional<DiffFcEngine> eCrossPv_; //!< V'^T as the weight
 
     /** Static activation scales per quantization point. */
     std::vector<float> actScale_;

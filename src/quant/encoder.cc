@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Software Encoding Unit implementation.
+ *
+ * Two row-parallel passes joined by a serial prefix scan:
+ *  1. classify every panel (count nonzero entries, detect wide values)
+ *     and tally element classes;
+ *  2. after reserving exact stream space per row, emit offsets, packed
+ *     nibbles and fallback values.
+ * Stream layout depends only on the data, never on the thread count.
+ */
+#include "quant/encoder.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace ditto {
+
+namespace {
+
+/** Signed 4-bit lane bounds (classifyValue with low_bits = 4). */
+constexpr int16_t kLow4Min = -8;
+constexpr int16_t kLow4Max = 7;
+
+/** Build a plan for a logical [rows, cols] operand read through at(). */
+template <typename At>
+DiffGemmPlan
+encodeImpl(int64_t rows, int64_t cols, const At &at)
+{
+    DITTO_ASSERT(rows > 0 && cols > 0, "encoder needs a non-empty operand");
+    DiffGemmPlan plan;
+    plan.rows = rows;
+    plan.cols = cols;
+    plan.panelsPerRow = (cols + kDiffPanelK - 1) / kDiffPanelK;
+    plan.panels.assign(static_cast<size_t>(rows * plan.panelsPerRow),
+                       PanelRef{});
+
+    std::vector<int64_t> rowLow4(static_cast<size_t>(rows), 0);
+    std::vector<int64_t> rowFull8(static_cast<size_t>(rows), 0);
+    std::vector<int64_t> rowZeroE(static_cast<size_t>(rows), 0);
+
+    parallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+            int64_t l4 = 0, f8 = 0, ze = 0;
+            for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {
+                const int64_t k0 = pi * kDiffPanelK;
+                const int64_t kw = std::min(kDiffPanelK, cols - k0);
+                // Branchless counting with narrow accumulators so the
+                // classification sweep vectorizes; lane dispatch is
+                // per element (kw <= 64 cannot overflow an int).
+                int nnz = 0;
+                int wide = 0;
+                for (int64_t kk = 0; kk < kw; ++kk) {
+                    const int16_t v = at(r, k0 + kk);
+                    nnz += v != 0;
+                    wide += (v < kLow4Min) | (v > kLow4Max);
+                }
+                ze += kw - nnz;
+                l4 += nnz - wide;
+                f8 += wide;
+                PanelRef &p =
+                    plan.panels[static_cast<size_t>(r * plan.panelsPerRow +
+                                                    pi)];
+                p.low4Count = static_cast<uint16_t>(nnz - wide);
+                p.full8Count = static_cast<uint16_t>(wide);
+            }
+            rowLow4[static_cast<size_t>(r)] = l4;
+            rowFull8[static_cast<size_t>(r)] = f8;
+            rowZeroE[static_cast<size_t>(r)] = ze;
+        }
+    });
+
+    // Serial prefix scan. Each row's stream region is padded by one
+    // dead slot (the branch-free writer in pass 2 always stores to the
+    // current position and conditionally advances, so its final stray
+    // store must not touch the next row's first entry) and Low4
+    // regions start at an even index so two rows never pack nibbles
+    // into the same byte. Rows can then be filled concurrently.
+    std::vector<int64_t> low4Begin(static_cast<size_t>(rows), 0);
+    std::vector<int64_t> full8Begin(static_cast<size_t>(rows), 0);
+    int64_t l4pos = 0, f8pos = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+        low4Begin[static_cast<size_t>(r)] = l4pos;
+        l4pos += rowLow4[static_cast<size_t>(r)] + 1;
+        l4pos += l4pos & 1;
+        full8Begin[static_cast<size_t>(r)] = f8pos;
+        f8pos += rowFull8[static_cast<size_t>(r)] + 1;
+        plan.zeroElems += rowZeroE[static_cast<size_t>(r)];
+        plan.low4Elems += rowLow4[static_cast<size_t>(r)];
+        plan.full8Elems += rowFull8[static_cast<size_t>(r)];
+    }
+    DITTO_ASSERT(l4pos <= std::numeric_limits<int32_t>::max() &&
+                 f8pos <= std::numeric_limits<int32_t>::max(),
+                 "encoding plan entry stream exceeds 2^31 entries");
+    plan.low4Offsets.assign(static_cast<size_t>(l4pos), 0);
+    plan.low4Nibbles.assign(static_cast<size_t>((l4pos + 1) / 2), 0);
+    plan.full8Offsets.assign(static_cast<size_t>(f8pos), 0);
+    plan.full8Values.assign(static_cast<size_t>(f8pos), 0);
+
+    parallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+        // Branch-free two-stage extraction per panel: compress the
+        // nonzero elements into stack scratch (always store,
+        // conditionally advance), then split the surviving entries —
+        // only nnz of them — across the two lane streams the same way.
+        uint8_t toff[kDiffPanelK];
+        int16_t tval[kDiffPanelK];
+        for (int64_t r = lo; r < hi; ++r) {
+            int64_t l4 = low4Begin[static_cast<size_t>(r)];
+            int64_t f8 = full8Begin[static_cast<size_t>(r)];
+            for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {
+                PanelRef &p =
+                    plan.panels[static_cast<size_t>(r * plan.panelsPerRow +
+                                                    pi)];
+                p.low4Begin = static_cast<int32_t>(l4);
+                p.full8Begin = static_cast<int32_t>(f8);
+                if (p.empty())
+                    continue;
+                const int64_t k0 = pi * kDiffPanelK;
+                const int64_t kw = std::min(kDiffPanelK, cols - k0);
+                int64_t c = 0;
+                for (int64_t kk = 0; kk < kw; ++kk) {
+                    const int16_t v = at(r, k0 + kk);
+                    toff[c] = static_cast<uint8_t>(kk);
+                    tval[c] = v;
+                    c += v != 0;
+                }
+                for (int64_t e = 0; e < c; ++e) {
+                    const int16_t v = tval[e];
+                    const bool wide = v < kLow4Min || v > kLow4Max;
+                    plan.low4Offsets[static_cast<size_t>(l4)] = toff[e];
+                    const uint8_t nib = static_cast<uint8_t>(v) & 0x0F;
+                    uint8_t &byte =
+                        plan.low4Nibbles[static_cast<size_t>(l4 >> 1)];
+                    byte = (l4 & 1)
+                               ? static_cast<uint8_t>(
+                                     (byte & 0x0F) |
+                                     static_cast<uint8_t>(nib << 4))
+                               : nib;
+                    l4 += !wide;
+                    plan.full8Offsets[static_cast<size_t>(f8)] = toff[e];
+                    plan.full8Values[static_cast<size_t>(f8)] = v;
+                    f8 += wide;
+                }
+            }
+        }
+    });
+    return plan;
+}
+
+} // namespace
+
+DiffClassCounts
+countTemporalDiffClasses(const Int8Tensor &current,
+                         const Int8Tensor &previous, int64_t offset,
+                         int64_t count)
+{
+    DITTO_ASSERT(current.shape() == previous.shape(),
+                 "temporal diff operand shape mismatch");
+    DITTO_ASSERT(offset >= 0 && offset + count <= current.numel(),
+                 "countTemporalDiffClasses region out of range");
+    const int8_t *cur = current.data().data() + offset;
+    const int8_t *prev = previous.data().data() + offset;
+    // Chunked branchless counting; int accumulators per chunk so the
+    // sweep vectorizes like the encoder's first pass.
+    DiffClassCounts c;
+    constexpr int64_t kChunk = 1 << 14;
+    for (int64_t base = 0; base < count; base += kChunk) {
+        const int64_t end = std::min(count, base + kChunk);
+        int nnz = 0;
+        int wide = 0;
+        for (int64_t i = base; i < end; ++i) {
+            const int16_t v =
+                static_cast<int16_t>(static_cast<int16_t>(cur[i]) -
+                                     static_cast<int16_t>(prev[i]));
+            nnz += v != 0;
+            wide += (v < kLow4Min) | (v > kLow4Max);
+        }
+        c.zero += (end - base) - nnz;
+        c.low4 += nnz - wide;
+        c.full8 += wide;
+    }
+    return c;
+}
+
+DiffClassCounts
+countTemporalDiffClasses(const Int8Tensor &current,
+                         const Int8Tensor &previous)
+{
+    return countTemporalDiffClasses(current, previous, 0, current.numel());
+}
+
+DiffGemmPlan
+encodeDiff(const Int16Tensor &diff)
+{
+    DITTO_ASSERT(diff.shape().rank() == 2,
+                 "encodeDiff expects a difference matrix");
+    const int64_t cols = diff.shape()[1];
+    const int16_t *d = diff.data().data();
+    return encodeImpl(diff.shape()[0], cols,
+                      [d, cols](int64_t r, int64_t c) {
+                          return d[r * cols + c];
+                      });
+}
+
+DiffGemmPlan
+encodeTemporalDiff(const Int8Tensor &current, const Int8Tensor &previous)
+{
+    DITTO_ASSERT(current.shape() == previous.shape(),
+                 "temporal diff operand shape mismatch");
+    DITTO_ASSERT(current.shape().rank() == 2,
+                 "encodeTemporalDiff expects code matrices");
+    const int64_t cols = current.shape()[1];
+    const int8_t *cur = current.data().data();
+    const int8_t *prev = previous.data().data();
+    return encodeImpl(current.shape()[0], cols,
+                      [cur, prev, cols](int64_t r, int64_t c) {
+                          const int64_t i = r * cols + c;
+                          return static_cast<int16_t>(
+                              static_cast<int16_t>(cur[i]) -
+                              static_cast<int16_t>(prev[i]));
+                      });
+}
+
+DiffGemmPlan
+encodeTemporalDiffRegion(const Int8Tensor &current,
+                         const Int8Tensor &previous, int64_t offset,
+                         int64_t rows, int64_t cols)
+{
+    DITTO_ASSERT(current.shape() == previous.shape(),
+                 "temporal diff operand shape mismatch");
+    DITTO_ASSERT(offset >= 0 && offset + rows * cols <= current.numel(),
+                 "encodeTemporalDiffRegion region out of range");
+    const int8_t *cur = current.data().data() + offset;
+    const int8_t *prev = previous.data().data() + offset;
+    return encodeImpl(rows, cols, [cur, prev, cols](int64_t r, int64_t c) {
+        const int64_t i = r * cols + c;
+        return static_cast<int16_t>(static_cast<int16_t>(cur[i]) -
+                                    static_cast<int16_t>(prev[i]));
+    });
+}
+
+DiffGemmPlan
+encodeTemporalDiffTransposed(const Int8Tensor &current,
+                             const Int8Tensor &previous)
+{
+    DITTO_ASSERT(current.shape() == previous.shape(),
+                 "temporal diff operand shape mismatch");
+    DITTO_ASSERT(current.shape().rank() == 2,
+                 "encodeTemporalDiffTransposed expects code matrices");
+    const int64_t src_cols = current.shape()[1];
+    const int8_t *cur = current.data().data();
+    const int8_t *prev = previous.data().data();
+    // Plan rows index the *columns* of the operands.
+    return encodeImpl(src_cols, current.shape()[0],
+                      [cur, prev, src_cols](int64_t r, int64_t c) {
+                          const int64_t i = c * src_cols + r;
+                          return static_cast<int16_t>(
+                              static_cast<int16_t>(cur[i]) -
+                              static_cast<int16_t>(prev[i]));
+                      });
+}
+
+} // namespace ditto

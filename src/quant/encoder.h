@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Software Encoding Unit: builds the panel plan the sparse diff-GEMM
+ * executes (paper Section V-B, Fig. 11, in plan form).
+ *
+ * The hardware Encoding Unit subtracts adjacent-step activations,
+ * classifies every difference (zero / 4-bit lane / full path) and
+ * reorders the survivors toward the Compute Unit lanes. This module is
+ * the same pipeline targeting tensor/diff_gemm.h: one pass over the
+ * difference operand produces
+ *
+ *  - the per-panel class table with a zero-panel skip list,
+ *  - packed 4-bit lane panels and verbatim int16 fallback panels, and
+ *  - exact element-class tallies (quant/bitwidth.h semantics), so the
+ *    OpCounts the execution engines report are a by-product of the same
+ *    pass that drives execution — tally and execution cannot diverge
+ *    the way the old ad-hoc classifyValue loops could.
+ *
+ * Rows are encoded independently (two parallel passes linked by a
+ * serial prefix scan), so plans are deterministic at any thread count.
+ */
+#ifndef DITTO_QUANT_ENCODER_H
+#define DITTO_QUANT_ENCODER_H
+
+#include "tensor/diff_gemm.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/**
+ * Element-class tallies of a temporal difference, produced by one
+ * vectorized counting sweep — the cheap prefix of full encoding. The
+ * engines use it both for OpCounts accounting and as the Defo-style
+ * cost probe that decides whether difference execution is worth it
+ * before paying for the plan (paper Section IV-C: the Encoding Unit's
+ * class counts are exactly the statistic the flow controller needs).
+ */
+struct DiffClassCounts
+{
+    int64_t zero = 0;
+    int64_t low4 = 0;
+    int64_t full8 = 0;
+
+    int64_t total() const { return zero + low4 + full8; }
+    int64_t nonzero() const { return low4 + full8; }
+};
+
+/** Count difference classes of current - previous (whole tensors). */
+DiffClassCounts countTemporalDiffClasses(const Int8Tensor &current,
+                                         const Int8Tensor &previous);
+
+/** Count over a flat region (batch slab), as encodeTemporalDiffRegion. */
+DiffClassCounts countTemporalDiffClasses(const Int8Tensor &current,
+                                         const Int8Tensor &previous,
+                                         int64_t offset, int64_t count);
+
+/**
+ * Encode an already-subtracted int16 difference matrix [rows, cols].
+ * Values must lie in the int8-code difference domain [-254, 254].
+ */
+DiffGemmPlan encodeDiff(const Int16Tensor &diff);
+
+/**
+ * Fused subtract + encode of a temporal difference current - previous
+ * (both int8 code matrices of the same shape) without materializing the
+ * intermediate int16 tensor.
+ */
+DiffGemmPlan encodeTemporalDiff(const Int8Tensor &current,
+                                const Int8Tensor &previous);
+
+/**
+ * encodeTemporalDiff over a rectangular region of flat storage: the
+ * logical operand is rows x cols elements starting at `offset` in both
+ * tensors' flat data. Used per batch slab, e.g. the [Cin, H*W] slice
+ * of an NCHW difference that the sparse scatter convolution consumes.
+ */
+DiffGemmPlan encodeTemporalDiffRegion(const Int8Tensor &current,
+                                      const Int8Tensor &previous,
+                                      int64_t offset, int64_t rows,
+                                      int64_t cols);
+
+/**
+ * Like encodeTemporalDiff but encodes the *transpose* of the difference:
+ * for operands [r, c] the plan describes (current - previous)^T with
+ * rows = c, cols = r. Used when the sparse operand is the right-hand
+ * factor of a product (e.g. P_t * dV computed as (dV^T P_t^T)^T).
+ */
+DiffGemmPlan encodeTemporalDiffTransposed(const Int8Tensor &current,
+                                          const Int8Tensor &previous);
+
+} // namespace ditto
+
+#endif // DITTO_QUANT_ENCODER_H

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Sparse difference-GEMM execution.
+ *
+ * The kernel is an axpy formulation: for each output row, a strip of
+ * kDiffNc int32 accumulators is held in registers while the row's
+ * panels stream past in K order; every nonzero entry contributes
+ * acc[j] += v * B[k, n0 + j] over the contiguous B row segment, which
+ * the compiler vectorizes. Dense GEMM cost is m*k*n multiply-adds; this
+ * path pays nonzero(k)*n, so wall-clock shrinks with the zero fraction.
+ */
+#include "tensor/diff_gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "tensor/ops.h"
+
+#define DITTO_RESTRICT __restrict__
+
+namespace ditto {
+namespace kernels {
+
+namespace {
+
+/** Tile edge for the blocked de-transpose of B. */
+constexpr int64_t kTransposeTile = 32;
+
+/** dst[c, r] = src[r, c] for src:[rows, cols], tiled for locality. */
+void
+transposeInt8Into(const int8_t *DITTO_RESTRICT src, int64_t rows,
+                  int64_t cols, int8_t *DITTO_RESTRICT dst)
+{
+    const int64_t rtiles = (rows + kTransposeTile - 1) / kTransposeTile;
+    parallelFor(0, rtiles, [&](int64_t lo, int64_t hi) {
+        for (int64_t rt = lo; rt < hi; ++rt) {
+            const int64_t r0 = rt * kTransposeTile;
+            const int64_t r1 = std::min(rows, r0 + kTransposeTile);
+            for (int64_t c0 = 0; c0 < cols; c0 += kTransposeTile) {
+                const int64_t c1 = std::min(cols, c0 + kTransposeTile);
+                for (int64_t r = r0; r < r1; ++r)
+                    for (int64_t c = c0; c < c1; ++c)
+                        dst[c * rows + r] = src[r * cols + c];
+            }
+        }
+    });
+}
+
+/**
+ * crow[0..n) += v * brow[0..n): one nonzero difference entry applied
+ * to a full output row. The output row is L1-resident across the
+ * entries of one plan row, so the read-modify-write stays cheap and
+ * the per-entry decode overhead amortizes over all n columns.
+ */
+inline void
+axpyRow(int32_t v, const int8_t *DITTO_RESTRICT brow,
+        int32_t *DITTO_RESTRICT crow, int64_t n)
+{
+    for (int64_t j = 0; j < n; ++j)
+        crow[j] += v * static_cast<int32_t>(brow[j]);
+}
+
+/**
+ * Two entries fused: crow[j] += v0*b0[j] + v1*b1[j]. Halves the
+ * output-row read-modify-write traffic relative to two axpyRow calls.
+ */
+inline void
+axpyRow2(int32_t v0, const int8_t *DITTO_RESTRICT b0, int32_t v1,
+         const int8_t *DITTO_RESTRICT b1, int32_t *DITTO_RESTRICT crow,
+         int64_t n)
+{
+    for (int64_t j = 0; j < n; ++j)
+        crow[j] += v0 * static_cast<int32_t>(b0[j]) +
+                   v1 * static_cast<int32_t>(b1[j]);
+}
+
+/**
+ * Two 4-bit lane entries fused with an int16 intermediate — the
+ * software analogue of the narrow multiplier lane. |v| <= 8 and
+ * |b| <= 127, so v0*b0[j] + v1*b1[j] is at most 2032 in magnitude and
+ * the int16 truncation is lossless; the vectorizer gets twice the
+ * lanes for the multiply half of the work.
+ */
+inline void
+axpyRow2Low4(int16_t v0, const int8_t *DITTO_RESTRICT b0, int16_t v1,
+             const int8_t *DITTO_RESTRICT b1, int32_t *DITTO_RESTRICT crow,
+             int64_t n)
+{
+    for (int64_t j = 0; j < n; ++j) {
+        const int16_t t = static_cast<int16_t>(
+            v0 * static_cast<int16_t>(b0[j]) +
+            v1 * static_cast<int16_t>(b1[j]));
+        crow[j] += t;
+    }
+}
+
+/** Sign-extended value of Low4 entry `e` (hot-loop copy). */
+inline int32_t
+low4At(const uint8_t *DITTO_RESTRICT nibbles, int64_t e)
+{
+    const uint8_t byte = nibbles[e >> 1];
+    const uint8_t nib = (e & 1) ? (byte >> 4) : (byte & 0x0F);
+    return (static_cast<int32_t>(nib) ^ 8) - 8;
+}
+
+/** Low4 entries accumulated per int16 group register. */
+constexpr int64_t kLow4Group = 8;
+
+/**
+ * A group of kLow4Group 4-bit lane entries accumulated through one
+ * int16 intermediate: 8 products of magnitude <= 1024 sum to at most
+ * 8192, far inside int16, so the truncation is lossless and the int32
+ * output row is read and written once per *group* instead of once per
+ * entry — this is what makes the 4-bit lane genuinely cheaper than the
+ * full path in software, not just smaller in memory.
+ */
+inline void
+axpyRowLow4Group(const int16_t *DITTO_RESTRICT vs,
+                 const int8_t *const DITTO_RESTRICT *DITTO_RESTRICT bs,
+                 int32_t *DITTO_RESTRICT crow, int64_t n)
+{
+    const int8_t *DITTO_RESTRICT b0 = bs[0];
+    const int8_t *DITTO_RESTRICT b1 = bs[1];
+    const int8_t *DITTO_RESTRICT b2 = bs[2];
+    const int8_t *DITTO_RESTRICT b3 = bs[3];
+    const int8_t *DITTO_RESTRICT b4 = bs[4];
+    const int8_t *DITTO_RESTRICT b5 = bs[5];
+    const int8_t *DITTO_RESTRICT b6 = bs[6];
+    const int8_t *DITTO_RESTRICT b7 = bs[7];
+    for (int64_t j = 0; j < n; ++j) {
+        const int16_t t = static_cast<int16_t>(
+            vs[0] * static_cast<int16_t>(b0[j]) +
+            vs[1] * static_cast<int16_t>(b1[j]) +
+            vs[2] * static_cast<int16_t>(b2[j]) +
+            vs[3] * static_cast<int16_t>(b3[j]) +
+            vs[4] * static_cast<int16_t>(b4[j]) +
+            vs[5] * static_cast<int16_t>(b5[j]) +
+            vs[6] * static_cast<int16_t>(b6[j]) +
+            vs[7] * static_cast<int16_t>(b7[j]));
+        crow[j] += t;
+    }
+}
+
+/**
+ * Accumulate every panel of `row` into the output row crow[0..n).
+ * bmat is row-major [k, n] (already de-transposed). Entries are
+ * consumed pairwise; integer addition is exact, so the pairing does
+ * not change the result, only the memory traffic.
+ */
+void
+accumulateRow(const DiffGemmPlan &plan, int64_t row,
+              const int8_t *DITTO_RESTRICT bmat, int64_t n,
+              int32_t *DITTO_RESTRICT crow)
+{
+    const PanelRef *prow = plan.panels.data() + row * plan.panelsPerRow;
+    const uint8_t *DITTO_RESTRICT l4off = plan.low4Offsets.data();
+    const uint8_t *DITTO_RESTRICT l4nib = plan.low4Nibbles.data();
+    const uint8_t *DITTO_RESTRICT f8off = plan.full8Offsets.data();
+    const int16_t *DITTO_RESTRICT f8val = plan.full8Values.data();
+    for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {
+        const PanelRef &p = prow[pi];
+        if (p.empty())
+            continue;
+        const int64_t kbase = pi * kDiffPanelK;
+
+        // 4-bit lane entries: full groups through the int16 lane
+        // accumulator, short tails through the pairwise path.
+        int64_t e = p.low4Begin;
+        const int64_t lend = p.low4Begin + p.low4Count;
+        for (; e + kLow4Group <= lend; e += kLow4Group) {
+            int16_t vs[kLow4Group];
+            const int8_t *bs[kLow4Group];
+            for (int64_t g = 0; g < kLow4Group; ++g) {
+                vs[g] = static_cast<int16_t>(low4At(l4nib, e + g));
+                bs[g] = bmat + (kbase + l4off[e + g]) * n;
+            }
+            axpyRowLow4Group(vs, bs, crow, n);
+        }
+        for (; e + 1 < lend; e += 2) {
+            axpyRow2Low4(static_cast<int16_t>(low4At(l4nib, e)),
+                         bmat + (kbase + l4off[e]) * n,
+                         static_cast<int16_t>(low4At(l4nib, e + 1)),
+                         bmat + (kbase + l4off[e + 1]) * n, crow, n);
+        }
+        if (e < lend)
+            axpyRow(low4At(l4nib, e), bmat + (kbase + l4off[e]) * n, crow,
+                    n);
+
+        // Wide entries: pairwise int32 fallback.
+        e = p.full8Begin;
+        const int64_t wend = p.full8Begin + p.full8Count;
+        for (; e + 1 < wend; e += 2) {
+            axpyRow2(f8val[e], bmat + (kbase + f8off[e]) * n, f8val[e + 1],
+                     bmat + (kbase + f8off[e + 1]) * n, crow, n);
+        }
+        if (e < wend)
+            axpyRow(f8val[e], bmat + (kbase + f8off[e]) * n, crow, n);
+    }
+}
+
+} // namespace
+
+Int32Tensor
+diffGemm(const DiffGemmPlan &plan, const int8_t *b, int64_t n,
+         bool transpose_b, const Int32Tensor *prev)
+{
+    const int64_t m = plan.rows;
+    const int64_t k = plan.cols;
+    DITTO_ASSERT(n > 0, "diffGemm needs a positive column count");
+
+    // De-transpose B once (tiled for cache-friendliness) so the axpy
+    // always reads contiguous rows. O(k*n) packing against
+    // O(nonzero*n) accumulation; weight-stationary engines avoid even
+    // this by caching the transposed weight across steps.
+    const int8_t *bmat = b;
+    std::vector<int8_t> bt;
+    if (transpose_b) {
+        bt.resize(static_cast<size_t>(k * n));
+        transposeInt8Into(b, n, k, bt.data());
+        bmat = bt.data();
+    }
+
+    Int32Tensor out = prev ? *prev : Int32Tensor(Shape{m, n});
+    DITTO_ASSERT(out.shape() == Shape({m, n}),
+                 "diffGemm previous-output shape mismatch");
+    int32_t *out_data = out.data().data();
+
+    // Row-parallel: each output row is owned by exactly one task and
+    // its K reduction runs serially in plan order, so results are
+    // bitwise identical at any thread count. Rows whose panels are all
+    // zero keep their copy-initialized prev values untouched.
+    parallelFor(0, m, [&](int64_t lo, int64_t hi) {
+        for (int64_t row = lo; row < hi; ++row)
+            accumulateRow(plan, row, bmat, n, out_data + row * n);
+    });
+    return out;
+}
+
+namespace {
+
+/**
+ * Scatter one nonzero difference value through its kernel windows into
+ * the output-row band [ylo, yhi).
+ */
+inline void
+scatterEntry(int32_t v, int64_t y, int64_t x,
+             const int8_t *DITTO_RESTRICT wbase, const Conv2dParams &p,
+             int64_t oh, int64_t ow, int64_t ylo, int64_t yhi,
+             int32_t *DITTO_RESTRICT delta)
+{
+    const int64_t cout = p.outChannels;
+    for (int64_t ky = 0; ky < p.kernel; ++ky) {
+        const int64_t t = y + p.padding - ky;
+        if (t < 0)
+            break; // t only decreases with ky
+        if (t % p.stride)
+            continue;
+        const int64_t oy = t / p.stride;
+        if (oy >= oh || oy < ylo || oy >= yhi)
+            continue;
+        for (int64_t kx = 0; kx < p.kernel; ++kx) {
+            const int64_t u = x + p.padding - kx;
+            if (u < 0)
+                break;
+            if (u % p.stride)
+                continue;
+            const int64_t ox = u / p.stride;
+            if (ox >= ow)
+                continue;
+            int32_t *DITTO_RESTRICT dst = delta + (oy * ow + ox) * cout;
+            const int8_t *DITTO_RESTRICT wrow =
+                wbase + (ky * p.kernel + kx) * cout;
+            for (int64_t j = 0; j < cout; ++j)
+                dst[j] += v * static_cast<int32_t>(wrow[j]);
+        }
+    }
+}
+
+} // namespace
+
+Int32Tensor
+convDiffScatter(const DiffGemmPlan &plan, const int8_t *wmat_t,
+                const int8_t *wrev_t, const Conv2dParams &p, int64_t h,
+                int64_t w)
+{
+    DITTO_ASSERT(plan.rows == p.inChannels && plan.cols == h * w,
+                 "convDiffScatter plan must cover the [Cin, H*W] slab");
+    const int64_t oh = p.outExtent(h);
+    const int64_t ow = p.outExtent(w);
+    DITTO_ASSERT(oh > 0 && ow > 0, "convDiffScatter output would be empty");
+    Int32Tensor delta(Shape{oh * ow, p.outChannels});
+    int32_t *dd = delta.data().data();
+    const uint8_t *l4off = plan.low4Offsets.data();
+    const uint8_t *l4nib = plan.low4Nibbles.data();
+    const uint8_t *f8off = plan.full8Offsets.data();
+    const int16_t *f8val = plan.full8Values.data();
+    const bool pointwise =
+        p.kernel == 1 && p.stride == 1 && p.padding == 0;
+    if (pointwise) {
+        // 1x1/stride-1/pad-0: every entry lands in exactly one output
+        // pixel — its own position — so the window logic (and the
+        // per-entry division) disappears entirely.
+        const int64_t cout = p.outChannels;
+        // Different channels scatter into the same output pixels, so
+        // the channel loop stays serial (batches parallelize one level
+        // up in the engine); entries within a channel are pixel-sorted.
+        for (int64_t ic = 0; ic < plan.rows; ++ic) {
+            const int8_t *DITTO_RESTRICT wrow = wmat_t + ic * cout;
+            const PanelRef *prow =
+                plan.panels.data() + ic * plan.panelsPerRow;
+            for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {
+                const PanelRef &pp = prow[pi];
+                const int64_t kbase = pi * kDiffPanelK;
+                for (int64_t e = pp.low4Begin;
+                     e < pp.low4Begin + pp.low4Count; ++e) {
+                    const int32_t v = low4At(l4nib, e);
+                    int32_t *DITTO_RESTRICT dst =
+                        dd + (kbase + l4off[e]) * cout;
+                    for (int64_t j = 0; j < cout; ++j)
+                        dst[j] += v * static_cast<int32_t>(wrow[j]);
+                }
+                for (int64_t e = pp.full8Begin;
+                     e < pp.full8Begin + pp.full8Count; ++e) {
+                    const int32_t v = f8val[e];
+                    int32_t *DITTO_RESTRICT dst =
+                        dd + (kbase + f8off[e]) * cout;
+                    for (int64_t j = 0; j < cout; ++j)
+                        dst[j] += v * static_cast<int32_t>(wrow[j]);
+                }
+            }
+        }
+        return delta;
+    }
+    // Output-row bands: each band walks the whole plan in fixed order
+    // and writes only windows landing in its rows, so any banding
+    // yields the same per-element accumulation order.
+    const int64_t kk = p.kernel;
+    const int64_t cout = p.outChannels;
+    const bool unit_stride = p.stride == 1;
+    parallelFor(0, oh, [&](int64_t ylo, int64_t yhi) {
+        for (int64_t ic = 0; ic < plan.rows; ++ic) {
+            const int8_t *wbase = wmat_t + ic * kk * kk * cout;
+            const int8_t *wrev_base = wrev_t + ic * kk * kk * cout;
+            const PanelRef *prow =
+                plan.panels.data() + ic * plan.panelsPerRow;
+            // One entry scattered through its windows; stride-1
+            // interior pixels run one contiguous kk*cout-wide axpy per
+            // kernel row against the reversed weight.
+            auto scatter = [&](int32_t v, int64_t y, int64_t x) {
+                if (unit_stride && x >= kk - 1 - p.padding &&
+                    x + p.padding < ow) {
+                    const int64_t ox0 = x + p.padding - (kk - 1);
+                    for (int64_t ky = 0; ky < kk; ++ky) {
+                        const int64_t oy = y + p.padding - ky;
+                        if (oy < 0)
+                            break;
+                        if (oy >= oh || oy < ylo || oy >= yhi)
+                            continue;
+                        int32_t *DITTO_RESTRICT dst =
+                            dd + (oy * ow + ox0) * cout;
+                        const int8_t *DITTO_RESTRICT wrow =
+                            wrev_base + ky * kk * cout;
+                        for (int64_t j = 0; j < kk * cout; ++j)
+                            dst[j] += v * static_cast<int32_t>(wrow[j]);
+                    }
+                } else {
+                    scatterEntry(v, y, x, wbase, p, oh, ow, ylo, yhi, dd);
+                }
+            };
+            for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {
+                const PanelRef &pp = prow[pi];
+                if (pp.empty())
+                    continue;
+                const int64_t kbase = pi * kDiffPanelK;
+                // One division per panel; entries advance y/x from the
+                // panel origin with at most a few subtractions.
+                const int64_t y0 = kbase / w;
+                const int64_t x0 = kbase % w;
+                auto toYx = [&](int64_t off, int64_t *y, int64_t *x) {
+                    int64_t yy = y0;
+                    int64_t xx = x0 + off;
+                    while (xx >= w) {
+                        xx -= w;
+                        ++yy;
+                    }
+                    *y = yy;
+                    *x = xx;
+                };
+                int64_t y, x;
+                for (int64_t e = pp.low4Begin;
+                     e < pp.low4Begin + pp.low4Count; ++e) {
+                    toYx(l4off[e], &y, &x);
+                    scatter(low4At(l4nib, e), y, x);
+                }
+                for (int64_t e = pp.full8Begin;
+                     e < pp.full8Begin + pp.full8Count; ++e) {
+                    toYx(f8off[e], &y, &x);
+                    scatter(f8val[e], y, x);
+                }
+            }
+        }
+    });
+    return delta;
+}
+
+Int8Tensor
+transposeInt8(const Int8Tensor &m)
+{
+    DITTO_ASSERT(m.shape().rank() == 2, "transposeInt8 expects a matrix");
+    const int64_t rows = m.shape()[0];
+    const int64_t cols = m.shape()[1];
+    Int8Tensor out(Shape{cols, rows});
+    transposeInt8Into(m.data().data(), rows, cols, out.data().data());
+    return out;
+}
+
+Int32Tensor
+addTransposedInt32(const Int32Tensor &prev, const Int32Tensor &delta)
+{
+    DITTO_ASSERT(prev.shape().rank() == 2 && delta.shape().rank() == 2,
+                 "addTransposedInt32 expects matrices");
+    const int64_t m = prev.shape()[0];
+    const int64_t n = prev.shape()[1];
+    DITTO_ASSERT(delta.shape() == Shape({n, m}),
+                 "addTransposedInt32 operand shape mismatch");
+    Int32Tensor out(prev.shape());
+    const int32_t *DITTO_RESTRICT sp = prev.data().data();
+    const int32_t *DITTO_RESTRICT sd = delta.data().data();
+    int32_t *DITTO_RESTRICT so = out.data().data();
+    // Tiled so the strided reads of delta stay cache-resident.
+    const int64_t rtiles = (m + kTransposeTile - 1) / kTransposeTile;
+    parallelFor(0, rtiles, [&](int64_t lo, int64_t hi) {
+        for (int64_t rt = lo; rt < hi; ++rt) {
+            const int64_t r0 = rt * kTransposeTile;
+            const int64_t r1 = std::min(m, r0 + kTransposeTile);
+            for (int64_t c0 = 0; c0 < n; c0 += kTransposeTile) {
+                const int64_t c1 = std::min(n, c0 + kTransposeTile);
+                for (int64_t r = r0; r < r1; ++r)
+                    for (int64_t c = c0; c < c1; ++c)
+                        so[r * n + c] = sp[r * n + c] + sd[c * m + r];
+            }
+        }
+    });
+    return out;
+}
+
+Int32Tensor
+addConvDelta(const Int32Tensor &prev_out, const Int32Tensor &delta)
+{
+    DITTO_ASSERT(prev_out.shape().rank() == 4,
+                 "addConvDelta expects an NCHW previous output");
+    const int64_t batches = prev_out.shape()[0];
+    const int64_t ch = prev_out.shape()[1];
+    const int64_t pix = prev_out.shape()[2] * prev_out.shape()[3];
+    DITTO_ASSERT(delta.shape() == Shape({batches * pix, ch}),
+                 "addConvDelta delta shape mismatch");
+    Int32Tensor out(prev_out.shape());
+    const int32_t *DITTO_RESTRICT sp = prev_out.data().data();
+    const int32_t *DITTO_RESTRICT sd = delta.data().data();
+    int32_t *DITTO_RESTRICT so = out.data().data();
+    parallelFor(0, batches * ch, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const int64_t b = i / ch;
+            const int64_t c = i % ch;
+            const int32_t *src = sp + i * pix;
+            int32_t *dst = so + i * pix;
+            const int32_t *dcol = sd + b * pix * ch + c;
+            for (int64_t p = 0; p < pix; ++p)
+                dst[p] = src[p] + dcol[p * ch];
+        }
+    });
+    return out;
+}
+
+} // namespace kernels
+} // namespace ditto

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Sparsity-aware difference GEMM — the software mirror of the Ditto
+ * accelerator's zero-skip / 4-bit-lane dispatch.
+ *
+ * The dense kernels in tensor/kernels.h execute a temporal difference
+ * operand at full int16 cost even though most of its values are zero
+ * (skippable) or fit the signed 4-bit lane. This module executes the
+ * same contraction from a *panel encoding plan* (DiffGemmPlan, built in
+ * one pass by the software Encoding Unit in quant/encoder.h):
+ *
+ *  - the K extent of every difference row is cut into panels of
+ *    kDiffPanelK elements;
+ *  - all-zero panels appear only in the plan's panel table (class Zero)
+ *    and are skipped without touching their data;
+ *  - panels whose nonzero values all fit the 4-bit lane store those
+ *    values as packed nibbles (two per byte) plus one k-offset byte per
+ *    entry (class Low4);
+ *  - panels containing at least one wider value fall back to verbatim
+ *    int16 storage of their nonzero entries (class Full8).
+ *
+ * Zero *elements* inside Low4/Full8 panels are dropped from the entry
+ * streams too, so the executed multiply count equals the nonzero count
+ * exactly — the same population the paper's OpCounts tally describes.
+ *
+ * diffGemm() walks the plan row by row in fixed K order and accumulates
+ * into (a copy of) the previous step's int32 output. Work is divided at
+ * (row, column-strip) granularity with parallelFor; the K reduction is
+ * never split, so results are bitwise identical to the dense path at
+ * any thread count. See docs/diff_exec.md.
+ */
+#ifndef DITTO_TENSOR_DIFF_GEMM_H
+#define DITTO_TENSOR_DIFF_GEMM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+struct Conv2dParams; // tensor/ops.h
+
+/** Summary class of one K-panel of a difference row. */
+enum class PanelClass : uint8_t
+{
+    Zero = 0,  //!< no nonzero entries: skipped wholesale
+    Low4 = 1,  //!< only 4-bit lane entries (packed nibbles)
+    Full8 = 2, //!< only wide entries (verbatim int16 fallback)
+    Mixed = 3, //!< both lane kinds present
+};
+
+/** K extent of one encoding panel (offsets must fit uint8). */
+constexpr int64_t kDiffPanelK = 64;
+
+/**
+ * One panel's slices of the two entry streams. Lane dispatch is per
+ * *element*, exactly like the hardware Encoding Unit: a panel may
+ * contribute entries to both the 4-bit lane stream and the wide
+ * fallback stream. Panels exist for zero skipping (both counts zero:
+ * nothing is stored or executed) and as the work-division granule.
+ */
+struct PanelRef
+{
+    int32_t low4Begin = 0;  //!< first entry in the 4-bit lane stream
+    int32_t full8Begin = 0; //!< first entry in the wide stream
+    uint16_t low4Count = 0;
+    uint16_t full8Count = 0;
+
+    bool empty() const { return low4Count == 0 && full8Count == 0; }
+
+    PanelClass
+    cls() const
+    {
+        if (empty())
+            return PanelClass::Zero;
+        if (full8Count == 0)
+            return PanelClass::Low4;
+        if (low4Count == 0)
+            return PanelClass::Full8;
+        return PanelClass::Mixed;
+    }
+};
+
+/**
+ * Panel encoding plan for one difference operand [rows, cols].
+ *
+ * Entry streams are global: a panel's 4-bit lane entries live at
+ * indices [low4Begin, low4Begin+low4Count) of low4Offsets, with the
+ * value of entry e packed into nibble (e & 1) of byte
+ * low4Nibbles[e >> 1]. Each row's lane entries start at an even index
+ * so rows never share a nibble byte (rows can then be encoded in
+ * parallel). Wide entries use full8Offsets/full8Values the same way,
+ * one int16 per entry.
+ *
+ * The element tallies below classify every element of the operand by
+ * value (quant/bitwidth.h semantics) and coincide with the stream
+ * populations (low4Elems lane entries, full8Elems wide entries), so
+ * OpCounts accounting is a by-product of encoding.
+ */
+struct DiffGemmPlan
+{
+    int64_t rows = 0;   //!< M extent of the difference operand
+    int64_t cols = 0;   //!< K extent of the difference operand
+    int64_t panelsPerRow = 0;
+
+    std::vector<PanelRef> panels;      //!< rows * panelsPerRow, K order
+    std::vector<uint8_t> low4Offsets;  //!< within-panel k offset per entry
+    std::vector<uint8_t> low4Nibbles;  //!< packed values, two per byte
+    std::vector<uint8_t> full8Offsets; //!< within-panel k offset per entry
+    std::vector<int16_t> full8Values;  //!< verbatim wide values
+
+    int64_t zeroElems = 0;  //!< elements classified Zero
+    int64_t low4Elems = 0;  //!< elements classified Low4
+    int64_t full8Elems = 0; //!< elements classified Full8
+
+    int64_t totalElems() const { return zeroElems + low4Elems + full8Elems; }
+    int64_t nonzeroElems() const { return low4Elems + full8Elems; }
+
+    /** Sign-extended value of Low4 entry `e`. */
+    int32_t
+    low4Value(int64_t e) const
+    {
+        const uint8_t byte = low4Nibbles[static_cast<size_t>(e >> 1)];
+        const uint8_t nib = (e & 1) ? (byte >> 4) : (byte & 0x0F);
+        return (static_cast<int32_t>(nib) ^ 8) - 8; // sign-extend 4 bits
+    }
+};
+
+namespace kernels {
+
+/**
+ * Plan-driven sparse difference GEMM.
+ *
+ * Computes prev + D * op(B) where D is the difference operand described
+ * by `plan` ([m, k]) and op(B) is B ([k, n], row-major) or B^T for
+ * B:[n, k] when transpose_b. `b` points at the row-major element data;
+ * `n` is the output column count. When prev is null the delta alone is
+ * returned. Bitwise identical to the dense int16 path at any thread
+ * count.
+ */
+Int32Tensor diffGemm(const DiffGemmPlan &plan, const int8_t *b, int64_t n,
+                     bool transpose_b, const Int32Tensor *prev);
+
+/**
+ * Sparse scatter convolution delta for one batch.
+ *
+ * `plan` encodes the *raw* difference slab [Cin, H*W] — no im2col
+ * expansion, so the Encoding Unit touches each difference value once
+ * instead of K*K times. `wmat_t` points at the OIHW weight viewed as
+ * [Cout, Cin*K*K] and transposed to [Cin*K*K, Cout] row-major (cached
+ * by DiffConvEngine); row ic*K*K + ky*K + kx holds the output-channel
+ * vector for tap (ic, ky, kx). `wrev_t` is the same data regrouped as
+ * [Cin*K, K*Cout] with kx *descending* within a row: for stride-1
+ * interior pixels the K windows of one kernel row land on K adjacent
+ * output pixels, so the whole kernel row becomes a single contiguous
+ * K*Cout-wide axpy against a wrev_t row. Boundary pixels (and any
+ * stride > 1) take the window-by-window path. Every nonzero
+ * difference value is scattered through its valid kernel windows into
+ * the pixel-major delta [OH*OW, Cout].
+ *
+ * Work is divided into output-row bands; each band walks the plan in
+ * fixed order and writes only its own output rows, so the result is
+ * bitwise identical at any thread count.
+ */
+Int32Tensor convDiffScatter(const DiffGemmPlan &plan,
+                            const int8_t *wmat_t, const int8_t *wrev_t,
+                            const Conv2dParams &p, int64_t h, int64_t w);
+
+/** Transposed copy of an int8 matrix (tiled, parallel). */
+Int8Tensor transposeInt8(const Int8Tensor &m);
+
+/** out = prev + delta^T for prev:[m, n], delta:[n, m]. */
+Int32Tensor addTransposedInt32(const Int32Tensor &prev,
+                               const Int32Tensor &delta);
+
+/**
+ * Scatter a conv delta back to NCHW: out[b, c, y, x] =
+ * prev[b, c, y, x] + delta[b * OH*OW + y*OW + x, c] for
+ * prev:[N, C, OH, OW], delta:[N*OH*OW, C].
+ */
+Int32Tensor addConvDelta(const Int32Tensor &prev_out,
+                         const Int32Tensor &delta);
+
+} // namespace kernels
+} // namespace ditto
+
+#endif // DITTO_TENSOR_DIFF_GEMM_H

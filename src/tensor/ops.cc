@@ -270,6 +270,59 @@ subtractInt8(const Int8Tensor &a, const Int8Tensor &b)
     return kernels::subtractInt8(a, b);
 }
 
+Int32Tensor
+matmulDiffPlan(const DiffGemmPlan &plan, const Int8Tensor &b,
+               const Int32Tensor *prev)
+{
+    DITTO_ASSERT(b.shape().rank() == 2 && b.shape()[0] == plan.cols,
+                 "matmulDiffPlan operand shape mismatch");
+    return kernels::diffGemm(plan, b.data().data(), b.shape()[1],
+                             /*transpose_b=*/false, prev);
+}
+
+Int32Tensor
+matmulTransposedDiffPlan(const DiffGemmPlan &plan, const Int8Tensor &b,
+                         const Int32Tensor *prev)
+{
+    DITTO_ASSERT(b.shape().rank() == 2 && b.shape()[1] == plan.cols,
+                 "matmulTransposedDiffPlan operand shape mismatch");
+    return kernels::diffGemm(plan, b.data().data(), b.shape()[0],
+                             /*transpose_b=*/true, prev);
+}
+
+Int32Tensor
+convDeltaDiffPlan(const DiffGemmPlan &plan, const Int8Tensor &wmat_t,
+                  const Int8Tensor &wrev_t, const Conv2dParams &p,
+                  int64_t h, int64_t w)
+{
+    DITTO_ASSERT(wmat_t.shape().rank() == 2 &&
+                 wmat_t.shape()[0] == p.inChannels * p.kernel * p.kernel &&
+                 wmat_t.shape()[1] == p.outChannels,
+                 "convDeltaDiffPlan weight layout mismatch");
+    DITTO_ASSERT(wrev_t.numel() == wmat_t.numel(),
+                 "convDeltaDiffPlan reversed weight size mismatch");
+    return kernels::convDiffScatter(plan, wmat_t.data().data(),
+                                    wrev_t.data().data(), p, h, w);
+}
+
+Int8Tensor
+transposeInt8(const Int8Tensor &m)
+{
+    return kernels::transposeInt8(m);
+}
+
+Int32Tensor
+addTransposedInt32(const Int32Tensor &prev, const Int32Tensor &delta)
+{
+    return kernels::addTransposedInt32(prev, delta);
+}
+
+Int32Tensor
+addConvDeltaInt32(const Int32Tensor &prev_out, const Int32Tensor &delta)
+{
+    return kernels::addConvDelta(prev_out, delta);
+}
+
 //
 // Scalar reference kernels.
 //

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "tensor/diff_gemm.h"
 #include "tensor/tensor.h"
 
 namespace ditto {
@@ -141,6 +142,56 @@ Int32Tensor addInt32(const Int32Tensor &a, const Int32Tensor &b);
 
 /** Elementwise difference of int8 codes, widened to int16. */
 Int16Tensor subtractInt8(const Int8Tensor &a, const Int8Tensor &b);
+
+/** @} */
+
+/**
+ * @name Plan-driven sparse difference execution
+ *
+ * The fast path for every QuantDitto layer: the software Encoding Unit
+ * (quant/encoder.h) classifies a difference operand into a panel plan
+ * (tensor/diff_gemm.h) and these entry points execute it, skipping
+ * zero values and reading 4-bit lane panels from packed nibbles. All
+ * are bitwise identical to the dense matmul*DiffInt16 kernels at any
+ * thread count; docs/diff_exec.md has the full story.
+ * @{
+ */
+
+/** prev + D * B for the plan's operand D:[m,k] and B:[k,n]. */
+Int32Tensor matmulDiffPlan(const DiffGemmPlan &plan, const Int8Tensor &b,
+                           const Int32Tensor *prev = nullptr);
+
+/** prev + D * B^T for B:[n,k] (weight-stationary convention). */
+Int32Tensor matmulTransposedDiffPlan(const DiffGemmPlan &plan,
+                                     const Int8Tensor &b,
+                                     const Int32Tensor *prev = nullptr);
+
+/**
+ * Sparse conv delta for one batch: `plan` encodes the raw difference
+ * slab [Cin, H*W] (no im2col expansion); `wmat_t` is the OIHW weight
+ * viewed as [Cout, Cin*K*K], transposed, and `wrev_t` its kx-reversed
+ * regrouping for the stride-1 interior fast path — see
+ * kernels::convDiffScatter. Returns pixel-major [OH*OW, Cout].
+ */
+Int32Tensor convDeltaDiffPlan(const DiffGemmPlan &plan,
+                              const Int8Tensor &wmat_t,
+                              const Int8Tensor &wrev_t,
+                              const Conv2dParams &p, int64_t h, int64_t w);
+
+/**
+ * Transposed copy of an int8 matrix. Weight-stationary engines cache
+ * the transposed weight once so every diff step runs the plan against
+ * contiguous B rows without per-call packing.
+ */
+Int8Tensor transposeInt8(const Int8Tensor &m);
+
+/** prev[m,n] + delta[n,m]^T. */
+Int32Tensor addTransposedInt32(const Int32Tensor &prev,
+                               const Int32Tensor &delta);
+
+/** prev[N,C,OH,OW] + pixel-major conv delta [N*OH*OW, C]. */
+Int32Tensor addConvDeltaInt32(const Int32Tensor &prev_out,
+                              const Int32Tensor &delta);
 
 /** @} */
 
