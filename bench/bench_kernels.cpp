@@ -15,6 +15,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "hw/pe.h"
 #include "quant/encoder.h"
 #include "quant/quantizer.h"
+#include "serve/server.h"
 #include "tensor/ops.h"
 #include "trace/calibrate.h"
 #include "trace/sampler.h"
@@ -313,6 +315,86 @@ BM_MiniUnetRollout(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * cfg.steps);
 }
 BENCHMARK(BM_MiniUnetRollout)->Arg(0)->Arg(1);
+
+/** Shared serving-shape model for the batched rollout benchmarks. */
+const MiniUnet &
+servingNet()
+{
+    static const MiniUnet *net = [] {
+        setenv("DITTO_NO_CACHE", "1", 0);
+        MiniUnetConfig cfg;
+        cfg.channels = 16;
+        cfg.resolution = 8;
+        cfg.steps = 8;
+        return new MiniUnet(cfg);
+    }();
+    return *net;
+}
+
+/**
+ * Batched rollout throughput at the serving shape: N concurrent
+ * QuantDitto requests through MiniUnet::rolloutBatch. Arg: batch size
+ * (1 = the sequential baseline; the acceptance comparison is
+ * items_per_second at batch 8 vs batch 1). Results are bitwise
+ * identical across batch sizes — the batch changes wall-clock only.
+ */
+void
+BM_BatchedRollout(benchmark::State &state)
+{
+    const int64_t batch = state.range(0);
+    const MiniUnet &net = servingNet();
+    std::vector<FloatTensor> noises;
+    for (int64_t b = 0; b < batch; ++b)
+        noises.push_back(net.requestNoise(static_cast<uint64_t>(b + 1)));
+    for (auto _ : state) {
+        std::vector<RolloutResult> results =
+            net.rolloutBatch(RunMode::QuantDitto, noises);
+        benchmark::DoNotOptimize(results.data());
+    }
+    // Throughput in rollouts (requests) per second.
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchedRollout)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
+
+/**
+ * End-to-end serving latency: a burst of `batch` requests through the
+ * async DenoiseServer (queue, batch formation, continuous batching).
+ * Reports per-request latency percentiles as counters alongside the
+ * burst wall-clock.
+ */
+void
+BM_ServeLatency(benchmark::State &state)
+{
+    const int64_t batch = state.range(0);
+    const MiniUnet &net = servingNet();
+    ServerConfig cfg;
+    cfg.maxBatch = batch;
+    cfg.maxWaitMicros = 2000;
+    cfg.workers = 1;
+    std::vector<double> latencies;
+    for (auto _ : state) {
+        DenoiseServer server(net, cfg);
+        std::vector<uint64_t> ids;
+        for (int64_t b = 0; b < batch; ++b) {
+            DenoiseRequest req;
+            req.seed = static_cast<uint64_t>(b + 1);
+            ids.push_back(server.submit(req));
+        }
+        for (uint64_t id : ids) {
+            DenoiseResult res = server.wait(id);
+            latencies.push_back(res.queueMicros + res.serviceMicros);
+            benchmark::DoNotOptimize(res.image.data().data());
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    state.counters["p50_us"] = latencies[latencies.size() / 2];
+    state.counters["p95_us"] = latencies[latencies.size() * 95 / 100];
+    state.counters["p99_us"] = latencies[latencies.size() * 99 / 100];
+    // The rollouts run on the server's worker threads, so the bench
+    // thread's CPU time is meaningless — report wall-clock rates.
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ServeLatency)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
 
 void
 BM_EncodingUnit(benchmark::State &state)

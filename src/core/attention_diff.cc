@@ -14,9 +14,13 @@
 #include "core/attention_diff.h"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "quant/encoder.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace ditto {
@@ -69,6 +73,116 @@ attentionScoresDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
 }
 
 Int32Tensor
+attentionScoresBatch(const Int8Tensor &q, const Int8Tensor &k,
+                     int64_t slabs, const Int8Tensor *prev_q,
+                     const Int8Tensor *prev_k,
+                     const Int32Tensor *prev_scores, const uint8_t *primed,
+                     OpCounts *counts, DiffPolicy policy)
+{
+    DITTO_ASSERT(q.shape().rank() == 2 && q.shape() == k.shape() &&
+                 slabs > 0 && q.shape()[0] % slabs == 0,
+                 "batched attention operands must stack equal slabs");
+    const int64_t tokens = q.shape()[0] / slabs;
+    const int64_t d = q.shape()[1];
+    const int64_t in_elems = tokens * d;
+    const int64_t out_elems = tokens * tokens;
+    const int8_t *qd = q.data().data();
+    const int8_t *kd = k.data().data();
+
+    // Per-slab decisions, identical to attentionScoresDiff's.
+    std::vector<uint8_t> use_diff(static_cast<size_t>(slabs), 0);
+    bool any_diff = false;
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (!primed || !primed[s])
+            continue;
+        DITTO_ASSERT(prev_q && prev_k && prev_scores,
+                     "primed slabs need previous state");
+        DITTO_ASSERT(prev_q->shape() == q.shape() &&
+                     prev_k->shape() == k.shape() &&
+                     prev_scores->shape() ==
+                         Shape({slabs * tokens, tokens}),
+                     "batched attention previous state shape mismatch");
+        const DiffClassCounts probe_dq =
+            countTemporalDiffClasses(q, *prev_q, s * in_elems, in_elems);
+        const DiffClassCounts probe_dk =
+            countTemporalDiffClasses(k, *prev_k, s * in_elems, in_elems);
+        if (counts) {
+            counts[s].merge(probeOpCounts(probe_dk, tokens));
+            counts[s].merge(probeOpCounts(probe_dq, tokens));
+        }
+        const double predicted =
+            diffMacPenalty(tokens) *
+                static_cast<double>(probe_dk.nonzero()) *
+                static_cast<double>(tokens) +
+            diffMacPenalty(tokens) *
+                static_cast<double>(probe_dq.nonzero()) *
+                static_cast<double>(tokens);
+        use_diff[s] =
+            policy == DiffPolicy::ForceDiff ||
+            predicted < static_cast<double>(tokens * tokens * d);
+        any_diff |= use_diff[s] != 0;
+    }
+
+    Int32Tensor out(Shape{slabs * tokens, tokens});
+    int32_t *od = out.data().data();
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (use_diff[s])
+            continue;
+        // Direct slabs: each attends within its own rows, so the K
+        // operand differs per slab and runs stay per-slab GEMMs.
+        kernels::gemmInt8Into(qd + s * in_elems, tokens, d,
+                              kd + s * in_elems, tokens, /*trans_b=*/true,
+                              od + s * out_elems);
+    }
+    if (!any_diff)
+        return out;
+
+    // Diff slabs: S_t = prev + dQ K_prev^T + (dK Q_t^T)^T, every term
+    // batched into one dispatch across slabs.
+    std::vector<DiffGemmPlan> plans_dq;
+    std::vector<DiffGemmPlan> plans_dk;
+    plans_dq.reserve(static_cast<size_t>(slabs));
+    plans_dk.reserve(static_cast<size_t>(slabs));
+    std::vector<kernels::DiffGemmBatchItem> items_a, items_b;
+    std::vector<int64_t> diff_slabs;
+    int64_t n_diff = 0;
+    for (int64_t s = 0; s < slabs; ++s)
+        n_diff += use_diff[s] ? 1 : 0;
+    Int32Tensor scratch(Shape{n_diff * tokens, tokens});
+    int32_t *sd = scratch.data().data();
+    int64_t di = 0;
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (!use_diff[s])
+            continue;
+        std::memcpy(od + s * out_elems,
+                    prev_scores->data().data() + s * out_elems,
+                    static_cast<size_t>(out_elems) * sizeof(int32_t));
+        plans_dq.push_back(encodeTemporalDiffRegion(q, *prev_q,
+                                                    s * in_elems, tokens,
+                                                    d));
+        plans_dk.push_back(encodeTemporalDiffRegion(k, *prev_k,
+                                                    s * in_elems, tokens,
+                                                    d));
+        items_a.push_back({&plans_dq.back(),
+                           prev_k->data().data() + s * in_elems,
+                           od + s * out_elems});
+        items_b.push_back({&plans_dk.back(), qd + s * in_elems,
+                           sd + di * out_elems});
+        diff_slabs.push_back(s);
+        ++di;
+    }
+    kernels::diffGemmBatch(items_a, tokens, /*transpose_b=*/true);
+    kernels::diffGemmBatch(items_b, tokens, /*transpose_b=*/true);
+    parallelFor(0, n_diff, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            kernels::addTransposedInt32InPlace(
+                od + diff_slabs[static_cast<size_t>(i)] * out_elems,
+                sd + i * out_elems, tokens, tokens);
+    });
+    return out;
+}
+
+Int32Tensor
 attentionOutputDirect(const Int8Tensor &p, const Int8Tensor &v)
 {
     return matmulInt8(p, v);
@@ -110,6 +224,114 @@ attentionOutputDiff(const Int8Tensor &p, const Int8Tensor &prev_p,
     return addTransposedInt32(partial, pdv_t);
 }
 
+Int32Tensor
+attentionOutputBatch(const Int8Tensor &p, const Int8Tensor &v,
+                     int64_t slabs, const Int8Tensor *prev_p,
+                     const Int8Tensor *prev_v, const Int32Tensor *prev_out,
+                     const uint8_t *primed, OpCounts *counts,
+                     DiffPolicy policy)
+{
+    DITTO_ASSERT(p.shape().rank() == 2 && v.shape().rank() == 2 &&
+                 slabs > 0 && p.shape()[0] % slabs == 0 &&
+                 v.shape()[0] % slabs == 0,
+                 "batched attention operands must stack equal slabs");
+    const int64_t rows = p.shape()[0] / slabs;
+    const int64_t inner = p.shape()[1];
+    const int64_t d = v.shape()[1];
+    DITTO_ASSERT(v.shape()[0] / slabs == inner,
+                 "P/V inner dimension mismatch");
+    const int64_t p_elems = rows * inner;
+    const int64_t v_elems = inner * d;
+    const int64_t out_elems = rows * d;
+    const int8_t *pd = p.data().data();
+    const int8_t *vd = v.data().data();
+
+    // Per-slab decisions, identical to attentionOutputDiff's.
+    std::vector<uint8_t> use_diff(static_cast<size_t>(slabs), 0);
+    bool any_diff = false;
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (!primed || !primed[s])
+            continue;
+        DITTO_ASSERT(prev_p && prev_v && prev_out,
+                     "primed slabs need previous state");
+        DITTO_ASSERT(prev_p->shape() == p.shape() &&
+                     prev_v->shape() == v.shape() &&
+                     prev_out->shape() == Shape({slabs * rows, d}),
+                     "batched attention previous state shape mismatch");
+        const DiffClassCounts probe_dp =
+            countTemporalDiffClasses(p, *prev_p, s * p_elems, p_elems);
+        const DiffClassCounts probe_dv =
+            countTemporalDiffClasses(v, *prev_v, s * v_elems, v_elems);
+        if (counts) {
+            counts[s].merge(probeOpCounts(probe_dv, rows));
+            counts[s].merge(probeOpCounts(probe_dp, d));
+        }
+        const double predicted =
+            diffMacPenalty(rows) *
+                static_cast<double>(probe_dv.nonzero()) *
+                static_cast<double>(rows) +
+            diffMacPenalty(d) * static_cast<double>(probe_dp.nonzero()) *
+                static_cast<double>(d);
+        use_diff[s] = policy == DiffPolicy::ForceDiff ||
+                      predicted < static_cast<double>(rows * inner * d);
+        any_diff |= use_diff[s] != 0;
+    }
+
+    Int32Tensor out(Shape{slabs * rows, d});
+    int32_t *od = out.data().data();
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (use_diff[s])
+            continue;
+        kernels::gemmInt8Into(pd + s * p_elems, rows, inner,
+                              vd + s * v_elems, d, /*trans_b=*/false,
+                              od + s * out_elems);
+    }
+    if (!any_diff)
+        return out;
+
+    // Diff slabs: O_t = prev + dP V_prev + (dV^T P_t^T)^T, batched.
+    std::vector<DiffGemmPlan> plans_dp;
+    std::vector<DiffGemmPlan> plans_dvt;
+    plans_dp.reserve(static_cast<size_t>(slabs));
+    plans_dvt.reserve(static_cast<size_t>(slabs));
+    std::vector<kernels::DiffGemmBatchItem> items_a, items_b;
+    std::vector<int64_t> diff_slabs;
+    int64_t n_diff = 0;
+    for (int64_t s = 0; s < slabs; ++s)
+        n_diff += use_diff[s] ? 1 : 0;
+    Int32Tensor scratch(Shape{n_diff * d, rows});
+    int32_t *sd = scratch.data().data();
+    int64_t di = 0;
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (!use_diff[s])
+            continue;
+        std::memcpy(od + s * out_elems,
+                    prev_out->data().data() + s * out_elems,
+                    static_cast<size_t>(out_elems) * sizeof(int32_t));
+        plans_dp.push_back(encodeTemporalDiffRegion(p, *prev_p,
+                                                    s * p_elems, rows,
+                                                    inner));
+        plans_dvt.push_back(encodeTemporalDiffRegionTransposed(
+            v, *prev_v, s * v_elems, inner, d));
+        items_a.push_back({&plans_dp.back(),
+                           prev_v->data().data() + s * v_elems,
+                           od + s * out_elems});
+        items_b.push_back({&plans_dvt.back(), pd + s * p_elems,
+                           sd + di * d * rows});
+        diff_slabs.push_back(s);
+        ++di;
+    }
+    kernels::diffGemmBatch(items_a, d, /*transpose_b=*/false);
+    kernels::diffGemmBatch(items_b, rows, /*transpose_b=*/true);
+    parallelFor(0, n_diff, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            kernels::addTransposedInt32InPlace(
+                od + diff_slabs[static_cast<size_t>(i)] * out_elems,
+                sd + i * d * rows, rows, d);
+    });
+    return out;
+}
+
 CrossAttentionEngine::CrossAttentionEngine(Int8Tensor k_const)
     : kConst_(std::move(k_const))
 {
@@ -139,6 +361,18 @@ CrossAttentionEngine::runDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
         return runDirect(q);
     const DiffGemmPlan plan = encodeTemporalDiff(q, prev_q);
     return matmulDiffPlan(plan, kConstT_, &prev_scores);
+}
+
+Int32Tensor
+CrossAttentionEngine::runBatch(const Int8Tensor &q, int64_t slabs,
+                               const Int8Tensor *prev_q,
+                               const Int32Tensor *prev_scores,
+                               const uint8_t *primed, OpCounts *counts,
+                               DiffPolicy policy) const
+{
+    return detail::runBatchWeightStationary(q, slabs, prev_q, prev_scores,
+                                            primed, counts, policy,
+                                            kConst_, kConstT_);
 }
 
 namespace naive {

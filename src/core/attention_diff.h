@@ -57,6 +57,26 @@ Int32Tensor attentionScoresDiff(const Int8Tensor &q,
                                 OpCounts *counts = nullptr,
                                 DiffPolicy policy = DiffPolicy::Auto);
 
+/**
+ * Batched difference-processed scores over `slabs` requests stacked
+ * along the token dimension: q and k are [slabs * tokens, d], slab s
+ * attends only within its own rows, and the result stacks the per-slab
+ * score matrices as [slabs * tokens, tokens]. Per slab the decision
+ * (direct when unprimed or the probe reverts, two-term sparse diff
+ * otherwise) and the arithmetic match attentionScoresDiff /
+ * attentionScoresDirect exactly — bitwise, at any thread count and
+ * batch size. Unprimed slabs do not touch counts.
+ *
+ * @param counts per-slab tallies (array of `slabs`, or null).
+ */
+Int32Tensor attentionScoresBatch(const Int8Tensor &q, const Int8Tensor &k,
+                                 int64_t slabs, const Int8Tensor *prev_q,
+                                 const Int8Tensor *prev_k,
+                                 const Int32Tensor *prev_scores,
+                                 const uint8_t *primed,
+                                 OpCounts *counts = nullptr,
+                                 DiffPolicy policy = DiffPolicy::Auto);
+
 /** Direct weighted sum O = P V. P:[tokens,tokens], V:[tokens,d]. */
 Int32Tensor attentionOutputDirect(const Int8Tensor &p, const Int8Tensor &v);
 
@@ -71,6 +91,19 @@ Int32Tensor attentionOutputDiff(const Int8Tensor &p,
                                 const Int32Tensor &prev_out,
                                 OpCounts *counts = nullptr,
                                 DiffPolicy policy = DiffPolicy::Auto);
+
+/**
+ * Batched difference-processed weighted sum, the P x V counterpart of
+ * attentionScoresBatch: p is [slabs * tokens, tokens], v is
+ * [slabs * tokens, d], the result [slabs * tokens, d].
+ */
+Int32Tensor attentionOutputBatch(const Int8Tensor &p, const Int8Tensor &v,
+                                 int64_t slabs, const Int8Tensor *prev_p,
+                                 const Int8Tensor *prev_v,
+                                 const Int32Tensor *prev_out,
+                                 const uint8_t *primed,
+                                 OpCounts *counts = nullptr,
+                                 DiffPolicy policy = DiffPolicy::Auto);
 
 /**
  * Cross-attention scores with a constant context projection:
@@ -90,6 +123,18 @@ class CrossAttentionEngine
                         const Int32Tensor &prev_scores,
                         OpCounts *counts = nullptr,
                         DiffPolicy policy = DiffPolicy::Auto) const;
+
+    /**
+     * Batched execution over `slabs` requests stacked along the query
+     * row dimension (DiffFcEngine::runBatch semantics: per-slab
+     * decisions, folded direct runs, one batched plan dispatch;
+     * bitwise identical to per-request calls).
+     */
+    Int32Tensor runBatch(const Int8Tensor &q, int64_t slabs,
+                         const Int8Tensor *prev_q,
+                         const Int32Tensor *prev_scores,
+                         const uint8_t *primed, OpCounts *counts = nullptr,
+                         DiffPolicy policy = DiffPolicy::Auto) const;
 
   private:
     Int8Tensor kConst_;

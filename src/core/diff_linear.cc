@@ -10,9 +10,12 @@
 #include "core/diff_linear.h"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "common/logging.h"
 #include "quant/encoder.h"
+#include "tensor/kernels.h"
 
 namespace ditto {
 
@@ -103,6 +106,102 @@ DiffFcEngine::runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
     return matmulDiffPlan(plan, weightT_, &prev_out);
 }
 
+namespace detail {
+
+Int32Tensor
+runBatchWeightStationary(const Int8Tensor &x, int64_t slabs,
+                         const Int8Tensor *prev_x,
+                         const Int32Tensor *prev_out,
+                         const uint8_t *primed, OpCounts *counts,
+                         DiffPolicy policy, const Int8Tensor &weight,
+                         const Int8Tensor &weight_t)
+{
+    DITTO_ASSERT(x.shape().rank() == 2 && slabs > 0 &&
+                 x.shape()[0] % slabs == 0,
+                 "batched fc input must stack equal row slabs");
+    const int64_t slab_rows = x.shape()[0] / slabs;
+    const int64_t in = x.shape()[1];
+    const int64_t out_features = weight.shape()[0];
+    const int64_t slab_elems = slab_rows * in;
+    const int64_t out_elems = slab_rows * out_features;
+
+    // Per-slab decisions, identical to runDiff's.
+    std::vector<uint8_t> use_diff(static_cast<size_t>(slabs), 0);
+    bool any_diff = false;
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (!primed || !primed[s])
+            continue;
+        DITTO_ASSERT(prev_x && prev_out,
+                     "primed slabs need previous state");
+        DITTO_ASSERT(prev_x->shape() == x.shape() &&
+                     prev_out->shape() ==
+                         Shape({x.shape()[0], out_features}),
+                     "batched fc previous state shape mismatch");
+        const DiffClassCounts probe = countTemporalDiffClasses(
+            x, *prev_x, s * slab_elems, slab_elems);
+        if (counts)
+            counts[s].merge(probeOpCounts(probe, out_features));
+        use_diff[s] = policy == DiffPolicy::ForceDiff ||
+                      diffWorthIt(probe, out_features);
+        any_diff |= use_diff[s] != 0;
+    }
+
+    Int32Tensor out(Shape{x.shape()[0], out_features});
+    const int8_t *xd = x.data().data();
+    int32_t *od = out.data().data();
+
+    // Contiguous direct runs fold into one GEMM each (batch rows into M).
+    for (int64_t s = 0; s < slabs;) {
+        if (use_diff[s]) {
+            ++s;
+            continue;
+        }
+        int64_t e = s;
+        while (e < slabs && !use_diff[e])
+            ++e;
+        kernels::gemmInt8Into(xd + s * slab_elems, (e - s) * slab_rows, in,
+                              weight.data().data(), out_features,
+                              /*trans_b=*/true, od + s * out_elems);
+        s = e;
+    }
+    if (!any_diff)
+        return out;
+
+    // Diff slabs: per-slab plans, one batched dispatch against the
+    // cached transposed weight.
+    std::vector<DiffGemmPlan> plans;
+    plans.reserve(static_cast<size_t>(slabs));
+    std::vector<kernels::DiffGemmBatchItem> items;
+    items.reserve(static_cast<size_t>(slabs));
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (!use_diff[s])
+            continue;
+        std::memcpy(od + s * out_elems,
+                    prev_out->data().data() + s * out_elems,
+                    static_cast<size_t>(out_elems) * sizeof(int32_t));
+        plans.push_back(encodeTemporalDiffRegion(x, *prev_x,
+                                                 s * slab_elems, slab_rows,
+                                                 in));
+        items.push_back({&plans.back(), weight_t.data().data(),
+                         od + s * out_elems});
+    }
+    kernels::diffGemmBatch(items, out_features, /*transpose_b=*/false);
+    return out;
+}
+
+} // namespace detail
+
+Int32Tensor
+DiffFcEngine::runBatch(const Int8Tensor &x, int64_t slabs,
+                       const Int8Tensor *prev_x, const Int32Tensor *prev_out,
+                       const uint8_t *primed, OpCounts *counts,
+                       DiffPolicy policy) const
+{
+    return detail::runBatchWeightStationary(x, slabs, prev_x, prev_out,
+                                            primed, counts, policy,
+                                            weight_, weightT_);
+}
+
 DiffConvEngine::DiffConvEngine(Int8Tensor weight, Conv2dParams params)
     : weight_(std::move(weight)), params_(params)
 {
@@ -171,17 +270,112 @@ DiffConvEngine::runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
 
     // The raw [Cin, H*W] difference slab is encoded per batch — no
     // im2col expansion — and scattered through the cached transposed
-    // weight into a pixel-major delta.
-    Int32Tensor delta(Shape{batches * oh * ow, cout});
-    for (int64_t b = 0; b < batches; ++b) {
-        const DiffGemmPlan plan = encodeTemporalDiffRegion(
-            x, prev_x, b * cin * h * w, cin, h * w);
-        const Int32Tensor d =
-            convDeltaDiffPlan(plan, wmatT_, wrevT_, params_, h, w);
-        std::copy(d.data().begin(), d.data().end(),
-                  delta.data().begin() + b * oh * ow * cout);
-    }
+    // weights into a pixel-major delta; slabs execute through the
+    // batched scatter so multi-batch tensors parallelize across slabs.
+    std::vector<DiffGemmPlan> plans;
+    plans.reserve(static_cast<size_t>(batches));
+    for (int64_t b = 0; b < batches; ++b)
+        plans.push_back(encodeTemporalDiffRegion(x, prev_x,
+                                                 b * cin * h * w, cin,
+                                                 h * w));
+    const Int32Tensor delta =
+        convDeltaDiffPlanBatch(plans, wmatT_, wrevT_, params_, h, w);
     return addConvDeltaInt32(prev_out, delta);
+}
+
+Int32Tensor
+DiffConvEngine::runBatch(const Int8Tensor &x, const Int8Tensor *prev_x,
+                         const Int32Tensor *prev_out, const uint8_t *primed,
+                         OpCounts *counts, DiffPolicy policy) const
+{
+    DITTO_ASSERT(x.shape().rank() == 4, "conv batch input must be NCHW");
+    const int64_t batches = x.shape()[0];
+    const int64_t cin = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    const int64_t w = x.shape()[3];
+    const int64_t oh = params_.outExtent(h);
+    const int64_t ow = params_.outExtent(w);
+    const int64_t cout = weight_.shape()[0];
+    const int64_t slab_elems = cin * h * w;
+    const int64_t per_elem = std::max<int64_t>(
+        1, cout * params_.kernel * params_.kernel /
+               (params_.stride * params_.stride));
+
+    // Per-slab decisions, identical to a single-batch runDiff.
+    std::vector<uint8_t> use_diff(static_cast<size_t>(batches), 0);
+    bool any_diff = false;
+    for (int64_t b = 0; b < batches; ++b) {
+        if (!primed || !primed[b])
+            continue;
+        DITTO_ASSERT(prev_x && prev_out,
+                     "primed slabs need previous state");
+        DITTO_ASSERT(prev_x->shape() == x.shape() &&
+                     prev_out->shape() == Shape({batches, cout, oh, ow}),
+                     "batched conv previous state shape mismatch");
+        const DiffClassCounts probe = countTemporalDiffClasses(
+            x, *prev_x, b * slab_elems, slab_elems);
+        if (counts)
+            counts[b].merge(probeOpCounts(probe, per_elem));
+        use_diff[b] = policy == DiffPolicy::ForceDiff ||
+                      diffWorthIt(probe, params_.kernel * cout);
+        any_diff |= use_diff[b] != 0;
+    }
+
+    Int32Tensor out(Shape{batches, cout, oh, ow});
+    // Contiguous direct runs become one batched convolution each.
+    for (int64_t b = 0; b < batches;) {
+        if (use_diff[b]) {
+            ++b;
+            continue;
+        }
+        int64_t e = b;
+        while (e < batches && !use_diff[e])
+            ++e;
+        kernels::conv2dInt8Into(x, weight_, params_, b, e - b, &out);
+        b = e;
+    }
+    if (!any_diff)
+        return out;
+
+    // Diff slabs: per-slab plans, one batched scatter dispatch into a
+    // delta compacted to just the diff slabs (mostly-direct batches
+    // would otherwise zero-fill scratch they never touch), then fold
+    // the deltas into the previous outputs run by run.
+    std::vector<DiffGemmPlan> plans(static_cast<size_t>(batches));
+    std::vector<kernels::ConvScatterBatchItem> items;
+    items.reserve(static_cast<size_t>(batches));
+    std::vector<int64_t> delta_slab(static_cast<size_t>(batches), -1);
+    int64_t n_diff = 0;
+    for (int64_t b = 0; b < batches; ++b)
+        if (use_diff[b])
+            delta_slab[static_cast<size_t>(b)] = n_diff++;
+    Int32Tensor delta(Shape{n_diff * oh * ow, cout});
+    for (int64_t b = 0; b < batches; ++b) {
+        if (!use_diff[b])
+            continue;
+        plans[static_cast<size_t>(b)] = encodeTemporalDiffRegion(
+            x, *prev_x, b * slab_elems, cin, h * w);
+        items.push_back({&plans[static_cast<size_t>(b)],
+                         delta.data().data() +
+                             delta_slab[static_cast<size_t>(b)] * oh *
+                                 ow * cout});
+    }
+    kernels::convDiffScatterBatch(items, wmatT_.data().data(),
+                                  wrevT_.data().data(), params_, h, w);
+    for (int64_t b = 0; b < batches;) {
+        if (!use_diff[b]) {
+            ++b;
+            continue;
+        }
+        int64_t e = b;
+        while (e < batches && use_diff[e])
+            ++e;
+        kernels::addConvDeltaInto(*prev_out, delta, b, e - b,
+                                  delta_slab[static_cast<size_t>(b)],
+                                  &out);
+        b = e;
+    }
+    return out;
 }
 
 namespace naive {

@@ -145,6 +145,30 @@ class DiffFcEngine
                         OpCounts *counts = nullptr,
                         DiffPolicy policy = DiffPolicy::Auto) const;
 
+    /**
+     * Batched execution over `slabs` requests stacked along the row
+     * dimension: x is [slabs * rows, in]; slab s covers rows
+     * [s * rows, (s+1) * rows). Per slab the engine makes exactly the
+     * single-request decision — direct when the slab is unprimed
+     * (primed[s] == 0) or its probe reverts, sparse diff otherwise —
+     * and executes it through batch-folded kernels: contiguous direct
+     * runs become one row-folded GEMM, diff slabs one batched plan
+     * dispatch. Bitwise identical to per-request runDirect/runDiff at
+     * any thread count and batch size.
+     *
+     * @param prev_x stacked previous codes (may be null when no slab
+     *        is primed).
+     * @param prev_out stacked previous outputs (same condition).
+     * @param primed per-slab flags; unprimed slabs run direct and do
+     *        not touch counts.
+     * @param counts per-slab tallies (array of `slabs`, or null).
+     */
+    Int32Tensor runBatch(const Int8Tensor &x, int64_t slabs,
+                         const Int8Tensor *prev_x,
+                         const Int32Tensor *prev_out,
+                         const uint8_t *primed, OpCounts *counts = nullptr,
+                         DiffPolicy policy = DiffPolicy::Auto) const;
+
     const Int8Tensor &weight() const { return weight_; }
 
   private:
@@ -175,6 +199,20 @@ class DiffConvEngine
                         OpCounts *counts = nullptr,
                         DiffPolicy policy = DiffPolicy::Auto) const;
 
+    /**
+     * Batched execution over the batch dimension of a stacked NCHW
+     * input: slab b is x[b]. Per-slab decisions exactly as runDiff
+     * makes them for a single-batch tensor; direct runs fold into
+     * batched convolutions, diff slabs into one batched scatter
+     * dispatch (slab-parallel — including the 1x1 fast path that is
+     * serial per slab in runDiff). Bitwise identical to per-request
+     * execution at any thread count and batch size.
+     */
+    Int32Tensor runBatch(const Int8Tensor &x, const Int8Tensor *prev_x,
+                         const Int32Tensor *prev_out, const uint8_t *primed,
+                         OpCounts *counts = nullptr,
+                         DiffPolicy policy = DiffPolicy::Auto) const;
+
     const Conv2dParams &params() const { return params_; }
 
   private:
@@ -183,6 +221,25 @@ class DiffConvEngine
     Int8Tensor wrevT_; //!< kx-reversed rows for the interior fast path
     Conv2dParams params_;
 };
+
+namespace detail {
+
+/**
+ * Shared batched weight-stationary execution (DiffFcEngine and
+ * CrossAttentionEngine): per-slab probe/decide exactly like the
+ * single-request runDiff, then contiguous direct runs as one
+ * row-folded GEMM and all diff slabs as one batched plan dispatch.
+ * Bitwise identical to per-slab runDirect/runDiff calls.
+ */
+Int32Tensor runBatchWeightStationary(const Int8Tensor &x, int64_t slabs,
+                                     const Int8Tensor *prev_x,
+                                     const Int32Tensor *prev_out,
+                                     const uint8_t *primed,
+                                     OpCounts *counts, DiffPolicy policy,
+                                     const Int8Tensor &weight,
+                                     const Int8Tensor &weight_t);
+
+} // namespace detail
 
 namespace naive {
 

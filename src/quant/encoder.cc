@@ -244,6 +244,26 @@ encodeTemporalDiffRegion(const Int8Tensor &current,
 }
 
 DiffGemmPlan
+encodeTemporalDiffRegionTransposed(const Int8Tensor &current,
+                                   const Int8Tensor &previous,
+                                   int64_t offset, int64_t rows,
+                                   int64_t cols)
+{
+    DITTO_ASSERT(current.shape() == previous.shape(),
+                 "temporal diff operand shape mismatch");
+    DITTO_ASSERT(offset >= 0 && offset + rows * cols <= current.numel(),
+                 "encodeTemporalDiffRegionTransposed region out of range");
+    const int8_t *cur = current.data().data() + offset;
+    const int8_t *prev = previous.data().data() + offset;
+    // Plan rows index the *columns* of the region.
+    return encodeImpl(cols, rows, [cur, prev, cols](int64_t r, int64_t c) {
+        const int64_t i = c * cols + r;
+        return static_cast<int16_t>(static_cast<int16_t>(cur[i]) -
+                                    static_cast<int16_t>(prev[i]));
+    });
+}
+
+DiffGemmPlan
 encodeTemporalDiffTransposed(const Int8Tensor &current,
                              const Int8Tensor &previous)
 {

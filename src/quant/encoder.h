@@ -88,6 +88,19 @@ DiffGemmPlan encodeTemporalDiffRegion(const Int8Tensor &current,
 DiffGemmPlan encodeTemporalDiffTransposed(const Int8Tensor &current,
                                           const Int8Tensor &previous);
 
+/**
+ * encodeTemporalDiffTransposed over a rectangular region of flat
+ * storage: the logical operand is rows x cols elements starting at
+ * `offset` in both tensors' flat data, and the plan describes its
+ * transpose (plan rows = cols, plan cols = rows). Used by the batched
+ * attention path, where each request's P/V operand is one row slab of
+ * a stacked code matrix.
+ */
+DiffGemmPlan encodeTemporalDiffRegionTransposed(const Int8Tensor &current,
+                                                const Int8Tensor &previous,
+                                                int64_t offset,
+                                                int64_t rows, int64_t cols);
+
 } // namespace ditto
 
 #endif // DITTO_QUANT_ENCODER_H

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * BatchEngine implementation.
+ */
+#include "serve/batch_rollout.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "tensor/slab.h"
+
+namespace ditto {
+
+namespace {
+
+/** Remove slab `i` from a stacked NCHW tensor (empty when last). */
+FloatTensor
+removeImageSlab(const FloatTensor &x, int64_t i)
+{
+    const int64_t n = x.shape()[0];
+    return n == 1 ? FloatTensor() : slab::removed(x, n, i);
+}
+
+/** Copy slab `i` out of a stacked NCHW tensor as a [1,C,H,W] map. */
+FloatTensor
+extractImageSlab(const FloatTensor &x, int64_t i)
+{
+    FloatTensor out(Shape{1, x.shape()[1], x.shape()[2], x.shape()[3]});
+    const int64_t slab = out.numel();
+    std::copy(x.data().begin() + i * slab,
+              x.data().begin() + (i + 1) * slab, out.data().begin());
+    return out;
+}
+
+} // namespace
+
+BatchEngine::BatchEngine(const MiniUnet &net, int64_t max_batch)
+    : net_(net), maxBatch_(max_batch)
+{
+    DITTO_ASSERT(max_batch >= 1, "batch engine needs capacity >= 1");
+}
+
+void
+BatchEngine::admit(uint64_t id, const DenoiseRequest &req)
+{
+    admitBatch(std::span<const uint64_t>(&id, 1),
+               std::span<const DenoiseRequest>(&req, 1));
+}
+
+void
+BatchEngine::admitBatch(std::span<const uint64_t> ids,
+                        std::span<const DenoiseRequest> reqs)
+{
+    const int64_t k = static_cast<int64_t>(ids.size());
+    DITTO_ASSERT(k == static_cast<int64_t>(reqs.size()),
+                 "admitBatch id/request count mismatch");
+    if (k == 0)
+        return;
+    DITTO_ASSERT(active() + k <= maxBatch_,
+                 "admitBatch exceeds engine capacity");
+    for (const DenoiseRequest &req : reqs)
+        DITTO_ASSERT(req.mode == RunMode::QuantDitto ||
+                     req.mode == RunMode::QuantDirect,
+                     "only quantized modes are served batched");
+    const int64_t n0 = active();
+    // One grow for the image stack and one per state tensor, then
+    // fill the new slabs in place.
+    const FloatTensor first = net_.requestNoise(reqs[0].seed);
+    if (n0 > 0) {
+        x_ = slab::appended(x_, n0, k);
+    } else {
+        x_ = FloatTensor(slab::withDim0(first.shape(), k));
+    }
+    const int64_t slab_elems = first.numel();
+    state_.appendSlabs(k); // joins unprimed: first step runs direct
+    for (int64_t j = 0; j < k; ++j) {
+        const FloatTensor noise =
+            j == 0 ? first : net_.requestNoise(reqs[j].seed);
+        std::copy(noise.data().begin(), noise.data().end(),
+                  x_.data().begin() + (n0 + j) * slab_elems);
+        Slot slot;
+        slot.id = ids[j];
+        slot.stepsTotal =
+            reqs[j].steps > 0 ? reqs[j].steps : net_.config().steps;
+        slot.ditto = reqs[j].mode == RunMode::QuantDitto;
+        slots_.push_back(slot);
+    }
+}
+
+void
+BatchEngine::step()
+{
+    DITTO_ASSERT(!empty(), "step on an empty batch engine");
+    stepCounts_.assign(slots_.size(), OpCounts{});
+    const FloatTensor eps = net_.forwardBatch(
+        x_, RunMode::QuantDitto, &state_, stepCounts_.data());
+    x_ = add(x_, affine(eps, -0.15f, 0.0f));
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        slots_[i].ops.merge(stepCounts_[i]);
+        ++slots_[i].stepsDone;
+        // QuantDirect slabs never prime: every step stays direct,
+        // exactly like sequential QuantDirect execution.
+        if (!slots_[i].ditto)
+            state_.primed[i] = 0;
+    }
+}
+
+std::vector<int64_t>
+BatchEngine::finishedSlots() const
+{
+    std::vector<int64_t> done;
+    for (int64_t i = active() - 1; i >= 0; --i) {
+        const Slot &slot = slots_[static_cast<size_t>(i)];
+        if (slot.stepsDone >= slot.stepsTotal)
+            done.push_back(i);
+    }
+    return done;
+}
+
+BatchEngine::Finished
+BatchEngine::extract(int64_t i) const
+{
+    const Slot &slot = slots_[static_cast<size_t>(i)];
+    DITTO_ASSERT(slot.stepsDone >= slot.stepsTotal,
+                 "extract on an unfinished slot");
+    Finished f;
+    f.id = slot.id;
+    f.image = extractImageSlab(x_, i);
+    f.ops = slot.ops;
+    f.steps = slot.stepsDone;
+    return f;
+}
+
+void
+BatchEngine::replaceSlot(int64_t i, uint64_t id, const DenoiseRequest &req)
+{
+    DITTO_ASSERT(req.mode == RunMode::QuantDitto ||
+                 req.mode == RunMode::QuantDirect,
+                 "only quantized modes are served batched");
+    Slot &slot = slots_[static_cast<size_t>(i)];
+    DITTO_ASSERT(slot.stepsDone >= slot.stepsTotal,
+                 "replacing an unfinished slot");
+    slot.id = id;
+    slot.stepsDone = 0;
+    slot.stepsTotal = req.steps > 0 ? req.steps : net_.config().steps;
+    slot.ditto = req.mode == RunMode::QuantDitto;
+    slot.ops = OpCounts{};
+    const FloatTensor noise = net_.requestNoise(req.seed);
+    std::copy(noise.data().begin(), noise.data().end(),
+              x_.data().begin() + i * noise.numel());
+    state_.resetSlab(i); // stale state is never read while unprimed
+}
+
+void
+BatchEngine::removeSlot(int64_t i)
+{
+    x_ = removeImageSlab(x_, i);
+    state_.removeSlab(i);
+    slots_.erase(slots_.begin() + i);
+}
+
+std::vector<BatchEngine::Finished>
+BatchEngine::retire()
+{
+    std::vector<Finished> done;
+    for (int64_t i : finishedSlots()) {
+        done.push_back(extract(i));
+        removeSlot(i);
+    }
+    // finishedSlots is descending; hand back in slot order.
+    std::reverse(done.begin(), done.end());
+    return done;
+}
+
+} // namespace ditto

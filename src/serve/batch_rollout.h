@@ -1,0 +1,115 @@
+/**
+ * @file
+ * BatchEngine: the execution core of the denoising server.
+ *
+ * One engine owns one in-flight batch: the stacked image tensor, the
+ * stacked Ditto state (MiniUnet::BatchDittoState) and one slot record
+ * per request. Requests join between steps (continuous batching), run
+ * however many steps they individually asked for, and retire as they
+ * finish — so slabs at different timesteps share every forwardBatch
+ * call. Each slab's arithmetic is exactly the single-request
+ * rollout's, which keeps results bitwise independent of batch
+ * composition; tests/test_serve.cc asserts this under mixed step
+ * counts, modes and thread counts.
+ */
+#ifndef DITTO_SERVE_BATCH_ROLLOUT_H
+#define DITTO_SERVE_BATCH_ROLLOUT_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mini_unet.h"
+#include "serve/request.h"
+
+namespace ditto {
+
+/** A batch of concurrent denoising requests advancing in lock-step. */
+class BatchEngine
+{
+  public:
+    /** A request that finished all its steps, ready to hand back. */
+    struct Finished
+    {
+        uint64_t id = 0;
+        FloatTensor image;
+        OpCounts ops;
+        int steps = 0;
+    };
+
+    BatchEngine(const MiniUnet &net, int64_t max_batch);
+
+    int64_t capacity() const { return maxBatch_; }
+    int64_t active() const
+    {
+        return static_cast<int64_t>(slots_.size());
+    }
+    bool empty() const { return slots_.empty(); }
+    bool full() const { return active() >= maxBatch_; }
+
+    /**
+     * Join a request to the batch as a fresh (unprimed) slab seeded
+     * with requestNoise(req.seed). Only quantized modes are served
+     * batched. Must not be called on a full engine.
+     */
+    void admit(uint64_t id, const DenoiseRequest &req);
+
+    /**
+     * Join a burst of requests with a single reallocation of the
+     * image stack and every stacked state tensor (admit() pays a full
+     * grow-copy per request). ids and reqs run in parallel; the burst
+     * must fit the remaining capacity.
+     */
+    void admitBatch(std::span<const uint64_t> ids,
+                    std::span<const DenoiseRequest> reqs);
+
+    /** Advance every active request by one denoising step. */
+    void step();
+
+    /**
+     * Slots whose request has completed all its steps, in descending
+     * slot order (safe to extract/remove/replace while iterating).
+     */
+    std::vector<int64_t> finishedSlots() const;
+
+    /** Copy slot `i`'s result out (the slot stays in the batch). */
+    Finished extract(int64_t i) const;
+
+    /**
+     * Hand slot `i` to a new request in place — the continuous-
+     * batching fast path: writes the new noise into the slab and
+     * clears its primed flag instead of copying the stacked state
+     * twice for a remove + admit.
+     */
+    void replaceSlot(int64_t i, uint64_t id, const DenoiseRequest &req);
+
+    /** Remove slot `i` wholesale (no replacement queued). */
+    void removeSlot(int64_t i);
+
+    /**
+     * Convenience for non-server callers: extract and remove every
+     * finished request. Remaining requests keep running.
+     */
+    std::vector<Finished> retire();
+
+  private:
+    struct Slot
+    {
+        uint64_t id = 0;
+        int stepsDone = 0;
+        int stepsTotal = 0;
+        bool ditto = true; //!< false: QuantDirect (never primes)
+        OpCounts ops;
+    };
+
+    const MiniUnet &net_;
+    const int64_t maxBatch_;
+    FloatTensor x_; //!< stacked [active, inChannels, res, res]
+    MiniUnet::BatchDittoState state_;
+    std::vector<Slot> slots_;
+    std::vector<OpCounts> stepCounts_; //!< per-step scratch
+};
+
+} // namespace ditto
+
+#endif // DITTO_SERVE_BATCH_ROLLOUT_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Request and result types of the batched denoising server.
+ *
+ * A request is a pure value: (seed, steps, mode). Its result is a pure
+ * function of that value and the model configuration — never of batch
+ * composition, queueing order, worker count or thread count. That is
+ * the serving layer's bitwise-equivalence guarantee (docs/serving.md):
+ * serving a request batched is bit-for-bit the same as running
+ * MiniUnet::rollout(mode, net.requestNoise(seed)) alone.
+ */
+#ifndef DITTO_SERVE_REQUEST_H
+#define DITTO_SERVE_REQUEST_H
+
+#include <cstdint>
+
+#include "core/mini_unet.h"
+
+namespace ditto {
+
+/** One denoising request submitted to the server. */
+struct DenoiseRequest
+{
+    /** Seed of the request's initial noise (MiniUnet::requestNoise). */
+    uint64_t seed = 0;
+
+    /** Reverse-diffusion steps; 0 uses the model's configured count. */
+    int steps = 0;
+
+    /**
+     * Execution mode. QuantDitto and QuantDirect requests may share a
+     * batch (a direct request is simply a slab that never primes);
+     * Fp32 is not served batched.
+     */
+    RunMode mode = RunMode::QuantDitto;
+
+    /**
+     * Longest time this request may sit in an empty engine's batch
+     * formation window waiting for co-batchable requests, in
+     * microseconds. -1 uses the server's configured window; 0 demands
+     * immediate dispatch. Once any request's window expires the batch
+     * launches with whatever has arrived (deadline-aware formation).
+     */
+    int64_t maxWaitMicros = -1;
+};
+
+/** Completed request, handed back through poll()/wait(). */
+struct DenoiseResult
+{
+    uint64_t id = 0;          //!< ticket returned by submit()
+    FloatTensor image;        //!< final denoised image
+    OpCounts dittoOps;        //!< multiplier-lane tallies (Ditto mode)
+    int steps = 0;            //!< steps actually executed
+    double queueMicros = 0;   //!< submit -> admitted into an engine
+    double serviceMicros = 0; //!< admitted -> last step retired
+};
+
+} // namespace ditto
+
+#endif // DITTO_SERVE_REQUEST_H

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * DenoiseServer implementation.
+ *
+ * Threading model: submit()/poll()/wait() and the worker loops share
+ * one mutex guarding the queue, the result map and the stats. The
+ * engines themselves run outside the lock — their kernels dispatch
+ * onto the global parallelFor pool, which serializes whole jobs across
+ * concurrent callers, so multiple workers interleave at kernel-call
+ * granularity without data races.
+ */
+#include "serve/server.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace ditto {
+
+namespace {
+
+/** Integer environment override, or `fallback` when unset/invalid. */
+int64_t
+envInt64(const char *name, int64_t fallback, int64_t lo, int64_t hi)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end == env || v < lo || v > hi) {
+        std::fprintf(stderr, "[ditto] ignoring invalid %s=\"%s\"\n", name,
+                     env);
+        return fallback;
+    }
+    return static_cast<int64_t>(v);
+}
+
+} // namespace
+
+ServerConfig
+ServerConfig::fromEnv()
+{
+    ServerConfig cfg;
+    cfg.maxBatch =
+        envInt64("DITTO_SERVE_MAX_BATCH", cfg.maxBatch, 1, 4096);
+    cfg.maxWaitMicros = envInt64("DITTO_SERVE_MAX_WAIT_US",
+                                 cfg.maxWaitMicros, 0, 60'000'000);
+    cfg.workers = static_cast<int>(
+        envInt64("DITTO_SERVE_WORKERS", cfg.workers, 1, 256));
+    return cfg;
+}
+
+DenoiseServer::DenoiseServer(const MiniUnet &net, ServerConfig cfg)
+    : net_(net), cfg_(cfg)
+{
+    workers_.reserve(static_cast<size_t>(cfg_.workers));
+    for (int i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+DenoiseServer::~DenoiseServer()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+uint64_t
+DenoiseServer::submit(const DenoiseRequest &req)
+{
+    // Reject unsupported modes at the API boundary, in the caller's
+    // thread — a bad request must not take down a worker mid-batch.
+    DITTO_ASSERT(req.mode == RunMode::QuantDitto ||
+                 req.mode == RunMode::QuantDirect,
+                 "only quantized modes are served batched");
+    std::unique_lock<std::mutex> lock(mutex_);
+    DITTO_ASSERT(!stopping_, "submit on a stopping server");
+    Pending p;
+    p.id = nextId_++;
+    p.req = req;
+    p.submitted = Clock::now();
+    queue_.push_back(p);
+    outstanding_.insert(p.id);
+    ++stats_.submitted;
+    lock.unlock();
+    workAvailable_.notify_one();
+    return p.id;
+}
+
+bool
+DenoiseServer::poll(uint64_t id, DenoiseResult *out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = results_.find(id);
+    if (it == results_.end()) {
+        // A ticket that was never issued, or whose result was already
+        // retrieved, can never become ready — fail loudly instead of
+        // letting a poll loop spin forever.
+        DITTO_ASSERT(outstanding_.count(id) > 0,
+                     "poll on an unknown or already-consumed ticket");
+        return false;
+    }
+    *out = std::move(it->second);
+    results_.erase(it);
+    outstanding_.erase(id);
+    // Wake any waiter racing on the same ticket so it asserts loudly
+    // instead of sleeping forever on a consumed id.
+    lock.unlock();
+    resultReady_.notify_all();
+    return true;
+}
+
+DenoiseResult
+DenoiseServer::wait(uint64_t id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    DITTO_ASSERT(results_.count(id) > 0 || outstanding_.count(id) > 0,
+                 "wait on an unknown or already-consumed ticket");
+    // Also wake when the ticket stops being outstanding: a concurrent
+    // poll()/wait() that consumed it must turn this wait into a loud
+    // failure, not an endless sleep.
+    resultReady_.wait(lock, [&] {
+        return results_.count(id) > 0 || outstanding_.count(id) == 0;
+    });
+    DITTO_ASSERT(results_.count(id) > 0,
+                 "ticket consumed by a concurrent caller");
+    DenoiseResult out = std::move(results_[id]);
+    results_.erase(id);
+    outstanding_.erase(id);
+    lock.unlock();
+    resultReady_.notify_all();
+    return out;
+}
+
+ServerStats
+DenoiseServer::stats() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+DenoiseServer::workerLoop()
+{
+    BatchEngine engine(net_, cfg_.maxBatch);
+    for (;;) {
+        // Queue pops, timing and stats happen under the lock; the
+        // engine mutations they lead to (noise generation, stacked
+        // state edits, the step itself) run outside it so submit/
+        // poll/wait callers and other workers never wait on them.
+        std::vector<Pending> to_admit;
+        auto roomLeft = [&] {
+            return engine.active() +
+                       static_cast<int64_t>(to_admit.size()) <
+                   cfg_.maxBatch;
+        };
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (engine.empty()) {
+                workAvailable_.wait(lock, [&] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (queue_.empty()) {
+                    DITTO_ASSERT(stopping_, "spurious worker wake");
+                    return;
+                }
+                // Deadline-aware batch formation: take the oldest
+                // request, then hold the batch open for co-batchable
+                // arrivals until it fills or the earliest taken
+                // window expires.
+                Clock::time_point deadline = Clock::time_point::max();
+                auto takeFromQueue = [&] {
+                    while (roomLeft() && !queue_.empty()) {
+                        Pending p = std::move(queue_.front());
+                        queue_.pop_front();
+                        const int64_t wait_us = p.req.maxWaitMicros >= 0
+                            ? p.req.maxWaitMicros
+                            : cfg_.maxWaitMicros;
+                        deadline = std::min(
+                            deadline, p.submitted +
+                                          std::chrono::microseconds(
+                                              wait_us));
+                        inFlight_[p.id] = {p.submitted, Clock::now()};
+                        to_admit.push_back(std::move(p));
+                    }
+                };
+                takeFromQueue();
+                ++stats_.batchesFormed;
+                while (roomLeft() && !stopping_ &&
+                       Clock::now() < deadline) {
+                    if (workAvailable_.wait_until(lock, deadline) ==
+                        std::cv_status::timeout)
+                        break;
+                    takeFromQueue();
+                }
+            } else {
+                // Continuous batching: grab whatever is queued, no
+                // waiting — running requests must not stall.
+                while (roomLeft() && !queue_.empty()) {
+                    Pending p = std::move(queue_.front());
+                    queue_.pop_front();
+                    inFlight_[p.id] = {p.submitted, Clock::now()};
+                    to_admit.push_back(std::move(p));
+                }
+            }
+            stats_.stepRequests += static_cast<uint64_t>(
+                engine.active() +
+                static_cast<int64_t>(to_admit.size()));
+            ++stats_.steps;
+        }
+        if (!to_admit.empty()) {
+            std::vector<uint64_t> ids;
+            std::vector<DenoiseRequest> reqs;
+            ids.reserve(to_admit.size());
+            reqs.reserve(to_admit.size());
+            for (Pending &p : to_admit) {
+                ids.push_back(p.id);
+                reqs.push_back(p.req);
+            }
+            engine.admitBatch(ids, reqs);
+        }
+
+        engine.step();
+        const std::vector<int64_t> finished = engine.finishedSlots();
+        std::vector<BatchEngine::Finished> done;
+        if (!finished.empty()) {
+            // Pair finished slots with replacement requests popped
+            // under the lock; the slot edits run outside it.
+            std::vector<Pending> repl;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                while (repl.size() < finished.size() &&
+                       !queue_.empty()) {
+                    Pending p = std::move(queue_.front());
+                    queue_.pop_front();
+                    inFlight_[p.id] = {p.submitted, Clock::now()};
+                    repl.push_back(std::move(p));
+                }
+            }
+            size_t r = 0;
+            for (int64_t i : finished) {
+                done.push_back(engine.extract(i));
+                // Continuous batching fast path: hand the finished
+                // slab straight to the next queued request instead of
+                // shrinking and regrowing the stacked state.
+                if (r < repl.size()) {
+                    engine.replaceSlot(i, repl[r].id, repl[r].req);
+                    ++r;
+                } else {
+                    engine.removeSlot(i);
+                }
+            }
+            const Clock::time_point now = Clock::now();
+            std::unique_lock<std::mutex> lock(mutex_);
+            for (BatchEngine::Finished &f : done) {
+                const InFlight timing = inFlight_[f.id];
+                inFlight_.erase(f.id);
+                DenoiseResult r;
+                r.id = f.id;
+                r.image = std::move(f.image);
+                r.dittoOps = f.ops;
+                r.steps = f.steps;
+                r.queueMicros =
+                    std::chrono::duration<double, std::micro>(
+                        timing.admitted - timing.submitted)
+                        .count();
+                r.serviceMicros =
+                    std::chrono::duration<double, std::micro>(
+                        now - timing.admitted)
+                        .count();
+                results_[f.id] = std::move(r);
+                ++stats_.completed;
+            }
+            lock.unlock();
+            resultReady_.notify_all();
+        }
+    }
+}
+
+} // namespace ditto

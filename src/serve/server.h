@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Asynchronous batched denoising server.
+ *
+ * submit() enqueues a request and returns a ticket; poll()/wait()
+ * retrieve the finished result. A fixed pool of worker threads each
+ * drives one BatchEngine:
+ *
+ *  - Batch formation is deadline-aware: an idle worker admits the
+ *    oldest queued request, then keeps the batch open up to the
+ *    max-wait window (the minimum of the admitted requests' own
+ *    windows) hoping to fill it; the batch launches early when full or
+ *    when any admitted request's window expires.
+ *  - Once running, the engine admits newly queued requests between
+ *    steps into free slots (continuous batching) — requests at
+ *    different timesteps share every forwardBatch call, tracked per
+ *    slot.
+ *  - Results are bitwise identical to sequential single-request
+ *    rollouts regardless of batch composition, admission order,
+ *    worker count or thread count (docs/serving.md).
+ *
+ * The full request lifecycle is documented in docs/serving.md.
+ */
+#ifndef DITTO_SERVE_SERVER_H
+#define DITTO_SERVE_SERVER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/batch_rollout.h"
+#include "serve/request.h"
+
+namespace ditto {
+
+/** Server tuning knobs; every field has an environment override. */
+struct ServerConfig
+{
+    /** Max requests per engine batch (DITTO_SERVE_MAX_BATCH). */
+    int64_t maxBatch = 8;
+
+    /**
+     * Default batch-formation window in microseconds
+     * (DITTO_SERVE_MAX_WAIT_US): how long an idle engine holds its
+     * first request open for co-batchable arrivals.
+     */
+    int64_t maxWaitMicros = 2000;
+
+    /** Worker threads, one engine each (DITTO_SERVE_WORKERS). */
+    int workers = 1;
+
+    /** Defaults with the DITTO_SERVE_* environment overrides applied. */
+    static ServerConfig fromEnv();
+};
+
+/** Aggregate serving counters (monotonic since construction). */
+struct ServerStats
+{
+    uint64_t submitted = 0;    //!< requests accepted by submit()
+    uint64_t completed = 0;    //!< results delivered to the result map
+    uint64_t steps = 0;        //!< forwardBatch calls across engines
+    uint64_t stepRequests = 0; //!< sum of batch occupancy over steps
+    uint64_t batchesFormed = 0; //!< idle->running transitions
+
+    /** Mean requests per executed step. */
+    double
+    avgOccupancy() const
+    {
+        return steps ? static_cast<double>(stepRequests) /
+                           static_cast<double>(steps)
+                     : 0.0;
+    }
+};
+
+/** Asynchronous multi-request denoising server over one MiniUnet. */
+class DenoiseServer
+{
+  public:
+    explicit DenoiseServer(const MiniUnet &net,
+                           ServerConfig cfg = ServerConfig::fromEnv());
+
+    /** Completes all submitted work, then stops the workers. */
+    ~DenoiseServer();
+
+    DenoiseServer(const DenoiseServer &) = delete;
+    DenoiseServer &operator=(const DenoiseServer &) = delete;
+
+    /** Enqueue a request; returns its ticket. */
+    uint64_t submit(const DenoiseRequest &req);
+
+    /**
+     * Non-blocking result retrieval: true exactly once per finished
+     * ticket, moving the result into *out. Unknown or already-consumed
+     * tickets fail loudly instead of returning false forever.
+     */
+    bool poll(uint64_t id, DenoiseResult *out);
+
+    /**
+     * Block until ticket `id` finishes and return its result. Asserts
+     * (instead of deadlocking) on a ticket that was never issued or
+     * whose result was already retrieved.
+     */
+    DenoiseResult wait(uint64_t id);
+
+    ServerStats stats() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        uint64_t id = 0;
+        DenoiseRequest req;
+        Clock::time_point submitted;
+    };
+
+    /** Timing carried through an engine alongside its slots. */
+    struct InFlight
+    {
+        Clock::time_point submitted;
+        Clock::time_point admitted;
+    };
+
+    void workerLoop();
+
+    const MiniUnet &net_;
+    const ServerConfig cfg_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_; //!< queue -> workers
+    std::condition_variable resultReady_;   //!< results -> waiters
+    std::deque<Pending> queue_;
+    std::unordered_map<uint64_t, DenoiseResult> results_;
+    std::unordered_map<uint64_t, InFlight> inFlight_;
+    /** Issued but not yet retrieved (poll/wait validity checks). */
+    std::unordered_set<uint64_t> outstanding_;
+    ServerStats stats_;
+    uint64_t nextId_ = 1;
+    bool stopping_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace ditto
+
+#endif // DITTO_SERVE_SERVER_H

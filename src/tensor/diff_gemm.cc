@@ -202,6 +202,55 @@ accumulateRow(const DiffGemmPlan &plan, int64_t row,
 
 } // namespace
 
+void
+diffGemmBatch(std::span<const DiffGemmBatchItem> items, int64_t n,
+              bool transpose_b)
+{
+    DITTO_ASSERT(n > 0, "diffGemmBatch needs a positive column count");
+    const int64_t count = static_cast<int64_t>(items.size());
+    if (count == 0)
+        return;
+
+    // De-transpose every item's B once up front (attention batches
+    // carry per-request operands; weight-stationary engines pass
+    // transpose_b = false and cached transposed weights instead).
+    std::vector<std::vector<int8_t>> bts;
+    std::vector<const int8_t *> bmats(static_cast<size_t>(count));
+    if (transpose_b) {
+        bts.resize(static_cast<size_t>(count));
+        for (int64_t i = 0; i < count; ++i) {
+            const int64_t k = items[i].plan->cols;
+            bts[i].resize(static_cast<size_t>(k * n));
+            transposeInt8Into(items[i].b, n, k, bts[i].data());
+            bmats[i] = bts[i].data();
+        }
+    } else {
+        for (int64_t i = 0; i < count; ++i)
+            bmats[i] = items[i].b;
+    }
+
+    // One dispatch over the union of all items' rows. A global row is
+    // owned by exactly one task and its item-local execution is
+    // identical to diffGemm's, so the batch is bitwise equal to
+    // per-item calls at any thread count.
+    std::vector<int64_t> rowBase(static_cast<size_t>(count + 1), 0);
+    for (int64_t i = 0; i < count; ++i)
+        rowBase[i + 1] = rowBase[i] + items[i].plan->rows;
+    const int64_t total = rowBase[count];
+    parallelFor(0, total, [&](int64_t lo, int64_t hi) {
+        int64_t it = static_cast<int64_t>(
+            std::upper_bound(rowBase.begin(), rowBase.end(), lo) -
+            rowBase.begin() - 1);
+        for (int64_t g = lo; g < hi; ++g) {
+            while (g >= rowBase[it + 1])
+                ++it;
+            const int64_t row = g - rowBase[it];
+            accumulateRow(*items[it].plan, row, bmats[it], n,
+                          items[it].out + row * n);
+        }
+    });
+}
+
 Int32Tensor
 diffGemm(const DiffGemmPlan &plan, const int8_t *b, int64_t n,
          bool transpose_b, const Int32Tensor *prev)
@@ -278,6 +327,129 @@ scatterEntry(int32_t v, int64_t y, int64_t x,
     }
 }
 
+/**
+ * 1x1/stride-1/pad-0 scatter of one plan: every entry lands in exactly
+ * its own output pixel, so the window logic (and the per-entry
+ * division) disappears entirely. Different channels scatter into the
+ * same output pixels, so the channel loop stays serial; batch slabs
+ * parallelize one level up (convDiffScatterBatch runs one item per
+ * task).
+ */
+void
+scatterPointwisePlan(const DiffGemmPlan &plan, const int8_t *wmat_t,
+                     int64_t cout, int32_t *DITTO_RESTRICT dd)
+{
+    const uint8_t *l4off = plan.low4Offsets.data();
+    const uint8_t *l4nib = plan.low4Nibbles.data();
+    const uint8_t *f8off = plan.full8Offsets.data();
+    const int16_t *f8val = plan.full8Values.data();
+    for (int64_t ic = 0; ic < plan.rows; ++ic) {
+        const int8_t *DITTO_RESTRICT wrow = wmat_t + ic * cout;
+        const PanelRef *prow = plan.panels.data() + ic * plan.panelsPerRow;
+        for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {
+            const PanelRef &pp = prow[pi];
+            const int64_t kbase = pi * kDiffPanelK;
+            for (int64_t e = pp.low4Begin;
+                 e < pp.low4Begin + pp.low4Count; ++e) {
+                const int32_t v = low4At(l4nib, e);
+                int32_t *DITTO_RESTRICT dst =
+                    dd + (kbase + l4off[e]) * cout;
+                for (int64_t j = 0; j < cout; ++j)
+                    dst[j] += v * static_cast<int32_t>(wrow[j]);
+            }
+            for (int64_t e = pp.full8Begin;
+                 e < pp.full8Begin + pp.full8Count; ++e) {
+                const int32_t v = f8val[e];
+                int32_t *DITTO_RESTRICT dst =
+                    dd + (kbase + f8off[e]) * cout;
+                for (int64_t j = 0; j < cout; ++j)
+                    dst[j] += v * static_cast<int32_t>(wrow[j]);
+            }
+        }
+    }
+}
+
+/**
+ * Scatter one plan's entries into the output-row band [ylo, yhi).
+ * Each band walks the whole plan in fixed order and writes only
+ * windows landing in its rows, so any banding yields the same
+ * per-element accumulation order.
+ */
+void
+scatterPlanBand(const DiffGemmPlan &plan, const int8_t *wmat_t,
+                const int8_t *wrev_t, const Conv2dParams &p, int64_t w,
+                int64_t oh, int64_t ow, int64_t ylo, int64_t yhi,
+                int32_t *DITTO_RESTRICT dd)
+{
+    const uint8_t *l4off = plan.low4Offsets.data();
+    const uint8_t *l4nib = plan.low4Nibbles.data();
+    const uint8_t *f8off = plan.full8Offsets.data();
+    const int16_t *f8val = plan.full8Values.data();
+    const int64_t kk = p.kernel;
+    const int64_t cout = p.outChannels;
+    const bool unit_stride = p.stride == 1;
+    for (int64_t ic = 0; ic < plan.rows; ++ic) {
+        const int8_t *wbase = wmat_t + ic * kk * kk * cout;
+        const int8_t *wrev_base = wrev_t + ic * kk * kk * cout;
+        const PanelRef *prow = plan.panels.data() + ic * plan.panelsPerRow;
+        // One entry scattered through its windows; stride-1
+        // interior pixels run one contiguous kk*cout-wide axpy per
+        // kernel row against the reversed weight.
+        auto scatter = [&](int32_t v, int64_t y, int64_t x) {
+            if (unit_stride && x >= kk - 1 - p.padding &&
+                x + p.padding < ow) {
+                const int64_t ox0 = x + p.padding - (kk - 1);
+                for (int64_t ky = 0; ky < kk; ++ky) {
+                    const int64_t oy = y + p.padding - ky;
+                    if (oy < 0)
+                        break;
+                    if (oy >= oh || oy < ylo || oy >= yhi)
+                        continue;
+                    int32_t *DITTO_RESTRICT dst =
+                        dd + (oy * ow + ox0) * cout;
+                    const int8_t *DITTO_RESTRICT wrow =
+                        wrev_base + ky * kk * cout;
+                    for (int64_t j = 0; j < kk * cout; ++j)
+                        dst[j] += v * static_cast<int32_t>(wrow[j]);
+                }
+            } else {
+                scatterEntry(v, y, x, wbase, p, oh, ow, ylo, yhi, dd);
+            }
+        };
+        for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {
+            const PanelRef &pp = prow[pi];
+            if (pp.empty())
+                continue;
+            const int64_t kbase = pi * kDiffPanelK;
+            // One division per panel; entries advance y/x from the
+            // panel origin with at most a few subtractions.
+            const int64_t y0 = kbase / w;
+            const int64_t x0 = kbase % w;
+            auto toYx = [&](int64_t off, int64_t *y, int64_t *x) {
+                int64_t yy = y0;
+                int64_t xx = x0 + off;
+                while (xx >= w) {
+                    xx -= w;
+                    ++yy;
+                }
+                *y = yy;
+                *x = xx;
+            };
+            int64_t y, x;
+            for (int64_t e = pp.low4Begin;
+                 e < pp.low4Begin + pp.low4Count; ++e) {
+                toYx(l4off[e], &y, &x);
+                scatter(low4At(l4nib, e), y, x);
+            }
+            for (int64_t e = pp.full8Begin;
+                 e < pp.full8Begin + pp.full8Count; ++e) {
+                toYx(f8off[e], &y, &x);
+                scatter(f8val[e], y, x);
+            }
+        }
+    }
+}
+
 } // namespace
 
 Int32Tensor
@@ -292,117 +464,55 @@ convDiffScatter(const DiffGemmPlan &plan, const int8_t *wmat_t,
     DITTO_ASSERT(oh > 0 && ow > 0, "convDiffScatter output would be empty");
     Int32Tensor delta(Shape{oh * ow, p.outChannels});
     int32_t *dd = delta.data().data();
-    const uint8_t *l4off = plan.low4Offsets.data();
-    const uint8_t *l4nib = plan.low4Nibbles.data();
-    const uint8_t *f8off = plan.full8Offsets.data();
-    const int16_t *f8val = plan.full8Values.data();
-    const bool pointwise =
-        p.kernel == 1 && p.stride == 1 && p.padding == 0;
-    if (pointwise) {
-        // 1x1/stride-1/pad-0: every entry lands in exactly one output
-        // pixel — its own position — so the window logic (and the
-        // per-entry division) disappears entirely.
-        const int64_t cout = p.outChannels;
-        // Different channels scatter into the same output pixels, so
-        // the channel loop stays serial (batches parallelize one level
-        // up in the engine); entries within a channel are pixel-sorted.
-        for (int64_t ic = 0; ic < plan.rows; ++ic) {
-            const int8_t *DITTO_RESTRICT wrow = wmat_t + ic * cout;
-            const PanelRef *prow =
-                plan.panels.data() + ic * plan.panelsPerRow;
-            for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {
-                const PanelRef &pp = prow[pi];
-                const int64_t kbase = pi * kDiffPanelK;
-                for (int64_t e = pp.low4Begin;
-                     e < pp.low4Begin + pp.low4Count; ++e) {
-                    const int32_t v = low4At(l4nib, e);
-                    int32_t *DITTO_RESTRICT dst =
-                        dd + (kbase + l4off[e]) * cout;
-                    for (int64_t j = 0; j < cout; ++j)
-                        dst[j] += v * static_cast<int32_t>(wrow[j]);
-                }
-                for (int64_t e = pp.full8Begin;
-                     e < pp.full8Begin + pp.full8Count; ++e) {
-                    const int32_t v = f8val[e];
-                    int32_t *DITTO_RESTRICT dst =
-                        dd + (kbase + f8off[e]) * cout;
-                    for (int64_t j = 0; j < cout; ++j)
-                        dst[j] += v * static_cast<int32_t>(wrow[j]);
-                }
-            }
-        }
+    if (p.kernel == 1 && p.stride == 1 && p.padding == 0) {
+        scatterPointwisePlan(plan, wmat_t, p.outChannels, dd);
         return delta;
     }
-    // Output-row bands: each band walks the whole plan in fixed order
-    // and writes only windows landing in its rows, so any banding
-    // yields the same per-element accumulation order.
-    const int64_t kk = p.kernel;
-    const int64_t cout = p.outChannels;
-    const bool unit_stride = p.stride == 1;
     parallelFor(0, oh, [&](int64_t ylo, int64_t yhi) {
-        for (int64_t ic = 0; ic < plan.rows; ++ic) {
-            const int8_t *wbase = wmat_t + ic * kk * kk * cout;
-            const int8_t *wrev_base = wrev_t + ic * kk * kk * cout;
-            const PanelRef *prow =
-                plan.panels.data() + ic * plan.panelsPerRow;
-            // One entry scattered through its windows; stride-1
-            // interior pixels run one contiguous kk*cout-wide axpy per
-            // kernel row against the reversed weight.
-            auto scatter = [&](int32_t v, int64_t y, int64_t x) {
-                if (unit_stride && x >= kk - 1 - p.padding &&
-                    x + p.padding < ow) {
-                    const int64_t ox0 = x + p.padding - (kk - 1);
-                    for (int64_t ky = 0; ky < kk; ++ky) {
-                        const int64_t oy = y + p.padding - ky;
-                        if (oy < 0)
-                            break;
-                        if (oy >= oh || oy < ylo || oy >= yhi)
-                            continue;
-                        int32_t *DITTO_RESTRICT dst =
-                            dd + (oy * ow + ox0) * cout;
-                        const int8_t *DITTO_RESTRICT wrow =
-                            wrev_base + ky * kk * cout;
-                        for (int64_t j = 0; j < kk * cout; ++j)
-                            dst[j] += v * static_cast<int32_t>(wrow[j]);
-                    }
-                } else {
-                    scatterEntry(v, y, x, wbase, p, oh, ow, ylo, yhi, dd);
-                }
-            };
-            for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {
-                const PanelRef &pp = prow[pi];
-                if (pp.empty())
-                    continue;
-                const int64_t kbase = pi * kDiffPanelK;
-                // One division per panel; entries advance y/x from the
-                // panel origin with at most a few subtractions.
-                const int64_t y0 = kbase / w;
-                const int64_t x0 = kbase % w;
-                auto toYx = [&](int64_t off, int64_t *y, int64_t *x) {
-                    int64_t yy = y0;
-                    int64_t xx = x0 + off;
-                    while (xx >= w) {
-                        xx -= w;
-                        ++yy;
-                    }
-                    *y = yy;
-                    *x = xx;
-                };
-                int64_t y, x;
-                for (int64_t e = pp.low4Begin;
-                     e < pp.low4Begin + pp.low4Count; ++e) {
-                    toYx(l4off[e], &y, &x);
-                    scatter(low4At(l4nib, e), y, x);
-                }
-                for (int64_t e = pp.full8Begin;
-                     e < pp.full8Begin + pp.full8Count; ++e) {
-                    toYx(f8off[e], &y, &x);
-                    scatter(f8val[e], y, x);
-                }
-            }
-        }
+        scatterPlanBand(plan, wmat_t, wrev_t, p, w, oh, ow, ylo, yhi, dd);
     });
     return delta;
+}
+
+void
+convDiffScatterBatch(std::span<const ConvScatterBatchItem> items,
+                     const int8_t *wmat_t, const int8_t *wrev_t,
+                     const Conv2dParams &p, int64_t h, int64_t w)
+{
+    const int64_t count = static_cast<int64_t>(items.size());
+    if (count == 0)
+        return;
+    const int64_t oh = p.outExtent(h);
+    const int64_t ow = p.outExtent(w);
+    DITTO_ASSERT(oh > 0 && ow > 0,
+                 "convDiffScatterBatch output would be empty");
+    for (const ConvScatterBatchItem &item : items)
+        DITTO_ASSERT(item.plan->rows == p.inChannels &&
+                     item.plan->cols == h * w,
+                     "convDiffScatterBatch plan must cover the slab");
+    if (p.kernel == 1 && p.stride == 1 && p.padding == 0) {
+        // Pointwise scatter is serial within a slab; slabs are
+        // independent, so the batch parallelizes across items — the
+        // banding the single-slab path cannot have.
+        parallelFor(0, count, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                scatterPointwisePlan(*items[i].plan, wmat_t,
+                                     p.outChannels, items[i].delta);
+        });
+        return;
+    }
+    // (item, output-row band) tasks flattened into one dispatch; a
+    // chunk spanning items executes each item's own band portion.
+    parallelFor(0, count * oh, [&](int64_t lo, int64_t hi) {
+        for (int64_t g = lo; g < hi;) {
+            const int64_t i = g / oh;
+            const int64_t ylo = g % oh;
+            const int64_t yhi = std::min(oh, ylo + (hi - g));
+            scatterPlanBand(*items[i].plan, wmat_t, wrev_t, p, w, oh, ow,
+                            ylo, yhi, items[i].delta);
+            g += yhi - ylo;
+        }
+    });
 }
 
 Int8Tensor
@@ -446,6 +556,23 @@ addTransposedInt32(const Int32Tensor &prev, const Int32Tensor &delta)
     return out;
 }
 
+void
+addTransposedInt32InPlace(int32_t *acc, const int32_t *delta, int64_t m,
+                          int64_t n)
+{
+    int32_t *DITTO_RESTRICT so = acc;
+    const int32_t *DITTO_RESTRICT sd = delta;
+    for (int64_t r0 = 0; r0 < m; r0 += kTransposeTile) {
+        const int64_t r1 = std::min(m, r0 + kTransposeTile);
+        for (int64_t c0 = 0; c0 < n; c0 += kTransposeTile) {
+            const int64_t c1 = std::min(n, c0 + kTransposeTile);
+            for (int64_t r = r0; r < r1; ++r)
+                for (int64_t c = c0; c < c1; ++c)
+                    so[r * n + c] += sd[c * m + r];
+        }
+    }
+}
+
 Int32Tensor
 addConvDelta(const Int32Tensor &prev_out, const Int32Tensor &delta)
 {
@@ -472,6 +599,43 @@ addConvDelta(const Int32Tensor &prev_out, const Int32Tensor &delta)
         }
     });
     return out;
+}
+
+void
+addConvDeltaInto(const Int32Tensor &prev_out, const Int32Tensor &delta,
+                 int64_t batch0, int64_t batches, int64_t delta_batch0,
+                 Int32Tensor *out)
+{
+    DITTO_ASSERT(prev_out.shape().rank() == 4,
+                 "addConvDeltaInto expects an NCHW previous output");
+    const int64_t total = prev_out.shape()[0];
+    const int64_t ch = prev_out.shape()[1];
+    const int64_t pix = prev_out.shape()[2] * prev_out.shape()[3];
+    DITTO_ASSERT(batch0 >= 0 && batches >= 0 && batch0 + batches <= total,
+                 "addConvDeltaInto batch range out of bounds");
+    DITTO_ASSERT(delta.shape().rank() == 2 && delta.shape()[1] == ch &&
+                 delta.shape()[0] % pix == 0 &&
+                 delta_batch0 >= 0 &&
+                 (delta_batch0 + batches) * pix <= delta.shape()[0],
+                 "addConvDeltaInto delta shape mismatch");
+    DITTO_ASSERT(out->shape() == prev_out.shape(),
+                 "addConvDeltaInto output shape mismatch");
+    const int32_t *DITTO_RESTRICT sp = prev_out.data().data();
+    const int32_t *DITTO_RESTRICT sd = delta.data().data();
+    int32_t *DITTO_RESTRICT so = out->data().data();
+    parallelFor(batch0 * ch, (batch0 + batches) * ch,
+                [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const int64_t b = i / ch;
+            const int64_t c = i % ch;
+            const int32_t *src = sp + i * pix;
+            int32_t *dst = so + i * pix;
+            const int32_t *dcol =
+                sd + (delta_batch0 + b - batch0) * pix * ch + c;
+            for (int64_t p = 0; p < pix; ++p)
+                dst[p] = src[p] + dcol[p * ch];
+        }
+    });
 }
 
 } // namespace kernels

@@ -33,6 +33,7 @@
 #define DITTO_TENSOR_DIFF_GEMM_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -167,6 +168,65 @@ Int32Tensor convDiffScatter(const DiffGemmPlan &plan,
                             const int8_t *wmat_t, const int8_t *wrev_t,
                             const Conv2dParams &p, int64_t h, int64_t w);
 
+/**
+ * @name Batched plan execution (serving substrate)
+ *
+ * The batched denoising path carries one encoding plan per request;
+ * these entry points execute a whole batch of plans through a single
+ * parallelFor dispatch, dividing work across (request, row) /
+ * (request, band) pairs so the pool sees the union of all requests'
+ * work. Each request's sub-problem keeps exactly the single-plan
+ * accumulation order, so results are bitwise identical to per-request
+ * calls at any thread count.
+ * @{
+ */
+
+/** One request's slice of a batched sparse diff GEMM. */
+struct DiffGemmBatchItem
+{
+    const DiffGemmPlan *plan = nullptr;
+    /** B operand element data (row-major, orientation per call). */
+    const int8_t *b = nullptr;
+    /**
+     * Output rows [plan->rows, n], row-major. Must be pre-filled with
+     * the accumulation base (previous output, or zeros for a bare
+     * delta); rows the plan leaves untouched keep their base values.
+     */
+    int32_t *out = nullptr;
+};
+
+/**
+ * Execute a batch of sparse diff GEMMs: for each item,
+ * item.out += D_item * op(B_item) with op as in diffGemm. All items
+ * share the output column count `n`.
+ */
+void diffGemmBatch(std::span<const DiffGemmBatchItem> items, int64_t n,
+                   bool transpose_b);
+
+/** One request's slice of a batched scatter convolution. */
+struct ConvScatterBatchItem
+{
+    /** Plan over the request's raw [Cin, H*W] difference slab. */
+    const DiffGemmPlan *plan = nullptr;
+    /** Pixel-major delta [OH*OW, Cout] to fill (zero-initialized). */
+    int32_t *delta = nullptr;
+};
+
+/**
+ * Batched convDiffScatter: every item scatters through the shared
+ * cached weights. Non-pointwise items split into (item, output-row
+ * band) tasks; 1x1/stride-1/pad-0 items — serial per slab in the
+ * single-plan entry — run item-parallel here.
+ */
+void convDiffScatterBatch(std::span<const ConvScatterBatchItem> items,
+                          const int8_t *wmat_t, const int8_t *wrev_t,
+                          const Conv2dParams &p, int64_t h, int64_t w);
+
+/** acc[m,n] += delta[n,m]^T in place (tiled). */
+void addTransposedInt32InPlace(int32_t *acc, const int32_t *delta,
+                               int64_t m, int64_t n);
+/** @} */
+
 /** Transposed copy of an int8 matrix (tiled, parallel). */
 Int8Tensor transposeInt8(const Int8Tensor &m);
 
@@ -181,6 +241,19 @@ Int32Tensor addTransposedInt32(const Int32Tensor &prev,
  */
 Int32Tensor addConvDelta(const Int32Tensor &prev_out,
                          const Int32Tensor &delta);
+
+/**
+ * addConvDelta restricted to the batch slabs [batch0, batch0 + batches)
+ * of prev_out, written into the same slabs of `out` (other slabs
+ * untouched). The delta may be *compacted*: slab batch0 + i of the
+ * output reads delta slab delta_batch0 + i, so callers that only
+ * scattered a subset of slabs pass a delta holding just those.
+ * prev_out:[N, C, OH, OW], delta:[M*OH*OW, C] with
+ * delta_batch0 + batches <= M.
+ */
+void addConvDeltaInto(const Int32Tensor &prev_out, const Int32Tensor &delta,
+                      int64_t batch0, int64_t batches,
+                      int64_t delta_batch0, Int32Tensor *out);
 
 } // namespace kernels
 } // namespace ditto

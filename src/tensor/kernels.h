@@ -26,6 +26,7 @@
 #ifndef DITTO_TENSOR_KERNELS_H
 #define DITTO_TENSOR_KERNELS_H
 
+#include <bit>
 #include <cstdint>
 
 #include "tensor/ops.h"
@@ -36,6 +37,52 @@ namespace kernels {
 
 /** Epilogue activation fused into GEMM/conv write-back. */
 enum class Activation { kNone, kSiLU, kGELU };
+
+/**
+ * Fast vectorizable expf.
+ *
+ * Round-to-nearest range reduction (the 1.5 * 2^23 magic-number trick,
+ * valid under the default rounding mode), a two-part ln2 so the reduced
+ * argument keeps full precision, a degree-6 Taylor polynomial on
+ * [-ln2/2, ln2/2] (truncation error ~1.2e-7 relative) and an exact 2^n
+ * scale assembled from the exponent bits. Branch-free and built from
+ * elementwise float ops only, so the auto-vectorizer turns the
+ * softmax/SiLU sweeps into SIMD loops where glibc's expf was a serial
+ * call — and the result is a pure function of the input, identical in
+ * scalar and vector code, which the batched-vs-sequential bitwise
+ * parity guarantee relies on.
+ */
+inline float
+fastExpf(float x)
+{
+    // Clamp so the exponent assembly below stays in normal range;
+    // exp(-87.3) already underflows float and exp(88.7) overflows.
+    // The first select is written NaN-catching (NaN > -87 is false),
+    // so a NaN input deterministically maps to exp(-87) ~ 0 instead
+    // of feeding the float->int cast undefined behavior.
+    x = x > -87.0f ? x : -87.0f;
+    x = x < 88.0f ? x : 88.0f;
+    constexpr float kLog2e = 1.44269504088896341f;
+    constexpr float kRound = 12582912.0f; // 1.5 * 2^23
+    const float biased = x * kLog2e + kRound;
+    const float nf = biased - kRound; // nearest integer to x * log2(e)
+    // r = x - nf * ln2, with ln2 split so the product is exact.
+    constexpr float kLn2Hi = 0.693359375f;
+    constexpr float kLn2Lo = -2.12194440e-4f;
+    const float r = (x - nf * kLn2Hi) - nf * kLn2Lo;
+    // exp(r) on [-ln2/2, ln2/2], Horner form.
+    float p = 1.0f / 720.0f;
+    p = p * r + 1.0f / 120.0f;
+    p = p * r + 1.0f / 24.0f;
+    p = p * r + 1.0f / 6.0f;
+    p = p * r + 0.5f;
+    p = p * r + 1.0f;
+    p = p * r + 1.0f;
+    // 2^n from the exponent bits; nf is integral and within [-126, 127].
+    const int32_t n = static_cast<int32_t>(nf);
+    const float scale = std::bit_cast<float>((n + 127) << 23);
+    return p * scale;
+}
 
 /**
  * @name Blocked GEMM
@@ -67,6 +114,39 @@ Int32Tensor conv2dInt8(const Int8Tensor &input, const Int8Tensor &weight,
 Int32Tensor conv2dDiffInt16(const Int16Tensor &input,
                             const Int8Tensor &weight,
                             const Conv2dParams &params);
+/** @} */
+
+/**
+ * @name Batch-dim-aware raw entry points (serving substrate)
+ *
+ * The batched denoising path executes several requests' sub-problems
+ * through one kernel invocation: GEMM row blocks and conv batch slabs
+ * are written straight into the caller's stacked output, so per-call
+ * packing, allocation and pool-dispatch overheads amortize across the
+ * batch. Each output element keeps exactly the accumulation order of
+ * the single-request kernels, so results are bitwise identical to N
+ * independent calls at any thread count and batch size (the
+ * test_serve.cc parity suite asserts this end to end).
+ * @{
+ */
+
+/**
+ * C[m,n] += A[m,k] * op(B) on raw row-major int8 buffers. `c` rows must
+ * hold the accumulation base (zeros for a plain product). op(B) is
+ * B[k,n] (ldb = n) or, when trans_b, B^T for B:[n,k] (ldb = k).
+ */
+void gemmInt8Into(const int8_t *a, int64_t m, int64_t k, const int8_t *b,
+                  int64_t n, bool trans_b, int32_t *c);
+
+/**
+ * Integer convolution of the batch slabs [batch0, batch0 + batches) of
+ * a stacked NCHW input, written into the same slabs of `out` (other
+ * slabs untouched). `out` must already be shaped [N, Cout, OH, OW] for
+ * the full stack. Bitwise identical to conv2dInt8 per slab.
+ */
+void conv2dInt8Into(const Int8Tensor &input, const Int8Tensor &weight,
+                    const Conv2dParams &params, int64_t batch0,
+                    int64_t batches, Int32Tensor *out);
 /** @} */
 
 /**

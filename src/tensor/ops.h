@@ -15,6 +15,7 @@
 #define DITTO_TENSOR_OPS_H
 
 #include <cstdint>
+#include <span>
 
 #include "tensor/diff_gemm.h"
 #include "tensor/tensor.h"
@@ -192,6 +193,44 @@ Int32Tensor addTransposedInt32(const Int32Tensor &prev,
 /** prev[N,C,OH,OW] + pixel-major conv delta [N*OH*OW, C]. */
 Int32Tensor addConvDeltaInt32(const Int32Tensor &prev_out,
                               const Int32Tensor &delta);
+
+/** @} */
+
+/**
+ * @name Batched plan execution (serving layer)
+ *
+ * Stacked-tensor conveniences over kernels::diffGemmBatch /
+ * kernels::convDiffScatterBatch for callers whose slabs all take the
+ * diff path: one plan per request, executed through a single kernel
+ * dispatch, batch folded into the GEMM M dimension (row slabs) or
+ * conv batch slabs. The engines' runBatch methods, whose slabs mix
+ * per-request direct/diff decisions, drive the kernels:: entry points
+ * directly (DiffConvEngine::runDiff routes its multi-batch scatter
+ * through convDeltaDiffPlanBatch). Bitwise identical to per-plan
+ * calls at any thread count and batch size.
+ * @{
+ */
+
+/**
+ * Row-stacked batched diff GEMM against one shared weight-stationary
+ * operand: slab i of the result is prev_slab_i + D_i * B. All plans
+ * must share the K extent b.shape()[0]; the result stacks the plans'
+ * row blocks. `prev`, when given, is the stacked previous output.
+ */
+Int32Tensor matmulDiffPlanBatch(std::span<const DiffGemmPlan> plans,
+                                const Int8Tensor &b,
+                                const Int32Tensor *prev = nullptr);
+
+/**
+ * Batched sparse conv delta: one plan per batch slab, shared cached
+ * weights (convDeltaDiffPlan's layout). Returns the stacked pixel-major
+ * delta [count*OH*OW, Cout].
+ */
+Int32Tensor convDeltaDiffPlanBatch(std::span<const DiffGemmPlan> plans,
+                                   const Int8Tensor &wmat_t,
+                                   const Int8Tensor &wrev_t,
+                                   const Conv2dParams &p, int64_t h,
+                                   int64_t w);
 
 /** @} */
 

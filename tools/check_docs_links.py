@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's markdown docs.
+
+Scans docs/**/*.md plus the top-level README.md for markdown links
+[text](target) and inline code spans are ignored. External targets
+(http/https/mailto) are skipped; every other target must resolve to an
+existing file or directory relative to the markdown file (anchors are
+stripped). Exit status 1 lists every broken link.
+
+Run from the repository root (CI does):  python3 tools/check_docs_links.py
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def md_files(root: pathlib.Path):
+    yield from sorted((root / "docs").rglob("*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced and inline code so example snippets never count.
+
+    Inline spans must not cross newlines: otherwise one stray backtick
+    would silently blank out (and un-check) everything up to the next
+    backtick anywhere later in the file.
+    """
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for md in md_files(root):
+        for target in LINK_RE.findall(strip_code(md.read_text())):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            checked += 1
+            path = target.split("#", 1)[0]
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}: {target}")
+    if broken:
+        print("broken relative links:")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"docs links OK ({checked} relative links checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
