@@ -27,6 +27,8 @@
 #include "hw/pe.h"
 #include "quant/encoder.h"
 #include "quant/quantizer.h"
+#include "runtime/compiled.h"
+#include "runtime/presets.h"
 #include "serve/server.h"
 #include "tensor/ops.h"
 #include "trace/calibrate.h"
@@ -373,7 +375,7 @@ BM_ServeLatency(benchmark::State &state)
     cfg.workers = 1;
     std::vector<double> latencies;
     for (auto _ : state) {
-        DenoiseServer server(net, cfg);
+        DenoiseServer server(net.compiled(), cfg);
         std::vector<uint64_t> ids;
         for (int64_t b = 0; b < batch; ++b) {
             DenoiseRequest req;
@@ -395,6 +397,74 @@ BM_ServeLatency(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_ServeLatency)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
+
+/**
+ * Graph-runtime rollouts per compiled preset spec, QuantDirect vs
+ * QuantDitto. Arg 0 selects the spec (0 = the MiniUnet preset at the
+ * quickstart shape, 1 = the deep multi-scale UNet, 2 = the DiT-style
+ * block); Arg 1 = 1 runs Ditto difference processing. The MiniUnet
+ * rows measure the compiled path on exactly the workload
+ * BM_MiniUnetRollout measures through the wrapper — the two should
+ * track each other.
+ */
+const CompiledModel &
+compiledSpec(int which)
+{
+    static const CompiledModel *models[3] = {};
+    if (!models[which]) {
+        setenv("DITTO_NO_CACHE", "1", 0);
+        switch (which) {
+          case 0: {
+            MiniUnetConfig cfg;
+            cfg.channels = 32;
+            cfg.resolution = 16;
+            cfg.steps = 8;
+            models[0] = new CompiledModel(compile(miniUnetSpec(cfg)));
+            break;
+          }
+          case 1: {
+            DeepUnetConfig cfg;
+            cfg.baseChannels = 16;
+            cfg.resolution = 16;
+            cfg.steps = 8;
+            models[1] = new CompiledModel(compile(deepUnetSpec(cfg)));
+            break;
+          }
+          default: {
+            DitBlockConfig cfg;
+            cfg.embedDim = 32;
+            cfg.resolution = 16;
+            cfg.steps = 8;
+            models[2] = new CompiledModel(compile(ditBlockSpec(cfg)));
+            break;
+          }
+        }
+    }
+    return *models[which];
+}
+
+void
+BM_CompiledRollout(benchmark::State &state)
+{
+    const CompiledModel &model =
+        compiledSpec(static_cast<int>(state.range(0)));
+    const RunMode mode =
+        state.range(1) ? RunMode::QuantDitto : RunMode::QuantDirect;
+    for (auto _ : state) {
+        RolloutResult r = model.rollout(mode);
+        benchmark::DoNotOptimize(r.finalImage.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * model.defaultSteps());
+    state.SetLabel(model.spec().name +
+                   (state.range(1) ? "/ditto" : "/direct"));
+}
+BENCHMARK(BM_CompiledRollout)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
 
 void
 BM_EncodingUnit(benchmark::State &state)

@@ -39,7 +39,7 @@ main(int argc, char **argv)
         }
     }
 
-    const ModelSpec &spec = modelSpec(id);
+    const ModelInfo &spec = modelInfo(id);
     const ModelGraph graph = buildModel(id);
     const TraceProvider trace(id, graph);
     std::printf("model %s: %s / %s, %s %d steps, %d compute layers, "

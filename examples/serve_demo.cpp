@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/mini_unet.h"
 #include "serve/server.h"
 
 using namespace ditto;
@@ -74,7 +75,7 @@ main(int argc, char **argv)
     ServerStats stats;
     size_t exact = 0;
     {
-        DenoiseServer server(net, scfg);
+        DenoiseServer server(net.compiled(), scfg);
         std::vector<uint64_t> ids;
         for (const DenoiseRequest &req : requests)
             ids.push_back(server.submit(req));

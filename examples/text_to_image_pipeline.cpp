@@ -24,7 +24,7 @@ main()
     std::printf("Prompt: \"a white vase with yellow tulips against a "
                 "grey background\"\n\n");
 
-    const ModelSpec &spec = modelSpec(ModelId::SDM);
+    const ModelInfo &spec = modelInfo(ModelId::SDM);
     const ModelGraph graph = buildModel(ModelId::SDM);
     const TraceProvider trace(ModelId::SDM, graph);
     std::printf("model    : %s on %s (%s, %d steps)\n",

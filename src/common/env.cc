@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Environment-knob registry and typed readers.
+ */
+#include "common/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ditto {
+namespace env {
+
+namespace {
+
+/**
+ * The registry. Adding a knob here is the whole declaration: the
+ * readers accept it, docs/config.md documents it (CI cross-checks the
+ * table via tools/check_env_registry.py).
+ */
+constexpr Knob kKnobs[] = {
+    {"DITTO_NUM_THREADS", "std::thread::hardware_concurrency()",
+     "src/common/parallel.cc",
+     "Size of the global parallelFor pool (including the calling "
+     "thread). Must be >= 1."},
+    {"DITTO_CACHE_DIR", ".ditto-cache (in the working directory)",
+     "src/trace/calibrate.cc",
+     "Directory of the calibrated-scale disk cache."},
+    {"DITTO_NO_CACHE", "unset", "src/trace/calibrate.cc",
+     "Any non-empty value other than 0 disables the calibration cache "
+     "entirely (no loads, no stores)."},
+    {"DITTO_DIFF_MAC_PENALTY", "probed at first use",
+     "src/core/diff_linear.cc",
+     "Software Defo cost-model penalties as wide[,narrow]; overrides "
+     "the startup micro-probe."},
+    {"DITTO_SERVE_MAX_BATCH", "8", "src/serve/server.cc",
+     "Capacity of each worker's BatchEngine. Range 1..4096."},
+    {"DITTO_SERVE_MAX_WAIT_US", "2000", "src/serve/server.cc",
+     "Default batch-formation window in microseconds. Range "
+     "0..60000000."},
+    {"DITTO_SERVE_WORKERS", "1", "src/serve/server.cc",
+     "Worker threads per DenoiseServer, one engine each. Range "
+     "1..256."},
+};
+
+/** Registered lookup; panics on a name missing from the table. */
+const char *
+registered(const char *name)
+{
+    DITTO_ASSERT(isRegistered(name),
+                 "environment knob '" << name
+                                      << "' is not in the env registry");
+    return name;
+}
+
+void
+warnInvalid(const char *name, const char *value)
+{
+    std::fprintf(stderr, "[ditto] ignoring invalid %s=\"%s\"\n", name,
+                 value);
+}
+
+} // namespace
+
+std::span<const Knob>
+knobs()
+{
+    return std::span<const Knob>(kKnobs);
+}
+
+bool
+isRegistered(const char *name)
+{
+    for (const Knob &k : kKnobs)
+        if (std::strcmp(k.name, name) == 0)
+            return true;
+    return false;
+}
+
+int64_t
+readInt64(const char *name, int64_t fallback, int64_t lo, int64_t hi)
+{
+    const char *v = std::getenv(registered(name));
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || parsed < lo || parsed > hi) {
+        warnInvalid(name, v);
+        return fallback;
+    }
+    return static_cast<int64_t>(parsed);
+}
+
+bool
+readFlag(const char *name)
+{
+    const char *v = std::getenv(registered(name));
+    return v && v[0] != '\0' && v[0] != '0';
+}
+
+std::string
+readString(const char *name, const char *fallback)
+{
+    const char *v = std::getenv(registered(name));
+    return (v && v[0] != '\0') ? std::string(v) : std::string(fallback);
+}
+
+} // namespace env
+} // namespace ditto

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Environment-knob registry: every `DITTO_*` variable the code reads.
+ *
+ * All environment access goes through these helpers, and every knob
+ * must be declared in the registry table (env.cc) — reading an
+ * unregistered name is a programming error that fails loudly. The
+ * registry is the single source of truth for docs/config.md;
+ * tools/check_env_registry.py (run in CI) cross-checks the table, the
+ * docs and the tree's `getenv` calls against each other.
+ */
+#ifndef DITTO_COMMON_ENV_H
+#define DITTO_COMMON_ENV_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ditto {
+namespace env {
+
+/** One registered environment knob (doc strings feed docs/config.md). */
+struct Knob
+{
+    const char *name;     //!< DITTO_* variable name
+    const char *fallback; //!< human-readable default
+    const char *consumer; //!< file that reads it
+    const char *effect;   //!< one-line description
+};
+
+/** The full knob registry, in docs/config.md order. */
+std::span<const Knob> knobs();
+
+/** True when `name` is in the registry. */
+bool isRegistered(const char *name);
+
+/**
+ * Integer knob clamped to [lo, hi]. Unset returns `fallback`; a value
+ * that does not parse or falls outside the range is ignored with a
+ * note on stderr (matching the historic per-call parsers).
+ */
+int64_t readInt64(const char *name, int64_t fallback, int64_t lo,
+                  int64_t hi);
+
+/** Boolean knob: set, non-empty and not starting with '0'. */
+bool readFlag(const char *name);
+
+/** String knob; unset or empty returns `fallback`. */
+std::string readString(const char *name, const char *fallback);
+
+} // namespace env
+} // namespace ditto
+
+#endif // DITTO_COMMON_ENV_H

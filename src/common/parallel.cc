@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace ditto {
@@ -157,16 +158,8 @@ class ThreadPool
 int
 envThreadCount()
 {
-    const char *env = std::getenv("DITTO_NUM_THREADS");
-    if (!env)
-        return 0;
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1)
-        return static_cast<int>(v);
-    std::fprintf(stderr,
-                 "[ditto] ignoring invalid DITTO_NUM_THREADS=\"%s\"\n",
-                 env);
-    return 0;
+    return static_cast<int>(
+        env::readInt64("DITTO_NUM_THREADS", 0, 1, 1 << 16));
 }
 
 std::mutex g_pool_mutex;

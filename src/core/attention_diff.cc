@@ -364,6 +364,23 @@ CrossAttentionEngine::runDiff(const Int8Tensor &q, const Int8Tensor &prev_q,
 }
 
 Int32Tensor
+CrossAttentionEngine::runDiffPre(const Int8Tensor &q, const Int16Tensor &d,
+                                 const Int32Tensor &prev_scores,
+                                 OpCounts *counts, DiffPolicy policy) const
+{
+    DITTO_ASSERT(d.shape() == q.shape(),
+                 "cross attention pre-diff shape mismatch");
+    const int64_t ctx = kConst_.shape()[0];
+    const DiffClassCounts probe = countDiffClasses(d);
+    if (counts)
+        counts->merge(probeOpCounts(probe, ctx));
+    if (policy == DiffPolicy::Auto && !diffWorthIt(probe, ctx))
+        return runDirect(q);
+    const DiffGemmPlan plan = encodeDiff(d);
+    return matmulDiffPlan(plan, kConstT_, &prev_scores);
+}
+
+Int32Tensor
 CrossAttentionEngine::runBatch(const Int8Tensor &q, int64_t slabs,
                                const Int8Tensor *prev_q,
                                const Int32Tensor *prev_scores,
@@ -373,6 +390,18 @@ CrossAttentionEngine::runBatch(const Int8Tensor &q, int64_t slabs,
     return detail::runBatchWeightStationary(q, slabs, prev_q, prev_scores,
                                             primed, counts, policy,
                                             kConst_, kConstT_);
+}
+
+Int32Tensor
+CrossAttentionEngine::runBatchPre(const Int8Tensor &q, const Int16Tensor &d,
+                                  int64_t slabs,
+                                  const Int32Tensor *prev_scores,
+                                  const uint8_t *primed, OpCounts *counts,
+                                  DiffPolicy policy) const
+{
+    return detail::runBatchWeightStationaryPre(q, d, slabs, prev_scores,
+                                               primed, counts, policy,
+                                               kConst_, kConstT_);
 }
 
 namespace naive {

@@ -125,6 +125,16 @@ class CrossAttentionEngine
                         DiffPolicy policy = DiffPolicy::Auto) const;
 
     /**
+     * Difference execution with a caller-supplied query difference
+     * (DiffFcEngine::runDiffPre semantics: the dependency analysis
+     * bypassed difference calculation, the producer handed `d` over).
+     */
+    Int32Tensor runDiffPre(const Int8Tensor &q, const Int16Tensor &d,
+                           const Int32Tensor &prev_scores,
+                           OpCounts *counts = nullptr,
+                           DiffPolicy policy = DiffPolicy::Auto) const;
+
+    /**
      * Batched execution over `slabs` requests stacked along the query
      * row dimension (DiffFcEngine::runBatch semantics: per-slab
      * decisions, folded direct runs, one batched plan dispatch;
@@ -135,6 +145,13 @@ class CrossAttentionEngine
                          const Int32Tensor *prev_scores,
                          const uint8_t *primed, OpCounts *counts = nullptr,
                          DiffPolicy policy = DiffPolicy::Auto) const;
+
+    /** runBatch with a caller-supplied stacked query difference. */
+    Int32Tensor runBatchPre(const Int8Tensor &q, const Int16Tensor &d,
+                            int64_t slabs, const Int32Tensor *prev_scores,
+                            const uint8_t *primed,
+                            OpCounts *counts = nullptr,
+                            DiffPolicy policy = DiffPolicy::Auto) const;
 
   private:
     Int8Tensor kConst_;

@@ -10,10 +10,16 @@
 #include "core/diff_linear.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "quant/encoder.h"
 #include "tensor/kernels.h"
 
@@ -68,10 +74,138 @@ diffWorthIt(const DiffClassCounts &probe, int64_t n)
     return density * diffMacPenalty(n) < 1.0;
 }
 
+namespace {
+
+/**
+ * Per-MAC penalties of the sparse diff path relative to the dense
+ * blocked GEMM, for wide (>= 64) and narrow accumulation rows. The
+ * historic baked-in constants (1.3 / 3.0) remain the fallback when a
+ * host cannot be probed.
+ */
+struct PenaltyModel
+{
+    double wide = 1.3;
+    double narrow = 3.0;
+};
+
+/**
+ * Measure the penalty for one accumulation-row width: run the same
+ * weight-stationary layer dense and through the sparse plan path on a
+ * 50%-dense low-4 difference stream and compare wall-clock. The probe
+ * is a few hundred thousand MACs — microseconds on any host.
+ */
+double
+measuredPenalty(int64_t out_features)
+{
+    using Clock = std::chrono::steady_clock;
+    const int64_t m = 48, k = 96;
+    const double density = 0.5;
+    Rng rng = Rng::fromKeys(0xD1FF'9EAA, static_cast<uint64_t>(out_features));
+    Int8Tensor prev(Shape{m, k});
+    prev.fillUniformInt(rng, -90, 90);
+    Int8Tensor cur = prev;
+    for (int64_t i = 0; i < cur.numel(); i += 2)
+        cur.at(i) = static_cast<int8_t>(
+            std::clamp<int>(cur.at(i) + 3, -127, 127));
+    Int8Tensor w(Shape{out_features, k});
+    w.fillUniformInt(rng, -90, 90);
+    const DiffFcEngine eng(std::move(w));
+    const Int32Tensor prev_out = eng.runDirect(prev);
+
+    int64_t sink = 0;
+    auto bestOf = [&](auto &&fn) {
+        double best = 1e300;
+        for (int rep = 0; rep < 7; ++rep) {
+            const auto t0 = Clock::now();
+            fn();
+            const auto t1 = Clock::now();
+            best = std::min(
+                best, std::chrono::duration<double>(t1 - t0).count());
+        }
+        return best;
+    };
+    const double dense_s = bestOf([&] {
+        const Int32Tensor r = eng.runDirect(cur);
+        sink += r.at(0);
+    });
+    const double diff_s = bestOf([&] {
+        const Int32Tensor r = eng.runDiff(cur, prev, prev_out, nullptr,
+                                          DiffPolicy::ForceDiff);
+        sink += r.at(0);
+    });
+    // Keep the side effects alive without polluting the measurement.
+    if (sink == 0x7FFF'FFFF'FFFF'FFFF)
+        std::fprintf(stderr, "[ditto] penalty probe sink\n");
+    if (dense_s <= 0.0 || diff_s <= 0.0)
+        return 0.0; // degenerate clock: caller falls back to constants
+    return std::clamp(diff_s / (density * dense_s), 1.05, 8.0);
+}
+
+/**
+ * Resolve the penalty model once per process: the
+ * DITTO_DIFF_MAC_PENALTY override ("wide" or "wide,narrow") wins,
+ * otherwise the startup micro-probe calibrates both widths on this
+ * host. The decision the model feeds (Defo reversion) is bitwise
+ * neutral — diff and direct execution produce identical results — so
+ * host-dependent penalties change wall-clock only.
+ */
+const PenaltyModel &
+penaltyModel()
+{
+    static const PenaltyModel model = [] {
+        PenaltyModel m;
+        const std::string s =
+            env::readString("DITTO_DIFF_MAC_PENALTY", "");
+        if (!s.empty()) {
+            char *end = nullptr;
+            const double wide = std::strtod(s.c_str(), &end);
+            bool ok = end != s.c_str() && wide >= 1.0;
+            double narrow = wide;
+            if (ok && *end == ',') {
+                const char *rest = end + 1;
+                narrow = std::strtod(rest, &end);
+                ok = end != rest && *end == '\0' && narrow >= 1.0;
+            } else if (ok) {
+                ok = *end == '\0';
+            }
+            if (ok) {
+                m.wide = wide;
+                m.narrow = narrow;
+                std::fprintf(stderr,
+                             "[ditto] diff MAC penalty: wide=%.2f "
+                             "narrow=%.2f (DITTO_DIFF_MAC_PENALTY)\n",
+                             m.wide, m.narrow);
+                return m;
+            }
+            std::fprintf(
+                stderr,
+                "[ditto] ignoring invalid DITTO_DIFF_MAC_PENALTY=\"%s\"\n",
+                s.c_str());
+        }
+        const double wide = measuredPenalty(128);
+        const double narrow = measuredPenalty(16);
+        const bool probed = wide > 0.0 && narrow > 0.0;
+        if (probed) {
+            m.wide = wide;
+            m.narrow = std::max(narrow, wide);
+        }
+        std::fprintf(stderr,
+                     "[ditto] diff MAC penalty: wide=%.2f narrow=%.2f "
+                     "(%s)\n",
+                     m.wide, m.narrow,
+                     probed ? "micro-probe" : "default constants");
+        return m;
+    }();
+    return model;
+}
+
+} // namespace
+
 double
 diffMacPenalty(int64_t n)
 {
-    return n >= 64 ? 1.3 : 3.0;
+    const PenaltyModel &m = penaltyModel();
+    return n >= 64 ? m.wide : m.narrow;
 }
 
 DiffFcEngine::DiffFcEngine(Int8Tensor weight) : weight_(std::move(weight))
@@ -103,6 +237,23 @@ DiffFcEngine::runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
     if (policy == DiffPolicy::Auto && !diffWorthIt(probe, out_features))
         return runDirect(x);
     const DiffGemmPlan plan = encodeTemporalDiff(x, prev_x);
+    return matmulDiffPlan(plan, weightT_, &prev_out);
+}
+
+Int32Tensor
+DiffFcEngine::runDiffPre(const Int8Tensor &x, const Int16Tensor &d,
+                         const Int32Tensor &prev_out, OpCounts *counts,
+                         DiffPolicy policy) const
+{
+    DITTO_ASSERT(d.shape() == x.shape(),
+                 "fc pre-diff operand shape mismatch");
+    const int64_t out_features = weight_.shape()[0];
+    const DiffClassCounts probe = countDiffClasses(d);
+    if (counts)
+        counts->merge(probeOpCounts(probe, out_features));
+    if (policy == DiffPolicy::Auto && !diffWorthIt(probe, out_features))
+        return runDirect(x);
+    const DiffGemmPlan plan = encodeDiff(d);
     return matmulDiffPlan(plan, weightT_, &prev_out);
 }
 
@@ -189,6 +340,84 @@ runBatchWeightStationary(const Int8Tensor &x, int64_t slabs,
     return out;
 }
 
+Int32Tensor
+runBatchWeightStationaryPre(const Int8Tensor &x, const Int16Tensor &d,
+                            int64_t slabs, const Int32Tensor *prev_out,
+                            const uint8_t *primed, OpCounts *counts,
+                            DiffPolicy policy, const Int8Tensor &weight,
+                            const Int8Tensor &weight_t)
+{
+    DITTO_ASSERT(x.shape().rank() == 2 && slabs > 0 &&
+                 x.shape()[0] % slabs == 0,
+                 "batched fc input must stack equal row slabs");
+    DITTO_ASSERT(d.shape() == x.shape(),
+                 "batched fc pre-diff operand shape mismatch");
+    const int64_t slab_rows = x.shape()[0] / slabs;
+    const int64_t in = x.shape()[1];
+    const int64_t out_features = weight.shape()[0];
+    const int64_t slab_elems = slab_rows * in;
+    const int64_t out_elems = slab_rows * out_features;
+
+    // Per-slab decisions, identical to runDiffPre's.
+    std::vector<uint8_t> use_diff(static_cast<size_t>(slabs), 0);
+    bool any_diff = false;
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (!primed || !primed[s])
+            continue;
+        DITTO_ASSERT(prev_out &&
+                     prev_out->shape() ==
+                         Shape({x.shape()[0], out_features}),
+                     "batched fc previous output shape mismatch");
+        const DiffClassCounts probe =
+            countDiffClasses(d, s * slab_elems, slab_elems);
+        if (counts)
+            counts[s].merge(probeOpCounts(probe, out_features));
+        use_diff[s] = policy == DiffPolicy::ForceDiff ||
+                      diffWorthIt(probe, out_features);
+        any_diff |= use_diff[s] != 0;
+    }
+
+    Int32Tensor out(Shape{x.shape()[0], out_features});
+    const int8_t *xd = x.data().data();
+    int32_t *od = out.data().data();
+
+    // Contiguous direct runs fold into one GEMM each.
+    for (int64_t s = 0; s < slabs;) {
+        if (use_diff[s]) {
+            ++s;
+            continue;
+        }
+        int64_t e = s;
+        while (e < slabs && !use_diff[e])
+            ++e;
+        kernels::gemmInt8Into(xd + s * slab_elems, (e - s) * slab_rows, in,
+                              weight.data().data(), out_features,
+                              /*trans_b=*/true, od + s * out_elems);
+        s = e;
+    }
+    if (!any_diff)
+        return out;
+
+    // Diff slabs: per-slab plans over `d` regions, one batched dispatch.
+    std::vector<DiffGemmPlan> plans;
+    plans.reserve(static_cast<size_t>(slabs));
+    std::vector<kernels::DiffGemmBatchItem> items;
+    items.reserve(static_cast<size_t>(slabs));
+    for (int64_t s = 0; s < slabs; ++s) {
+        if (!use_diff[s])
+            continue;
+        std::memcpy(od + s * out_elems,
+                    prev_out->data().data() + s * out_elems,
+                    static_cast<size_t>(out_elems) * sizeof(int32_t));
+        plans.push_back(
+            encodeDiffRegion(d, s * slab_elems, slab_rows, in));
+        items.push_back({&plans.back(), weight_t.data().data(),
+                         od + s * out_elems});
+    }
+    kernels::diffGemmBatch(items, out_features, /*transpose_b=*/false);
+    return out;
+}
+
 } // namespace detail
 
 Int32Tensor
@@ -200,6 +429,17 @@ DiffFcEngine::runBatch(const Int8Tensor &x, int64_t slabs,
     return detail::runBatchWeightStationary(x, slabs, prev_x, prev_out,
                                             primed, counts, policy,
                                             weight_, weightT_);
+}
+
+Int32Tensor
+DiffFcEngine::runBatchPre(const Int8Tensor &x, const Int16Tensor &d,
+                          int64_t slabs, const Int32Tensor *prev_out,
+                          const uint8_t *primed, OpCounts *counts,
+                          DiffPolicy policy) const
+{
+    return detail::runBatchWeightStationaryPre(x, d, slabs, prev_out,
+                                               primed, counts, policy,
+                                               weight_, weightT_);
 }
 
 DiffConvEngine::DiffConvEngine(Int8Tensor weight, Conv2dParams params)
@@ -284,6 +524,39 @@ DiffConvEngine::runDiff(const Int8Tensor &x, const Int8Tensor &prev_x,
 }
 
 Int32Tensor
+DiffConvEngine::runDiffPre(const Int8Tensor &x, const Int16Tensor &d,
+                           const Int32Tensor &prev_out, OpCounts *counts,
+                           DiffPolicy policy) const
+{
+    DITTO_ASSERT(d.shape() == x.shape(),
+                 "conv pre-diff operand shape mismatch");
+    DITTO_ASSERT(x.shape().rank() == 4, "conv diff input must be NCHW");
+    const int64_t batches = x.shape()[0];
+    const int64_t cin = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    const int64_t w = x.shape()[3];
+    const int64_t cout = weight_.shape()[0];
+    const int64_t per_elem = std::max<int64_t>(
+        1, cout * params_.kernel * params_.kernel /
+               (params_.stride * params_.stride));
+
+    const DiffClassCounts probe = countDiffClasses(d);
+    if (counts)
+        counts->merge(probeOpCounts(probe, per_elem));
+    if (policy == DiffPolicy::Auto &&
+        !diffWorthIt(probe, params_.kernel * cout))
+        return runDirect(x);
+
+    std::vector<DiffGemmPlan> plans;
+    plans.reserve(static_cast<size_t>(batches));
+    for (int64_t b = 0; b < batches; ++b)
+        plans.push_back(encodeDiffRegion(d, b * cin * h * w, cin, h * w));
+    const Int32Tensor delta =
+        convDeltaDiffPlanBatch(plans, wmatT_, wrevT_, params_, h, w);
+    return addConvDeltaInt32(prev_out, delta);
+}
+
+Int32Tensor
 DiffConvEngine::runBatch(const Int8Tensor &x, const Int8Tensor *prev_x,
                          const Int32Tensor *prev_out, const uint8_t *primed,
                          OpCounts *counts, DiffPolicy policy) const
@@ -355,6 +628,97 @@ DiffConvEngine::runBatch(const Int8Tensor &x, const Int8Tensor *prev_x,
             continue;
         plans[static_cast<size_t>(b)] = encodeTemporalDiffRegion(
             x, *prev_x, b * slab_elems, cin, h * w);
+        items.push_back({&plans[static_cast<size_t>(b)],
+                         delta.data().data() +
+                             delta_slab[static_cast<size_t>(b)] * oh *
+                                 ow * cout});
+    }
+    kernels::convDiffScatterBatch(items, wmatT_.data().data(),
+                                  wrevT_.data().data(), params_, h, w);
+    for (int64_t b = 0; b < batches;) {
+        if (!use_diff[b]) {
+            ++b;
+            continue;
+        }
+        int64_t e = b;
+        while (e < batches && use_diff[e])
+            ++e;
+        kernels::addConvDeltaInto(*prev_out, delta, b, e - b,
+                                  delta_slab[static_cast<size_t>(b)],
+                                  &out);
+        b = e;
+    }
+    return out;
+}
+
+Int32Tensor
+DiffConvEngine::runBatchPre(const Int8Tensor &x, const Int16Tensor &d,
+                            const Int32Tensor *prev_out,
+                            const uint8_t *primed, OpCounts *counts,
+                            DiffPolicy policy) const
+{
+    DITTO_ASSERT(x.shape().rank() == 4, "conv batch input must be NCHW");
+    DITTO_ASSERT(d.shape() == x.shape(),
+                 "batched conv pre-diff operand shape mismatch");
+    const int64_t batches = x.shape()[0];
+    const int64_t cin = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    const int64_t w = x.shape()[3];
+    const int64_t oh = params_.outExtent(h);
+    const int64_t ow = params_.outExtent(w);
+    const int64_t cout = weight_.shape()[0];
+    const int64_t slab_elems = cin * h * w;
+    const int64_t per_elem = std::max<int64_t>(
+        1, cout * params_.kernel * params_.kernel /
+               (params_.stride * params_.stride));
+
+    // Per-slab decisions, identical to a single-batch runDiffPre.
+    std::vector<uint8_t> use_diff(static_cast<size_t>(batches), 0);
+    bool any_diff = false;
+    for (int64_t b = 0; b < batches; ++b) {
+        if (!primed || !primed[b])
+            continue;
+        DITTO_ASSERT(prev_out &&
+                     prev_out->shape() == Shape({batches, cout, oh, ow}),
+                     "batched conv previous output shape mismatch");
+        const DiffClassCounts probe =
+            countDiffClasses(d, b * slab_elems, slab_elems);
+        if (counts)
+            counts[b].merge(probeOpCounts(probe, per_elem));
+        use_diff[b] = policy == DiffPolicy::ForceDiff ||
+                      diffWorthIt(probe, params_.kernel * cout);
+        any_diff |= use_diff[b] != 0;
+    }
+
+    Int32Tensor out(Shape{batches, cout, oh, ow});
+    for (int64_t b = 0; b < batches;) {
+        if (use_diff[b]) {
+            ++b;
+            continue;
+        }
+        int64_t e = b;
+        while (e < batches && !use_diff[e])
+            ++e;
+        kernels::conv2dInt8Into(x, weight_, params_, b, e - b, &out);
+        b = e;
+    }
+    if (!any_diff)
+        return out;
+
+    std::vector<DiffGemmPlan> plans(static_cast<size_t>(batches));
+    std::vector<kernels::ConvScatterBatchItem> items;
+    items.reserve(static_cast<size_t>(batches));
+    std::vector<int64_t> delta_slab(static_cast<size_t>(batches), -1);
+    int64_t n_diff = 0;
+    for (int64_t b = 0; b < batches; ++b)
+        if (use_diff[b])
+            delta_slab[static_cast<size_t>(b)] = n_diff++;
+    Int32Tensor delta(Shape{n_diff * oh * ow, cout});
+    for (int64_t b = 0; b < batches; ++b) {
+        if (!use_diff[b])
+            continue;
+        plans[static_cast<size_t>(b)] =
+            encodeDiffRegion(d, b * slab_elems, cin, h * w);
         items.push_back({&plans[static_cast<size_t>(b)],
                          delta.data().data() +
                              delta_slab[static_cast<size_t>(b)] * oh *

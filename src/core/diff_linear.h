@@ -48,6 +48,23 @@ struct OpCounts
     int64_t low4 = 0;        //!< multiplies on the 4-bit lane
     int64_t full8 = 0;       //!< multiplies needing the 8-bit path
 
+    /**
+     * Difference-calculation work (paper Section IV-B): elements
+     * subtracted against a *stored previous input* at a full-value
+     * boundary. Layers whose dependency verdict lets them consume the
+     * producer's difference directly never store previous input codes
+     * and contribute nothing here — the quantity the graph runtime's
+     * skip test asserts on (docs/graph_runtime.md).
+     */
+    int64_t diffCalcElems = 0;
+
+    /**
+     * Summation work: accumulator elements materialized to full values
+     * for a consumer that needs them. Skipped when every consumer is a
+     * compute layer consuming the difference.
+     */
+    int64_t summationElems = 0;
+
     int64_t total() const { return zeroSkipped + low4 + full8; }
 
     /**
@@ -62,6 +79,8 @@ struct OpCounts
         zeroSkipped += o.zeroSkipped;
         low4 += o.low4;
         full8 += o.full8;
+        diffCalcElems += o.diffCalcElems;
+        summationElems += o.summationElems;
     }
 };
 
@@ -146,6 +165,21 @@ class DiffFcEngine
                         DiffPolicy policy = DiffPolicy::Auto) const;
 
     /**
+     * Difference execution with a caller-supplied difference operand:
+     * `d` is x - prev_x already subtracted — the graph runtime hands
+     * it over when the dependency analysis says the producer's output
+     * is already a difference, so this layer stores no previous input
+     * codes. Bitwise identical to runDiff on operands whose
+     * subtraction equals `d` (same probe, same plan, same decision).
+     * `x` is still needed for the direct fallback when the probe
+     * reverts.
+     */
+    Int32Tensor runDiffPre(const Int8Tensor &x, const Int16Tensor &d,
+                           const Int32Tensor &prev_out,
+                           OpCounts *counts = nullptr,
+                           DiffPolicy policy = DiffPolicy::Auto) const;
+
+    /**
      * Batched execution over `slabs` requests stacked along the row
      * dimension: x is [slabs * rows, in]; slab s covers rows
      * [s * rows, (s+1) * rows). Per slab the engine makes exactly the
@@ -168,6 +202,18 @@ class DiffFcEngine
                          const Int32Tensor *prev_out,
                          const uint8_t *primed, OpCounts *counts = nullptr,
                          DiffPolicy policy = DiffPolicy::Auto) const;
+
+    /**
+     * runBatch with a caller-supplied stacked difference `d` (int16,
+     * x's shape): per-slab probes and plans read slab regions of `d`
+     * instead of subtracting stored previous codes. Unprimed slabs run
+     * direct and never read their `d` region.
+     */
+    Int32Tensor runBatchPre(const Int8Tensor &x, const Int16Tensor &d,
+                            int64_t slabs, const Int32Tensor *prev_out,
+                            const uint8_t *primed,
+                            OpCounts *counts = nullptr,
+                            DiffPolicy policy = DiffPolicy::Auto) const;
 
     const Int8Tensor &weight() const { return weight_; }
 
@@ -200,6 +246,16 @@ class DiffConvEngine
                         DiffPolicy policy = DiffPolicy::Auto) const;
 
     /**
+     * Difference execution with a caller-supplied NCHW difference
+     * (DiffFcEngine::runDiffPre semantics: the dependency analysis
+     * bypassed difference calculation, the producer handed `d` over).
+     */
+    Int32Tensor runDiffPre(const Int8Tensor &x, const Int16Tensor &d,
+                           const Int32Tensor &prev_out,
+                           OpCounts *counts = nullptr,
+                           DiffPolicy policy = DiffPolicy::Auto) const;
+
+    /**
      * Batched execution over the batch dimension of a stacked NCHW
      * input: slab b is x[b]. Per-slab decisions exactly as runDiff
      * makes them for a single-batch tensor; direct runs fold into
@@ -212,6 +268,13 @@ class DiffConvEngine
                          const Int32Tensor *prev_out, const uint8_t *primed,
                          OpCounts *counts = nullptr,
                          DiffPolicy policy = DiffPolicy::Auto) const;
+
+    /** runBatch with a caller-supplied stacked NCHW difference. */
+    Int32Tensor runBatchPre(const Int8Tensor &x, const Int16Tensor &d,
+                            const Int32Tensor *prev_out,
+                            const uint8_t *primed,
+                            OpCounts *counts = nullptr,
+                            DiffPolicy policy = DiffPolicy::Auto) const;
 
     const Conv2dParams &params() const { return params_; }
 
@@ -238,6 +301,20 @@ Int32Tensor runBatchWeightStationary(const Int8Tensor &x, int64_t slabs,
                                      OpCounts *counts, DiffPolicy policy,
                                      const Int8Tensor &weight,
                                      const Int8Tensor &weight_t);
+
+/**
+ * runBatchWeightStationary with a caller-supplied stacked difference
+ * (the diff-calc-bypass counterpart): probes and plans read slab
+ * regions of `d`; everything else — per-slab decisions, folded direct
+ * runs, one batched plan dispatch — is identical.
+ */
+Int32Tensor runBatchWeightStationaryPre(const Int8Tensor &x,
+                                        const Int16Tensor &d, int64_t slabs,
+                                        const Int32Tensor *prev_out,
+                                        const uint8_t *primed,
+                                        OpCounts *counts, DiffPolicy policy,
+                                        const Int8Tensor &weight,
+                                        const Int8Tensor &weight_t);
 
 } // namespace detail
 

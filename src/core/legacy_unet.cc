@@ -2,7 +2,7 @@
  * @file
  * MiniUnet implementation.
  */
-#include "core/mini_unet.h"
+#include "core/legacy_unet.h"
 
 #include <algorithm>
 #include <cmath>
@@ -162,7 +162,7 @@ tokensToNchwBatch(const FloatTensor &t, int64_t bsz, int64_t h, int64_t w)
 } // namespace
 
 void
-MiniUnet::BatchDittoState::appendSlabs(int64_t count)
+HandWiredMiniUnet::BatchDittoState::appendSlabs(int64_t count)
 {
     DITTO_ASSERT(count > 0, "appendSlabs needs a positive count");
     const int64_t b = batch();
@@ -180,7 +180,7 @@ MiniUnet::BatchDittoState::appendSlabs(int64_t count)
 }
 
 void
-MiniUnet::BatchDittoState::removeSlab(int64_t i)
+HandWiredMiniUnet::BatchDittoState::removeSlab(int64_t i)
 {
     const int64_t b = batch();
     DITTO_ASSERT(i >= 0 && i < b, "removeSlab index out of range");
@@ -201,7 +201,7 @@ MiniUnet::BatchDittoState::removeSlab(int64_t i)
     primed.erase(primed.begin() + i);
 }
 
-MiniUnet::MiniUnet(MiniUnetConfig cfg) : cfg_(cfg)
+HandWiredMiniUnet::HandWiredMiniUnet(MiniUnetConfig cfg) : cfg_(cfg)
 {
     DITTO_ASSERT(cfg_.channels >= 2 && cfg_.channels % 2 == 0,
                  "channels must be even (two GroupNorm groups)");
@@ -277,7 +277,7 @@ MiniUnet::MiniUnet(MiniUnetConfig cfg) : cfg_(cfg)
 }
 
 void
-MiniUnet::calibrateActScales()
+HandWiredMiniUnet::calibrateActScales()
 {
     // The calibration result is a pure function of the configuration
     // (weights, noise and trajectory all derive from cfg_.seed), so a
@@ -329,7 +329,7 @@ MiniUnet::calibrateActScales()
 }
 
 FloatTensor
-MiniUnet::forwardFp32(const FloatTensor &x) const
+HandWiredMiniUnet::forwardFp32(const FloatTensor &x) const
 {
     const int64_t c = cfg_.channels;
     const int64_t res = cfg_.resolution;
@@ -399,7 +399,7 @@ MiniUnet::forwardFp32(const FloatTensor &x) const
 }
 
 FloatTensor
-MiniUnet::forwardQuant(const FloatTensor &x, bool use_ditto,
+HandWiredMiniUnet::forwardQuant(const FloatTensor &x, bool use_ditto,
                        DittoState *state, OpCounts *counts) const
 {
     DITTO_ASSERT(!use_ditto || state != nullptr,
@@ -604,7 +604,7 @@ MiniUnet::forwardQuant(const FloatTensor &x, bool use_ditto,
  * loudly on any divergence.
  */
 FloatTensor
-MiniUnet::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
+HandWiredMiniUnet::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
                             BatchDittoState *state, OpCounts *counts) const
 {
     DITTO_ASSERT(x.shape().rank() == 4, "batched input must be NCHW");
@@ -772,7 +772,7 @@ MiniUnet::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
 }
 
 FloatTensor
-MiniUnet::forward(const FloatTensor &x, RunMode mode, DittoState *state,
+HandWiredMiniUnet::forward(const FloatTensor &x, RunMode mode, DittoState *state,
                   OpCounts *counts) const
 {
     switch (mode) {
@@ -787,7 +787,7 @@ MiniUnet::forward(const FloatTensor &x, RunMode mode, DittoState *state,
 }
 
 FloatTensor
-MiniUnet::forwardBatch(const FloatTensor &x, RunMode mode,
+HandWiredMiniUnet::forwardBatch(const FloatTensor &x, RunMode mode,
                        BatchDittoState *state, OpCounts *counts) const
 {
     switch (mode) {
@@ -840,13 +840,13 @@ macsPerStep(const MiniUnetConfig &cfg)
 } // namespace
 
 RolloutResult
-MiniUnet::rollout(RunMode mode) const
+HandWiredMiniUnet::rollout(RunMode mode) const
 {
     return rollout(mode, noiseInit_);
 }
 
 RolloutResult
-MiniUnet::rollout(RunMode mode, const FloatTensor &noise, int steps) const
+HandWiredMiniUnet::rollout(RunMode mode, const FloatTensor &noise, int steps) const
 {
     DITTO_ASSERT(noise.shape() == noiseInit_.shape(),
                  "rollout noise shape mismatch");
@@ -866,7 +866,7 @@ MiniUnet::rollout(RunMode mode, const FloatTensor &noise, int steps) const
 }
 
 FloatTensor
-MiniUnet::requestNoise(uint64_t seed) const
+HandWiredMiniUnet::requestNoise(uint64_t seed) const
 {
     // A distinct key stream from the weight/init RNG so request noise
     // never correlates with model parameters.
@@ -877,7 +877,7 @@ MiniUnet::requestNoise(uint64_t seed) const
 }
 
 std::vector<RolloutResult>
-MiniUnet::rolloutBatch(RunMode mode,
+HandWiredMiniUnet::rolloutBatch(RunMode mode,
                        std::span<const FloatTensor> noises) const
 {
     const int64_t bsz = static_cast<int64_t>(noises.size());

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The hand-wired MiniUnet: the graph runtime's parity reference.
+ *
+ * This is the original manually-routed implementation of the MiniUnet
+ * slice — every layer explicitly wired through its
+ * DiffConvEngine/DiffFcEngine/CrossAttentionEngine, with its own
+ * calibration and batched forward. Since the graph-compiled execution
+ * API landed, MiniUnet itself is a thin wrapper over
+ * runtime/compiled.h; this implementation is deliberately retained as
+ * an *independent* reference (the same role ditto::naive plays for
+ * the fast kernels): the golden parity suite in tests/test_runtime.cc
+ * asserts the compiled MiniUnet preset reproduces it bit for bit in
+ * every mode, batch size and thread count. A layer added to the
+ * preset must be added here too; the suite fails loudly on any
+ * divergence.
+ */
+#ifndef DITTO_CORE_LEGACY_UNET_H
+#define DITTO_CORE_LEGACY_UNET_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/attention_diff.h"
+#include "core/diff_linear.h"
+#include "core/run_mode.h"
+#include "quant/quantizer.h"
+#include "runtime/presets.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/**
+ * Hand-wired functional denoising model with FP32, quantized and
+ * Ditto execution (parity reference for the compiled MiniUnet).
+ */
+class HandWiredMiniUnet
+{
+  public:
+    explicit HandWiredMiniUnet(MiniUnetConfig cfg);
+
+    const MiniUnetConfig &config() const { return cfg_; }
+
+    /**
+     * Run the full reverse diffusion from the model's own seeded noise
+     * tensor. Identical seeds produce identical trajectories across
+     * modes up to the mode's arithmetic.
+     */
+    RolloutResult rollout(RunMode mode) const;
+
+    /**
+     * Run the reverse diffusion from a caller-provided noise.
+     * @param steps step count; 0 uses the configured cfg().steps. The
+     *        activation scales always come from the configured-count
+     *        calibration, exactly as when the serving layer runs a
+     *        request for fewer or more steps than the model default.
+     */
+    RolloutResult rollout(RunMode mode, const FloatTensor &noise,
+                          int steps = 0) const;
+
+    /**
+     * Deterministic per-request initial noise, shaped like the model's
+     * input: the serving layer derives each request's trajectory from
+     * its seed alone, so a request's result is a pure function of
+     * (model config, seed, steps) — never of batch composition.
+     */
+    FloatTensor requestNoise(uint64_t seed) const;
+
+    /**
+     * One denoising-model evaluation (predicted noise).
+     *
+     * @param state Ditto per-layer state threaded across steps; pass the
+     *        same object for consecutive steps. Required (and used) only
+     *        for RunMode::QuantDitto.
+     */
+    struct DittoState;
+    FloatTensor forward(const FloatTensor &x, RunMode mode,
+                        DittoState *state, OpCounts *counts) const;
+
+    /** Per-layer state for difference processing across steps. */
+    struct DittoState
+    {
+        std::vector<Int8Tensor> prevIn;   //!< previous input codes
+        std::vector<Int32Tensor> prevOut; //!< previous int32 outputs
+        bool primed = false;
+    };
+
+    /**
+     * Per-layer state for a *batch* of concurrent Ditto requests:
+     * every DittoState slot holds the requests' tensors stacked along
+     * the batch (NCHW) or row (token-matrix) dimension, with one
+     * primed flag per batch slab. Slab b of every slot always belongs
+     * to the same request; the serving layer keeps the request ->
+     * slab mapping and edits the batch with appendSlab/removeSlab when
+     * requests join or finish, so requests at different timesteps can
+     * share a batch (a freshly joined slab is simply unprimed and runs
+     * its first step direct, exactly like a fresh DittoState).
+     */
+    struct BatchDittoState
+    {
+        std::vector<Int8Tensor> prevIn;   //!< stacked previous codes
+        std::vector<Int32Tensor> prevOut; //!< stacked previous outputs
+        std::vector<uint8_t> primed;      //!< one flag per batch slab
+
+        int64_t batch() const
+        {
+            return static_cast<int64_t>(primed.size());
+        }
+
+        /** Append one unprimed slab (a request joining the batch). */
+        void appendSlab() { appendSlabs(1); }
+
+        /**
+         * Append `count` unprimed slabs in one reallocation of every
+         * materialized state tensor (a burst of requests joining).
+         */
+        void appendSlabs(int64_t count);
+
+        /** Remove slab `i` (a request leaving); later slabs shift down. */
+        void removeSlab(int64_t i);
+
+        /**
+         * Hand slab `i` to a new request in place: just clears its
+         * primed flag. The stale tensor contents are never read (an
+         * unprimed slab always runs direct first), so slab reuse is
+         * O(1) where remove+append would copy the whole stacked state
+         * — the continuous-batching fast path.
+         */
+        void resetSlab(int64_t i)
+        {
+            primed[static_cast<size_t>(i)] = 0;
+        }
+    };
+
+    /**
+     * One denoising-model evaluation for a stacked batch of requests:
+     * x is [B, inChannels, res, res] and the result stacks each
+     * request's predicted noise. Every request's slab is computed with
+     * exactly the arithmetic of forward() on its own tensors — batched
+     * results are bitwise identical to per-request rollouts at any
+     * thread count and batch size.
+     *
+     * @param state required for RunMode::QuantDitto; its batch() must
+     *        equal x's batch dimension.
+     * @param counts per-request tallies (array of B, or null).
+     */
+    FloatTensor forwardBatch(const FloatTensor &x, RunMode mode,
+                             BatchDittoState *state,
+                             OpCounts *counts) const;
+
+    /**
+     * Run N full reverse diffusions as one batch (all cfg().steps steps,
+     * one noise tensor per request). Returns per-request results,
+     * bitwise identical to rollout(mode, noises[i]) for every i.
+     */
+    std::vector<RolloutResult>
+    rolloutBatch(RunMode mode, std::span<const FloatTensor> noises) const;
+
+  private:
+    MiniUnetConfig cfg_;
+
+    // FP32 weights.
+    FloatTensor wConvIn_, wRes1_, wRes2_;
+    FloatTensor wAttnQ_, wAttnK_, wAttnV_, wAttnProj_;
+    FloatTensor wCrossQ_, wCrossK_, wCrossV_, wCrossOut_;
+    FloatTensor wConvOut_;
+    FloatTensor context_;
+
+    // Quantized weights and scales.
+    struct QuantWeight
+    {
+        Int8Tensor codes;
+        float scale = 1.0f;
+    };
+    QuantWeight qConvIn_, qRes1_, qRes2_;
+    QuantWeight qAttnQ_, qAttnK_, qAttnV_, qAttnProj_;
+    QuantWeight qCrossQ_, qCrossOut_, qConvOut_;
+    QuantWeight qCrossKConst_, qCrossVConst_; //!< projected context
+
+    // Persistent difference engines (weight-stationary layers), built
+    // once at construction instead of per forward step. optional<> only
+    // because the engines are constructed after quantization.
+    std::optional<DiffConvEngine> eConvIn_, eRes1_, eRes2_;
+    std::optional<DiffConvEngine> eAttnQ_, eAttnK_, eAttnV_, eAttnProj_;
+    std::optional<DiffConvEngine> eConvOut_;
+    std::optional<DiffFcEngine> eCrossQ_, eCrossOut_;
+    std::optional<CrossAttentionEngine> eCrossQk_;
+    std::optional<DiffFcEngine> eCrossPv_; //!< V'^T as the weight
+
+    /** Static activation scales per quantization point. */
+    std::vector<float> actScale_;
+
+    /** Calibration hook observing quantization points (FP32 pass). */
+    mutable std::function<void(int, const FloatTensor &)> observer_;
+
+    FloatTensor noiseInit_;
+
+    void calibrateActScales();
+    FloatTensor forwardFp32(const FloatTensor &x) const;
+    FloatTensor forwardQuant(const FloatTensor &x, bool use_ditto,
+                             DittoState *state, OpCounts *counts) const;
+    FloatTensor forwardQuantBatch(const FloatTensor &x, bool use_ditto,
+                                  BatchDittoState *state,
+                                  OpCounts *counts) const;
+};
+
+} // namespace ditto
+
+#endif // DITTO_CORE_LEGACY_UNET_H

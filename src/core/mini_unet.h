@@ -1,242 +1,93 @@
 /**
  * @file
- * A small but complete functional denoising model.
+ * MiniUnet: the historic small denoising model, now a preset spec plus
+ * a thin compatibility wrapper over the graph runtime.
  *
- * MiniUnet is a numerically-executable UNet slice containing every layer
- * species the Ditto algorithm must handle: convolutions, a residual
- * block with GroupNorm/SiLU, single-head self attention (dynamic QK and
- * PV), cross attention against a constant context (K'/V' as weights),
- * and fully-connected projections. It runs a multi-step reverse
- * diffusion in three modes:
- *
- *  - Fp32: floating-point reference,
- *  - QuantDirect: A8W8 execution with static per-tensor scales
- *    (offline calibration, Q-Diffusion style),
- *  - QuantDitto: the same quantized network executed with temporal
- *    difference processing for every linear layer.
- *
- * QuantDitto is bit-exact against QuantDirect — the reproduction's
- * stand-in for Table II's "accuracy preserved" claim — and both are
- * compared against Fp32 via SQNR.
+ * The model itself lives in runtime/presets.h (miniUnetSpec) and runs
+ * through runtime/compiled.h like every other spec; this wrapper keeps
+ * the historic constructor-and-rollout surface for existing callers
+ * and hands its CompiledModel to the serving layer via compiled().
+ * Compiled execution is bitwise identical to the retained hand-wired
+ * implementation (core/legacy_unet.h) in every mode, batch size and
+ * thread count — the golden parity suite in tests/test_runtime.cc is
+ * the proof.
  */
 #ifndef DITTO_CORE_MINI_UNET_H
 #define DITTO_CORE_MINI_UNET_H
 
 #include <cstdint>
-#include <functional>
-#include <optional>
 #include <span>
 #include <vector>
 
-#include "core/attention_diff.h"
-#include "core/diff_linear.h"
-#include "quant/quantizer.h"
-#include "tensor/ops.h"
-#include "tensor/tensor.h"
+#include "core/run_mode.h"
+#include "runtime/compiled.h"
+#include "runtime/presets.h"
 
 namespace ditto {
 
-/** MiniUnet configuration. */
-struct MiniUnetConfig
-{
-    int64_t channels = 8;    //!< working channel width
-    int64_t resolution = 8;  //!< spatial extent
-    int64_t inChannels = 3;  //!< input/output channels
-    int64_t ctxTokens = 4;   //!< cross-attention context length
-    int64_t ctxDim = 8;      //!< cross-attention context width
-    int steps = 6;           //!< reverse-diffusion steps
-    uint64_t seed = 42;      //!< weight/init RNG seed
-};
-
-/** Execution mode of a MiniUnet rollout. */
-enum class RunMode
-{
-    Fp32,
-    QuantDirect,
-    QuantDitto,
-};
-
-/** Result of a full reverse-diffusion rollout. */
-struct RolloutResult
-{
-    FloatTensor finalImage;
-    /** Multiplier-lane tallies accumulated over all Ditto diff steps. */
-    OpCounts dittoOps;
-    /** MACs executed per step (for relative-BOPs reporting). */
-    int64_t totalMacsPerStep = 0;
-};
-
-/**
- * Functional denoising model with FP32, quantized and Ditto execution.
- */
+/** The MiniUnet preset, compiled (see the file comment). */
 class MiniUnet
 {
   public:
-    explicit MiniUnet(MiniUnetConfig cfg);
+    using DittoState = CompiledModel::DittoState;
+    using BatchDittoState = CompiledModel::BatchDittoState;
+
+    explicit MiniUnet(MiniUnetConfig cfg)
+        : cfg_(cfg), model_(compile(miniUnetSpec(cfg)))
+    {}
 
     const MiniUnetConfig &config() const { return cfg_; }
 
-    /**
-     * Run the full reverse diffusion from the model's own seeded noise
-     * tensor. Identical seeds produce identical trajectories across
-     * modes up to the mode's arithmetic.
-     */
-    RolloutResult rollout(RunMode mode) const;
+    /** The compiled program (the serving layer's model interface). */
+    const CompiledModel &compiled() const { return model_; }
 
-    /**
-     * Run the reverse diffusion from a caller-provided noise.
-     * @param steps step count; 0 uses the configured cfg().steps. The
-     *        activation scales always come from the configured-count
-     *        calibration, exactly as when the serving layer runs a
-     *        request for fewer or more steps than the model default.
-     */
-    RolloutResult rollout(RunMode mode, const FloatTensor &noise,
-                          int steps = 0) const;
-
-    /**
-     * Deterministic per-request initial noise, shaped like the model's
-     * input: the serving layer derives each request's trajectory from
-     * its seed alone, so a request's result is a pure function of
-     * (model config, seed, steps) — never of batch composition.
-     */
-    FloatTensor requestNoise(uint64_t seed) const;
-
-    /**
-     * One denoising-model evaluation (predicted noise).
-     *
-     * @param state Ditto per-layer state threaded across steps; pass the
-     *        same object for consecutive steps. Required (and used) only
-     *        for RunMode::QuantDitto.
-     */
-    struct DittoState;
-    FloatTensor forward(const FloatTensor &x, RunMode mode,
-                        DittoState *state, OpCounts *counts) const;
-
-    /** Per-layer state for difference processing across steps. */
-    struct DittoState
+    /** Full reverse diffusion from the model's own seeded noise. */
+    RolloutResult
+    rollout(RunMode mode) const
     {
-        std::vector<Int8Tensor> prevIn;   //!< previous input codes
-        std::vector<Int32Tensor> prevOut; //!< previous int32 outputs
-        bool primed = false;
-    };
+        return model_.rollout(mode);
+    }
 
-    /**
-     * Per-layer state for a *batch* of concurrent Ditto requests:
-     * every DittoState slot holds the requests' tensors stacked along
-     * the batch (NCHW) or row (token-matrix) dimension, with one
-     * primed flag per batch slab. Slab b of every slot always belongs
-     * to the same request; the serving layer keeps the request ->
-     * slab mapping and edits the batch with appendSlab/removeSlab when
-     * requests join or finish, so requests at different timesteps can
-     * share a batch (a freshly joined slab is simply unprimed and runs
-     * its first step direct, exactly like a fresh DittoState).
-     */
-    struct BatchDittoState
+    /** Reverse diffusion from caller noise; steps 0 = configured. */
+    RolloutResult
+    rollout(RunMode mode, const FloatTensor &noise, int steps = 0) const
     {
-        std::vector<Int8Tensor> prevIn;   //!< stacked previous codes
-        std::vector<Int32Tensor> prevOut; //!< stacked previous outputs
-        std::vector<uint8_t> primed;      //!< one flag per batch slab
+        return model_.rollout(mode, noise, steps);
+    }
 
-        int64_t batch() const
-        {
-            return static_cast<int64_t>(primed.size());
-        }
+    /** Deterministic per-request initial noise. */
+    FloatTensor
+    requestNoise(uint64_t seed) const
+    {
+        return model_.requestNoise(seed);
+    }
 
-        /** Append one unprimed slab (a request joining the batch). */
-        void appendSlab() { appendSlabs(1); }
+    /** One denoising-model evaluation (predicted noise). */
+    FloatTensor
+    forward(const FloatTensor &x, RunMode mode, DittoState *state,
+            OpCounts *counts) const
+    {
+        return model_.forward(x, mode, state, counts);
+    }
 
-        /**
-         * Append `count` unprimed slabs in one reallocation of every
-         * materialized state tensor (a burst of requests joining).
-         */
-        void appendSlabs(int64_t count);
+    /** One evaluation for a stacked batch of requests. */
+    FloatTensor
+    forwardBatch(const FloatTensor &x, RunMode mode,
+                 BatchDittoState *state, OpCounts *counts) const
+    {
+        return model_.forwardBatch(x, mode, state, counts);
+    }
 
-        /** Remove slab `i` (a request leaving); later slabs shift down. */
-        void removeSlab(int64_t i);
-
-        /**
-         * Hand slab `i` to a new request in place: just clears its
-         * primed flag. The stale tensor contents are never read (an
-         * unprimed slab always runs direct first), so slab reuse is
-         * O(1) where remove+append would copy the whole stacked state
-         * — the continuous-batching fast path.
-         */
-        void resetSlab(int64_t i)
-        {
-            primed[static_cast<size_t>(i)] = 0;
-        }
-    };
-
-    /**
-     * One denoising-model evaluation for a stacked batch of requests:
-     * x is [B, inChannels, res, res] and the result stacks each
-     * request's predicted noise. Every request's slab is computed with
-     * exactly the arithmetic of forward() on its own tensors — batched
-     * results are bitwise identical to per-request rollouts at any
-     * thread count and batch size.
-     *
-     * @param state required for RunMode::QuantDitto; its batch() must
-     *        equal x's batch dimension.
-     * @param counts per-request tallies (array of B, or null).
-     */
-    FloatTensor forwardBatch(const FloatTensor &x, RunMode mode,
-                             BatchDittoState *state,
-                             OpCounts *counts) const;
-
-    /**
-     * Run N full reverse diffusions as one batch (all cfg().steps steps,
-     * one noise tensor per request). Returns per-request results,
-     * bitwise identical to rollout(mode, noises[i]) for every i.
-     */
+    /** N full reverse diffusions as one batch. */
     std::vector<RolloutResult>
-    rolloutBatch(RunMode mode, std::span<const FloatTensor> noises) const;
+    rolloutBatch(RunMode mode, std::span<const FloatTensor> noises) const
+    {
+        return model_.rolloutBatch(mode, noises);
+    }
 
   private:
     MiniUnetConfig cfg_;
-
-    // FP32 weights.
-    FloatTensor wConvIn_, wRes1_, wRes2_;
-    FloatTensor wAttnQ_, wAttnK_, wAttnV_, wAttnProj_;
-    FloatTensor wCrossQ_, wCrossK_, wCrossV_, wCrossOut_;
-    FloatTensor wConvOut_;
-    FloatTensor context_;
-
-    // Quantized weights and scales.
-    struct QuantWeight
-    {
-        Int8Tensor codes;
-        float scale = 1.0f;
-    };
-    QuantWeight qConvIn_, qRes1_, qRes2_;
-    QuantWeight qAttnQ_, qAttnK_, qAttnV_, qAttnProj_;
-    QuantWeight qCrossQ_, qCrossOut_, qConvOut_;
-    QuantWeight qCrossKConst_, qCrossVConst_; //!< projected context
-
-    // Persistent difference engines (weight-stationary layers), built
-    // once at construction instead of per forward step. optional<> only
-    // because the engines are constructed after quantization.
-    std::optional<DiffConvEngine> eConvIn_, eRes1_, eRes2_;
-    std::optional<DiffConvEngine> eAttnQ_, eAttnK_, eAttnV_, eAttnProj_;
-    std::optional<DiffConvEngine> eConvOut_;
-    std::optional<DiffFcEngine> eCrossQ_, eCrossOut_;
-    std::optional<CrossAttentionEngine> eCrossQk_;
-    std::optional<DiffFcEngine> eCrossPv_; //!< V'^T as the weight
-
-    /** Static activation scales per quantization point. */
-    std::vector<float> actScale_;
-
-    /** Calibration hook observing quantization points (FP32 pass). */
-    mutable std::function<void(int, const FloatTensor &)> observer_;
-
-    FloatTensor noiseInit_;
-
-    void calibrateActScales();
-    FloatTensor forwardFp32(const FloatTensor &x) const;
-    FloatTensor forwardQuant(const FloatTensor &x, bool use_ditto,
-                             DittoState *state, OpCounts *counts) const;
-    FloatTensor forwardQuantBatch(const FloatTensor &x, bool use_ditto,
-                                  BatchDittoState *state,
-                                  OpCounts *counts) const;
+    CompiledModel model_;
 };
 
 } // namespace ditto

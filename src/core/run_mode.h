@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Execution mode and rollout result types shared by every executable
+ * model surface (the graph runtime's CompiledModel, the MiniUnet
+ * compatibility wrapper, the hand-wired parity reference and the
+ * serving layer).
+ */
+#ifndef DITTO_CORE_RUN_MODE_H
+#define DITTO_CORE_RUN_MODE_H
+
+#include <cstdint>
+
+#include "core/diff_linear.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/** Execution mode of a denoising rollout. */
+enum class RunMode
+{
+    Fp32,
+    QuantDirect,
+    QuantDitto,
+};
+
+/** Result of a full reverse-diffusion rollout. */
+struct RolloutResult
+{
+    FloatTensor finalImage;
+    /** Multiplier-lane tallies accumulated over all Ditto diff steps. */
+    OpCounts dittoOps;
+    /** MACs executed per step (for relative-BOPs reporting). */
+    int64_t totalMacsPerStep = 0;
+};
+
+} // namespace ditto
+
+#endif // DITTO_CORE_RUN_MODE_H

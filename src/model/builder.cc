@@ -1,6 +1,6 @@
 /**
  * @file
- * GraphBuilder implementation.
+ * LayerGraphBuilder implementation.
  */
 #include "model/builder.h"
 
@@ -36,7 +36,7 @@ nonLinearCost(OpKind kind, int64_t elems)
 } // namespace
 
 int
-GraphBuilder::input(const std::string &name, int64_t elems)
+LayerGraphBuilder::input(const std::string &name, int64_t elems)
 {
     Layer l;
     l.name = name;
@@ -46,7 +46,7 @@ GraphBuilder::input(const std::string &name, int64_t elems)
 }
 
 int
-GraphBuilder::conv2d(const std::string &name, int in, int64_t cin,
+LayerGraphBuilder::conv2d(const std::string &name, int in, int64_t cin,
                      int64_t cout, int64_t kernel, int64_t stride,
                      int64_t padding, int64_t h, int64_t w)
 {
@@ -67,7 +67,7 @@ GraphBuilder::conv2d(const std::string &name, int in, int64_t cin,
 }
 
 int
-GraphBuilder::fc(const std::string &name, int in, int64_t rows,
+LayerGraphBuilder::fc(const std::string &name, int in, int64_t rows,
                  int64_t in_f, int64_t out_f, bool const_per_run)
 {
     DITTO_ASSERT(rows > 0 && in_f > 0 && out_f > 0,
@@ -85,7 +85,7 @@ GraphBuilder::fc(const std::string &name, int in, int64_t rows,
 }
 
 int
-GraphBuilder::attnQK(const std::string &name, int q, int k, int64_t tokens,
+LayerGraphBuilder::attnQK(const std::string &name, int q, int k, int64_t tokens,
                      int64_t dim, int64_t heads, int64_t batch)
 {
     Layer l;
@@ -103,7 +103,7 @@ GraphBuilder::attnQK(const std::string &name, int q, int k, int64_t tokens,
 }
 
 int
-GraphBuilder::attnPV(const std::string &name, int p, int v, int64_t tokens,
+LayerGraphBuilder::attnPV(const std::string &name, int p, int v, int64_t tokens,
                      int64_t dim, int64_t heads, int64_t batch)
 {
     Layer l;
@@ -121,7 +121,7 @@ GraphBuilder::attnPV(const std::string &name, int p, int v, int64_t tokens,
 }
 
 int
-GraphBuilder::crossQK(const std::string &name, int q, int64_t tokens,
+LayerGraphBuilder::crossQK(const std::string &name, int q, int64_t tokens,
                       int64_t ctx_tokens, int64_t dim, int64_t heads,
                       int64_t batch)
 {
@@ -141,7 +141,7 @@ GraphBuilder::crossQK(const std::string &name, int q, int64_t tokens,
 }
 
 int
-GraphBuilder::crossPV(const std::string &name, int p, int64_t tokens,
+LayerGraphBuilder::crossPV(const std::string &name, int p, int64_t tokens,
                       int64_t ctx_tokens, int64_t dim, int64_t heads,
                       int64_t batch)
 {
@@ -161,7 +161,7 @@ GraphBuilder::crossPV(const std::string &name, int p, int64_t tokens,
 }
 
 int
-GraphBuilder::nonLinear(const std::string &name, OpKind kind, int in,
+LayerGraphBuilder::nonLinear(const std::string &name, OpKind kind, int in,
                         int64_t elems)
 {
     DITTO_ASSERT(isNonLinear(kind), "nonLinear() with non-VPU kind");
@@ -176,7 +176,7 @@ GraphBuilder::nonLinear(const std::string &name, OpKind kind, int in,
 }
 
 int
-GraphBuilder::add(const std::string &name, int a, int b, int64_t elems)
+LayerGraphBuilder::add(const std::string &name, int a, int b, int64_t elems)
 {
     Layer l;
     l.name = name;
@@ -189,7 +189,7 @@ GraphBuilder::add(const std::string &name, int a, int b, int64_t elems)
 }
 
 int
-GraphBuilder::scale(const std::string &name, int in, int64_t elems)
+LayerGraphBuilder::scale(const std::string &name, int in, int64_t elems)
 {
     Layer l;
     l.name = name;
@@ -202,7 +202,7 @@ GraphBuilder::scale(const std::string &name, int in, int64_t elems)
 }
 
 int
-GraphBuilder::concat(const std::string &name, int a, int b,
+LayerGraphBuilder::concat(const std::string &name, int a, int b,
                      int64_t out_elems)
 {
     Layer l;
@@ -215,7 +215,7 @@ GraphBuilder::concat(const std::string &name, int a, int b,
 }
 
 int
-GraphBuilder::upsample(const std::string &name, int in, int64_t out_elems)
+LayerGraphBuilder::upsample(const std::string &name, int in, int64_t out_elems)
 {
     Layer l;
     l.name = name;
@@ -228,7 +228,7 @@ GraphBuilder::upsample(const std::string &name, int in, int64_t out_elems)
 }
 
 int
-GraphBuilder::pool(const std::string &name, int in, int64_t out_elems)
+LayerGraphBuilder::pool(const std::string &name, int in, int64_t out_elems)
 {
     Layer l;
     l.name = name;

@@ -18,10 +18,10 @@
 namespace ditto {
 
 /** Fluent layer-graph construction helper. */
-class GraphBuilder
+class LayerGraphBuilder
 {
   public:
-    explicit GraphBuilder(std::string name) : graph_(std::move(name)) {}
+    explicit LayerGraphBuilder(std::string name) : graph_(std::move(name)) {}
 
     /** Graph input (noisy latent, time embedding, context). */
     int input(const std::string &name, int64_t elems);

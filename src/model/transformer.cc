@@ -15,7 +15,7 @@ namespace {
 struct DitBuild
 {
     const DitConfig &cfg;
-    GraphBuilder b;
+    LayerGraphBuilder b;
     int cond = -1;          //!< conditioning embedding (time + class)
     int64_t allTokens = 0;  //!< tokens across all frames
 

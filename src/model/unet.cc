@@ -26,7 +26,7 @@ struct SkipEntry
 struct UnetBuild
 {
     const UnetConfig &cfg;
-    GraphBuilder b;
+    LayerGraphBuilder b;
     int temb = -1;        //!< time-embedding layer id
     int64_t tembDim = 0;
     int context = -1;     //!< cross-attention context input id (or -1)

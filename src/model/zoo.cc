@@ -27,10 +27,10 @@ allModels()
     return kAll;
 }
 
-const ModelSpec &
-modelSpec(ModelId id)
+const ModelInfo &
+modelInfo(ModelId id)
 {
-    static const std::vector<ModelSpec> kSpecs = {
+    static const std::vector<ModelInfo> kSpecs = {
         {ModelId::DDPM, "DDPM", "DDPM", "Cifar-10",
          {"DDIM", 100, 0}, QuantMethod::QDiffusion, false},
         {ModelId::BED, "BED", "Latent-Diffusion", "LSUN-Bed",
@@ -46,7 +46,7 @@ modelSpec(ModelId id)
         {ModelId::Latte, "Latte", "Latte-XL/2", "UCF-101",
          {"DDIM", 20, 0}, QuantMethod::Dynamic, true},
     };
-    for (const ModelSpec &s : kSpecs)
+    for (const ModelInfo &s : kSpecs)
         if (s.id == id)
             return s;
     DITTO_PANIC("unknown ModelId");
@@ -55,7 +55,7 @@ modelSpec(ModelId id)
 const std::string &
 modelAbbr(ModelId id)
 {
-    return modelSpec(id).abbr;
+    return modelInfo(id).abbr;
 }
 
 ModelGraph

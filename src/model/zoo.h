@@ -50,7 +50,7 @@ enum class QuantMethod
 };
 
 /** One row of Table I plus build metadata. */
-struct ModelSpec
+struct ModelInfo
 {
     ModelId id;
     std::string abbr;     //!< DDPM / BED / CHUR / IMG / SDM / DiT / Latte
@@ -62,7 +62,7 @@ struct ModelSpec
 };
 
 /** Metadata for one model. */
-const ModelSpec &modelSpec(ModelId id);
+const ModelInfo &modelInfo(ModelId id);
 
 /** Short name (abbr) of a model. */
 const std::string &modelAbbr(ModelId id);

@@ -193,6 +193,36 @@ countTemporalDiffClasses(const Int8Tensor &current,
     return countTemporalDiffClasses(current, previous, 0, current.numel());
 }
 
+DiffClassCounts
+countDiffClasses(const Int16Tensor &diff, int64_t offset, int64_t count)
+{
+    DITTO_ASSERT(offset >= 0 && offset + count <= diff.numel(),
+                 "countDiffClasses region out of range");
+    const int16_t *d = diff.data().data() + offset;
+    DiffClassCounts c;
+    constexpr int64_t kChunk = 1 << 14;
+    for (int64_t base = 0; base < count; base += kChunk) {
+        const int64_t end = std::min(count, base + kChunk);
+        int nnz = 0;
+        int wide = 0;
+        for (int64_t i = base; i < end; ++i) {
+            const int16_t v = d[i];
+            nnz += v != 0;
+            wide += (v < kLow4Min) | (v > kLow4Max);
+        }
+        c.zero += (end - base) - nnz;
+        c.low4 += nnz - wide;
+        c.full8 += wide;
+    }
+    return c;
+}
+
+DiffClassCounts
+countDiffClasses(const Int16Tensor &diff)
+{
+    return countDiffClasses(diff, 0, diff.numel());
+}
+
 DiffGemmPlan
 encodeDiff(const Int16Tensor &diff)
 {
@@ -204,6 +234,18 @@ encodeDiff(const Int16Tensor &diff)
                       [d, cols](int64_t r, int64_t c) {
                           return d[r * cols + c];
                       });
+}
+
+DiffGemmPlan
+encodeDiffRegion(const Int16Tensor &diff, int64_t offset, int64_t rows,
+                 int64_t cols)
+{
+    DITTO_ASSERT(offset >= 0 && offset + rows * cols <= diff.numel(),
+                 "encodeDiffRegion region out of range");
+    const int16_t *d = diff.data().data() + offset;
+    return encodeImpl(rows, cols, [d, cols](int64_t r, int64_t c) {
+        return d[r * cols + c];
+    });
 }
 
 DiffGemmPlan

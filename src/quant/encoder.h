@@ -55,10 +55,32 @@ DiffClassCounts countTemporalDiffClasses(const Int8Tensor &current,
                                          int64_t offset, int64_t count);
 
 /**
+ * Count classes of an explicit int16 difference (whole tensor): the
+ * probe for callers whose difference was handed over by a producer
+ * layer instead of being subtracted here (dependency-analysis bypass).
+ * Equals countTemporalDiffClasses of operands whose subtraction is
+ * `diff`.
+ */
+DiffClassCounts countDiffClasses(const Int16Tensor &diff);
+
+/** countDiffClasses over a flat region (batch slab). */
+DiffClassCounts countDiffClasses(const Int16Tensor &diff, int64_t offset,
+                                 int64_t count);
+
+/**
  * Encode an already-subtracted int16 difference matrix [rows, cols].
  * Values must lie in the int8-code difference domain [-254, 254].
  */
 DiffGemmPlan encodeDiff(const Int16Tensor &diff);
+
+/**
+ * encodeDiff over a rectangular region of flat int16 storage: the
+ * logical operand is rows x cols elements starting at `offset`.
+ * Produces exactly the plan encodeTemporalDiffRegion would for
+ * operands whose subtraction equals the region.
+ */
+DiffGemmPlan encodeDiffRegion(const Int16Tensor &diff, int64_t offset,
+                              int64_t rows, int64_t cols);
 
 /**
  * Fused subtract + encode of a temporal difference current - previous

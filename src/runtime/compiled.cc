@@ -1,0 +1,1213 @@
+/**
+ * @file
+ * CompiledModel implementation: compile() and the three executors
+ * (FP32, quantized single, quantized batch).
+ *
+ * The quantized executors mirror the historic hand-wired MiniUnet
+ * paths call for call — quantize, engine entry point, dequantize, the
+ * same float ops between — which is what makes compiled execution of
+ * the MiniUnet preset bitwise identical to the legacy implementation
+ * (core/legacy_unet.h, kept as the parity reference). On top of that,
+ * the dependency-analysis verdicts rewire difference state flow on
+ * eligible edges; the requantized payload is elementwise equal to the
+ * subtraction the consumer would have performed, so the rewiring is
+ * bitwise neutral too (see the header and docs/graph_runtime.md).
+ */
+#include "runtime/compiled.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "quant/encoder.h"
+#include "tensor/ops.h"
+#include "tensor/slab.h"
+#include "trace/calibrate.h"
+
+namespace ditto {
+
+namespace {
+
+/** He-style random weight init (the legacy MiniUnet draw). */
+FloatTensor
+randomWeight(Rng &rng, const Shape &shape, int64_t fan_in)
+{
+    FloatTensor w(shape);
+    const double std = 1.0 / std::sqrt(static_cast<double>(fan_in));
+    for (auto &v : w.data())
+        v = static_cast<float>(rng.normal(0.0, std));
+    return w;
+}
+
+/** Per-tensor symmetric weight quantization (legacy quantw). */
+struct QuantW
+{
+    Int8Tensor codes;
+    float scale = 1.0f;
+};
+
+QuantW
+quantW(const FloatTensor &w)
+{
+    const QuantParams p = chooseDynamicScale(w);
+    return {quantize(w, p), p.scale};
+}
+
+/**
+ * Stacked NCHW [B,C,H,W] -> stacked token matrix [B*H*W, C]; slab b
+ * holds exactly the single-map conversion of slab b (B == 1 is the
+ * single-request layout). Works for float values, int8 codes and
+ * int16 deltas alike — it is a pure element bijection.
+ */
+template <typename T>
+Tensor<T>
+toTokens(const Tensor<T> &x)
+{
+    DITTO_ASSERT(x.shape().rank() == 4, "expected NCHW feature maps");
+    const int64_t bsz = x.shape()[0];
+    const int64_t c = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    const int64_t w = x.shape()[3];
+    Tensor<T> out(Shape{bsz * h * w, c});
+    for (int64_t b = 0; b < bsz; ++b)
+        for (int64_t ci = 0; ci < c; ++ci)
+            for (int64_t y = 0; y < h; ++y)
+                for (int64_t xw = 0; xw < w; ++xw)
+                    out.at((b * h + y) * w + xw, ci) = x.at(b, ci, y, xw);
+    return out;
+}
+
+/** Stacked token matrix [B*H*W, C] -> stacked NCHW [B,C,H,W]. */
+template <typename T>
+Tensor<T>
+toNchw(const Tensor<T> &t, int64_t h, int64_t w)
+{
+    DITTO_ASSERT(t.shape().rank() == 2 && t.shape()[0] % (h * w) == 0,
+                 "token count mismatch");
+    const int64_t bsz = t.shape()[0] / (h * w);
+    const int64_t c = t.shape()[1];
+    Tensor<T> out(Shape{bsz, c, h, w});
+    for (int64_t b = 0; b < bsz; ++b)
+        for (int64_t ci = 0; ci < c; ++ci)
+            for (int64_t y = 0; y < h; ++y)
+                for (int64_t xw = 0; xw < w; ++xw)
+                    out.at(b, ci, y, xw) = t.at((b * h + y) * w + xw, ci);
+    return out;
+}
+
+/** Nearest-neighbour 2x spatial upsampling of stacked NCHW maps. */
+FloatTensor
+upsample2xF(const FloatTensor &x)
+{
+    const int64_t bsz = x.shape()[0];
+    const int64_t c = x.shape()[1];
+    const int64_t h = x.shape()[2];
+    const int64_t w = x.shape()[3];
+    FloatTensor out(Shape{bsz, c, h * 2, w * 2});
+    for (int64_t b = 0; b < bsz; ++b)
+        for (int64_t ci = 0; ci < c; ++ci)
+            for (int64_t y = 0; y < h * 2; ++y)
+                for (int64_t xw = 0; xw < w * 2; ++xw)
+                    out.at(b, ci, y, xw) = x.at(b, ci, y / 2, xw / 2);
+    return out;
+}
+
+/** 2x2 average pooling of stacked NCHW maps. */
+FloatTensor
+avgPool2xF(const FloatTensor &x)
+{
+    const int64_t bsz = x.shape()[0];
+    const int64_t c = x.shape()[1];
+    const int64_t h = x.shape()[2] / 2;
+    const int64_t w = x.shape()[3] / 2;
+    FloatTensor out(Shape{bsz, c, h, w});
+    for (int64_t b = 0; b < bsz; ++b)
+        for (int64_t ci = 0; ci < c; ++ci)
+            for (int64_t y = 0; y < h; ++y)
+                for (int64_t xw = 0; xw < w; ++xw)
+                    out.at(b, ci, y, xw) =
+                        (x.at(b, ci, 2 * y, 2 * xw) +
+                         x.at(b, ci, 2 * y, 2 * xw + 1) +
+                         x.at(b, ci, 2 * y + 1, 2 * xw) +
+                         x.at(b, ci, 2 * y + 1, 2 * xw + 1)) *
+                        0.25f;
+    return out;
+}
+
+/** Channel concatenation of stacked NCHW maps (per-slab). */
+FloatTensor
+concatChannelsF(const FloatTensor &a, const FloatTensor &b)
+{
+    const int64_t bsz = a.shape()[0];
+    const int64_t ca = a.shape()[1];
+    const int64_t cb = b.shape()[1];
+    const int64_t h = a.shape()[2];
+    const int64_t w = a.shape()[3];
+    FloatTensor out(Shape{bsz, ca + cb, h, w});
+    const int64_t plane = h * w;
+    for (int64_t bb = 0; bb < bsz; ++bb) {
+        std::copy(a.data().begin() + bb * ca * plane,
+                  a.data().begin() + (bb + 1) * ca * plane,
+                  out.data().begin() + bb * (ca + cb) * plane);
+        std::copy(b.data().begin() + bb * cb * plane,
+                  b.data().begin() + (bb + 1) * cb * plane,
+                  out.data().begin() + (bb * (ca + cb) + ca) * plane);
+    }
+    return out;
+}
+
+/**
+ * Requantize an int32 accumulator into int8 codes at a consumer's
+ * quantization point: elementwise exactly
+ * quantize(dequantizeAccum(acc, combined), qp) — the same two float
+ * multiplications in the same order — without the intermediate float
+ * tensor.
+ */
+int8_t
+requantOne(int32_t acc, float combined, float inv, float lo, float hi)
+{
+    const float v = static_cast<float>(acc) * combined;
+    return static_cast<int8_t>(std::clamp(std::nearbyint(v * inv), lo, hi));
+}
+
+Int8Tensor
+requantCodes(const Int32Tensor &acc, float combined, const QuantParams &qp)
+{
+    Int8Tensor out(acc.shape());
+    const float inv = 1.0f / qp.scale;
+    const float lo = static_cast<float>(qp.minCode());
+    const float hi = static_cast<float>(qp.maxCode());
+    auto sa = acc.data();
+    auto so = out.data();
+    for (size_t i = 0; i < sa.size(); ++i)
+        so[i] = requantOne(sa[i], combined, inv, lo, hi);
+    return out;
+}
+
+/**
+ * Requantize the accumulator pair (current, previous) and emit both
+ * the current codes and their difference — the diff-calc-bypass
+ * payload. `d16` equals subtractInt8(codes_t, codes_prev) element for
+ * element, so a consumer running on it is bitwise identical to one
+ * that stored the previous codes itself.
+ */
+void
+requantCodesDelta(const Int32Tensor &acc, const Int32Tensor &prev,
+                  float combined, const QuantParams &qp, Int8Tensor *codes,
+                  Int16Tensor *d16)
+{
+    DITTO_ASSERT(prev.shape() == acc.shape(),
+                 "payload accumulator shape mismatch");
+    *codes = Int8Tensor(acc.shape());
+    *d16 = Int16Tensor(acc.shape());
+    const float inv = 1.0f / qp.scale;
+    const float lo = static_cast<float>(qp.minCode());
+    const float hi = static_cast<float>(qp.maxCode());
+    auto sa = acc.data();
+    auto sp = prev.data();
+    auto sc = codes->data();
+    auto sd = d16->data();
+    for (size_t i = 0; i < sa.size(); ++i) {
+        const int8_t ct = requantOne(sa[i], combined, inv, lo, hi);
+        const int8_t cp = requantOne(sp[i], combined, inv, lo, hi);
+        sc[i] = ct;
+        sd[i] = static_cast<int16_t>(static_cast<int16_t>(ct) -
+                                     static_cast<int16_t>(cp));
+    }
+}
+
+/**
+ * Batched payload: per-slab primed flags — unprimed slabs get codes
+ * only (their `d16` region stays zero and is never read, exactly like
+ * an unprimed slab's engine state).
+ */
+void
+requantCodesDeltaBatch(const Int32Tensor &acc, const Int32Tensor *prev,
+                       float combined, const QuantParams &qp,
+                       const uint8_t *primed, int64_t slabs,
+                       Int8Tensor *codes, Int16Tensor *d16)
+{
+    *codes = Int8Tensor(acc.shape());
+    *d16 = Int16Tensor(acc.shape());
+    const float inv = 1.0f / qp.scale;
+    const float lo = static_cast<float>(qp.minCode());
+    const float hi = static_cast<float>(qp.maxCode());
+    const int64_t slab_elems = acc.numel() / slabs;
+    auto sa = acc.data();
+    auto sc = codes->data();
+    auto sd = d16->data();
+    for (int64_t s = 0; s < slabs; ++s) {
+        const int64_t base = s * slab_elems;
+        if (primed && primed[s]) {
+            DITTO_ASSERT(prev && prev->numel() == acc.numel(),
+                         "primed payload slab needs previous output");
+            auto sp = prev->data();
+            for (int64_t i = base; i < base + slab_elems; ++i) {
+                const int8_t ct = requantOne(sa[static_cast<size_t>(i)],
+                                             combined, inv, lo, hi);
+                const int8_t cp = requantOne(sp[static_cast<size_t>(i)],
+                                             combined, inv, lo, hi);
+                sc[static_cast<size_t>(i)] = ct;
+                sd[static_cast<size_t>(i)] =
+                    static_cast<int16_t>(static_cast<int16_t>(ct) -
+                                         static_cast<int16_t>(cp));
+            }
+        } else {
+            for (int64_t i = base; i < base + slab_elems; ++i)
+                sc[static_cast<size_t>(i)] = requantOne(
+                    sa[static_cast<size_t>(i)], combined, inv, lo, hi);
+        }
+    }
+}
+
+} // namespace
+
+void
+CompiledModel::BatchDittoState::appendSlabs(int64_t count)
+{
+    DITTO_ASSERT(count > 0, "appendSlabs needs a positive count");
+    const int64_t b = batch();
+    if (b > 0) {
+        for (Int8Tensor &t : prevIn)
+            if (t.numel() > 0)
+                t = slab::appended(t, b, count);
+        for (Int32Tensor &t : prevOut)
+            if (t.numel() > 0)
+                t = slab::appended(t, b, count);
+    }
+    primed.insert(primed.end(), static_cast<size_t>(count), 0);
+}
+
+void
+CompiledModel::BatchDittoState::removeSlab(int64_t i)
+{
+    const int64_t b = batch();
+    DITTO_ASSERT(i >= 0 && i < b, "removeSlab index out of range");
+    if (b == 1) {
+        prevIn.clear();
+        prevOut.clear();
+        primed.clear();
+        return;
+    }
+    for (Int8Tensor &t : prevIn)
+        if (t.numel() > 0)
+            t = slab::removed(t, b, i);
+    for (Int32Tensor &t : prevOut)
+        if (t.numel() > 0)
+            t = slab::removed(t, b, i);
+    primed.erase(primed.begin() + i);
+}
+
+float
+CompiledModel::combinedScale(const Node &nd) const
+{
+    const NodeSpec &ns = nd.spec;
+    if (ns.op == RtOp::AttnScores || ns.op == RtOp::AttnOutput)
+        return actScale_[static_cast<size_t>(ns.scaleIn)] *
+               actScale_[static_cast<size_t>(ns.scaleIn2)];
+    return actScale_[static_cast<size_t>(ns.scaleIn)] * nd.wScale;
+}
+
+void
+CompiledModel::validateSingle(const FloatTensor &x, const char *what) const
+{
+    if (x.shape() != spec_.inputShape)
+        DITTO_FATAL(what << ": tensor shape " << x.shape().toString()
+                         << " does not match model input "
+                         << spec_.inputShape.toString() << " of spec '"
+                         << spec_.name << "'");
+}
+
+FloatTensor
+CompiledModel::forwardFp32(
+    const FloatTensor &x,
+    const std::function<void(int, const FloatTensor &)> *obs) const
+{
+    auto observe = [&](int idx, const FloatTensor &t) {
+        if (obs && *obs)
+            (*obs)(idx, t);
+    };
+    std::vector<Value> vals(nodes_.size());
+    for (const Node &nd : nodes_) {
+        const NodeSpec &ns = nd.spec;
+        Value &out = vals[static_cast<size_t>(ns.id)];
+        auto in = [&](int j) -> const FloatTensor & {
+            return vals[static_cast<size_t>(ns.inputs[static_cast<size_t>(
+                            j)])]
+                .f;
+        };
+        switch (ns.op) {
+          case RtOp::Input:
+            out.f = x;
+            break;
+          case RtOp::Conv2d:
+            observe(ns.scaleIn, in(0));
+            out.f = conv2d(in(0), nd.wF, nullptr, ns.conv);
+            break;
+          case RtOp::Fc:
+            observe(ns.scaleIn, in(0));
+            out.f = fullyConnected(in(0), nd.wF, nullptr);
+            break;
+          case RtOp::AttnScores:
+            observe(ns.scaleIn, in(0));
+            observe(ns.scaleIn2, in(1));
+            out.f = matmulTransposed(in(0), in(1));
+            break;
+          case RtOp::AttnOutput:
+            observe(ns.scaleIn, in(0));
+            observe(ns.scaleIn2, in(1));
+            out.f = matmul(in(0), in(1));
+            break;
+          case RtOp::CrossScores:
+            observe(ns.scaleIn, in(0));
+            out.f = matmulTransposed(in(0), nd.constF);
+            break;
+          case RtOp::CrossOutput:
+            observe(ns.scaleIn, in(0));
+            out.f = matmul(in(0), nd.constF);
+            break;
+          case RtOp::GroupNorm:
+            out.f = groupNorm(in(0), ns.groups);
+            break;
+          case RtOp::LayerNorm:
+            out.f = layerNorm(in(0));
+            break;
+          case RtOp::SiLU:
+            out.f = silu(in(0));
+            break;
+          case RtOp::GeLU:
+            out.f = gelu(in(0));
+            break;
+          case RtOp::Softmax:
+            out.f = softmaxRows(in(0));
+            break;
+          case RtOp::Add:
+            out.f = add(in(0), in(1));
+            break;
+          case RtOp::Affine:
+            out.f = affine(in(0), ns.affineScale, ns.affineShift);
+            break;
+          case RtOp::Concat:
+            out.f = concatChannelsF(in(0), in(1));
+            break;
+          case RtOp::Upsample2x:
+            out.f = upsample2xF(in(0));
+            break;
+          case RtOp::AvgPool2x:
+            out.f = avgPool2xF(in(0));
+            break;
+          case RtOp::NchwToTokens:
+            out.f = toTokens(in(0));
+            break;
+          case RtOp::TokensToNchw:
+            out.f = toNchw(in(0), ns.outShape[2], ns.outShape[3]);
+            break;
+        }
+    }
+    return std::move(vals.back().f);
+}
+
+void
+CompiledModel::runStructural(const Node &nd, std::vector<Value> &vals,
+                             const FloatTensor &x) const
+{
+    const NodeSpec &ns = nd.spec;
+    Value &out = vals[static_cast<size_t>(ns.id)];
+    auto inVal = [&](int j) -> Value & {
+        return vals[static_cast<size_t>(
+            ns.inputs[static_cast<size_t>(j)])];
+    };
+    switch (ns.op) {
+      case RtOp::Input:
+        out.f = x;
+        break;
+      case RtOp::GroupNorm:
+        out.f = groupNorm(inVal(0).f, ns.groups);
+        break;
+      case RtOp::LayerNorm:
+        out.f = layerNorm(inVal(0).f);
+        break;
+      case RtOp::SiLU:
+        out.f = silu(inVal(0).f);
+        break;
+      case RtOp::GeLU:
+        out.f = gelu(inVal(0).f);
+        break;
+      case RtOp::Softmax:
+        out.f = softmaxRows(inVal(0).f);
+        break;
+      case RtOp::Add:
+        out.f = add(inVal(0).f, inVal(1).f);
+        break;
+      case RtOp::Affine:
+        out.f = affine(inVal(0).f, ns.affineScale, ns.affineShift);
+        break;
+      case RtOp::Concat:
+        out.f = concatChannelsF(inVal(0).f, inVal(1).f);
+        break;
+      case RtOp::Upsample2x:
+        out.f = upsample2xF(inVal(0).f);
+        break;
+      case RtOp::AvgPool2x:
+        out.f = avgPool2xF(inVal(0).f);
+        break;
+      case RtOp::NchwToTokens: {
+        Value &in = inVal(0);
+        if (in.f.numel() > 0)
+            out.f = toTokens(in.f);
+        if (in.codes.numel() > 0)
+            out.codes = toTokens(in.codes);
+        if (in.d16.numel() > 0)
+            out.d16 = toTokens(in.d16);
+        break;
+      }
+      case RtOp::TokensToNchw: {
+        Value &in = inVal(0);
+        const int64_t h = ns.outShape[2];
+        const int64_t w = ns.outShape[3];
+        if (in.f.numel() > 0)
+            out.f = toNchw(in.f, h, w);
+        if (in.codes.numel() > 0)
+            out.codes = toNchw(in.codes, h, w);
+        if (in.d16.numel() > 0)
+            out.d16 = toNchw(in.d16, h, w);
+        break;
+      }
+      default:
+        DITTO_PANIC("compute op in the structural interpreter");
+    }
+}
+
+FloatTensor
+CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
+                            DittoState *state, OpCounts *counts) const
+{
+    DITTO_ASSERT(!use_ditto || state != nullptr,
+                 "Ditto mode needs persistent state");
+    const bool primed = use_ditto && state->primed;
+    if (use_ditto && state->prevIn.empty()) {
+        state->prevIn.resize(static_cast<size_t>(numInSlots_));
+        state->prevOut.resize(static_cast<size_t>(numOutSlots_));
+    }
+
+    std::vector<Value> vals(nodes_.size());
+    for (const Node &nd : nodes_) {
+        const NodeSpec &ns = nd.spec;
+        Value &out = vals[static_cast<size_t>(ns.id)];
+        auto inVal = [&](int j) -> Value & {
+            return vals[static_cast<size_t>(
+                ns.inputs[static_cast<size_t>(j)])];
+        };
+
+        // Weight-stationary compute: one engine, one dynamic operand.
+        if (ns.op == RtOp::Conv2d || ns.op == RtOp::Fc ||
+            ns.op == RtOp::CrossScores || ns.op == RtOp::CrossOutput) {
+            Value &in = inVal(0);
+            const QuantParams qp{
+                actScale_[static_cast<size_t>(ns.scaleIn)], 8};
+            // A bypass consumer's operand arrives pre-quantized in its
+            // own code domain; everyone else quantizes the float input.
+            Int8Tensor codes;
+            if (nd.diffBypass) {
+                DITTO_ASSERT(in.codes.numel() > 0,
+                             "bypass payload missing codes");
+                codes = std::move(in.codes);
+            } else {
+                codes = quantize(in.f, qp);
+            }
+
+            Int32Tensor acc;
+            if (!primed) {
+                if (nd.conv)
+                    acc = nd.conv->runDirect(codes);
+                else if (nd.cross)
+                    acc = nd.cross->runDirect(codes);
+                else
+                    acc = nd.fc->runDirect(codes);
+            } else if (nd.diffBypass) {
+                DITTO_ASSERT(in.d16.numel() > 0,
+                             "bypass payload missing difference");
+                const Int32Tensor &prev =
+                    state->prevOut[static_cast<size_t>(nd.outSlot)];
+                if (nd.conv)
+                    acc = nd.conv->runDiffPre(codes, in.d16, prev, counts,
+                                              opts_.policy);
+                else if (nd.cross)
+                    acc = nd.cross->runDiffPre(codes, in.d16, prev,
+                                               counts, opts_.policy);
+                else
+                    acc = nd.fc->runDiffPre(codes, in.d16, prev, counts,
+                                            opts_.policy);
+            } else {
+                const Int8Tensor &prev_in =
+                    state->prevIn[static_cast<size_t>(nd.inSlot)];
+                const Int32Tensor &prev_out =
+                    state->prevOut[static_cast<size_t>(nd.outSlot)];
+                if (nd.conv)
+                    acc = nd.conv->runDiff(codes, prev_in, prev_out,
+                                           counts, opts_.policy);
+                else if (nd.cross)
+                    acc = nd.cross->runDiff(codes, prev_in, prev_out,
+                                            counts, opts_.policy);
+                else
+                    acc = nd.fc->runDiff(codes, prev_in, prev_out, counts,
+                                         opts_.policy);
+                if (counts)
+                    counts->diffCalcElems += codes.numel();
+            }
+
+            const float combined = combinedScale(nd);
+            // Emit the bypass payload for this node's consumer before
+            // the accumulator state is overwritten.
+            if (nd.emitPayload) {
+                const QuantParams eqp{
+                    actScale_[static_cast<size_t>(nd.emitScale)], 8};
+                if (primed)
+                    requantCodesDelta(
+                        acc,
+                        state->prevOut[static_cast<size_t>(nd.outSlot)],
+                        combined, eqp, &out.codes, &out.d16);
+                else
+                    out.codes = requantCodes(acc, combined, eqp);
+            }
+            if (use_ditto) {
+                if (nd.inSlot >= 0)
+                    state->prevIn[static_cast<size_t>(nd.inSlot)] =
+                        std::move(codes);
+                state->prevOut[static_cast<size_t>(nd.outSlot)] =
+                    std::move(acc);
+            }
+            if (!nd.emitPayload) {
+                const Int32Tensor &acc_ref =
+                    use_ditto
+                        ? state->prevOut[static_cast<size_t>(nd.outSlot)]
+                        : acc;
+                out.f = dequantizeAccum(acc_ref, combined);
+                if (counts && primed)
+                    counts->summationElems += acc_ref.numel();
+            }
+            continue;
+        }
+
+        // Dynamic-dynamic attention: two operands, two-term expansion.
+        if (ns.op == RtOp::AttnScores || ns.op == RtOp::AttnOutput) {
+            Value &av = inVal(0);
+            Value &bv = inVal(1);
+            const QuantParams qpa{
+                actScale_[static_cast<size_t>(ns.scaleIn)], 8};
+            const QuantParams qpb{
+                actScale_[static_cast<size_t>(ns.scaleIn2)], 8};
+            Int8Tensor a_codes = quantize(av.f, qpa);
+            Int8Tensor b_codes = quantize(bv.f, qpb);
+            Int32Tensor acc;
+            if (!primed) {
+                acc = ns.op == RtOp::AttnScores
+                          ? attentionScoresDirect(a_codes, b_codes)
+                          : attentionOutputDirect(a_codes, b_codes);
+            } else {
+                const Int8Tensor &prev_a =
+                    state->prevIn[static_cast<size_t>(nd.inSlot)];
+                const Int8Tensor &prev_b =
+                    state->prevIn[static_cast<size_t>(nd.inSlot2)];
+                const Int32Tensor &prev_out =
+                    state->prevOut[static_cast<size_t>(nd.outSlot)];
+                acc = ns.op == RtOp::AttnScores
+                          ? attentionScoresDiff(a_codes, prev_a, b_codes,
+                                                prev_b, prev_out, counts,
+                                                opts_.policy)
+                          : attentionOutputDiff(a_codes, prev_a, b_codes,
+                                                prev_b, prev_out, counts,
+                                                opts_.policy);
+                if (counts)
+                    counts->diffCalcElems +=
+                        a_codes.numel() + b_codes.numel();
+            }
+            const float combined = combinedScale(nd);
+            if (nd.emitPayload) {
+                const QuantParams eqp{
+                    actScale_[static_cast<size_t>(nd.emitScale)], 8};
+                if (primed)
+                    requantCodesDelta(
+                        acc,
+                        state->prevOut[static_cast<size_t>(nd.outSlot)],
+                        combined, eqp, &out.codes, &out.d16);
+                else
+                    out.codes = requantCodes(acc, combined, eqp);
+            }
+            if (use_ditto) {
+                state->prevIn[static_cast<size_t>(nd.inSlot)] =
+                    std::move(a_codes);
+                state->prevIn[static_cast<size_t>(nd.inSlot2)] =
+                    std::move(b_codes);
+                state->prevOut[static_cast<size_t>(nd.outSlot)] =
+                    std::move(acc);
+            }
+            if (!nd.emitPayload) {
+                const Int32Tensor &acc_ref =
+                    use_ditto
+                        ? state->prevOut[static_cast<size_t>(nd.outSlot)]
+                        : acc;
+                out.f = dequantizeAccum(acc_ref, combined);
+                if (counts && primed)
+                    counts->summationElems += acc_ref.numel();
+            }
+            continue;
+        }
+
+        // Vector / structural ops on full values; reshapes also carry
+        // the bypass payload through unchanged (element bijections).
+        runStructural(nd, vals, x);
+    }
+    if (use_ditto)
+        state->primed = true;
+    DITTO_ASSERT(vals.back().f.numel() > 0,
+                 "output node must materialize full values");
+    return std::move(vals.back().f);
+}
+
+FloatTensor
+CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
+                                 BatchDittoState *state,
+                                 OpCounts *counts) const
+{
+    DITTO_ASSERT(x.shape().rank() == 4, "batched input must be NCHW");
+    const int64_t bsz = x.shape()[0];
+    DITTO_ASSERT(!use_ditto || state != nullptr,
+                 "Ditto mode needs persistent batch state");
+    DITTO_ASSERT(!use_ditto || state->batch() == bsz,
+                 "batch state size mismatch");
+    if (use_ditto && state->prevIn.empty()) {
+        state->prevIn.resize(static_cast<size_t>(numInSlots_));
+        state->prevOut.resize(static_cast<size_t>(numOutSlots_));
+    }
+    const uint8_t *primed = use_ditto ? state->primed.data() : nullptr;
+    auto anyPrimed = [&] {
+        if (!primed)
+            return false;
+        for (int64_t s = 0; s < bsz; ++s)
+            if (primed[s])
+                return true;
+        return false;
+    };
+    const bool have_primed = anyPrimed();
+
+    // Previous-state slot pointer, or null while not materialized (the
+    // engines only dereference state for primed slabs).
+    auto prevIn = [&](int slot) -> const Int8Tensor * {
+        return use_ditto &&
+                       state->prevIn[static_cast<size_t>(slot)].numel() > 0
+                   ? &state->prevIn[static_cast<size_t>(slot)]
+                   : nullptr;
+    };
+    auto prevOut = [&](int slot) -> const Int32Tensor * {
+        return use_ditto &&
+                       state->prevOut[static_cast<size_t>(slot)].numel() >
+                           0
+                   ? &state->prevOut[static_cast<size_t>(slot)]
+                   : nullptr;
+    };
+    // Per-slab tallies for work done against stored previous state.
+    auto countDiffCalc = [&](int64_t elems_per_slab) {
+        if (!counts || !primed)
+            return;
+        for (int64_t s = 0; s < bsz; ++s)
+            if (primed[s])
+                counts[s].diffCalcElems += elems_per_slab;
+    };
+    auto countSummation = [&](int64_t elems_per_slab) {
+        if (!counts || !primed)
+            return;
+        for (int64_t s = 0; s < bsz; ++s)
+            if (primed[s])
+                counts[s].summationElems += elems_per_slab;
+    };
+
+    std::vector<Value> vals(nodes_.size());
+    for (const Node &nd : nodes_) {
+        const NodeSpec &ns = nd.spec;
+        Value &out = vals[static_cast<size_t>(ns.id)];
+        auto inVal = [&](int j) -> Value & {
+            return vals[static_cast<size_t>(
+                ns.inputs[static_cast<size_t>(j)])];
+        };
+
+        if (ns.op == RtOp::Conv2d || ns.op == RtOp::Fc ||
+            ns.op == RtOp::CrossScores || ns.op == RtOp::CrossOutput) {
+            Value &in = inVal(0);
+            const QuantParams qp{
+                actScale_[static_cast<size_t>(ns.scaleIn)], 8};
+            Int8Tensor codes;
+            if (nd.diffBypass) {
+                DITTO_ASSERT(in.codes.numel() > 0,
+                             "bypass payload missing codes");
+                codes = std::move(in.codes);
+            } else {
+                codes = quantize(in.f, qp);
+            }
+
+            Int32Tensor acc;
+            if (nd.diffBypass && have_primed) {
+                DITTO_ASSERT(in.d16.numel() > 0,
+                             "bypass payload missing difference");
+                const Int16Tensor d = std::move(in.d16);
+                if (nd.conv)
+                    acc = nd.conv->runBatchPre(codes, d,
+                                               prevOut(nd.outSlot),
+                                               primed, counts,
+                                               opts_.policy);
+                else if (nd.cross)
+                    acc = nd.cross->runBatchPre(codes, d, bsz,
+                                                prevOut(nd.outSlot),
+                                                primed, counts,
+                                                opts_.policy);
+                else
+                    acc = nd.fc->runBatchPre(codes, d, bsz,
+                                             prevOut(nd.outSlot), primed,
+                                             counts, opts_.policy);
+            } else if (nd.diffBypass) {
+                // No slab is primed yet: no payload difference exists
+                // and none is needed — every slab runs direct through
+                // the ordinary batched entry point (which skips all
+                // unprimed slabs' state entirely).
+                if (nd.conv)
+                    acc = nd.conv->runBatch(codes, nullptr, nullptr,
+                                            primed, counts,
+                                            opts_.policy);
+                else if (nd.cross)
+                    acc = nd.cross->runBatch(codes, bsz, nullptr,
+                                             nullptr, primed, counts,
+                                             opts_.policy);
+                else
+                    acc = nd.fc->runBatch(codes, bsz, nullptr, nullptr,
+                                          primed, counts, opts_.policy);
+            } else {
+                if (nd.conv)
+                    acc = nd.conv->runBatch(codes, prevIn(nd.inSlot),
+                                            prevOut(nd.outSlot), primed,
+                                            counts, opts_.policy);
+                else if (nd.cross)
+                    acc = nd.cross->runBatch(codes, bsz,
+                                             prevIn(nd.inSlot),
+                                             prevOut(nd.outSlot), primed,
+                                             counts, opts_.policy);
+                else
+                    acc = nd.fc->runBatch(codes, bsz, prevIn(nd.inSlot),
+                                          prevOut(nd.outSlot), primed,
+                                          counts, opts_.policy);
+                countDiffCalc(codes.numel() / bsz);
+            }
+
+            const float combined = combinedScale(nd);
+            if (nd.emitPayload) {
+                const QuantParams eqp{
+                    actScale_[static_cast<size_t>(nd.emitScale)], 8};
+                if (have_primed)
+                    requantCodesDeltaBatch(acc, prevOut(nd.outSlot),
+                                           combined, eqp, primed, bsz,
+                                           &out.codes, &out.d16);
+                else
+                    out.codes = requantCodes(acc, combined, eqp);
+            }
+            if (use_ditto) {
+                if (nd.inSlot >= 0)
+                    state->prevIn[static_cast<size_t>(nd.inSlot)] =
+                        std::move(codes);
+                state->prevOut[static_cast<size_t>(nd.outSlot)] =
+                    std::move(acc);
+            }
+            if (!nd.emitPayload) {
+                const Int32Tensor &acc_ref =
+                    use_ditto
+                        ? state->prevOut[static_cast<size_t>(nd.outSlot)]
+                        : acc;
+                out.f = dequantizeAccum(acc_ref, combined);
+                countSummation(acc_ref.numel() / bsz);
+            }
+            continue;
+        }
+
+        if (ns.op == RtOp::AttnScores || ns.op == RtOp::AttnOutput) {
+            Value &av = inVal(0);
+            Value &bv = inVal(1);
+            const QuantParams qpa{
+                actScale_[static_cast<size_t>(ns.scaleIn)], 8};
+            const QuantParams qpb{
+                actScale_[static_cast<size_t>(ns.scaleIn2)], 8};
+            Int8Tensor a_codes = quantize(av.f, qpa);
+            Int8Tensor b_codes = quantize(bv.f, qpb);
+            Int32Tensor acc =
+                ns.op == RtOp::AttnScores
+                    ? attentionScoresBatch(a_codes, b_codes, bsz,
+                                           prevIn(nd.inSlot),
+                                           prevIn(nd.inSlot2),
+                                           prevOut(nd.outSlot), primed,
+                                           counts, opts_.policy)
+                    : attentionOutputBatch(a_codes, b_codes, bsz,
+                                           prevIn(nd.inSlot),
+                                           prevIn(nd.inSlot2),
+                                           prevOut(nd.outSlot), primed,
+                                           counts, opts_.policy);
+            countDiffCalc((a_codes.numel() + b_codes.numel()) / bsz);
+            const float combined = combinedScale(nd);
+            if (nd.emitPayload) {
+                const QuantParams eqp{
+                    actScale_[static_cast<size_t>(nd.emitScale)], 8};
+                if (have_primed)
+                    requantCodesDeltaBatch(acc, prevOut(nd.outSlot),
+                                           combined, eqp, primed, bsz,
+                                           &out.codes, &out.d16);
+                else
+                    out.codes = requantCodes(acc, combined, eqp);
+            }
+            if (use_ditto) {
+                state->prevIn[static_cast<size_t>(nd.inSlot)] =
+                    std::move(a_codes);
+                state->prevIn[static_cast<size_t>(nd.inSlot2)] =
+                    std::move(b_codes);
+                state->prevOut[static_cast<size_t>(nd.outSlot)] =
+                    std::move(acc);
+            }
+            if (!nd.emitPayload) {
+                const Int32Tensor &acc_ref =
+                    use_ditto
+                        ? state->prevOut[static_cast<size_t>(nd.outSlot)]
+                        : acc;
+                out.f = dequantizeAccum(acc_ref, combined);
+                countSummation(acc_ref.numel() / bsz);
+            }
+            continue;
+        }
+
+        runStructural(nd, vals, x);
+    }
+    if (use_ditto)
+        std::fill(state->primed.begin(), state->primed.end(), 1);
+    DITTO_ASSERT(vals.back().f.numel() > 0,
+                 "output node must materialize full values");
+    return std::move(vals.back().f);
+}
+
+FloatTensor
+CompiledModel::forward(const FloatTensor &x, RunMode mode,
+                       DittoState *state, OpCounts *counts) const
+{
+    validateSingle(x, "forward");
+    switch (mode) {
+      case RunMode::Fp32:
+        return forwardFp32(x, nullptr);
+      case RunMode::QuantDirect:
+        return forwardQuant(x, /*use_ditto=*/false, nullptr, nullptr);
+      case RunMode::QuantDitto:
+        return forwardQuant(x, /*use_ditto=*/true, state, counts);
+    }
+    DITTO_PANIC("unknown RunMode");
+}
+
+FloatTensor
+CompiledModel::forwardBatch(const FloatTensor &x, RunMode mode,
+                            BatchDittoState *state, OpCounts *counts) const
+{
+    const Shape &want = spec_.inputShape;
+    if (x.shape().rank() != 4 || x.shape()[1] != want[1] ||
+        x.shape()[2] != want[2] || x.shape()[3] != want[3])
+        DITTO_FATAL("forwardBatch: tensor shape "
+                    << x.shape().toString()
+                    << " does not stack model inputs "
+                    << want.toString() << " of spec '" << spec_.name
+                    << "'");
+    switch (mode) {
+      case RunMode::Fp32: {
+        // FP32 has no quantized state to batch; run per slab.
+        const int64_t bsz = x.shape()[0];
+        const int64_t slab = want.numel();
+        FloatTensor out(x.shape());
+        for (int64_t b = 0; b < bsz; ++b) {
+            FloatTensor one(want);
+            std::copy(x.data().begin() + b * slab,
+                      x.data().begin() + (b + 1) * slab,
+                      one.data().begin());
+            const FloatTensor eps = forwardFp32(one, nullptr);
+            std::copy(eps.data().begin(), eps.data().end(),
+                      out.data().begin() + b * slab);
+        }
+        return out;
+      }
+      case RunMode::QuantDirect:
+        return forwardQuantBatch(x, /*use_ditto=*/false, nullptr,
+                                 nullptr);
+      case RunMode::QuantDitto:
+        return forwardQuantBatch(x, /*use_ditto=*/true, state, counts);
+    }
+    DITTO_PANIC("unknown RunMode");
+}
+
+RolloutResult
+CompiledModel::rollout(RunMode mode) const
+{
+    return rollout(mode, noiseInit_);
+}
+
+RolloutResult
+CompiledModel::rollout(RunMode mode, const FloatTensor &noise,
+                       int steps) const
+{
+    validateSingle(noise, "rollout");
+    if (steps < 0)
+        DITTO_FATAL("rollout: negative step count " << steps);
+    if (steps == 0)
+        steps = spec_.steps;
+    RolloutResult result;
+    DittoState state;
+    FloatTensor x = noise;
+    for (int t = 0; t < steps; ++t) {
+        const FloatTensor eps =
+            forward(x, mode, &state, &result.dittoOps);
+        x = add(x, affine(eps, -0.15f, 0.0f));
+    }
+    result.finalImage = std::move(x);
+    result.totalMacsPerStep = macsPerStep_;
+    return result;
+}
+
+std::vector<RolloutResult>
+CompiledModel::rolloutBatch(RunMode mode,
+                            std::span<const FloatTensor> noises) const
+{
+    const int64_t bsz = static_cast<int64_t>(noises.size());
+    if (bsz == 0)
+        return {};
+    const int64_t slab = spec_.inputShape.numel();
+    FloatTensor x(slab::withDim0(spec_.inputShape, bsz));
+    for (int64_t b = 0; b < bsz; ++b) {
+        validateSingle(noises[static_cast<size_t>(b)], "rolloutBatch");
+        std::copy(noises[static_cast<size_t>(b)].data().begin(),
+                  noises[static_cast<size_t>(b)].data().end(),
+                  x.data().begin() + b * slab);
+    }
+
+    BatchDittoState state;
+    state.primed.assign(static_cast<size_t>(bsz), 0);
+    std::vector<OpCounts> counts(static_cast<size_t>(bsz));
+    for (int t = 0; t < spec_.steps; ++t) {
+        const FloatTensor eps =
+            forwardBatch(x, mode, &state, counts.data());
+        x = add(x, affine(eps, -0.15f, 0.0f));
+    }
+
+    std::vector<RolloutResult> results(static_cast<size_t>(bsz));
+    for (int64_t b = 0; b < bsz; ++b) {
+        RolloutResult &r = results[static_cast<size_t>(b)];
+        r.finalImage = FloatTensor(spec_.inputShape);
+        std::copy(x.data().begin() + b * slab,
+                  x.data().begin() + (b + 1) * slab,
+                  r.finalImage.data().begin());
+        r.dittoOps = counts[static_cast<size_t>(b)];
+        r.totalMacsPerStep = macsPerStep_;
+    }
+    return results;
+}
+
+FloatTensor
+CompiledModel::requestNoise(uint64_t seed) const
+{
+    // A distinct key stream from the weight/init RNG so request noise
+    // never correlates with model parameters.
+    Rng rng = Rng::fromKeys(seed, 0x5EED'D177);
+    FloatTensor noise(spec_.inputShape);
+    noise.fillNormal(rng, 0.0, 1.0);
+    return noise;
+}
+
+void
+CompiledModel::calibrate()
+{
+    // Keyed on the spec content hash: two structurally identical specs
+    // share the entry, any geometry/seed/steps change misses. The salt
+    // versions the runtime calibration algorithm itself.
+    uint64_t key = hashMix(0xC0D1'770A, 1);
+    key = hashMix(key, spec_.hash());
+    key = hashMix(key, static_cast<uint64_t>(spec_.numScales));
+    if (loadCachedScales(key, static_cast<size_t>(spec_.numScales),
+                         &actScale_))
+        return;
+
+    // Offline calibration: FP32 rollout, max-abs at every quantization
+    // point across all steps, 10% safety margin (Q-Diffusion style).
+    std::vector<float> maxabs(static_cast<size_t>(spec_.numScales), 0.0f);
+    const std::function<void(int, const FloatTensor &)> obs =
+        [&maxabs](int idx, const FloatTensor &t) {
+            float m = maxabs[static_cast<size_t>(idx)];
+            for (float v : t.data())
+                m = std::max(m, std::fabs(v));
+            maxabs[static_cast<size_t>(idx)] = m;
+        };
+    FloatTensor x = noiseInit_;
+    for (int t = 0; t < spec_.steps; ++t) {
+        const FloatTensor eps = forwardFp32(x, &obs);
+        x = add(x, affine(eps, -0.15f, 0.0f));
+    }
+    actScale_.resize(static_cast<size_t>(spec_.numScales));
+    for (int i = 0; i < spec_.numScales; ++i)
+        actScale_[static_cast<size_t>(i)] =
+            std::max(maxabs[static_cast<size_t>(i)], 1e-6f) * 1.1f /
+            127.0f;
+    storeCachedScales(key, actScale_);
+}
+
+CompiledModel
+compile(const ModelSpec &spec, const CompileOptions &opts)
+{
+    DITTO_ASSERT(!spec.nodes.empty(), "cannot compile an empty spec");
+    DITTO_ASSERT(spec.inputShape.rank() == 4,
+                 "spec input must be an NCHW map");
+    CompiledModel m;
+    m.spec_ = spec;
+    m.opts_ = opts;
+
+    std::vector<int> n2l;
+    m.graph_ = spec.toGraph(&n2l);
+    m.deps_ = m.graph_.analyzeDependencies();
+    m.macsPerStep_ = m.graph_.totalMacs();
+
+    // The weight program: one deterministic stream, fan-in-scaled
+    // weights first, then constant contexts, then the initial noise
+    // (the phase order WeightSpec documents).
+    Rng rng = Rng::fromKeys(spec.seed, 0x11B5);
+    std::vector<FloatTensor> wF(spec.weights.size());
+    for (size_t i = 0; i < spec.weights.size(); ++i)
+        if (spec.weights[i].fanIn > 0)
+            wF[i] = randomWeight(rng, spec.weights[i].shape,
+                                 spec.weights[i].fanIn);
+    for (size_t i = 0; i < spec.weights.size(); ++i)
+        if (spec.weights[i].fanIn == 0) {
+            wF[i] = FloatTensor(spec.weights[i].shape);
+            wF[i].fillNormal(rng, 0.0, 1.0);
+        }
+    m.noiseInit_ = FloatTensor(spec.inputShape);
+    m.noiseInit_.fillNormal(rng, 0.0, 1.0);
+
+    // Engines.
+    m.nodes_.reserve(spec.nodes.size());
+    for (const NodeSpec &ns : spec.nodes) {
+        CompiledModel::Node nd;
+        nd.spec = ns;
+        nd.layer = n2l[static_cast<size_t>(ns.id)];
+        switch (ns.op) {
+          case RtOp::Conv2d: {
+            QuantW q = quantW(wF[static_cast<size_t>(ns.weight)]);
+            nd.conv.emplace(std::move(q.codes), ns.conv);
+            nd.wScale = q.scale;
+            nd.wF = wF[static_cast<size_t>(ns.weight)];
+            break;
+          }
+          case RtOp::Fc: {
+            QuantW q = quantW(wF[static_cast<size_t>(ns.weight)]);
+            nd.fc.emplace(std::move(q.codes));
+            nd.wScale = q.scale;
+            nd.wF = wF[static_cast<size_t>(ns.weight)];
+            break;
+          }
+          case RtOp::CrossScores: {
+            // K' = context x W^T is constant across steps: a weight
+            // from the hardware's point of view (computed in FP32 and
+            // quantized per-tensor, exactly like the legacy model).
+            nd.constF = fullyConnected(
+                wF[static_cast<size_t>(ns.context)],
+                wF[static_cast<size_t>(ns.weight)], nullptr);
+            QuantW q = quantW(nd.constF);
+            nd.cross.emplace(std::move(q.codes));
+            nd.wScale = q.scale;
+            break;
+          }
+          case RtOp::CrossOutput: {
+            // P' x V' with constant V' is weight-stationary with V'^T
+            // as the weight: O = P' V' = P' (V'^T)^T.
+            nd.constF = fullyConnected(
+                wF[static_cast<size_t>(ns.context)],
+                wF[static_cast<size_t>(ns.weight)], nullptr);
+            QuantW q = quantW(nd.constF);
+            nd.fc.emplace(transposeInt8(q.codes));
+            nd.wScale = q.scale;
+            break;
+          }
+          default:
+            break;
+        }
+        m.nodes_.push_back(std::move(nd));
+    }
+
+    // Dependency-driven state flow: a weight-stationary node whose
+    // verdict says difference calculation is bypassable consumes its
+    // producer's requantized difference when the producer is a single
+    // compute node reached through reshape-only wire (the software-
+    // realizable subset; Add/Concat/Pool junctions and dynamic
+    // attention operands conservatively stay full-value boundaries).
+    if (opts.useDependencyAnalysis) {
+        std::vector<int> consumers(spec.nodes.size(), 0);
+        for (const NodeSpec &ns : spec.nodes)
+            for (int in : ns.inputs)
+                ++consumers[static_cast<size_t>(in)];
+        for (const NodeSpec &ns : spec.nodes) {
+            if (ns.op != RtOp::Conv2d && ns.op != RtOp::Fc &&
+                ns.op != RtOp::CrossScores && ns.op != RtOp::CrossOutput)
+                continue;
+            const int layer = n2l[static_cast<size_t>(ns.id)];
+            if (m.deps_[static_cast<size_t>(layer)].diffCalcNeeded)
+                continue;
+            // Walk to the producer through reshape-only, single-
+            // consumer wire.
+            int p = ns.inputs[0];
+            bool eligible = true;
+            while (rtIsReshape(spec.nodes[static_cast<size_t>(p)].op)) {
+                if (consumers[static_cast<size_t>(p)] != 1) {
+                    eligible = false;
+                    break;
+                }
+                p = spec.nodes[static_cast<size_t>(p)].inputs[0];
+            }
+            if (!eligible ||
+                !rtIsCompute(spec.nodes[static_cast<size_t>(p)].op) ||
+                consumers[static_cast<size_t>(p)] != 1)
+                continue;
+            CompiledModel::Node &prod =
+                m.nodes_[static_cast<size_t>(p)];
+            if (prod.emitPayload)
+                continue; // one payload target per producer
+            // The producer's only consumer takes the difference, so
+            // the analysis must agree its summation is skippable.
+            DITTO_ASSERT(
+                !m.deps_[static_cast<size_t>(prod.layer)]
+                     .summationNeeded,
+                "bypass producer unexpectedly needs summation");
+            m.nodes_[static_cast<size_t>(ns.id)].diffBypass = true;
+            prod.emitPayload = true;
+            prod.emitScale = ns.scaleIn;
+            ++m.numBypass_;
+            ++m.numSumSkip_;
+        }
+        DITTO_ASSERT(!m.nodes_.back().emitPayload,
+                     "the output node cannot skip summation");
+    }
+
+    // Difference-state slots: every compute node keeps its previous
+    // accumulator; previous input codes only where diff-calc really
+    // happens (bypassed nodes hold no input state at all).
+    for (CompiledModel::Node &nd : m.nodes_) {
+        const RtOp op = nd.spec.op;
+        if (!rtIsCompute(op))
+            continue;
+        nd.outSlot = m.numOutSlots_++;
+        if (op == RtOp::AttnScores || op == RtOp::AttnOutput) {
+            nd.inSlot = m.numInSlots_++;
+            nd.inSlot2 = m.numInSlots_++;
+        } else if (!nd.diffBypass) {
+            nd.inSlot = m.numInSlots_++;
+        }
+    }
+
+    m.calibrate();
+    return m;
+}
+
+} // namespace ditto

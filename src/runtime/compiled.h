@@ -1,0 +1,276 @@
+/**
+ * @file
+ * CompiledModel: a ModelSpec compiled into a runnable Ditto program.
+ *
+ * compile() lowers a spec to the layer IR (ModelSpec::toGraph), runs
+ * Defo's static dependency analysis (ModelGraph::analyzeDependencies,
+ * paper Section IV-B) and builds a topologically-ordered program of
+ * engine nodes: every weight-stationary layer owns a persistent
+ * DiffConvEngine / DiffFcEngine / CrossAttentionEngine, attention
+ * layers route through the two-term difference expansion, and the
+ * per-node dependency verdict decides how difference state flows:
+ *
+ *  - diffCalcNeeded == false and the operand arrives from a single
+ *    compute producer through reshape-only wire: the node stores *no*
+ *    previous-input codes. Its producer requantizes its own resident
+ *    accumulator pair into the consumer's code domain and hands the
+ *    code difference over (runDiffPre) — the software realization of
+ *    "the producer's output is already a difference".
+ *  - summationNeeded == false (every consumer takes the difference):
+ *    the node never materializes its float output; consumers read the
+ *    requantized payload. OpCounts::diffCalcElems / summationElems
+ *    record exactly the work that was and wasn't done, which is what
+ *    the dependency-skip test asserts on.
+ *
+ * Both transformations are bitwise-exact: the requantized difference
+ * equals the subtraction of the consumer's stored codes element for
+ * element, so compiled execution of the MiniUnet preset reproduces the
+ * legacy hand-wired model bit for bit in every mode (the golden parity
+ * suite in tests/test_runtime.cc). Dynamic-attention operands are
+ * never bypassed in software — the two-term expansion needs the full
+ * previous operands regardless — so their verdicts remain a
+ * hardware-model quantity.
+ *
+ * The compiled surface mirrors the historic MiniUnet API: forward /
+ * forwardBatch / rollout / rolloutBatch / requestNoise with
+ * DittoState / BatchDittoState, so the serving layer (src/serve/)
+ * drives any compiled spec. Activation scales are calibrated by an
+ * FP32 rollout and disk-cached keyed on the spec's content hash
+ * (src/trace/calibrate.h).
+ */
+#ifndef DITTO_RUNTIME_COMPILED_H
+#define DITTO_RUNTIME_COMPILED_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/attention_diff.h"
+#include "core/diff_linear.h"
+#include "core/run_mode.h"
+#include "quant/quantizer.h"
+#include "runtime/spec.h"
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/** Compilation options. */
+struct CompileOptions
+{
+    /**
+     * Honor the static dependency analysis (diff-calc bypass and
+     * summation skip). Off compiles every boundary as a full-value
+     * boundary — the naive algorithm the paper's Fig. 8 compares
+     * against; results are bitwise identical either way.
+     */
+    bool useDependencyAnalysis = true;
+
+    /** Engine policy: Auto (Defo reversion) or ForceDiff (tests). */
+    DiffPolicy policy = DiffPolicy::Auto;
+};
+
+/** A ModelSpec compiled into an executable engine program. */
+class CompiledModel
+{
+  public:
+    /** Per-layer state for difference processing across steps. */
+    struct DittoState
+    {
+        std::vector<Int8Tensor> prevIn;   //!< previous input codes
+        std::vector<Int32Tensor> prevOut; //!< previous int32 outputs
+        bool primed = false;
+    };
+
+    /**
+     * Per-layer state for a *batch* of concurrent Ditto requests:
+     * every slot holds the requests' tensors stacked along the batch
+     * (NCHW) or row (token-matrix) dimension, one primed flag per
+     * slab. Slab b of every slot always belongs to the same request;
+     * the serving layer edits the batch with appendSlabs / removeSlab
+     * / resetSlab as requests join or finish (see src/serve/).
+     */
+    struct BatchDittoState
+    {
+        std::vector<Int8Tensor> prevIn;
+        std::vector<Int32Tensor> prevOut;
+        std::vector<uint8_t> primed;
+
+        int64_t batch() const
+        {
+            return static_cast<int64_t>(primed.size());
+        }
+
+        /** Append one unprimed slab (a request joining the batch). */
+        void appendSlab() { appendSlabs(1); }
+
+        /** Append `count` unprimed slabs in one reallocation. */
+        void appendSlabs(int64_t count);
+
+        /** Remove slab `i`; later slabs shift down. */
+        void removeSlab(int64_t i);
+
+        /**
+         * Hand slab `i` to a new request in place: clears its primed
+         * flag; the stale tensors are never read while unprimed (the
+         * continuous-batching fast path).
+         */
+        void resetSlab(int64_t i)
+        {
+            primed[static_cast<size_t>(i)] = 0;
+        }
+    };
+
+    const ModelSpec &spec() const { return spec_; }
+    const ModelGraph &graph() const { return graph_; }
+
+    /** Dependency verdicts per graph layer (compile-time analysis). */
+    const std::vector<LayerDependency> &dependencies() const
+    {
+        return deps_;
+    }
+
+    /** Nodes that consume their producer's difference directly. */
+    int numDiffBypassNodes() const { return numBypass_; }
+    /** Nodes that never materialize a float output in quant modes. */
+    int numSumSkipNodes() const { return numSumSkip_; }
+
+    const Shape &inputShape() const { return spec_.inputShape; }
+    int defaultSteps() const { return spec_.steps; }
+
+    /** MACs of one denoising step (all steady-state compute layers). */
+    int64_t macsPerStep() const { return macsPerStep_; }
+
+    /**
+     * One denoising-model evaluation (predicted noise), x shaped
+     * inputShape(). `state` is required (and used) only for
+     * RunMode::QuantDitto; pass the same object for consecutive steps.
+     */
+    FloatTensor forward(const FloatTensor &x, RunMode mode,
+                        DittoState *state, OpCounts *counts) const;
+
+    /**
+     * One evaluation for a stacked batch of requests: x is
+     * [B, C, H, W] and every request's slab is computed with exactly
+     * the arithmetic of forward() on its own tensors — batched results
+     * are bitwise identical to per-request rollouts at any thread
+     * count and batch size.
+     *
+     * @param state required for RunMode::QuantDitto; its batch() must
+     *        equal x's batch dimension.
+     * @param counts per-request tallies (array of B, or null).
+     */
+    FloatTensor forwardBatch(const FloatTensor &x, RunMode mode,
+                             BatchDittoState *state,
+                             OpCounts *counts) const;
+
+    /** Full reverse diffusion from the model's own seeded noise. */
+    RolloutResult rollout(RunMode mode) const;
+
+    /**
+     * Reverse diffusion from caller-provided noise (shape-checked
+     * loudly). @param steps 0 uses defaultSteps().
+     */
+    RolloutResult rollout(RunMode mode, const FloatTensor &noise,
+                          int steps = 0) const;
+
+    /**
+     * Run N full reverse diffusions as one batch; results are bitwise
+     * identical to rollout(mode, noises[i]) for every i.
+     */
+    std::vector<RolloutResult>
+    rolloutBatch(RunMode mode, std::span<const FloatTensor> noises) const;
+
+    /**
+     * Deterministic per-request initial noise: a request's trajectory
+     * is a pure function of (spec, seed, steps), never of batch
+     * composition.
+     */
+    FloatTensor requestNoise(uint64_t seed) const;
+
+  private:
+    friend CompiledModel compile(const ModelSpec &spec,
+                                 const CompileOptions &opts);
+
+    /** One compiled node: spec + engines + state/dependency wiring. */
+    struct Node
+    {
+        NodeSpec spec;
+        std::optional<DiffConvEngine> conv;
+        std::optional<DiffFcEngine> fc; //!< Fc and CrossOutput (V'^T)
+        std::optional<CrossAttentionEngine> cross;
+        float wScale = 1.0f;  //!< weight / K' / V' quantization scale
+        FloatTensor wF;       //!< FP32 weight (FP32 path)
+        FloatTensor constF;   //!< FP32 K'/V' constant (cross nodes)
+        int inSlot = -1;      //!< previous-input slot; -1 when bypassed
+        int inSlot2 = -1;     //!< second operand slot (attention)
+        int outSlot = -1;     //!< previous-output (accumulator) slot
+        bool diffBypass = false; //!< operand diff handed over by producer
+        bool emitPayload = false; //!< requantizes its accumulator for a
+                                  //!< bypass consumer; float output is
+                                  //!< never materialized in quant modes
+        int emitScale = -1;   //!< the consumer's quantization point
+        int layer = -1;       //!< graph layer id (dependency verdict)
+    };
+
+    /** Activation values flowing through one forward pass. */
+    struct Value
+    {
+        FloatTensor f;     //!< full values (absent on skipped edges)
+        Int8Tensor codes;  //!< consumer-scale codes (bypass payload)
+        Int16Tensor d16;   //!< consumer-scale code delta (primed steps)
+    };
+
+    CompiledModel() = default;
+
+    void validateSingle(const FloatTensor &x, const char *what) const;
+    void calibrate();
+    float combinedScale(const Node &nd) const;
+
+    /**
+     * Execute one vector / structural / reshape node (everything the
+     * engines don't own) on the pass's value table. Shared verbatim
+     * by the single and batched quant executors: every op here is
+     * batch-general (stacked NCHW and row-stacked token matrices are
+     * handled identically), and reshapes carry the bypass payload.
+     */
+    void runStructural(const Node &nd, std::vector<Value> &vals,
+                       const FloatTensor &x) const;
+
+    FloatTensor
+    forwardFp32(const FloatTensor &x,
+                const std::function<void(int, const FloatTensor &)> *obs)
+        const;
+    FloatTensor forwardQuant(const FloatTensor &x, bool use_ditto,
+                             DittoState *state, OpCounts *counts) const;
+    FloatTensor forwardQuantBatch(const FloatTensor &x, bool use_ditto,
+                                  BatchDittoState *state,
+                                  OpCounts *counts) const;
+
+    ModelSpec spec_;
+    CompileOptions opts_;
+    ModelGraph graph_{""};
+    std::vector<LayerDependency> deps_;
+    std::vector<Node> nodes_;
+    std::vector<float> actScale_;
+    FloatTensor noiseInit_;
+    int numInSlots_ = 0;
+    int numOutSlots_ = 0;
+    int numBypass_ = 0;
+    int numSumSkip_ = 0;
+    int64_t macsPerStep_ = 0;
+};
+
+/**
+ * Compile a ModelSpec into a runnable program: draw the weight
+ * program, lower to the layer IR, run the dependency analysis, build
+ * the engines and calibrate activation scales (disk-cached on the
+ * spec's content hash).
+ */
+CompiledModel compile(const ModelSpec &spec,
+                      const CompileOptions &opts = {});
+
+} // namespace ditto
+
+#endif // DITTO_RUNTIME_COMPILED_H

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Preset spec builders.
+ *
+ * miniUnetSpec reproduces the legacy hand-wired model exactly: the
+ * node topology mirrors the legacy forward pass, quantization points
+ * share exactly where the legacy enum shared them (the attention
+ * q/k/v triple reads one scale), and the weight registration order
+ * matches the legacy constructor's draw order (the builder's phase
+ * rule — fan-in weights first, contexts second, noise last — does the
+ * rest). tests/test_runtime.cc asserts the result is bitwise
+ * identical to core/legacy_unet.h in every mode.
+ */
+#include "runtime/presets.h"
+
+#include <cmath>
+
+namespace ditto {
+
+ModelSpec
+miniUnetSpec(const MiniUnetConfig &cfg)
+{
+    const int64_t c = cfg.channels;
+    const int64_t res = cfg.resolution;
+    const int64_t ic = cfg.inChannels;
+    const float inv_sqrt_c = 1.0f / std::sqrt(static_cast<float>(c));
+
+    GraphBuilder b("mini_unet");
+    b.setSeed(cfg.seed);
+    b.setSteps(cfg.steps);
+
+    const int x = b.input(ic, res);
+    const int s_conv_in = b.newScale();
+    const int h0 = b.conv2d("conv_in", x, c, 3, 1, 1, s_conv_in);
+
+    // Residual block.
+    const int gn1 = b.groupNorm("res_gn1", h0, 2);
+    const int a1 = b.silu("res_silu1", gn1);
+    const int s_res1 = b.newScale();
+    const int r1 = b.conv2d("res_conv1", a1, c, 3, 1, 1, s_res1);
+    const int gn2 = b.groupNorm("res_gn2", r1, 2);
+    const int a2 = b.silu("res_silu2", gn2);
+    const int s_res2 = b.newScale();
+    const int r2 = b.conv2d("res_conv2", a2, c, 3, 1, 1, s_res2);
+    const int h1 = b.add("res_add", h0, r2);
+
+    // Self attention: the q/k/v convolutions share one quantization
+    // point — they quantize the same normalized feature map.
+    const int g = b.groupNorm("attn_gn", h1, 2);
+    const int s_attn_in = b.newScale();
+    const int qc = b.conv2d("attn_q", g, c, 1, 1, 0, s_attn_in);
+    const int kc = b.conv2d("attn_k", g, c, 1, 1, 0, s_attn_in);
+    const int vc = b.conv2d("attn_v", g, c, 1, 1, 0, s_attn_in);
+    const int qt = b.nchwToTokens("attn_q_tok", qc);
+    const int kt = b.nchwToTokens("attn_k_tok", kc);
+    const int vt = b.nchwToTokens("attn_v_tok", vc);
+    const int s_q = b.newScale();
+    const int s_k = b.newScale();
+    const int qk = b.attnScores("attn_qk", qt, kt, s_q, s_k);
+    const int qks = b.affine("attn_scale", qk, inv_sqrt_c, 0.0f);
+    const int prob = b.softmax("attn_softmax", qks);
+    const int s_p = b.newScale();
+    const int s_v = b.newScale();
+    const int o = b.attnOutput("attn_pv", prob, vt, s_p, s_v);
+    const int on = b.tokensToNchw("attn_o_nchw", o, res, res);
+    const int s_proj = b.newScale();
+    const int proj = b.conv2d("attn_proj", on, c, 1, 1, 0, s_proj);
+    const int h2 = b.add("attn_add", h1, proj);
+
+    // Cross attention with a constant context.
+    const int tok = b.nchwToTokens("cross_tok", h2);
+    const int ctx = b.contextWeight(cfg.ctxTokens, cfg.ctxDim);
+    const int s_cross_in = b.newScale();
+    const int q2 = b.fc("cross_q", tok, c, s_cross_in);
+    const int s_cross_q = b.newScale();
+    const int s2 = b.crossScores("cross_qk", q2, ctx, s_cross_q);
+    const int s2s = b.affine("cross_scale", s2, inv_sqrt_c, 0.0f);
+    const int prob2 = b.softmax("cross_softmax", s2s);
+    const int s_cross_p = b.newScale();
+    const int o2 = b.crossOutput("cross_pv", prob2, ctx, c, s_cross_p);
+    const int s_cross_o = b.newScale();
+    const int co = b.fc("cross_out", o2, c, s_cross_o);
+    const int con = b.tokensToNchw("cross_out_nchw", co, res, res);
+    const int h3 = b.add("cross_add", h2, con);
+
+    // Output head.
+    const int gn3 = b.groupNorm("out_gn", h3, 2);
+    const int a3 = b.silu("out_silu", gn3);
+    const int s_conv_out = b.newScale();
+    b.conv2d("conv_out", a3, ic, 3, 1, 1, s_conv_out);
+    return b.build();
+}
+
+ModelSpec
+deepUnetSpec(const DeepUnetConfig &cfg)
+{
+    const int64_t c0 = cfg.baseChannels;
+    const int64_t c1 = c0 * 2;
+    const int64_t res = cfg.resolution;
+    const int64_t ic = cfg.inChannels;
+    const float inv_sqrt_c1 = 1.0f / std::sqrt(static_cast<float>(c1));
+
+    GraphBuilder b("deep_unet");
+    b.setSeed(cfg.seed);
+    b.setSteps(cfg.steps);
+
+    const int x = b.input(ic, res);
+    const int h0 = b.conv2d("enc_conv_in", x, c0, 3, 1, 1, b.newScale());
+
+    // Level-0 residual block.
+    const int e_gn1 = b.groupNorm("enc_gn1", h0, 2);
+    const int e_a1 = b.silu("enc_silu1", e_gn1);
+    const int e_c1 =
+        b.conv2d("enc_conv1", e_a1, c0, 3, 1, 1, b.newScale());
+    const int e_gn2 = b.groupNorm("enc_gn2", e_c1, 2);
+    const int e_a2 = b.silu("enc_silu2", e_gn2);
+    const int e_c2 =
+        b.conv2d("enc_conv2", e_a2, c0, 3, 1, 1, b.newScale());
+    const int skip = b.add("enc_add", h0, e_c2); // kept for the decoder
+
+    // Downsample to level 1 and widen.
+    const int pooled = b.avgPool2x("down_pool", skip);
+    const int d0 =
+        b.conv2d("down_conv", pooled, c1, 3, 1, 1, b.newScale());
+
+    // Bottleneck residual block + self attention at half resolution.
+    const int b_gn1 = b.groupNorm("mid_gn1", d0, 2);
+    const int b_a1 = b.silu("mid_silu1", b_gn1);
+    const int b_c1 =
+        b.conv2d("mid_conv1", b_a1, c1, 3, 1, 1, b.newScale());
+    const int mid = b.add("mid_add", d0, b_c1);
+
+    const int m_gn = b.groupNorm("mid_attn_gn", mid, 2);
+    const int s_attn_in = b.newScale();
+    const int mq = b.conv2d("mid_attn_q", m_gn, c1, 1, 1, 0, s_attn_in);
+    const int mk = b.conv2d("mid_attn_k", m_gn, c1, 1, 1, 0, s_attn_in);
+    const int mv = b.conv2d("mid_attn_v", m_gn, c1, 1, 1, 0, s_attn_in);
+    const int mqt = b.nchwToTokens("mid_q_tok", mq);
+    const int mkt = b.nchwToTokens("mid_k_tok", mk);
+    const int mvt = b.nchwToTokens("mid_v_tok", mv);
+    const int s_mq = b.newScale();
+    const int s_mk = b.newScale();
+    const int ms = b.attnScores("mid_qk", mqt, mkt, s_mq, s_mk);
+    const int mss = b.affine("mid_scale", ms, inv_sqrt_c1, 0.0f);
+    const int mp = b.softmax("mid_softmax", mss);
+    const int s_mp = b.newScale();
+    const int s_mv = b.newScale();
+    const int mo = b.attnOutput("mid_pv", mp, mvt, s_mp, s_mv);
+    const int mon = b.tokensToNchw("mid_o_nchw", mo, res / 2, res / 2);
+    const int mproj =
+        b.conv2d("mid_proj", mon, c1, 1, 1, 0, b.newScale());
+    const int bott = b.add("mid_attn_add", mid, mproj);
+
+    // Decoder: upsample, concat the level-0 skip, fuse.
+    const int up = b.upsample2x("dec_up", bott);
+    const int cat = b.concat("dec_concat", up, skip);
+    const int fuse =
+        b.conv2d("dec_fuse", cat, c0, 3, 1, 1, b.newScale());
+    // fuse -> mix is a direct compute-to-compute edge: the dependency
+    // analysis bypasses mix's difference calculation and fuse's
+    // summation (the deep-UNet instance of the Section IV-B skip).
+    const int mix = b.conv2d("dec_mix", fuse, c0, 1, 1, 0, b.newScale());
+    const int d_gn = b.groupNorm("dec_gn", mix, 2);
+    const int d_a = b.silu("dec_silu", d_gn);
+    b.conv2d("dec_conv_out", d_a, ic, 3, 1, 1, b.newScale());
+    return b.build();
+}
+
+ModelSpec
+ditBlockSpec(const DitBlockConfig &cfg)
+{
+    const int64_t d = cfg.embedDim;
+    const int64_t res = cfg.resolution;
+    const int64_t ic = cfg.inChannels;
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+
+    GraphBuilder b("dit_block");
+    b.setSeed(cfg.seed);
+    b.setSteps(cfg.steps);
+
+    const int x = b.input(ic, res);
+    const int tok = b.nchwToTokens("patchify", x);
+    const int e = b.fc("embed", tok, d, b.newScale());
+
+    // Self-attention sub-block.
+    const int ln1 = b.layerNorm("ln1", e);
+    const int s_qkv = b.newScale(); // q/k/v quantize the same rows
+    const int q = b.fc("attn_q", ln1, d, s_qkv);
+    const int k = b.fc("attn_k", ln1, d, s_qkv);
+    const int v = b.fc("attn_v", ln1, d, s_qkv);
+    const int s_aq = b.newScale();
+    const int s_ak = b.newScale();
+    const int s = b.attnScores("attn_qk", q, k, s_aq, s_ak);
+    const int ss = b.affine("attn_scale", s, inv_sqrt_d, 0.0f);
+    const int p = b.softmax("attn_softmax", ss);
+    const int s_ap = b.newScale();
+    const int s_av = b.newScale();
+    const int o = b.attnOutput("attn_pv", p, v, s_ap, s_av);
+    // o -> proj is a direct compute-to-compute edge (diff-calc
+    // bypass), the transformer instance of the Section IV-B skip.
+    const int proj = b.fc("attn_proj", o, d, b.newScale());
+    const int h1 = b.add("attn_residual", e, proj);
+
+    // GeLU MLP sub-block.
+    const int ln2 = b.layerNorm("ln2", h1);
+    const int m1 =
+        b.fc("mlp_fc1", ln2, d * cfg.mlpRatio, b.newScale());
+    const int gg = b.gelu("mlp_gelu", m1);
+    const int m2 = b.fc("mlp_fc2", gg, d, b.newScale());
+    const int h2 = b.add("mlp_residual", h1, m2);
+
+    const int un = b.fc("unembed", h2, ic, b.newScale());
+    b.tokensToNchw("unpatchify", un, res, res);
+    return b.build();
+}
+
+} // namespace ditto

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Preset ModelSpecs: the models the graph runtime ships ready to
+ * compile.
+ *
+ *  - miniUnetSpec: the historic MiniUnet slice, node for node and
+ *    weight draw for weight draw — compiled execution is bitwise
+ *    identical to the legacy hand-wired implementation
+ *    (core/legacy_unet.h), the golden parity suite's subject.
+ *  - deepUnetSpec: a deeper multi-scale UNet (downsample, bottleneck
+ *    attention, upsample, skip concat) — the workload shape the
+ *    encoder/decoder UNets of Table I have and the hand-wired model
+ *    could not express. Its fuse -> mix convolution pair is a direct
+ *    compute-to-compute edge the dependency analysis bypasses.
+ *  - ditBlockSpec: a DiT-style transformer block (patch embed,
+ *    LayerNorm, self attention, GeLU MLP, unembed) — the
+ *    transformer-family workload (DiT/Latte in Table I; the targets of
+ *    Δ-DiT and BlockDance).
+ *
+ * All three run end to end through CompiledModel and the serving
+ * layer; QuantDitto is bitwise identical to QuantDirect on every one
+ * (the distributive identity is exact in the integer domain).
+ */
+#ifndef DITTO_RUNTIME_PRESETS_H
+#define DITTO_RUNTIME_PRESETS_H
+
+#include <cstdint>
+
+#include "runtime/spec.h"
+
+namespace ditto {
+
+/** MiniUnet configuration (the historic core/mini_unet.h knobs). */
+struct MiniUnetConfig
+{
+    int64_t channels = 8;    //!< working channel width
+    int64_t resolution = 8;  //!< spatial extent
+    int64_t inChannels = 3;  //!< input/output channels
+    int64_t ctxTokens = 4;   //!< cross-attention context length
+    int64_t ctxDim = 8;      //!< cross-attention context width
+    int steps = 6;           //!< reverse-diffusion steps
+    uint64_t seed = 42;      //!< weight/init RNG seed
+};
+
+/** The MiniUnet slice as a spec (legacy-bitwise when compiled). */
+ModelSpec miniUnetSpec(const MiniUnetConfig &cfg);
+
+/** Deep multi-scale UNet configuration. */
+struct DeepUnetConfig
+{
+    int64_t baseChannels = 16; //!< level-0 width (doubles at level 1)
+    int64_t resolution = 16;   //!< input extent (must be even)
+    int64_t inChannels = 3;
+    int steps = 8;
+    uint64_t seed = 77;
+};
+
+/** Two-level UNet: down / bottleneck attention / up / skip concat. */
+ModelSpec deepUnetSpec(const DeepUnetConfig &cfg);
+
+/** DiT-style transformer block configuration. */
+struct DitBlockConfig
+{
+    int64_t embedDim = 24;  //!< token embedding width
+    int64_t resolution = 8; //!< input extent (tokens = resolution^2)
+    int64_t inChannels = 4; //!< latent channels
+    int64_t mlpRatio = 2;   //!< MLP hidden width multiplier
+    int steps = 8;
+    uint64_t seed = 99;
+};
+
+/** Patch embed + LayerNorm self-attention block + GeLU MLP + unembed. */
+ModelSpec ditBlockSpec(const DitBlockConfig &cfg);
+
+} // namespace ditto
+
+#endif // DITTO_RUNTIME_PRESETS_H

@@ -35,8 +35,8 @@ extractImageSlab(const FloatTensor &x, int64_t i)
 
 } // namespace
 
-BatchEngine::BatchEngine(const MiniUnet &net, int64_t max_batch)
-    : net_(net), maxBatch_(max_batch)
+BatchEngine::BatchEngine(const CompiledModel &model, int64_t max_batch)
+    : model_(model), maxBatch_(max_batch)
 {
     DITTO_ASSERT(max_batch >= 1, "batch engine needs capacity >= 1");
 }
@@ -66,7 +66,7 @@ BatchEngine::admitBatch(std::span<const uint64_t> ids,
     const int64_t n0 = active();
     // One grow for the image stack and one per state tensor, then
     // fill the new slabs in place.
-    const FloatTensor first = net_.requestNoise(reqs[0].seed);
+    const FloatTensor first = model_.requestNoise(reqs[0].seed);
     if (n0 > 0) {
         x_ = slab::appended(x_, n0, k);
     } else {
@@ -76,13 +76,13 @@ BatchEngine::admitBatch(std::span<const uint64_t> ids,
     state_.appendSlabs(k); // joins unprimed: first step runs direct
     for (int64_t j = 0; j < k; ++j) {
         const FloatTensor noise =
-            j == 0 ? first : net_.requestNoise(reqs[j].seed);
+            j == 0 ? first : model_.requestNoise(reqs[j].seed);
         std::copy(noise.data().begin(), noise.data().end(),
                   x_.data().begin() + (n0 + j) * slab_elems);
         Slot slot;
         slot.id = ids[j];
         slot.stepsTotal =
-            reqs[j].steps > 0 ? reqs[j].steps : net_.config().steps;
+            reqs[j].steps > 0 ? reqs[j].steps : model_.defaultSteps();
         slot.ditto = reqs[j].mode == RunMode::QuantDitto;
         slots_.push_back(slot);
     }
@@ -93,7 +93,7 @@ BatchEngine::step()
 {
     DITTO_ASSERT(!empty(), "step on an empty batch engine");
     stepCounts_.assign(slots_.size(), OpCounts{});
-    const FloatTensor eps = net_.forwardBatch(
+    const FloatTensor eps = model_.forwardBatch(
         x_, RunMode::QuantDitto, &state_, stepCounts_.data());
     x_ = add(x_, affine(eps, -0.15f, 0.0f));
     for (size_t i = 0; i < slots_.size(); ++i) {
@@ -143,10 +143,10 @@ BatchEngine::replaceSlot(int64_t i, uint64_t id, const DenoiseRequest &req)
                  "replacing an unfinished slot");
     slot.id = id;
     slot.stepsDone = 0;
-    slot.stepsTotal = req.steps > 0 ? req.steps : net_.config().steps;
+    slot.stepsTotal = req.steps > 0 ? req.steps : model_.defaultSteps();
     slot.ditto = req.mode == RunMode::QuantDitto;
     slot.ops = OpCounts{};
-    const FloatTensor noise = net_.requestNoise(req.seed);
+    const FloatTensor noise = model_.requestNoise(req.seed);
     std::copy(noise.data().begin(), noise.data().end(),
               x_.data().begin() + i * noise.numel());
     state_.resetSlab(i); // stale state is never read while unprimed

@@ -3,8 +3,9 @@
  * BatchEngine: the execution core of the denoising server.
  *
  * One engine owns one in-flight batch: the stacked image tensor, the
- * stacked Ditto state (MiniUnet::BatchDittoState) and one slot record
- * per request. Requests join between steps (continuous batching), run
+ * stacked Ditto state (CompiledModel::BatchDittoState) and one slot
+ * record per request. The engine serves any CompiledModel — the
+ * MiniUnet preset, the deep UNet, the DiT block or a custom spec. Requests join between steps (continuous batching), run
  * however many steps they individually asked for, and retire as they
  * finish — so slabs at different timesteps share every forwardBatch
  * call. Each slab's arithmetic is exactly the single-request
@@ -19,7 +20,7 @@
 #include <span>
 #include <vector>
 
-#include "core/mini_unet.h"
+#include "runtime/compiled.h"
 #include "serve/request.h"
 
 namespace ditto {
@@ -37,7 +38,7 @@ class BatchEngine
         int steps = 0;
     };
 
-    BatchEngine(const MiniUnet &net, int64_t max_batch);
+    BatchEngine(const CompiledModel &model, int64_t max_batch);
 
     int64_t capacity() const { return maxBatch_; }
     int64_t active() const
@@ -102,10 +103,10 @@ class BatchEngine
         OpCounts ops;
     };
 
-    const MiniUnet &net_;
+    const CompiledModel &model_;
     const int64_t maxBatch_;
     FloatTensor x_; //!< stacked [active, inChannels, res, res]
-    MiniUnet::BatchDittoState state_;
+    CompiledModel::BatchDittoState state_;
     std::vector<Slot> slots_;
     std::vector<OpCounts> stepCounts_; //!< per-step scratch
 };

@@ -3,25 +3,26 @@
  * Request and result types of the batched denoising server.
  *
  * A request is a pure value: (seed, steps, mode). Its result is a pure
- * function of that value and the model configuration — never of batch
+ * function of that value and the served model — never of batch
  * composition, queueing order, worker count or thread count. That is
  * the serving layer's bitwise-equivalence guarantee (docs/serving.md):
  * serving a request batched is bit-for-bit the same as running
- * MiniUnet::rollout(mode, net.requestNoise(seed)) alone.
+ * model.rollout(mode, model.requestNoise(seed)) alone, for any
+ * CompiledModel.
  */
 #ifndef DITTO_SERVE_REQUEST_H
 #define DITTO_SERVE_REQUEST_H
 
 #include <cstdint>
 
-#include "core/mini_unet.h"
+#include "core/run_mode.h"
 
 namespace ditto {
 
 /** One denoising request submitted to the server. */
 struct DenoiseRequest
 {
-    /** Seed of the request's initial noise (MiniUnet::requestNoise). */
+    /** Seed of the request's initial noise (CompiledModel::requestNoise). */
     uint64_t seed = 0;
 
     /** Reverse-diffusion steps; 0 uses the model's configured count. */

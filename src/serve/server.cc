@@ -11,48 +11,26 @@
  */
 #include "serve/server.h"
 
-#include <cstdlib>
-
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace ditto {
-
-namespace {
-
-/** Integer environment override, or `fallback` when unset/invalid. */
-int64_t
-envInt64(const char *name, int64_t fallback, int64_t lo, int64_t hi)
-{
-    const char *env = std::getenv(name);
-    if (!env)
-        return fallback;
-    char *end = nullptr;
-    const long long v = std::strtoll(env, &end, 10);
-    if (end == env || v < lo || v > hi) {
-        std::fprintf(stderr, "[ditto] ignoring invalid %s=\"%s\"\n", name,
-                     env);
-        return fallback;
-    }
-    return static_cast<int64_t>(v);
-}
-
-} // namespace
 
 ServerConfig
 ServerConfig::fromEnv()
 {
     ServerConfig cfg;
     cfg.maxBatch =
-        envInt64("DITTO_SERVE_MAX_BATCH", cfg.maxBatch, 1, 4096);
-    cfg.maxWaitMicros = envInt64("DITTO_SERVE_MAX_WAIT_US",
-                                 cfg.maxWaitMicros, 0, 60'000'000);
+        env::readInt64("DITTO_SERVE_MAX_BATCH", cfg.maxBatch, 1, 4096);
+    cfg.maxWaitMicros = env::readInt64("DITTO_SERVE_MAX_WAIT_US",
+                                       cfg.maxWaitMicros, 0, 60'000'000);
     cfg.workers = static_cast<int>(
-        envInt64("DITTO_SERVE_WORKERS", cfg.workers, 1, 256));
+        env::readInt64("DITTO_SERVE_WORKERS", cfg.workers, 1, 256));
     return cfg;
 }
 
-DenoiseServer::DenoiseServer(const MiniUnet &net, ServerConfig cfg)
-    : net_(net), cfg_(cfg)
+DenoiseServer::DenoiseServer(const CompiledModel &model, ServerConfig cfg)
+    : model_(model), cfg_(cfg)
 {
     workers_.reserve(static_cast<size_t>(cfg_.workers));
     for (int i = 0; i < cfg_.workers; ++i)
@@ -73,11 +51,16 @@ DenoiseServer::~DenoiseServer()
 uint64_t
 DenoiseServer::submit(const DenoiseRequest &req)
 {
-    // Reject unsupported modes at the API boundary, in the caller's
+    // Reject malformed requests at the API boundary, in the caller's
     // thread — a bad request must not take down a worker mid-batch.
     DITTO_ASSERT(req.mode == RunMode::QuantDitto ||
                  req.mode == RunMode::QuantDirect,
                  "only quantized modes are served batched");
+    if (req.steps < 0)
+        DITTO_FATAL("submit: negative step count " << req.steps);
+    if (req.maxWaitMicros < -1)
+        DITTO_FATAL("submit: malformed maxWaitMicros "
+                    << req.maxWaitMicros << " (want -1, 0 or a window)");
     std::unique_lock<std::mutex> lock(mutex_);
     DITTO_ASSERT(!stopping_, "submit on a stopping server");
     Pending p;
@@ -147,7 +130,7 @@ DenoiseServer::stats() const
 void
 DenoiseServer::workerLoop()
 {
-    BatchEngine engine(net_, cfg_.maxBatch);
+    BatchEngine engine(model_, cfg_.maxBatch);
     for (;;) {
         // Queue pops, timing and stats happen under the lock; the
         // engine mutations they lead to (noise generation, stacked

@@ -78,11 +78,11 @@ struct ServerStats
     }
 };
 
-/** Asynchronous multi-request denoising server over one MiniUnet. */
+/** Asynchronous multi-request denoising server over one CompiledModel. */
 class DenoiseServer
 {
   public:
-    explicit DenoiseServer(const MiniUnet &net,
+    explicit DenoiseServer(const CompiledModel &model,
                            ServerConfig cfg = ServerConfig::fromEnv());
 
     /** Completes all submitted work, then stops the workers. */
@@ -129,7 +129,7 @@ class DenoiseServer
 
     void workerLoop();
 
-    const MiniUnet &net_;
+    const CompiledModel &model_;
     const ServerConfig cfg_;
 
     mutable std::mutex mutex_;

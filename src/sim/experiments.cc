@@ -113,7 +113,7 @@ runTable1()
 {
     std::vector<ModelZooRow> rows;
     for (ModelId id : allModels()) {
-        const ModelSpec &spec = modelSpec(id);
+        const ModelInfo &spec = modelInfo(id);
         const ModelGraph graph = buildModel(id);
         ModelZooRow r;
         r.abbr = spec.abbr;
@@ -334,7 +334,7 @@ runFig13Gpu()
         const RunResult itc =
             simulate(makeConfig(HwDesign::ITC), graph, trace);
         const GpuResult gpu =
-            simulateGpu(graph, modelSpec(id).sampler.totalSteps());
+            simulateGpu(graph, modelInfo(id).sampler.totalSteps());
         rows.push_back({modelAbbr(id), itc.timeMs / gpu.timeMs,
                         gpu.energyJ / itc.totalEnergyJ()});
     }

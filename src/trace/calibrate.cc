@@ -13,6 +13,7 @@
 #include <map>
 
 #include "common/bisect.h"
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace ditto {
@@ -197,12 +198,9 @@ hashMix(uint64_t h, uint64_t value)
 std::string
 calibrationCacheDir()
 {
-    const char *off = std::getenv("DITTO_NO_CACHE");
-    if (off && off[0] != '\0' && off[0] != '0')
+    if (env::readFlag("DITTO_NO_CACHE"))
         return {};
-    const char *dir = std::getenv("DITTO_CACHE_DIR");
-    return (dir && dir[0] != '\0') ? std::string(dir)
-                                   : std::string(".ditto-cache");
+    return env::readString("DITTO_CACHE_DIR", ".ditto-cache");
 }
 
 bool

@@ -31,7 +31,7 @@ TraceProvider::TraceProvider(ModelId id, const ModelGraph &graph,
                              TraceOptions options)
     : graph_(&graph), modelId_(id), options_(options),
       base_(calibratedParams(id)),
-      steps_(modelSpec(id).sampler.totalSteps())
+      steps_(modelInfo(id).sampler.totalSteps())
 {
     const int n = graph.numLayers();
     layerFactor_.resize(n, 1.0);

@@ -45,9 +45,9 @@ TEST(OpKind, NonLinearAndTransparent)
     EXPECT_FALSE(isDiffTransparent(OpKind::SiLU));
 }
 
-TEST(GraphBuilder, ConvGeometry)
+TEST(LayerGraphBuilder, ConvGeometry)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 3 * 8 * 8);
     const int c = b.conv2d("conv", x, 3, 16, 3, 1, 1, 8, 8);
     const Layer &l = b.graph().layer(c);
@@ -57,17 +57,17 @@ TEST(GraphBuilder, ConvGeometry)
     EXPECT_EQ(l.macs, 16 * 8 * 8 * 3 * 3 * 3);
 }
 
-TEST(GraphBuilder, StridedConvHalvesOutput)
+TEST(LayerGraphBuilder, StridedConvHalvesOutput)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 4 * 8 * 8);
     const int c = b.conv2d("down", x, 4, 4, 3, 2, 1, 8, 8);
     EXPECT_EQ(b.graph().layer(c).outputElems, 4 * 4 * 4);
 }
 
-TEST(GraphBuilder, FcGeometry)
+TEST(LayerGraphBuilder, FcGeometry)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 10 * 32);
     const int f = b.fc("fc", x, 10, 32, 64);
     const Layer &l = b.graph().layer(f);
@@ -76,9 +76,9 @@ TEST(GraphBuilder, FcGeometry)
     EXPECT_EQ(l.outputElems, 10 * 64);
 }
 
-TEST(GraphBuilder, AttentionGeometry)
+TEST(LayerGraphBuilder, AttentionGeometry)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int q = b.input("q", 16 * 32);
     const int k = b.input("k", 16 * 32);
     const int s = b.attnQK("qk", q, k, 16, 32, 4);
@@ -90,9 +90,9 @@ TEST(GraphBuilder, AttentionGeometry)
     EXPECT_EQ(l.weightElems, 0);
 }
 
-TEST(GraphBuilder, CrossAttentionTreatsContextAsWeight)
+TEST(LayerGraphBuilder, CrossAttentionTreatsContextAsWeight)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int q = b.input("q", 16 * 32);
     const int s = b.crossQK("cqk", q, 16, 7, 32, 4);
     const Layer &l = b.graph().layer(s);
@@ -103,7 +103,7 @@ TEST(GraphBuilder, CrossAttentionTreatsContextAsWeight)
 
 TEST(Graph, ConsumersTracked)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 8);
     const int a = b.nonLinear("silu", OpKind::SiLU, x, 8);
     const int c1 = b.fc("f1", a, 1, 8, 8);
@@ -117,7 +117,7 @@ TEST(Graph, ConsumersTracked)
 
 TEST(Graph, FindLayerByName)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     b.input("x", 8);
     const ModelGraph g = b.take();
     EXPECT_EQ(g.findLayer("x"), 0);
@@ -128,7 +128,7 @@ TEST(Graph, FindLayerByName)
 
 TEST(Dependency, LinearAfterNonLinearNeedsDiffCalc)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 64);
     const int s = b.nonLinear("silu", OpKind::SiLU, x, 64);
     const int f = b.fc("fc", s, 1, 64, 64);
@@ -141,7 +141,7 @@ TEST(Dependency, LinearAfterNonLinearNeedsDiffCalc)
 
 TEST(Dependency, LinearChainBypassesDiffCalcAndSummation)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 64);
     const int f1 = b.fc("fc1", x, 1, 64, 64);
     const int f2 = b.fc("fc2", f1, 1, 64, 64);
@@ -159,7 +159,7 @@ TEST(Dependency, LinearChainBypassesDiffCalcAndSummation)
 
 TEST(Dependency, AddOfTwoLinearsStaysTransparent)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 64);
     const int f1 = b.fc("fc1", x, 1, 64, 64);
     const int f2 = b.fc("fc2", x, 1, 64, 64);
@@ -176,7 +176,7 @@ TEST(Dependency, AddOfTwoLinearsStaysTransparent)
 
 TEST(Dependency, NonLinearConsumerForcesSummation)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 64);
     const int f = b.fc("fc", x, 1, 64, 64);
     b.nonLinear("gelu", OpKind::GeLU, f, 64);
@@ -192,7 +192,7 @@ TEST(Dependency, NonLinearConsumerForcesSummation)
 
 TEST(Dependency, DynamicAttentionConsumerForcesSummation)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 16 * 32);
     const int q = b.fc("q", x, 16, 32, 32);
     const int k = b.fc("k", x, 16, 32, 32);
@@ -207,7 +207,7 @@ TEST(Dependency, DynamicAttentionConsumerForcesSummation)
 
 TEST(Dependency, TransparentChainPropagatesThroughConcat)
 {
-    GraphBuilder b("g");
+    LayerGraphBuilder b("g");
     const int x = b.input("x", 64);
     const int f1 = b.fc("fc1", x, 1, 64, 64);
     const int f2 = b.fc("fc2", x, 1, 64, 64);
@@ -247,7 +247,7 @@ TEST_P(ZooTest, ComputeLayersFitTheDefoTable)
 
 TEST_P(ZooTest, SamplerSpecMatchesTable1)
 {
-    const ModelSpec &spec = modelSpec(GetParam());
+    const ModelInfo &spec = modelInfo(GetParam());
     EXPECT_GT(spec.sampler.steps, 0);
     EXPECT_FALSE(spec.abbr.empty());
 }

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Graph runtime tests: the golden parity suite (compiled MiniUnet ==
+ * hand-wired MiniUnet, bitwise, across modes / batch sizes / thread
+ * counts / mixed-mode serving), the dependency-analysis skip proof,
+ * the two new executable specs end to end (standalone and through
+ * DenoiseServer), API shape validation, and the env-knob registry.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/parallel.h"
+#include "core/legacy_unet.h"
+#include "core/mini_unet.h"
+#include "runtime/compiled.h"
+#include "runtime/presets.h"
+#include "serve/server.h"
+
+namespace ditto {
+namespace {
+
+MiniUnetConfig
+parityConfig()
+{
+    setenv("DITTO_NO_CACHE", "1", 0);
+    MiniUnetConfig cfg;
+    cfg.channels = 8;
+    cfg.resolution = 8;
+    cfg.steps = 5;
+    return cfg;
+}
+
+/** Both implementations of the same model, built once. */
+struct ParityPair
+{
+    HandWiredMiniUnet legacy;
+    MiniUnet compiled;
+    explicit ParityPair(const MiniUnetConfig &cfg)
+        : legacy(cfg), compiled(cfg)
+    {}
+};
+
+const ParityPair &
+parityPair()
+{
+    static const ParityPair *pair = new ParityPair(parityConfig());
+    return *pair;
+}
+
+void
+expectRolloutParity(const RolloutResult &want, const RolloutResult &got)
+{
+    EXPECT_TRUE(want.finalImage == got.finalImage);
+    EXPECT_EQ(want.totalMacsPerStep, got.totalMacsPerStep);
+    // The multiplier-lane tallies fall out of the same probes either
+    // way; only the new diff-calc/summation bookkeeping may differ
+    // (the compiled path skips work the hand-wired path performs).
+    EXPECT_EQ(want.dittoOps.zeroSkipped, got.dittoOps.zeroSkipped);
+    EXPECT_EQ(want.dittoOps.low4, got.dittoOps.low4);
+    EXPECT_EQ(want.dittoOps.full8, got.dittoOps.full8);
+}
+
+TEST(GoldenParity, RolloutAllModes)
+{
+    const ParityPair &p = parityPair();
+    for (RunMode mode :
+         {RunMode::Fp32, RunMode::QuantDirect, RunMode::QuantDitto}) {
+        expectRolloutParity(p.legacy.rollout(mode),
+                            p.compiled.rollout(mode));
+    }
+}
+
+TEST(GoldenParity, RequestNoiseAndCustomSteps)
+{
+    const ParityPair &p = parityPair();
+    for (uint64_t seed : {7ull, 1234ull}) {
+        const FloatTensor noise = p.legacy.requestNoise(seed);
+        EXPECT_TRUE(noise == p.compiled.requestNoise(seed));
+        for (int steps : {1, 3, 7}) {
+            for (RunMode mode :
+                 {RunMode::QuantDirect, RunMode::QuantDitto}) {
+                expectRolloutParity(
+                    p.legacy.rollout(mode, noise, steps),
+                    p.compiled.rollout(mode, noise, steps));
+            }
+        }
+    }
+}
+
+TEST(GoldenParity, BatchedRollouts)
+{
+    const ParityPair &p = parityPair();
+    for (int64_t batch : {1, 3, 4}) {
+        std::vector<FloatTensor> noises;
+        for (int64_t b = 0; b < batch; ++b)
+            noises.push_back(
+                p.legacy.requestNoise(static_cast<uint64_t>(50 + b)));
+        for (RunMode mode :
+             {RunMode::QuantDirect, RunMode::QuantDitto}) {
+            const std::vector<RolloutResult> want =
+                p.legacy.rolloutBatch(mode, noises);
+            const std::vector<RolloutResult> got =
+                p.compiled.rolloutBatch(mode, noises);
+            ASSERT_EQ(want.size(), got.size());
+            for (size_t i = 0; i < want.size(); ++i)
+                expectRolloutParity(want[i], got[i]);
+        }
+    }
+}
+
+TEST(GoldenParity, ThreadCountInvariance)
+{
+    const ParityPair &p = parityPair();
+    setThreadCount(1);
+    const RolloutResult one = p.compiled.rollout(RunMode::QuantDitto);
+    setThreadCount(3);
+    const RolloutResult three = p.compiled.rollout(RunMode::QuantDitto);
+    const RolloutResult legacy = p.legacy.rollout(RunMode::QuantDitto);
+    setThreadCount(1);
+    EXPECT_TRUE(one.finalImage == three.finalImage);
+    EXPECT_TRUE(one.finalImage == legacy.finalImage);
+}
+
+TEST(GoldenParity, MixedModeServingMatchesHandWired)
+{
+    const ParityPair &p = parityPair();
+    ServerConfig cfg;
+    cfg.maxBatch = 3;
+    cfg.maxWaitMicros = 1000;
+    cfg.workers = 1;
+    DenoiseServer server(p.compiled.compiled(), cfg);
+    std::vector<DenoiseRequest> reqs;
+    for (int i = 0; i < 8; ++i) {
+        DenoiseRequest req;
+        req.seed = 900 + static_cast<uint64_t>(i);
+        req.steps = 3 + i % 3;
+        req.mode =
+            i % 3 == 2 ? RunMode::QuantDirect : RunMode::QuantDitto;
+        reqs.push_back(req);
+    }
+    std::vector<uint64_t> ids;
+    for (const DenoiseRequest &req : reqs)
+        ids.push_back(server.submit(req));
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const DenoiseResult res = server.wait(ids[i]);
+        const RolloutResult want = p.legacy.rollout(
+            reqs[i].mode, p.legacy.requestNoise(reqs[i].seed),
+            reqs[i].steps);
+        EXPECT_TRUE(want.finalImage == res.image)
+            << "request " << i << " diverged from the hand-wired path";
+    }
+}
+
+TEST(GoldenParity, MiniUnetSpecUsesTheDependencyAnalysis)
+{
+    const ParityPair &p = parityPair();
+    // PV -> proj, crossQ -> crossQK and crossPV -> crossOut are the
+    // MiniUnet edges the Section IV-B analysis bypasses.
+    EXPECT_EQ(p.compiled.compiled().numDiffBypassNodes(), 3);
+    EXPECT_EQ(p.compiled.compiled().numSumSkipNodes(), 3);
+}
+
+/** input -> tokens -> fc1 -> fc2 -> fc3 -> nchw: a diff-transparent
+ *  chain whose interior boundaries the dependency analysis elides. */
+ModelSpec
+fcChainSpec()
+{
+    const int64_t res = 4;
+    const int64_t c = 6;
+    const int64_t f = 12;
+    GraphBuilder b("fc_chain");
+    b.setSeed(11);
+    b.setSteps(4);
+    const int x = b.input(c, res);
+    const int tok = b.nchwToTokens("tok", x);
+    const int fc1 = b.fc("fc1", tok, f, b.newScale());
+    const int fc2 = b.fc("fc2", fc1, f, b.newScale());
+    const int fc3 = b.fc("fc3", fc2, c, b.newScale());
+    b.tokensToNchw("out", fc3, res, res);
+    return b.build();
+}
+
+TEST(DependencySkip, VerdictsOnTransparentChain)
+{
+    const ModelSpec spec = fcChainSpec();
+    const ModelGraph graph = spec.toGraph();
+    const std::vector<LayerDependency> deps =
+        graph.analyzeDependencies();
+    const int fc1 = graph.findLayer("fc1");
+    const int fc2 = graph.findLayer("fc2");
+    const int fc3 = graph.findLayer("fc3");
+    ASSERT_TRUE(fc1 >= 0 && fc2 >= 0 && fc3 >= 0);
+    // fc1 reads the graph input: difference calculation required; its
+    // consumer is fc2, so no summation. Interior fc2 needs neither.
+    // fc3 feeds the graph output: summation required.
+    EXPECT_TRUE(deps[fc1].diffCalcNeeded);
+    EXPECT_FALSE(deps[fc1].summationNeeded);
+    EXPECT_FALSE(deps[fc2].diffCalcNeeded);
+    EXPECT_FALSE(deps[fc2].summationNeeded);
+    EXPECT_FALSE(deps[fc3].diffCalcNeeded);
+    EXPECT_TRUE(deps[fc3].summationNeeded);
+}
+
+TEST(DependencySkip, ProvablySkipsEncodeAndSummationWork)
+{
+    setenv("DITTO_NO_CACHE", "1", 0);
+    const ModelSpec spec = fcChainSpec();
+    CompileOptions with;
+    with.policy = DiffPolicy::ForceDiff;
+    CompileOptions without = with;
+    without.useDependencyAnalysis = false;
+    const CompiledModel analyzed = compile(spec, with);
+    const CompiledModel naive = compile(spec, without);
+
+    EXPECT_EQ(analyzed.numDiffBypassNodes(), 2); // fc2, fc3
+    EXPECT_EQ(analyzed.numSumSkipNodes(), 2);    // fc1, fc2
+    EXPECT_EQ(naive.numDiffBypassNodes(), 0);
+
+    const RolloutResult a = analyzed.rollout(RunMode::QuantDitto);
+    const RolloutResult n = naive.rollout(RunMode::QuantDitto);
+    const RolloutResult d = analyzed.rollout(RunMode::QuantDirect);
+
+    // The rewiring is bitwise neutral...
+    EXPECT_TRUE(a.finalImage == n.finalImage);
+    EXPECT_TRUE(a.finalImage == d.finalImage);
+    EXPECT_EQ(a.dittoOps.zeroSkipped, n.dittoOps.zeroSkipped);
+    EXPECT_EQ(a.dittoOps.low4, n.dittoOps.low4);
+    EXPECT_EQ(a.dittoOps.full8, n.dittoOps.full8);
+
+    // ...but provably skips the work: with the analysis only fc1
+    // subtracts against stored input codes and only fc3 materializes
+    // full values; without it every layer does both, every primed
+    // step.
+    const int64_t primed = spec.steps - 1;
+    const int64_t tokens = 4 * 4;
+    const int64_t c = 6, f = 12;
+    EXPECT_EQ(a.dittoOps.diffCalcElems, primed * tokens * c);
+    EXPECT_EQ(a.dittoOps.summationElems, primed * tokens * c);
+    EXPECT_EQ(n.dittoOps.diffCalcElems,
+              primed * tokens * (c + f + f));
+    EXPECT_EQ(n.dittoOps.summationElems,
+              primed * tokens * (f + f + c));
+}
+
+TEST(DependencySkip, BatchedChainMatchesSequential)
+{
+    setenv("DITTO_NO_CACHE", "1", 0);
+    CompileOptions opts;
+    opts.policy = DiffPolicy::ForceDiff;
+    const CompiledModel model = compile(fcChainSpec(), opts);
+    std::vector<FloatTensor> noises;
+    for (uint64_t s = 0; s < 3; ++s)
+        noises.push_back(model.requestNoise(70 + s));
+    const std::vector<RolloutResult> batched =
+        model.rolloutBatch(RunMode::QuantDitto, noises);
+    for (size_t i = 0; i < noises.size(); ++i) {
+        const RolloutResult solo =
+            model.rollout(RunMode::QuantDitto, noises[i]);
+        EXPECT_TRUE(solo.finalImage == batched[i].finalImage);
+        EXPECT_EQ(solo.dittoOps.diffCalcElems,
+                  batched[i].dittoOps.diffCalcElems);
+        EXPECT_EQ(solo.dittoOps.summationElems,
+                  batched[i].dittoOps.summationElems);
+    }
+}
+
+/** The two new executable presets, compiled once for the suite. */
+const CompiledModel &
+deepUnet()
+{
+    static const CompiledModel *m = [] {
+        setenv("DITTO_NO_CACHE", "1", 0);
+        DeepUnetConfig cfg;
+        cfg.resolution = 8;
+        cfg.baseChannels = 8;
+        cfg.steps = 5;
+        return new CompiledModel(compile(deepUnetSpec(cfg)));
+    }();
+    return *m;
+}
+
+const CompiledModel &
+ditBlock()
+{
+    static const CompiledModel *m = [] {
+        setenv("DITTO_NO_CACHE", "1", 0);
+        DitBlockConfig cfg;
+        cfg.resolution = 8;
+        cfg.embedDim = 16;
+        cfg.steps = 5;
+        return new CompiledModel(compile(ditBlockSpec(cfg)));
+    }();
+    return *m;
+}
+
+void
+expectSpecRunsEndToEnd(const CompiledModel &model)
+{
+    // Table II's "accuracy preserved" stand-in: Ditto bit-exact
+    // against direct quantized execution on arbitrary graphs.
+    const RolloutResult ditto = model.rollout(RunMode::QuantDitto);
+    const RolloutResult direct = model.rollout(RunMode::QuantDirect);
+    EXPECT_TRUE(ditto.finalImage == direct.finalImage);
+    EXPECT_GT(ditto.dittoOps.total(), 0);
+    EXPECT_GT(ditto.dittoOps.zeroSkipped + ditto.dittoOps.low4, 0);
+
+    // Batched == sequential, mixed batch sizes.
+    std::vector<FloatTensor> noises;
+    for (uint64_t s = 0; s < 3; ++s)
+        noises.push_back(model.requestNoise(20 + s));
+    const std::vector<RolloutResult> batched =
+        model.rolloutBatch(RunMode::QuantDitto, noises);
+    for (size_t i = 0; i < noises.size(); ++i)
+        EXPECT_TRUE(model.rollout(RunMode::QuantDitto, noises[i])
+                        .finalImage == batched[i].finalImage);
+}
+
+TEST(NewSpecs, DeepUnetRunsEndToEnd)
+{
+    expectSpecRunsEndToEnd(deepUnet());
+    // The decoder's fuse -> mix pair is a compute-to-compute edge the
+    // analysis bypasses.
+    EXPECT_GE(deepUnet().numDiffBypassNodes(), 1);
+}
+
+TEST(NewSpecs, DitBlockRunsEndToEnd)
+{
+    expectSpecRunsEndToEnd(ditBlock());
+    // o -> proj at minimum.
+    EXPECT_GE(ditBlock().numDiffBypassNodes(), 1);
+}
+
+void
+expectServedBitwise(const CompiledModel &model)
+{
+    ServerConfig cfg;
+    cfg.maxBatch = 3;
+    cfg.maxWaitMicros = 500;
+    cfg.workers = 1;
+    DenoiseServer server(model, cfg);
+    std::vector<DenoiseRequest> reqs;
+    for (int i = 0; i < 6; ++i) {
+        DenoiseRequest req;
+        req.seed = 40 + static_cast<uint64_t>(i);
+        req.steps = model.defaultSteps() - i % 2;
+        req.mode =
+            i % 4 == 3 ? RunMode::QuantDirect : RunMode::QuantDitto;
+        reqs.push_back(req);
+    }
+    std::vector<uint64_t> ids;
+    for (const DenoiseRequest &req : reqs)
+        ids.push_back(server.submit(req));
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const DenoiseResult res = server.wait(ids[i]);
+        const RolloutResult want = model.rollout(
+            reqs[i].mode, model.requestNoise(reqs[i].seed),
+            reqs[i].steps);
+        EXPECT_TRUE(want.finalImage == res.image)
+            << "served request " << i << " diverged";
+    }
+}
+
+TEST(NewSpecs, DeepUnetServesThroughDenoiseServer)
+{
+    expectServedBitwise(deepUnet());
+}
+
+TEST(NewSpecs, DitBlockServesThroughDenoiseServer)
+{
+    expectServedBitwise(ditBlock());
+}
+
+TEST(SpecHash, ContentHashDistinguishesGeometryAndSeed)
+{
+    MiniUnetConfig a = parityConfig();
+    const uint64_t ha = miniUnetSpec(a).hash();
+    EXPECT_EQ(ha, miniUnetSpec(a).hash());
+    MiniUnetConfig b = a;
+    b.seed = a.seed + 1;
+    EXPECT_NE(ha, miniUnetSpec(b).hash());
+    MiniUnetConfig c = a;
+    c.channels = a.channels * 2;
+    EXPECT_NE(ha, miniUnetSpec(c).hash());
+}
+
+TEST(SpecGraph, MiniUnetLowersToTheLayerIr)
+{
+    const ModelSpec spec = miniUnetSpec(parityConfig());
+    const ModelGraph graph = spec.toGraph();
+    // 12 compute layers: 8 convs, 2 FCs... plus QK/PV/CrossQK/CrossPV.
+    EXPECT_EQ(graph.numComputeLayers(), 14);
+    EXPECT_GT(graph.totalMacs(), 0);
+    EXPECT_EQ(graph.findLayer("attn_qk") >= 0, true);
+    // Reshape nodes are collapsed: proj's producer is the PV matmul.
+    const int proj = graph.findLayer("attn_proj");
+    ASSERT_GE(proj, 0);
+    ASSERT_EQ(graph.layer(proj).inputs.size(), 1u);
+    EXPECT_EQ(graph.layer(graph.layer(proj).inputs[0]).name, "attn_pv");
+}
+
+TEST(ShapeValidation, RolloutRejectsWrongNoiseShape)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const ParityPair &p = parityPair();
+    const FloatTensor bad(Shape{1, 3, 4, 4});
+    EXPECT_EXIT(p.compiled.rollout(RunMode::QuantDirect, bad),
+                testing::ExitedWithCode(1), "does not match model input");
+    EXPECT_EXIT(p.compiled.rollout(RunMode::QuantDirect,
+                                   p.compiled.requestNoise(1), -2),
+                testing::ExitedWithCode(1), "negative step count");
+}
+
+TEST(ShapeValidation, ForwardBatchRejectsWrongGeometry)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const ParityPair &p = parityPair();
+    const FloatTensor bad(Shape{2, 5, 8, 8}); // wrong channel count
+    EXPECT_EXIT(p.compiled.compiled().forwardBatch(
+                    bad, RunMode::QuantDirect, nullptr, nullptr),
+                testing::ExitedWithCode(1),
+                "does not stack model inputs");
+}
+
+TEST(ShapeValidation, ServerRejectsMalformedRequests)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const ParityPair &p = parityPair();
+    EXPECT_EXIT(
+        {
+            ServerConfig cfg;
+            cfg.workers = 1;
+            DenoiseServer server(p.compiled.compiled(), cfg);
+            DenoiseRequest req;
+            req.steps = -1;
+            server.submit(req);
+        },
+        testing::ExitedWithCode(1), "negative step count");
+}
+
+TEST(EnvRegistry, TypedReadersApplyFallbacksAndRanges)
+{
+    setenv("DITTO_SERVE_MAX_BATCH", "17", 1);
+    EXPECT_EQ(env::readInt64("DITTO_SERVE_MAX_BATCH", 8, 1, 4096), 17);
+    setenv("DITTO_SERVE_MAX_BATCH", "not-a-number", 1);
+    EXPECT_EQ(env::readInt64("DITTO_SERVE_MAX_BATCH", 8, 1, 4096), 8);
+    setenv("DITTO_SERVE_MAX_BATCH", "100000", 1);
+    EXPECT_EQ(env::readInt64("DITTO_SERVE_MAX_BATCH", 8, 1, 4096), 8);
+    unsetenv("DITTO_SERVE_MAX_BATCH");
+    EXPECT_EQ(env::readInt64("DITTO_SERVE_MAX_BATCH", 8, 1, 4096), 8);
+
+    unsetenv("DITTO_NO_CACHE");
+    EXPECT_FALSE(env::readFlag("DITTO_NO_CACHE"));
+    setenv("DITTO_NO_CACHE", "0", 1);
+    EXPECT_FALSE(env::readFlag("DITTO_NO_CACHE"));
+    setenv("DITTO_NO_CACHE", "1", 1);
+    EXPECT_TRUE(env::readFlag("DITTO_NO_CACHE"));
+
+    setenv("DITTO_CACHE_DIR", "", 1);
+    EXPECT_EQ(env::readString("DITTO_CACHE_DIR", "fallback"),
+              "fallback");
+    setenv("DITTO_CACHE_DIR", "/tmp/x", 1);
+    EXPECT_EQ(env::readString("DITTO_CACHE_DIR", "fallback"), "/tmp/x");
+    unsetenv("DITTO_CACHE_DIR");
+}
+
+TEST(EnvRegistry, UnregisteredKnobFailsLoudly)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(env::readInt64("DITTO_NOT_A_KNOB", 1, 0, 10),
+                 "not in the env registry");
+}
+
+TEST(EnvRegistry, ConfigDocListsExactlyTheRegistry)
+{
+    // docs/config.md is generated from the same registry the readers
+    // enforce: every registered knob appears, and every DITTO_* token
+    // the doc mentions is registered (no stale rows).
+    std::ifstream in(std::string(DITTO_SOURCE_DIR) + "/docs/config.md");
+    ASSERT_TRUE(in.good()) << "docs/config.md not found";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+
+    std::set<std::string> documented;
+    for (size_t pos = doc.find("DITTO_"); pos != std::string::npos;
+         pos = doc.find("DITTO_", pos + 1)) {
+        size_t end = pos;
+        while (end < doc.size() &&
+               (std::isupper(static_cast<unsigned char>(doc[end])) ||
+                std::isdigit(static_cast<unsigned char>(doc[end])) ||
+                doc[end] == '_'))
+            ++end;
+        documented.insert(doc.substr(pos, end - pos));
+    }
+    std::set<std::string> registered;
+    for (const env::Knob &k : env::knobs())
+        registered.insert(k.name);
+    EXPECT_EQ(documented, registered);
+}
+
+} // namespace
+} // namespace ditto

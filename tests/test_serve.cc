@@ -124,7 +124,7 @@ TEST(ServeParity, OddResolutionFallbackPaths)
 TEST(BatchEngineTest, MixedTimestepsShareABatch)
 {
     const MiniUnet &net = testNet();
-    BatchEngine engine(net, /*max_batch=*/4);
+    BatchEngine engine(net.compiled(), /*max_batch=*/4);
 
     // Three requests with different step counts join together ...
     const int steps[4] = {3, 5, 7, 4};
@@ -165,7 +165,7 @@ TEST(BatchEngineTest, MixedTimestepsShareABatch)
 TEST(BatchEngineTest, DirectAndDittoRequestsShareABatch)
 {
     const MiniUnet &net = testNet();
-    BatchEngine engine(net, /*max_batch=*/3);
+    BatchEngine engine(net.compiled(), /*max_batch=*/3);
     const RunMode modes[3] = {RunMode::QuantDitto, RunMode::QuantDirect,
                               RunMode::QuantDitto};
     for (uint64_t i = 0; i < 3; ++i) {
@@ -279,7 +279,7 @@ TEST(ServerTest, CompletesBurstWithBatchFormation)
     cfg.maxBatch = 4;
     cfg.maxWaitMicros = 200'000; // generous window: the burst fills it
     cfg.workers = 1;
-    DenoiseServer server(net, cfg);
+    DenoiseServer server(net.compiled(), cfg);
     std::vector<uint64_t> ids;
     for (uint64_t s = 0; s < 8; ++s) {
         DenoiseRequest req;
@@ -313,7 +313,7 @@ TEST(ServerTest, ZeroWaitRequestDispatchesImmediately)
     cfg.maxBatch = 8;
     cfg.maxWaitMicros = 30'000'000; // 30s default window ...
     cfg.workers = 1;
-    DenoiseServer server(net, cfg);
+    DenoiseServer server(net.compiled(), cfg);
     DenoiseRequest req;
     req.seed = 400;
     req.maxWaitMicros = 0; // ... which this request opts out of
@@ -339,7 +339,7 @@ TEST(ServerTest, PollDeliversTheResultNonBlocking)
     cfg.maxBatch = 2;
     cfg.maxWaitMicros = 0;
     cfg.workers = 2; // two engines draining the same queue
-    DenoiseServer server(net, cfg);
+    DenoiseServer server(net.compiled(), cfg);
     DenoiseRequest req;
     req.seed = 500;
     const uint64_t id = server.submit(req);
@@ -362,7 +362,7 @@ TEST(ServerTest, ManyRequestsAcrossWorkersAllBitwiseCorrect)
     cfg.maxBatch = 3;
     cfg.maxWaitMicros = 1000;
     cfg.workers = 2;
-    DenoiseServer server(net, cfg);
+    DenoiseServer server(net.compiled(), cfg);
     std::vector<uint64_t> ids;
     std::vector<int> steps;
     for (uint64_t s = 0; s < 12; ++s) {

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Cross-check the env-knob registry, its docs and the tree's getenv use.
+
+Three invariants, all enforced in CI:
+
+ 1. Every knob registered in src/common/env.cc appears in the
+    docs/config.md table, and the docs mention no unregistered knob.
+ 2. No source file outside src/common/env.cc calls getenv directly —
+    all environment access goes through the typed readers, which
+    refuse unregistered names at runtime.
+ 3. Tests and benches may *set* DITTO_* variables, but any DITTO_*
+    name they mention must be registered (no knobs that exist only in
+    a test's imagination).
+
+Run from the repository root: python3 tools/check_env_registry.py
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+ENV_CC = ROOT / "src" / "common" / "env.cc"
+CONFIG_MD = ROOT / "docs" / "config.md"
+
+KNOB_RE = re.compile(r"DITTO_[A-Z0-9_]+")
+# Quoted DITTO_* literals are knob names; bare identifiers are macros
+# and include guards, which the scan must ignore.
+QUOTED_RE = re.compile(r'"(DITTO_[A-Z0-9_]+)"')
+# Deliberately-unregistered names (the registry's own negative tests).
+ALLOWLIST = {"DITTO_NOT_A_KNOB"}
+
+
+def registered_knobs():
+    text = ENV_CC.read_text()
+    table = text.split("kKnobs[]")[1].split("};")[0]
+    return set(re.findall(r'\{"(DITTO_[A-Z0-9_]+)"', table))
+
+
+def mentioned(path):
+    return set(KNOB_RE.findall(path.read_text(errors="ignore")))
+
+
+def quoted(path):
+    return set(QUOTED_RE.findall(path.read_text(errors="ignore")))
+
+
+def main():
+    failures = []
+    knobs = registered_knobs()
+    if not knobs:
+        failures.append(f"no knobs parsed from {ENV_CC}")
+
+    documented = mentioned(CONFIG_MD)
+    for missing in sorted(knobs - documented):
+        failures.append(f"{missing} is registered but absent from "
+                        f"docs/config.md")
+    for stale in sorted(documented - knobs):
+        failures.append(f"docs/config.md mentions {stale}, which is not "
+                        f"in the registry (src/common/env.cc)")
+
+    for sub in ("src", "tests", "bench", "examples"):
+        for path in sorted((ROOT / sub).rglob("*")):
+            if path.suffix not in (".cc", ".cpp", ".h") or path == ENV_CC:
+                continue
+            if re.search(r"\bgetenv\s*\(",
+                         path.read_text(errors="ignore")):
+                failures.append(
+                    f"{path.relative_to(ROOT)} calls getenv directly; "
+                    f"route it through src/common/env.h")
+
+    for sub in ("src", "tests", "bench", "examples"):
+        for path in (ROOT / sub).rglob("*"):
+            if path.suffix not in (".cc", ".cpp", ".h"):
+                continue
+            for name in sorted(quoted(path) - knobs - ALLOWLIST):
+                failures.append(
+                    f"{path.relative_to(ROOT)} mentions unregistered "
+                    f"knob {name}")
+
+    if failures:
+        print("env registry check FAILED:")
+        for f in failures:
+            print("  -", f)
+        return 1
+    print(f"env registry check OK ({len(knobs)} knobs, docs and tree "
+          f"consistent)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
