@@ -402,15 +402,18 @@ BENCHMARK(BM_ServeLatency)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
  * Graph-runtime rollouts per compiled preset spec, QuantDirect vs
  * QuantDitto. Arg 0 selects the spec (0 = the MiniUnet preset at the
  * quickstart shape, 1 = the deep multi-scale UNet, 2 = the DiT-style
- * block); Arg 1 = 1 runs Ditto difference processing. The MiniUnet
- * rows measure the compiled path on exactly the workload
+ * block, 3 = the multi-head attention block, 4 = the adaLN block);
+ * Arg 1 = 1 runs Ditto difference processing. The MiniUnet rows
+ * measure the compiled path on exactly the workload
  * BM_MiniUnetRollout measures through the wrapper — the two should
- * track each other.
+ * track each other. tools/check_bench_regression.py compares the
+ * per-spec ditto/direct ratios of these rows against the committed
+ * BENCH_kernels.json baseline.
  */
 const CompiledModel &
 compiledSpec(int which)
 {
-    static const CompiledModel *models[3] = {};
+    static const CompiledModel *models[5] = {};
     if (!models[which]) {
         setenv("DITTO_NO_CACHE", "1", 0);
         switch (which) {
@@ -430,12 +433,29 @@ compiledSpec(int which)
             models[1] = new CompiledModel(compile(deepUnetSpec(cfg)));
             break;
           }
-          default: {
+          case 2: {
             DitBlockConfig cfg;
             cfg.embedDim = 32;
             cfg.resolution = 16;
             cfg.steps = 8;
             models[2] = new CompiledModel(compile(ditBlockSpec(cfg)));
+            break;
+          }
+          case 3: {
+            MhsaBlockConfig cfg;
+            cfg.embedDim = 32;
+            cfg.heads = 2;
+            cfg.resolution = 16;
+            cfg.steps = 8;
+            models[3] = new CompiledModel(compile(mhsaBlockSpec(cfg)));
+            break;
+          }
+          default: {
+            DitAdaLnConfig cfg;
+            cfg.embedDim = 32;
+            cfg.resolution = 16;
+            cfg.steps = 8;
+            models[4] = new CompiledModel(compile(ditAdaLnSpec(cfg)));
             break;
           }
         }
@@ -464,7 +484,11 @@ BENCHMARK(BM_CompiledRollout)
     ->Args({1, 0})
     ->Args({1, 1})
     ->Args({2, 0})
-    ->Args({2, 1});
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
 
 void
 BM_EncodingUnit(benchmark::State &state)

@@ -1,19 +1,29 @@
 /**
  * @file
- * The graph runtime end to end: compile two non-MiniUnet specs (the
- * deep multi-scale UNet and the DiT-style transformer block), show
+ * The graph runtime end to end: compile the non-MiniUnet presets (the
+ * deep multi-scale UNet, the DiT-style transformer block, the
+ * multi-head attention block and the adaLN-conditioned block), show
  * the dependency analysis at work, verify the accuracy invariant
  * (QuantDitto bit-exact against QuantDirect), and serve a burst of
  * requests for each through the batched DenoiseServer with a bitwise
  * check against standalone rollouts.
  *
- *   ./graph_models
+ *   ./graph_models [--verdicts]
+ *
+ * --verdicts prints, per preset, the per-layer dependency verdicts
+ * next to what the compiler wired them into (payload hand-over,
+ * junction fold, summation skip) and the rollout's diff-calc/
+ * summation tallies — so a layer that stayed full-value because the
+ * junction fold declined it (e.g. an Affine gate on the wire) is
+ * distinguishable from one that executed the diff path and reverted
+ * at run time (Defo), straight from the CI log.
  *
  * Exits non-zero on any bitwise mismatch, so CI can run it as a
  * smoke test of the compile-and-run path.
  */
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "runtime/compiled.h"
@@ -23,6 +33,57 @@
 using namespace ditto;
 
 namespace {
+
+/** Per-layer verdicts vs compiled wiring vs executed work. */
+void
+printVerdicts(const CompiledModel &model, const RolloutResult &ditto)
+{
+    const std::vector<LayerDependency> &deps = model.dependencies();
+    std::printf("  %-18s %-12s %-9s %-9s %s\n", "node", "op",
+                "diffCalc", "summation", "compiled wiring");
+    for (const CompiledModel::NodeReport &r : model.nodeReports()) {
+        if (r.op == RtOp::Input)
+            continue;
+        const bool hasDep =
+            r.layer >= 0 && (r.compute || r.junction || !r.deadStructural);
+        const LayerDependency *d =
+            r.layer >= 0 ? &deps[static_cast<size_t>(r.layer)] : nullptr;
+        char wiring[96] = "";
+        if (r.junction)
+            std::strcat(wiring, "junction-fold ");
+        else if (r.diffBypass)
+            std::strcat(wiring, "handed-over ");
+        if (r.diffBypass2)
+            std::strcat(wiring, "handed-over(op2) ");
+        if (r.sumSkip)
+            std::strcat(wiring, "sum-skip ");
+        if (r.emitsPayload)
+            std::strcat(wiring, "emits-payload ");
+        if (r.deadStructural)
+            std::strcat(wiring, "folded-away ");
+        if (wiring[0] == '\0')
+            std::strcpy(wiring, r.compute ? "full-value" : "-");
+        std::printf("  %-18s %-12s %-9s %-9s %s\n", r.name.c_str(),
+                    rtOpName(r.op),
+                    !hasDep || !d ? "-"
+                    : d->diffCalcNeeded ? "needed"
+                                        : "bypass",
+                    !hasDep || !d ? "-"
+                    : d->summationNeeded ? "needed"
+                                         : "skip",
+                    wiring);
+    }
+    const OpCounts &ops = ditto.dittoOps;
+    std::printf("  executed: diffCalcElems=%lld summationElems=%lld "
+                "(zero %.1f%% / 4-bit %.1f%% / 8-bit %.1f%% -> a layer "
+                "wired for diff that shows 8-bit-heavy tallies reverted "
+                "via Defo at run time)\n",
+                static_cast<long long>(ops.diffCalcElems),
+                static_cast<long long>(ops.summationElems),
+                100.0 * ops.zeroSkipped / ops.total(),
+                100.0 * ops.low4 / ops.total(),
+                100.0 * ops.full8 / ops.total());
+}
 
 template <typename Fn>
 double
@@ -36,7 +97,7 @@ runTimedMs(Fn fn)
 
 /** Rollouts + a served burst for one compiled model; true on parity. */
 bool
-driveModel(const CompiledModel &model)
+driveModel(const CompiledModel &model, bool verdicts)
 {
     const ModelSpec &spec = model.spec();
     std::printf("== %s ==\n", spec.name.c_str());
@@ -63,6 +124,8 @@ driveModel(const CompiledModel &model)
                 100.0 * ops.zeroSkipped / ops.total(),
                 100.0 * ops.low4 / ops.total(),
                 100.0 * ops.full8 / ops.total());
+    if (verdicts)
+        printVerdicts(model, ditto);
 
     // A mixed burst through the async batched server.
     ServerConfig cfg;
@@ -99,21 +162,37 @@ driveModel(const CompiledModel &model)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool verdicts = false;
+    for (int i = 1; i < argc; ++i)
+        verdicts |= std::strcmp(argv[i], "--verdicts") == 0;
     bool ok = true;
 
     DeepUnetConfig unet;
     unet.baseChannels = 16;
     unet.resolution = 16;
     unet.steps = 8;
-    ok &= driveModel(compile(deepUnetSpec(unet)));
+    ok &= driveModel(compile(deepUnetSpec(unet)), verdicts);
 
     DitBlockConfig dit;
     dit.embedDim = 32;
     dit.resolution = 16;
     dit.steps = 8;
-    ok &= driveModel(compile(ditBlockSpec(dit)));
+    ok &= driveModel(compile(ditBlockSpec(dit)), verdicts);
+
+    MhsaBlockConfig mhsa;
+    mhsa.embedDim = 32;
+    mhsa.heads = 2;
+    mhsa.resolution = 16;
+    mhsa.steps = 8;
+    ok &= driveModel(compile(mhsaBlockSpec(mhsa)), verdicts);
+
+    DitAdaLnConfig adaln;
+    adaln.embedDim = 32;
+    adaln.resolution = 16;
+    adaln.steps = 8;
+    ok &= driveModel(compile(ditAdaLnSpec(adaln)), verdicts);
 
     std::printf("%s\n", ok ? "all graph models bit-exact"
                            : "MISMATCH detected");

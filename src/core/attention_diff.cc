@@ -182,10 +182,104 @@ attentionScoresBatch(const Int8Tensor &q, const Int8Tensor &k,
     return out;
 }
 
+namespace {
+
+/**
+ * Reconstruct an operand's previous-step codes from a handed-over
+ * payload: prev = codes - d. Both sides of the subtraction are valid
+ * symmetric int8 codes, so the int16 difference of codes always lands
+ * back in int8 range — the reconstruction is exact, which is what
+ * makes delegation to the stored-codes bodies bitwise neutral.
+ */
+Int8Tensor
+reconstructPrev(const Int8Tensor &codes, const Int16Tensor &d)
+{
+    DITTO_ASSERT(d.shape() == codes.shape(),
+                 "payload difference shape mismatch");
+    Int8Tensor prev(codes.shape());
+    auto sc = codes.data();
+    auto sd = d.data();
+    auto sp = prev.data();
+    for (size_t i = 0; i < sc.size(); ++i)
+        sp[i] = static_cast<int8_t>(static_cast<int16_t>(sc[i]) - sd[i]);
+    return prev;
+}
+
+/** One operand's previous codes: reconstructed or stored. */
+const Int8Tensor &
+operandPrev(const Int8Tensor &codes, const Int16Tensor *d,
+            const Int8Tensor *stored, Int8Tensor *scratch)
+{
+    DITTO_ASSERT((d != nullptr) != (stored != nullptr),
+                 "exactly one of payload difference and stored codes");
+    if (stored)
+        return *stored;
+    *scratch = reconstructPrev(codes, *d);
+    return *scratch;
+}
+
+} // namespace
+
+Int32Tensor
+attentionScoresPre(const Int8Tensor &q, const Int16Tensor *dq,
+                   const Int8Tensor *prev_q, const Int8Tensor &k,
+                   const Int16Tensor *dk, const Int8Tensor *prev_k,
+                   const Int32Tensor &prev_scores, OpCounts *counts,
+                   DiffPolicy policy)
+{
+    Int8Tensor qs, ks;
+    const Int8Tensor &pq = operandPrev(q, dq, prev_q, &qs);
+    const Int8Tensor &pk = operandPrev(k, dk, prev_k, &ks);
+    return attentionScoresDiff(q, pq, k, pk, prev_scores, counts, policy);
+}
+
+Int32Tensor
+attentionScoresBatchPre(const Int8Tensor &q, const Int16Tensor *dq,
+                        const Int8Tensor *prev_q, const Int8Tensor &k,
+                        const Int16Tensor *dk, const Int8Tensor *prev_k,
+                        int64_t slabs, const Int32Tensor *prev_scores,
+                        const uint8_t *primed, OpCounts *counts,
+                        DiffPolicy policy)
+{
+    Int8Tensor qs, ks;
+    const Int8Tensor &pq = operandPrev(q, dq, prev_q, &qs);
+    const Int8Tensor &pk = operandPrev(k, dk, prev_k, &ks);
+    return attentionScoresBatch(q, k, slabs, &pq, &pk, prev_scores,
+                                primed, counts, policy);
+}
+
 Int32Tensor
 attentionOutputDirect(const Int8Tensor &p, const Int8Tensor &v)
 {
     return matmulInt8(p, v);
+}
+
+Int32Tensor
+attentionOutputPre(const Int8Tensor &p, const Int16Tensor *dp,
+                   const Int8Tensor *prev_p, const Int8Tensor &v,
+                   const Int16Tensor *dv, const Int8Tensor *prev_v,
+                   const Int32Tensor &prev_out, OpCounts *counts,
+                   DiffPolicy policy)
+{
+    Int8Tensor ps, vs;
+    const Int8Tensor &pp = operandPrev(p, dp, prev_p, &ps);
+    const Int8Tensor &pv = operandPrev(v, dv, prev_v, &vs);
+    return attentionOutputDiff(p, pp, v, pv, prev_out, counts, policy);
+}
+
+Int32Tensor
+attentionOutputBatchPre(const Int8Tensor &p, const Int16Tensor *dp,
+                        const Int8Tensor *prev_p, const Int8Tensor &v,
+                        const Int16Tensor *dv, const Int8Tensor *prev_v,
+                        int64_t slabs, const Int32Tensor *prev_out,
+                        const uint8_t *primed, OpCounts *counts,
+                        DiffPolicy policy)
+{
+    Int8Tensor ps, vs;
+    const Int8Tensor &pp = operandPrev(p, dp, prev_p, &ps);
+    const Int8Tensor &pv = operandPrev(v, dv, prev_v, &vs);
+    return attentionOutputBatch(p, v, slabs, &pp, &pv, prev_out, primed,
+                                counts, policy);
 }
 
 Int32Tensor

@@ -77,6 +77,41 @@ Int32Tensor attentionScoresBatch(const Int8Tensor &q, const Int8Tensor &k,
                                  OpCounts *counts = nullptr,
                                  DiffPolicy policy = DiffPolicy::Auto);
 
+/**
+ * Difference-processed scores with per-operand payload hand-over (the
+ * graph runtime's dynamic-attention counterpart of runDiffPre): each
+ * operand arrives either with its producer's requantized code
+ * difference `d*` (diff-calc bypassed — no previous codes were stored
+ * for it) or with stored previous codes `prev_*` (exactly one of the
+ * two per operand). The previous operand the two-term expansion
+ * multiplies against is reconstructed as codes - d, which is exact in
+ * the integer domain, so results, probes and Defo decisions are
+ * bitwise identical to attentionScoresDiff on operands whose
+ * subtraction equals the handed-over difference.
+ */
+Int32Tensor attentionScoresPre(const Int8Tensor &q, const Int16Tensor *dq,
+                               const Int8Tensor *prev_q,
+                               const Int8Tensor &k, const Int16Tensor *dk,
+                               const Int8Tensor *prev_k,
+                               const Int32Tensor &prev_scores,
+                               OpCounts *counts = nullptr,
+                               DiffPolicy policy = DiffPolicy::Auto);
+
+/**
+ * Batched attentionScoresPre over `slabs` stacked requests
+ * (attentionScoresBatch semantics). Handed-over differences are
+ * stacked like their codes; unprimed slabs' difference regions must
+ * be zero (the payload emitters leave them zero-initialized) — the
+ * reconstruction reads the whole tensor, so an unprimed slab's
+ * "previous" codes come out equal to its current codes, and the
+ * delegated batch body then never consumes them.
+ */
+Int32Tensor attentionScoresBatchPre(
+    const Int8Tensor &q, const Int16Tensor *dq, const Int8Tensor *prev_q,
+    const Int8Tensor &k, const Int16Tensor *dk, const Int8Tensor *prev_k,
+    int64_t slabs, const Int32Tensor *prev_scores, const uint8_t *primed,
+    OpCounts *counts = nullptr, DiffPolicy policy = DiffPolicy::Auto);
+
 /** Direct weighted sum O = P V. P:[tokens,tokens], V:[tokens,d]. */
 Int32Tensor attentionOutputDirect(const Int8Tensor &p, const Int8Tensor &v);
 
@@ -104,6 +139,22 @@ Int32Tensor attentionOutputBatch(const Int8Tensor &p, const Int8Tensor &v,
                                  const uint8_t *primed,
                                  OpCounts *counts = nullptr,
                                  DiffPolicy policy = DiffPolicy::Auto);
+
+/** attentionScoresPre for the weighted sum (P and V operands). */
+Int32Tensor attentionOutputPre(const Int8Tensor &p, const Int16Tensor *dp,
+                               const Int8Tensor *prev_p,
+                               const Int8Tensor &v, const Int16Tensor *dv,
+                               const Int8Tensor *prev_v,
+                               const Int32Tensor &prev_out,
+                               OpCounts *counts = nullptr,
+                               DiffPolicy policy = DiffPolicy::Auto);
+
+/** Batched attentionOutputPre (attentionOutputBatch semantics). */
+Int32Tensor attentionOutputBatchPre(
+    const Int8Tensor &p, const Int16Tensor *dp, const Int8Tensor *prev_p,
+    const Int8Tensor &v, const Int16Tensor *dv, const Int8Tensor *prev_v,
+    int64_t slabs, const Int32Tensor *prev_out, const uint8_t *primed,
+    OpCounts *counts = nullptr, DiffPolicy policy = DiffPolicy::Auto);
 
 /**
  * Cross-attention scores with a constant context projection:

@@ -235,16 +235,29 @@ ModelGraph::analyzeDependencies() const
     };
 
     for (const Layer &l : layers_) {
-        if (!l.isCompute())
+        // Junction verdicts propagate instead of terminating: every
+        // diff-transparent structural layer (Add/Concat/Scale/
+        // Upsample/Pool) gets the same two-sided verdict a compute
+        // layer gets. A junction with both flags false sits entirely
+        // inside the difference domain — its inputs arrive as
+        // differences from compute producers and every consumer keeps
+        // consuming differences — which is what lets the runtime fold
+        // the junction into a multi-producer requant-delta instead of
+        // forcing a full-value round trip. boundaryNonLinears stays a
+        // compute-layer quantity (the sign-mask model reads it per
+        // compute boundary only).
+        if (!l.isCompute() && !isDiffTransparent(l.kind))
             continue;
         LayerDependency &d = deps[l.id];
         d.boundaryNonLinears.clear();
         d.diffCalcNeeded =
             inputIsFullValue(l.id, inputIsFullValue,
-                             &d.boundaryNonLinears);
+                             l.isCompute() ? &d.boundaryNonLinears
+                                           : nullptr);
         d.summationNeeded =
             outputNeedsFullValue(l.id, outputNeedsFullValue,
-                                 &d.boundaryNonLinears);
+                                 l.isCompute() ? &d.boundaryNonLinears
+                                               : nullptr);
     }
     return deps;
 }

@@ -31,6 +31,15 @@ namespace ditto {
  * The naive algorithm (no dependency check) performs both around every
  * compute layer; the difference between the two policies is the memory
  * overhead Fig. 8 and Fig. 14 quantify.
+ *
+ * Diff-transparent structural layers (Add/Concat/Scale/Upsample/Pool)
+ * carry the same two-sided verdict: `diffCalcNeeded` means the
+ * junction's operands arrive as full values, `summationNeeded` means
+ * some consumer downstream requires full values. A junction with both
+ * flags false lives entirely in the difference domain, which is the
+ * precondition for the graph runtime's multi-producer requant-delta
+ * fold (docs/graph_runtime.md). Non-transparent layers keep the
+ * default (full-value) verdict.
  */
 struct LayerDependency
 {

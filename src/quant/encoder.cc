@@ -12,6 +12,7 @@
 #include "quant/encoder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -324,6 +325,140 @@ encodeTemporalDiffTransposed(const Int8Tensor &current,
                               static_cast<int16_t>(cur[i]) -
                               static_cast<int16_t>(prev[i]));
                       });
+}
+
+namespace {
+
+/**
+ * The consumer's quantization point, unpacked once per region. The
+ * rounding chain is exactly quantize()'s: nearbyint, clamp to the
+ * symmetric code range, cast.
+ */
+struct RequantPoint
+{
+    float inv;
+    float lo;
+    float hi;
+
+    explicit RequantPoint(const QuantParams &qp)
+        : inv(1.0f / qp.scale),
+          lo(static_cast<float>(qp.minCode())),
+          hi(static_cast<float>(qp.maxCode()))
+    {}
+
+    int8_t
+    operator()(float v) const
+    {
+        return static_cast<int8_t>(
+            std::clamp(std::nearbyint(v * inv), lo, hi));
+    }
+};
+
+/**
+ * Left-associated scale-aligned sum over the sources at flat index i:
+ * ((acc_0 * s_0 + acc_1 * s_1) + ...) with every product and sum
+ * rounded to float (this file builds with FP contraction off), the
+ * exact arithmetic of dequantizing each producer to a tensor and
+ * float-adding them pairwise left to right.
+ */
+float
+sumAt(std::span<const RequantSource> srcs, int64_t i)
+{
+    float v = 0.0f;
+    for (size_t s = 0; s < srcs.size(); ++s) {
+        const float t =
+            static_cast<float>(srcs[s].acc[i]) * srcs[s].scale;
+        v = s == 0 ? t : v + t;
+    }
+    return v;
+}
+
+int16_t
+deltaOf(int8_t ct, int8_t cp)
+{
+    return static_cast<int16_t>(static_cast<int16_t>(ct) -
+                                static_cast<int16_t>(cp));
+}
+
+} // namespace
+
+void
+requantSumDelta(std::span<const RequantSource> srcs, int64_t n,
+                const QuantParams &qp, const int8_t *prev_codes,
+                int8_t *codes, int16_t *d16)
+{
+    DITTO_ASSERT(!srcs.empty(), "requantSumDelta needs sources");
+    const RequantPoint q(qp);
+    for (int64_t i = 0; i < n; ++i) {
+        const int8_t ct = q(sumAt(srcs, i));
+        codes[i] = ct;
+        if (prev_codes)
+            d16[i] = deltaOf(ct, prev_codes[i]);
+    }
+}
+
+void
+requantUpsample2xSumDelta(std::span<const RequantSource> srcs, int64_t c,
+                          int64_t h, int64_t w, const QuantParams &qp,
+                          const int8_t *prev_codes, int8_t *codes,
+                          int16_t *d16)
+{
+    DITTO_ASSERT(!srcs.empty(), "requantUpsample2xSumDelta needs sources");
+    const RequantPoint q(qp);
+    const int64_t ow = 2 * w;
+    for (int64_t ci = 0; ci < c; ++ci) {
+        for (int64_t y = 0; y < h; ++y) {
+            const int64_t src_row = (ci * h + y) * w;
+            const int64_t out_row = (ci * 2 * h + 2 * y) * ow;
+            for (int64_t x = 0; x < w; ++x) {
+                const int8_t ct = q(sumAt(srcs, src_row + x));
+                const int64_t o = out_row + 2 * x;
+                codes[o] = ct;
+                codes[o + 1] = ct;
+                codes[o + ow] = ct;
+                codes[o + ow + 1] = ct;
+                if (prev_codes) {
+                    d16[o] = deltaOf(ct, prev_codes[o]);
+                    d16[o + 1] = deltaOf(ct, prev_codes[o + 1]);
+                    d16[o + ow] = deltaOf(ct, prev_codes[o + ow]);
+                    d16[o + ow + 1] =
+                        deltaOf(ct, prev_codes[o + ow + 1]);
+                }
+            }
+        }
+    }
+}
+
+void
+requantAvgPool2xSumDelta(std::span<const RequantSource> srcs, int64_t c,
+                         int64_t h, int64_t w, const QuantParams &qp,
+                         const int8_t *prev_codes, int8_t *codes,
+                         int16_t *d16)
+{
+    DITTO_ASSERT(!srcs.empty(), "requantAvgPool2xSumDelta needs sources");
+    DITTO_ASSERT(h % 2 == 0 && w % 2 == 0,
+                 "avg-pool region needs even spatial extents");
+    const RequantPoint q(qp);
+    const int64_t oh = h / 2;
+    const int64_t ow = w / 2;
+    for (int64_t ci = 0; ci < c; ++ci) {
+        for (int64_t y = 0; y < oh; ++y) {
+            for (int64_t x = 0; x < ow; ++x) {
+                // Tap order and associativity of avgPool2xF on the
+                // float sum.
+                const int64_t base = (ci * h + 2 * y) * w + 2 * x;
+                const float v =
+                    (sumAt(srcs, base) + sumAt(srcs, base + 1) +
+                     sumAt(srcs, base + w) + sumAt(srcs, base + w + 1)) *
+                    0.25f;
+                const int64_t o = (ci * oh + y) * ow + x;
+                const int8_t ct = q(v);
+                codes[o] = ct;
+                if (prev_codes)
+                    d16[o] = deltaOf(ct, prev_codes[o]);
+            }
+        }
+    }
 }
 
 } // namespace ditto

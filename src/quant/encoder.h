@@ -22,6 +22,9 @@
 #ifndef DITTO_QUANT_ENCODER_H
 #define DITTO_QUANT_ENCODER_H
 
+#include <span>
+
+#include "quant/quantizer.h"
 #include "tensor/diff_gemm.h"
 #include "tensor/tensor.h"
 
@@ -122,6 +125,68 @@ DiffGemmPlan encodeTemporalDiffRegionTransposed(const Int8Tensor &current,
                                                 const Int8Tensor &previous,
                                                 int64_t offset,
                                                 int64_t rows, int64_t cols);
+
+/**
+ * One producer feeding a multi-producer requant-delta fold: its
+ * resident int32 accumulator and the combined dequantization scale
+ * (activation scale x weight scale) that maps accumulator units to
+ * real values.
+ */
+struct RequantSource
+{
+    const int32_t *acc = nullptr; //!< current-step accumulator (flat)
+    float scale = 1.0f;           //!< combined dequantization scale
+};
+
+/**
+ * Multi-producer requant-delta for an `Add` junction region: combine N
+ * producers' accumulators into one consumable code-diff stream at the
+ * consumer's quantization point. For every element i
+ *
+ *   codes[i] = Q(sum_s acc_s[i] * scale_s)
+ *   d16[i]   = codes[i] - prev_codes[i]
+ *
+ * with Q the symmetric int8 quantizer at `qp` and the sum taken in
+ * left-associated float order — element for element exactly the codes
+ * the consumer would have produced by quantizing the dequantized,
+ * float-added producer outputs (the scale-alignment argument in
+ * docs/graph_runtime.md). `prev_codes` is the same fold's emission of
+ * the previous step (the junction's resident code state), so the
+ * difference equals the subtraction the consumer would have performed
+ * against stored input codes, without a float recomputation of the
+ * previous step; pass null while unprimed (codes only). This file is
+ * compiled with FP contraction off so every product rounds like the
+ * dense path's per-tensor stores.
+ */
+void requantSumDelta(std::span<const RequantSource> srcs, int64_t n,
+                     const QuantParams &qp, const int8_t *prev_codes,
+                     int8_t *codes, int16_t *d16);
+
+/**
+ * requantSumDelta through nearest-neighbour 2x upsampling: sources are
+ * [c, h, w] maps, the emitted region is [c, 2h, 2w] with output
+ * (y, x) reading source (y/2, x/2). Each source element is requantized
+ * once and written to its four output positions — bitwise identical to
+ * upsampling the float sum first (the replicated values are equal).
+ */
+void requantUpsample2xSumDelta(std::span<const RequantSource> srcs,
+                               int64_t c, int64_t h, int64_t w,
+                               const QuantParams &qp,
+                               const int8_t *prev_codes, int8_t *codes,
+                               int16_t *d16);
+
+/**
+ * requantSumDelta through 2x2 average pooling: sources are [c, h, w]
+ * maps (h, w even), the emitted region is [c, h/2, w/2]. Per output
+ * element the four taps are summed across sources first (the Add
+ * junction), then averaged in the dense path's tap order
+ * ((t00 + t01 + t10 + t11) * 0.25f), then quantized.
+ */
+void requantAvgPool2xSumDelta(std::span<const RequantSource> srcs,
+                              int64_t c, int64_t h, int64_t w,
+                              const QuantParams &qp,
+                              const int8_t *prev_codes, int8_t *codes,
+                              int16_t *d16);
 
 } // namespace ditto
 

@@ -186,19 +186,22 @@ requantCodes(const Int32Tensor &acc, float combined, const QuantParams &qp)
 }
 
 /**
- * Requantize the accumulator pair (current, previous) and emit both
- * the current codes and their difference — the diff-calc-bypass
- * payload. `d16` equals subtractInt8(codes_t, codes_prev) element for
- * element, so a consumer running on it is bitwise identical to one
- * that stored the previous codes itself.
+ * Requantize the current accumulator and emit both the codes and
+ * their difference against the previous step's emission (the
+ * producer-resident code cache) — the diff-calc-bypass payload.
+ * `prev` is the same requantization of the previous accumulator, so
+ * `d16` equals subtractInt8(codes_t, codes_prev) element for element
+ * and a consumer running on it is bitwise identical to one that
+ * stored the previous codes itself — without re-running the float
+ * requantization of the previous step.
  */
 void
-requantCodesDelta(const Int32Tensor &acc, const Int32Tensor &prev,
+requantCodesDelta(const Int32Tensor &acc, const Int8Tensor &prev,
                   float combined, const QuantParams &qp, Int8Tensor *codes,
                   Int16Tensor *d16)
 {
     DITTO_ASSERT(prev.shape() == acc.shape(),
-                 "payload accumulator shape mismatch");
+                 "payload code-cache shape mismatch");
     *codes = Int8Tensor(acc.shape());
     *d16 = Int16Tensor(acc.shape());
     const float inv = 1.0f / qp.scale;
@@ -210,10 +213,9 @@ requantCodesDelta(const Int32Tensor &acc, const Int32Tensor &prev,
     auto sd = d16->data();
     for (size_t i = 0; i < sa.size(); ++i) {
         const int8_t ct = requantOne(sa[i], combined, inv, lo, hi);
-        const int8_t cp = requantOne(sp[i], combined, inv, lo, hi);
         sc[i] = ct;
         sd[i] = static_cast<int16_t>(static_cast<int16_t>(ct) -
-                                     static_cast<int16_t>(cp));
+                                     static_cast<int16_t>(sp[i]));
     }
 }
 
@@ -223,7 +225,7 @@ requantCodesDelta(const Int32Tensor &acc, const Int32Tensor &prev,
  * an unprimed slab's engine state).
  */
 void
-requantCodesDeltaBatch(const Int32Tensor &acc, const Int32Tensor *prev,
+requantCodesDeltaBatch(const Int32Tensor &acc, const Int8Tensor *prev,
                        float combined, const QuantParams &qp,
                        const uint8_t *primed, int64_t slabs,
                        Int8Tensor *codes, Int16Tensor *d16)
@@ -241,17 +243,15 @@ requantCodesDeltaBatch(const Int32Tensor &acc, const Int32Tensor *prev,
         const int64_t base = s * slab_elems;
         if (primed && primed[s]) {
             DITTO_ASSERT(prev && prev->numel() == acc.numel(),
-                         "primed payload slab needs previous output");
+                         "primed payload slab needs its code cache");
             auto sp = prev->data();
             for (int64_t i = base; i < base + slab_elems; ++i) {
                 const int8_t ct = requantOne(sa[static_cast<size_t>(i)],
                                              combined, inv, lo, hi);
-                const int8_t cp = requantOne(sp[static_cast<size_t>(i)],
-                                             combined, inv, lo, hi);
                 sc[static_cast<size_t>(i)] = ct;
-                sd[static_cast<size_t>(i)] =
-                    static_cast<int16_t>(static_cast<int16_t>(ct) -
-                                         static_cast<int16_t>(cp));
+                sd[static_cast<size_t>(i)] = static_cast<int16_t>(
+                    static_cast<int16_t>(ct) -
+                    static_cast<int16_t>(sp[static_cast<size_t>(i)]));
             }
         } else {
             for (int64_t i = base; i < base + slab_elems; ++i)
@@ -259,6 +259,48 @@ requantCodesDeltaBatch(const Int32Tensor &acc, const Int32Tensor *prev,
                     sa[static_cast<size_t>(i)], combined, inv, lo, hi);
         }
     }
+}
+
+/**
+ * Shared per-node epilogue of the four quant-executor compute paths
+ * (single/batch x weight-stationary/attention): payload emission plus
+ * code-cache refresh, f-liveness-gated float materialization, the
+ * mode-specific operand code-state stores, and the accumulator's
+ * disposition (value table for QuantDirect junction sources, prevOut
+ * slot in Ditto mode). The call sites differ only in how a primed
+ * payload delta is produced (single vs per-slab) and how summation
+ * work is counted, passed in as lambdas — one definition to keep the
+ * single and batched modes from silently diverging.
+ */
+template <typename Node, typename Value, typename State,
+          typename EmitDeltaFn, typename CountSumFn, typename StoreFn>
+void
+nodeEpilogue(const Node &nd, Value &out, Int32Tensor &acc, float combined,
+             bool use_ditto, State *state,
+             const std::vector<float> &act_scale, bool any_primed,
+             EmitDeltaFn &&emitDelta, CountSumFn &&countSum,
+             StoreFn &&storeCodes)
+{
+    if (nd.emitPayload) {
+        const QuantParams eqp{
+            act_scale[static_cast<size_t>(nd.emitScale)], 8};
+        if (any_primed)
+            emitDelta(eqp, combined);
+        else
+            out.codes = requantCodes(acc, combined, eqp);
+        // The emission becomes the next step's subtrahend.
+        if (use_ditto)
+            state->prevIn[static_cast<size_t>(nd.emitSlot)] = out.codes;
+    }
+    if (nd.fLive) {
+        out.f = dequantizeAccum(acc, combined);
+        countSum();
+    }
+    storeCodes();
+    if (nd.keepAcc && !use_ditto)
+        out.acc = std::move(acc);
+    else if (use_ditto)
+        state->prevOut[static_cast<size_t>(nd.outSlot)] = std::move(acc);
 }
 
 } // namespace
@@ -307,6 +349,93 @@ CompiledModel::combinedScale(const Node &nd) const
         return actScale_[static_cast<size_t>(ns.scaleIn)] *
                actScale_[static_cast<size_t>(ns.scaleIn2)];
     return actScale_[static_cast<size_t>(ns.scaleIn)] * nd.wScale;
+}
+
+void
+CompiledModel::runJunction(const Node &nd, const std::vector<Value> &vals,
+                           const std::vector<Int32Tensor> *prevOut,
+                           const int8_t *prevCodes, const uint8_t *primed,
+                           int64_t bsz, Int8Tensor *codes,
+                           Int16Tensor *d16) const
+{
+    const JunctionPlan &plan = *nd.junction;
+    const Shape &one =
+        spec_.nodes[static_cast<size_t>(nd.spec.inputs[0])].outShape;
+    const Shape stacked = one.rank() == 4
+                              ? slab::withDim0(one, bsz)
+                              : Shape{one[0] * bsz, one[1]};
+    *codes = Int8Tensor(stacked);
+    bool any_primed = false;
+    for (int64_t s = 0; primed && s < bsz; ++s)
+        any_primed |= primed[s] != 0;
+    if (any_primed)
+        *d16 = Int16Tensor(stacked); // unprimed regions stay zero
+    const QuantParams qp{
+        actScale_[static_cast<size_t>(nd.spec.scaleIn)], 8};
+
+    std::vector<RequantSource> srcs;
+    for (const JunctionRegion &r : plan.regions) {
+        srcs.resize(r.sources.size());
+        for (int64_t s = 0; s < bsz; ++s) {
+            const bool sp = primed && primed[s];
+            DITTO_ASSERT(!sp || prevCodes,
+                         "primed junction fold needs its code cache");
+            for (size_t i = 0; i < r.sources.size(); ++i) {
+                const int src = r.sources[i];
+                // prevOut slots hold the *current* accumulator here:
+                // the producer ran earlier in this pass.
+                const Int32Tensor *acc =
+                    prevOut ? &(*prevOut)[static_cast<size_t>(
+                                  nodes_[static_cast<size_t>(src)]
+                                      .outSlot)]
+                            : &vals[static_cast<size_t>(src)].acc;
+                DITTO_ASSERT(acc->numel() == r.srcElems * bsz,
+                             "junction source accumulator missing");
+                srcs[i].acc = acc->data().data() + s * r.srcElems;
+                srcs[i].scale =
+                    combinedScale(nodes_[static_cast<size_t>(src)]);
+            }
+            const int64_t off = s * plan.slabElems + r.outOffset;
+            int8_t *oc = codes->data().data() + off;
+            const int8_t *pc = sp ? prevCodes + off : nullptr;
+            int16_t *od = sp ? d16->data().data() + off : nullptr;
+            switch (r.transform) {
+              case JunctionRegion::Transform::Identity:
+                requantSumDelta(srcs, r.outElems, qp, pc, oc, od);
+                break;
+              case JunctionRegion::Transform::Upsample2x:
+                requantUpsample2xSumDelta(srcs, r.c, r.h, r.w, qp, pc,
+                                          oc, od);
+                break;
+              case JunctionRegion::Transform::AvgPool2x:
+                requantAvgPool2xSumDelta(srcs, r.c, r.h, r.w, qp, pc,
+                                         oc, od);
+                break;
+            }
+        }
+    }
+}
+
+std::vector<CompiledModel::NodeReport>
+CompiledModel::nodeReports() const
+{
+    std::vector<NodeReport> out;
+    out.reserve(nodes_.size());
+    for (const Node &nd : nodes_) {
+        NodeReport r;
+        r.name = nd.spec.name;
+        r.op = nd.spec.op;
+        r.layer = nd.layer;
+        r.compute = rtIsCompute(nd.spec.op);
+        r.diffBypass = nd.diffBypass;
+        r.diffBypass2 = nd.diffBypass2;
+        r.junction = nd.junction.has_value();
+        r.sumSkip = r.compute && !nd.fLive;
+        r.emitsPayload = nd.emitPayload;
+        r.deadStructural = nd.skipExec;
+        out.push_back(std::move(r));
+    }
+    return out;
 }
 
 void
@@ -454,7 +583,7 @@ CompiledModel::runStructural(const Node &nd, std::vector<Value> &vals,
         break;
       case RtOp::NchwToTokens: {
         Value &in = inVal(0);
-        if (in.f.numel() > 0)
+        if (in.f.numel() > 0 && nd.fLive)
             out.f = toTokens(in.f);
         if (in.codes.numel() > 0)
             out.codes = toTokens(in.codes);
@@ -466,7 +595,7 @@ CompiledModel::runStructural(const Node &nd, std::vector<Value> &vals,
         Value &in = inVal(0);
         const int64_t h = ns.outShape[2];
         const int64_t w = ns.outShape[3];
-        if (in.f.numel() > 0)
+        if (in.f.numel() > 0 && nd.fLive)
             out.f = toNchw(in.f, h, w);
         if (in.codes.numel() > 0)
             out.codes = toNchw(in.codes, h, w);
@@ -506,13 +635,34 @@ CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
             Value &in = inVal(0);
             const QuantParams qp{
                 actScale_[static_cast<size_t>(ns.scaleIn)], 8};
-            // A bypass consumer's operand arrives pre-quantized in its
-            // own code domain; everyone else quantizes the float input.
+            // The operand arrives pre-quantized in this node's code
+            // domain from a junction fold or a single-producer
+            // payload; everyone else quantizes the float input.
             Int8Tensor codes;
-            if (nd.diffBypass) {
+            Int16Tensor jd16;
+            const Int16Tensor *dptr = nullptr;
+            if (nd.junction) {
+                const uint8_t one = 1;
+                runJunction(nd, vals,
+                            use_ditto ? &state->prevOut : nullptr,
+                            primed ? state
+                                         ->prevIn[static_cast<size_t>(
+                                             nd.jSlot)]
+                                         .data()
+                                         .data()
+                                   : nullptr,
+                            primed ? &one : nullptr, 1, &codes, &jd16);
+                if (primed)
+                    dptr = &jd16;
+            } else if (nd.diffBypass) {
                 DITTO_ASSERT(in.codes.numel() > 0,
                              "bypass payload missing codes");
                 codes = std::move(in.codes);
+                if (primed) {
+                    DITTO_ASSERT(in.d16.numel() > 0,
+                                 "bypass payload missing difference");
+                    dptr = &in.d16;
+                }
             } else {
                 codes = quantize(in.f, qp);
             }
@@ -525,19 +675,17 @@ CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
                     acc = nd.cross->runDirect(codes);
                 else
                     acc = nd.fc->runDirect(codes);
-            } else if (nd.diffBypass) {
-                DITTO_ASSERT(in.d16.numel() > 0,
-                             "bypass payload missing difference");
+            } else if (dptr) {
                 const Int32Tensor &prev =
                     state->prevOut[static_cast<size_t>(nd.outSlot)];
                 if (nd.conv)
-                    acc = nd.conv->runDiffPre(codes, in.d16, prev, counts,
+                    acc = nd.conv->runDiffPre(codes, *dptr, prev, counts,
                                               opts_.policy);
                 else if (nd.cross)
-                    acc = nd.cross->runDiffPre(codes, in.d16, prev,
+                    acc = nd.cross->runDiffPre(codes, *dptr, prev,
                                                counts, opts_.policy);
                 else
-                    acc = nd.fc->runDiffPre(codes, in.d16, prev, counts,
+                    acc = nd.fc->runDiffPre(codes, *dptr, prev, counts,
                                             opts_.policy);
             } else {
                 const Int8Tensor &prev_in =
@@ -557,40 +705,34 @@ CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
                     counts->diffCalcElems += codes.numel();
             }
 
-            const float combined = combinedScale(nd);
-            // Emit the bypass payload for this node's consumer before
-            // the accumulator state is overwritten.
-            if (nd.emitPayload) {
-                const QuantParams eqp{
-                    actScale_[static_cast<size_t>(nd.emitScale)], 8};
-                if (primed)
+            nodeEpilogue(
+                nd, out, acc, combinedScale(nd), use_ditto, state,
+                actScale_, primed,
+                [&](const QuantParams &eqp, float combined) {
                     requantCodesDelta(
                         acc,
-                        state->prevOut[static_cast<size_t>(nd.outSlot)],
+                        state->prevIn[static_cast<size_t>(nd.emitSlot)],
                         combined, eqp, &out.codes, &out.d16);
-                else
-                    out.codes = requantCodes(acc, combined, eqp);
-            }
-            if (use_ditto) {
-                if (nd.inSlot >= 0)
-                    state->prevIn[static_cast<size_t>(nd.inSlot)] =
-                        std::move(codes);
-                state->prevOut[static_cast<size_t>(nd.outSlot)] =
-                    std::move(acc);
-            }
-            if (!nd.emitPayload) {
-                const Int32Tensor &acc_ref =
-                    use_ditto
-                        ? state->prevOut[static_cast<size_t>(nd.outSlot)]
-                        : acc;
-                out.f = dequantizeAccum(acc_ref, combined);
-                if (counts && primed)
-                    counts->summationElems += acc_ref.numel();
-            }
+                },
+                [&] {
+                    if (counts && primed)
+                        counts->summationElems += acc.numel();
+                },
+                [&] {
+                    if (!use_ditto)
+                        return;
+                    if (nd.inSlot >= 0)
+                        state->prevIn[static_cast<size_t>(nd.inSlot)] =
+                            std::move(codes);
+                    else if (nd.junction)
+                        state->prevIn[static_cast<size_t>(nd.jSlot)] =
+                            std::move(codes);
+                });
             continue;
         }
 
-        // Dynamic-dynamic attention: two operands, two-term expansion.
+        // Dynamic-dynamic attention: two operands, two-term expansion,
+        // either operand possibly handed over by its producer.
         if (ns.op == RtOp::AttnScores || ns.op == RtOp::AttnOutput) {
             Value &av = inVal(0);
             Value &bv = inVal(1);
@@ -598,66 +740,90 @@ CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
                 actScale_[static_cast<size_t>(ns.scaleIn)], 8};
             const QuantParams qpb{
                 actScale_[static_cast<size_t>(ns.scaleIn2)], 8};
-            Int8Tensor a_codes = quantize(av.f, qpa);
-            Int8Tensor b_codes = quantize(bv.f, qpb);
+            Int8Tensor a_codes, b_codes;
+            if (nd.diffBypass) {
+                DITTO_ASSERT(av.codes.numel() > 0,
+                             "operand payload missing codes");
+                a_codes = std::move(av.codes);
+            } else {
+                a_codes = quantize(av.f, qpa);
+            }
+            if (nd.diffBypass2) {
+                DITTO_ASSERT(bv.codes.numel() > 0,
+                             "operand payload missing codes");
+                b_codes = std::move(bv.codes);
+            } else {
+                b_codes = quantize(bv.f, qpb);
+            }
             Int32Tensor acc;
             if (!primed) {
                 acc = ns.op == RtOp::AttnScores
                           ? attentionScoresDirect(a_codes, b_codes)
                           : attentionOutputDirect(a_codes, b_codes);
             } else {
-                const Int8Tensor &prev_a =
-                    state->prevIn[static_cast<size_t>(nd.inSlot)];
-                const Int8Tensor &prev_b =
-                    state->prevIn[static_cast<size_t>(nd.inSlot2)];
+                const Int16Tensor *da = nullptr;
+                const Int8Tensor *pa = nullptr;
+                if (nd.diffBypass) {
+                    DITTO_ASSERT(av.d16.numel() > 0,
+                                 "operand payload missing difference");
+                    da = &av.d16;
+                } else {
+                    pa = &state->prevIn[static_cast<size_t>(nd.inSlot)];
+                }
+                const Int16Tensor *db = nullptr;
+                const Int8Tensor *pb = nullptr;
+                if (nd.diffBypass2) {
+                    DITTO_ASSERT(bv.d16.numel() > 0,
+                                 "operand payload missing difference");
+                    db = &bv.d16;
+                } else {
+                    pb = &state->prevIn[static_cast<size_t>(nd.inSlot2)];
+                }
                 const Int32Tensor &prev_out =
                     state->prevOut[static_cast<size_t>(nd.outSlot)];
                 acc = ns.op == RtOp::AttnScores
-                          ? attentionScoresDiff(a_codes, prev_a, b_codes,
-                                                prev_b, prev_out, counts,
-                                                opts_.policy)
-                          : attentionOutputDiff(a_codes, prev_a, b_codes,
-                                                prev_b, prev_out, counts,
-                                                opts_.policy);
+                          ? attentionScoresPre(a_codes, da, pa, b_codes,
+                                               db, pb, prev_out, counts,
+                                               opts_.policy)
+                          : attentionOutputPre(a_codes, da, pa, b_codes,
+                                               db, pb, prev_out, counts,
+                                               opts_.policy);
                 if (counts)
                     counts->diffCalcElems +=
-                        a_codes.numel() + b_codes.numel();
+                        (pa ? a_codes.numel() : 0) +
+                        (pb ? b_codes.numel() : 0);
             }
-            const float combined = combinedScale(nd);
-            if (nd.emitPayload) {
-                const QuantParams eqp{
-                    actScale_[static_cast<size_t>(nd.emitScale)], 8};
-                if (primed)
+            nodeEpilogue(
+                nd, out, acc, combinedScale(nd), use_ditto, state,
+                actScale_, primed,
+                [&](const QuantParams &eqp, float combined) {
                     requantCodesDelta(
                         acc,
-                        state->prevOut[static_cast<size_t>(nd.outSlot)],
+                        state->prevIn[static_cast<size_t>(nd.emitSlot)],
                         combined, eqp, &out.codes, &out.d16);
-                else
-                    out.codes = requantCodes(acc, combined, eqp);
-            }
-            if (use_ditto) {
-                state->prevIn[static_cast<size_t>(nd.inSlot)] =
-                    std::move(a_codes);
-                state->prevIn[static_cast<size_t>(nd.inSlot2)] =
-                    std::move(b_codes);
-                state->prevOut[static_cast<size_t>(nd.outSlot)] =
-                    std::move(acc);
-            }
-            if (!nd.emitPayload) {
-                const Int32Tensor &acc_ref =
-                    use_ditto
-                        ? state->prevOut[static_cast<size_t>(nd.outSlot)]
-                        : acc;
-                out.f = dequantizeAccum(acc_ref, combined);
-                if (counts && primed)
-                    counts->summationElems += acc_ref.numel();
-            }
+                },
+                [&] {
+                    if (counts && primed)
+                        counts->summationElems += acc.numel();
+                },
+                [&] {
+                    if (!use_ditto)
+                        return;
+                    if (nd.inSlot >= 0)
+                        state->prevIn[static_cast<size_t>(nd.inSlot)] =
+                            std::move(a_codes);
+                    if (nd.inSlot2 >= 0)
+                        state->prevIn[static_cast<size_t>(nd.inSlot2)] =
+                            std::move(b_codes);
+                });
             continue;
         }
 
         // Vector / structural ops on full values; reshapes also carry
         // the bypass payload through unchanged (element bijections).
-        runStructural(nd, vals, x);
+        // Plan-covered junction subtrees never execute.
+        if (!nd.skipExec)
+            runStructural(nd, vals, x);
     }
     if (use_ditto)
         state->primed = true;
@@ -738,34 +904,52 @@ CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
             const QuantParams qp{
                 actScale_[static_cast<size_t>(ns.scaleIn)], 8};
             Int8Tensor codes;
-            if (nd.diffBypass) {
+            Int16Tensor jd16;
+            const Int16Tensor *dptr = nullptr;
+            if (nd.junction) {
+                runJunction(nd, vals,
+                            use_ditto ? &state->prevOut : nullptr,
+                            have_primed
+                                ? state
+                                      ->prevIn[static_cast<size_t>(
+                                          nd.jSlot)]
+                                      .data()
+                                      .data()
+                                : nullptr,
+                            primed, bsz, &codes, &jd16);
+                if (have_primed)
+                    dptr = &jd16;
+            } else if (nd.diffBypass) {
                 DITTO_ASSERT(in.codes.numel() > 0,
                              "bypass payload missing codes");
                 codes = std::move(in.codes);
+                if (have_primed) {
+                    DITTO_ASSERT(in.d16.numel() > 0,
+                                 "bypass payload missing difference");
+                    jd16 = std::move(in.d16);
+                    dptr = &jd16;
+                }
             } else {
                 codes = quantize(in.f, qp);
             }
 
             Int32Tensor acc;
-            if (nd.diffBypass && have_primed) {
-                DITTO_ASSERT(in.d16.numel() > 0,
-                             "bypass payload missing difference");
-                const Int16Tensor d = std::move(in.d16);
+            if (dptr) {
                 if (nd.conv)
-                    acc = nd.conv->runBatchPre(codes, d,
+                    acc = nd.conv->runBatchPre(codes, *dptr,
                                                prevOut(nd.outSlot),
                                                primed, counts,
                                                opts_.policy);
                 else if (nd.cross)
-                    acc = nd.cross->runBatchPre(codes, d, bsz,
+                    acc = nd.cross->runBatchPre(codes, *dptr, bsz,
                                                 prevOut(nd.outSlot),
                                                 primed, counts,
                                                 opts_.policy);
                 else
-                    acc = nd.fc->runBatchPre(codes, d, bsz,
+                    acc = nd.fc->runBatchPre(codes, *dptr, bsz,
                                              prevOut(nd.outSlot), primed,
                                              counts, opts_.policy);
-            } else if (nd.diffBypass) {
+            } else if (nd.diffBypass || nd.junction) {
                 // No slab is primed yet: no payload difference exists
                 // and none is needed — every slab runs direct through
                 // the ordinary batched entry point (which skips all
@@ -798,32 +982,27 @@ CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
                 countDiffCalc(codes.numel() / bsz);
             }
 
-            const float combined = combinedScale(nd);
-            if (nd.emitPayload) {
-                const QuantParams eqp{
-                    actScale_[static_cast<size_t>(nd.emitScale)], 8};
-                if (have_primed)
-                    requantCodesDeltaBatch(acc, prevOut(nd.outSlot),
-                                           combined, eqp, primed, bsz,
-                                           &out.codes, &out.d16);
-                else
-                    out.codes = requantCodes(acc, combined, eqp);
-            }
-            if (use_ditto) {
-                if (nd.inSlot >= 0)
-                    state->prevIn[static_cast<size_t>(nd.inSlot)] =
-                        std::move(codes);
-                state->prevOut[static_cast<size_t>(nd.outSlot)] =
-                    std::move(acc);
-            }
-            if (!nd.emitPayload) {
-                const Int32Tensor &acc_ref =
-                    use_ditto
-                        ? state->prevOut[static_cast<size_t>(nd.outSlot)]
-                        : acc;
-                out.f = dequantizeAccum(acc_ref, combined);
-                countSummation(acc_ref.numel() / bsz);
-            }
+            nodeEpilogue(
+                nd, out, acc, combinedScale(nd), use_ditto, state,
+                actScale_, have_primed,
+                [&](const QuantParams &eqp, float combined) {
+                    requantCodesDeltaBatch(
+                        acc,
+                        &state->prevIn[static_cast<size_t>(nd.emitSlot)],
+                        combined, eqp, primed, bsz, &out.codes,
+                        &out.d16);
+                },
+                [&] { countSummation(acc.numel() / bsz); },
+                [&] {
+                    if (!use_ditto)
+                        return;
+                    if (nd.inSlot >= 0)
+                        state->prevIn[static_cast<size_t>(nd.inSlot)] =
+                            std::move(codes);
+                    else if (nd.junction)
+                        state->prevIn[static_cast<size_t>(nd.jSlot)] =
+                            std::move(codes);
+                });
             continue;
         }
 
@@ -834,52 +1013,89 @@ CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
                 actScale_[static_cast<size_t>(ns.scaleIn)], 8};
             const QuantParams qpb{
                 actScale_[static_cast<size_t>(ns.scaleIn2)], 8};
-            Int8Tensor a_codes = quantize(av.f, qpa);
-            Int8Tensor b_codes = quantize(bv.f, qpb);
-            Int32Tensor acc =
-                ns.op == RtOp::AttnScores
-                    ? attentionScoresBatch(a_codes, b_codes, bsz,
-                                           prevIn(nd.inSlot),
-                                           prevIn(nd.inSlot2),
-                                           prevOut(nd.outSlot), primed,
-                                           counts, opts_.policy)
-                    : attentionOutputBatch(a_codes, b_codes, bsz,
-                                           prevIn(nd.inSlot),
-                                           prevIn(nd.inSlot2),
-                                           prevOut(nd.outSlot), primed,
-                                           counts, opts_.policy);
-            countDiffCalc((a_codes.numel() + b_codes.numel()) / bsz);
-            const float combined = combinedScale(nd);
-            if (nd.emitPayload) {
-                const QuantParams eqp{
-                    actScale_[static_cast<size_t>(nd.emitScale)], 8};
-                if (have_primed)
-                    requantCodesDeltaBatch(acc, prevOut(nd.outSlot),
-                                           combined, eqp, primed, bsz,
-                                           &out.codes, &out.d16);
-                else
-                    out.codes = requantCodes(acc, combined, eqp);
+            Int8Tensor a_codes, b_codes;
+            if (nd.diffBypass) {
+                DITTO_ASSERT(av.codes.numel() > 0,
+                             "operand payload missing codes");
+                a_codes = std::move(av.codes);
+            } else {
+                a_codes = quantize(av.f, qpa);
             }
-            if (use_ditto) {
-                state->prevIn[static_cast<size_t>(nd.inSlot)] =
-                    std::move(a_codes);
-                state->prevIn[static_cast<size_t>(nd.inSlot2)] =
-                    std::move(b_codes);
-                state->prevOut[static_cast<size_t>(nd.outSlot)] =
-                    std::move(acc);
+            if (nd.diffBypass2) {
+                DITTO_ASSERT(bv.codes.numel() > 0,
+                             "operand payload missing codes");
+                b_codes = std::move(bv.codes);
+            } else {
+                b_codes = quantize(bv.f, qpb);
             }
-            if (!nd.emitPayload) {
-                const Int32Tensor &acc_ref =
-                    use_ditto
-                        ? state->prevOut[static_cast<size_t>(nd.outSlot)]
-                        : acc;
-                out.f = dequantizeAccum(acc_ref, combined);
-                countSummation(acc_ref.numel() / bsz);
+            Int32Tensor acc;
+            if (have_primed) {
+                DITTO_ASSERT(!nd.diffBypass || av.d16.numel() > 0,
+                             "operand payload missing difference");
+                DITTO_ASSERT(!nd.diffBypass2 || bv.d16.numel() > 0,
+                             "operand payload missing difference");
+                const Int16Tensor *da =
+                    nd.diffBypass ? &av.d16 : nullptr;
+                const Int8Tensor *pa =
+                    nd.diffBypass ? nullptr : prevIn(nd.inSlot);
+                const Int16Tensor *db =
+                    nd.diffBypass2 ? &bv.d16 : nullptr;
+                const Int8Tensor *pb =
+                    nd.diffBypass2 ? nullptr : prevIn(nd.inSlot2);
+                acc = ns.op == RtOp::AttnScores
+                          ? attentionScoresBatchPre(
+                                a_codes, da, pa, b_codes, db, pb, bsz,
+                                prevOut(nd.outSlot), primed, counts,
+                                opts_.policy)
+                          : attentionOutputBatchPre(
+                                a_codes, da, pa, b_codes, db, pb, bsz,
+                                prevOut(nd.outSlot), primed, counts,
+                                opts_.policy);
+                if (counts && primed) {
+                    const int64_t per_slab =
+                        (pa ? a_codes.numel() / bsz : 0) +
+                        (pb ? b_codes.numel() / bsz : 0);
+                    for (int64_t s = 0; s < bsz; ++s)
+                        if (primed[s])
+                            counts[s].diffCalcElems += per_slab;
+                }
+            } else {
+                acc = ns.op == RtOp::AttnScores
+                          ? attentionScoresBatch(a_codes, b_codes, bsz,
+                                                 nullptr, nullptr,
+                                                 nullptr, primed, counts,
+                                                 opts_.policy)
+                          : attentionOutputBatch(a_codes, b_codes, bsz,
+                                                 nullptr, nullptr,
+                                                 nullptr, primed, counts,
+                                                 opts_.policy);
             }
+            nodeEpilogue(
+                nd, out, acc, combinedScale(nd), use_ditto, state,
+                actScale_, have_primed,
+                [&](const QuantParams &eqp, float combined) {
+                    requantCodesDeltaBatch(
+                        acc,
+                        &state->prevIn[static_cast<size_t>(nd.emitSlot)],
+                        combined, eqp, primed, bsz, &out.codes,
+                        &out.d16);
+                },
+                [&] { countSummation(acc.numel() / bsz); },
+                [&] {
+                    if (!use_ditto)
+                        return;
+                    if (nd.inSlot >= 0)
+                        state->prevIn[static_cast<size_t>(nd.inSlot)] =
+                            std::move(a_codes);
+                    if (nd.inSlot2 >= 0)
+                        state->prevIn[static_cast<size_t>(nd.inSlot2)] =
+                            std::move(b_codes);
+                });
             continue;
         }
 
-        runStructural(nd, vals, x);
+        if (!nd.skipExec)
+            runStructural(nd, vals, x);
     }
     if (use_ditto)
         std::fill(state->primed.begin(), state->primed.end(), 1);
@@ -1137,73 +1353,265 @@ compile(const ModelSpec &spec, const CompileOptions &opts)
         m.nodes_.push_back(std::move(nd));
     }
 
-    // Dependency-driven state flow: a weight-stationary node whose
-    // verdict says difference calculation is bypassable consumes its
-    // producer's requantized difference when the producer is a single
-    // compute node reached through reshape-only wire (the software-
-    // realizable subset; Add/Concat/Pool junctions and dynamic
-    // attention operands conservatively stay full-value boundaries).
+    // Dependency-driven state flow, three passes:
+    //
+    //  A. single-producer hand-over: an operand reached from one
+    //     compute producer through reshape-only single-consumer wire
+    //     consumes that producer's requantized code difference —
+    //     weight-stationary operands (the PR4 mechanism) and, new,
+    //     each dynamic-attention operand independently.
+    //  B. junction folds: a weight-stationary operand fed by an
+    //     Add/Concat subtree of compute producers (optionally behind
+    //     one Upsample2x/AvgPool2x hop) gets a JunctionPlan — the
+    //     multi-producer requant-delta replaces the full-value round
+    //     trip through the junction.
+    //  C. f-liveness: a node materializes float output only if some
+    //     executed consumer reads it; plan-covered structural nodes
+    //     never execute at all.
     if (opts.useDependencyAnalysis) {
         std::vector<int> consumers(spec.nodes.size(), 0);
         for (const NodeSpec &ns : spec.nodes)
             for (int in : ns.inputs)
                 ++consumers[static_cast<size_t>(in)];
+
+        // Reshape-only single-consumer wire to a single compute
+        // producer; -1 when the wire is anything else.
+        auto traceProducer = [&](int start) -> int {
+            int p = start;
+            while (rtIsReshape(spec.nodes[static_cast<size_t>(p)].op)) {
+                if (consumers[static_cast<size_t>(p)] != 1)
+                    return -1;
+                p = spec.nodes[static_cast<size_t>(p)].inputs[0];
+            }
+            if (!rtIsCompute(spec.nodes[static_cast<size_t>(p)].op) ||
+                consumers[static_cast<size_t>(p)] != 1)
+                return -1;
+            return p;
+        };
+
+        // Pass A.
+        for (const NodeSpec &ns : spec.nodes) {
+            const bool ws = ns.op == RtOp::Conv2d || ns.op == RtOp::Fc ||
+                            ns.op == RtOp::CrossScores ||
+                            ns.op == RtOp::CrossOutput;
+            const bool attn = ns.op == RtOp::AttnScores ||
+                              ns.op == RtOp::AttnOutput;
+            if (!ws && !attn)
+                continue;
+            const int layer = n2l[static_cast<size_t>(ns.id)];
+            // Weight-stationary operands follow the layer verdict; an
+            // attention node's verdict is a property of both operands
+            // together, so its operands qualify individually by the
+            // wire walk alone (the walk only ever lands on a compute
+            // producer, which is exactly the diff-domain condition).
+            if (ws &&
+                m.deps_[static_cast<size_t>(layer)].diffCalcNeeded)
+                continue;
+            const int nops = attn ? 2 : 1;
+            for (int j = 0; j < nops; ++j) {
+                const int p = traceProducer(
+                    ns.inputs[static_cast<size_t>(j)]);
+                if (p < 0)
+                    continue;
+                CompiledModel::Node &prod =
+                    m.nodes_[static_cast<size_t>(p)];
+                if (prod.emitPayload)
+                    continue; // one payload target per producer
+                prod.emitPayload = true;
+                prod.emitScale = j == 0 ? ns.scaleIn : ns.scaleIn2;
+                if (j == 0)
+                    m.nodes_[static_cast<size_t>(ns.id)].diffBypass =
+                        true;
+                else
+                    m.nodes_[static_cast<size_t>(ns.id)].diffBypass2 =
+                        true;
+                ++m.numBypass_;
+            }
+        }
+
+        // Pass B. Flatten a left-leaning Add chain of compute leaves
+        // into a source list; the left-associated runtime sum then
+        // reproduces the dense float adds term for term.
+        auto flattenAdd = [&](int id, std::vector<int> *out,
+                              auto &&self) -> bool {
+            const NodeSpec &n = spec.nodes[static_cast<size_t>(id)];
+            if (rtIsCompute(n.op)) {
+                out->push_back(id);
+                return true;
+            }
+            if (n.op != RtOp::Add)
+                return false;
+            if (!self(n.inputs[0], out, self))
+                return false;
+            const NodeSpec &r =
+                spec.nodes[static_cast<size_t>(n.inputs[1])];
+            if (!rtIsCompute(r.op))
+                return false; // right-leaning adds would re-associate
+            out->push_back(r.id);
+            return true;
+        };
+        auto buildRegions = [&](int id,
+                                std::vector<CompiledModel::JunctionRegion>
+                                    *regs,
+                                auto &&self) -> bool {
+            const NodeSpec &n = spec.nodes[static_cast<size_t>(id)];
+            if (n.op == RtOp::Concat)
+                return self(n.inputs[0], regs, self) &&
+                       self(n.inputs[1], regs, self);
+            CompiledModel::JunctionRegion r;
+            if (n.op == RtOp::Upsample2x || n.op == RtOp::AvgPool2x) {
+                const NodeSpec &c =
+                    spec.nodes[static_cast<size_t>(n.inputs[0])];
+                if (c.outShape.rank() != 4 || c.outShape[0] != 1)
+                    return false;
+                if (!flattenAdd(c.id, &r.sources, flattenAdd))
+                    return false;
+                r.transform =
+                    n.op == RtOp::Upsample2x
+                        ? CompiledModel::JunctionRegion::Transform::
+                              Upsample2x
+                        : CompiledModel::JunctionRegion::Transform::
+                              AvgPool2x;
+                r.c = c.outShape[1];
+                r.h = c.outShape[2];
+                r.w = c.outShape[3];
+                r.srcElems = c.outShape.numel();
+                r.outElems = n.op == RtOp::Upsample2x
+                                 ? r.srcElems * 4
+                                 : r.srcElems / 4;
+            } else {
+                // Add chain or (inside a Concat) a lone compute leaf —
+                // the top-level operand is never a bare leaf (that is
+                // the single-producer pass-A case, gated by op kind).
+                if (!flattenAdd(id, &r.sources, flattenAdd))
+                    return false;
+                r.srcElems = n.outShape.numel();
+                r.outElems = r.srcElems;
+            }
+            regs->push_back(std::move(r));
+            return true;
+        };
         for (const NodeSpec &ns : spec.nodes) {
             if (ns.op != RtOp::Conv2d && ns.op != RtOp::Fc &&
                 ns.op != RtOp::CrossScores && ns.op != RtOp::CrossOutput)
                 continue;
+            CompiledModel::Node &nd =
+                m.nodes_[static_cast<size_t>(ns.id)];
+            if (nd.diffBypass)
+                continue;
             const int layer = n2l[static_cast<size_t>(ns.id)];
             if (m.deps_[static_cast<size_t>(layer)].diffCalcNeeded)
                 continue;
-            // Walk to the producer through reshape-only, single-
-            // consumer wire.
-            int p = ns.inputs[0];
-            bool eligible = true;
-            while (rtIsReshape(spec.nodes[static_cast<size_t>(p)].op)) {
-                if (consumers[static_cast<size_t>(p)] != 1) {
-                    eligible = false;
-                    break;
-                }
-                p = spec.nodes[static_cast<size_t>(p)].inputs[0];
-            }
-            if (!eligible ||
-                !rtIsCompute(spec.nodes[static_cast<size_t>(p)].op) ||
-                consumers[static_cast<size_t>(p)] != 1)
+            const NodeSpec &in0 =
+                spec.nodes[static_cast<size_t>(ns.inputs[0])];
+            if (in0.op != RtOp::Add && in0.op != RtOp::Concat &&
+                in0.op != RtOp::Upsample2x && in0.op != RtOp::AvgPool2x)
                 continue;
-            CompiledModel::Node &prod =
-                m.nodes_[static_cast<size_t>(p)];
-            if (prod.emitPayload)
-                continue; // one payload target per producer
-            // The producer's only consumer takes the difference, so
-            // the analysis must agree its summation is skippable.
-            DITTO_ASSERT(
-                !m.deps_[static_cast<size_t>(prod.layer)]
-                     .summationNeeded,
-                "bypass producer unexpectedly needs summation");
-            m.nodes_[static_cast<size_t>(ns.id)].diffBypass = true;
-            prod.emitPayload = true;
-            prod.emitScale = ns.scaleIn;
+            CompiledModel::JunctionPlan plan;
+            if (!buildRegions(in0.id, &plan.regions, buildRegions))
+                continue;
+            int64_t off = 0;
+            for (CompiledModel::JunctionRegion &r : plan.regions) {
+                r.outOffset = off;
+                off += r.outElems;
+            }
+            plan.slabElems = off;
+            DITTO_ASSERT(off == in0.outShape.numel(),
+                         "junction plan does not tile the operand");
+            for (const CompiledModel::JunctionRegion &r : plan.regions)
+                for (int src : r.sources)
+                    m.nodes_[static_cast<size_t>(src)].keepAcc = true;
+            nd.junction = std::move(plan);
+            nd.diffBypass = true;
             ++m.numBypass_;
-            ++m.numSumSkip_;
         }
         DITTO_ASSERT(!m.nodes_.back().emitPayload,
-                     "the output node cannot skip summation");
+                     "the output node cannot hand its output over");
+    }
+
+    // Pass C: f-liveness, walked against topological order so every
+    // node's own liveness is final before its inputs are marked. The
+    // output node is live by definition; a consumer marks an input
+    // live exactly when its executed form reads that input's float
+    // value. With the analysis off nothing is bypassed and everything
+    // consumed comes out live — the naive full-value dataflow.
+    {
+        std::vector<uint8_t> flive(spec.nodes.size(), 0);
+        flive[spec.nodes.back().id] = 1;
+        for (size_t i = spec.nodes.size(); i-- > 0;) {
+            const NodeSpec &ns = spec.nodes[i];
+            const CompiledModel::Node &nd = m.nodes_[i];
+            auto need = [&](int j) {
+                flive[static_cast<size_t>(
+                    ns.inputs[static_cast<size_t>(j)])] = 1;
+            };
+            switch (ns.op) {
+              case RtOp::Input:
+                break;
+              case RtOp::Conv2d:
+              case RtOp::Fc:
+              case RtOp::CrossScores:
+              case RtOp::CrossOutput:
+                if (!nd.diffBypass)
+                    need(0);
+                break;
+              case RtOp::AttnScores:
+              case RtOp::AttnOutput:
+                if (!nd.diffBypass)
+                    need(0);
+                if (!nd.diffBypass2)
+                    need(1);
+                break;
+              default:
+                // Structural / vector ops read every operand's float
+                // value — but only if they execute themselves.
+                if (flive[i])
+                    for (size_t j = 0; j < ns.inputs.size(); ++j)
+                        need(static_cast<int>(j));
+                break;
+            }
+        }
+        for (size_t i = 0; i < m.nodes_.size(); ++i) {
+            CompiledModel::Node &nd = m.nodes_[i];
+            nd.fLive = flive[i] != 0;
+            const RtOp op = nd.spec.op;
+            if (rtIsCompute(op)) {
+                if (!nd.fLive)
+                    ++m.numSumSkip_;
+            } else if (!nd.fLive && op != RtOp::Input &&
+                       !rtIsReshape(op)) {
+                // Reshapes stay executable (they may carry a payload);
+                // everything else with a dead output is plan-covered
+                // junction wire and never runs.
+                nd.skipExec = true;
+            }
+        }
     }
 
     // Difference-state slots: every compute node keeps its previous
     // accumulator; previous input codes only where diff-calc really
-    // happens (bypassed nodes hold no input state at all).
+    // happens (handed-over operands hold no input state at all).
+    // Payload emissions and junction folds keep their previous
+    // *emitted codes* in the same int8 state pool — next step's delta
+    // is a subtraction against that cache, never a float
+    // recomputation of the previous step.
     for (CompiledModel::Node &nd : m.nodes_) {
         const RtOp op = nd.spec.op;
         if (!rtIsCompute(op))
             continue;
         nd.outSlot = m.numOutSlots_++;
         if (op == RtOp::AttnScores || op == RtOp::AttnOutput) {
-            nd.inSlot = m.numInSlots_++;
-            nd.inSlot2 = m.numInSlots_++;
+            if (!nd.diffBypass)
+                nd.inSlot = m.numInSlots_++;
+            if (!nd.diffBypass2)
+                nd.inSlot2 = m.numInSlots_++;
         } else if (!nd.diffBypass) {
             nd.inSlot = m.numInSlots_++;
         }
+        if (nd.emitPayload)
+            nd.emitSlot = m.numInSlots_++;
+        if (nd.junction)
+            nd.jSlot = m.numInSlots_++;
     }
 
     m.calibrate();

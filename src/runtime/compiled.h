@@ -16,20 +16,34 @@
  *    accumulator pair into the consumer's code domain and hands the
  *    code difference over (runDiffPre) — the software realization of
  *    "the producer's output is already a difference".
- *  - summationNeeded == false (every consumer takes the difference):
- *    the node never materializes its float output; consumers read the
- *    requantized payload. OpCounts::diffCalcElems / summationElems
- *    record exactly the work that was and wasn't done, which is what
- *    the dependency-skip test asserts on.
+ *  - diffCalcNeeded == false and the operand arrives through a
+ *    junction subtree (Add / Concat, optionally one Upsample2x /
+ *    AvgPool2x hop) of compute producers: the node owns a
+ *    JunctionPlan. At run time the plan folds the producers' resident
+ *    accumulator pairs straight into consumer-scale codes plus a code
+ *    difference (the multi-producer requant-delta primitives in
+ *    quant/encoder.h) — the junction itself never materializes float
+ *    values and the consumer still stores no previous-input codes.
+ *  - dynamic-attention operands arriving from a compute producer
+ *    through reshape-only wire are handed over the same way, per
+ *    operand: the attention node quantizes nothing from float for
+ *    that operand and stores no previous codes for it (the expansion's
+ *    previous operand is reconstructed exactly as codes - diff).
+ *  - a node materializes its float output only when some executed
+ *    consumer actually reads it (the f-liveness pass): producers whose
+ *    every consumer takes the difference skip summation, and junction
+ *    subtrees that are fully plan-covered never execute at all.
+ *    OpCounts::diffCalcElems / summationElems record exactly the work
+ *    that was and wasn't done, which is what the dependency-skip and
+ *    junction tests assert on.
  *
- * Both transformations are bitwise-exact: the requantized difference
- * equals the subtraction of the consumer's stored codes element for
- * element, so compiled execution of the MiniUnet preset reproduces the
- * legacy hand-wired model bit for bit in every mode (the golden parity
- * suite in tests/test_runtime.cc). Dynamic-attention operands are
- * never bypassed in software — the two-term expansion needs the full
- * previous operands regardless — so their verdicts remain a
- * hardware-model quantity.
+ * All transformations are bitwise-exact: the requantized (combined)
+ * difference equals the subtraction of the codes the consumer would
+ * have stored, element for element, so compiled execution of the
+ * MiniUnet preset reproduces the legacy hand-wired model bit for bit
+ * in every mode (the golden parity suite in tests/test_runtime.cc),
+ * and every spec runs bit-identical with useDependencyAnalysis on and
+ * off. See docs/graph_runtime.md for the scale-alignment algebra.
  *
  * The compiled surface mirrors the historic MiniUnet API: forward /
  * forwardBatch / rollout / rolloutBatch / requestNoise with
@@ -131,10 +145,39 @@ class CompiledModel
         return deps_;
     }
 
-    /** Nodes that consume their producer's difference directly. */
+    /**
+     * Operands that consume their producer's difference directly:
+     * weight-stationary single-producer hand-overs, junction-plan
+     * folds, and per-operand dynamic-attention hand-overs (an
+     * attention node with both operands handed over counts twice).
+     */
     int numDiffBypassNodes() const { return numBypass_; }
     /** Nodes that never materialize a float output in quant modes. */
     int numSumSkipNodes() const { return numSumSkip_; }
+
+    /** One row of the per-node compiled-wiring report. */
+    struct NodeReport
+    {
+        std::string name;
+        RtOp op;
+        int layer = -1;       //!< graph layer id (-1: reshape wire)
+        bool compute = false;
+        bool diffBypass = false;  //!< operand 0 handed over / folded
+        bool diffBypass2 = false; //!< attention operand 1 handed over
+        bool junction = false;    //!< operand built by a JunctionPlan
+        bool sumSkip = false;     //!< float output never materialized
+        bool emitsPayload = false;
+        bool deadStructural = false; //!< plan-covered, never executes
+    };
+
+    /**
+     * Per-node compiled wiring, in program order — what the dependency
+     * verdicts actually turned into in software. graph_models
+     * --verdicts prints this next to the per-layer analysis so a layer
+     * that reverted at run time (Defo) is distinguishable from one the
+     * compiler could not wire through a junction.
+     */
+    std::vector<NodeReport> nodeReports() const;
 
     const Shape &inputShape() const { return spec_.inputShape; }
     int defaultSteps() const { return spec_.steps; }
@@ -193,6 +236,35 @@ class CompiledModel
     friend CompiledModel compile(const ModelSpec &spec,
                                  const CompileOptions &opts);
 
+    /**
+     * One stitched region of a junction operand fold: a left-
+     * associated Add chain of compute producers, optionally behind one
+     * spatial transform, emitted at a fixed per-slab offset of the
+     * consumer's operand (Concat stacks regions).
+     */
+    struct JunctionRegion
+    {
+        enum class Transform
+        {
+            Identity,
+            Upsample2x,
+            AvgPool2x,
+        };
+        Transform transform = Transform::Identity;
+        std::vector<int> sources; //!< producer node ids, sum order
+        int64_t c = 0, h = 0, w = 0; //!< source-map geometry (NCHW)
+        int64_t srcElems = 0;  //!< per-slab source elements
+        int64_t outElems = 0;  //!< per-slab emitted elements
+        int64_t outOffset = 0; //!< per-slab offset into the operand
+    };
+
+    /** A consumer operand assembled from multiple producers' state. */
+    struct JunctionPlan
+    {
+        std::vector<JunctionRegion> regions;
+        int64_t slabElems = 0; //!< per-slab operand elements
+    };
+
     /** One compiled node: spec + engines + state/dependency wiring. */
     struct Node
     {
@@ -206,12 +278,24 @@ class CompiledModel
         int inSlot = -1;      //!< previous-input slot; -1 when bypassed
         int inSlot2 = -1;     //!< second operand slot (attention)
         int outSlot = -1;     //!< previous-output (accumulator) slot
-        bool diffBypass = false; //!< operand diff handed over by producer
-        bool emitPayload = false; //!< requantizes its accumulator for a
-                                  //!< bypass consumer; float output is
-                                  //!< never materialized in quant modes
+        bool diffBypass = false; //!< operand 0 diff handed over (payload
+                                 //!< or junction plan)
+        bool diffBypass2 = false; //!< attention operand 1 handed over
+        bool emitPayload = false; //!< requantizes its accumulator pair
+                                  //!< for a hand-over consumer
         int emitScale = -1;   //!< the consumer's quantization point
-        int layer = -1;       //!< graph layer id (dependency verdict)
+        bool fLive = true;    //!< quant modes materialize float output
+        bool keepAcc = false; //!< junction source: accumulator kept in
+                              //!< the value table for QuantDirect
+                              //!< passes (no persistent state there)
+        bool skipExec = false; //!< plan-covered structural node
+        std::optional<JunctionPlan> junction; //!< operand fold
+        int emitSlot = -1; //!< code cache of the emitted payload: the
+                           //!< previous step's emission, subtracted to
+                           //!< form the hand-over delta without a
+                           //!< float recomputation
+        int jSlot = -1;    //!< code cache of this node's junction fold
+        int layer = -1;    //!< graph layer id (dependency verdict)
     };
 
     /** Activation values flowing through one forward pass. */
@@ -220,6 +304,7 @@ class CompiledModel
         FloatTensor f;     //!< full values (absent on skipped edges)
         Int8Tensor codes;  //!< consumer-scale codes (bypass payload)
         Int16Tensor d16;   //!< consumer-scale code delta (primed steps)
+        Int32Tensor acc;   //!< junction sources' resident accumulator
     };
 
     CompiledModel() = default;
@@ -227,6 +312,24 @@ class CompiledModel
     void validateSingle(const FloatTensor &x, const char *what) const;
     void calibrate();
     float combinedScale(const Node &nd) const;
+
+    /**
+     * Evaluate a junction plan: fold the source nodes' current
+     * accumulators into consumer-scale codes (+ per-slab code deltas
+     * against `prevCodes`, the fold's previous emission, for primed
+     * slabs) through the encoder's multi-producer requant-delta
+     * primitives. A source's current accumulator is read from
+     * `prevOut` (the Ditto state's slot vector — the producer already
+     * stored this step's accumulator there) or, when null
+     * (QuantDirect has no state), from the value table's `acc` field.
+     * `primed` is per-slab (bsz entries, or null for an all-unprimed
+     * pass, in which case `d16` stays empty).
+     */
+    void runJunction(const Node &nd, const std::vector<Value> &vals,
+                     const std::vector<Int32Tensor> *prevOut,
+                     const int8_t *prevCodes, const uint8_t *primed,
+                     int64_t bsz, Int8Tensor *codes,
+                     Int16Tensor *d16) const;
 
     /**
      * Execute one vector / structural / reshape node (everything the

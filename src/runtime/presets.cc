@@ -14,6 +14,9 @@
 #include "runtime/presets.h"
 
 #include <cmath>
+#include <string>
+
+#include "common/logging.h"
 
 namespace ditto {
 
@@ -208,6 +211,122 @@ ditBlockSpec(const DitBlockConfig &cfg)
     const int gg = b.gelu("mlp_gelu", m1);
     const int m2 = b.fc("mlp_fc2", gg, d, b.newScale());
     const int h2 = b.add("mlp_residual", h1, m2);
+
+    const int un = b.fc("unembed", h2, ic, b.newScale());
+    b.tokensToNchw("unpatchify", un, res, res);
+    return b.build();
+}
+
+ModelSpec
+mhsaBlockSpec(const MhsaBlockConfig &cfg)
+{
+    const int64_t d = cfg.embedDim;
+    const int64_t nh = cfg.heads;
+    DITTO_ASSERT(nh >= 1 && d % nh == 0,
+                 "heads must divide the embedding width");
+    const int64_t dh = d / nh;
+    const int64_t res = cfg.resolution;
+    const int64_t ic = cfg.inChannels;
+    const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    GraphBuilder b("mhsa_block");
+    b.setSeed(cfg.seed);
+    b.setSteps(cfg.steps);
+
+    const int x = b.input(ic, res);
+    const int tok = b.nchwToTokens("patchify", x);
+    const int e = b.fc("embed", tok, d, b.newScale());
+
+    // Multi-head self attention: per-head q/k/v projections of the
+    // shared normalized rows, per-head attention, per-head output
+    // projections back to width d combined by a head-sum Add chain
+    // (the algebraic form of concat-heads-then-project). The head sum
+    // is a token-domain junction: head_merge consumes the per-head
+    // projections' requantized deltas through one JunctionPlan.
+    const int ln1 = b.layerNorm("ln1", e);
+    const int s_qkv = b.newScale(); // all heads quantize the same rows
+    int head_sum = -1;
+    for (int64_t hh = 0; hh < nh; ++hh) {
+        const std::string tag = "h" + std::to_string(hh);
+        const int q = b.fc("attn_q_" + tag, ln1, dh, s_qkv);
+        const int k = b.fc("attn_k_" + tag, ln1, dh, s_qkv);
+        const int v = b.fc("attn_v_" + tag, ln1, dh, s_qkv);
+        const int s = b.attnScores("attn_qk_" + tag, q, k, b.newScale(),
+                                   b.newScale());
+        const int ss =
+            b.affine("attn_scale_" + tag, s, inv_sqrt_dh, 0.0f);
+        const int p = b.softmax("attn_softmax_" + tag, ss);
+        const int o = b.attnOutput("attn_pv_" + tag, p, v, b.newScale(),
+                                   b.newScale());
+        const int proj = b.fc("attn_proj_" + tag, o, d, b.newScale());
+        head_sum = hh == 0
+                       ? proj
+                       : b.add("head_sum_" + std::to_string(hh),
+                               head_sum, proj);
+    }
+    const int merge = b.fc("head_merge", head_sum, d, b.newScale());
+    const int h1 = b.add("attn_residual", e, merge);
+
+    // GeLU MLP sub-block.
+    const int ln2 = b.layerNorm("ln2", h1);
+    const int m1 = b.fc("mlp_fc1", ln2, d * cfg.mlpRatio, b.newScale());
+    const int gg = b.gelu("mlp_gelu", m1);
+    const int m2 = b.fc("mlp_fc2", gg, d, b.newScale());
+    // unembed consumes add(add(embed, head_merge), mlp_fc2): the
+    // residual chain is a second junction fold (sources embed,
+    // head_merge, mlp_fc2 — mlp_fc2 never materializes float output).
+    const int h2 = b.add("mlp_residual", h1, m2);
+
+    const int un = b.fc("unembed", h2, ic, b.newScale());
+    b.tokensToNchw("unpatchify", un, res, res);
+    return b.build();
+}
+
+ModelSpec
+ditAdaLnSpec(const DitAdaLnConfig &cfg)
+{
+    const int64_t d = cfg.embedDim;
+    const int64_t res = cfg.resolution;
+    const int64_t ic = cfg.inChannels;
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+
+    GraphBuilder b("dit_adaln");
+    b.setSeed(cfg.seed);
+    b.setSteps(cfg.steps);
+
+    const int x = b.input(ic, res);
+    const int tok = b.nchwToTokens("patchify", x);
+    const int e = b.fc("embed", tok, d, b.newScale());
+
+    // adaLN-Zero-style modulation with per-model constants standing in
+    // for the conditioning MLP's output at a fixed timestep embedding:
+    // scale/shift after each LayerNorm, a gate on each residual
+    // branch. Scale ops are diff-transparent to the analysis, but the
+    // gate Affine between attn_proj and the residual Add keeps the
+    // software junction fold conservative here (see presets.h).
+    const int ln1 = b.layerNorm("ln1", e);
+    const int mod1 = b.affine("adaln_mod1", ln1, cfg.scale1, cfg.shift1);
+    const int s_qkv = b.newScale();
+    const int q = b.fc("attn_q", mod1, d, s_qkv);
+    const int k = b.fc("attn_k", mod1, d, s_qkv);
+    const int v = b.fc("attn_v", mod1, d, s_qkv);
+    const int s = b.attnScores("attn_qk", q, k, b.newScale(),
+                               b.newScale());
+    const int ss = b.affine("attn_scale", s, inv_sqrt_d, 0.0f);
+    const int p = b.softmax("attn_softmax", ss);
+    const int o = b.attnOutput("attn_pv", p, v, b.newScale(),
+                               b.newScale());
+    const int proj = b.fc("attn_proj", o, d, b.newScale());
+    const int gated1 = b.affine("adaln_gate1", proj, cfg.gate1, 0.0f);
+    const int h1 = b.add("attn_residual", e, gated1);
+
+    const int ln2 = b.layerNorm("ln2", h1);
+    const int mod2 = b.affine("adaln_mod2", ln2, cfg.scale2, cfg.shift2);
+    const int m1 = b.fc("mlp_fc1", mod2, d * cfg.mlpRatio, b.newScale());
+    const int gg = b.gelu("mlp_gelu", m1);
+    const int m2 = b.fc("mlp_fc2", gg, d, b.newScale());
+    const int gated2 = b.affine("adaln_gate2", m2, cfg.gate2, 0.0f);
+    const int h2 = b.add("mlp_residual", h1, gated2);
 
     const int un = b.fc("unembed", h2, ic, b.newScale());
     b.tokensToNchw("unpatchify", un, res, res);

@@ -16,8 +16,22 @@
  *    LayerNorm, self attention, GeLU MLP, unembed) — the
  *    transformer-family workload (DiT/Latte in Table I; the targets of
  *    Δ-DiT and BlockDance).
+ *  - mhsaBlockSpec: the multi-head variant — per-head q/k/v
+ *    projections and attention, per-head output projections combined
+ *    by a head-sum Add (algebraically identical to concat-then-project
+ *    since W [concat_h o_h] = sum_h W_h o_h). Both the head-sum and
+ *    the final residual are token-domain junctions the compiler folds
+ *    into multi-producer requant-deltas.
+ *  - ditAdaLnSpec: the adaLN-conditioned DiT block — LayerNorms
+ *    followed by per-model constant scale/shift modulation and gated
+ *    residual branches (Affine nodes standing in for the conditioning
+ *    MLP output at a fixed timestep embedding). The gate Affine sits
+ *    between compute and the residual Add, so the analysis verdict
+ *    stays diff-transparent but the software junction fold declines it
+ *    — the reference case for telling junction-blocking from Defo
+ *    reversion in the --verdicts dump.
  *
- * All three run end to end through CompiledModel and the serving
+ * All presets run end to end through CompiledModel and the serving
  * layer; QuantDitto is bitwise identical to QuantDirect on every one
  * (the distributive identity is exact in the integer domain).
  */
@@ -71,6 +85,41 @@ struct DitBlockConfig
 
 /** Patch embed + LayerNorm self-attention block + GeLU MLP + unembed. */
 ModelSpec ditBlockSpec(const DitBlockConfig &cfg);
+
+/** Multi-head self-attention block configuration. */
+struct MhsaBlockConfig
+{
+    int64_t embedDim = 24;  //!< token embedding width
+    int64_t heads = 2;      //!< attention heads (must divide embedDim)
+    int64_t resolution = 8; //!< input extent (tokens = resolution^2)
+    int64_t inChannels = 4; //!< latent channels
+    int64_t mlpRatio = 2;   //!< MLP hidden width multiplier
+    int steps = 8;
+    uint64_t seed = 1234;
+};
+
+/** Multi-head DiT-style block with head-sum and residual junctions. */
+ModelSpec mhsaBlockSpec(const MhsaBlockConfig &cfg);
+
+/** adaLN-conditioned DiT block configuration. */
+struct DitAdaLnConfig
+{
+    int64_t embedDim = 24;
+    int64_t resolution = 8;
+    int64_t inChannels = 4;
+    int64_t mlpRatio = 2;
+    float scale1 = 1.3f;  //!< adaLN scale after ln1
+    float shift1 = 0.2f;  //!< adaLN shift after ln1
+    float gate1 = 0.7f;   //!< attention-branch residual gate
+    float scale2 = 0.9f;  //!< adaLN scale after ln2
+    float shift2 = -0.1f; //!< adaLN shift after ln2
+    float gate2 = 0.8f;   //!< MLP-branch residual gate
+    int steps = 8;
+    uint64_t seed = 4321;
+};
+
+/** DiT block with adaLN scale/shift modulation and gated residuals. */
+ModelSpec ditAdaLnSpec(const DitAdaLnConfig &cfg);
 
 } // namespace ditto
 

@@ -23,6 +23,7 @@
 #include "runtime/compiled.h"
 #include "runtime/presets.h"
 #include "serve/server.h"
+#include "tensor/slab.h"
 
 namespace ditto {
 namespace {
@@ -162,10 +163,12 @@ TEST(GoldenParity, MixedModeServingMatchesHandWired)
 TEST(GoldenParity, MiniUnetSpecUsesTheDependencyAnalysis)
 {
     const ParityPair &p = parityPair();
-    // PV -> proj, crossQ -> crossQK and crossPV -> crossOut are the
-    // MiniUnet edges the Section IV-B analysis bypasses.
-    EXPECT_EQ(p.compiled.compiled().numDiffBypassNodes(), 3);
-    EXPECT_EQ(p.compiled.compiled().numSumSkipNodes(), 3);
+    // Weight-stationary hand-overs: PV -> proj, crossQ -> crossQK,
+    // crossPV -> crossOut. Dynamic-attention operand hand-overs: the
+    // q/k/v convolutions feed the QK/PV operands their requantized
+    // code diffs directly (and skip their float materialization).
+    EXPECT_EQ(p.compiled.compiled().numDiffBypassNodes(), 6);
+    EXPECT_EQ(p.compiled.compiled().numSumSkipNodes(), 6);
 }
 
 /** input -> tokens -> fc1 -> fc2 -> fc3 -> nchw: a diff-transparent
@@ -272,6 +275,196 @@ TEST(DependencySkip, BatchedChainMatchesSequential)
     }
 }
 
+// ---- Junction requant-delta algebra ----------------------------------
+
+/** Find a node report by name; fails the test when absent. */
+CompiledModel::NodeReport
+reportOf(const CompiledModel &m, const std::string &name)
+{
+    for (const CompiledModel::NodeReport &r : m.nodeReports())
+        if (r.name == name)
+            return r;
+    ADD_FAILURE() << "no node named " << name;
+    return {};
+}
+
+/**
+ * Compile with and without the analysis (ForceDiff so Defo reversion
+ * never hides a broken plan) and assert bitwise identity in every
+ * mode, batched and single, plus identical multiplier-lane tallies.
+ * Returns {analyzed, naive} rollout results for count assertions.
+ */
+std::pair<RolloutResult, RolloutResult>
+expectJunctionBitwise(const ModelSpec &spec)
+{
+    setenv("DITTO_NO_CACHE", "1", 0);
+    CompileOptions with;
+    with.policy = DiffPolicy::ForceDiff;
+    CompileOptions without = with;
+    without.useDependencyAnalysis = false;
+    const CompiledModel analyzed = compile(spec, with);
+    const CompiledModel naive = compile(spec, without);
+
+    for (RunMode mode :
+         {RunMode::Fp32, RunMode::QuantDirect, RunMode::QuantDitto}) {
+        const RolloutResult a = analyzed.rollout(mode);
+        const RolloutResult n = naive.rollout(mode);
+        EXPECT_TRUE(a.finalImage == n.finalImage)
+            << spec.name << " diverged in mode "
+            << static_cast<int>(mode);
+        EXPECT_EQ(a.dittoOps.zeroSkipped, n.dittoOps.zeroSkipped);
+        EXPECT_EQ(a.dittoOps.low4, n.dittoOps.low4);
+        EXPECT_EQ(a.dittoOps.full8, n.dittoOps.full8);
+    }
+    for (int64_t batch : {1, 3, 4}) {
+        std::vector<FloatTensor> noises;
+        for (int64_t b = 0; b < batch; ++b)
+            noises.push_back(
+                analyzed.requestNoise(static_cast<uint64_t>(7 + b)));
+        for (RunMode mode :
+             {RunMode::QuantDirect, RunMode::QuantDitto}) {
+            const std::vector<RolloutResult> a =
+                analyzed.rolloutBatch(mode, noises);
+            const std::vector<RolloutResult> n =
+                naive.rolloutBatch(mode, noises);
+            for (size_t i = 0; i < a.size(); ++i)
+                EXPECT_TRUE(a[i].finalImage == n[i].finalImage)
+                    << spec.name << " batched slab " << i
+                    << " diverged";
+        }
+    }
+    return {analyzed.rollout(RunMode::QuantDitto),
+            naive.rollout(RunMode::QuantDitto)};
+}
+
+/**
+ * Two convolutions with *different* quantization scales (distinct
+ * activation points, distinct weight draws) feeding an Add junction
+ * consumed by a third convolution — the minimal mismatched-scale
+ * requant-delta fold. A GroupNorm head keeps the consumer
+ * summation-live.
+ */
+ModelSpec
+addJunctionSpec()
+{
+    GraphBuilder b("add_junction");
+    b.setSeed(5);
+    b.setSteps(5);
+    const int x = b.input(4, 6);
+    const int a = b.conv2d("convA", x, 6, 3, 1, 1, b.newScale());
+    const int c = b.conv2d("convB", x, 6, 1, 1, 0, b.newScale());
+    const int j = b.add("junction", a, c);
+    const int f = b.conv2d("convC", j, 6, 3, 1, 1, b.newScale());
+    const int g = b.groupNorm("gn", f, 2);
+    const int s = b.silu("silu", g);
+    b.conv2d("conv_out", s, 4, 3, 1, 1, b.newScale());
+    return b.build();
+}
+
+TEST(JunctionAlgebra, MismatchedProducerScalesOnAdd)
+{
+    const ModelSpec spec = addJunctionSpec();
+    auto [a, n] = expectJunctionBitwise(spec);
+
+    setenv("DITTO_NO_CACHE", "1", 0);
+    const CompiledModel m = compile(spec);
+    const CompiledModel::NodeReport convC = reportOf(m, "convC");
+    EXPECT_TRUE(convC.junction);
+    EXPECT_TRUE(convC.diffBypass);
+    EXPECT_TRUE(reportOf(m, "convA").sumSkip);
+    EXPECT_TRUE(reportOf(m, "convB").sumSkip);
+    EXPECT_TRUE(reportOf(m, "junction").deadStructural);
+
+    // Exact work deltas: convC's diff-calc (6ch x 6x6 input) is folded
+    // away; convA/convB (6ch x 6x6 outputs) never materialize floats.
+    const int64_t primed = spec.steps - 1;
+    const int64_t plane = 6 * 6;
+    EXPECT_EQ(n.dittoOps.diffCalcElems - a.dittoOps.diffCalcElems,
+              primed * 6 * plane);
+    EXPECT_EQ(n.dittoOps.summationElems - a.dittoOps.summationElems,
+              primed * 2 * 6 * plane);
+}
+
+/** Concat junction whose 5 + 3 channel split lands the region seams
+ *  off every panel boundary (kDiffPanelK = 64; regions are 180 and
+ *  108 elements per slab). */
+ModelSpec
+concatJunctionSpec()
+{
+    GraphBuilder b("concat_junction");
+    b.setSeed(6);
+    b.setSteps(5);
+    const int x = b.input(4, 6);
+    const int a = b.conv2d("convA", x, 5, 3, 1, 1, b.newScale());
+    const int c = b.conv2d("convB", x, 3, 1, 1, 0, b.newScale());
+    const int j = b.concat("junction", a, c);
+    const int f = b.conv2d("convC", j, 6, 3, 1, 1, b.newScale());
+    const int g = b.groupNorm("gn", f, 2);
+    const int s = b.silu("silu", g);
+    b.conv2d("conv_out", s, 4, 3, 1, 1, b.newScale());
+    return b.build();
+}
+
+TEST(JunctionAlgebra, ConcatWithOddPanelBoundarySplit)
+{
+    const ModelSpec spec = concatJunctionSpec();
+    expectJunctionBitwise(spec);
+    setenv("DITTO_NO_CACHE", "1", 0);
+    const CompiledModel m = compile(spec);
+    EXPECT_TRUE(reportOf(m, "convC").junction);
+    EXPECT_TRUE(reportOf(m, "convA").sumSkip);
+    EXPECT_TRUE(reportOf(m, "convB").sumSkip);
+}
+
+/** Junction feeding a consumer whose own summation is skippable: the
+ *  fold target convC hands its output straight on to convD. */
+ModelSpec
+chainedJunctionSpec()
+{
+    GraphBuilder b("chained_junction");
+    b.setSeed(7);
+    b.setSteps(5);
+    const int x = b.input(4, 6);
+    const int a = b.conv2d("convA", x, 6, 3, 1, 1, b.newScale());
+    const int c = b.conv2d("convB", x, 6, 1, 1, 0, b.newScale());
+    const int j = b.add("junction", a, c);
+    const int f = b.conv2d("convC", j, 6, 1, 1, 0, b.newScale());
+    const int f2 = b.conv2d("convD", f, 6, 1, 1, 0, b.newScale());
+    const int g = b.groupNorm("gn", f2, 2);
+    const int s = b.silu("silu", g);
+    b.conv2d("conv_out", s, 4, 3, 1, 1, b.newScale());
+    return b.build();
+}
+
+TEST(JunctionAlgebra, JunctionFeedsSummationSkippableConsumer)
+{
+    const ModelSpec spec = chainedJunctionSpec();
+    expectJunctionBitwise(spec);
+    setenv("DITTO_NO_CACHE", "1", 0);
+    const CompiledModel m = compile(spec);
+    const CompiledModel::NodeReport convC = reportOf(m, "convC");
+    // convC folds the junction AND hands its own output to convD
+    // without ever materializing floats.
+    EXPECT_TRUE(convC.junction);
+    EXPECT_TRUE(convC.sumSkip);
+    EXPECT_TRUE(convC.emitsPayload);
+    EXPECT_TRUE(reportOf(m, "convD").diffBypass);
+}
+
+TEST(JunctionAlgebra, ThreadCountInvariance)
+{
+    setenv("DITTO_NO_CACHE", "1", 0);
+    CompileOptions opts;
+    opts.policy = DiffPolicy::ForceDiff;
+    const CompiledModel m = compile(concatJunctionSpec(), opts);
+    setThreadCount(1);
+    const RolloutResult one = m.rollout(RunMode::QuantDitto);
+    setThreadCount(3);
+    const RolloutResult three = m.rollout(RunMode::QuantDitto);
+    setThreadCount(1);
+    EXPECT_TRUE(one.finalImage == three.finalImage);
+}
+
 /** The two new executable presets, compiled once for the suite. */
 const CompiledModel &
 deepUnet()
@@ -331,11 +524,177 @@ TEST(NewSpecs, DeepUnetRunsEndToEnd)
     EXPECT_GE(deepUnet().numDiffBypassNodes(), 1);
 }
 
+TEST(JunctionFlow, DeepUnetFoldsSkipConcatAndPoolJunctions)
+{
+    DeepUnetConfig cfg;
+    cfg.resolution = 8;
+    cfg.baseChannels = 8;
+    cfg.steps = 5;
+    const ModelSpec spec = deepUnetSpec(cfg);
+    auto [a, n] = expectJunctionBitwise(spec);
+
+    // Nonzero junction savings on the bypass-edge and skip-concat
+    // layers: folding down_conv's pooled-Add operand and dec_fuse's
+    // upsample+skip Concat operand removes their diff-calc, and the
+    // encoder-side skip conv + attention operand producers stop
+    // materializing floats.
+    EXPECT_LT(a.dittoOps.diffCalcElems, n.dittoOps.diffCalcElems);
+    EXPECT_LT(a.dittoOps.summationElems, n.dittoOps.summationElems);
+
+    const CompiledModel &m = deepUnet();
+    EXPECT_TRUE(reportOf(m, "down_conv").junction);
+    EXPECT_TRUE(reportOf(m, "dec_fuse").junction);
+    EXPECT_TRUE(reportOf(m, "enc_conv2").sumSkip);
+    EXPECT_TRUE(reportOf(m, "mid_proj").sumSkip);
+    EXPECT_TRUE(reportOf(m, "dec_concat").deadStructural);
+    EXPECT_TRUE(reportOf(m, "dec_up").deadStructural);
+    EXPECT_TRUE(reportOf(m, "down_pool").deadStructural);
+    // Dynamic-attention operand hand-over: the q/k/v convolutions emit
+    // payloads; both score operands and the PV value operand arrive as
+    // code diffs.
+    EXPECT_TRUE(reportOf(m, "mid_attn_q").emitsPayload);
+    EXPECT_TRUE(reportOf(m, "mid_attn_q").sumSkip);
+    const CompiledModel::NodeReport qk = reportOf(m, "mid_qk");
+    EXPECT_TRUE(qk.diffBypass && qk.diffBypass2);
+    EXPECT_TRUE(reportOf(m, "mid_pv").diffBypass2);
+}
+
+TEST(JunctionFlow, BatchMixedPrimedSlabsMatchPerRequestHistories)
+{
+    // Continuous-batching shape: three requests advance together, one
+    // is replaced mid-flight (resetSlab), so a single forwardBatch
+    // mixes primed slabs (difference path through junction folds and
+    // hand-overs) with an unprimed slab (direct path). Every slab must
+    // reproduce its own single-request history bitwise.
+    const CompiledModel &m = deepUnet();
+    const Shape one = m.inputShape();
+    const int64_t slab = one.numel();
+    const int64_t bsz = 3;
+
+    std::vector<FloatTensor> x(static_cast<size_t>(bsz));
+    std::vector<CompiledModel::DittoState> ref(static_cast<size_t>(bsz));
+    for (int64_t b = 0; b < bsz; ++b)
+        x[static_cast<size_t>(b)] =
+            m.requestNoise(static_cast<uint64_t>(100 + b));
+
+    CompiledModel::BatchDittoState st;
+    st.primed.assign(static_cast<size_t>(bsz), 0);
+    FloatTensor xb(slab::withDim0(one, bsz));
+    auto stack = [&] {
+        for (int64_t b = 0; b < bsz; ++b)
+            std::copy(x[static_cast<size_t>(b)].data().begin(),
+                      x[static_cast<size_t>(b)].data().end(),
+                      xb.data().begin() + b * slab);
+    };
+    auto step = [&] {
+        stack();
+        const FloatTensor eps =
+            m.forwardBatch(xb, RunMode::QuantDitto, &st, nullptr);
+        for (int64_t b = 0; b < bsz; ++b) {
+            FloatTensor &xi = x[static_cast<size_t>(b)];
+            FloatTensor ei(one);
+            std::copy(eps.data().begin() + b * slab,
+                      eps.data().begin() + (b + 1) * slab,
+                      ei.data().begin());
+            const FloatTensor want = m.forward(
+                xi, RunMode::QuantDitto,
+                &ref[static_cast<size_t>(b)], nullptr);
+            ASSERT_TRUE(want == ei)
+                << "slab " << b << " diverged from its own history";
+            xi = add(xi, affine(ei, -0.15f, 0.0f));
+        }
+    };
+
+    step();
+    step();
+    // Request 1 finishes; a new one takes its slot.
+    st.resetSlab(1);
+    ref[1] = CompiledModel::DittoState{};
+    x[1] = m.requestNoise(555);
+    step(); // slab 1 unprimed/direct, slabs 0 and 2 primed/diff
+    step();
+}
+
 TEST(NewSpecs, DitBlockRunsEndToEnd)
 {
     expectSpecRunsEndToEnd(ditBlock());
     // o -> proj at minimum.
     EXPECT_GE(ditBlock().numDiffBypassNodes(), 1);
+}
+
+const CompiledModel &
+mhsaBlock()
+{
+    static const CompiledModel *m = [] {
+        setenv("DITTO_NO_CACHE", "1", 0);
+        MhsaBlockConfig cfg;
+        cfg.resolution = 8;
+        cfg.embedDim = 16;
+        cfg.heads = 2;
+        cfg.steps = 5;
+        return new CompiledModel(compile(mhsaBlockSpec(cfg)));
+    }();
+    return *m;
+}
+
+const CompiledModel &
+ditAdaLn()
+{
+    static const CompiledModel *m = [] {
+        setenv("DITTO_NO_CACHE", "1", 0);
+        DitAdaLnConfig cfg;
+        cfg.resolution = 8;
+        cfg.embedDim = 16;
+        cfg.steps = 5;
+        return new CompiledModel(compile(ditAdaLnSpec(cfg)));
+    }();
+    return *m;
+}
+
+TEST(NewSpecs, MhsaBlockRunsEndToEnd)
+{
+    expectSpecRunsEndToEnd(mhsaBlock());
+    // The head-sum Add and the residual chain are token-domain
+    // junction folds.
+    EXPECT_TRUE(reportOf(mhsaBlock(), "head_merge").junction);
+    EXPECT_TRUE(reportOf(mhsaBlock(), "unembed").junction);
+    EXPECT_TRUE(reportOf(mhsaBlock(), "mlp_fc2").sumSkip);
+}
+
+TEST(NewSpecs, MhsaBlockJunctionBitwise)
+{
+    MhsaBlockConfig cfg;
+    cfg.resolution = 8;
+    cfg.embedDim = 16;
+    cfg.heads = 2;
+    cfg.steps = 5;
+    expectJunctionBitwise(mhsaBlockSpec(cfg));
+}
+
+TEST(NewSpecs, DitAdaLnRunsEndToEnd)
+{
+    expectSpecRunsEndToEnd(ditAdaLn());
+    // The adaLN gate Affine sits between mlp_fc2 and the residual: the
+    // layer verdict stays diff-transparent but the software fold
+    // declines the wire — junction-blocking, visible as a full-value
+    // unembed (this is what --verdicts makes distinguishable from a
+    // run-time Defo reversion).
+    const CompiledModel &m = ditAdaLn();
+    const CompiledModel::NodeReport un = reportOf(m, "unembed");
+    EXPECT_FALSE(un.junction);
+    EXPECT_FALSE(un.diffBypass);
+    ASSERT_GE(un.layer, 0);
+    EXPECT_FALSE(m.dependencies()[static_cast<size_t>(un.layer)]
+                     .diffCalcNeeded);
+}
+
+TEST(NewSpecs, DitAdaLnJunctionBitwise)
+{
+    DitAdaLnConfig cfg;
+    cfg.resolution = 8;
+    cfg.embedDim = 16;
+    cfg.steps = 5;
+    expectJunctionBitwise(ditAdaLnSpec(cfg));
 }
 
 void
@@ -376,6 +735,16 @@ TEST(NewSpecs, DeepUnetServesThroughDenoiseServer)
 TEST(NewSpecs, DitBlockServesThroughDenoiseServer)
 {
     expectServedBitwise(ditBlock());
+}
+
+TEST(NewSpecs, MhsaBlockServesThroughDenoiseServer)
+{
+    expectServedBitwise(mhsaBlock());
+}
+
+TEST(NewSpecs, DitAdaLnServesThroughDenoiseServer)
+{
+    expectServedBitwise(ditAdaLn());
 }
 
 TEST(SpecHash, ContentHashDistinguishesGeometryAndSeed)

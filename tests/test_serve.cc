@@ -19,6 +19,7 @@
 #include "core/diff_linear.h"
 #include "core/mini_unet.h"
 #include "quant/encoder.h"
+#include "runtime/presets.h"
 #include "serve/batch_rollout.h"
 #include "serve/server.h"
 #include "tensor/ops.h"
@@ -383,6 +384,45 @@ TEST(ServerTest, ManyRequestsAcrossWorkersAllBitwiseCorrect)
         expectBitwiseEqual(seq.finalImage, res.image);
     }
     EXPECT_EQ(server.stats().completed, 12u);
+}
+
+TEST(ServerTest, JunctionSpecSlotReuseStaysBitwise)
+{
+    // The deep UNet routes difference state through junction folds and
+    // attention operand hand-overs; serving it with more requests than
+    // batch slots exercises continuous batching's slot reuse against
+    // the junction code caches (a reset slab re-primes its fold from
+    // scratch while its neighbors keep their diff streams).
+    setenv("DITTO_NO_CACHE", "1", 0);
+    DeepUnetConfig dcfg;
+    dcfg.resolution = 8;
+    dcfg.baseChannels = 8;
+    dcfg.steps = 5;
+    const CompiledModel model = compile(deepUnetSpec(dcfg));
+    ServerConfig cfg;
+    cfg.maxBatch = 3;
+    cfg.maxWaitMicros = 500;
+    cfg.workers = 1;
+    DenoiseServer server(model, cfg);
+    std::vector<uint64_t> ids;
+    std::vector<DenoiseRequest> reqs;
+    for (uint64_t s = 0; s < 9; ++s) {
+        DenoiseRequest req;
+        req.seed = 700 + s;
+        req.steps = 3 + static_cast<int>(s % 3);
+        req.mode =
+            s % 3 == 2 ? RunMode::QuantDirect : RunMode::QuantDitto;
+        reqs.push_back(req);
+        ids.push_back(server.submit(req));
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const DenoiseResult res = server.wait(ids[i]);
+        const RolloutResult seq =
+            model.rollout(reqs[i].mode,
+                          model.requestNoise(reqs[i].seed),
+                          reqs[i].steps);
+        expectBitwiseEqual(seq.finalImage, res.image);
+    }
 }
 
 } // namespace

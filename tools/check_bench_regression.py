@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare Ditto-vs-direct rollout ratios against the committed baseline.
+
+Reads two google-benchmark JSON records (the committed BENCH_kernels.json
+baseline and a freshly produced one), pairs up the BM_CompiledRollout
+rows per preset spec (their labels are "<spec>/direct" and
+"<spec>/ditto"), computes the direct/ditto wall-clock ratio for each
+spec — the end-to-end speedup Ditto difference processing delivers —
+and flags specs whose fresh ratio fell more than --tolerance below the
+baseline ratio.
+
+Warn-only by default (exit 0, suitable for a CI gate that must not
+block on shared-runner noise); --strict exits 1 on any regression.
+
+    python3 tools/check_bench_regression.py \
+        --baseline BENCH_kernels.json \
+        --new build/bench/BENCH_kernels.json
+"""
+
+import argparse
+import json
+import sys
+
+FAMILY = "BM_CompiledRollout"
+
+
+def rollout_ratios(record):
+    """Map spec name -> direct/ditto real_time ratio."""
+    times = {}
+    for bench in record.get("benchmarks", []):
+        if not bench.get("name", "").startswith(FAMILY):
+            continue
+        label = bench.get("label", "")
+        if "/" not in label:
+            continue
+        spec, mode = label.rsplit("/", 1)
+        times.setdefault(spec, {})[mode] = bench["real_time"]
+    ratios = {}
+    for spec, modes in times.items():
+        if "direct" in modes and "ditto" in modes and modes["ditto"] > 0:
+            ratios[spec] = modes["direct"] / modes["ditto"]
+    return ratios
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_kernels.json")
+    ap.add_argument("--new", dest="fresh", required=True,
+                    help="freshly produced BENCH_kernels.json")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative ratio drop (default 0.10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero on regressions (default: warn)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = rollout_ratios(json.load(f))
+    with open(args.fresh) as f:
+        fresh = rollout_ratios(json.load(f))
+
+    if not fresh:
+        print(f"warning: no {FAMILY} rows in {args.fresh}; nothing to "
+              "check")
+        return 0
+
+    regressions = []
+    for spec in sorted(fresh):
+        ratio = fresh[spec]
+        if spec not in base:
+            print(f"  {spec:<12} ditto speedup {ratio:5.2f}x "
+                  "(no baseline row - new spec)")
+            continue
+        floor = base[spec] * (1.0 - args.tolerance)
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"  {spec:<12} ditto speedup {ratio:5.2f}x "
+              f"(baseline {base[spec]:5.2f}x, floor {floor:5.2f}x) "
+              f"{verdict}")
+        if ratio < floor:
+            regressions.append(spec)
+
+    if regressions:
+        print(f"warning: ditto-vs-direct ratio regressed for: "
+              f"{', '.join(regressions)} (tolerance "
+              f"{args.tolerance:.0%})")
+        return 1 if args.strict else 0
+    print("all ditto-vs-direct rollout ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
