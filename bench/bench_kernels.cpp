@@ -16,8 +16,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -397,6 +399,109 @@ BM_ServeLatency(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_ServeLatency)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
+
+/**
+ * Overload-regime serving: open-loop arrivals at a multiple of the
+ * engine's service rate against a small bounded queue, with the shed
+ * watermarks inside it. Exercises the hardening path end to end:
+ * admission rejections, shedding (BestEffort rejected, Standard
+ * degraded) and the class-ordered queue under sustained pressure.
+ *
+ * Args: {maxBatch, overload factor}. Factor 1 approximates the
+ * critically loaded regime; factor >= 2 is the acceptance regime
+ * (arrival rate at least twice the service rate). Counters report the
+ * highest class's latency (p50/p95_us over Interactive completions),
+ * the overall rejection fraction and the degraded fraction — under
+ * overload the rejection fraction must be positive (the queue is
+ * bounded) while Interactive latency stays near its uncontended value.
+ */
+void
+BM_ServeOverload(benchmark::State &state)
+{
+    const int64_t batch = state.range(0);
+    const int64_t factor = state.range(1);
+    const MiniUnet &net = servingNet();
+    // Estimate the service rate once: requests/second one engine
+    // sustains at this batch size.
+    const auto c0 = std::chrono::steady_clock::now();
+    {
+        RolloutResult r = net.rollout(RunMode::QuantDitto);
+        benchmark::DoNotOptimize(r.finalImage.data().data());
+    }
+    const double rollout_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      c0)
+            .count();
+    const double service_rate =
+        static_cast<double>(batch) / std::max(rollout_s, 1e-6);
+    const double arrival_rate =
+        service_rate * static_cast<double>(factor);
+
+    ServerConfig cfg;
+    cfg.maxBatch = batch;
+    cfg.maxWaitMicros = 500;
+    cfg.workers = 1;
+    cfg.queueCapacity = 16; // bounded: overload must shed, not grow
+    cfg.shedSteps = 2;
+    const int64_t kArrivals = 48;
+    std::vector<double> interactive_us;
+    uint64_t total = 0, rejected = 0, degraded = 0;
+    for (auto _ : state) {
+        DenoiseServer server(net.compiled(), cfg);
+        std::vector<uint64_t> ids;
+        const auto gap = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(1.0 / arrival_rate));
+        auto next = std::chrono::steady_clock::now();
+        for (int64_t i = 0; i < kArrivals; ++i) {
+            DenoiseRequest req;
+            req.seed = static_cast<uint64_t>(i + 1);
+            req.slo = i % 4 == 0 ? SloClass::Interactive
+                      : i % 4 == 3 ? SloClass::BestEffort
+                                   : SloClass::Standard;
+            ids.push_back(server.submit(req));
+            next += gap;
+            std::this_thread::sleep_until(next);
+        }
+        for (int64_t i = 0; i < kArrivals; ++i) {
+            DenoiseResult res = server.wait(ids[static_cast<size_t>(i)]);
+            ++total;
+            if (res.status == RequestStatus::Rejected)
+                ++rejected;
+            if (res.degraded)
+                ++degraded;
+            if (res.status == RequestStatus::Done &&
+                res.slo == SloClass::Interactive)
+                interactive_us.push_back(res.queueMicros +
+                                         res.serviceMicros);
+            benchmark::DoNotOptimize(res.steps);
+        }
+    }
+    std::sort(interactive_us.begin(), interactive_us.end());
+    state.counters["p50_us"] =
+        interactive_us.empty()
+            ? 0.0
+            : interactive_us[interactive_us.size() / 2];
+    state.counters["p95_us"] =
+        interactive_us.empty()
+            ? 0.0
+            : interactive_us[interactive_us.size() * 95 / 100];
+    state.counters["reject_pct"] =
+        total ? 100.0 * static_cast<double>(rejected) /
+                    static_cast<double>(total)
+              : 0.0;
+    state.counters["degraded_pct"] =
+        total ? 100.0 * static_cast<double>(degraded) /
+                    static_cast<double>(total)
+              : 0.0;
+    state.SetItemsProcessed(state.iterations() * kArrivals);
+}
+BENCHMARK(BM_ServeOverload)
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({8, 2})
+    ->UseRealTime();
 
 /**
  * Graph-runtime rollouts per compiled preset spec, QuantDirect vs

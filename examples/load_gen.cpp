@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Open-loop Poisson load generator for the denoising server.
+ *
+ * Drives a DenoiseServer with exponentially distributed inter-arrival
+ * times at a configurable rate and SLO-class mix — open-loop: arrivals
+ * do not wait for completions, so pushing the rate past the service
+ * rate exercises the hardening path (bounded queue, shedding,
+ * deadlines) instead of just slowing the client down. Prints a
+ * per-class latency/outcome table and the server's metrics JSON.
+ *
+ *   ./load_gen [--rate R] [--duration SEC] [--mix I:S:B]
+ *              [--deadline-us D] [--steps N] [--seed K]
+ *
+ *   --rate        arrivals per second (default 100)
+ *   --duration    seconds of traffic (default 2)
+ *   --mix         per-class arrival weights Interactive:Standard:
+ *                 BestEffort (default 1:2:1)
+ *   --deadline-us per-request deadline budget, -1 none (default -1)
+ *   --steps       steps per request, 0 = model default (default 0)
+ *   --seed        arrival-process seed (default 1)
+ *
+ * Server knobs come from the environment (docs/config.md):
+ * DITTO_SERVE_MAX_BATCH, DITTO_SERVE_WORKERS, DITTO_SERVE_QUEUE_CAP,
+ * DITTO_SERVE_SHED_HIGH/LOW/STEPS, DITTO_SERVE_ADMIT_BLOCK_US — and
+ * DITTO_FAULT_POINTS turns a load run into a chaos run.
+ *
+ * Exits 0 when at least one request completed; rejections and
+ * timeouts are expected outcomes under overload, not errors.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mini_unet.h"
+#include "serve/server.h"
+
+using namespace ditto;
+
+namespace {
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(sorted.size())));
+    return sorted[idx];
+}
+
+struct ClassTally
+{
+    uint64_t submitted = 0;
+    uint64_t done = 0;
+    uint64_t rejected = 0;
+    uint64_t timedOut = 0;
+    uint64_t degraded = 0;
+    uint64_t preemptions = 0;
+    std::vector<double> e2eUs; //!< Done requests only
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double rate = 100.0, duration = 2.0;
+    double mix[kNumSloClasses] = {1.0, 2.0, 1.0};
+    int64_t deadline_us = -1;
+    int steps = 0;
+    uint64_t seed = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--rate") {
+            rate = std::atof(value());
+        } else if (arg == "--duration") {
+            duration = std::atof(value());
+        } else if (arg == "--deadline-us") {
+            deadline_us = std::atoll(value());
+        } else if (arg == "--steps") {
+            steps = std::atoi(value());
+        } else if (arg == "--seed") {
+            seed = static_cast<uint64_t>(std::atoll(value()));
+        } else if (arg == "--mix") {
+            if (std::sscanf(value(), "%lf:%lf:%lf", &mix[0], &mix[1],
+                            &mix[2]) != 3) {
+                std::fprintf(stderr, "--mix wants I:S:B weights\n");
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (rate <= 0.0 || duration <= 0.0 ||
+        mix[0] + mix[1] + mix[2] <= 0.0) {
+        std::fprintf(stderr, "rate, duration and the mix sum must be "
+                             "positive\n");
+        return 2;
+    }
+
+    MiniUnetConfig cfg;
+    cfg.channels = 16;
+    cfg.resolution = 8;
+    cfg.steps = 8;
+    const MiniUnet net(cfg);
+    const ServerConfig scfg = ServerConfig::fromEnv();
+    std::printf("load_gen: %.0f req/s for %.1fs, mix %g:%g:%g, "
+                "deadline %lld us\n",
+                rate, duration, mix[0], mix[1], mix[2],
+                static_cast<long long>(deadline_us));
+    std::printf("server: max batch %lld, %d worker(s), queue cap "
+                "%lld, shed high/low %lld/%lld\n\n",
+                static_cast<long long>(scfg.maxBatch), scfg.workers,
+                static_cast<long long>(scfg.queueCapacity),
+                static_cast<long long>(scfg.effectiveShedHigh()),
+                static_cast<long long>(scfg.effectiveShedLow()));
+
+    DenoiseServer server(net.compiled(), scfg);
+    Rng rng = Rng::fromKeys(seed, 0x10adu);
+    const double mix_sum = mix[0] + mix[1] + mix[2];
+
+    // Open-loop Poisson arrivals against an absolute schedule: a slow
+    // submit (blocking admission) delays later arrivals' wall-clock,
+    // but the schedule itself never adapts to the server.
+    std::vector<uint64_t> ids;
+    std::vector<SloClass> classes;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto end = t0 + std::chrono::duration<double>(duration);
+    auto next = t0;
+    uint64_t n = 0;
+    while (true) {
+        const double u = rng.uniform();
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(-std::log1p(-u) / rate));
+        if (next >= end)
+            break;
+        std::this_thread::sleep_until(next);
+        const double pick = rng.uniform() * mix_sum;
+        const SloClass slo = pick < mix[0] ? SloClass::Interactive
+                             : pick < mix[0] + mix[1]
+                                 ? SloClass::Standard
+                                 : SloClass::BestEffort;
+        DenoiseRequest req;
+        req.seed = 1000 + n++;
+        req.steps = steps;
+        req.slo = slo;
+        req.deadlineMicros = deadline_us;
+        ids.push_back(server.submit(req));
+        classes.push_back(slo);
+    }
+
+    ClassTally tally[kNumSloClasses];
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const DenoiseResult res = server.wait(ids[i]);
+        ClassTally &t = tally[static_cast<size_t>(classes[i])];
+        ++t.submitted;
+        t.preemptions += static_cast<uint64_t>(res.preemptions);
+        if (res.degraded)
+            ++t.degraded;
+        switch (res.status) {
+          case RequestStatus::Done:
+            ++t.done;
+            t.e2eUs.push_back(res.queueMicros + res.serviceMicros);
+            break;
+          case RequestStatus::Rejected:
+            ++t.rejected;
+            break;
+          case RequestStatus::TimedOut:
+            ++t.timedOut;
+            break;
+          default:
+            break;
+        }
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    uint64_t total_done = 0;
+    std::printf("%-12s %9s %6s %7s %8s %9s %11s %11s %11s\n", "class",
+                "submitted", "done", "reject", "timeout", "degraded",
+                "p50_ms", "p95_ms", "p99_ms");
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        ClassTally &t = tally[static_cast<size_t>(c)];
+        std::sort(t.e2eUs.begin(), t.e2eUs.end());
+        std::printf(
+            "%-12s %9llu %6llu %7llu %8llu %9llu %11.2f %11.2f "
+            "%11.2f\n",
+            sloClassName(static_cast<SloClass>(c)),
+            static_cast<unsigned long long>(t.submitted),
+            static_cast<unsigned long long>(t.done),
+            static_cast<unsigned long long>(t.rejected),
+            static_cast<unsigned long long>(t.timedOut),
+            static_cast<unsigned long long>(t.degraded),
+            percentile(t.e2eUs, 0.50) / 1e3,
+            percentile(t.e2eUs, 0.95) / 1e3,
+            percentile(t.e2eUs, 0.99) / 1e3);
+        total_done += t.done;
+    }
+    std::printf("\n%zu arrivals in %.2fs (%.1f req/s offered, %.1f "
+                "req/s completed)\n",
+                ids.size(), wall,
+                static_cast<double>(ids.size()) / wall,
+                static_cast<double>(total_done) / wall);
+    std::printf("\nmetrics: %s\n", server.metricsJson().c_str());
+    if (ids.empty() || total_done == 0) {
+        std::fprintf(stderr, "load_gen: no request completed\n");
+        return 1;
+    }
+    return 0;
+}

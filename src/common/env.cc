@@ -43,6 +43,34 @@ constexpr Knob kKnobs[] = {
     {"DITTO_SERVE_WORKERS", "1", "src/serve/server.cc",
      "Worker threads per DenoiseServer, one engine each. Range "
      "1..256."},
+    {"DITTO_SERVE_QUEUE_CAP", "64", "src/serve/server.cc",
+     "Admission-control bound: most requests allowed to wait in the "
+     "class queues; beyond it submit() rejects or blocks. Range "
+     "1..1000000."},
+    {"DITTO_SERVE_ADMIT_BLOCK_US", "0 (reject immediately)",
+     "src/serve/server.cc",
+     "Backpressure budget in microseconds: how long a submit against "
+     "a full queue blocks for space before rejecting. Range "
+     "0..60000000."},
+    {"DITTO_SERVE_SHED_HIGH", "0 (3/4 of DITTO_SERVE_QUEUE_CAP)",
+     "src/serve/server.cc",
+     "Queue depth at which overload shedding engages. Range "
+     "0..1000000."},
+    {"DITTO_SERVE_SHED_LOW", "0 (1/4 of DITTO_SERVE_QUEUE_CAP)",
+     "src/serve/server.cc",
+     "Queue depth at which overload shedding releases (hysteresis "
+     "band up to DITTO_SERVE_SHED_HIGH). Range 0..1000000."},
+    {"DITTO_SERVE_SHED_STEPS", "2", "src/serve/server.cc",
+     "Step count force-degraded Standard requests are clamped to "
+     "while shedding. Range 1..4096."},
+    {"DITTO_FAULT_POINTS", "unset (no faults)",
+     "src/serve/faultpoints.cc",
+     "Fault-injection spec: `point:action:schedule[:arg]` clauses "
+     "joined by ';' (see docs/serving.md). Malformed specs fail "
+     "loudly."},
+    {"DITTO_FAULT_SEED", "0", "src/serve/faultpoints.cc",
+     "Seed for probabilistic fault schedules (prob=P clauses); "
+     "every point draws an independent deterministic stream."},
 };
 
 /** Registered lookup; panics on a name missing from the table. */

@@ -160,6 +160,59 @@ BatchEngine::removeSlot(int64_t i)
     slots_.erase(slots_.begin() + i);
 }
 
+BatchEngine::Parked
+BatchEngine::park(int64_t i)
+{
+    const Slot &slot = slots_[static_cast<size_t>(i)];
+    Parked p;
+    p.id = slot.id;
+    p.image = extractImageSlab(x_, i);
+    p.ops = slot.ops;
+    p.stepsDone = slot.stepsDone;
+    p.stepsTotal = slot.stepsTotal;
+    p.ditto = slot.ditto;
+    removeSlot(i);
+    return p;
+}
+
+void
+BatchEngine::admitParked(const Parked &p)
+{
+    DITTO_ASSERT(!full(), "admitParked on a full engine");
+    const int64_t n0 = active();
+    if (n0 > 0) {
+        x_ = slab::appended(x_, n0, 1);
+    } else {
+        x_ = FloatTensor(slab::withDim0(p.image.shape(), 1));
+    }
+    std::copy(p.image.data().begin(), p.image.data().end(),
+              x_.data().begin() + n0 * p.image.numel());
+    state_.appendSlabs(1); // unprimed: the resumed step runs direct
+    Slot slot;
+    slot.id = p.id;
+    slot.stepsDone = p.stepsDone;
+    slot.stepsTotal = p.stepsTotal;
+    slot.ditto = p.ditto;
+    slot.ops = p.ops;
+    slots_.push_back(slot);
+}
+
+void
+BatchEngine::replaceSlotParked(int64_t i, const Parked &p)
+{
+    Slot &slot = slots_[static_cast<size_t>(i)];
+    DITTO_ASSERT(slot.stepsDone >= slot.stepsTotal,
+                 "replacing an unfinished slot");
+    slot.id = p.id;
+    slot.stepsDone = p.stepsDone;
+    slot.stepsTotal = p.stepsTotal;
+    slot.ditto = p.ditto;
+    slot.ops = p.ops;
+    std::copy(p.image.data().begin(), p.image.data().end(),
+              x_.data().begin() + i * p.image.numel());
+    state_.resetSlab(i); // stale state is never read while unprimed
+}
+
 std::vector<BatchEngine::Finished>
 BatchEngine::retire()
 {

@@ -88,6 +88,66 @@ class BatchEngine
     void removeSlot(int64_t i);
 
     /**
+     * A preempted request's portable partial state. Because QuantDitto
+     * difference execution is bitwise identical to direct execution,
+     * the partial image plus the step counters are *all* the state a
+     * rollout needs to move between engines: the resumed slab joins
+     * unprimed, its next step runs direct, and every later step
+     * re-primes — bit-for-bit the uninterrupted trajectory
+     * (tests/test_serve.cc PreemptResume suite). Note the OpCounts do
+     * change: a resumed step that would have run as a sparse diff runs
+     * direct instead, so lane tallies reflect the actual execution.
+     */
+    struct Parked
+    {
+        uint64_t id = 0;
+        FloatTensor image; //!< [1, C, H, W] partial denoising state
+        OpCounts ops;
+        int stepsDone = 0;
+        int stepsTotal = 0;
+        bool ditto = true;
+    };
+
+    /**
+     * Evict slot `i` between steps (any progress, finished or not)
+     * and return its portable state. The server parks preempted
+     * requests and re-admits them later — on this engine or any other
+     * engine over the same model.
+     */
+    Parked park(int64_t i);
+
+    /** Re-join a parked request as a fresh-appended (unprimed) slab. */
+    void admitParked(const Parked &p);
+
+    /**
+     * Re-join a parked request into finished slot `i` in place (the
+     * continuous-batching fast path, like replaceSlot).
+     */
+    void replaceSlotParked(int64_t i, const Parked &p);
+
+    /** Ticket occupying slot `i`. */
+    uint64_t
+    slotId(int64_t i) const
+    {
+        return slots_[static_cast<size_t>(i)].id;
+    }
+
+    /** Steps slot `i` has completed so far. */
+    int
+    slotStepsDone(int64_t i) const
+    {
+        return slots_[static_cast<size_t>(i)].stepsDone;
+    }
+
+    /** True when slot `i` has completed all its steps. */
+    bool
+    slotFinished(int64_t i) const
+    {
+        const Slot &s = slots_[static_cast<size_t>(i)];
+        return s.stepsDone >= s.stepsTotal;
+    }
+
+    /**
      * Convenience for non-server callers: extract and remove every
      * finished request. Remaining requests keep running.
      */

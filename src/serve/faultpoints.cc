@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Fault-point registry: spec parsing, deterministic schedules, the
+ * injection fast path.
+ *
+ * Concurrency: the registry is guarded by one mutex. Injection sites
+ * first check a relaxed atomic "anything armed?" flag so the unarmed
+ * hot path never takes the lock; armed points count hits and draw
+ * schedule decisions under it (the serving path is millisecond-scale,
+ * a microsecond of lock traffic on an armed chaos run is noise).
+ * Delays sleep *outside* the lock.
+ */
+#include "serve/faultpoints.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ditto {
+namespace faults {
+
+namespace {
+
+struct Rule
+{
+    bool fail = false;     //!< action: fail (else delay)
+    int64_t delayUs = 0;   //!< action: delay argument
+    uint64_t every = 0;    //!< schedule: fire on hits N, 2N, ... (0: off)
+    double prob = -1.0;    //!< schedule: per-hit probability (<0: off)
+};
+
+struct PointState
+{
+    std::vector<Rule> rules;
+    uint64_t hits = 0;
+    Rng rng{0};
+};
+
+struct Registry
+{
+    std::mutex mu;
+    PointState points[kNumPoints];
+    bool configured = false; //!< configure() pinned; skip env arming
+    std::atomic<bool> armed{false};
+    std::atomic<bool> resolved{false}; //!< some arming source consulted
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry();
+    return *r;
+}
+
+const char *const kPointNames[kNumPoints] = {
+    "submit", "admission", "batch_form", "step_begin",
+    "step_end", "park", "resume",
+};
+
+int
+pointFromName(const std::string &name)
+{
+    for (int i = 0; i < kNumPoints; ++i)
+        if (name == kPointNames[i])
+            return i;
+    return -1;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t end = s.find(sep, start);
+        if (end == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+/** Parse one `point:action:schedule[:arg]` clause into (point, rule). */
+void
+parseClause(const std::string &clause, Registry &reg)
+{
+    const std::vector<std::string> f = split(clause, ':');
+    if (f.size() < 3 || f.size() > 4)
+        DITTO_FATAL("fault spec clause '"
+                    << clause << "': want point:action:schedule[:arg]");
+    const int p = pointFromName(f[0]);
+    if (p < 0)
+        DITTO_FATAL("fault spec clause '" << clause
+                                          << "': unknown point '" << f[0]
+                                          << "'");
+    Rule rule;
+    if (f[1] == "fail") {
+        rule.fail = true;
+        if (p != static_cast<int>(Point::Submit) &&
+            p != static_cast<int>(Point::Admission))
+            DITTO_FATAL("fault spec clause '"
+                        << clause << "': 'fail' is only meaningful at "
+                        << "submit/admission");
+        if (f.size() == 4)
+            DITTO_FATAL("fault spec clause '" << clause
+                                              << "': 'fail' takes no arg");
+    } else if (f[1] == "delay") {
+        if (f.size() != 4)
+            DITTO_FATAL("fault spec clause '"
+                        << clause
+                        << "': 'delay' needs a microsecond arg");
+        char *end = nullptr;
+        rule.delayUs = std::strtoll(f[3].c_str(), &end, 10);
+        if (end == f[3].c_str() || *end != '\0' || rule.delayUs < 0 ||
+            rule.delayUs > 60'000'000)
+            DITTO_FATAL("fault spec clause '"
+                        << clause << "': bad delay '" << f[3] << "'");
+    } else {
+        DITTO_FATAL("fault spec clause '" << clause
+                                          << "': unknown action '" << f[1]
+                                          << "'");
+    }
+    if (f[2].rfind("every=", 0) == 0) {
+        char *end = nullptr;
+        const long long n =
+            std::strtoll(f[2].c_str() + 6, &end, 10);
+        if (*end != '\0' || n < 1)
+            DITTO_FATAL("fault spec clause '" << clause
+                                              << "': bad schedule '"
+                                              << f[2] << "'");
+        rule.every = static_cast<uint64_t>(n);
+    } else if (f[2].rfind("prob=", 0) == 0) {
+        char *end = nullptr;
+        rule.prob = std::strtod(f[2].c_str() + 5, &end);
+        if (*end != '\0' || rule.prob < 0.0 || rule.prob > 1.0)
+            DITTO_FATAL("fault spec clause '" << clause
+                                              << "': bad schedule '"
+                                              << f[2] << "'");
+    } else {
+        DITTO_FATAL("fault spec clause '" << clause
+                                          << "': bad schedule '" << f[2]
+                                          << "' (want every=N or prob=P)");
+    }
+    reg.points[p].rules.push_back(rule);
+}
+
+/** Arm `reg` from a spec under its lock. */
+void
+armLocked(Registry &reg, const std::string &spec, uint64_t seed)
+{
+    bool any = false;
+    for (int i = 0; i < kNumPoints; ++i) {
+        reg.points[i].rules.clear();
+        reg.points[i].hits = 0;
+        reg.points[i].rng =
+            Rng::fromKeys(seed, static_cast<uint64_t>(i));
+    }
+    if (!spec.empty()) {
+        for (const std::string &clause : split(spec, ';'))
+            if (!clause.empty())
+                parseClause(clause, reg);
+        for (int i = 0; i < kNumPoints; ++i)
+            any = any || !reg.points[i].rules.empty();
+    }
+    reg.armed.store(any, std::memory_order_release);
+}
+
+/** One-time env arming, unless configure() already pinned the registry. */
+void
+armFromEnvLocked(Registry &reg)
+{
+    if (reg.configured)
+        return;
+    reg.configured = true;
+    const std::string spec = env::readString("DITTO_FAULT_POINTS", "");
+    const uint64_t seed = static_cast<uint64_t>(
+        env::readInt64("DITTO_FAULT_SEED", 0, 0, INT64_MAX));
+    armLocked(reg, spec, seed);
+}
+
+} // namespace
+
+const char *
+pointName(Point p)
+{
+    return kPointNames[static_cast<int>(p)];
+}
+
+void
+configure(const std::string &spec, uint64_t seed)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.configured = true;
+    armLocked(reg, spec, seed);
+    reg.resolved.store(true, std::memory_order_release);
+}
+
+void
+reset()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.configured = false;
+    armLocked(reg, "", 0);
+    reg.resolved.store(false, std::memory_order_release);
+}
+
+bool
+inject(Point p)
+{
+    Registry &reg = registry();
+    // Fast path: once an arming source (env or configure) has been
+    // consulted and nothing is armed, a hit is two relaxed loads.
+    if (reg.resolved.load(std::memory_order_acquire) &&
+        !reg.armed.load(std::memory_order_acquire))
+        return false;
+    int64_t delay_us = 0;
+    bool fail = false;
+    {
+        std::lock_guard<std::mutex> lock(reg.mu);
+        armFromEnvLocked(reg);
+        reg.resolved.store(true, std::memory_order_release);
+        if (!reg.armed.load(std::memory_order_acquire))
+            return false;
+        PointState &ps = reg.points[static_cast<int>(p)];
+        ++ps.hits;
+        for (const Rule &rule : ps.rules) {
+            const bool fires =
+                rule.every ? (ps.hits % rule.every == 0)
+                           : (rule.prob >= 0.0 &&
+                              ps.rng.uniform() < rule.prob);
+            if (!fires)
+                continue;
+            if (rule.fail)
+                fail = true;
+            else if (rule.delayUs > delay_us)
+                delay_us = rule.delayUs;
+        }
+    }
+    if (delay_us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    return fail;
+}
+
+uint64_t
+hitCount(Point p)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    return reg.points[static_cast<int>(p)].hits;
+}
+
+} // namespace faults
+} // namespace ditto

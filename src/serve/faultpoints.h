@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving layer.
+ *
+ * Named fault points sit on the server's request path: submit, worker
+ * admission, batch formation, the two step boundaries, park and
+ * resume. Each point can be armed with a delay (microseconds) and/or
+ * a failure, firing on a deterministic counter schedule (`every=N`:
+ * every Nth hit) or a seeded pseudo-random one (`prob=P`: probability
+ * P per hit from a per-point SplitMix64 stream, reproducible for a
+ * fixed seed). The hooks are compiled in unconditionally — an
+ * unarmed point is one relaxed atomic load — and armed either
+ * programmatically (tests: faults::configure) or from the environment
+ * (DITTO_FAULT_POINTS / DITTO_FAULT_SEED, see docs/config.md), so the
+ * same nasty interleavings are reachable in unit tests, load_gen runs
+ * and sanitizer jobs.
+ *
+ * Spec grammar (semicolon-separated clauses):
+ *
+ *   point:action:schedule[:arg]
+ *
+ *   point    = submit | admission | batch_form | step_begin
+ *            | step_end | park | resume
+ *   action   = delay (arg = microseconds) | fail
+ *   schedule = every=N (1-based: hits N, 2N, ...) | prob=P (0..1)
+ *
+ * Examples:
+ *   step_end:delay:every=1:500      500us stall after every step
+ *   submit:fail:every=3             every 3rd submit is rejected
+ *   batch_form:delay:prob=0.5:2000  seeded coin-flip formation stall
+ *
+ * `fail` is honored where a failure has defined semantics — submit
+ * and admission, where the request's result becomes Rejected; at
+ * other points configure() refuses it loudly.
+ */
+#ifndef DITTO_SERVE_FAULTPOINTS_H
+#define DITTO_SERVE_FAULTPOINTS_H
+
+#include <cstdint>
+#include <string>
+
+namespace ditto {
+namespace faults {
+
+/** The named injection sites, in request-path order. */
+enum class Point : int
+{
+    Submit = 0, //!< DenoiseServer::submit, before admission control
+    Admission,  //!< worker admitting a request into its engine
+    BatchForm,  //!< after batch formation, before the first step
+    StepBegin,  //!< before each engine.step()
+    StepEnd,    //!< after each engine.step()
+    Park,       //!< before parking a preempted slot
+    Resume,     //!< before resuming a parked request
+};
+
+inline constexpr int kNumPoints = 7;
+
+/** Stable spec-grammar name of a point ("submit", ...). */
+const char *pointName(Point p);
+
+/**
+ * Arm the registry from a spec string (grammar above); "" disarms
+ * everything. Counters restart. A malformed spec fails loudly
+ * (DITTO_FATAL) — a typo must not silently disable a chaos schedule.
+ * Calling configure() also pins the registry: the environment is no
+ * longer consulted. Thread-safe.
+ */
+void configure(const std::string &spec, uint64_t seed = 0);
+
+/** Disarm all points, clear counters, and re-enable env arming. */
+void reset();
+
+/**
+ * Hit a fault point: applies the armed delay (if the schedule fires),
+ * then reports whether an armed failure fires. On first use with no
+ * prior configure(), arms itself from DITTO_FAULT_POINTS /
+ * DITTO_FAULT_SEED. Unarmed points return false without blocking.
+ */
+bool inject(Point p);
+
+/** Total hits of a point since the last configure()/reset(). */
+uint64_t hitCount(Point p);
+
+} // namespace faults
+} // namespace ditto
+
+#endif // DITTO_SERVE_FAULTPOINTS_H

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Serving metrics implementation and the request-type name tables.
+ */
+#include "serve/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ditto {
+
+const char *
+sloClassName(SloClass slo)
+{
+    switch (slo) {
+      case SloClass::Interactive:
+        return "interactive";
+      case SloClass::Standard:
+        return "standard";
+      case SloClass::BestEffort:
+        return "best_effort";
+    }
+    return "?";
+}
+
+const char *
+requestStatusName(RequestStatus st)
+{
+    switch (st) {
+      case RequestStatus::Queued:
+        return "queued";
+      case RequestStatus::Running:
+        return "running";
+      case RequestStatus::Parked:
+        return "parked";
+      case RequestStatus::Done:
+        return "done";
+      case RequestStatus::Cancelled:
+        return "cancelled";
+      case RequestStatus::TimedOut:
+        return "timed_out";
+      case RequestStatus::Rejected:
+        return "rejected";
+    }
+    return "?";
+}
+
+void
+LatencyHistogram::record(double us)
+{
+    if (!(us >= 0.0)) // negative or NaN: clock misuse, clamp to zero
+        us = 0.0;
+    ++count_;
+    sumUs_ += us;
+    if (us > maxUs_)
+        maxUs_ = us;
+    int b = 0;
+    for (uint64_t v = static_cast<uint64_t>(us);
+         v > 1 && b < kBuckets - 1; v >>= 1)
+        ++b;
+    ++buckets_[static_cast<size_t>(b)];
+}
+
+double
+LatencyHistogram::percentileUs(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        cum += buckets_[static_cast<size_t>(b)];
+        if (cum >= rank) {
+            const double upper = std::ldexp(1.0, b + 1); // 2^(b+1)
+            return maxUs_ > 0.0 ? std::min(upper, maxUs_) : upper;
+        }
+    }
+    return maxUs_;
+}
+
+uint64_t
+ServeMetrics::total(uint64_t ClassMetrics::*counter) const
+{
+    uint64_t sum = 0;
+    for (const ClassMetrics &c : perClass)
+        sum += c.*counter;
+    return sum;
+}
+
+namespace {
+
+void
+appendHistogram(std::ostringstream &os, const char *name,
+                const LatencyHistogram &h)
+{
+    os << "\"" << name << "\":{\"count\":" << h.count()
+       << ",\"mean_us\":" << h.meanUs()
+       << ",\"p50_us\":" << h.percentileUs(0.50)
+       << ",\"p95_us\":" << h.percentileUs(0.95)
+       << ",\"p99_us\":" << h.percentileUs(0.99)
+       << ",\"max_us\":" << h.maxUs() << "}";
+}
+
+} // namespace
+
+std::string
+ServeMetrics::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"steps\":" << steps << ",\"step_requests\":" << stepRequests
+       << ",\"avg_occupancy\":" << avgOccupancy()
+       << ",\"batches_formed\":" << batchesFormed
+       << ",\"queue_depth\":" << queueDepth
+       << ",\"queue_depth_peak\":" << queueDepthPeak
+       << ",\"parked\":" << parked << ",\"parked_peak\":" << parkedPeak
+       << ",\"shedding\":" << (shedding ? "true" : "false")
+       << ",\"shed_entered\":" << shedEntered
+       << ",\"shed_exited\":" << shedExited << ",\"classes\":{";
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        const ClassMetrics &m = perClass[static_cast<size_t>(c)];
+        if (c)
+            os << ",";
+        os << "\"" << sloClassName(static_cast<SloClass>(c)) << "\":{"
+           << "\"submitted\":" << m.submitted
+           << ",\"admitted\":" << m.admitted
+           << ",\"completed\":" << m.completed
+           << ",\"rejected_capacity\":" << m.rejectedCapacity
+           << ",\"rejected_shed\":" << m.rejectedShed
+           << ",\"rejected_fault\":" << m.rejectedFault
+           << ",\"degraded\":" << m.degraded
+           << ",\"cancelled\":" << m.cancelled
+           << ",\"timed_out\":" << m.timedOut
+           << ",\"preempted\":" << m.preempted
+           << ",\"resumed\":" << m.resumed << ",";
+        appendHistogram(os, "queue", m.queueUs);
+        os << ",";
+        appendHistogram(os, "service", m.serviceUs);
+        os << ",";
+        appendHistogram(os, "e2e", m.e2eUs);
+        os << "}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+} // namespace ditto

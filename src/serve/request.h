@@ -2,13 +2,20 @@
  * @file
  * Request and result types of the batched denoising server.
  *
- * A request is a pure value: (seed, steps, mode). Its result is a pure
- * function of that value and the served model — never of batch
+ * A request is a pure value: (seed, steps, mode). Its *image* is a
+ * pure function of that value and the served model — never of batch
  * composition, queueing order, worker count or thread count. That is
  * the serving layer's bitwise-equivalence guarantee (docs/serving.md):
- * serving a request batched is bit-for-bit the same as running
+ * serving a request batched — including preempting it mid-rollout and
+ * resuming it later — is bit-for-bit the same as running
  * model.rollout(mode, model.requestNoise(seed)) alone, for any
  * CompiledModel.
+ *
+ * Whether the request runs at all is a different question: requests
+ * carry an SLO class and an optional deadline, and the server may
+ * reject, shed, degrade, preempt, time out or cancel them. The
+ * terminal status of that lifecycle is part of the result
+ * (RequestStatus); docs/serving.md documents the state machine.
  */
 #ifndef DITTO_SERVE_REQUEST_H
 #define DITTO_SERVE_REQUEST_H
@@ -18,6 +25,56 @@
 #include "core/run_mode.h"
 
 namespace ditto {
+
+/**
+ * Service classes, in strict priority order (lower value = higher
+ * priority). Admission pops Interactive before Standard before
+ * BestEffort; preemption may park a running lower class to make room
+ * for a waiting higher class; overload shedding rejects BestEffort
+ * first and force-degrades Standard (docs/serving.md).
+ */
+enum class SloClass : uint8_t
+{
+    Interactive = 0,
+    Standard = 1,
+    BestEffort = 2,
+};
+
+inline constexpr int kNumSloClasses = 3;
+
+/** Stable lower-case name ("interactive", ...) for logs and JSON. */
+const char *sloClassName(SloClass slo);
+
+/**
+ * Lifecycle state of a submitted request. Non-terminal states are
+ * observable through DenoiseServer::queryState; every result carries
+ * its terminal state.
+ *
+ *   Queued -> Running <-> Parked
+ *   Queued/Running/Parked -> {Done, Cancelled, TimedOut}
+ *   submit() -> Rejected (admission control, shedding, fault points)
+ */
+enum class RequestStatus : uint8_t
+{
+    Queued = 0,   //!< accepted, waiting for an engine slot
+    Running,      //!< occupies a batch slot
+    Parked,       //!< preempted between steps; partial state saved
+    Done,         //!< completed all steps; image is valid
+    Cancelled,    //!< cancel() took effect before completion
+    TimedOut,     //!< deadline expired before completion
+    Rejected,     //!< never admitted (overload / shed / fault)
+};
+
+/** Stable lower-case name ("queued", ...) for logs and JSON. */
+const char *requestStatusName(RequestStatus st);
+
+/** True for states in which the request will make no further progress. */
+inline bool
+isTerminal(RequestStatus st)
+{
+    return st == RequestStatus::Done || st == RequestStatus::Cancelled ||
+           st == RequestStatus::TimedOut || st == RequestStatus::Rejected;
+}
 
 /** One denoising request submitted to the server. */
 struct DenoiseRequest
@@ -43,17 +100,35 @@ struct DenoiseRequest
      * launches with whatever has arrived (deadline-aware formation).
      */
     int64_t maxWaitMicros = -1;
+
+    /** Service class (admission order, preemption, shedding). */
+    SloClass slo = SloClass::Standard;
+
+    /**
+     * End-to-end deadline relative to submit(), in microseconds; -1
+     * means none. The deadline is absolute (steady-clock) once
+     * submitted: a request that cannot finish by it is timed out — in
+     * the queue, between steps while running, or while parked — and
+     * its result carries RequestStatus::TimedOut. 0 is legal and times
+     * the request out at the first checkpoint unless it completes
+     * instantly.
+     */
+    int64_t deadlineMicros = -1;
 };
 
 /** Completed request, handed back through poll()/wait(). */
 struct DenoiseResult
 {
     uint64_t id = 0;          //!< ticket returned by submit()
-    FloatTensor image;        //!< final denoised image
+    RequestStatus status = RequestStatus::Done; //!< terminal state
+    SloClass slo = SloClass::Standard; //!< class it was served at
+    FloatTensor image;        //!< final image (Done only; else empty)
     OpCounts dittoOps;        //!< multiplier-lane tallies (Ditto mode)
     int steps = 0;            //!< steps actually executed
-    double queueMicros = 0;   //!< submit -> admitted into an engine
-    double serviceMicros = 0; //!< admitted -> last step retired
+    int preemptions = 0;      //!< times parked and resumed
+    bool degraded = false;    //!< overload policy downgraded the work
+    double queueMicros = 0;   //!< submit -> first admitted
+    double serviceMicros = 0; //!< first admitted -> terminal state
 };
 
 } // namespace ditto

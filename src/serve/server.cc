@@ -1,20 +1,46 @@
 /**
  * @file
- * DenoiseServer implementation.
+ * DenoiseServer implementation: the hardened request lifecycle.
  *
- * Threading model: submit()/poll()/wait() and the worker loops share
- * one mutex guarding the queue, the result map and the stats. The
- * engines themselves run outside the lock — their kernels dispatch
- * onto the global parallelFor pool, which serializes whole jobs across
+ * Threading model: submit()/poll()/wait()/cancel() and the worker
+ * loops share one mutex guarding the class queues, the parked pool,
+ * the ticket table, the result map and the metrics. The engines
+ * themselves run outside the lock — their kernels dispatch onto the
+ * global parallelFor pool, which serializes whole jobs across
  * concurrent callers, so multiple workers interleave at kernel-call
- * granularity without data races.
+ * granularity without data races. Each engine is touched only by the
+ * worker that owns it; the lock covers every decision *about* the
+ * engine (admission, preemption, eviction), never the step itself.
+ *
+ * Time handling: every deadline and wait computation uses
+ * std::chrono::steady_clock (never the wall clock — a settable clock
+ * would turn an NTP step into a mass timeout), and all "base + budget"
+ * arithmetic goes through deadlineAfter(), which saturates at
+ * time_point::max() instead of overflowing and treats a 0-length
+ * budget as an already-expired deadline (dispatch/time-out
+ * immediately, never an infinite wait).
  */
 #include "serve/server.h"
 
+#include <algorithm>
+
 #include "common/env.h"
 #include "common/logging.h"
+#include "serve/faultpoints.h"
 
 namespace ditto {
+
+namespace {
+
+/** Microseconds between two steady-clock points, as a double. */
+double
+microsBetween(std::chrono::steady_clock::time_point a,
+              std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+} // namespace
 
 ServerConfig
 ServerConfig::fromEnv()
@@ -26,12 +52,25 @@ ServerConfig::fromEnv()
                                        cfg.maxWaitMicros, 0, 60'000'000);
     cfg.workers = static_cast<int>(
         env::readInt64("DITTO_SERVE_WORKERS", cfg.workers, 1, 256));
+    cfg.queueCapacity = env::readInt64("DITTO_SERVE_QUEUE_CAP",
+                                       cfg.queueCapacity, 1, 1'000'000);
+    cfg.admitBlockMicros =
+        env::readInt64("DITTO_SERVE_ADMIT_BLOCK_US", cfg.admitBlockMicros,
+                       0, 60'000'000);
+    cfg.shedHighWater = env::readInt64("DITTO_SERVE_SHED_HIGH",
+                                       cfg.shedHighWater, 0, 1'000'000);
+    cfg.shedLowWater = env::readInt64("DITTO_SERVE_SHED_LOW",
+                                      cfg.shedLowWater, 0, 1'000'000);
+    cfg.shedSteps = static_cast<int>(
+        env::readInt64("DITTO_SERVE_SHED_STEPS", cfg.shedSteps, 1, 4096));
     return cfg;
 }
 
 DenoiseServer::DenoiseServer(const CompiledModel &model, ServerConfig cfg)
     : model_(model), cfg_(cfg)
 {
+    DITTO_ASSERT(cfg_.effectiveShedLow() < cfg_.effectiveShedHigh(),
+                 "shed low watermark must sit below the high watermark");
     workers_.reserve(static_cast<size_t>(cfg_.workers));
     for (int i = 0; i < cfg_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -39,13 +78,129 @@ DenoiseServer::DenoiseServer(const CompiledModel &model, ServerConfig cfg)
 
 DenoiseServer::~DenoiseServer()
 {
+    shutdown();
+}
+
+void
+DenoiseServer::shutdown()
+{
     {
         std::unique_lock<std::mutex> lock(mutex_);
+        if (shutdown_)
+            return;
         stopping_ = true;
     }
     workAvailable_.notify_all();
+    spaceAvailable_.notify_all();
     for (std::thread &w : workers_)
         w.join();
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+}
+
+DenoiseServer::Clock::time_point
+DenoiseServer::deadlineAfter(Clock::time_point base, int64_t micros)
+{
+    if (micros < 0)
+        return Clock::time_point::max();
+    const auto room = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::time_point::max() - base);
+    if (micros >= room.count())
+        return Clock::time_point::max();
+    return base + std::chrono::microseconds(micros);
+}
+
+int
+DenoiseServer::effectiveSteps(const DenoiseRequest &req) const
+{
+    return req.steps > 0 ? req.steps : model_.defaultSteps();
+}
+
+int64_t
+DenoiseServer::queueDepthLocked() const
+{
+    int64_t depth = 0;
+    for (const std::deque<Pending> &q : queues_)
+        depth += static_cast<int64_t>(q.size());
+    return depth;
+}
+
+bool
+DenoiseServer::haveWorkLocked() const
+{
+    return !parked_.empty() || queueDepthLocked() > 0;
+}
+
+void
+DenoiseServer::updateShedLocked()
+{
+    const int64_t depth = queueDepthLocked();
+    if (!shedding_ && depth >= cfg_.effectiveShedHigh()) {
+        shedding_ = true;
+        ++metrics_.shedEntered;
+    } else if (shedding_ && depth <= cfg_.effectiveShedLow()) {
+        shedding_ = false;
+        ++metrics_.shedExited;
+    }
+}
+
+DenoiseResult
+DenoiseServer::makeResultLocked(uint64_t id) const
+{
+    const Ticket &t = tickets_.at(id);
+    const Clock::time_point now = Clock::now();
+    DenoiseResult r;
+    r.id = id;
+    r.slo = t.slo;
+    r.degraded = t.degraded;
+    r.preemptions = t.preemptions;
+    if (t.state == RequestStatus::Queued) {
+        r.queueMicros = microsBetween(t.submitted, now);
+        r.serviceMicros = 0.0;
+    } else {
+        r.queueMicros = microsBetween(t.submitted, t.admitted);
+        r.serviceMicros = microsBetween(t.admitted, now);
+    }
+    return r;
+}
+
+void
+DenoiseServer::finalizeLocked(uint64_t id, RequestStatus status,
+                              DenoiseResult &&result)
+{
+    Ticket &t = tickets_.at(id);
+    DITTO_ASSERT(!isTerminal(t.state), "finalizing a terminal ticket");
+    t.state = status;
+    result.status = status;
+    ClassMetrics &cm = metrics_.perClass[static_cast<size_t>(t.slo)];
+    switch (status) {
+      case RequestStatus::Done:
+        ++cm.completed;
+        ++stats_.completed;
+        cm.serviceUs.record(result.serviceMicros);
+        cm.e2eUs.record(result.queueMicros + result.serviceMicros);
+        break;
+      case RequestStatus::Cancelled:
+        ++cm.cancelled;
+        break;
+      case RequestStatus::TimedOut:
+        ++cm.timedOut;
+        break;
+      case RequestStatus::Rejected:
+        // Cause-specific counters (capacity / shed / fault) are
+        // incremented at the rejection site.
+        break;
+      default:
+        DITTO_PANIC("finalize to non-terminal state");
+    }
+    results_[id] = std::move(result);
+}
+
+void
+DenoiseServer::finalizeEmptyLocked(uint64_t id, RequestStatus status)
+{
+    DenoiseResult r = makeResultLocked(id);
+    finalizeLocked(id, status, std::move(r));
 }
 
 uint64_t
@@ -53,26 +208,164 @@ DenoiseServer::submit(const DenoiseRequest &req)
 {
     // Reject malformed requests at the API boundary, in the caller's
     // thread — a bad request must not take down a worker mid-batch.
-    DITTO_ASSERT(req.mode == RunMode::QuantDitto ||
-                 req.mode == RunMode::QuantDirect,
-                 "only quantized modes are served batched");
+    if (req.mode != RunMode::QuantDitto &&
+        req.mode != RunMode::QuantDirect)
+        DITTO_FATAL("submit: only quantized modes are served batched");
     if (req.steps < 0)
         DITTO_FATAL("submit: negative step count " << req.steps);
     if (req.maxWaitMicros < -1)
         DITTO_FATAL("submit: malformed maxWaitMicros "
                     << req.maxWaitMicros << " (want -1, 0 or a window)");
+    if (req.deadlineMicros < -1)
+        DITTO_FATAL("submit: malformed deadlineMicros "
+                    << req.deadlineMicros << " (want -1, 0 or a budget)");
+    if (static_cast<int>(req.slo) < 0 ||
+        static_cast<int>(req.slo) >= kNumSloClasses)
+        DITTO_FATAL("submit: unknown SLO class "
+                    << static_cast<int>(req.slo));
+
+    const bool fault_reject = faults::inject(faults::Point::Submit);
+
     std::unique_lock<std::mutex> lock(mutex_);
-    DITTO_ASSERT(!stopping_, "submit on a stopping server");
+    if (stopping_ || shutdown_)
+        DITTO_FATAL("submit after DenoiseServer::shutdown()");
+    const Clock::time_point now = Clock::now();
+    const uint64_t id = nextId_++;
+    Ticket t;
+    t.slo = req.slo;
+    t.submitted = now;
+    t.deadline = deadlineAfter(now, req.deadlineMicros);
+    tickets_[id] = t;
+    ClassMetrics &cm = metrics_.perClass[static_cast<size_t>(req.slo)];
+    ++cm.submitted;
+
+    if (fault_reject) {
+        ++cm.rejectedFault;
+        finalizeEmptyLocked(id, RequestStatus::Rejected);
+        lock.unlock();
+        resultReady_.notify_all();
+        return id;
+    }
+
+    // Overload shedding, deterministic and class-ordered: reject the
+    // lowest class outright, force-degrade the middle class, leave the
+    // highest class untouched (docs/serving.md).
+    updateShedLocked();
+    DenoiseRequest effective = req;
+    if (shedding_) {
+        if (req.slo == SloClass::BestEffort) {
+            ++cm.rejectedShed;
+            finalizeEmptyLocked(id, RequestStatus::Rejected);
+            lock.unlock();
+            resultReady_.notify_all();
+            return id;
+        }
+        if (req.slo == SloClass::Standard) {
+            effective.mode = RunMode::QuantDitto;
+            effective.steps =
+                std::min(effectiveSteps(req), cfg_.shedSteps);
+            tickets_[id].degraded = true;
+            ++cm.degraded;
+        }
+    }
+
+    // Admission control: bounded queue; block-then-reject or reject
+    // immediately, per configuration.
+    if (queueDepthLocked() >= cfg_.queueCapacity &&
+        cfg_.admitBlockMicros > 0) {
+        const Clock::time_point block_until =
+            deadlineAfter(now, cfg_.admitBlockMicros);
+        spaceAvailable_.wait_until(lock, block_until, [&] {
+            return stopping_ ||
+                   queueDepthLocked() < cfg_.queueCapacity;
+        });
+    }
+    if (stopping_ || queueDepthLocked() >= cfg_.queueCapacity) {
+        ++cm.rejectedCapacity;
+        finalizeEmptyLocked(id, RequestStatus::Rejected);
+        lock.unlock();
+        resultReady_.notify_all();
+        return id;
+    }
+
     Pending p;
-    p.id = nextId_++;
-    p.req = req;
-    p.submitted = Clock::now();
-    queue_.push_back(p);
-    outstanding_.insert(p.id);
+    p.id = id;
+    p.req = effective;
+    p.submitted = now;
+    queues_[static_cast<size_t>(req.slo)].push_back(std::move(p));
     ++stats_.submitted;
+    metrics_.queueDepthPeak =
+        std::max(metrics_.queueDepthPeak,
+                 static_cast<uint64_t>(queueDepthLocked()));
     lock.unlock();
     workAvailable_.notify_one();
-    return p.id;
+    return id;
+}
+
+bool
+DenoiseServer::cancel(uint64_t id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = tickets_.find(id);
+    if (it == tickets_.end() || isTerminal(it->second.state))
+        return false;
+    Ticket &t = it->second;
+    switch (t.state) {
+      case RequestStatus::Queued: {
+        // Usually still in its class queue — remove and finalize
+        // synchronously. A worker may have popped it already (it is
+        // being admitted right now); then the flag is honored at the
+        // admission recheck, before any step runs.
+        std::deque<Pending> &q =
+            queues_[static_cast<size_t>(t.slo)];
+        for (auto qi = q.begin(); qi != q.end(); ++qi) {
+            if (qi->id == id) {
+                q.erase(qi);
+                finalizeEmptyLocked(id, RequestStatus::Cancelled);
+                lock.unlock();
+                resultReady_.notify_all();
+                spaceAvailable_.notify_all();
+                return true;
+            }
+        }
+        t.cancelRequested = true;
+        return true;
+      }
+      case RequestStatus::Parked: {
+        for (auto pi = parked_.begin(); pi != parked_.end(); ++pi) {
+            if (pi->state.id == id) {
+                DenoiseResult r = makeResultLocked(id);
+                r.steps = pi->state.stepsDone;
+                r.dittoOps = pi->state.ops;
+                parked_.erase(pi);
+                finalizeLocked(id, RequestStatus::Cancelled,
+                               std::move(r));
+                lock.unlock();
+                resultReady_.notify_all();
+                return true;
+            }
+        }
+        t.cancelRequested = true; // being resumed right now
+        return true;
+      }
+      case RequestStatus::Running:
+        // Step-granular: the owning worker evicts the slot at the
+        // next step boundary.
+        t.cancelRequested = true;
+        return true;
+      default:
+        return false;
+    }
+}
+
+RequestStatus
+DenoiseServer::queryState(uint64_t id) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = tickets_.find(id);
+    if (it == tickets_.end())
+        DITTO_FATAL("queryState on an unknown or consumed ticket " << id);
+    return it->second.state;
 }
 
 bool
@@ -84,14 +377,15 @@ DenoiseServer::poll(uint64_t id, DenoiseResult *out)
         // A ticket that was never issued, or whose result was already
         // retrieved, can never become ready — fail loudly instead of
         // letting a poll loop spin forever.
-        DITTO_ASSERT(outstanding_.count(id) > 0,
-                     "poll on an unknown or already-consumed ticket");
+        if (tickets_.find(id) == tickets_.end())
+            DITTO_FATAL("poll on an unknown or already-consumed ticket "
+                        << id);
         return false;
     }
     *out = std::move(it->second);
     results_.erase(it);
-    outstanding_.erase(id);
-    // Wake any waiter racing on the same ticket so it asserts loudly
+    tickets_.erase(id);
+    // Wake any waiter racing on the same ticket so it fails loudly
     // instead of sleeping forever on a consumed id.
     lock.unlock();
     resultReady_.notify_all();
@@ -102,19 +396,23 @@ DenoiseResult
 DenoiseServer::wait(uint64_t id)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    DITTO_ASSERT(results_.count(id) > 0 || outstanding_.count(id) > 0,
-                 "wait on an unknown or already-consumed ticket");
-    // Also wake when the ticket stops being outstanding: a concurrent
-    // poll()/wait() that consumed it must turn this wait into a loud
-    // failure, not an endless sleep.
+    if (results_.find(id) == results_.end() &&
+        tickets_.find(id) == tickets_.end())
+        DITTO_FATAL("wait on an unknown or already-consumed ticket "
+                    << id);
+    // Also wake when the ticket disappears: a concurrent poll()/wait()
+    // that consumed it must turn this wait into a loud failure, not an
+    // endless sleep.
     resultReady_.wait(lock, [&] {
-        return results_.count(id) > 0 || outstanding_.count(id) == 0;
+        return results_.find(id) != results_.end() ||
+               tickets_.find(id) == tickets_.end();
     });
-    DITTO_ASSERT(results_.count(id) > 0,
-                 "ticket consumed by a concurrent caller");
-    DenoiseResult out = std::move(results_[id]);
-    results_.erase(id);
-    outstanding_.erase(id);
+    auto it = results_.find(id);
+    if (it == results_.end())
+        DITTO_FATAL("ticket " << id << " consumed by a concurrent caller");
+    DenoiseResult out = std::move(it->second);
+    results_.erase(it);
+    tickets_.erase(id);
     lock.unlock();
     resultReady_.notify_all();
     return out;
@@ -127,141 +425,475 @@ DenoiseServer::stats() const
     return stats_;
 }
 
+ServeMetrics
+DenoiseServer::metrics() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ServeMetrics snap = metrics_;
+    snap.queueDepth = static_cast<uint64_t>(queueDepthLocked());
+    snap.parked = static_cast<uint64_t>(parked_.size());
+    snap.shedding = shedding_;
+    return snap;
+}
+
+std::string
+DenoiseServer::metricsJson() const
+{
+    return metrics().toJson();
+}
+
+SloClass
+DenoiseServer::bestWaitingClassLocked(bool *any) const
+{
+    int best = kNumSloClasses;
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        if (!queues_[static_cast<size_t>(c)].empty()) {
+            best = c;
+            break;
+        }
+    }
+    for (const ParkedEntry &p : parked_)
+        best = std::min(best, static_cast<int>(p.slo));
+    *any = best < kNumSloClasses;
+    return static_cast<SloClass>(best < kNumSloClasses ? best : 0);
+}
+
+bool
+DenoiseServer::popCandidateLocked(Candidate *out)
+{
+    for (;;) {
+        // Highest-priority source: strict class order; at equal class
+        // a parked request (older, already admitted once) beats a
+        // queued one.
+        int queued_class = kNumSloClasses;
+        for (int c = 0; c < kNumSloClasses; ++c) {
+            if (!queues_[static_cast<size_t>(c)].empty()) {
+                queued_class = c;
+                break;
+            }
+        }
+        size_t parked_at = parked_.size();
+        int parked_class = kNumSloClasses;
+        for (size_t i = 0; i < parked_.size(); ++i) {
+            const int c = static_cast<int>(parked_[i].slo);
+            if (c < parked_class) {
+                parked_class = c;
+                parked_at = i;
+            }
+        }
+        if (queued_class == kNumSloClasses &&
+            parked_class == kNumSloClasses) {
+            updateShedLocked();
+            return false;
+        }
+        const Clock::time_point now = Clock::now();
+        if (parked_class <= queued_class) {
+            ParkedEntry entry = std::move(parked_[parked_at]);
+            parked_.erase(parked_.begin() +
+                          static_cast<int64_t>(parked_at));
+            const Ticket &t = tickets_.at(entry.state.id);
+            if (t.cancelRequested || now >= t.deadline) {
+                DenoiseResult r = makeResultLocked(entry.state.id);
+                r.steps = entry.state.stepsDone;
+                r.dittoOps = entry.state.ops;
+                finalizeLocked(entry.state.id,
+                               t.cancelRequested
+                                   ? RequestStatus::Cancelled
+                                   : RequestStatus::TimedOut,
+                               std::move(r));
+                continue;
+            }
+            out->fromParked = true;
+            out->parked = std::move(entry);
+            return true;
+        }
+        std::deque<Pending> &q =
+            queues_[static_cast<size_t>(queued_class)];
+        Pending p = std::move(q.front());
+        q.pop_front();
+        updateShedLocked();
+        const Ticket &t = tickets_.at(p.id);
+        if (t.cancelRequested || now >= t.deadline) {
+            finalizeEmptyLocked(p.id, t.cancelRequested
+                                          ? RequestStatus::Cancelled
+                                          : RequestStatus::TimedOut);
+            continue;
+        }
+        out->fromParked = false;
+        out->pending = std::move(p);
+        return true;
+    }
+}
+
 void
 DenoiseServer::workerLoop()
 {
     BatchEngine engine(model_, cfg_.maxBatch);
+    // Queue pops, lifecycle decisions, timing and stats happen under
+    // the lock; the engine mutations they lead to (noise generation,
+    // stacked state edits, parking, the step itself) run outside it so
+    // submit/poll/wait/cancel callers and other workers never wait on
+    // them. Slot indices planned under the lock stay valid outside it
+    // because only this worker mutates this engine.
     for (;;) {
-        // Queue pops, timing and stats happen under the lock; the
-        // engine mutations they lead to (noise generation, stacked
-        // state edits, the step itself) run outside it so submit/
-        // poll/wait callers and other workers never wait on them.
-        std::vector<Pending> to_admit;
-        auto roomLeft = [&] {
-            return engine.active() +
-                       static_cast<int64_t>(to_admit.size()) <
-                   cfg_.maxBatch;
-        };
+        std::vector<Candidate> selected;
+        std::vector<int64_t> parks; // descending slot indices
+        bool formed = false;
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            const auto roomLeft = [&] {
+                return cfg_.maxBatch -
+                       (engine.active() +
+                        static_cast<int64_t>(selected.size()) -
+                        static_cast<int64_t>(parks.size()));
+            };
             if (engine.empty()) {
                 workAvailable_.wait(lock, [&] {
-                    return stopping_ || !queue_.empty();
+                    return stopping_ || haveWorkLocked();
                 });
-                if (queue_.empty()) {
+                if (!haveWorkLocked()) {
                     DITTO_ASSERT(stopping_, "spurious worker wake");
                     return;
                 }
                 // Deadline-aware batch formation: take the oldest
-                // request, then hold the batch open for co-batchable
-                // arrivals until it fills or the earliest taken
-                // window expires.
-                Clock::time_point deadline = Clock::time_point::max();
-                auto takeFromQueue = [&] {
-                    while (roomLeft() && !queue_.empty()) {
-                        Pending p = std::move(queue_.front());
-                        queue_.pop_front();
-                        const int64_t wait_us = p.req.maxWaitMicros >= 0
-                            ? p.req.maxWaitMicros
-                            : cfg_.maxWaitMicros;
-                        deadline = std::min(
-                            deadline, p.submitted +
-                                          std::chrono::microseconds(
+                // highest-class request, then hold the batch open for
+                // co-batchable arrivals until it fills or the earliest
+                // taken window expires. Parked work collapses the
+                // window — a preempted request must not wait again.
+                Clock::time_point window = Clock::time_point::max();
+                const auto take = [&] {
+                    Candidate c;
+                    while (roomLeft() > 0 && popCandidateLocked(&c)) {
+                        if (c.fromParked) {
+                            window = Clock::now();
+                        } else {
+                            const int64_t wait_us =
+                                c.pending.req.maxWaitMicros >= 0
+                                    ? c.pending.req.maxWaitMicros
+                                    : cfg_.maxWaitMicros;
+                            window = std::min(
+                                window,
+                                deadlineAfter(c.pending.submitted,
                                               wait_us));
-                        inFlight_[p.id] = {p.submitted, Clock::now()};
-                        to_admit.push_back(std::move(p));
+                        }
+                        selected.push_back(std::move(c));
                     }
                 };
-                takeFromQueue();
+                take();
+                if (selected.empty()) {
+                    // Everything eligible was pruned (cancelled or
+                    // expired in the queue) — publish those
+                    // finalizations before sleeping again.
+                    lock.unlock();
+                    resultReady_.notify_all();
+                    spaceAvailable_.notify_all();
+                    continue;
+                }
+                formed = true;
                 ++stats_.batchesFormed;
-                while (roomLeft() && !stopping_ &&
-                       Clock::now() < deadline) {
-                    if (workAvailable_.wait_until(lock, deadline) ==
+                ++metrics_.batchesFormed;
+                while (roomLeft() > 0 && !stopping_ &&
+                       Clock::now() < window) {
+                    if (workAvailable_.wait_until(lock, window) ==
                         std::cv_status::timeout)
                         break;
-                    takeFromQueue();
+                    take();
                 }
             } else {
-                // Continuous batching: grab whatever is queued, no
+                // Continuous batching: grab whatever is eligible, no
                 // waiting — running requests must not stall.
-                while (roomLeft() && !queue_.empty()) {
-                    Pending p = std::move(queue_.front());
-                    queue_.pop_front();
-                    inFlight_[p.id] = {p.submitted, Clock::now()};
-                    to_admit.push_back(std::move(p));
+                Candidate c;
+                while (roomLeft() > 0 && popCandidateLocked(&c))
+                    selected.push_back(std::move(c));
+                // SLO-aware preemption: while a strictly higher class
+                // waits and the batch is full, park the worst running
+                // slot (lowest class; ties: least progress lost, then
+                // highest index) between steps.
+                bool any = false;
+                SloClass want = bestWaitingClassLocked(&any);
+                while (any && roomLeft() <= 0) {
+                    int64_t victim = -1;
+                    int victim_class = static_cast<int>(want);
+                    int victim_steps = 0;
+                    for (int64_t i = 0; i < engine.active(); ++i) {
+                        if (std::find(parks.begin(), parks.end(), i) !=
+                            parks.end())
+                            continue;
+                        const Ticket &t =
+                            tickets_.at(engine.slotId(i));
+                        const int c = static_cast<int>(t.slo);
+                        const int steps = engine.slotStepsDone(i);
+                        if (c > victim_class ||
+                            (victim >= 0 && c == victim_class &&
+                             (steps < victim_steps ||
+                              (steps == victim_steps && i > victim)))) {
+                            victim = i;
+                            victim_class = c;
+                            victim_steps = steps;
+                        }
+                    }
+                    if (victim < 0)
+                        break; // nothing lower-class than the waiter
+                    parks.push_back(victim);
+                    Candidate c2;
+                    if (!popCandidateLocked(&c2)) {
+                        parks.pop_back(); // waiter vanished (pruned)
+                        break;
+                    }
+                    selected.push_back(std::move(c2));
+                    want = bestWaitingClassLocked(&any);
                 }
+                std::sort(parks.rbegin(), parks.rend());
             }
-            stats_.stepRequests += static_cast<uint64_t>(
-                engine.active() +
-                static_cast<int64_t>(to_admit.size()));
-            ++stats_.steps;
         }
-        if (!to_admit.empty()) {
-            std::vector<uint64_t> ids;
-            std::vector<DenoiseRequest> reqs;
-            ids.reserve(to_admit.size());
-            reqs.reserve(to_admit.size());
-            for (Pending &p : to_admit) {
-                ids.push_back(p.id);
-                reqs.push_back(p.req);
-            }
-            engine.admitBatch(ids, reqs);
-        }
+        spaceAvailable_.notify_all();
+        resultReady_.notify_all(); // pruning may have finalized tickets
 
-        engine.step();
-        const std::vector<int64_t> finished = engine.finishedSlots();
-        std::vector<BatchEngine::Finished> done;
-        if (!finished.empty()) {
-            // Pair finished slots with replacement requests popped
-            // under the lock; the slot edits run outside it.
-            std::vector<Pending> repl;
+        // Preemptions: evict between steps, park the partial state.
+        for (int64_t i : parks) {
+            faults::inject(faults::Point::Park);
+            BatchEngine::Parked p = engine.park(i);
             {
                 std::unique_lock<std::mutex> lock(mutex_);
-                while (repl.size() < finished.size() &&
-                       !queue_.empty()) {
-                    Pending p = std::move(queue_.front());
-                    queue_.pop_front();
-                    inFlight_[p.id] = {p.submitted, Clock::now()};
-                    repl.push_back(std::move(p));
-                }
+                Ticket &t = tickets_.at(p.id);
+                t.state = RequestStatus::Parked;
+                ++t.preemptions;
+                ++metrics_.perClass[static_cast<size_t>(t.slo)]
+                      .preempted;
+                ParkedEntry entry;
+                entry.slo = t.slo;
+                entry.parkedAt = Clock::now();
+                entry.state = std::move(p);
+                parked_.push_back(std::move(entry));
+                metrics_.parkedPeak =
+                    std::max(metrics_.parkedPeak,
+                             static_cast<uint64_t>(parked_.size()));
             }
-            size_t r = 0;
-            for (int64_t i : finished) {
-                done.push_back(engine.extract(i));
-                // Continuous batching fast path: hand the finished
-                // slab straight to the next queued request instead of
-                // shrinking and regrowing the stacked state.
-                if (r < repl.size()) {
-                    engine.replaceSlot(i, repl[r].id, repl[r].req);
-                    ++r;
+            workAvailable_.notify_one(); // another engine may resume it
+        }
+
+        // Admissions and resumes, with the admission fault point and a
+        // final lifecycle recheck (cancel/timeout may have landed
+        // while the candidate was in flight).
+        std::vector<uint64_t> admit_ids;
+        std::vector<DenoiseRequest> admit_reqs;
+        for (Candidate &c : selected) {
+            const uint64_t id =
+                c.fromParked ? c.parked.state.id : c.pending.id;
+            const bool fault_reject = faults::inject(
+                c.fromParked ? faults::Point::Resume
+                             : faults::Point::Admission);
+            bool dropped = false;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                Ticket &t = tickets_.at(id);
+                const Clock::time_point now = Clock::now();
+                RequestStatus drop_as = RequestStatus::Queued;
+                if (t.cancelRequested)
+                    drop_as = RequestStatus::Cancelled;
+                else if (now >= t.deadline)
+                    drop_as = RequestStatus::TimedOut;
+                else if (fault_reject)
+                    drop_as = RequestStatus::Rejected;
+                if (drop_as != RequestStatus::Queued) {
+                    ClassMetrics &cm =
+                        metrics_.perClass[static_cast<size_t>(t.slo)];
+                    if (drop_as == RequestStatus::Rejected)
+                        ++cm.rejectedFault;
+                    DenoiseResult r = makeResultLocked(id);
+                    if (c.fromParked) {
+                        r.steps = c.parked.state.stepsDone;
+                        r.dittoOps = c.parked.state.ops;
+                    }
+                    finalizeLocked(id, drop_as, std::move(r));
+                    dropped = true;
                 } else {
-                    engine.removeSlot(i);
+                    ClassMetrics &cm =
+                        metrics_.perClass[static_cast<size_t>(t.slo)];
+                    if (t.state == RequestStatus::Queued) {
+                        t.admitted = now;
+                        ++cm.admitted;
+                        cm.queueUs.record(
+                            microsBetween(t.submitted, now));
+                    } else {
+                        ++cm.resumed;
+                    }
+                    t.state = RequestStatus::Running;
                 }
             }
-            const Clock::time_point now = Clock::now();
+            if (dropped) {
+                resultReady_.notify_all();
+                continue;
+            }
+            if (c.fromParked) {
+                engine.admitParked(c.parked.state);
+            } else {
+                admit_ids.push_back(c.pending.id);
+                admit_reqs.push_back(c.pending.req);
+            }
+        }
+        if (!admit_ids.empty())
+            engine.admitBatch(admit_ids, admit_reqs);
+
+        if (engine.empty())
+            continue; // every candidate dropped at the recheck
+
+        if (formed)
+            faults::inject(faults::Point::BatchForm);
+        faults::inject(faults::Point::StepBegin);
+        engine.step();
+        faults::inject(faults::Point::StepEnd);
+
+        // Post-step bookkeeping: retire finished slots, evict
+        // cancelled and expired ones, prune the parked pool, and plan
+        // replacements (the continuous-batching fast path hands a
+        // finished slab straight to the next request).
+        struct Removal
+        {
+            int64_t slot;
+            uint64_t id;
+            RequestStatus status;
+        };
+        std::vector<Removal> removals; // descending slot order
+        std::vector<Candidate> repl;
+        {
             std::unique_lock<std::mutex> lock(mutex_);
-            for (BatchEngine::Finished &f : done) {
-                const InFlight timing = inFlight_[f.id];
-                inFlight_.erase(f.id);
-                DenoiseResult r;
-                r.id = f.id;
+            ++stats_.steps;
+            ++metrics_.steps;
+            stats_.stepRequests +=
+                static_cast<uint64_t>(engine.active());
+            metrics_.stepRequests +=
+                static_cast<uint64_t>(engine.active());
+            const Clock::time_point now = Clock::now();
+            for (int64_t i = engine.active() - 1; i >= 0; --i) {
+                const uint64_t id = engine.slotId(i);
+                const Ticket &t = tickets_.at(id);
+                if (engine.slotFinished(i))
+                    removals.push_back({i, id, RequestStatus::Done});
+                else if (t.cancelRequested)
+                    removals.push_back(
+                        {i, id, RequestStatus::Cancelled});
+                else if (now >= t.deadline)
+                    removals.push_back(
+                        {i, id, RequestStatus::TimedOut});
+            }
+            // Expired or cancelled parked requests must not linger
+            // until a pop considers them: prune once per step.
+            for (size_t i = parked_.size(); i-- > 0;) {
+                const Ticket &t = tickets_.at(parked_[i].state.id);
+                if (!t.cancelRequested && now < t.deadline)
+                    continue;
+                DenoiseResult r = makeResultLocked(parked_[i].state.id);
+                r.steps = parked_[i].state.stepsDone;
+                r.dittoOps = parked_[i].state.ops;
+                finalizeLocked(parked_[i].state.id,
+                               t.cancelRequested
+                                   ? RequestStatus::Cancelled
+                                   : RequestStatus::TimedOut,
+                               std::move(r));
+                parked_.erase(parked_.begin() +
+                              static_cast<int64_t>(i));
+            }
+            Candidate c;
+            while (repl.size() < removals.size() &&
+                   popCandidateLocked(&c))
+                repl.push_back(std::move(c));
+        }
+        spaceAvailable_.notify_all();
+        resultReady_.notify_all(); // parked-pool pruning may finalize
+
+        size_t r_idx = 0;
+        for (const Removal &rm : removals) {
+            if (rm.status == RequestStatus::Done) {
+                BatchEngine::Finished f = engine.extract(rm.slot);
+                std::unique_lock<std::mutex> lock(mutex_);
+                DenoiseResult r = makeResultLocked(rm.id);
                 r.image = std::move(f.image);
                 r.dittoOps = f.ops;
                 r.steps = f.steps;
-                r.queueMicros =
-                    std::chrono::duration<double, std::micro>(
-                        timing.admitted - timing.submitted)
-                        .count();
-                r.serviceMicros =
-                    std::chrono::duration<double, std::micro>(
-                        now - timing.admitted)
-                        .count();
-                results_[f.id] = std::move(r);
-                ++stats_.completed;
+                finalizeLocked(rm.id, RequestStatus::Done,
+                               std::move(r));
+            } else {
+                const int steps_done = engine.slotStepsDone(rm.slot);
+                std::unique_lock<std::mutex> lock(mutex_);
+                DenoiseResult r = makeResultLocked(rm.id);
+                r.steps = steps_done;
+                finalizeLocked(rm.id, rm.status, std::move(r));
             }
-            lock.unlock();
-            resultReady_.notify_all();
+            // Replacement fast path: hand the slab to the next
+            // candidate instead of shrinking and regrowing the stacked
+            // state — with the same fault point and recheck as any
+            // other admission.
+            bool replaced = false;
+            if (r_idx < repl.size()) {
+                Candidate &c = repl[r_idx++];
+                const uint64_t cid =
+                    c.fromParked ? c.parked.state.id : c.pending.id;
+                const bool fault_reject = faults::inject(
+                    c.fromParked ? faults::Point::Resume
+                                 : faults::Point::Admission);
+                bool dropped = false;
+                {
+                    std::unique_lock<std::mutex> lock(mutex_);
+                    Ticket &t = tickets_.at(cid);
+                    const Clock::time_point now = Clock::now();
+                    RequestStatus drop_as = RequestStatus::Queued;
+                    if (t.cancelRequested)
+                        drop_as = RequestStatus::Cancelled;
+                    else if (now >= t.deadline)
+                        drop_as = RequestStatus::TimedOut;
+                    else if (fault_reject)
+                        drop_as = RequestStatus::Rejected;
+                    if (drop_as != RequestStatus::Queued) {
+                        ClassMetrics &cm = metrics_.perClass
+                            [static_cast<size_t>(t.slo)];
+                        if (drop_as == RequestStatus::Rejected)
+                            ++cm.rejectedFault;
+                        DenoiseResult r = makeResultLocked(cid);
+                        if (c.fromParked) {
+                            r.steps = c.parked.state.stepsDone;
+                            r.dittoOps = c.parked.state.ops;
+                        }
+                        finalizeLocked(cid, drop_as, std::move(r));
+                        dropped = true;
+                    } else {
+                        ClassMetrics &cm = metrics_.perClass
+                            [static_cast<size_t>(t.slo)];
+                        if (t.state == RequestStatus::Queued) {
+                            t.admitted = now;
+                            ++cm.admitted;
+                            cm.queueUs.record(
+                                microsBetween(t.submitted, now));
+                        } else {
+                            ++cm.resumed;
+                        }
+                        t.state = RequestStatus::Running;
+                    }
+                }
+                if (!dropped) {
+                    if (rm.status == RequestStatus::Done) {
+                        if (c.fromParked)
+                            engine.replaceSlotParked(rm.slot,
+                                                     c.parked.state);
+                        else
+                            engine.replaceSlot(rm.slot, c.pending.id,
+                                               c.pending.req);
+                    } else {
+                        // Evicted slots are mid-rollout; the in-place
+                        // overwrite is reserved for finished slabs.
+                        engine.removeSlot(rm.slot);
+                        if (c.fromParked)
+                            engine.admitParked(c.parked.state);
+                        else
+                            engine.admit(c.pending.id, c.pending.req);
+                    }
+                    replaced = true;
+                }
+            }
+            if (!replaced)
+                engine.removeSlot(rm.slot);
         }
+        resultReady_.notify_all();
     }
 }
 

@@ -1,29 +1,50 @@
 /**
  * @file
- * Asynchronous batched denoising server.
+ * Asynchronous batched denoising server with a hardened request
+ * lifecycle.
  *
  * submit() enqueues a request and returns a ticket; poll()/wait()
  * retrieve the finished result. A fixed pool of worker threads each
- * drives one BatchEngine:
+ * drives one BatchEngine. On top of the continuous-batching execution
+ * core (PR 3), the server implements the full production lifecycle:
  *
- *  - Batch formation is deadline-aware: an idle worker admits the
- *    oldest queued request, then keeps the batch open up to the
- *    max-wait window (the minimum of the admitted requests' own
- *    windows) hoping to fill it; the batch launches early when full or
- *    when any admitted request's window expires.
- *  - Once running, the engine admits newly queued requests between
- *    steps into free slots (continuous batching) — requests at
- *    different timesteps share every forwardBatch call, tracked per
- *    slot.
- *  - Results are bitwise identical to sequential single-request
- *    rollouts regardless of batch composition, admission order,
- *    worker count or thread count (docs/serving.md).
+ *   Queued -> Running <-> Parked -> {Done, Cancelled, TimedOut}
+ *   submit() -> Rejected
  *
- * The full request lifecycle is documented in docs/serving.md.
+ *  - Admission control / backpressure: the queue is bounded
+ *    (queueCapacity). A submit against a full queue either rejects
+ *    immediately (result status Rejected) or, with admitBlockMicros
+ *    set, blocks the caller up to that budget waiting for space.
+ *  - Priorities: three SLO classes with strict-priority admission
+ *    (Interactive > Standard > BestEffort, FIFO within a class).
+ *  - Deadlines: per-request end-to-end deadlines (steady-clock
+ *    absolute once submitted) enforced in the queue, at admission,
+ *    between steps and while parked.
+ *  - Step-granular preemption: when a higher class waits and every
+ *    slot is busy, the worst lower-class slot is parked between steps
+ *    (its partial image + counters; see BatchEngine::Parked) and
+ *    resumed later — results stay bitwise identical to uninterrupted
+ *    rollouts because difference execution equals direct execution
+ *    bit for bit.
+ *  - Cancellation: cancel(ticket) works in every non-terminal state.
+ *  - Overload shedding with hysteresis: past shedHighWater queued
+ *    requests the load watcher rejects incoming BestEffort work and
+ *    force-degrades Standard work (QuantDitto mode, step count
+ *    clamped to shedSteps); it releases only below shedLowWater.
+ *  - Observability: per-class latency histograms and lifecycle
+ *    counters (serve/metrics.h), exported as JSON.
+ *  - Fault injection: deterministic delay/failure hooks on the whole
+ *    request path (serve/faultpoints.h) drive the lifecycle tests.
+ *
+ * Batch formation stays deadline-aware (max-wait windows) and batching
+ * continuous; results are bitwise identical to sequential rollouts
+ * regardless of batch composition, admission order, preemption
+ * schedule, worker count or thread count (docs/serving.md).
  */
 #ifndef DITTO_SERVE_SERVER_H
 #define DITTO_SERVE_SERVER_H
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -31,10 +52,10 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "serve/batch_rollout.h"
+#include "serve/metrics.h"
 #include "serve/request.h"
 
 namespace ditto {
@@ -55,14 +76,68 @@ struct ServerConfig
     /** Worker threads, one engine each (DITTO_SERVE_WORKERS). */
     int workers = 1;
 
+    /**
+     * Most requests allowed to wait in the class queues
+     * (DITTO_SERVE_QUEUE_CAP). Running and parked requests don't
+     * count. Beyond it submit() rejects (or blocks, below) — the
+     * server's memory is bounded no matter the arrival rate.
+     */
+    int64_t queueCapacity = 64;
+
+    /**
+     * Backpressure mode (DITTO_SERVE_ADMIT_BLOCK_US): 0 rejects a
+     * submit against a full queue immediately; > 0 blocks the caller
+     * up to this many microseconds for space first, then rejects.
+     */
+    int64_t admitBlockMicros = 0;
+
+    /**
+     * Queue depth at which the load watcher starts shedding
+     * (DITTO_SERVE_SHED_HIGH); 0 derives 3/4 of queueCapacity.
+     */
+    int64_t shedHighWater = 0;
+
+    /**
+     * Queue depth at which shedding is released
+     * (DITTO_SERVE_SHED_LOW); 0 derives 1/4 of queueCapacity. The gap
+     * to shedHighWater is the hysteresis band.
+     */
+    int64_t shedLowWater = 0;
+
+    /**
+     * Step count force-degraded Standard requests are clamped to
+     * while shedding (DITTO_SERVE_SHED_STEPS).
+     */
+    int shedSteps = 2;
+
     /** Defaults with the DITTO_SERVE_* environment overrides applied. */
     static ServerConfig fromEnv();
+
+    /** shedHighWater with the 0-derivation applied. */
+    int64_t
+    effectiveShedHigh() const
+    {
+        return shedHighWater > 0 ? shedHighWater
+                                 : std::max<int64_t>(1, queueCapacity * 3 / 4);
+    }
+
+    /** shedLowWater with the 0-derivation applied. */
+    int64_t
+    effectiveShedLow() const
+    {
+        const int64_t low =
+            shedLowWater > 0 ? shedLowWater : queueCapacity / 4;
+        return std::min(low, effectiveShedHigh() - 1);
+    }
 };
 
-/** Aggregate serving counters (monotonic since construction). */
+/**
+ * Aggregate serving counters (monotonic since construction). The
+ * richer per-class surface lives in DenoiseServer::metrics().
+ */
 struct ServerStats
 {
-    uint64_t submitted = 0;    //!< requests accepted by submit()
+    uint64_t submitted = 0;    //!< requests accepted into the queue
     uint64_t completed = 0;    //!< results delivered to the result map
     uint64_t steps = 0;        //!< forwardBatch calls across engines
     uint64_t stepRequests = 0; //!< sum of batch occupancy over steps
@@ -85,30 +160,70 @@ class DenoiseServer
     explicit DenoiseServer(const CompiledModel &model,
                            ServerConfig cfg = ServerConfig::fromEnv());
 
-    /** Completes all submitted work, then stops the workers. */
+    /** shutdown(), then destroys the result map (unretrieved results
+     *  are dropped). */
     ~DenoiseServer();
 
     DenoiseServer(const DenoiseServer &) = delete;
     DenoiseServer &operator=(const DenoiseServer &) = delete;
 
-    /** Enqueue a request; returns its ticket. */
+    /**
+     * Enqueue a request; returns its ticket. Every submit yields a
+     * retrievable result — a rejected request's result (status
+     * Rejected) is available immediately. Malformed requests (bad
+     * mode/steps/window) and submit() after shutdown() fail loudly
+     * (DITTO_FATAL) in the caller's thread.
+     */
     uint64_t submit(const DenoiseRequest &req);
 
     /**
      * Non-blocking result retrieval: true exactly once per finished
-     * ticket, moving the result into *out. Unknown or already-consumed
-     * tickets fail loudly instead of returning false forever.
+     * ticket, moving the result into *out. A ticket that was never
+     * issued or whose result was already consumed fails loudly
+     * (DITTO_FATAL) instead of returning false forever.
      */
     bool poll(uint64_t id, DenoiseResult *out);
 
     /**
-     * Block until ticket `id` finishes and return its result. Asserts
-     * (instead of deadlocking) on a ticket that was never issued or
-     * whose result was already retrieved.
+     * Block until ticket `id` reaches a terminal state and return its
+     * result. Fails loudly (DITTO_FATAL, instead of deadlocking) on a
+     * ticket that was never issued or already consumed — including a
+     * concurrent poll()/wait() racing on the same ticket.
      */
     DenoiseResult wait(uint64_t id);
 
+    /**
+     * Request cancellation in any lifecycle state. Queued and parked
+     * requests cancel synchronously; a running request is flagged and
+     * evicted at the next step boundary (if it completes its final
+     * step first, the result stays Done — the terminal status is
+     * authoritative). Returns false for unknown/consumed tickets and
+     * for requests already in a terminal state.
+     */
+    bool cancel(uint64_t id);
+
+    /**
+     * Current lifecycle state of a ticket. Terminal states are
+     * reported until the result is consumed; an unknown or consumed
+     * ticket fails loudly.
+     */
+    RequestStatus queryState(uint64_t id) const;
+
+    /**
+     * Stop accepting work, finish everything already accepted
+     * (queued, running and parked requests all reach a terminal
+     * state), and join the workers. Idempotent; called by the
+     * destructor. Results stay retrievable afterwards.
+     */
+    void shutdown();
+
     ServerStats stats() const;
+
+    /** Consistent snapshot of the full metrics surface. */
+    ServeMetrics metrics() const;
+
+    /** metrics().toJson() — the machine-readable export. */
+    std::string metricsJson() const;
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -120,29 +235,71 @@ class DenoiseServer
         Clock::time_point submitted;
     };
 
-    /** Timing carried through an engine alongside its slots. */
-    struct InFlight
+    /** Server-side lifecycle record, alive until the result is consumed. */
+    struct Ticket
     {
+        RequestStatus state = RequestStatus::Queued;
+        SloClass slo = SloClass::Standard;
+        bool cancelRequested = false;
+        bool degraded = false;
+        int preemptions = 0;
         Clock::time_point submitted;
-        Clock::time_point admitted;
+        Clock::time_point admitted;  //!< first admission (valid once
+                                     //!< state has left Queued)
+        Clock::time_point deadline;  //!< time_point::max(): none
+    };
+
+    /** A parked (preempted) request waiting to resume. */
+    struct ParkedEntry
+    {
+        BatchEngine::Parked state;
+        SloClass slo = SloClass::Standard;
+        Clock::time_point parkedAt;
+    };
+
+    /** One admission candidate popped from the queues or parked pool. */
+    struct Candidate
+    {
+        bool fromParked = false;
+        Pending pending;    //!< valid when !fromParked
+        ParkedEntry parked; //!< valid when fromParked
     };
 
     void workerLoop();
+
+    /** `base + micros`, saturating at Clock::time_point::max(). */
+    static Clock::time_point deadlineAfter(Clock::time_point base,
+                                           int64_t micros);
+
+    // All *Locked helpers require mutex_ held.
+    bool haveWorkLocked() const;
+    int64_t queueDepthLocked() const;
+    void updateShedLocked();
+    SloClass bestWaitingClassLocked(bool *any) const;
+    bool popCandidateLocked(Candidate *out);
+    void finalizeLocked(uint64_t id, RequestStatus status,
+                        DenoiseResult &&result);
+    void finalizeEmptyLocked(uint64_t id, RequestStatus status);
+    DenoiseResult makeResultLocked(uint64_t id) const;
+    int effectiveSteps(const DenoiseRequest &req) const;
 
     const CompiledModel &model_;
     const ServerConfig cfg_;
 
     mutable std::mutex mutex_;
-    std::condition_variable workAvailable_; //!< queue -> workers
-    std::condition_variable resultReady_;   //!< results -> waiters
-    std::deque<Pending> queue_;
+    std::condition_variable workAvailable_;  //!< queue -> workers
+    std::condition_variable resultReady_;    //!< results -> waiters
+    std::condition_variable spaceAvailable_; //!< queue -> blocked submits
+    std::array<std::deque<Pending>, kNumSloClasses> queues_;
+    std::deque<ParkedEntry> parked_;
+    std::unordered_map<uint64_t, Ticket> tickets_;
     std::unordered_map<uint64_t, DenoiseResult> results_;
-    std::unordered_map<uint64_t, InFlight> inFlight_;
-    /** Issued but not yet retrieved (poll/wait validity checks). */
-    std::unordered_set<uint64_t> outstanding_;
     ServerStats stats_;
+    ServeMetrics metrics_;
     uint64_t nextId_ = 1;
-    bool stopping_ = false;
+    bool shedding_ = false;
+    bool stopping_ = false; //!< drain mode: shutdown() in progress
+    bool shutdown_ = false; //!< workers joined; submit() is an error
 
     std::vector<std::thread> workers_;
 };

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "core/diff_linear.h"
@@ -21,6 +23,7 @@
 #include "quant/encoder.h"
 #include "runtime/presets.h"
 #include "serve/batch_rollout.h"
+#include "serve/faultpoints.h"
 #include "serve/server.h"
 #include "tensor/ops.h"
 
@@ -423,6 +426,685 @@ TEST(ServerTest, JunctionSpecSlotReuseStaysBitwise)
                           reqs[i].steps);
         expectBitwiseEqual(seq.finalImage, res.image);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Serving hardening: lifecycle edges, cancellation, deadlines,
+// preemption parity, admission control, shedding, fault injection and
+// the metrics surface.
+// ---------------------------------------------------------------------------
+
+/** Disarms every fault point when a test scope ends. */
+struct FaultGuard
+{
+    ~FaultGuard() { faults::reset(); }
+};
+
+/**
+ * A small single-engine config with shedding watermarks parked far
+ * away, so lifecycle tests see only the behavior they arrange.
+ */
+ServerConfig
+quietConfig()
+{
+    ServerConfig cfg;
+    cfg.maxBatch = 1;
+    cfg.maxWaitMicros = 0;
+    cfg.workers = 1;
+    cfg.queueCapacity = 100;
+    cfg.shedHighWater = 90;
+    cfg.shedLowWater = 10;
+    return cfg;
+}
+
+/** Poll `pred` until true; false after a 30s wall-clock budget. */
+template <typename Pred>
+bool
+spinUntil(Pred pred)
+{
+    const auto limit = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(30);
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > limit)
+            return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    return true;
+}
+
+const FloatTensor
+referenceImage(RunMode mode, uint64_t seed, int steps)
+{
+    return testNet()
+        .rollout(mode, testNet().requestNoise(seed), steps)
+        .finalImage;
+}
+
+TEST(ServerDeathTest, SubmitAfterShutdownFailsLoudly)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    DenoiseServer server(testNet().compiled(), quietConfig());
+    server.shutdown();
+    EXPECT_EXIT(server.submit(DenoiseRequest{}),
+                testing::ExitedWithCode(1), "submit after");
+}
+
+TEST(ServerDeathTest, DoubleWaitFailsLoudly)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    DenoiseServer server(testNet().compiled(), quietConfig());
+    DenoiseRequest req;
+    req.seed = 1;
+    req.steps = 1;
+    const uint64_t id = server.submit(req);
+    (void)server.wait(id);
+    EXPECT_EXIT(server.wait(id), testing::ExitedWithCode(1),
+                "already-consumed");
+}
+
+TEST(ServerDeathTest, PollUnknownTicketFailsLoudly)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    DenoiseServer server(testNet().compiled(), quietConfig());
+    DenoiseResult out;
+    EXPECT_EXIT(server.poll(12345, &out), testing::ExitedWithCode(1),
+                "unknown");
+    EXPECT_EXIT(server.queryState(12345), testing::ExitedWithCode(1),
+                "unknown");
+}
+
+TEST(ServerDeathTest, MalformedRequestFailsLoudly)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    DenoiseServer server(testNet().compiled(), quietConfig());
+    DenoiseRequest fp32;
+    fp32.mode = RunMode::Fp32;
+    EXPECT_EXIT(server.submit(fp32), testing::ExitedWithCode(1),
+                "quantized");
+    DenoiseRequest bad_deadline;
+    bad_deadline.deadlineMicros = -2;
+    EXPECT_EXIT(server.submit(bad_deadline), testing::ExitedWithCode(1),
+                "deadlineMicros");
+}
+
+TEST(FaultPointsDeathTest, MalformedSpecFailsLoudly)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(faults::configure("bogus"), testing::ExitedWithCode(1),
+                "fault spec");
+    EXPECT_EXIT(faults::configure("step_end:fail:every=1"),
+                testing::ExitedWithCode(1), "only meaningful");
+    EXPECT_EXIT(faults::configure("submit:delay:every=0:10"),
+                testing::ExitedWithCode(1), "bad schedule");
+}
+
+TEST(LifecycleTest, CancelWorksInQueuedAndRunningStates)
+{
+    const MiniUnet &net = testNet();
+    DenoiseServer server(net.compiled(), quietConfig());
+    DenoiseRequest busy;
+    busy.seed = 30;
+    busy.steps = 400;
+    busy.slo = SloClass::Interactive; // nothing may preempt it
+    const uint64_t a = server.submit(busy);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+
+    DenoiseRequest queued;
+    queued.seed = 31;
+    const uint64_t b = server.submit(queued);
+    EXPECT_EQ(server.queryState(b), RequestStatus::Queued);
+    EXPECT_TRUE(server.cancel(b));
+    const DenoiseResult rb = server.wait(b);
+    EXPECT_EQ(rb.status, RequestStatus::Cancelled);
+    EXPECT_EQ(rb.steps, 0);
+    EXPECT_EQ(rb.serviceMicros, 0.0);
+    EXPECT_FALSE(server.cancel(b)); // consumed: unknown ticket
+
+    EXPECT_TRUE(server.cancel(a)); // running: evicted between steps
+    const DenoiseResult ra = server.wait(a);
+    EXPECT_EQ(ra.status, RequestStatus::Cancelled);
+    EXPECT_GT(ra.steps, 0);
+    EXPECT_LT(ra.steps, 400);
+
+    const ServeMetrics m = server.metrics();
+    EXPECT_EQ(m.total(&ClassMetrics::cancelled), 2u);
+}
+
+TEST(LifecycleTest, PreemptionParksLowerClassAndParkedCancelWorks)
+{
+    const MiniUnet &net = testNet();
+    DenoiseServer server(net.compiled(), quietConfig());
+    DenoiseRequest low;
+    low.seed = 35;
+    low.steps = 400;
+    low.slo = SloClass::BestEffort;
+    const uint64_t a = server.submit(low);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+
+    DenoiseRequest high;
+    high.seed = 36;
+    high.steps = 3;
+    high.slo = SloClass::Interactive;
+    const uint64_t i = server.submit(high);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Parked;
+    }));
+
+    EXPECT_TRUE(server.cancel(a));
+    const DenoiseResult ra = server.wait(a);
+    EXPECT_EQ(ra.status, RequestStatus::Cancelled);
+    EXPECT_EQ(ra.preemptions, 1);
+    EXPECT_GT(ra.steps, 0);
+    EXPECT_LT(ra.steps, 400);
+
+    const DenoiseResult ri = server.wait(i);
+    EXPECT_EQ(ri.status, RequestStatus::Done);
+    expectBitwiseEqual(referenceImage(RunMode::QuantDitto, 36, 3),
+                       ri.image);
+
+    const ServeMetrics m = server.metrics();
+    EXPECT_EQ(m.perClass[static_cast<size_t>(SloClass::BestEffort)]
+                  .preempted,
+              1u);
+}
+
+TEST(LifecycleTest, ShutdownDrainsParkedRequestsToCompletion)
+{
+    const MiniUnet &net = testNet();
+    DenoiseServer server(net.compiled(), quietConfig());
+    DenoiseRequest low;
+    low.seed = 40;
+    low.steps = 60;
+    low.slo = SloClass::BestEffort;
+    const uint64_t a = server.submit(low);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+    DenoiseRequest high;
+    high.seed = 41;
+    high.steps = 40;
+    high.slo = SloClass::Interactive;
+    const uint64_t i = server.submit(high);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Parked;
+    }));
+
+    server.shutdown(); // drains: resumes and finishes the parked work
+
+    const DenoiseResult ra = server.wait(a);
+    EXPECT_EQ(ra.status, RequestStatus::Done);
+    EXPECT_GE(ra.preemptions, 1);
+    EXPECT_EQ(ra.steps, 60);
+    expectBitwiseEqual(referenceImage(RunMode::QuantDitto, 40, 60),
+                       ra.image);
+    const DenoiseResult ri = server.wait(i);
+    EXPECT_EQ(ri.status, RequestStatus::Done);
+    expectBitwiseEqual(referenceImage(RunMode::QuantDitto, 41, 40),
+                       ri.image);
+}
+
+TEST(PreemptResume, ResumedRolloutsAreBitwiseIdentical)
+{
+    const MiniUnet &net = testNet();
+    for (RunMode mode : {RunMode::QuantDitto, RunMode::QuantDirect}) {
+        for (int64_t max_batch : {int64_t{1}, int64_t{2}}) {
+            ServerConfig cfg = quietConfig();
+            cfg.maxBatch = max_batch;
+            DenoiseServer server(net.compiled(), cfg);
+            // Fill the engine with low-class work ...
+            std::vector<uint64_t> low;
+            for (int64_t j = 0; j < max_batch; ++j) {
+                DenoiseRequest req;
+                req.seed = 800 + static_cast<uint64_t>(j);
+                req.steps = 60;
+                req.mode = mode;
+                req.slo = SloClass::BestEffort;
+                low.push_back(server.submit(req));
+            }
+            ASSERT_TRUE(spinUntil([&] {
+                for (uint64_t id : low)
+                    if (server.queryState(id) != RequestStatus::Running)
+                        return false;
+                return true;
+            }));
+            // ... then preempt all of it with high-class work.
+            std::vector<uint64_t> high;
+            for (int64_t j = 0; j < max_batch; ++j) {
+                DenoiseRequest req;
+                req.seed = 900 + static_cast<uint64_t>(j);
+                req.steps = 5;
+                req.mode = mode;
+                req.slo = SloClass::Interactive;
+                high.push_back(server.submit(req));
+            }
+            for (size_t j = 0; j < high.size(); ++j) {
+                const DenoiseResult r = server.wait(high[j]);
+                ASSERT_EQ(r.status, RequestStatus::Done);
+                expectBitwiseEqual(
+                    referenceImage(mode, 900 + j, 5), r.image);
+            }
+            for (size_t j = 0; j < low.size(); ++j) {
+                const DenoiseResult r = server.wait(low[j]);
+                ASSERT_EQ(r.status, RequestStatus::Done);
+                EXPECT_GE(r.preemptions, 1)
+                    << "mode " << static_cast<int>(mode) << " batch "
+                    << max_batch << " slot " << j;
+                EXPECT_EQ(r.steps, 60);
+                // The hardening guarantee: a parked-and-resumed
+                // rollout is bit-identical to an uninterrupted one.
+                expectBitwiseEqual(
+                    referenceImage(mode, 800 + j, 60), r.image);
+            }
+        }
+    }
+}
+
+TEST(PreemptResume, ParityAcrossWorkerAndThreadCounts)
+{
+    const MiniUnet &net = testNet();
+    setThreadCount(3);
+    ServerConfig cfg = quietConfig();
+    cfg.workers = 3; // three single-slot engines; parked work may
+    cfg.maxBatch = 1; // resume on a different engine than it left
+    DenoiseServer server(net.compiled(), cfg);
+    std::vector<uint64_t> low;
+    for (uint64_t j = 0; j < 3; ++j) {
+        DenoiseRequest req;
+        req.seed = 820 + j;
+        req.steps = 60;
+        req.mode = j == 1 ? RunMode::QuantDirect : RunMode::QuantDitto;
+        req.slo = SloClass::BestEffort;
+        low.push_back(server.submit(req));
+    }
+    ASSERT_TRUE(spinUntil([&] {
+        for (uint64_t id : low)
+            if (server.queryState(id) != RequestStatus::Running)
+                return false;
+        return true;
+    }));
+    std::vector<uint64_t> high;
+    for (uint64_t j = 0; j < 3; ++j) {
+        DenoiseRequest req;
+        req.seed = 920 + j;
+        req.steps = 4;
+        req.slo = SloClass::Interactive;
+        high.push_back(server.submit(req));
+    }
+    for (size_t j = 0; j < high.size(); ++j) {
+        const DenoiseResult r = server.wait(high[j]);
+        ASSERT_EQ(r.status, RequestStatus::Done);
+        expectBitwiseEqual(
+            referenceImage(RunMode::QuantDitto, 920 + j, 4), r.image);
+    }
+    for (size_t j = 0; j < low.size(); ++j) {
+        const DenoiseResult r = server.wait(low[j]);
+        ASSERT_EQ(r.status, RequestStatus::Done);
+        const RunMode mode =
+            j == 1 ? RunMode::QuantDirect : RunMode::QuantDitto;
+        expectBitwiseEqual(referenceImage(mode, 820 + j, 60), r.image);
+    }
+    setThreadCount(1);
+}
+
+TEST(DeadlineTest, ZeroBudgetTimesOutAtTheFirstCheckpoint)
+{
+    const MiniUnet &net = testNet();
+    DenoiseServer server(net.compiled(), quietConfig());
+    DenoiseRequest req;
+    req.seed = 50;
+    req.deadlineMicros = 0; // legal: expires at the first checkpoint
+    const DenoiseResult r = server.wait(server.submit(req));
+    EXPECT_EQ(r.status, RequestStatus::TimedOut);
+    EXPECT_EQ(r.steps, 0);
+
+    // The server survives and a deadline with headroom completes.
+    DenoiseRequest ok;
+    ok.seed = 51;
+    ok.steps = 3;
+    ok.deadlineMicros = 60'000'000;
+    const DenoiseResult r2 = server.wait(server.submit(ok));
+    EXPECT_EQ(r2.status, RequestStatus::Done);
+    expectBitwiseEqual(referenceImage(RunMode::QuantDitto, 51, 3),
+                       r2.image);
+    EXPECT_EQ(server.metrics().total(&ClassMetrics::timedOut), 1u);
+}
+
+TEST(DeadlineTest, QueuedRequestTimesOutWhileTheEngineIsBusy)
+{
+    const MiniUnet &net = testNet();
+    DenoiseServer server(net.compiled(), quietConfig());
+    DenoiseRequest busy;
+    busy.seed = 55;
+    busy.steps = 400;
+    busy.slo = SloClass::Interactive;
+    const uint64_t a = server.submit(busy);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+    DenoiseRequest doomed;
+    doomed.seed = 56;
+    doomed.deadlineMicros = 1000; // 1ms; the 400-step run outlasts it
+    const DenoiseResult r = server.wait(server.submit(doomed));
+    EXPECT_EQ(r.status, RequestStatus::TimedOut);
+    EXPECT_EQ(r.steps, 0);
+    server.cancel(a);
+}
+
+TEST(DeadlineTest, ParkedRequestTimesOutUnderInjectedStepDelay)
+{
+    FaultGuard guard;
+    // Pin every step to >= 2ms so the wall-clock arithmetic below is
+    // schedule-independent: the high-class run alone outlasts the
+    // low-class deadline.
+    faults::configure("step_begin:delay:every=1:2000");
+    const MiniUnet &net = testNet();
+    DenoiseServer server(net.compiled(), quietConfig());
+    DenoiseRequest low;
+    low.seed = 60;
+    low.steps = 400;
+    low.slo = SloClass::BestEffort;
+    low.deadlineMicros = 100'000; // 100ms
+    const uint64_t a = server.submit(low);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+    DenoiseRequest high;
+    high.seed = 61;
+    high.steps = 100; // >= 200ms of injected delay
+    high.slo = SloClass::Interactive;
+    const uint64_t i = server.submit(high);
+    const DenoiseResult ra = server.wait(a);
+    EXPECT_EQ(ra.status, RequestStatus::TimedOut);
+    EXPECT_EQ(ra.preemptions, 1);
+    EXPECT_GT(ra.steps, 0);
+    EXPECT_LT(ra.steps, 400);
+    const DenoiseResult ri = server.wait(i);
+    EXPECT_EQ(ri.status, RequestStatus::Done);
+    expectBitwiseEqual(referenceImage(RunMode::QuantDitto, 61, 100),
+                       ri.image);
+}
+
+TEST(FaultPointsTest, SubmitFailScheduleRejectsDeterministically)
+{
+    FaultGuard guard;
+    faults::configure("submit:fail:every=2");
+    const MiniUnet &net = testNet();
+    DenoiseServer server(net.compiled(), quietConfig());
+    std::vector<uint64_t> ids;
+    for (uint64_t s = 0; s < 4; ++s) {
+        DenoiseRequest req;
+        req.seed = 70 + s;
+        req.steps = 2;
+        ids.push_back(server.submit(req));
+    }
+    const RequestStatus expected[4] = {
+        RequestStatus::Done, RequestStatus::Rejected,
+        RequestStatus::Done, RequestStatus::Rejected};
+    for (size_t s = 0; s < ids.size(); ++s) {
+        const DenoiseResult r = server.wait(ids[s]);
+        EXPECT_EQ(r.status, expected[s]) << "submit " << s;
+    }
+    EXPECT_EQ(faults::hitCount(faults::Point::Submit), 4u);
+    EXPECT_EQ(server.metrics().total(&ClassMetrics::rejectedFault), 2u);
+}
+
+TEST(FaultPointsTest, AdmissionFailRejectsAfterQueueing)
+{
+    FaultGuard guard;
+    faults::configure("admission:fail:every=1");
+    const MiniUnet &net = testNet();
+    DenoiseServer server(net.compiled(), quietConfig());
+    DenoiseRequest req;
+    req.seed = 75;
+    const DenoiseResult r = server.wait(server.submit(req));
+    EXPECT_EQ(r.status, RequestStatus::Rejected);
+    const ServeMetrics m = server.metrics();
+    EXPECT_EQ(m.total(&ClassMetrics::submitted), 1u);
+    EXPECT_EQ(m.total(&ClassMetrics::admitted), 0u);
+    EXPECT_EQ(m.total(&ClassMetrics::rejectedFault), 1u);
+}
+
+TEST(FaultPointsTest, SeededDelaysLeaveEveryResultBitwise)
+{
+    FaultGuard guard;
+    faults::configure("step_begin:delay:prob=0.5:300;"
+                      "step_end:delay:prob=0.5:300;"
+                      "batch_form:delay:every=2:1000;"
+                      "submit:delay:every=3:500;"
+                      "park:delay:every=1:200;"
+                      "resume:delay:every=1:200",
+                      1234);
+    const MiniUnet &net = testNet();
+    ServerConfig cfg = quietConfig();
+    cfg.maxBatch = 2;
+    cfg.workers = 2;
+    cfg.maxWaitMicros = 500;
+    DenoiseServer server(net.compiled(), cfg);
+    std::vector<uint64_t> ids;
+    std::vector<DenoiseRequest> reqs;
+    for (uint64_t s = 0; s < 6; ++s) {
+        DenoiseRequest req;
+        req.seed = 80 + s;
+        req.steps = 3 + static_cast<int>(s % 3);
+        req.mode =
+            s % 3 == 2 ? RunMode::QuantDirect : RunMode::QuantDitto;
+        req.slo = static_cast<SloClass>(s % kNumSloClasses);
+        reqs.push_back(req);
+        ids.push_back(server.submit(req));
+    }
+    for (size_t s = 0; s < ids.size(); ++s) {
+        const DenoiseResult r = server.wait(ids[s]);
+        ASSERT_EQ(r.status, RequestStatus::Done);
+        expectBitwiseEqual(
+            referenceImage(reqs[s].mode, reqs[s].seed, reqs[s].steps),
+            r.image);
+    }
+    EXPECT_GT(faults::hitCount(faults::Point::StepBegin), 0u);
+}
+
+TEST(AdmissionTest, BoundedQueueRejectsWhenFull)
+{
+    const MiniUnet &net = testNet();
+    ServerConfig cfg = quietConfig();
+    cfg.queueCapacity = 2;
+    cfg.shedHighWater = 50; // keep shedding out of this test
+    cfg.shedLowWater = 10;
+    DenoiseServer server(net.compiled(), cfg);
+    DenoiseRequest busy;
+    busy.seed = 90;
+    busy.steps = 400;
+    busy.slo = SloClass::Interactive;
+    const uint64_t a = server.submit(busy);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+    DenoiseRequest req;
+    req.seed = 91;
+    const uint64_t b1 = server.submit(req);
+    req.seed = 92;
+    const uint64_t b2 = server.submit(req);
+    req.seed = 93;
+    const uint64_t d = server.submit(req); // queue full: rejected
+    EXPECT_EQ(server.queryState(d), RequestStatus::Rejected);
+    const DenoiseResult rd = server.wait(d);
+    EXPECT_EQ(rd.status, RequestStatus::Rejected);
+    const ServeMetrics m = server.metrics();
+    EXPECT_EQ(m.total(&ClassMetrics::rejectedCapacity), 1u);
+    EXPECT_EQ(m.queueDepth, 2u);
+    server.cancel(a);
+    server.cancel(b1);
+    server.cancel(b2);
+}
+
+TEST(AdmissionTest, BlockingSubmitRejectsAfterItsBudget)
+{
+    const MiniUnet &net = testNet();
+    ServerConfig cfg = quietConfig();
+    cfg.queueCapacity = 1;
+    cfg.admitBlockMicros = 100'000; // 100ms of backpressure
+    cfg.shedHighWater = 50;
+    cfg.shedLowWater = 10;
+    DenoiseServer server(net.compiled(), cfg);
+    DenoiseRequest busy;
+    busy.seed = 95;
+    busy.steps = 2000;
+    busy.slo = SloClass::Interactive;
+    const uint64_t a = server.submit(busy);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+    DenoiseRequest req;
+    req.seed = 96;
+    const uint64_t b = server.submit(req); // fills the queue
+    const auto t0 = std::chrono::steady_clock::now();
+    req.seed = 97;
+    const uint64_t c = server.submit(req); // blocks, then rejects
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_EQ(server.queryState(c), RequestStatus::Rejected);
+    EXPECT_GE(waited, 0.05); // it really blocked for the budget
+    server.cancel(a);
+    server.cancel(b);
+    (void)server.wait(c);
+}
+
+TEST(AdmissionTest, BlockingSubmitAdmitsWhenSpaceFreesUp)
+{
+    FaultGuard guard;
+    faults::configure("step_begin:delay:every=1:1000");
+    const MiniUnet &net = testNet();
+    ServerConfig cfg = quietConfig();
+    cfg.queueCapacity = 1;
+    cfg.admitBlockMicros = 20'000'000; // far beyond the busy run
+    cfg.shedHighWater = 50;
+    cfg.shedLowWater = 10;
+    DenoiseServer server(net.compiled(), cfg);
+    DenoiseRequest busy;
+    busy.seed = 100;
+    busy.steps = 20; // ~20ms under the injected step delay
+    busy.slo = SloClass::Interactive;
+    const uint64_t a = server.submit(busy);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+    DenoiseRequest req;
+    req.seed = 101;
+    req.steps = 2;
+    const uint64_t b = server.submit(req); // fills the queue
+    req.seed = 102;
+    const uint64_t c = server.submit(req); // blocks until b is admitted
+    for (uint64_t id : {a, b, c}) {
+        const DenoiseResult r = server.wait(id);
+        EXPECT_EQ(r.status, RequestStatus::Done);
+    }
+    EXPECT_EQ(server.metrics().total(&ClassMetrics::rejectedCapacity),
+              0u);
+}
+
+TEST(ShedTest, OverloadShedsByClassWithHysteresis)
+{
+    const MiniUnet &net = testNet();
+    ServerConfig cfg = quietConfig();
+    cfg.queueCapacity = 100;
+    cfg.shedHighWater = 4;
+    cfg.shedLowWater = 1;
+    cfg.shedSteps = 2;
+    DenoiseServer server(net.compiled(), cfg);
+    DenoiseRequest busy;
+    busy.seed = 110;
+    busy.steps = 500;
+    busy.slo = SloClass::Interactive; // nothing preempts it
+    const uint64_t a = server.submit(busy);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+    // Queue four Standard requests: depth reaches the high watermark.
+    std::vector<uint64_t> backlog;
+    for (uint64_t s = 0; s < 4; ++s) {
+        DenoiseRequest req;
+        req.seed = 111 + s;
+        req.steps = 3;
+        backlog.push_back(server.submit(req));
+    }
+    // Shedding engages: Standard is force-degraded ...
+    DenoiseRequest std_req;
+    std_req.seed = 120;
+    std_req.steps = 4;
+    std_req.mode = RunMode::QuantDirect; // degraded to QuantDitto
+    const uint64_t deg = server.submit(std_req);
+    // ... and BestEffort is rejected outright.
+    DenoiseRequest be_req;
+    be_req.seed = 121;
+    be_req.slo = SloClass::BestEffort;
+    const uint64_t shed = server.submit(be_req);
+    EXPECT_EQ(server.queryState(shed), RequestStatus::Rejected);
+    EXPECT_EQ(server.wait(shed).status, RequestStatus::Rejected);
+
+    server.cancel(a); // release the engine and drain the backlog
+    for (uint64_t id : backlog)
+        EXPECT_EQ(server.wait(id).status, RequestStatus::Done);
+    const DenoiseResult rdeg = server.wait(deg);
+    EXPECT_EQ(rdeg.status, RequestStatus::Done);
+    EXPECT_TRUE(rdeg.degraded);
+    EXPECT_EQ(rdeg.steps, 2); // clamped to shedSteps
+    // Degraded execution is still exact: bitwise the 2-step QuantDitto
+    // rollout of the same seed.
+    expectBitwiseEqual(referenceImage(RunMode::QuantDitto, 120, 2),
+                       rdeg.image);
+
+    const ServeMetrics m = server.metrics();
+    EXPECT_EQ(m.perClass[static_cast<size_t>(SloClass::BestEffort)]
+                  .rejectedShed,
+              1u);
+    EXPECT_EQ(
+        m.perClass[static_cast<size_t>(SloClass::Standard)].degraded,
+        1u);
+    EXPECT_EQ(m.shedEntered, 1u);
+    EXPECT_EQ(m.shedExited, 1u); // hysteresis released on drain
+    EXPECT_FALSE(m.shedding);
+    EXPECT_GE(m.queueDepthPeak, 5u);
+
+    // Out of overload, BestEffort is served again.
+    DenoiseRequest ok;
+    ok.seed = 122;
+    ok.steps = 2;
+    ok.slo = SloClass::BestEffort;
+    EXPECT_EQ(server.wait(server.submit(ok)).status,
+              RequestStatus::Done);
+}
+
+TEST(MetricsTest, JsonExportCoversTheDocumentedSurface)
+{
+    const MiniUnet &net = testNet();
+    DenoiseServer server(net.compiled(), quietConfig());
+    for (uint64_t s = 0; s < 2; ++s) {
+        DenoiseRequest req;
+        req.seed = 130 + s;
+        req.steps = 2;
+        (void)server.wait(server.submit(req));
+    }
+    const std::string json = server.metricsJson();
+    for (const char *key :
+         {"\"classes\"", "\"interactive\"", "\"standard\"",
+          "\"best_effort\"", "\"p50_us\"", "\"p95_us\"", "\"p99_us\"",
+          "\"queue_depth\"", "\"shedding\":false", "\"steps\"",
+          "\"avg_occupancy\"", "\"preempted\"", "\"rejected_capacity\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    const ServeMetrics m = server.metrics();
+    EXPECT_EQ(m.total(&ClassMetrics::completed), 2u);
+    EXPECT_EQ(m.total(&ClassMetrics::submitted), 2u);
+    const ClassMetrics &std_class =
+        m.perClass[static_cast<size_t>(SloClass::Standard)];
+    EXPECT_EQ(std_class.e2eUs.count(), 2u);
+    EXPECT_GT(std_class.e2eUs.meanUs(), 0.0);
+    EXPECT_GE(std_class.e2eUs.percentileUs(0.95),
+              std_class.e2eUs.percentileUs(0.50));
 }
 
 } // namespace

@@ -9,8 +9,16 @@ spec — the end-to-end speedup Ditto difference processing delivers —
 and flags specs whose fresh ratio fell more than --tolerance below the
 baseline ratio.
 
+Also warn-gates the serving-latency families (BM_ServeLatency /
+BM_ServeOverload): their p95_us counters are compared row by row
+against the baseline and flagged when they rose more than
+--serve-tolerance above it. Serving p95 on a shared runner is even
+noisier than a throughput ratio, so these rows never exit non-zero —
+not even under --strict; the comparison is informational.
+
 Warn-only by default (exit 0, suitable for a CI gate that must not
-block on shared-runner noise); --strict exits 1 on any regression.
+block on shared-runner noise); --strict exits 1 on any rollout-ratio
+regression.
 
     python3 tools/check_bench_regression.py \
         --baseline BENCH_kernels.json \
@@ -22,6 +30,7 @@ import json
 import sys
 
 FAMILY = "BM_CompiledRollout"
+SERVE_FAMILIES = ("BM_ServeLatency", "BM_ServeOverload")
 
 
 def rollout_ratios(record):
@@ -42,6 +51,36 @@ def rollout_ratios(record):
     return ratios
 
 
+def serve_p95(record):
+    """Map serve-family row name -> its p95_us counter."""
+    rows = {}
+    for bench in record.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith(SERVE_FAMILIES):
+            continue
+        if "p95_us" in bench:
+            rows[name] = float(bench["p95_us"])
+    return rows
+
+
+def check_serve_latency(base, fresh, tolerance):
+    """Warn (never fail) on serve p95 rows above baseline + tolerance."""
+    if not fresh:
+        return
+    print("serving p95 (warn-only):")
+    for name in sorted(fresh):
+        p95 = fresh[name]
+        if name not in base:
+            print(f"  {name:<28} p95 {p95:10.0f} us "
+                  "(no baseline row - new bench)")
+            continue
+        ceiling = base[name] * (1.0 + tolerance)
+        verdict = "ok" if p95 <= ceiling else "WARN: above ceiling"
+        print(f"  {name:<28} p95 {p95:10.0f} us (baseline "
+              f"{base[name]:10.0f} us, ceiling {ceiling:10.0f} us) "
+              f"{verdict}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -50,14 +89,23 @@ def main():
                     help="freshly produced BENCH_kernels.json")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed relative ratio drop (default 0.10)")
+    ap.add_argument("--serve-tolerance", type=float, default=0.50,
+                    help="allowed relative serve-p95 rise before a "
+                         "warning (default 0.50)")
     ap.add_argument("--strict", action="store_true",
-                    help="exit non-zero on regressions (default: warn)")
+                    help="exit non-zero on rollout-ratio regressions "
+                         "(default: warn); serve p95 rows always warn")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
-        base = rollout_ratios(json.load(f))
+        base_record = json.load(f)
     with open(args.fresh) as f:
-        fresh = rollout_ratios(json.load(f))
+        fresh_record = json.load(f)
+    base = rollout_ratios(base_record)
+    fresh = rollout_ratios(fresh_record)
+
+    check_serve_latency(serve_p95(base_record), serve_p95(fresh_record),
+                        args.serve_tolerance)
 
     if not fresh:
         print(f"warning: no {FAMILY} rows in {args.fresh}; nothing to "
