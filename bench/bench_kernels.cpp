@@ -33,6 +33,7 @@
 #include "runtime/presets.h"
 #include "serve/server.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 #include "trace/calibrate.h"
 #include "trace/sampler.h"
 
@@ -741,6 +742,8 @@ main(int argc, char **argv)
 {
     benchmark::AddCustomContext("ditto_num_threads",
                                 std::to_string(ditto::threadCount()));
+    benchmark::AddCustomContext(
+        "ditto_simd", ditto::simd::levelName(ditto::simd::activeLevel()));
     bool has_out = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);

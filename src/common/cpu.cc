@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Host CPU feature detection.
+ */
+#include "common/cpu.h"
+
+namespace ditto {
+
+namespace {
+
+CpuFeatures
+detect()
+{
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    // __builtin_cpu_supports consults cpuid *and* the OS-enabled
+    // XCR0 state, so AVX-512 is only reported when zmm state is
+    // actually saved/restored by the kernel.
+    __builtin_cpu_init();
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.avx512 = __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512bw") &&
+               __builtin_cpu_supports("avx512vl");
+    f.avx512vnni = f.avx512 && __builtin_cpu_supports("avx512vnni");
+#elif defined(__aarch64__)
+    // Advanced SIMD is mandatory in AArch64.
+    f.neon = true;
+#endif
+    return f;
+}
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures f = detect();
+    return f;
+}
+
+std::string
+cpuFeatureSummary()
+{
+    const CpuFeatures &f = cpuFeatures();
+    std::string s;
+    auto add = [&s](const char *name) {
+        if (!s.empty())
+            s += ' ';
+        s += name;
+    };
+    if (f.avx2)
+        add("avx2");
+    if (f.avx512)
+        add("avx512");
+    if (f.avx512vnni)
+        add("avx512vnni");
+    if (f.neon)
+        add("neon");
+    if (s.empty())
+        s = "none";
+    return s;
+}
+
+} // namespace ditto

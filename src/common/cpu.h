@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Host CPU feature detection for the runtime SIMD kernel dispatch.
+ *
+ * Detection runs once (first call) and is cached. On x86 the flags
+ * come from GCC/Clang's __builtin_cpu_supports, which already folds in
+ * the OS XSAVE/XGETBV state checks, so a reported feature is actually
+ * usable in user space. On AArch64 Advanced SIMD (NEON) is
+ * architecturally mandatory, so it is reported unconditionally. Every
+ * other architecture reports nothing and the dispatch falls back to
+ * the portable generic kernels.
+ */
+#ifndef DITTO_COMMON_CPU_H
+#define DITTO_COMMON_CPU_H
+
+#include <string>
+
+namespace ditto {
+
+/** User-space-usable SIMD capabilities of the host. */
+struct CpuFeatures
+{
+    bool avx2 = false;
+    /** AVX-512 F + BW + VL together (what the kernels need). */
+    bool avx512 = false;
+    /** AVX-512 VNNI on top of the above (vpdpwssd micro-kernel). */
+    bool avx512vnni = false;
+    bool neon = false;
+};
+
+/** Detected features of this host (detection runs once). */
+const CpuFeatures &cpuFeatures();
+
+/** Human-readable summary, e.g. "avx2 avx512 avx512vnni" or "none". */
+std::string cpuFeatureSummary();
+
+} // namespace ditto
+
+#endif // DITTO_COMMON_CPU_H

@@ -25,6 +25,10 @@ constexpr Knob kKnobs[] = {
      "src/common/parallel.cc",
      "Size of the global parallelFor pool (including the calling "
      "thread). Must be >= 1."},
+    {"DITTO_SIMD", "auto", "src/tensor/simd/dispatch.cc",
+     "SIMD kernel dispatch level: auto, generic, neon, avx2 or "
+     "avx512. Levels the host cannot execute fall back to auto with a "
+     "note on stderr."},
     {"DITTO_CACHE_DIR", ".ditto-cache (in the working directory)",
      "src/trace/calibrate.cc",
      "Directory of the calibrated-scale disk cache."},

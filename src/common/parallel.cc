@@ -5,6 +5,7 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -26,12 +27,17 @@ thread_local bool tls_in_pool_worker = false;
 /**
  * Fixed-size fork-join pool executing one parallelFor job at a time.
  *
- * Chunks are assigned statically: participant `i` runs chunks
- * i, i + T, i + 2T, ... This keeps the job state trivially stable (no
- * work stealing, no shared counters) — a job's fields are only
- * overwritten after every participant has checked out, and chunk
- * boundaries depend only on (begin, end, grain), never on the thread
- * count, so output ranges are partitioned identically at any pool size.
+ * Chunks are claimed dynamically: every participant pulls the next
+ * unclaimed chunk index from a shared atomic counter until the job is
+ * drained. Compared to the static strided assignment this replaces, a
+ * participant that lands on expensive chunks (fringe GEMM panels,
+ * dense diff rows, border conv bands) no longer strands its remaining
+ * share behind it — the other participants absorb it, which is what
+ * the many-core scaling study needed. Chunk boundaries remain a pure
+ * function of (begin, end, grain), never of the thread count or of the
+ * claim order, so output ranges are partitioned identically at any
+ * pool size and the determinism contract is unchanged: which thread
+ * runs a chunk varies, what the chunk computes does not.
  */
 class ThreadPool
 {
@@ -81,15 +87,16 @@ class ThreadPool
             job_.end = end;
             job_.grain = grain;
             job_.chunks = chunks;
+            job_.next.store(0, std::memory_order_relaxed);
             job_.pending = threads_;
             ++job_.epoch;
         }
         wake_.notify_all();
-        // The caller participates as the last worker. Mark it as
+        // The caller participates as a claimant too. Mark it as
         // inside pool work so a parallelFor issued from fn() takes
         // the inline path instead of clobbering the live job.
         tls_in_pool_worker = true;
-        drainAs(threads_ - 1);
+        drain();
         tls_in_pool_worker = false;
 
         std::unique_lock<std::mutex> lock(mutex_);
@@ -105,15 +112,20 @@ class ThreadPool
         int64_t end = 0;
         int64_t grain = 1;
         int64_t chunks = 0;
+        std::atomic<int64_t> next{0}; //!< next unclaimed chunk index
         int pending = 0;    //!< participants not yet checked out
         uint64_t epoch = 0; //!< bumped per job so workers see new work
     };
 
-    /** Execute this participant's strided share, then check out. */
+    /** Claim and execute chunks until none remain, then check out. */
     void
-    drainAs(int id)
+    drain()
     {
-        for (int64_t c = id; c < job_.chunks; c += threads_) {
+        for (;;) {
+            const int64_t c =
+                job_.next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= job_.chunks)
+                break;
             const int64_t lo = job_.begin + c * job_.grain;
             const int64_t hi = std::min(job_.end, lo + job_.grain);
             (*job_.fn)(lo, hi);
@@ -126,7 +138,7 @@ class ThreadPool
     }
 
     void
-    workerLoop(int id)
+    workerLoop(int)
     {
         tls_in_pool_worker = true;
         uint64_t seen_epoch = 0;
@@ -140,7 +152,7 @@ class ThreadPool
                     return;
                 seen_epoch = job_.epoch;
             }
-            drainAs(id);
+            drain();
         }
     }
 
@@ -216,8 +228,18 @@ parallelFor(int64_t begin, int64_t end, const RangeFn &fn)
     const int64_t n = end - begin;
     if (n <= 0)
         return;
-    const int t = threadCount();
-    const int64_t grain = (n + t - 1) / t;
+    // With dynamic chunk claiming, a few chunks per thread lets fast
+    // participants absorb a slow chunk's neighbors; one chunk per
+    // thread (the old sizing) made the slowest chunk the critical
+    // path. Four is enough to smooth the skewed kernel families (diff
+    // rows of very different density, conv border vs interior bands)
+    // without measurable claim overhead — past it the scaling curves
+    // were flat (tools/run_scaling.sh).
+    constexpr int64_t kChunksPerThread = 4;
+    const int64_t t = threadCount();
+    const int64_t grain =
+        std::max<int64_t>(1, (n + t * kChunksPerThread - 1) /
+                                 (t * kChunksPerThread));
     parallelFor(begin, end, grain, fn);
 }
 

@@ -4,14 +4,16 @@
  *
  * The blocked kernels in tensor/kernels.cc split their outermost loop
  * (GEMM row panels, conv batches, norm rows/groups) into index ranges
- * and hand them to parallelFor. With an explicit grain, chunk
- * boundaries are a pure function of (begin, end, grain) — never of the
- * thread count. The grain-less convenience overload sizes chunks from
- * the thread count, so it is only for loops where each index's result
- * is computed entirely within its own iteration (true of every kernel
- * here: integer kernels stay bitwise-identical and float kernels keep
- * a fixed per-output accumulation order at any pool size; the
- * KernelsDeterminism tests assert this).
+ * and hand them to parallelFor. Participants claim chunks dynamically
+ * from a shared counter (load balancing across skewed chunks), but
+ * with an explicit grain, chunk boundaries are a pure function of
+ * (begin, end, grain) — never of the thread count or claim order. The
+ * grain-less convenience overload sizes chunks from the thread count
+ * (a few per thread), so it is only for loops where each index's
+ * result is computed entirely within its own iteration (true of every
+ * kernel here: integer kernels stay bitwise-identical and float
+ * kernels keep a fixed per-output accumulation order at any pool
+ * size; the KernelsDeterminism tests assert this).
  *
  * Thread count resolution, in priority order:
  *   1. setThreadCount(n) (tests / benches),

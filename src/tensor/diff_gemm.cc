@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 
 #define DITTO_RESTRICT __restrict__
 
@@ -46,20 +47,6 @@ transposeInt8Into(const int8_t *DITTO_RESTRICT src, int64_t rows,
             }
         }
     });
-}
-
-/**
- * crow[0..n) += v * brow[0..n): one nonzero difference entry applied
- * to a full output row. The output row is L1-resident across the
- * entries of one plan row, so the read-modify-write stays cheap and
- * the per-entry decode overhead amortizes over all n columns.
- */
-inline void
-axpyRow(int32_t v, const int8_t *DITTO_RESTRICT brow,
-        int32_t *DITTO_RESTRICT crow, int64_t n)
-{
-    for (int64_t j = 0; j < n; ++j)
-        crow[j] += v * static_cast<int32_t>(brow[j]);
 }
 
 /**
@@ -108,40 +95,18 @@ low4At(const uint8_t *DITTO_RESTRICT nibbles, int64_t e)
 /** Low4 entries accumulated per int16 group register. */
 constexpr int64_t kLow4Group = 8;
 
-/**
- * A group of kLow4Group 4-bit lane entries accumulated through one
- * int16 intermediate: 8 products of magnitude <= 1024 sum to at most
- * 8192, far inside int16, so the truncation is lossless and the int32
- * output row is read and written once per *group* instead of once per
- * entry — this is what makes the 4-bit lane genuinely cheaper than the
- * full path in software, not just smaller in memory.
- */
-inline void
-axpyRowLow4Group(const int16_t *DITTO_RESTRICT vs,
-                 const int8_t *const DITTO_RESTRICT *DITTO_RESTRICT bs,
-                 int32_t *DITTO_RESTRICT crow, int64_t n)
-{
-    const int8_t *DITTO_RESTRICT b0 = bs[0];
-    const int8_t *DITTO_RESTRICT b1 = bs[1];
-    const int8_t *DITTO_RESTRICT b2 = bs[2];
-    const int8_t *DITTO_RESTRICT b3 = bs[3];
-    const int8_t *DITTO_RESTRICT b4 = bs[4];
-    const int8_t *DITTO_RESTRICT b5 = bs[5];
-    const int8_t *DITTO_RESTRICT b6 = bs[6];
-    const int8_t *DITTO_RESTRICT b7 = bs[7];
-    for (int64_t j = 0; j < n; ++j) {
-        const int16_t t = static_cast<int16_t>(
-            vs[0] * static_cast<int16_t>(b0[j]) +
-            vs[1] * static_cast<int16_t>(b1[j]) +
-            vs[2] * static_cast<int16_t>(b2[j]) +
-            vs[3] * static_cast<int16_t>(b3[j]) +
-            vs[4] * static_cast<int16_t>(b4[j]) +
-            vs[5] * static_cast<int16_t>(b5[j]) +
-            vs[6] * static_cast<int16_t>(b6[j]) +
-            vs[7] * static_cast<int16_t>(b7[j]));
-        crow[j] += t;
-    }
-}
+static_assert(kLow4Group == simd::kLow4Group,
+              "dispatched group axpy assumes the plan's group size");
+
+// Full groups of 4-bit lane entries and every wide-lane axpy go
+// through the dispatched SIMD table (tensor/simd/simd.h): the group
+// axpy accumulates kLow4Group entries through one bounded int16
+// intermediate — 8 products of magnitude <= 1024 sum to at most 8192,
+// far inside int16, so the truncation is lossless and the int32 output
+// row is read and written once per group instead of once per entry.
+// kernels_generic.cc holds the portable bodies these calls used to
+// inline; axpyRow2/axpyRow2Low4 below stay local (short tails, not
+// worth a dispatch slot).
 
 /**
  * Accumulate every panel of `row` into the output row crow[0..n).
@@ -154,6 +119,7 @@ accumulateRow(const DiffGemmPlan &plan, int64_t row,
               const int8_t *DITTO_RESTRICT bmat, int64_t n,
               int32_t *DITTO_RESTRICT crow)
 {
+    const simd::KernelTable &kt = simd::active();
     const PanelRef *prow = plan.panels.data() + row * plan.panelsPerRow;
     const uint8_t *DITTO_RESTRICT l4off = plan.low4Offsets.data();
     const uint8_t *DITTO_RESTRICT l4nib = plan.low4Nibbles.data();
@@ -176,7 +142,7 @@ accumulateRow(const DiffGemmPlan &plan, int64_t row,
                 vs[g] = static_cast<int16_t>(low4At(l4nib, e + g));
                 bs[g] = bmat + (kbase + l4off[e + g]) * n;
             }
-            axpyRowLow4Group(vs, bs, crow, n);
+            kt.low4GroupAxpy(vs, bs, crow, n);
         }
         for (; e + 1 < lend; e += 2) {
             axpyRow2Low4(static_cast<int16_t>(low4At(l4nib, e)),
@@ -185,8 +151,8 @@ accumulateRow(const DiffGemmPlan &plan, int64_t row,
                          bmat + (kbase + l4off[e + 1]) * n, crow, n);
         }
         if (e < lend)
-            axpyRow(low4At(l4nib, e), bmat + (kbase + l4off[e]) * n, crow,
-                    n);
+            kt.diffAxpy(low4At(l4nib, e), bmat + (kbase + l4off[e]) * n,
+                        crow, n);
 
         // Wide entries: pairwise int32 fallback.
         e = p.full8Begin;
@@ -196,7 +162,7 @@ accumulateRow(const DiffGemmPlan &plan, int64_t row,
                      bmat + (kbase + f8off[e + 1]) * n, crow, n);
         }
         if (e < wend)
-            axpyRow(f8val[e], bmat + (kbase + f8off[e]) * n, crow, n);
+            kt.diffAxpy(f8val[e], bmat + (kbase + f8off[e]) * n, crow, n);
     }
 }
 
@@ -294,7 +260,7 @@ namespace {
  * the output-row band [ylo, yhi).
  */
 inline void
-scatterEntry(int32_t v, int64_t y, int64_t x,
+scatterEntry(const simd::KernelTable &kt, int32_t v, int64_t y, int64_t x,
              const int8_t *DITTO_RESTRICT wbase, const Conv2dParams &p,
              int64_t oh, int64_t ow, int64_t ylo, int64_t yhi,
              int32_t *DITTO_RESTRICT delta)
@@ -321,8 +287,7 @@ scatterEntry(int32_t v, int64_t y, int64_t x,
             int32_t *DITTO_RESTRICT dst = delta + (oy * ow + ox) * cout;
             const int8_t *DITTO_RESTRICT wrow =
                 wbase + (ky * p.kernel + kx) * cout;
-            for (int64_t j = 0; j < cout; ++j)
-                dst[j] += v * static_cast<int32_t>(wrow[j]);
+            kt.diffAxpy(v, wrow, dst, cout);
         }
     }
 }
@@ -339,6 +304,7 @@ void
 scatterPointwisePlan(const DiffGemmPlan &plan, const int8_t *wmat_t,
                      int64_t cout, int32_t *DITTO_RESTRICT dd)
 {
+    const simd::KernelTable &kt = simd::active();
     const uint8_t *l4off = plan.low4Offsets.data();
     const uint8_t *l4nib = plan.low4Nibbles.data();
     const uint8_t *f8off = plan.full8Offsets.data();
@@ -351,19 +317,13 @@ scatterPointwisePlan(const DiffGemmPlan &plan, const int8_t *wmat_t,
             const int64_t kbase = pi * kDiffPanelK;
             for (int64_t e = pp.low4Begin;
                  e < pp.low4Begin + pp.low4Count; ++e) {
-                const int32_t v = low4At(l4nib, e);
-                int32_t *DITTO_RESTRICT dst =
-                    dd + (kbase + l4off[e]) * cout;
-                for (int64_t j = 0; j < cout; ++j)
-                    dst[j] += v * static_cast<int32_t>(wrow[j]);
+                kt.diffAxpy(low4At(l4nib, e), wrow,
+                            dd + (kbase + l4off[e]) * cout, cout);
             }
             for (int64_t e = pp.full8Begin;
                  e < pp.full8Begin + pp.full8Count; ++e) {
-                const int32_t v = f8val[e];
-                int32_t *DITTO_RESTRICT dst =
-                    dd + (kbase + f8off[e]) * cout;
-                for (int64_t j = 0; j < cout; ++j)
-                    dst[j] += v * static_cast<int32_t>(wrow[j]);
+                kt.diffAxpy(f8val[e], wrow,
+                            dd + (kbase + f8off[e]) * cout, cout);
             }
         }
     }
@@ -381,6 +341,7 @@ scatterPlanBand(const DiffGemmPlan &plan, const int8_t *wmat_t,
                 int64_t oh, int64_t ow, int64_t ylo, int64_t yhi,
                 int32_t *DITTO_RESTRICT dd)
 {
+    const simd::KernelTable &kt = simd::active();
     const uint8_t *l4off = plan.low4Offsets.data();
     const uint8_t *l4nib = plan.low4Nibbles.data();
     const uint8_t *f8off = plan.full8Offsets.data();
@@ -405,15 +366,11 @@ scatterPlanBand(const DiffGemmPlan &plan, const int8_t *wmat_t,
                         break;
                     if (oy >= oh || oy < ylo || oy >= yhi)
                         continue;
-                    int32_t *DITTO_RESTRICT dst =
-                        dd + (oy * ow + ox0) * cout;
-                    const int8_t *DITTO_RESTRICT wrow =
-                        wrev_base + ky * kk * cout;
-                    for (int64_t j = 0; j < kk * cout; ++j)
-                        dst[j] += v * static_cast<int32_t>(wrow[j]);
+                    kt.diffAxpy(v, wrev_base + ky * kk * cout,
+                                dd + (oy * ow + ox0) * cout, kk * cout);
                 }
             } else {
-                scatterEntry(v, y, x, wbase, p, oh, ow, ylo, yhi, dd);
+                scatterEntry(kt, v, y, x, wbase, p, oh, ow, ylo, yhi, dd);
             }
         };
         for (int64_t pi = 0; pi < plan.panelsPerRow; ++pi) {

@@ -16,10 +16,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "tensor/simd/simd.h"
 
 #define DITTO_RESTRICT __restrict__
 
@@ -32,6 +34,9 @@ namespace {
 constexpr int64_t kMr = 4;
 /** Micro-tile columns: one or two SIMD vectors of accumulators. */
 constexpr int64_t kNr = 16;
+
+static_assert(kMr == simd::kGemmMr && kNr == simd::kGemmNr,
+              "dispatched micro-kernels assume the driver's tile shape");
 /** K-dimension cache block (panel depth). */
 constexpr int64_t kKc = 256;
 /** N-dimension cache block (columns packed per B slab). */
@@ -179,6 +184,120 @@ microKernel(int64_t kcs, const TAcc *DITTO_RESTRICT ap,
 }
 
 /**
+ * Pack one kMr-row panel of A as int16 in K-pair-interleaved order for
+ * the dispatched integer micro-kernels (layout in tensor/simd/simd.h):
+ * ap[p*2*kMr + r*2 + s] = A[row0 + r, k0 + 2p + s]. The K extent is
+ * padded to even with zero pairs (exact zeros), rows to kMr as usual.
+ */
+template <typename TA>
+void
+packPanelAPairs(const TA *DITTO_RESTRICT a, int64_t lda, int64_t row0,
+                int64_t rows, int64_t k0, int64_t kcs,
+                int16_t *DITTO_RESTRICT ap)
+{
+    const int64_t pairs = (kcs + 1) / 2;
+    for (int64_t p = 0; p < pairs; ++p) {
+        for (int64_t r = 0; r < kMr; ++r) {
+            for (int64_t s = 0; s < 2; ++s) {
+                const int64_t kk = 2 * p + s;
+                ap[p * 2 * kMr + r * 2 + s] =
+                    (r < rows && kk < kcs)
+                        ? static_cast<int16_t>(a[(row0 + r) * lda + k0 + kk])
+                        : int16_t{0};
+            }
+        }
+    }
+}
+
+/**
+ * Pack one kNr-column panel of B as int16 in K-pair-interleaved order:
+ * bp[p*2*kNr + j*2 + s] = B[k0 + 2p + s, col0 + j] (trans_b as in
+ * packPanelB). One 32-bit lane then holds a column's (k, k+1) pair —
+ * the operand shape of vpmaddwd / vpdpwssd and of a de-interleaving
+ * vld2 on NEON.
+ */
+template <typename TB>
+void
+packPanelBPairs(const TB *DITTO_RESTRICT b, int64_t ldb, bool trans_b,
+                int64_t col0, int64_t cols, int64_t k0, int64_t kcs,
+                int16_t *DITTO_RESTRICT bp)
+{
+    const int64_t pairs = (kcs + 1) / 2;
+    for (int64_t p = 0; p < pairs; ++p) {
+        for (int64_t j = 0; j < kNr; ++j) {
+            for (int64_t s = 0; s < 2; ++s) {
+                const int64_t kk = 2 * p + s;
+                int16_t v = 0;
+                if (j < cols && kk < kcs)
+                    v = static_cast<int16_t>(
+                        trans_b ? b[(col0 + j) * ldb + k0 + kk]
+                                : b[(k0 + kk) * ldb + col0 + j]);
+                bp[p * 2 * kNr + j * 2 + s] = v;
+            }
+        }
+    }
+}
+
+/**
+ * Integer-GEMM driver over pair-packed int16 panels, used when the
+ * active SIMD table provides a hand-written pair micro-kernel. Same
+ * blocking, same thread split, and — because int32 accumulation is
+ * exact under any association (two's-complement addition is
+ * associative even across wraparound) — bitwise-identical output to
+ * the generic driver for every integer instantiation.
+ */
+template <typename TA, typename TB>
+void
+gemmDriverPairs(const TA *a, int64_t lda, const TB *b, int64_t ldb,
+                bool trans_b, int32_t *c, int64_t ldc, int64_t m,
+                int64_t n, int64_t k,
+                void (*micro)(int64_t, const int16_t *, const int16_t *,
+                              int32_t *))
+{
+    const int64_t row_panels = ceilDiv(m, kMr);
+    std::vector<int16_t> bpack;
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t ncs = std::min(kNc, n - jc);
+        const int64_t col_panels = ceilDiv(ncs, kNr);
+        for (int64_t kc = 0; kc < k; kc += kKc) {
+            const int64_t kcs = std::min(kKc, k - kc);
+            const int64_t pairs = (kcs + 1) / 2;
+            bpack.resize(static_cast<size_t>(col_panels * kNr * 2 * pairs));
+            int16_t *bpack_data = bpack.data();
+            parallelFor(0, col_panels, [&](int64_t lo, int64_t hi) {
+                for (int64_t cp = lo; cp < hi; ++cp) {
+                    packPanelBPairs(b, ldb, trans_b, jc + cp * kNr,
+                                    std::min(kNr, ncs - cp * kNr), kc, kcs,
+                                    bpack_data + cp * kNr * 2 * pairs);
+                }
+            });
+            parallelFor(0, row_panels, [&](int64_t lo, int64_t hi) {
+                thread_local std::vector<int16_t> apack;
+                apack.resize(static_cast<size_t>(kMr * 2 * pairs));
+                for (int64_t rp = lo; rp < hi; ++rp) {
+                    const int64_t row0 = rp * kMr;
+                    const int64_t rows = std::min(kMr, m - row0);
+                    packPanelAPairs(a, lda, row0, rows, kc, kcs,
+                                    apack.data());
+                    for (int64_t cp = 0; cp < col_panels; ++cp) {
+                        int32_t acc[kMr * kNr] = {};
+                        micro(pairs, apack.data(),
+                              bpack_data + cp * kNr * 2 * pairs, acc);
+                        const int64_t col0 = jc + cp * kNr;
+                        const int64_t cols = std::min(kNr, ncs - cp * kNr);
+                        for (int64_t r = 0; r < rows; ++r) {
+                            int32_t *crow = c + (row0 + r) * ldc + col0;
+                            for (int64_t j = 0; j < cols; ++j)
+                                crow[j] += acc[r * kNr + j];
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/**
  * Blocked GEMM on raw row-major buffers: C += A * op(B), with an
  * optional fused bias/activation epilogue for float accumulators.
  *
@@ -193,6 +312,21 @@ gemmDriver(const TA *a, int64_t lda, const TB *b, int64_t ldb,
            int64_t k, const float *bias = nullptr,
            bool bias_per_row = false, Activation act = Activation::kNone)
 {
+    // Integer products route through the dispatched pair micro-kernel
+    // when the active SIMD level provides one; the generic level keeps
+    // gemmMicroPairs null, so DITTO_SIMD=generic (and any host without
+    // hand-written kernels) runs the historic path below verbatim.
+    // Float stays on the generic micro-kernel unconditionally: its
+    // accumulation order is part of the output contract.
+    if constexpr (std::is_integral_v<TA> && std::is_integral_v<TB> &&
+                  std::is_same_v<TAcc, int32_t>) {
+        if (auto *micro = simd::active().gemmMicroPairs;
+            micro && !bias && act == Activation::kNone) {
+            gemmDriverPairs<TA, TB>(a, lda, b, ldb, trans_b, c, ldc, m, n,
+                                    k, micro);
+            return;
+        }
+    }
     const int64_t row_panels = ceilDiv(m, kMr);
     std::vector<TAcc> bpack;
     for (int64_t jc = 0; jc < n; jc += kNc) {

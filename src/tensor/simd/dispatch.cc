@@ -1,0 +1,171 @@
+/**
+ * @file
+ * SIMD dispatch resolution: host features + DITTO_SIMD -> KernelTable.
+ *
+ * Resolution happens once, at the first kernel invocation that
+ * consults simd::active(); the chosen level is logged alongside the
+ * detected host features so every benchmark log and CI run records
+ * the code path it measured. setLevel()/resetLevel() exist for the
+ * parity tests and benches, mirroring setThreadCount().
+ */
+#include "tensor/simd/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/cpu.h"
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace ditto {
+namespace simd {
+
+namespace {
+
+/** Table provider for a level, or null when not executable here. */
+const KernelTable *
+providerFor(Level level)
+{
+    const CpuFeatures &f = cpuFeatures();
+    switch (level) {
+      case Level::kGeneric:
+        return genericTable();
+      case Level::kNeon:
+        return f.neon ? neonTable() : nullptr;
+      case Level::kAvx2:
+        return f.avx2 ? avx2Table() : nullptr;
+      case Level::kAvx512:
+        return f.avx512 ? avx512Table() : nullptr;
+    }
+    return nullptr;
+}
+
+/** Best level the host can execute (auto resolution). */
+Level
+bestLevel()
+{
+    for (Level l : {Level::kAvx512, Level::kAvx2, Level::kNeon})
+        if (providerFor(l))
+            return l;
+    return Level::kGeneric;
+}
+
+/** DITTO_SIMD value -> requested level; auto/invalid -> bestLevel. */
+Level
+resolveFromEnv()
+{
+    const std::string req = env::readString("DITTO_SIMD", "auto");
+    if (req == "auto")
+        return bestLevel();
+    for (Level l : {Level::kGeneric, Level::kNeon, Level::kAvx2,
+                    Level::kAvx512}) {
+        if (req == levelName(l)) {
+            if (providerFor(l))
+                return l;
+            std::fprintf(stderr,
+                         "[ditto] DITTO_SIMD=%s not executable on this "
+                         "host (features: %s); using %s\n",
+                         req.c_str(), cpuFeatureSummary().c_str(),
+                         levelName(bestLevel()));
+            return bestLevel();
+        }
+    }
+    std::fprintf(stderr,
+                 "[ditto] ignoring invalid DITTO_SIMD=\"%s\" "
+                 "(auto/generic/neon/avx2/avx512); using %s\n",
+                 req.c_str(), levelName(bestLevel()));
+    return bestLevel();
+}
+
+std::mutex g_mutex;
+std::atomic<const KernelTable *> g_active{nullptr};
+
+const KernelTable &
+resolve()
+{
+    std::unique_lock<std::mutex> lock(g_mutex);
+    const KernelTable *t = g_active.load(std::memory_order_acquire);
+    if (t)
+        return *t;
+    const Level level = resolveFromEnv();
+    t = providerFor(level);
+    DITTO_ASSERT(t, "resolved SIMD level has no table");
+    std::fprintf(stderr,
+                 "[ditto] simd dispatch: %s (host features: %s)\n",
+                 levelName(level), cpuFeatureSummary().c_str());
+    g_active.store(t, std::memory_order_release);
+    return *t;
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::kGeneric:
+        return "generic";
+      case Level::kNeon:
+        return "neon";
+      case Level::kAvx2:
+        return "avx2";
+      case Level::kAvx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+const KernelTable &
+active()
+{
+    const KernelTable *t = g_active.load(std::memory_order_acquire);
+    return t ? *t : resolve();
+}
+
+Level
+activeLevel()
+{
+    return active().level;
+}
+
+std::vector<Level>
+availableLevels()
+{
+    std::vector<Level> out;
+    for (Level l : {Level::kGeneric, Level::kNeon, Level::kAvx2,
+                    Level::kAvx512})
+        if (providerFor(l))
+            out.push_back(l);
+    return out;
+}
+
+const KernelTable &
+tableFor(Level level)
+{
+    const KernelTable *t = providerFor(level);
+    DITTO_ASSERT(t, "SIMD level '" << levelName(level)
+                                   << "' is not available on this host");
+    return *t;
+}
+
+void
+setLevel(Level level)
+{
+    const KernelTable &t = tableFor(level);
+    std::unique_lock<std::mutex> lock(g_mutex);
+    g_active.store(&t, std::memory_order_release);
+}
+
+void
+resetLevel()
+{
+    {
+        std::unique_lock<std::mutex> lock(g_mutex);
+        g_active.store(nullptr, std::memory_order_release);
+    }
+    resolve();
+}
+
+} // namespace simd
+} // namespace ditto

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Portable fallback implementations of the dispatched primitives.
+ *
+ * These are the historic hot-loop bodies (restrict-qualified plain
+ * loops the compiler auto-vectorizes), kept as the reference the
+ * hand-written ISA variants must match bitwise. The generic table
+ * leaves gemmMicroPairs null: without a hand-written micro-kernel the
+ * GEMM driver keeps its int32-widened panels and portable
+ * vector-extension micro-kernel (tensor/kernels.cc), which is the
+ * exact pre-dispatch code path.
+ */
+#include "tensor/simd/simd.h"
+
+#define DITTO_RESTRICT __restrict__
+
+namespace ditto {
+namespace simd {
+
+namespace {
+
+/**
+ * Reference nibble-lane group axpy: one int16 lane sum per output
+ * column, widened and accumulated once per group (see
+ * tensor/diff_gemm.cc for why the int16 intermediate is lossless).
+ */
+void
+low4GroupAxpyGeneric(const int16_t *DITTO_RESTRICT vs,
+                     const int8_t *const *DITTO_RESTRICT bs,
+                     int32_t *DITTO_RESTRICT crow, int64_t n)
+{
+    const int8_t *DITTO_RESTRICT b0 = bs[0];
+    const int8_t *DITTO_RESTRICT b1 = bs[1];
+    const int8_t *DITTO_RESTRICT b2 = bs[2];
+    const int8_t *DITTO_RESTRICT b3 = bs[3];
+    const int8_t *DITTO_RESTRICT b4 = bs[4];
+    const int8_t *DITTO_RESTRICT b5 = bs[5];
+    const int8_t *DITTO_RESTRICT b6 = bs[6];
+    const int8_t *DITTO_RESTRICT b7 = bs[7];
+    for (int64_t j = 0; j < n; ++j) {
+        const int16_t t = static_cast<int16_t>(
+            vs[0] * static_cast<int16_t>(b0[j]) +
+            vs[1] * static_cast<int16_t>(b1[j]) +
+            vs[2] * static_cast<int16_t>(b2[j]) +
+            vs[3] * static_cast<int16_t>(b3[j]) +
+            vs[4] * static_cast<int16_t>(b4[j]) +
+            vs[5] * static_cast<int16_t>(b5[j]) +
+            vs[6] * static_cast<int16_t>(b6[j]) +
+            vs[7] * static_cast<int16_t>(b7[j]));
+        crow[j] += t;
+    }
+}
+
+/** Reference wide-lane axpy: crow[j] += v * brow[j]. */
+void
+diffAxpyGeneric(int32_t v, const int8_t *DITTO_RESTRICT brow,
+                int32_t *DITTO_RESTRICT crow, int64_t n)
+{
+    for (int64_t j = 0; j < n; ++j)
+        crow[j] += v * static_cast<int32_t>(brow[j]);
+}
+
+const KernelTable kGenericTable = {
+    Level::kGeneric,
+    /*gemmMicroPairs=*/nullptr,
+    &low4GroupAxpyGeneric,
+    &diffAxpyGeneric,
+};
+
+} // namespace
+
+const KernelTable *
+genericTable()
+{
+    return &kGenericTable;
+}
+
+} // namespace simd
+} // namespace ditto

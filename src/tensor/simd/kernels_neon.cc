@@ -1,0 +1,139 @@
+/**
+ * @file
+ * AArch64 Advanced SIMD (NEON) variants of the dispatched primitives.
+ *
+ * NEON is architecturally mandatory on AArch64, so this TU compiles
+ * its kernels whenever the target is AArch64 and the provider is
+ * unconditional there; on every other architecture neonTable()
+ * returns null and the dispatch never offers the level.
+ *
+ * Exactness mirrors kernels_x86.cc: the pair micro-kernel and the
+ * wide-lane axpy use widening multiply-accumulates (vmlal) whose
+ * int32 products are exact (one int8 factor), and the nibble-lane
+ * group axpy keeps the generic path's bounded int16 lane sums
+ * verbatim. Scalar tails reuse the exact generic expressions.
+ */
+#include "tensor/simd/simd.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace ditto {
+namespace simd {
+
+namespace {
+
+void
+gemmMicroPairsNeon(int64_t kPairs, const int16_t *ap, const int16_t *bp,
+                   int32_t *acc)
+{
+    int32x4_t c[kGemmMr][4];
+    for (int64_t r = 0; r < kGemmMr; ++r)
+        for (int64_t q = 0; q < 4; ++q)
+            c[r][q] = vld1q_s32(acc + r * kGemmNr + q * 4);
+    for (int64_t p = 0; p < kPairs; ++p) {
+        // vld2 de-interleaves the packed (k, k+1) pairs back into an
+        // even lane (B[2p, j]) and an odd lane (B[2p+1, j]) per 8
+        // columns; vmlal then widens each int16 product into the
+        // int32 accumulators exactly.
+        const int16_t *brow = bp + p * 2 * kGemmNr;
+        const int16x8x2_t b0 = vld2q_s16(brow);      // columns 0..7
+        const int16x8x2_t b1 = vld2q_s16(brow + 16); // columns 8..15
+        const int16_t *arow = ap + p * 2 * kGemmMr;
+        for (int64_t r = 0; r < kGemmMr; ++r) {
+            const int16_t a0 = arow[r * 2];
+            const int16_t a1 = arow[r * 2 + 1];
+            c[r][0] = vmlal_n_s16(c[r][0], vget_low_s16(b0.val[0]), a0);
+            c[r][0] = vmlal_n_s16(c[r][0], vget_low_s16(b0.val[1]), a1);
+            c[r][1] = vmlal_n_s16(c[r][1], vget_high_s16(b0.val[0]), a0);
+            c[r][1] = vmlal_n_s16(c[r][1], vget_high_s16(b0.val[1]), a1);
+            c[r][2] = vmlal_n_s16(c[r][2], vget_low_s16(b1.val[0]), a0);
+            c[r][2] = vmlal_n_s16(c[r][2], vget_low_s16(b1.val[1]), a1);
+            c[r][3] = vmlal_n_s16(c[r][3], vget_high_s16(b1.val[0]), a0);
+            c[r][3] = vmlal_n_s16(c[r][3], vget_high_s16(b1.val[1]), a1);
+        }
+    }
+    for (int64_t r = 0; r < kGemmMr; ++r)
+        for (int64_t q = 0; q < 4; ++q)
+            vst1q_s32(acc + r * kGemmNr + q * 4, c[r][q]);
+}
+
+void
+low4GroupAxpyNeon(const int16_t *vs, const int8_t *const *bs,
+                  int32_t *crow, int64_t n)
+{
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        int16x8_t t = vdupq_n_s16(0);
+        for (int64_t g = 0; g < kLow4Group; ++g) {
+            const int16x8_t b16 = vmovl_s8(vld1_s8(bs[g] + j));
+            t = vmlaq_n_s16(t, b16, vs[g]);
+        }
+        vst1q_s32(crow + j,
+                  vaddw_s16(vld1q_s32(crow + j), vget_low_s16(t)));
+        vst1q_s32(crow + j + 4,
+                  vaddw_s16(vld1q_s32(crow + j + 4), vget_high_s16(t)));
+    }
+    for (; j < n; ++j) {
+        int16_t t = 0;
+        for (int64_t g = 0; g < kLow4Group; ++g)
+            t = static_cast<int16_t>(
+                t + vs[g] * static_cast<int16_t>(bs[g][j]));
+        crow[j] += t;
+    }
+}
+
+void
+diffAxpyNeon(int32_t v, const int8_t *brow, int32_t *crow, int64_t n)
+{
+    // v spans the full int16 range (widening vmlal keeps the int32
+    // product exact); the dispatch contract guarantees no wider v.
+    const int16_t v16 = static_cast<int16_t>(v);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const int16x8_t b16 = vmovl_s8(vld1_s8(brow + j));
+        vst1q_s32(crow + j,
+                  vmlal_n_s16(vld1q_s32(crow + j), vget_low_s16(b16),
+                              v16));
+        vst1q_s32(crow + j + 4,
+                  vmlal_n_s16(vld1q_s32(crow + j + 4),
+                              vget_high_s16(b16), v16));
+    }
+    for (; j < n; ++j)
+        crow[j] += v * static_cast<int32_t>(brow[j]);
+}
+
+const KernelTable kNeonTable = {
+    Level::kNeon,
+    &gemmMicroPairsNeon,
+    &low4GroupAxpyNeon,
+    &diffAxpyNeon,
+};
+
+} // namespace
+
+const KernelTable *
+neonTable()
+{
+    return &kNeonTable;
+}
+
+} // namespace simd
+} // namespace ditto
+
+#else // !AArch64
+
+namespace ditto {
+namespace simd {
+
+const KernelTable *
+neonTable()
+{
+    return nullptr;
+}
+
+} // namespace simd
+} // namespace ditto
+
+#endif

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Hand-written AVX2 and AVX-512 variants of the dispatched primitives.
+ *
+ * Every function carries a per-function target attribute instead of
+ * per-file -m flags, so this TU builds on any x86 toolchain and the
+ * dispatch (dispatch.cc) guarantees a function only runs on hosts
+ * whose cpuid reports its ISA. On non-x86 builds the table providers
+ * return null and the file contributes nothing.
+ *
+ * Exactness: all three primitives are pure integer arithmetic.
+ *  - The pair micro-kernel's vpmaddwd / vpdpwssd computes
+ *    a0*b0 + a1*b1 in int32; one factor of every product is int8, so
+ *    |pair dot| <= 2 * 128 * 32768 = 2^23 — no saturation, and int32
+ *    summation order is irrelevant (exact).
+ *  - The nibble-lane group axpy keeps the int16 lane sums of the
+ *    generic path verbatim (bounded at 8 * 8 * 127, never wraps).
+ *  - The wide-lane axpy multiplies in int32 because v spans the full
+ *    int16 range (|v * int8| < 2^22).
+ * Scalar tails reuse the exact generic expressions.
+ */
+#include "tensor/simd/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "common/cpu.h"
+
+namespace ditto {
+namespace simd {
+
+namespace {
+
+/** The (k, k+1) int16 pair of micro-row r at pair index p, as one
+ *  32-bit broadcast payload (memcpy: ap is only 2-byte aligned). */
+inline int32_t
+aPair(const int16_t *ap, int64_t p, int64_t r)
+{
+    int32_t pair;
+    std::memcpy(&pair, ap + p * 2 * kGemmMr + r * 2, sizeof(pair));
+    return pair;
+}
+
+// ---------------------------------------------------------------- AVX2
+
+__attribute__((target("avx2"))) void
+gemmMicroPairsAvx2(int64_t kPairs, const int16_t *ap, const int16_t *bp,
+                   int32_t *acc)
+{
+    __m256i c[kGemmMr][2];
+    for (int64_t r = 0; r < kGemmMr; ++r) {
+        c[r][0] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + r * kGemmNr));
+        c[r][1] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + r * kGemmNr + 8));
+    }
+    for (int64_t p = 0; p < kPairs; ++p) {
+        const int16_t *brow = bp + p * 2 * kGemmNr;
+        const __m256i b0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(brow));
+        const __m256i b1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(brow + 16));
+        for (int64_t r = 0; r < kGemmMr; ++r) {
+            const __m256i a = _mm256_set1_epi32(aPair(ap, p, r));
+            c[r][0] = _mm256_add_epi32(c[r][0], _mm256_madd_epi16(a, b0));
+            c[r][1] = _mm256_add_epi32(c[r][1], _mm256_madd_epi16(a, b1));
+        }
+    }
+    for (int64_t r = 0; r < kGemmMr; ++r) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + r * kGemmNr),
+                            c[r][0]);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(acc + r * kGemmNr + 8), c[r][1]);
+    }
+}
+
+__attribute__((target("avx2"))) void
+low4GroupAxpyAvx2(const int16_t *vs, const int8_t *const *bs,
+                  int32_t *crow, int64_t n)
+{
+    __m256i coef[kLow4Group];
+    for (int64_t g = 0; g < kLow4Group; ++g)
+        coef[g] = _mm256_set1_epi16(vs[g]);
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        __m256i t = _mm256_setzero_si256();
+        for (int64_t g = 0; g < kLow4Group; ++g) {
+            const __m128i b8 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(bs[g] + j));
+            t = _mm256_add_epi16(
+                t, _mm256_mullo_epi16(coef[g], _mm256_cvtepi8_epi16(b8)));
+        }
+        const __m256i lo =
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(t));
+        const __m256i hi =
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(t, 1));
+        __m256i *c0 = reinterpret_cast<__m256i *>(crow + j);
+        __m256i *c1 = reinterpret_cast<__m256i *>(crow + j + 8);
+        _mm256_storeu_si256(c0,
+                            _mm256_add_epi32(_mm256_loadu_si256(c0), lo));
+        _mm256_storeu_si256(c1,
+                            _mm256_add_epi32(_mm256_loadu_si256(c1), hi));
+    }
+    for (; j < n; ++j) {
+        int16_t t = 0;
+        for (int64_t g = 0; g < kLow4Group; ++g)
+            t = static_cast<int16_t>(
+                t + vs[g] * static_cast<int16_t>(bs[g][j]));
+        crow[j] += t;
+    }
+}
+
+__attribute__((target("avx2"))) void
+diffAxpyAvx2(int32_t v, const int8_t *brow, int32_t *crow, int64_t n)
+{
+    const __m256i vv = _mm256_set1_epi32(v);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m128i b8 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(brow + j));
+        const __m256i prod =
+            _mm256_mullo_epi32(vv, _mm256_cvtepi8_epi32(b8));
+        __m256i *c = reinterpret_cast<__m256i *>(crow + j);
+        _mm256_storeu_si256(c,
+                            _mm256_add_epi32(_mm256_loadu_si256(c), prod));
+    }
+    for (; j < n; ++j)
+        crow[j] += v * static_cast<int32_t>(brow[j]);
+}
+
+// ------------------------------------------------------------- AVX-512
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) void
+gemmMicroPairsAvx512(int64_t kPairs, const int16_t *ap, const int16_t *bp,
+                     int32_t *acc)
+{
+    __m512i c[kGemmMr];
+    for (int64_t r = 0; r < kGemmMr; ++r)
+        c[r] = _mm512_loadu_si512(acc + r * kGemmNr);
+    for (int64_t p = 0; p < kPairs; ++p) {
+        const __m512i b = _mm512_loadu_si512(bp + p * 2 * kGemmNr);
+        for (int64_t r = 0; r < kGemmMr; ++r) {
+            const __m512i a = _mm512_set1_epi32(aPair(ap, p, r));
+            c[r] = _mm512_add_epi32(c[r], _mm512_madd_epi16(a, b));
+        }
+    }
+    for (int64_t r = 0; r < kGemmMr; ++r)
+        _mm512_storeu_si512(acc + r * kGemmNr, c[r]);
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl,avx512vnni"))) void
+gemmMicroPairsAvx512Vnni(int64_t kPairs, const int16_t *ap,
+                         const int16_t *bp, int32_t *acc)
+{
+    __m512i c[kGemmMr];
+    for (int64_t r = 0; r < kGemmMr; ++r)
+        c[r] = _mm512_loadu_si512(acc + r * kGemmNr);
+    for (int64_t p = 0; p < kPairs; ++p) {
+        const __m512i b = _mm512_loadu_si512(bp + p * 2 * kGemmNr);
+        for (int64_t r = 0; r < kGemmMr; ++r) {
+            const __m512i a = _mm512_set1_epi32(aPair(ap, p, r));
+            c[r] = _mm512_dpwssd_epi32(c[r], a, b);
+        }
+    }
+    for (int64_t r = 0; r < kGemmMr; ++r)
+        _mm512_storeu_si512(acc + r * kGemmNr, c[r]);
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) void
+low4GroupAxpyAvx512(const int16_t *vs, const int8_t *const *bs,
+                    int32_t *crow, int64_t n)
+{
+    __m512i coef[kLow4Group];
+    for (int64_t g = 0; g < kLow4Group; ++g)
+        coef[g] = _mm512_set1_epi16(vs[g]);
+    int64_t j = 0;
+    for (; j + 32 <= n; j += 32) {
+        __m512i t = _mm512_setzero_si512();
+        for (int64_t g = 0; g < kLow4Group; ++g) {
+            const __m256i b8 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(bs[g] + j));
+            t = _mm512_add_epi16(
+                t, _mm512_mullo_epi16(coef[g], _mm512_cvtepi8_epi16(b8)));
+        }
+        const __m512i lo =
+            _mm512_cvtepi16_epi32(_mm512_castsi512_si256(t));
+        const __m512i hi =
+            _mm512_cvtepi16_epi32(_mm512_extracti64x4_epi64(t, 1));
+        _mm512_storeu_si512(crow + j,
+                            _mm512_add_epi32(
+                                _mm512_loadu_si512(crow + j), lo));
+        _mm512_storeu_si512(crow + j + 16,
+                            _mm512_add_epi32(
+                                _mm512_loadu_si512(crow + j + 16), hi));
+    }
+    for (; j < n; ++j) {
+        int16_t t = 0;
+        for (int64_t g = 0; g < kLow4Group; ++g)
+            t = static_cast<int16_t>(
+                t + vs[g] * static_cast<int16_t>(bs[g][j]));
+        crow[j] += t;
+    }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) void
+diffAxpyAvx512(int32_t v, const int8_t *brow, int32_t *crow, int64_t n)
+{
+    const __m512i vv = _mm512_set1_epi32(v);
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        const __m128i b8 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(brow + j));
+        const __m512i prod =
+            _mm512_mullo_epi32(vv, _mm512_cvtepi8_epi32(b8));
+        _mm512_storeu_si512(crow + j,
+                            _mm512_add_epi32(
+                                _mm512_loadu_si512(crow + j), prod));
+    }
+    for (; j < n; ++j)
+        crow[j] += v * static_cast<int32_t>(brow[j]);
+}
+
+const KernelTable kAvx2Table = {
+    Level::kAvx2,
+    &gemmMicroPairsAvx2,
+    &low4GroupAxpyAvx2,
+    &diffAxpyAvx2,
+};
+
+const KernelTable kAvx512Table = {
+    Level::kAvx512,
+    &gemmMicroPairsAvx512,
+    &low4GroupAxpyAvx512,
+    &diffAxpyAvx512,
+};
+
+const KernelTable kAvx512VnniTable = {
+    Level::kAvx512,
+    &gemmMicroPairsAvx512Vnni,
+    &low4GroupAxpyAvx512,
+    &diffAxpyAvx512,
+};
+
+} // namespace
+
+const KernelTable *
+avx2Table()
+{
+    return &kAvx2Table;
+}
+
+const KernelTable *
+avx512Table()
+{
+    // VNNI swaps in vpdpwssd for the madd+add pair; same exact result.
+    return cpuFeatures().avx512vnni ? &kAvx512VnniTable : &kAvx512Table;
+}
+
+} // namespace simd
+} // namespace ditto
+
+#else // !x86
+
+namespace ditto {
+namespace simd {
+
+const KernelTable *
+avx2Table()
+{
+    return nullptr;
+}
+
+const KernelTable *
+avx512Table()
+{
+    return nullptr;
+}
+
+} // namespace simd
+} // namespace ditto
+
+#endif

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD micro-kernels for the three hottest integer
+ * primitives (see docs/simd.md):
+ *
+ *  1. the packed-panel integer GEMM micro-kernel (int8 GEMM and the
+ *     dense int16-difference GEMM share it),
+ *  2. the diff-GEMM 4-bit nibble-lane group axpy (decode + widen +
+ *     multiply-accumulate in-register),
+ *  3. the wide-lane difference axpy used by the diff GEMM's Full8
+ *     entries and the scatter diff-conv fast paths.
+ *
+ * A KernelTable holds one function pointer per primitive. The active
+ * table is resolved once at first use from the host's CPU features
+ * (common/cpu.h) and the DITTO_SIMD environment knob
+ * (auto/avx2/avx512/neon/generic), and logged. Hand-written AVX2,
+ * AVX-512 (VNNI when available) and NEON variants live in
+ * kernels_x86.cc / kernels_neon.cc; the portable fallbacks in
+ * kernels_generic.cc preserve the historic generic-vector code paths.
+ *
+ * Every variant is bit-exact against the generic path: all three
+ * primitives are pure integer arithmetic, where reassociation is
+ * exact, and the narrow-lane intermediates (the int16 lane sums of
+ * primitive 2) are bounded by construction so no variant saturates or
+ * wraps differently (tests/test_kernels.cc SimdDispatch suite asserts
+ * bitwise equality per level, including 1-vs-N-thread determinism).
+ *
+ * Integer GEMM pair-packed panel layout
+ * -------------------------------------
+ * When a table provides gemmMicroPairs, the GEMM driver packs the
+ * integer operands as int16 in K-pair-interleaved order instead of
+ * widening them to int32 (tensor/kernels.cc):
+ *
+ *   bp[p * 2*kGemmNr + j*2 + s] = B[2p + s, j]   (s = 0, 1)
+ *   ap[p * 2*kGemmMr + r*2 + s] = A[r, 2p + s]
+ *
+ * so one 32-bit lane of a B vector holds the (k, k+1) pair of one
+ * output column and a 32-bit broadcast of ap yields the matching A
+ * pair — exactly the operand shape of vpmaddwd / vpdpwssd (x86) and
+ * of a de-interleaving ld2 + vmlal pair (NEON). The K extent is
+ * padded to even with zero pairs; zeros contribute exact zeros.
+ * Operand values are at most 8 bits on at least one side of every
+ * product (weights/codes are int8), so a pair's int32 dot is at most
+ * 2 * 128 * 32768 = 2^23 in magnitude — exact in int32.
+ */
+#ifndef DITTO_TENSOR_SIMD_SIMD_H
+#define DITTO_TENSOR_SIMD_SIMD_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ditto {
+namespace simd {
+
+/** Micro-tile extents of the integer GEMM micro-kernel (must match
+ *  the driver's kMr/kNr in tensor/kernels.cc). */
+constexpr int64_t kGemmMr = 4;
+constexpr int64_t kGemmNr = 16;
+
+/** Entries per nibble-lane group (must match kLow4Group in
+ *  tensor/diff_gemm.cc). */
+constexpr int64_t kLow4Group = 8;
+
+/** Dispatchable ISA level, in ascending preference order. */
+enum class Level : uint8_t
+{
+    kGeneric = 0, //!< portable C++ / compiler autovectorization
+    kNeon = 1,    //!< AArch64 Advanced SIMD
+    kAvx2 = 2,    //!< x86 AVX2
+    kAvx512 = 3,  //!< x86 AVX-512 F+BW+VL (VNNI micro-kernel if present)
+};
+
+/** Lower-case level name, the DITTO_SIMD vocabulary. */
+const char *levelName(Level level);
+
+/** One ISA's implementations of the dispatched primitives. */
+struct KernelTable
+{
+    Level level = Level::kGeneric;
+
+    /**
+     * Integer GEMM micro-kernel over pair-packed int16 panels (layout
+     * above): acc[r * kGemmNr + j] += sum over the 2*kPairs packed K
+     * values of A[r, k] * B[k, j]. Null means the GEMM driver keeps
+     * its portable int32-widened panels and generic micro-kernel.
+     */
+    void (*gemmMicroPairs)(int64_t kPairs, const int16_t *ap,
+                           const int16_t *bp, int32_t *acc) = nullptr;
+
+    /**
+     * Nibble-lane group axpy: crow[j] += t(j) where t(j) is the int16
+     * sum of vs[g] * bs[g][j] over the kLow4Group decoded 4-bit lane
+     * values (|vs| <= 8, so |t| <= 8 * 8 * 127 — never saturates).
+     * The int16 intermediate is the software analogue of the paper's
+     * narrow multiplier lane and must be computed exactly as written
+     * (it is in every variant: integer math is exact).
+     */
+    void (*low4GroupAxpy)(const int16_t *vs,
+                          const int8_t *const *bs, int32_t *crow,
+                          int64_t n) = nullptr;
+
+    /**
+     * Wide-lane difference axpy: crow[j] += v * brow[j] with v any
+     * int16-ranged value. Serves the diff GEMM's Full8 single entries
+     * and both scatter diff-conv fast paths (interior kernel-row axpy
+     * and the pointwise per-pixel axpy).
+     */
+    void (*diffAxpy)(int32_t v, const int8_t *brow, int32_t *crow,
+                     int64_t n) = nullptr;
+};
+
+/** The active table (resolved once at first use, then cached). */
+const KernelTable &active();
+
+/** Level of the active table. */
+Level activeLevel();
+
+/**
+ * Levels usable on this host, ascending (kGeneric always included).
+ */
+std::vector<Level> availableLevels();
+
+/**
+ * Pin the dispatch to `level` (test/bench hook, like
+ * setThreadCount). Panics if the host cannot execute that level.
+ * Production code should use the DITTO_SIMD environment knob instead.
+ */
+void setLevel(Level level);
+
+/** Drop a setLevel pin and re-resolve from DITTO_SIMD / the host. */
+void resetLevel();
+
+/** Table for one level (panics if unavailable on this host). */
+const KernelTable &tableFor(Level level);
+
+/** @name Per-ISA table providers (internal wiring)
+ *  Null table pointer means the ISA is not compiled in. @{ */
+const KernelTable *genericTable();
+const KernelTable *avx2Table();   //!< null off x86 / without AVX2 build
+const KernelTable *avx512Table(); //!< null off x86; VNNI micro if detected
+const KernelTable *neonTable();   //!< null off AArch64
+/** @} */
+
+} // namespace simd
+} // namespace ditto
+
+#endif // DITTO_TENSOR_SIMD_SIMD_H

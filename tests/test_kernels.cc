@@ -10,13 +10,18 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "core/diff_linear.h"
+#include "quant/encoder.h"
+#include "tensor/diff_gemm.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 #include "tensor/tensor.h"
 
 namespace ditto {
@@ -303,6 +308,216 @@ TEST(KernelsParallel, ParallelForCoversRangeExactlyOnce)
         ++calls;
     });
     EXPECT_EQ(calls, 1);
+    setThreadCount(1);
+}
+
+// ---- Runtime SIMD dispatch parity --------------------------------------
+//
+// Every hand-written variant (avx2 / avx512 / neon, whichever this
+// host can execute) must produce bitwise-identical integer results to
+// the generic level — the dispatched primitives are pure integer
+// arithmetic, so there is no tolerance, only equality. Each check runs
+// the same workload pinned to each level via simd::setLevel and
+// compares against the generic baseline.
+
+/** Difference matrix with a zero / low4 / full8 mix (percentages). */
+Int16Tensor
+mixDiff(const Shape &shape, int zero_pct, int low4_pct, uint64_t seed)
+{
+    Rng rng(seed);
+    Int16Tensor t(shape);
+    for (auto &v : t.data()) {
+        const int u = static_cast<int>(rng.uniformInt(100));
+        if (u < zero_pct) {
+            v = 0;
+        } else if (u < zero_pct + low4_pct) {
+            const int64_t m = 1 + static_cast<int64_t>(rng.uniformInt(7));
+            v = static_cast<int16_t>(rng.bernoulli(0.5) ? m : -m);
+        } else {
+            const int64_t m = 8 + static_cast<int64_t>(rng.uniformInt(247));
+            v = static_cast<int16_t>(rng.bernoulli(0.5) ? m : -m);
+        }
+    }
+    return t;
+}
+
+/**
+ * Run `fn` once per level this host can execute and compare each
+ * result bitwise against the generic level's. Restores the dispatch
+ * afterwards.
+ */
+template <typename Fn>
+void
+expectBitwiseAcrossLevels(Fn fn)
+{
+    simd::setLevel(simd::Level::kGeneric);
+    const auto want = fn();
+    for (simd::Level level : simd::availableLevels()) {
+        if (level == simd::Level::kGeneric)
+            continue;
+        simd::setLevel(level);
+        EXPECT_TRUE(fn() == want)
+            << "SIMD level '" << simd::levelName(level)
+            << "' diverges from generic";
+    }
+    simd::resetLevel();
+}
+
+TEST(SimdDispatch, GenericAlwaysAvailableAndComplete)
+{
+    const std::vector<simd::Level> levels = simd::availableLevels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), simd::Level::kGeneric);
+    for (simd::Level level : levels) {
+        const simd::KernelTable &t = simd::tableFor(level);
+        EXPECT_EQ(t.level, level);
+        // Every level implements the axpy primitives; only hand-written
+        // levels provide the pair micro-kernel (generic keeps the
+        // driver's historic widened path).
+        EXPECT_NE(t.low4GroupAxpy, nullptr);
+        EXPECT_NE(t.diffAxpy, nullptr);
+        if (level == simd::Level::kGeneric)
+            EXPECT_EQ(t.gemmMicroPairs, nullptr);
+        else
+            EXPECT_NE(t.gemmMicroPairs, nullptr);
+        EXPECT_STRNE(simd::levelName(level), "unknown");
+    }
+    // Pinning and resetting round-trips.
+    simd::setLevel(levels.back());
+    EXPECT_EQ(simd::activeLevel(), levels.back());
+    simd::resetLevel();
+}
+
+TEST(SimdDispatch, IntegerGemmBitwiseAcrossLevels)
+{
+    // kMatShapes' odd sizes plus K extents straddling the kKc = 256
+    // panel boundary and odd K (the pair packing pads a zero pair).
+    const MatShape shapes[] = {
+        {1, 1, 1},   {3, 5, 7},     {5, 17, 33},  {2, 300, 9},
+        {4, 255, 7}, {4, 256, 17},  {4, 257, 16}, {3, 511, 9},
+        {5, 512, 33}, {2, 513, 1},
+    };
+    int64_t seed = 100;
+    for (const auto &s : shapes) {
+        const Int8Tensor a8 = randomInt8(Shape{s.m, s.k}, seed++);
+        const Int8Tensor b8 = randomInt8(Shape{s.k, s.n}, seed++);
+        const Int8Tensor b8t = randomInt8(Shape{s.n, s.k}, seed++);
+        const Int16Tensor a16 = randomInt16Diff(Shape{s.m, s.k}, seed++);
+        expectBitwiseAcrossLevels([&] { return matmulInt8(a8, b8); });
+        expectBitwiseAcrossLevels(
+            [&] { return matmulTransposedInt8(a8, b8t); });
+        expectBitwiseAcrossLevels([&] { return matmulDiffInt16(a16, b8); });
+        expectBitwiseAcrossLevels(
+            [&] { return matmulTransposedDiffInt16(a16, b8t); });
+    }
+}
+
+TEST(SimdDispatch, ConvIntBitwiseAcrossLevels)
+{
+    int64_t seed = 200;
+    for (const auto &cc : kConvCases) {
+        const Conv2dParams p{cc.cin, cc.cout, cc.kernel, cc.stride,
+                             cc.padding};
+        const Int8Tensor x8 =
+            randomInt8(Shape{2, cc.cin, cc.h, cc.w}, seed++);
+        const Int8Tensor wgt = randomInt8(
+            Shape{cc.cout, cc.cin, cc.kernel, cc.kernel}, seed++);
+        const Int16Tensor x16 =
+            randomInt16Diff(Shape{2, cc.cin, cc.h, cc.w}, seed++);
+        expectBitwiseAcrossLevels([&] { return conv2dInt8(x8, wgt, p); });
+        expectBitwiseAcrossLevels(
+            [&] { return conv2dDiffInt16(x16, wgt, p); });
+    }
+}
+
+TEST(SimdDispatch, DiffGemmPlanBitwiseAcrossLevels)
+{
+    // Mixes cover zero-panel plans (all-zero rows leave prev rows
+    // untouched), all-low4 (group axpy + tails), all-full8 (wide
+    // axpy), and blends; K extents straddle the kDiffPanelK = 64
+    // panel edge and N hits the vector-tail sizes.
+    const struct
+    {
+        int zero, low4;
+        int64_t k, n;
+    } cases[] = {
+        {100, 0, 64, 16},  {0, 100, 63, 19}, {0, 0, 65, 33},
+        {70, 25, 128, 1},  {40, 40, 150, 40}, {90, 9, 257, 31},
+    };
+    int64_t seed = 300;
+    for (const auto &c : cases) {
+        const Int16Tensor diff =
+            mixDiff(Shape{9, c.k}, c.zero, c.low4, seed++);
+        const DiffGemmPlan plan = encodeDiff(diff);
+        const Int8Tensor b = randomInt8(Shape{c.k, c.n}, seed++);
+        Int32Tensor prev(Shape{9, c.n});
+        {
+            Rng rng(static_cast<uint64_t>(seed++));
+            prev.fillUniformInt(rng, -1000, 1000);
+        }
+        expectBitwiseAcrossLevels([&] {
+            return kernels::diffGemm(plan, b.data().data(), c.n,
+                            /*transpose_b=*/false, &prev);
+        });
+    }
+}
+
+TEST(SimdDispatch, ConvScatterBitwiseAcrossLevels)
+{
+    // ForceDiff drives the scatter engine: 3x3/stride-1 exercises the
+    // interior fast path (reversed-weight row axpy), 1x1 the pointwise
+    // scatter, 5x5/stride-2 the windowed scatterEntry path.
+    const ConvCase cases[] = {
+        {3, 5, 9, 9, 3, 1, 1},
+        {4, 6, 8, 8, 1, 1, 0},
+        {2, 7, 11, 9, 5, 2, 2},
+    };
+    int64_t seed = 400;
+    for (const auto &cc : cases) {
+        const Conv2dParams p{cc.cin, cc.cout, cc.kernel, cc.stride,
+                             cc.padding};
+        const DiffConvEngine engine(
+            randomInt8(Shape{cc.cout, cc.cin, cc.kernel, cc.kernel},
+                       seed++),
+            p);
+        const Int8Tensor prev_x =
+            randomInt8(Shape{1, cc.cin, cc.h, cc.w}, seed++);
+        Int8Tensor x = prev_x;
+        {
+            // Sparse perturbation so the difference has all classes.
+            Rng rng(static_cast<uint64_t>(seed++));
+            for (auto &v : x.data())
+                if (rng.bernoulli(0.2))
+                    v = static_cast<int8_t>(
+                        std::clamp<int64_t>(
+                            v + rng.uniformInt(31) - 15, -127, 127));
+        }
+        const Int32Tensor prev_out = engine.runDirect(prev_x);
+        expectBitwiseAcrossLevels([&] {
+            return engine.runDiff(x, prev_x, prev_out, nullptr,
+                                  DiffPolicy::ForceDiff);
+        });
+    }
+}
+
+TEST(SimdDispatch, ThreadInvarianceAtEveryLevel)
+{
+    const Int8Tensor a8 = randomInt8(Shape{37, 129}, 500);
+    const Int8Tensor b8 = randomInt8(Shape{129, 53}, 501);
+    const Int16Tensor diff = mixDiff(Shape{21, 129}, 60, 25, 502);
+    const DiffGemmPlan plan = encodeDiff(diff);
+    const Int8Tensor pb = randomInt8(Shape{129, 53}, 503);
+    for (simd::Level level : simd::availableLevels()) {
+        simd::setLevel(level);
+        checkThreadInvariance([&] { return matmulInt8(a8, b8); }, true);
+        checkThreadInvariance(
+            [&] {
+                return kernels::diffGemm(plan, pb.data().data(), 53,
+                                /*transpose_b=*/false, nullptr);
+            },
+            true);
+    }
+    simd::resetLevel();
     setThreadCount(1);
 }
 

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Parse, stamp, merge and flatten google-benchmark JSON records.
+
+The scaling-study companion to bench_kernels / tools/run_scaling.sh.
+google-benchmark writes one context object per *file*, which is enough
+for a single run but loses provenance the moment rows from several
+runs (different thread counts, different hosts) land in one record.
+This tool makes provenance per-row:
+
+  stamp    RUN.json [--tag k=v ...] [--out OUT.json]
+           Embed a compact host_context (host name, cpu count, MHz,
+           build type, ditto_num_threads, ditto_simd, plus any --tag
+           pairs) into the record and into every benchmark row.
+
+  merge    --out OUT.json RUN.json ...
+           Concatenate stamped runs into one record (context taken
+           from the first file; every row keeps its own host_context).
+
+  csv      RECORD.json [--out OUT.csv]
+           Flatten rows to CSV: name, real_time, cpu_time, time_unit,
+           iterations, threads, simd, host, num_cpus, build.
+
+  scaling  RECORD.json [--family PREFIX]
+           Print a per-benchmark scaling table: wall time and speedup
+           at each recorded thread count, relative to the smallest
+           thread count present for that benchmark.
+
+  append-scaling --bench BENCH.json --scaling MERGED.json
+                 [--out OUT.json]
+           Append the merged scaling rows to a committed
+           BENCH_kernels.json as rows named
+           "SCALING/<name>/threads:<N>" with run_type "scaling",
+           replacing any previous SCALING/ rows from the same host.
+           Rows keep their host_context, so records accumulated from
+           several hosts stay distinguishable and
+           tools/check_bench_regression.py can compare same-host rows
+           only.
+
+Stamped/merged records remain valid google-benchmark JSON supersets:
+consumers that only know {context, benchmarks} keep working.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+HOST_KEYS = ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+DITTO_KEYS = ("ditto_num_threads", "ditto_simd")
+SCALING_PREFIX = "SCALING/"
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def host_context(record, tags=()):
+    """Compact per-row provenance derived from a record's context."""
+    ctx = record.get("context", {})
+    out = {k: ctx[k] for k in HOST_KEYS + DITTO_KEYS if k in ctx}
+    for tag in tags:
+        if "=" not in tag:
+            raise SystemExit(f"--tag wants k=v, got {tag!r}")
+        k, v = tag.split("=", 1)
+        out[k] = v
+    return out
+
+
+def host_key(hc):
+    """Hashable same-host identity (thread count and tags excluded)."""
+    return tuple(str(hc.get(k, "")) for k in HOST_KEYS)
+
+
+def stamp(record, tags=()):
+    hc = host_context(record, tags)
+    record.setdefault("context", {})["host_context"] = hc
+    for bench in record.get("benchmarks", []):
+        bench["host_context"] = dict(hc)
+    return record
+
+
+def cmd_stamp(args):
+    record = stamp(load(args.record), args.tag)
+    dump(record, args.out)
+    return 0
+
+
+def cmd_merge(args):
+    merged = None
+    for path in args.records:
+        record = stamp(load(path))  # idempotent if already stamped
+        if merged is None:
+            merged = record
+        else:
+            merged["benchmarks"].extend(record.get("benchmarks", []))
+    if merged is None:
+        raise SystemExit("merge: no input records")
+    dump(merged, args.out)
+    print(f"merged {len(args.records)} records, "
+          f"{len(merged['benchmarks'])} rows", file=sys.stderr)
+    return 0
+
+
+def row_fields(bench):
+    hc = bench.get("host_context", {})
+    return {
+        "name": bench.get("name", ""),
+        "real_time": bench.get("real_time", ""),
+        "cpu_time": bench.get("cpu_time", ""),
+        "time_unit": bench.get("time_unit", ""),
+        "iterations": bench.get("iterations", ""),
+        "threads": hc.get("ditto_num_threads", ""),
+        "simd": hc.get("ditto_simd", ""),
+        "host": hc.get("host_name", ""),
+        "num_cpus": hc.get("num_cpus", ""),
+        "build": hc.get("library_build_type", ""),
+    }
+
+
+def cmd_csv(args):
+    record = load(args.record)
+    rows = [row_fields(b) for b in record.get("benchmarks", [])]
+    out = open(args.out, "w", newline="") if args.out else sys.stdout
+    writer = csv.DictWriter(out, fieldnames=list(row_fields({}).keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    if args.out:
+        out.close()
+        print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
+    return 0
+
+
+def scaling_rows(record, family=""):
+    """Map name -> {threads -> real_time} over stamped rows."""
+    table = {}
+    for bench in record.get("benchmarks", []):
+        name = bench.get("name", "")
+        if name.startswith(SCALING_PREFIX):
+            # committed form: SCALING/<name>/threads:<N>
+            body = name[len(SCALING_PREFIX):]
+            base, _, t = body.rpartition("/threads:")
+            if not base:
+                continue
+            threads = int(t)
+        else:
+            hc = bench.get("host_context", {})
+            if "ditto_num_threads" not in hc:
+                continue
+            base = name
+            threads = int(hc["ditto_num_threads"])
+        if family and not base.startswith(family):
+            continue
+        table.setdefault(base, {})[threads] = bench["real_time"]
+    return table
+
+
+def cmd_scaling(args):
+    table = scaling_rows(load(args.record), args.family)
+    if not table:
+        print("no stamped scaling rows found (run tools/run_scaling.sh "
+              "or stamp/merge records first)")
+        return 1
+    print(f"{'benchmark':<36} {'threads':>7} {'time':>12} {'speedup':>8}")
+    for base in sorted(table):
+        per_t = table[base]
+        t0 = min(per_t)
+        for threads in sorted(per_t):
+            speedup = per_t[t0] / per_t[threads] if per_t[threads] else 0
+            print(f"{base:<36} {threads:>7} {per_t[threads]:>12.0f} "
+                  f"{speedup:>7.2f}x")
+    return 0
+
+
+def cmd_append_scaling(args):
+    bench_record = load(args.bench)
+    scaling_record = load(args.scaling)
+    new_rows = []
+    new_hosts = set()
+    for row in scaling_record.get("benchmarks", []):
+        hc = row.get("host_context")
+        if not hc or "ditto_num_threads" not in hc:
+            continue
+        new_hosts.add(host_key(hc))
+        new_rows.append({
+            "name": (f"{SCALING_PREFIX}{row['name']}"
+                     f"/threads:{hc['ditto_num_threads']}"),
+            "run_type": "scaling",
+            "real_time": row.get("real_time"),
+            "cpu_time": row.get("cpu_time"),
+            "time_unit": row.get("time_unit", "ns"),
+            "iterations": row.get("iterations"),
+            "host_context": hc,
+        })
+    if not new_rows:
+        raise SystemExit("append-scaling: no stamped rows in "
+                         f"{args.scaling}")
+    # Replace this host's previous study; keep other hosts' rows.
+    kept = []
+    dropped = 0
+    for row in bench_record.get("benchmarks", []):
+        if (row.get("name", "").startswith(SCALING_PREFIX)
+                and host_key(row.get("host_context", {})) in new_hosts):
+            dropped += 1
+            continue
+        kept.append(row)
+    bench_record["benchmarks"] = kept + new_rows
+    dump(bench_record, args.out or args.bench)
+    print(f"appended {len(new_rows)} scaling rows "
+          f"(replaced {dropped}) -> {args.out or args.bench}",
+          file=sys.stderr)
+    return 0
+
+
+def dump(record, out):
+    if out:
+        with open(out, "w") as f:
+            json.dump(record, f, indent=1)
+            f.write("\n")
+    else:
+        json.dump(record, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("stamp", help="embed host_context per row")
+    p.add_argument("record")
+    p.add_argument("--tag", action="append", default=[],
+                   help="extra k=v pair for the host context")
+    p.add_argument("--out")
+    p.set_defaults(fn=cmd_stamp)
+
+    p = sub.add_parser("merge", help="concatenate stamped runs")
+    p.add_argument("records", nargs="+")
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_merge)
+
+    p = sub.add_parser("csv", help="flatten rows to CSV")
+    p.add_argument("record")
+    p.add_argument("--out")
+    p.set_defaults(fn=cmd_csv)
+
+    p = sub.add_parser("scaling", help="print thread-scaling table")
+    p.add_argument("record")
+    p.add_argument("--family", default="",
+                   help="restrict to benchmark-name prefix")
+    p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser("append-scaling",
+                       help="fold scaling rows into BENCH_kernels.json")
+    p.add_argument("--bench", required=True)
+    p.add_argument("--scaling", required=True)
+    p.add_argument("--out", help="default: rewrite --bench in place")
+    p.set_defaults(fn=cmd_append_scaling)
+
+    args = ap.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,16 @@ against the baseline and flagged when they rose more than
 noisier than a throughput ratio, so these rows never exit non-zero —
 not even under --strict; the comparison is informational.
 
+Records may be **multi-host**: tools/bench_results.py stamps rows with
+a `host_context` and `append-scaling` accumulates `SCALING/...` rows
+from several machines into one file. Rows are only ever compared
+against rows from the same host context (host name, cpu count, MHz,
+build type); rows from other hosts are counted and skipped with a note
+— a laptop's numbers never gate a CI runner's. Unstamped rows inherit
+their record's own context, so plain single-host records keep the old
+behavior exactly. Scaling rows are compared warn-only (per name +
+thread count, flagged when wall time rises past --scaling-tolerance).
+
 Warn-only by default (exit 0, suitable for a CI gate that must not
 block on shared-runner noise); --strict exits 1 on any rollout-ratio
 regression.
@@ -31,12 +41,42 @@ import sys
 
 FAMILY = "BM_CompiledRollout"
 SERVE_FAMILIES = ("BM_ServeLatency", "BM_ServeOverload")
+SCALING_PREFIX = "SCALING/"
+HOST_KEYS = ("host_name", "num_cpus", "mhz_per_cpu",
+             "library_build_type")
 
 
-def rollout_ratios(record):
+def host_key(ctx):
+    """Hashable same-host identity (mirrors tools/bench_results.py)."""
+    return tuple(str(ctx.get(k, "")) for k in HOST_KEYS)
+
+
+def record_host_key(record):
+    return host_key(record.get("context", {}))
+
+
+def same_host_rows(record, ref_key):
+    """Yield rows matching ref_key; also return the skipped count.
+
+    A row without a host_context stamp belongs to the record's own
+    context (the plain single-host case).
+    """
+    own = record_host_key(record)
+    kept, skipped = [], 0
+    for bench in record.get("benchmarks", []):
+        row_key = (host_key(bench["host_context"])
+                   if "host_context" in bench else own)
+        if row_key == ref_key:
+            kept.append(bench)
+        else:
+            skipped += 1
+    return kept, skipped
+
+
+def rollout_ratios(rows):
     """Map spec name -> direct/ditto real_time ratio."""
     times = {}
-    for bench in record.get("benchmarks", []):
+    for bench in rows:
         if not bench.get("name", "").startswith(FAMILY):
             continue
         label = bench.get("label", "")
@@ -51,16 +91,38 @@ def rollout_ratios(record):
     return ratios
 
 
-def serve_p95(record):
+def serve_p95(rows):
     """Map serve-family row name -> its p95_us counter."""
-    rows = {}
-    for bench in record.get("benchmarks", []):
+    out = {}
+    for bench in rows:
         name = bench.get("name", "")
         if not name.startswith(SERVE_FAMILIES):
             continue
         if "p95_us" in bench:
-            rows[name] = float(bench["p95_us"])
-    return rows
+            out[name] = float(bench["p95_us"])
+    return out
+
+
+def scaling_times(rows):
+    """Map SCALING/<name>/threads:<N> row name -> real_time."""
+    return {bench["name"]: bench["real_time"] for bench in rows
+            if bench.get("name", "").startswith(SCALING_PREFIX)}
+
+
+def check_scaling(base, fresh, tolerance):
+    """Warn (never fail) on scaling rows slower than baseline allows."""
+    if not fresh:
+        return
+    print("scaling study (warn-only):")
+    for name in sorted(fresh):
+        t = fresh[name]
+        if name not in base:
+            print(f"  {name:<44} {t:12.0f} ns (no baseline row)")
+            continue
+        ceiling = base[name] * (1.0 + tolerance)
+        verdict = "ok" if t <= ceiling else "WARN: above ceiling"
+        print(f"  {name:<44} {t:12.0f} ns (baseline "
+              f"{base[name]:12.0f} ns) {verdict}")
 
 
 def check_serve_latency(base, fresh, tolerance):
@@ -92,20 +154,38 @@ def main():
     ap.add_argument("--serve-tolerance", type=float, default=0.50,
                     help="allowed relative serve-p95 rise before a "
                          "warning (default 0.50)")
+    ap.add_argument("--scaling-tolerance", type=float, default=0.50,
+                    help="allowed relative scaling-row wall-time rise "
+                         "before a warning (default 0.50)")
     ap.add_argument("--strict", action="store_true",
                     help="exit non-zero on rollout-ratio regressions "
-                         "(default: warn); serve p95 rows always warn")
+                         "(default: warn); serve p95 and scaling rows "
+                         "always warn")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
         base_record = json.load(f)
     with open(args.fresh) as f:
         fresh_record = json.load(f)
-    base = rollout_ratios(base_record)
-    fresh = rollout_ratios(fresh_record)
 
-    check_serve_latency(serve_p95(base_record), serve_p95(fresh_record),
+    # Compare on the fresh record's host only: a multi-host baseline
+    # (or a multi-host fresh file from tools/bench_results.py merge)
+    # contributes just its matching rows.
+    ref_key = record_host_key(fresh_record)
+    base_rows, base_skipped = same_host_rows(base_record, ref_key)
+    fresh_rows, fresh_skipped = same_host_rows(fresh_record, ref_key)
+    if base_skipped or fresh_skipped:
+        print(f"note: skipped rows from other host contexts "
+              f"(baseline {base_skipped}, new {fresh_skipped}); "
+              f"comparing host {'/'.join(ref_key)} only")
+
+    base = rollout_ratios(base_rows)
+    fresh = rollout_ratios(fresh_rows)
+
+    check_serve_latency(serve_p95(base_rows), serve_p95(fresh_rows),
                         args.serve_tolerance)
+    check_scaling(scaling_times(base_rows), scaling_times(fresh_rows),
+                  args.scaling_tolerance)
 
     if not fresh:
         print(f"warning: no {FAMILY} rows in {args.fresh}; nothing to "

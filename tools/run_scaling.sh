@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Thread-scaling study over the parallel kernel families.
+#
+# Runs bench_kernels once per thread count (DITTO_NUM_THREADS pinned,
+# everything else inherited), stamps each run's JSON with its host
+# context via tools/bench_results.py, merges the runs into one record,
+# emits a CSV flattening, and prints the speedup table. When `perf` is
+# available and usable, each run is additionally wrapped in
+# `perf stat` and the counter output is kept next to the JSON; when it
+# is not (containers, locked-down kernels), the study proceeds without
+# counters and says so.
+#
+#   tools/run_scaling.sh [-b BENCH_BINARY] [-o OUTDIR]
+#                        [-t "1 2 4 8"] [-f FILTER] [-m MIN_TIME]
+#
+# Defaults: binary build/bench/bench_kernels, outdir bench-scaling/,
+# thread list "1 2 4 8" clamped to 2*nproc (the 2x point doubles as an
+# oversubscription check of the dynamic chunk-claiming scheduler on
+# small hosts), filter = the parallelFor-heavy families, min_time
+# 0.05s per benchmark.
+#
+# Results land comparable next to BENCH_kernels.json: fold them in with
+#   python3 tools/bench_results.py append-scaling \
+#       --bench BENCH_kernels.json --scaling OUTDIR/scaling.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH=build/bench/bench_kernels
+OUTDIR=bench-scaling
+THREADS=""
+FILTER='BM_MatmulInt8/256|BM_MatmulFloat/256|BM_Conv2dInt8|BM_DiffGemmSparse|BM_DiffGemmDense|BM_CompiledRollout'
+MIN_TIME=0.05
+
+while getopts "b:o:t:f:m:h" opt; do
+    case "$opt" in
+        b) BENCH=$OPTARG ;;
+        o) OUTDIR=$OPTARG ;;
+        t) THREADS=$OPTARG ;;
+        f) FILTER=$OPTARG ;;
+        m) MIN_TIME=$OPTARG ;;
+        h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *) exit 2 ;;
+    esac
+done
+
+if [ ! -x "$BENCH" ]; then
+    echo "error: bench binary not found at $BENCH (build with" \
+         "'cmake -B build -S . && cmake --build build -j')" >&2
+    exit 1
+fi
+
+NPROC=$(nproc)
+if [ -z "$THREADS" ]; then
+    THREADS=""
+    for t in 1 2 4 8; do
+        if [ "$t" -le $((NPROC * 2)) ]; then
+            THREADS="$THREADS $t"
+        fi
+    done
+fi
+echo "[scaling] host: $(hostname), $NPROC cpu(s); thread sweep:$THREADS"
+
+# Probe perf once: present AND allowed to count (perf_event_paranoid,
+# seccomp and missing PMUs all surface on the probe, not mid-study).
+PERF=""
+if command -v perf >/dev/null 2>&1 &&
+       perf stat -e task-clock true >/dev/null 2>&1; then
+    PERF="perf stat -e task-clock,context-switches,instructions,cycles"
+    echo "[scaling] perf counters: on"
+else
+    echo "[scaling] perf counters: unavailable, continuing without"
+fi
+
+mkdir -p "$OUTDIR"
+RUNS=()
+for t in $THREADS; do
+    out="$OUTDIR/run_t${t}.json"
+    echo "[scaling] threads=$t -> $out"
+    if [ -n "$PERF" ]; then
+        DITTO_NUM_THREADS=$t $PERF -o "$OUTDIR/run_t${t}.perfstat" -- \
+            "$BENCH" --benchmark_filter="$FILTER" \
+            --benchmark_min_time="$MIN_TIME" \
+            --benchmark_out="$out" --benchmark_out_format=json \
+            >/dev/null
+    else
+        DITTO_NUM_THREADS=$t \
+            "$BENCH" --benchmark_filter="$FILTER" \
+            --benchmark_min_time="$MIN_TIME" \
+            --benchmark_out="$out" --benchmark_out_format=json \
+            >/dev/null
+    fi
+    python3 tools/bench_results.py stamp "$out" --out "$out"
+    RUNS+=("$out")
+done
+
+python3 tools/bench_results.py merge --out "$OUTDIR/scaling.json" \
+    "${RUNS[@]}"
+python3 tools/bench_results.py csv "$OUTDIR/scaling.json" \
+    --out "$OUTDIR/scaling.csv"
+echo
+python3 tools/bench_results.py scaling "$OUTDIR/scaling.json"
+echo
+echo "[scaling] record: $OUTDIR/scaling.json  csv: $OUTDIR/scaling.csv"
+echo "[scaling] fold into the committed baseline with:"
+echo "  python3 tools/bench_results.py append-scaling \\"
+echo "      --bench BENCH_kernels.json --scaling $OUTDIR/scaling.json"
