@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -443,7 +444,6 @@ BM_ServeOverload(benchmark::State &state)
     cfg.maxWaitMicros = 500;
     cfg.workers = 1;
     cfg.queueCapacity = 16; // bounded: overload must shed, not grow
-    cfg.shedSteps = 2;
     const int64_t kArrivals = 48;
     std::vector<double> interactive_us;
     uint64_t total = 0, rejected = 0, degraded = 0;
@@ -595,6 +595,68 @@ BENCHMARK(BM_CompiledRollout)
     ->Args({3, 1})
     ->Args({4, 0})
     ->Args({4, 1});
+
+/**
+ * ApproxDitto rollouts per preset across skip thresholds, charting
+ * the speed-vs-fidelity trade against the exact QuantDitto rows of
+ * BM_CompiledRollout above (same specs, same shapes). Arg 0 selects
+ * the spec as in BM_CompiledRollout; Arg 1 is the skip threshold in
+ * percent (50 = the DITTO_APPROX_SKIP_THRESH default). Each row
+ * records end-to-end fidelity against the exact rollout — psnr_db
+ * (clamped to 99 so exact matches stay finite in the JSON), cosine —
+ * plus the block skips taken and the fraction of output elements
+ * replayed from the previous step. Fidelity is computed once outside
+ * the timing loop; the timed region is the plain approximate rollout.
+ */
+void
+BM_ApproxRollout(benchmark::State &state)
+{
+    CompiledModel model = compiledSpec(static_cast<int>(state.range(0)));
+    const double thresh = static_cast<double>(state.range(1)) / 100.0;
+    model.setApproxPolicy(thresh, model.approxMaxConsec());
+    for (auto _ : state) {
+        RolloutResult r = model.rollout(RunMode::ApproxDitto);
+        benchmark::DoNotOptimize(r.finalImage.data().data());
+    }
+    const RolloutResult r = model.rolloutWithFidelity(RunMode::ApproxDitto);
+    int64_t skips = 0;
+    for (int64_t s : r.nodeSkips)
+        skips += s;
+    int64_t out_elems = 0;
+    for (const CompiledModel::NodeReport &rep : model.nodeReports())
+        if (rep.compute)
+            out_elems += rep.outElems;
+    const int64_t total = out_elems * model.defaultSteps();
+    state.counters["psnr_db"] =
+        r.fidelity.exact() ? 99.0 : std::min(r.fidelity.psnrDb, 99.0);
+    state.counters["cosine"] = r.fidelity.cosine;
+    state.counters["block_skips"] = static_cast<double>(skips);
+    state.counters["reused_frac"] =
+        total > 0
+            ? static_cast<double>(r.dittoOps.reusedElems) / total
+            : 0.0;
+    state.SetItemsProcessed(state.iterations() * model.defaultSteps());
+    char label[64];
+    std::snprintf(label, sizeof label, "%s/approx@%.2f",
+                  model.spec().name.c_str(), thresh);
+    state.SetLabel(label);
+}
+BENCHMARK(BM_ApproxRollout)
+    ->Args({0, 25})
+    ->Args({0, 50})
+    ->Args({0, 75})
+    ->Args({1, 25})
+    ->Args({1, 50})
+    ->Args({1, 75})
+    ->Args({2, 25})
+    ->Args({2, 50})
+    ->Args({2, 75})
+    ->Args({3, 25})
+    ->Args({3, 50})
+    ->Args({3, 75})
+    ->Args({4, 25})
+    ->Args({4, 50})
+    ->Args({4, 75});
 
 void
 BM_EncodingUnit(benchmark::State &state)

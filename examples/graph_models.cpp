@@ -8,7 +8,7 @@
  * requests for each through the batched DenoiseServer with a bitwise
  * check against standalone rollouts.
  *
- *   ./graph_models [--verdicts]
+ *   ./graph_models [--verdicts] [--approx]
  *
  * --verdicts prints, per preset, the per-layer dependency verdicts
  * next to what the compiler wired them into (payload hand-over,
@@ -17,6 +17,12 @@
  * junction fold declined it (e.g. an Affine gate on the wire) is
  * distinguishable from one that executed the diff path and reverted
  * at run time (Defo), straight from the CI log.
+ *
+ * --approx additionally smokes RunMode::ApproxDitto per preset: at
+ * threshold 0 the approximate mode must be bitwise identical to
+ * QuantDitto (checked, fails the run), and at the default threshold
+ * it prints the reuse fraction and end-to-end PSNR/cosine against the
+ * exact rollout (docs/approx_reuse.md).
  *
  * Exits non-zero on any bitwise mismatch, so CI can run it as a
  * smoke test of the compile-and-run path.
@@ -95,9 +101,43 @@ runTimedMs(Fn fn)
     return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+/** ApproxDitto smoke: thresh-0 bitwise check + default-policy curve. */
+bool
+driveApprox(CompiledModel &model)
+{
+    // At threshold 0 only bitwise-identical operands skip, so the
+    // approximate mode must reproduce QuantDitto exactly.
+    const double thresh = model.approxSkipThresh();
+    const int cap = model.approxMaxConsec();
+    model.setApproxPolicy(0.0, cap);
+    const bool exact0 =
+        model.rollout(RunMode::ApproxDitto).finalImage ==
+        model.rollout(RunMode::QuantDitto).finalImage;
+    model.setApproxPolicy(thresh, cap);
+    RolloutResult timed;
+    const double exact_ms = runTimedMs(
+        [&] { timed = model.rollout(RunMode::QuantDitto); });
+    const double approx_ms = runTimedMs(
+        [&] { timed = model.rollout(RunMode::ApproxDitto); });
+    const RolloutResult r =
+        model.rolloutWithFidelity(RunMode::ApproxDitto);
+    int64_t skips = 0;
+    for (int64_t s : r.nodeSkips)
+        skips += s;
+    std::printf("  approx: thresh-0 %s | thresh %.3g cap %d: "
+                "%lld block skips, %.1f ms vs %.1f ms exact (%.2fx), "
+                "PSNR %.1f dB, cosine %.5f\n",
+                exact0 ? "bit-exact" : "MISMATCH", thresh, cap,
+                static_cast<long long>(skips), approx_ms, exact_ms,
+                exact_ms / approx_ms,
+                r.fidelity.exact() ? 99.0 : r.fidelity.psnrDb,
+                r.fidelity.cosine);
+    return exact0;
+}
+
 /** Rollouts + a served burst for one compiled model; true on parity. */
 bool
-driveModel(const CompiledModel &model, bool verdicts)
+driveModel(CompiledModel model, bool verdicts, bool approx)
 {
     const ModelSpec &spec = model.spec();
     std::printf("== %s ==\n", spec.name.c_str());
@@ -126,6 +166,9 @@ driveModel(const CompiledModel &model, bool verdicts)
                 100.0 * ops.full8 / ops.total());
     if (verdicts)
         printVerdicts(model, ditto);
+    bool approx_ok = true;
+    if (approx)
+        approx_ok = driveApprox(model);
 
     // A mixed burst through the async batched server.
     ServerConfig cfg;
@@ -156,7 +199,7 @@ driveModel(const CompiledModel &model, bool verdicts)
                 "rollouts (avg occupancy %.2f)\n\n",
                 served_exact, ids.size(),
                 server.stats().avgOccupancy());
-    return exact && served_exact == ids.size();
+    return exact && approx_ok && served_exact == ids.size();
 }
 
 } // namespace
@@ -165,34 +208,37 @@ int
 main(int argc, char **argv)
 {
     bool verdicts = false;
-    for (int i = 1; i < argc; ++i)
+    bool approx = false;
+    for (int i = 1; i < argc; ++i) {
         verdicts |= std::strcmp(argv[i], "--verdicts") == 0;
+        approx |= std::strcmp(argv[i], "--approx") == 0;
+    }
     bool ok = true;
 
     DeepUnetConfig unet;
     unet.baseChannels = 16;
     unet.resolution = 16;
     unet.steps = 8;
-    ok &= driveModel(compile(deepUnetSpec(unet)), verdicts);
+    ok &= driveModel(compile(deepUnetSpec(unet)), verdicts, approx);
 
     DitBlockConfig dit;
     dit.embedDim = 32;
     dit.resolution = 16;
     dit.steps = 8;
-    ok &= driveModel(compile(ditBlockSpec(dit)), verdicts);
+    ok &= driveModel(compile(ditBlockSpec(dit)), verdicts, approx);
 
     MhsaBlockConfig mhsa;
     mhsa.embedDim = 32;
     mhsa.heads = 2;
     mhsa.resolution = 16;
     mhsa.steps = 8;
-    ok &= driveModel(compile(mhsaBlockSpec(mhsa)), verdicts);
+    ok &= driveModel(compile(mhsaBlockSpec(mhsa)), verdicts, approx);
 
     DitAdaLnConfig adaln;
     adaln.embedDim = 32;
     adaln.resolution = 16;
     adaln.steps = 8;
-    ok &= driveModel(compile(ditAdaLnSpec(adaln)), verdicts);
+    ok &= driveModel(compile(ditAdaLnSpec(adaln)), verdicts, approx);
 
     std::printf("%s\n", ok ? "all graph models bit-exact"
                            : "MISMATCH detected");

@@ -64,9 +64,14 @@ constexpr Knob kKnobs[] = {
      "src/serve/server.cc",
      "Queue depth at which overload shedding releases (hysteresis "
      "band up to DITTO_SERVE_SHED_HIGH). Range 0..1000000."},
-    {"DITTO_SERVE_SHED_STEPS", "2", "src/serve/server.cc",
-     "Step count force-degraded Standard requests are clamped to "
-     "while shedding. Range 1..4096."},
+    {"DITTO_APPROX_SKIP_THRESH", "0.5", "src/runtime/compiled.cc",
+     "ApproxDitto stability threshold: a block is skipped when the "
+     "activity fraction of its Defo probe ((0.5*low4 + full8)/total) "
+     "is at or below this value. 0 skips only bitwise-identical "
+     "steps. Range 0..1."},
+    {"DITTO_APPROX_MAX_CONSEC", "3", "src/runtime/compiled.cc",
+     "Most consecutive steps ApproxDitto may skip one block before "
+     "forcing it to execute. Range 1..4096."},
     {"DITTO_FAULT_POINTS", "unset (no faults)",
      "src/serve/faultpoints.cc",
      "Fault-injection spec: `point:action:schedule[:arg]` clauses "
@@ -124,6 +129,21 @@ readInt64(const char *name, int64_t fallback, int64_t lo, int64_t hi)
         return fallback;
     }
     return static_cast<int64_t>(parsed);
+}
+
+double
+readDouble(const char *name, double fallback, double lo, double hi)
+{
+    const char *v = std::getenv(registered(name));
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || !(parsed >= lo && parsed <= hi)) {
+        warnInvalid(name, v);
+        return fallback;
+    }
+    return parsed;
 }
 
 bool

@@ -42,6 +42,13 @@ bool isRegistered(const char *name);
 int64_t readInt64(const char *name, int64_t fallback, int64_t lo,
                   int64_t hi);
 
+/**
+ * Floating-point knob clamped to [lo, hi]; same unset/invalid policy
+ * as readInt64. NaN never passes the range check.
+ */
+double readDouble(const char *name, double fallback, double lo,
+                  double hi);
+
 /** Boolean knob: set, non-empty and not starting with '0'. */
 bool readFlag(const char *name);
 

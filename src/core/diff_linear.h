@@ -65,6 +65,13 @@ struct OpCounts
      */
     int64_t summationElems = 0;
 
+    /**
+     * Output elements replayed from a cached previous step instead of
+     * being computed (RunMode::ApproxDitto block skips — see
+     * docs/approx_reuse.md). Always 0 in the exact modes.
+     */
+    int64_t reusedElems = 0;
+
     int64_t total() const { return zeroSkipped + low4 + full8; }
 
     /**
@@ -81,6 +88,7 @@ struct OpCounts
         full8 += o.full8;
         diffCalcElems += o.diffCalcElems;
         summationElems += o.summationElems;
+        reusedElems += o.reusedElems;
     }
 };
 

@@ -782,6 +782,10 @@ HandWiredMiniUnet::forward(const FloatTensor &x, RunMode mode, DittoState *state
         return forwardQuant(x, /*use_ditto=*/false, nullptr, nullptr);
       case RunMode::QuantDitto:
         return forwardQuant(x, /*use_ditto=*/true, state, counts);
+      case RunMode::ApproxDitto:
+        DITTO_FATAL("ApproxDitto is a graph-runtime mode; the "
+                    "hand-wired parity reference only runs the exact "
+                    "modes");
     }
     DITTO_PANIC("unknown RunMode");
 }
@@ -815,6 +819,10 @@ HandWiredMiniUnet::forwardBatch(const FloatTensor &x, RunMode mode,
         return forwardQuantBatch(x, /*use_ditto=*/false, nullptr, nullptr);
       case RunMode::QuantDitto:
         return forwardQuantBatch(x, /*use_ditto=*/true, state, counts);
+      case RunMode::ApproxDitto:
+        DITTO_FATAL("ApproxDitto is a graph-runtime mode; the "
+                    "hand-wired parity reference only runs the exact "
+                    "modes");
     }
     DITTO_PANIC("unknown RunMode");
 }

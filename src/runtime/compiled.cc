@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "quant/encoder.h"
@@ -262,6 +263,67 @@ requantCodesDeltaBatch(const Int32Tensor &acc, const Int8Tensor *prev,
 }
 
 /**
+ * ApproxDitto stability signal of a Defo probe: the activity fraction
+ * of the difference stream, weighting a 4-bit element half of an
+ * 8-bit one ((0.5*low4 + full8)/total). 0 means the operand did not
+ * change at all; the skip test `activity <= thresh` therefore makes
+ * threshold 0 skip only bitwise-identical steps. Pure integer-derived
+ * double arithmetic — deterministic at any thread count and batch
+ * composition.
+ */
+double
+approxActivity(const DiffClassCounts &c)
+{
+    const int64_t total = c.total();
+    if (total == 0)
+        return 0.0;
+    return (0.5 * static_cast<double>(c.low4) +
+            static_cast<double>(c.full8)) /
+           static_cast<double>(total);
+}
+
+/** Copy slab `s` of `src` into the same region of `dst`. */
+template <typename T>
+void
+copySlabRegion(const Tensor<T> &src, Tensor<T> *dst, int64_t s,
+               int64_t slab_elems)
+{
+    std::copy(src.data().begin() + s * slab_elems,
+              src.data().begin() + (s + 1) * slab_elems,
+              dst->data().begin() + s * slab_elems);
+}
+
+/** Zero slab `s` of `t`. */
+template <typename T>
+void
+zeroSlabRegion(Tensor<T> *t, int64_t s, int64_t slab_elems)
+{
+    std::fill(t->data().begin() + s * slab_elems,
+              t->data().begin() + (s + 1) * slab_elems, T{});
+}
+
+/** Standalone (batch-of-one) shape of one slab of a stacked tensor. */
+Shape
+slabShape(const Shape &stacked, int64_t b)
+{
+    if (stacked.rank() == 4)
+        return slab::withDim0(stacked, 1);
+    DITTO_ASSERT(stacked.rank() == 2 && stacked[0] % b == 0,
+                 "unsupported slab layout");
+    return Shape{stacked[0] / b, stacked[1]};
+}
+
+/** Stacked shape holding `b` slabs of a standalone-slab tensor. */
+Shape
+stackedShape(const Shape &one, int64_t b)
+{
+    if (one.rank() == 4)
+        return slab::withDim0(one, b);
+    DITTO_ASSERT(one.rank() == 2, "unsupported slab layout");
+    return Shape{one[0] * b, one[1]};
+}
+
+/**
  * Shared per-node epilogue of the four quant-executor compute paths
  * (single/batch x weight-stationary/attention): payload emission plus
  * code-cache refresh, f-liveness-gated float materialization, the
@@ -271,6 +333,12 @@ requantCodesDeltaBatch(const Int32Tensor &acc, const Int8Tensor *prev,
  * payload delta is produced (single vs per-slab) and how summation
  * work is counted, passed in as lambdas — one definition to keep the
  * single and batched modes from silently diverging.
+ *
+ * `emit_stash` (ApproxDitto passes only) parks the pre-update emission
+ * cache, indexed by slot: a hand-over consumer that decides to skip
+ * this step must roll its producer's cache back to the emission its
+ * replayed output corresponds to, so the next executed step's delta
+ * telescopes across the skipped one exactly.
  */
 template <typename Node, typename Value, typename State,
           typename EmitDeltaFn, typename CountSumFn, typename StoreFn>
@@ -278,8 +346,8 @@ void
 nodeEpilogue(const Node &nd, Value &out, Int32Tensor &acc, float combined,
              bool use_ditto, State *state,
              const std::vector<float> &act_scale, bool any_primed,
-             EmitDeltaFn &&emitDelta, CountSumFn &&countSum,
-             StoreFn &&storeCodes)
+             Int8Tensor *emit_stash, EmitDeltaFn &&emitDelta,
+             CountSumFn &&countSum, StoreFn &&storeCodes)
 {
     if (nd.emitPayload) {
         const QuantParams eqp{
@@ -289,8 +357,14 @@ nodeEpilogue(const Node &nd, Value &out, Int32Tensor &acc, float combined,
         else
             out.codes = requantCodes(acc, combined, eqp);
         // The emission becomes the next step's subtrahend.
-        if (use_ditto)
-            state->prevIn[static_cast<size_t>(nd.emitSlot)] = out.codes;
+        if (use_ditto) {
+            Int8Tensor &cache =
+                state->prevIn[static_cast<size_t>(nd.emitSlot)];
+            if (emit_stash)
+                emit_stash[static_cast<size_t>(nd.emitSlot)] =
+                    std::move(cache);
+            cache = out.codes;
+        }
     }
     if (nd.fLive) {
         out.f = dequantizeAccum(acc, combined);
@@ -317,8 +391,16 @@ CompiledModel::BatchDittoState::appendSlabs(int64_t count)
         for (Int32Tensor &t : prevOut)
             if (t.numel() > 0)
                 t = slab::appended(t, b, count);
+        if (!consec.empty()) {
+            const size_t stride = consec.size() / static_cast<size_t>(b);
+            consec.insert(consec.end(),
+                          static_cast<size_t>(count) * stride, 0);
+            skips.insert(skips.end(),
+                         static_cast<size_t>(count) * stride, 0);
+        }
     }
     primed.insert(primed.end(), static_cast<size_t>(count), 0);
+    approx.insert(approx.end(), static_cast<size_t>(count), 0);
 }
 
 void
@@ -330,6 +412,9 @@ CompiledModel::BatchDittoState::removeSlab(int64_t i)
         prevIn.clear();
         prevOut.clear();
         primed.clear();
+        approx.clear();
+        consec.clear();
+        skips.clear();
         return;
     }
     for (Int8Tensor &t : prevIn)
@@ -338,7 +423,140 @@ CompiledModel::BatchDittoState::removeSlab(int64_t i)
     for (Int32Tensor &t : prevOut)
         if (t.numel() > 0)
             t = slab::removed(t, b, i);
+    if (!consec.empty()) {
+        const size_t stride = consec.size() / static_cast<size_t>(b);
+        consec.erase(consec.begin() +
+                         static_cast<int64_t>(stride) * i,
+                     consec.begin() +
+                         static_cast<int64_t>(stride) * (i + 1));
+        skips.erase(skips.begin() + static_cast<int64_t>(stride) * i,
+                    skips.begin() +
+                        static_cast<int64_t>(stride) * (i + 1));
+    }
     primed.erase(primed.begin() + i);
+    if (i < static_cast<int64_t>(approx.size()))
+        approx.erase(approx.begin() + i);
+}
+
+void
+CompiledModel::BatchDittoState::resetSlab(int64_t i)
+{
+    const int64_t b = batch();
+    DITTO_ASSERT(i >= 0 && i < b, "resetSlab index out of range");
+    primed[static_cast<size_t>(i)] = 0;
+    if (i < static_cast<int64_t>(approx.size()))
+        approx[static_cast<size_t>(i)] = 0;
+    // Stale ApproxDitto reuse state from the slab's previous occupant
+    // must not leak into the next request's skip decisions: its first
+    // (unprimed) step never touches the counters, so a surviving
+    // consecutive-skip run would gate the second step differently
+    // from a fresh rollout.
+    if (!consec.empty()) {
+        const size_t stride = consec.size() / static_cast<size_t>(b);
+        std::fill_n(consec.begin() + static_cast<int64_t>(stride) * i,
+                    stride, 0);
+        std::fill_n(skips.begin() + static_cast<int64_t>(stride) * i,
+                    stride, int64_t{0});
+    }
+}
+
+CompiledModel::BatchDittoState::SlabState
+CompiledModel::BatchDittoState::extractSlab(int64_t i) const
+{
+    const int64_t b = batch();
+    DITTO_ASSERT(i >= 0 && i < b, "extractSlab index out of range");
+    SlabState s;
+    s.prevIn.resize(prevIn.size());
+    for (size_t k = 0; k < prevIn.size(); ++k) {
+        const Int8Tensor &t = prevIn[k];
+        if (t.numel() == 0)
+            continue;
+        const int64_t elems = t.numel() / b;
+        Int8Tensor one(slabShape(t.shape(), b));
+        std::copy(t.data().begin() + i * elems,
+                  t.data().begin() + (i + 1) * elems,
+                  one.data().begin());
+        s.prevIn[k] = std::move(one);
+    }
+    s.prevOut.resize(prevOut.size());
+    for (size_t k = 0; k < prevOut.size(); ++k) {
+        const Int32Tensor &t = prevOut[k];
+        if (t.numel() == 0)
+            continue;
+        const int64_t elems = t.numel() / b;
+        Int32Tensor one(slabShape(t.shape(), b));
+        std::copy(t.data().begin() + i * elems,
+                  t.data().begin() + (i + 1) * elems,
+                  one.data().begin());
+        s.prevOut[k] = std::move(one);
+    }
+    s.primed = primed[static_cast<size_t>(i)];
+    s.approx = i < static_cast<int64_t>(approx.size())
+                   ? approx[static_cast<size_t>(i)]
+                   : 0;
+    if (!consec.empty()) {
+        const size_t stride = consec.size() / static_cast<size_t>(b);
+        s.consec.assign(consec.begin() +
+                            static_cast<int64_t>(stride) * i,
+                        consec.begin() +
+                            static_cast<int64_t>(stride) * (i + 1));
+        s.skips.assign(skips.begin() + static_cast<int64_t>(stride) * i,
+                       skips.begin() +
+                           static_cast<int64_t>(stride) * (i + 1));
+    }
+    return s;
+}
+
+void
+CompiledModel::BatchDittoState::installSlab(int64_t i, const SlabState &s)
+{
+    const int64_t b = batch();
+    DITTO_ASSERT(i >= 0 && i < b, "installSlab index out of range");
+    if (prevIn.empty() && !s.prevIn.empty())
+        prevIn.resize(s.prevIn.size());
+    if (prevOut.empty() && !s.prevOut.empty())
+        prevOut.resize(s.prevOut.size());
+    for (size_t k = 0; k < s.prevIn.size(); ++k) {
+        const Int8Tensor &one = s.prevIn[k];
+        if (one.numel() == 0)
+            continue;
+        Int8Tensor &t = prevIn[k];
+        if (t.numel() == 0)
+            t = Int8Tensor(stackedShape(one.shape(), b));
+        const int64_t elems = one.numel();
+        DITTO_ASSERT(t.numel() == elems * b,
+                     "installSlab slot geometry mismatch");
+        std::copy(one.data().begin(), one.data().end(),
+                  t.data().begin() + i * elems);
+    }
+    for (size_t k = 0; k < s.prevOut.size(); ++k) {
+        const Int32Tensor &one = s.prevOut[k];
+        if (one.numel() == 0)
+            continue;
+        Int32Tensor &t = prevOut[k];
+        if (t.numel() == 0)
+            t = Int32Tensor(stackedShape(one.shape(), b));
+        const int64_t elems = one.numel();
+        DITTO_ASSERT(t.numel() == elems * b,
+                     "installSlab slot geometry mismatch");
+        std::copy(one.data().begin(), one.data().end(),
+                  t.data().begin() + i * elems);
+    }
+    primed[static_cast<size_t>(i)] = s.primed;
+    if (approx.size() != primed.size())
+        approx.resize(primed.size(), 0);
+    approx[static_cast<size_t>(i)] = s.approx;
+    if (!s.consec.empty()) {
+        const size_t stride = s.consec.size();
+        if (consec.size() != stride * static_cast<size_t>(b)) {
+            consec.assign(stride * static_cast<size_t>(b), 0);
+            skips.assign(stride * static_cast<size_t>(b), 0);
+        }
+        std::copy(s.consec.begin(), s.consec.end(),
+                  consec.begin() + static_cast<int64_t>(stride) * i);
+        std::copy(s.skips.begin(), s.skips.end(),
+                  skips.begin() + static_cast<int64_t>(stride) * i);
+    }
 }
 
 float
@@ -433,6 +651,7 @@ CompiledModel::nodeReports() const
         r.sumSkip = r.compute && !nd.fLive;
         r.emitsPayload = nd.emitPayload;
         r.deadStructural = nd.skipExec;
+        r.outElems = r.compute ? nd.spec.outShape.numel() : 0;
         out.push_back(std::move(r));
     }
     return out;
@@ -610,15 +829,29 @@ CompiledModel::runStructural(const Node &nd, std::vector<Value> &vals,
 
 FloatTensor
 CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
-                            DittoState *state, OpCounts *counts) const
+                            bool approx, DittoState *state,
+                            OpCounts *counts) const
 {
     DITTO_ASSERT(!use_ditto || state != nullptr,
                  "Ditto mode needs persistent state");
+    DITTO_ASSERT(!approx || use_ditto,
+                 "ApproxDitto runs on the Ditto state machinery");
     const bool primed = use_ditto && state->primed;
     if (use_ditto && state->prevIn.empty()) {
         state->prevIn.resize(static_cast<size_t>(numInSlots_));
         state->prevOut.resize(static_cast<size_t>(numOutSlots_));
     }
+    if (approx && state->consec.size() != nodes_.size()) {
+        state->consec.assign(nodes_.size(), 0);
+        state->skips.assign(nodes_.size(), 0);
+    }
+    // Skips are only legal on primed steps (there is a cached output
+    // to replay). The stash holds every emitting producer's pre-update
+    // code cache so a skipping consumer can roll it back.
+    const bool approx_pass = approx && primed;
+    std::vector<Int8Tensor> emit_stash(
+        approx_pass ? static_cast<size_t>(numInSlots_) : 0);
+    Int8Tensor *stash = approx_pass ? emit_stash.data() : nullptr;
 
     std::vector<Value> vals(nodes_.size());
     for (const Node &nd : nodes_) {
@@ -667,8 +900,61 @@ CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
                 codes = quantize(in.f, qp);
             }
 
+            // ApproxDitto: probe the operand's temporal difference and
+            // replay the cached previous output when it is stable
+            // enough. Every operand form reuses its step's difference
+            // reference: a handed-over delta, a junction fold's delta,
+            // or the stored previous codes.
+            bool skipped = false;
+            if (approx_pass) {
+                int32_t &consec =
+                    state->consec[static_cast<size_t>(ns.id)];
+                if (consec < approxCap_) {
+                    const DiffClassCounts pc =
+                        dptr ? countDiffClasses(*dptr)
+                             : countTemporalDiffClasses(
+                                   codes,
+                                   state->prevIn[static_cast<size_t>(
+                                       nd.inSlot)]);
+                    skipped = approxActivity(pc) <= approxThresh_;
+                }
+                if (skipped) {
+                    ++consec;
+                    ++state->skips[static_cast<size_t>(ns.id)];
+                } else {
+                    consec = 0;
+                }
+            }
+
             Int32Tensor acc;
-            if (!primed) {
+            if (skipped) {
+                // Replay, and freeze the difference reference to the
+                // operand this output corresponds to: the next
+                // executed step's delta then telescopes across the
+                // skipped one exactly (out = prevOut + W(x_{t+1} -
+                // x_{t-1})), so the error stays confined to skipped
+                // steps.
+                acc = state->prevOut[static_cast<size_t>(nd.outSlot)];
+                if (nd.junction) {
+                    codes =
+                        state->prevIn[static_cast<size_t>(nd.jSlot)];
+                } else if (nd.diffBypass) {
+                    const Node &prod =
+                        nodes_[static_cast<size_t>(nd.srcProducer)];
+                    Int8Tensor &old = emit_stash[static_cast<size_t>(
+                        prod.emitSlot)];
+                    DITTO_ASSERT(old.numel() > 0,
+                                 "skip needs the producer's stashed "
+                                 "emission cache");
+                    state->prevIn[static_cast<size_t>(prod.emitSlot)] =
+                        std::move(old);
+                } else {
+                    codes =
+                        state->prevIn[static_cast<size_t>(nd.inSlot)];
+                }
+                if (counts)
+                    counts->reusedElems += acc.numel();
+            } else if (!primed) {
                 if (nd.conv)
                     acc = nd.conv->runDirect(codes);
                 else if (nd.cross)
@@ -707,7 +993,7 @@ CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
 
             nodeEpilogue(
                 nd, out, acc, combinedScale(nd), use_ditto, state,
-                actScale_, primed,
+                actScale_, primed, stash,
                 [&](const QuantParams &eqp, float combined) {
                     requantCodesDelta(
                         acc,
@@ -755,8 +1041,66 @@ CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
             } else {
                 b_codes = quantize(bv.f, qpb);
             }
+
+            // ApproxDitto is all-or-nothing per attention node: both
+            // operands must be stable (every expansion term carries a
+            // difference factor of one operand or the other).
+            bool skipped = false;
+            if (approx_pass) {
+                int32_t &consec =
+                    state->consec[static_cast<size_t>(ns.id)];
+                if (consec < approxCap_) {
+                    const DiffClassCounts ca =
+                        nd.diffBypass
+                            ? countDiffClasses(av.d16)
+                            : countTemporalDiffClasses(
+                                  a_codes,
+                                  state->prevIn[static_cast<size_t>(
+                                      nd.inSlot)]);
+                    const DiffClassCounts cb =
+                        nd.diffBypass2
+                            ? countDiffClasses(bv.d16)
+                            : countTemporalDiffClasses(
+                                  b_codes,
+                                  state->prevIn[static_cast<size_t>(
+                                      nd.inSlot2)]);
+                    skipped = approxActivity(ca) <= approxThresh_ &&
+                              approxActivity(cb) <= approxThresh_;
+                }
+                if (skipped) {
+                    ++consec;
+                    ++state->skips[static_cast<size_t>(ns.id)];
+                } else {
+                    consec = 0;
+                }
+            }
+
             Int32Tensor acc;
-            if (!primed) {
+            if (skipped) {
+                acc = state->prevOut[static_cast<size_t>(nd.outSlot)];
+                if (nd.diffBypass) {
+                    const Node &prod =
+                        nodes_[static_cast<size_t>(nd.srcProducer)];
+                    state->prevIn[static_cast<size_t>(prod.emitSlot)] =
+                        std::move(emit_stash[static_cast<size_t>(
+                            prod.emitSlot)]);
+                } else {
+                    a_codes =
+                        state->prevIn[static_cast<size_t>(nd.inSlot)];
+                }
+                if (nd.diffBypass2) {
+                    const Node &prod =
+                        nodes_[static_cast<size_t>(nd.srcProducer2)];
+                    state->prevIn[static_cast<size_t>(prod.emitSlot)] =
+                        std::move(emit_stash[static_cast<size_t>(
+                            prod.emitSlot)]);
+                } else {
+                    b_codes =
+                        state->prevIn[static_cast<size_t>(nd.inSlot2)];
+                }
+                if (counts)
+                    counts->reusedElems += acc.numel();
+            } else if (!primed) {
                 acc = ns.op == RtOp::AttnScores
                           ? attentionScoresDirect(a_codes, b_codes)
                           : attentionOutputDirect(a_codes, b_codes);
@@ -795,7 +1139,7 @@ CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
             }
             nodeEpilogue(
                 nd, out, acc, combinedScale(nd), use_ditto, state,
-                actScale_, primed,
+                actScale_, primed, stash,
                 [&](const QuantParams &eqp, float combined) {
                     requantCodesDelta(
                         acc,
@@ -834,7 +1178,7 @@ CompiledModel::forwardQuant(const FloatTensor &x, bool use_ditto,
 
 FloatTensor
 CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
-                                 BatchDittoState *state,
+                                 bool approx, BatchDittoState *state,
                                  OpCounts *counts) const
 {
     DITTO_ASSERT(x.shape().rank() == 4, "batched input must be NCHW");
@@ -843,6 +1187,8 @@ CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
                  "Ditto mode needs persistent batch state");
     DITTO_ASSERT(!use_ditto || state->batch() == bsz,
                  "batch state size mismatch");
+    DITTO_ASSERT(!approx || use_ditto,
+                 "ApproxDitto runs on the Ditto state machinery");
     if (use_ditto && state->prevIn.empty()) {
         state->prevIn.resize(static_cast<size_t>(numInSlots_));
         state->prevOut.resize(static_cast<size_t>(numOutSlots_));
@@ -857,6 +1203,32 @@ CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
         return false;
     };
     const bool have_primed = anyPrimed();
+
+    // ApproxDitto bookkeeping: per-slab enables (the serving layer
+    // mixes exact and approx requests in one batch; exact slabs are
+    // never skipped) and [slab][node] skip counters.
+    if (approx) {
+        DITTO_ASSERT(state->approx.size() == static_cast<size_t>(bsz),
+                     "approx batch needs per-slab approx flags");
+        if (state->consec.size() !=
+            nodes_.size() * static_cast<size_t>(bsz)) {
+            state->consec.assign(
+                nodes_.size() * static_cast<size_t>(bsz), 0);
+            state->skips.assign(
+                nodes_.size() * static_cast<size_t>(bsz), 0);
+        }
+    }
+    const uint8_t *approx_flags = approx ? state->approx.data() : nullptr;
+    auto slabApprox = [&](int64_t s) {
+        return approx_flags && approx_flags[s] && primed[s];
+    };
+    bool any_approx = false;
+    for (int64_t s = 0; approx_flags && s < bsz; ++s)
+        any_approx |= slabApprox(s);
+    std::vector<Int8Tensor> emit_stash(
+        any_approx ? static_cast<size_t>(numInSlots_) : 0);
+    Int8Tensor *stash = any_approx ? emit_stash.data() : nullptr;
+    const size_t nnodes = nodes_.size();
 
     // Previous-state slot pointer, or null while not materialized (the
     // engines only dereference state for primed slabs).
@@ -933,8 +1305,91 @@ CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
                 codes = quantize(in.f, qp);
             }
 
+            // ApproxDitto per-slab skip decisions: a skipped slab's
+            // difference region is forced to zero (and its frozen
+            // codes re-stored), which makes the batched engines
+            // reproduce the replay bitwise — out = prevOut + W*0 —
+            // while non-skipped slabs run unchanged. When every slab
+            // skips, the engine call is bypassed entirely.
+            std::vector<uint8_t> skip_slab;
+            bool any_skip = false;
+            bool all_skip = false;
+            if (any_approx) {
+                skip_slab.assign(static_cast<size_t>(bsz), 0);
+                all_skip = true;
+                const int64_t in_elems = codes.numel() / bsz;
+                for (int64_t s = 0; s < bsz; ++s) {
+                    bool sk = false;
+                    if (slabApprox(s)) {
+                        int32_t &consec = state->consec
+                            [static_cast<size_t>(s) * nnodes +
+                             static_cast<size_t>(ns.id)];
+                        if (consec < approxCap_) {
+                            const DiffClassCounts pc =
+                                dptr ? countDiffClasses(*dptr,
+                                                        s * in_elems,
+                                                        in_elems)
+                                     : countTemporalDiffClasses(
+                                           codes,
+                                           state->prevIn
+                                               [static_cast<size_t>(
+                                                   nd.inSlot)],
+                                           s * in_elems, in_elems);
+                            sk = approxActivity(pc) <= approxThresh_;
+                        }
+                        if (sk) {
+                            ++consec;
+                            ++state->skips
+                                  [static_cast<size_t>(s) * nnodes +
+                                   static_cast<size_t>(ns.id)];
+                        } else {
+                            consec = 0;
+                        }
+                    }
+                    skip_slab[static_cast<size_t>(s)] = sk;
+                    any_skip |= sk;
+                    all_skip &= sk;
+                }
+            }
+            if (any_skip) {
+                const int64_t in_elems = codes.numel() / bsz;
+                const int64_t out_elems = ns.outShape.numel();
+                for (int64_t s = 0; s < bsz; ++s) {
+                    if (!skip_slab[static_cast<size_t>(s)])
+                        continue;
+                    if (nd.junction) {
+                        // Freeze the fold: re-emit the previous
+                        // cached codes, zero the delta region.
+                        copySlabRegion(
+                            state->prevIn[static_cast<size_t>(
+                                nd.jSlot)],
+                            &codes, s, in_elems);
+                        zeroSlabRegion(&jd16, s, in_elems);
+                    } else if (nd.diffBypass) {
+                        zeroSlabRegion(&jd16, s, in_elems);
+                        const Node &prod = nodes_[static_cast<size_t>(
+                            nd.srcProducer)];
+                        copySlabRegion(
+                            emit_stash[static_cast<size_t>(
+                                prod.emitSlot)],
+                            &state->prevIn[static_cast<size_t>(
+                                prod.emitSlot)],
+                            s, in_elems);
+                    } else {
+                        copySlabRegion(
+                            state->prevIn[static_cast<size_t>(
+                                nd.inSlot)],
+                            &codes, s, in_elems);
+                    }
+                    if (counts)
+                        counts[s].reusedElems += out_elems;
+                }
+            }
+
             Int32Tensor acc;
-            if (dptr) {
+            if (all_skip) {
+                acc = *prevOut(nd.outSlot);
+            } else if (dptr) {
                 if (nd.conv)
                     acc = nd.conv->runBatchPre(codes, *dptr,
                                                prevOut(nd.outSlot),
@@ -984,7 +1439,7 @@ CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
 
             nodeEpilogue(
                 nd, out, acc, combinedScale(nd), use_ditto, state,
-                actScale_, have_primed,
+                actScale_, have_primed, stash,
                 [&](const QuantParams &eqp, float combined) {
                     requantCodesDeltaBatch(
                         acc,
@@ -1028,8 +1483,113 @@ CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
             } else {
                 b_codes = quantize(bv.f, qpb);
             }
+            // ApproxDitto: all-or-nothing per slab across both
+            // operands, then zero the skipped slabs' difference
+            // regions (every expansion term carries a difference
+            // factor, so the batched engine reproduces the replay
+            // bitwise for those slabs).
+            std::vector<uint8_t> skip_slab;
+            bool any_skip = false;
+            bool all_skip = false;
+            if (any_approx) {
+                skip_slab.assign(static_cast<size_t>(bsz), 0);
+                all_skip = true;
+                const int64_t a_elems = a_codes.numel() / bsz;
+                const int64_t b_elems = b_codes.numel() / bsz;
+                for (int64_t s = 0; s < bsz; ++s) {
+                    bool sk = false;
+                    if (slabApprox(s)) {
+                        int32_t &consec = state->consec
+                            [static_cast<size_t>(s) * nnodes +
+                             static_cast<size_t>(ns.id)];
+                        if (consec < approxCap_) {
+                            const DiffClassCounts ca =
+                                nd.diffBypass
+                                    ? countDiffClasses(av.d16,
+                                                       s * a_elems,
+                                                       a_elems)
+                                    : countTemporalDiffClasses(
+                                          a_codes,
+                                          state->prevIn
+                                              [static_cast<size_t>(
+                                                  nd.inSlot)],
+                                          s * a_elems, a_elems);
+                            const DiffClassCounts cb =
+                                nd.diffBypass2
+                                    ? countDiffClasses(bv.d16,
+                                                       s * b_elems,
+                                                       b_elems)
+                                    : countTemporalDiffClasses(
+                                          b_codes,
+                                          state->prevIn
+                                              [static_cast<size_t>(
+                                                  nd.inSlot2)],
+                                          s * b_elems, b_elems);
+                            sk = approxActivity(ca) <= approxThresh_ &&
+                                 approxActivity(cb) <= approxThresh_;
+                        }
+                        if (sk) {
+                            ++consec;
+                            ++state->skips
+                                  [static_cast<size_t>(s) * nnodes +
+                                   static_cast<size_t>(ns.id)];
+                        } else {
+                            consec = 0;
+                        }
+                    }
+                    skip_slab[static_cast<size_t>(s)] = sk;
+                    any_skip |= sk;
+                    all_skip &= sk;
+                }
+            }
+            if (any_skip) {
+                const int64_t a_elems = a_codes.numel() / bsz;
+                const int64_t b_elems = b_codes.numel() / bsz;
+                const int64_t out_elems = ns.outShape.numel();
+                for (int64_t s = 0; s < bsz; ++s) {
+                    if (!skip_slab[static_cast<size_t>(s)])
+                        continue;
+                    if (nd.diffBypass) {
+                        zeroSlabRegion(&av.d16, s, a_elems);
+                        const Node &prod = nodes_[static_cast<size_t>(
+                            nd.srcProducer)];
+                        copySlabRegion(
+                            emit_stash[static_cast<size_t>(
+                                prod.emitSlot)],
+                            &state->prevIn[static_cast<size_t>(
+                                prod.emitSlot)],
+                            s, a_elems);
+                    } else {
+                        copySlabRegion(
+                            state->prevIn[static_cast<size_t>(
+                                nd.inSlot)],
+                            &a_codes, s, a_elems);
+                    }
+                    if (nd.diffBypass2) {
+                        zeroSlabRegion(&bv.d16, s, b_elems);
+                        const Node &prod = nodes_[static_cast<size_t>(
+                            nd.srcProducer2)];
+                        copySlabRegion(
+                            emit_stash[static_cast<size_t>(
+                                prod.emitSlot)],
+                            &state->prevIn[static_cast<size_t>(
+                                prod.emitSlot)],
+                            s, b_elems);
+                    } else {
+                        copySlabRegion(
+                            state->prevIn[static_cast<size_t>(
+                                nd.inSlot2)],
+                            &b_codes, s, b_elems);
+                    }
+                    if (counts)
+                        counts[s].reusedElems += out_elems;
+                }
+            }
+
             Int32Tensor acc;
-            if (have_primed) {
+            if (all_skip) {
+                acc = *prevOut(nd.outSlot);
+            } else if (have_primed) {
                 DITTO_ASSERT(!nd.diffBypass || av.d16.numel() > 0,
                              "operand payload missing difference");
                 DITTO_ASSERT(!nd.diffBypass2 || bv.d16.numel() > 0,
@@ -1072,7 +1632,7 @@ CompiledModel::forwardQuantBatch(const FloatTensor &x, bool use_ditto,
             }
             nodeEpilogue(
                 nd, out, acc, combinedScale(nd), use_ditto, state,
-                actScale_, have_primed,
+                actScale_, have_primed, stash,
                 [&](const QuantParams &eqp, float combined) {
                     requantCodesDeltaBatch(
                         acc,
@@ -1113,9 +1673,14 @@ CompiledModel::forward(const FloatTensor &x, RunMode mode,
       case RunMode::Fp32:
         return forwardFp32(x, nullptr);
       case RunMode::QuantDirect:
-        return forwardQuant(x, /*use_ditto=*/false, nullptr, nullptr);
+        return forwardQuant(x, /*use_ditto=*/false, /*approx=*/false,
+                            nullptr, nullptr);
       case RunMode::QuantDitto:
-        return forwardQuant(x, /*use_ditto=*/true, state, counts);
+        return forwardQuant(x, /*use_ditto=*/true, /*approx=*/false,
+                            state, counts);
+      case RunMode::ApproxDitto:
+        return forwardQuant(x, /*use_ditto=*/true, /*approx=*/true,
+                            state, counts);
     }
     DITTO_PANIC("unknown RunMode");
 }
@@ -1150,10 +1715,14 @@ CompiledModel::forwardBatch(const FloatTensor &x, RunMode mode,
         return out;
       }
       case RunMode::QuantDirect:
-        return forwardQuantBatch(x, /*use_ditto=*/false, nullptr,
-                                 nullptr);
+        return forwardQuantBatch(x, /*use_ditto=*/false,
+                                 /*approx=*/false, nullptr, nullptr);
       case RunMode::QuantDitto:
-        return forwardQuantBatch(x, /*use_ditto=*/true, state, counts);
+        return forwardQuantBatch(x, /*use_ditto=*/true,
+                                 /*approx=*/false, state, counts);
+      case RunMode::ApproxDitto:
+        return forwardQuantBatch(x, /*use_ditto=*/true,
+                                 /*approx=*/true, state, counts);
     }
     DITTO_PANIC("unknown RunMode");
 }
@@ -1183,7 +1752,61 @@ CompiledModel::rollout(RunMode mode, const FloatTensor &noise,
     }
     result.finalImage = std::move(x);
     result.totalMacsPerStep = macsPerStep_;
+    if (mode == RunMode::ApproxDitto)
+        result.nodeSkips = state.skips.empty()
+                               ? std::vector<int64_t>(nodes_.size(), 0)
+                               : state.skips;
     return result;
+}
+
+RolloutResult
+CompiledModel::rolloutWithFidelity(RunMode mode) const
+{
+    return rolloutWithFidelity(mode, noiseInit_);
+}
+
+RolloutResult
+CompiledModel::rolloutWithFidelity(RunMode mode,
+                                   const FloatTensor &noise,
+                                   int steps) const
+{
+    validateSingle(noise, "rolloutWithFidelity");
+    if (steps < 0)
+        DITTO_FATAL("rolloutWithFidelity: negative step count "
+                    << steps);
+    if (steps == 0)
+        steps = spec_.steps;
+    RolloutResult result;
+    DittoState state;
+    DittoState ref_state;
+    FloatTensor x = noise;
+    FloatTensor x_ref = noise;
+    result.stepFidelity.reserve(static_cast<size_t>(steps));
+    for (int t = 0; t < steps; ++t) {
+        const FloatTensor eps =
+            forward(x, mode, &state, &result.dittoOps);
+        x = add(x, affine(eps, -0.15f, 0.0f));
+        const FloatTensor eps_ref =
+            forward(x_ref, RunMode::QuantDitto, &ref_state, nullptr);
+        x_ref = add(x_ref, affine(eps_ref, -0.15f, 0.0f));
+        result.stepFidelity.push_back(compareImages(x_ref, x));
+    }
+    result.fidelity = result.stepFidelity.back();
+    result.hasFidelity = true;
+    result.finalImage = std::move(x);
+    result.totalMacsPerStep = macsPerStep_;
+    if (mode == RunMode::ApproxDitto)
+        result.nodeSkips = state.skips.empty()
+                               ? std::vector<int64_t>(nodes_.size(), 0)
+                               : state.skips;
+    return result;
+}
+
+void
+CompiledModel::setApproxPolicy(double thresh, int max_consec)
+{
+    approxThresh_ = std::clamp(thresh, 0.0, 1.0);
+    approxCap_ = std::max(1, max_consec);
 }
 
 std::vector<RolloutResult>
@@ -1204,6 +1827,8 @@ CompiledModel::rolloutBatch(RunMode mode,
 
     BatchDittoState state;
     state.primed.assign(static_cast<size_t>(bsz), 0);
+    state.approx.assign(static_cast<size_t>(bsz),
+                        mode == RunMode::ApproxDitto ? 1 : 0);
     std::vector<OpCounts> counts(static_cast<size_t>(bsz));
     for (int t = 0; t < spec_.steps; ++t) {
         const FloatTensor eps =
@@ -1211,6 +1836,7 @@ CompiledModel::rolloutBatch(RunMode mode,
         x = add(x, affine(eps, -0.15f, 0.0f));
     }
 
+    const size_t nnodes = nodes_.size();
     std::vector<RolloutResult> results(static_cast<size_t>(bsz));
     for (int64_t b = 0; b < bsz; ++b) {
         RolloutResult &r = results[static_cast<size_t>(b)];
@@ -1220,6 +1846,15 @@ CompiledModel::rolloutBatch(RunMode mode,
                   r.finalImage.data().begin());
         r.dittoOps = counts[static_cast<size_t>(b)];
         r.totalMacsPerStep = macsPerStep_;
+        if (mode == RunMode::ApproxDitto) {
+            r.nodeSkips.assign(nnodes, 0);
+            if (!state.skips.empty())
+                std::copy(state.skips.begin() +
+                              static_cast<int64_t>(nnodes) * b,
+                          state.skips.begin() +
+                              static_cast<int64_t>(nnodes) * (b + 1),
+                          r.nodeSkips.begin());
+        }
     }
     return results;
 }
@@ -1280,6 +1915,20 @@ compile(const ModelSpec &spec, const CompileOptions &opts)
     CompiledModel m;
     m.spec_ = spec;
     m.opts_ = opts;
+
+    // ApproxDitto skip policy: explicit options win, otherwise the
+    // environment knobs (docs/approx_reuse.md). Resolved once here so
+    // every forward of this model sees one consistent policy.
+    m.approxThresh_ =
+        opts.approxSkipThresh >= 0.0
+            ? std::clamp(opts.approxSkipThresh, 0.0, 1.0)
+            : env::readDouble("DITTO_APPROX_SKIP_THRESH", 0.5, 0.0,
+                              1.0);
+    m.approxCap_ =
+        opts.approxMaxConsec > 0
+            ? opts.approxMaxConsec
+            : static_cast<int>(env::readInt64("DITTO_APPROX_MAX_CONSEC",
+                                              3, 1, 4096));
 
     std::vector<int> n2l;
     m.graph_ = spec.toGraph(&n2l);
@@ -1419,12 +2068,16 @@ compile(const ModelSpec &spec, const CompileOptions &opts)
                     continue; // one payload target per producer
                 prod.emitPayload = true;
                 prod.emitScale = j == 0 ? ns.scaleIn : ns.scaleIn2;
-                if (j == 0)
+                if (j == 0) {
                     m.nodes_[static_cast<size_t>(ns.id)].diffBypass =
                         true;
-                else
+                    m.nodes_[static_cast<size_t>(ns.id)].srcProducer = p;
+                } else {
                     m.nodes_[static_cast<size_t>(ns.id)].diffBypass2 =
                         true;
+                    m.nodes_[static_cast<size_t>(ns.id)].srcProducer2 =
+                        p;
+                }
                 ++m.numBypass_;
             }
         }

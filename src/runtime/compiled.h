@@ -83,6 +83,21 @@ struct CompileOptions
 
     /** Engine policy: Auto (Defo reversion) or ForceDiff (tests). */
     DiffPolicy policy = DiffPolicy::Auto;
+
+    /**
+     * RunMode::ApproxDitto stability threshold: a block is skipped
+     * when the activity fraction of its Defo probe,
+     * (0.5*low4 + full8)/total, is at or below this value. 0 skips
+     * only bitwise-identical steps (ApproxDitto == QuantDitto);
+     * negative resolves DITTO_APPROX_SKIP_THRESH at compile().
+     */
+    double approxSkipThresh = -1.0;
+
+    /**
+     * Most consecutive ApproxDitto skips of one block before it must
+     * execute; <= 0 resolves DITTO_APPROX_MAX_CONSEC at compile().
+     */
+    int approxMaxConsec = 0;
 };
 
 /** A ModelSpec compiled into an executable engine program. */
@@ -95,6 +110,14 @@ class CompiledModel
         std::vector<Int8Tensor> prevIn;   //!< previous input codes
         std::vector<Int32Tensor> prevOut; //!< previous int32 outputs
         bool primed = false;
+
+        /**
+         * ApproxDitto bookkeeping, one entry per program node (lazily
+         * sized by the first approx pass; exact modes never touch it):
+         * the node's current consecutive-skip run and its total skips.
+         */
+        std::vector<int32_t> consec;
+        std::vector<int64_t> skips;
     };
 
     /**
@@ -110,6 +133,22 @@ class CompiledModel
         std::vector<Int8Tensor> prevIn;
         std::vector<Int32Tensor> prevOut;
         std::vector<uint8_t> primed;
+
+        /**
+         * Per-slab ApproxDitto enable: slab b may only be skipped when
+         * approx[b] is set (the serving layer batches exact and approx
+         * requests together; exact slabs keep the bitwise guarantee).
+         * Maintained slab-parallel to `primed`.
+         */
+        std::vector<uint8_t> approx;
+
+        /**
+         * ApproxDitto bookkeeping in [slab][node] layout (stride =
+         * node count), lazily sized by the first approx pass: per-slab
+         * consecutive-skip runs and total skip counts.
+         */
+        std::vector<int32_t> consec;
+        std::vector<int64_t> skips;
 
         int64_t batch() const
         {
@@ -127,13 +166,38 @@ class CompiledModel
 
         /**
          * Hand slab `i` to a new request in place: clears its primed
-         * flag; the stale tensors are never read while unprimed (the
+         * and approx flags and zeroes its consecutive-skip counters —
+         * stale approx reuse state from the previous occupant must not
+         * leak into the new request's skip decisions. The stale
+         * tensors themselves are never read while unprimed (the
          * continuous-batching fast path).
          */
-        void resetSlab(int64_t i)
+        void resetSlab(int64_t i);
+
+        /**
+         * Everything one slab contributes to the batch state, in
+         * standalone (batch-of-one) shapes — the park/resume transport
+         * for ApproxDitto requests, whose reuse caches and skip
+         * counters must survive preemption bitwise (src/serve/).
+         */
+        struct SlabState
         {
-            primed[static_cast<size_t>(i)] = 0;
-        }
+            std::vector<Int8Tensor> prevIn;
+            std::vector<Int32Tensor> prevOut;
+            uint8_t primed = 0;
+            uint8_t approx = 0;
+            std::vector<int32_t> consec;
+            std::vector<int64_t> skips;
+        };
+
+        /** Copy slab `i` out into standalone shapes. */
+        SlabState extractSlab(int64_t i) const;
+
+        /**
+         * Install `s` into slab `i` (which must exist), materializing
+         * any still-empty slot tensors as zero-filled stacks.
+         */
+        void installSlab(int64_t i, const SlabState &s);
     };
 
     const ModelSpec &spec() const { return spec_; }
@@ -168,6 +232,12 @@ class CompiledModel
         bool sumSkip = false;     //!< float output never materialized
         bool emitsPayload = false;
         bool deadStructural = false; //!< plan-covered, never executes
+        /**
+         * Per-slab output elements of a compute node (0 otherwise):
+         * the elements one ApproxDitto skip of this node replays, so
+         * sum(nodeSkips[i] * outElems[i]) == OpCounts::reusedElems.
+         */
+        int64_t outElems = 0;
     };
 
     /**
@@ -224,6 +294,29 @@ class CompiledModel
      */
     std::vector<RolloutResult>
     rolloutBatch(RunMode mode, std::span<const FloatTensor> noises) const;
+
+    /**
+     * Like rollout(), but additionally runs an exact (QuantDitto)
+     * reference rollout in lockstep and fills the result's fidelity
+     * fields (per-step + end-to-end PSNR and cosine — see
+     * docs/approx_reuse.md). Roughly doubles the work; the returned
+     * finalImage is bitwise identical to rollout(mode, ...)'s.
+     */
+    RolloutResult rolloutWithFidelity(RunMode mode) const;
+    RolloutResult rolloutWithFidelity(RunMode mode,
+                                      const FloatTensor &noise,
+                                      int steps = 0) const;
+
+    /** The resolved ApproxDitto skip threshold / consecutive cap. */
+    double approxSkipThresh() const { return approxThresh_; }
+    int approxMaxConsec() const { return approxCap_; }
+
+    /**
+     * Override the resolved ApproxDitto skip policy after compile()
+     * (benches sweep the threshold without recompiling; calibration
+     * is threshold-independent). Clamps to [0, 1] and >= 1.
+     */
+    void setApproxPolicy(double thresh, int max_consec);
 
     /**
      * Deterministic per-request initial noise: a request's trajectory
@@ -295,6 +388,10 @@ class CompiledModel
                            //!< form the hand-over delta without a
                            //!< float recomputation
         int jSlot = -1;    //!< code cache of this node's junction fold
+        int srcProducer = -1;  //!< producer node id behind a
+                               //!< diffBypass hand-over (operand 0);
+                               //!< -1 for junction folds
+        int srcProducer2 = -1; //!< same for attention operand 1
         int layer = -1;    //!< graph layer id (dependency verdict)
     };
 
@@ -346,9 +443,10 @@ class CompiledModel
                 const std::function<void(int, const FloatTensor &)> *obs)
         const;
     FloatTensor forwardQuant(const FloatTensor &x, bool use_ditto,
-                             DittoState *state, OpCounts *counts) const;
+                             bool approx, DittoState *state,
+                             OpCounts *counts) const;
     FloatTensor forwardQuantBatch(const FloatTensor &x, bool use_ditto,
-                                  BatchDittoState *state,
+                                  bool approx, BatchDittoState *state,
                                   OpCounts *counts) const;
 
     ModelSpec spec_;
@@ -363,6 +461,8 @@ class CompiledModel
     int numBypass_ = 0;
     int numSumSkip_ = 0;
     int64_t macsPerStep_ = 0;
+    double approxThresh_ = 0.0;
+    int approxCap_ = 1;
 };
 
 /**

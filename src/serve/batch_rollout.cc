@@ -61,7 +61,8 @@ BatchEngine::admitBatch(std::span<const uint64_t> ids,
                  "admitBatch exceeds engine capacity");
     for (const DenoiseRequest &req : reqs)
         DITTO_ASSERT(req.mode == RunMode::QuantDitto ||
-                     req.mode == RunMode::QuantDirect,
+                     req.mode == RunMode::QuantDirect ||
+                     req.mode == RunMode::ApproxDitto,
                      "only quantized modes are served batched");
     const int64_t n0 = active();
     // One grow for the image stack and one per state tensor, then
@@ -83,7 +84,9 @@ BatchEngine::admitBatch(std::span<const uint64_t> ids,
         slot.id = ids[j];
         slot.stepsTotal =
             reqs[j].steps > 0 ? reqs[j].steps : model_.defaultSteps();
-        slot.ditto = reqs[j].mode == RunMode::QuantDitto;
+        slot.ditto = reqs[j].mode != RunMode::QuantDirect;
+        slot.approx = reqs[j].mode == RunMode::ApproxDitto;
+        state_.approx[static_cast<size_t>(n0 + j)] = slot.approx;
         slots_.push_back(slot);
     }
 }
@@ -93,8 +96,15 @@ BatchEngine::step()
 {
     DITTO_ASSERT(!empty(), "step on an empty batch engine");
     stepCounts_.assign(slots_.size(), OpCounts{});
+    // The per-slab approx flags gate reuse, so running the batch in
+    // ApproxDitto mode when any slot asked for it leaves the exact
+    // slots' arithmetic untouched (their flags stay 0).
+    bool any_approx = false;
+    for (const Slot &s : slots_)
+        any_approx = any_approx || s.approx;
     const FloatTensor eps = model_.forwardBatch(
-        x_, RunMode::QuantDitto, &state_, stepCounts_.data());
+        x_, any_approx ? RunMode::ApproxDitto : RunMode::QuantDitto,
+        &state_, stepCounts_.data());
     x_ = add(x_, affine(eps, -0.15f, 0.0f));
     for (size_t i = 0; i < slots_.size(); ++i) {
         slots_[i].ops.merge(stepCounts_[i]);
@@ -136,7 +146,8 @@ void
 BatchEngine::replaceSlot(int64_t i, uint64_t id, const DenoiseRequest &req)
 {
     DITTO_ASSERT(req.mode == RunMode::QuantDitto ||
-                 req.mode == RunMode::QuantDirect,
+                 req.mode == RunMode::QuantDirect ||
+                 req.mode == RunMode::ApproxDitto,
                  "only quantized modes are served batched");
     Slot &slot = slots_[static_cast<size_t>(i)];
     DITTO_ASSERT(slot.stepsDone >= slot.stepsTotal,
@@ -144,12 +155,16 @@ BatchEngine::replaceSlot(int64_t i, uint64_t id, const DenoiseRequest &req)
     slot.id = id;
     slot.stepsDone = 0;
     slot.stepsTotal = req.steps > 0 ? req.steps : model_.defaultSteps();
-    slot.ditto = req.mode == RunMode::QuantDitto;
+    slot.ditto = req.mode != RunMode::QuantDirect;
+    slot.approx = req.mode == RunMode::ApproxDitto;
     slot.ops = OpCounts{};
     const FloatTensor noise = model_.requestNoise(req.seed);
     std::copy(noise.data().begin(), noise.data().end(),
               x_.data().begin() + i * noise.numel());
-    state_.resetSlab(i); // stale state is never read while unprimed
+    // resetSlab also clears the approx flag and the consecutive-skip
+    // counters left by the slot's previous occupant.
+    state_.resetSlab(i);
+    state_.approx[static_cast<size_t>(i)] = slot.approx;
 }
 
 void
@@ -171,6 +186,14 @@ BatchEngine::park(int64_t i)
     p.stepsDone = slot.stepsDone;
     p.stepsTotal = slot.stepsTotal;
     p.ditto = slot.ditto;
+    p.approx = slot.approx;
+    if (slot.approx) {
+        // Exact modes resume unprimed bit-for-bit; approx reuse does
+        // not, so the slab's cached codes/outputs and skip counters
+        // travel with the request.
+        p.state = state_.extractSlab(i);
+        p.hasState = true;
+    }
     removeSlot(i);
     return p;
 }
@@ -188,11 +211,16 @@ BatchEngine::admitParked(const Parked &p)
     std::copy(p.image.data().begin(), p.image.data().end(),
               x_.data().begin() + n0 * p.image.numel());
     state_.appendSlabs(1); // unprimed: the resumed step runs direct
+    if (p.hasState)
+        state_.installSlab(n0, p.state);
+    else
+        state_.approx[static_cast<size_t>(n0)] = p.approx;
     Slot slot;
     slot.id = p.id;
     slot.stepsDone = p.stepsDone;
     slot.stepsTotal = p.stepsTotal;
     slot.ditto = p.ditto;
+    slot.approx = p.approx;
     slot.ops = p.ops;
     slots_.push_back(slot);
 }
@@ -207,10 +235,15 @@ BatchEngine::replaceSlotParked(int64_t i, const Parked &p)
     slot.stepsDone = p.stepsDone;
     slot.stepsTotal = p.stepsTotal;
     slot.ditto = p.ditto;
+    slot.approx = p.approx;
     slot.ops = p.ops;
     std::copy(p.image.data().begin(), p.image.data().end(),
               x_.data().begin() + i * p.image.numel());
     state_.resetSlab(i); // stale state is never read while unprimed
+    if (p.hasState)
+        state_.installSlab(i, p.state);
+    else
+        state_.approx[static_cast<size_t>(i)] = p.approx;
 }
 
 std::vector<BatchEngine::Finished>

@@ -50,8 +50,9 @@ class BatchEngine
 
     /**
      * Join a request to the batch as a fresh (unprimed) slab seeded
-     * with requestNoise(req.seed). Only quantized modes are served
-     * batched. Must not be called on a full engine.
+     * with requestNoise(req.seed). Only the quantized modes
+     * (QuantDirect, QuantDitto, ApproxDitto) are served batched.
+     * Must not be called on a full engine.
      */
     void admit(uint64_t id, const DenoiseRequest &req);
 
@@ -106,6 +107,20 @@ class BatchEngine
         int stepsDone = 0;
         int stepsTotal = 0;
         bool ditto = true;
+        /**
+         * ApproxDitto requests additionally carry their full reuse
+         * state (cached codes, cached outputs, consecutive-skip
+         * counters). Unlike the exact modes, an approx slab cannot
+         * simply resume unprimed: the skip decisions depend on the
+         * cached previous step, so dropping the state would change
+         * which blocks skip — and therefore the bits. park() captures
+         * it, admitParked()/replaceSlotParked() reinstall it, and the
+         * resumed trajectory is bitwise the uninterrupted one
+         * (tests/test_serve.cc ApproxServe suite).
+         */
+        bool approx = false;
+        bool hasState = false;
+        CompiledModel::BatchDittoState::SlabState state;
     };
 
     /**
@@ -159,7 +174,8 @@ class BatchEngine
         uint64_t id = 0;
         int stepsDone = 0;
         int stepsTotal = 0;
-        bool ditto = true; //!< false: QuantDirect (never primes)
+        bool ditto = true;  //!< false: QuantDirect (never primes)
+        bool approx = false; //!< RunMode::ApproxDitto (block reuse on)
         OpCounts ops;
     };
 

@@ -61,8 +61,6 @@ ServerConfig::fromEnv()
                                        cfg.shedHighWater, 0, 1'000'000);
     cfg.shedLowWater = env::readInt64("DITTO_SERVE_SHED_LOW",
                                       cfg.shedLowWater, 0, 1'000'000);
-    cfg.shedSteps = static_cast<int>(
-        env::readInt64("DITTO_SERVE_SHED_STEPS", cfg.shedSteps, 1, 4096));
     return cfg;
 }
 
@@ -209,7 +207,8 @@ DenoiseServer::submit(const DenoiseRequest &req)
     // Reject malformed requests at the API boundary, in the caller's
     // thread — a bad request must not take down a worker mid-batch.
     if (req.mode != RunMode::QuantDitto &&
-        req.mode != RunMode::QuantDirect)
+        req.mode != RunMode::QuantDirect &&
+        req.mode != RunMode::ApproxDitto)
         DITTO_FATAL("submit: only quantized modes are served batched");
     if (req.steps < 0)
         DITTO_FATAL("submit: negative step count " << req.steps);
@@ -261,9 +260,11 @@ DenoiseServer::submit(const DenoiseRequest &req)
             return id;
         }
         if (req.slo == SloClass::Standard) {
-            effective.mode = RunMode::QuantDitto;
-            effective.steps =
-                std::min(effectiveSteps(req), cfg_.shedSteps);
+            // Degrade quality, not step count: the request runs its
+            // full trajectory in ApproxDitto, which sheds compute by
+            // skipping temporally stable blocks (docs/approx_reuse.md)
+            // instead of truncating the denoise.
+            effective.mode = RunMode::ApproxDitto;
             tickets_[id].degraded = true;
             ++cm.degraded;
         }

@@ -29,8 +29,10 @@
  *  - Cancellation: cancel(ticket) works in every non-terminal state.
  *  - Overload shedding with hysteresis: past shedHighWater queued
  *    requests the load watcher rejects incoming BestEffort work and
- *    force-degrades Standard work (QuantDitto mode, step count
- *    clamped to shedSteps); it releases only below shedLowWater.
+ *    force-degrades Standard work to RunMode::ApproxDitto — the full
+ *    step count runs, but temporally stable blocks are skipped
+ *    (docs/approx_reuse.md); it releases only below shedLowWater.
+ *    Interactive traffic is never touched.
  *  - Observability: per-class latency histograms and lifecycle
  *    counters (serve/metrics.h), exported as JSON.
  *  - Fault injection: deterministic delay/failure hooks on the whole
@@ -103,12 +105,6 @@ struct ServerConfig
      * to shedHighWater is the hysteresis band.
      */
     int64_t shedLowWater = 0;
-
-    /**
-     * Step count force-degraded Standard requests are clamped to
-     * while shedding (DITTO_SERVE_SHED_STEPS).
-     */
-    int shedSteps = 2;
 
     /** Defaults with the DITTO_SERVE_* environment overrides applied. */
     static ServerConfig fromEnv();

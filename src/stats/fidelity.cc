@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fidelity metrics implementation (thin composition of the similarity
+ * primitives in stats/similarity.h).
+ */
+#include "stats/fidelity.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/similarity.h"
+
+namespace ditto {
+
+FidelityStats
+compareImages(const FloatTensor &ref, const FloatTensor &approx)
+{
+    DITTO_ASSERT(ref.shape() == approx.shape(),
+                 "fidelity comparison needs equally-shaped tensors");
+    FidelityStats s;
+    const double mse = meanSquaredError(ref, approx);
+    if (mse == 0.0) {
+        s.psnrDb = std::numeric_limits<double>::infinity();
+    } else {
+        const double range = valueRange(ref);
+        s.psnrDb = range > 0.0
+                       ? 10.0 * std::log10(range * range / mse)
+                       : 0.0;
+    }
+    s.cosine = cosineSimilarity(ref, approx);
+    return s;
+}
+
+} // namespace ditto

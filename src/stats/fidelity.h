@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fidelity accounting for approximate execution (RunMode::ApproxDitto).
+ *
+ * The exact modes are bitwise identical to direct execution, so until
+ * now "accuracy" needed no measurement. Approximate cross-step block
+ * reuse intentionally trades bits for speed; this module quantifies
+ * the trade as the two metrics the related work reports (BlockDance,
+ * Sortblock — see PAPERS.md): PSNR of the approximate image against
+ * the exact rollout's image, and their cosine similarity. Both are
+ * computed per denoising step and end to end, and surface in
+ * RolloutResult next to OpCounts so bench_kernels can emit
+ * reproducible speed-vs-fidelity curves (docs/approx_reuse.md).
+ */
+#ifndef DITTO_STATS_FIDELITY_H
+#define DITTO_STATS_FIDELITY_H
+
+#include <limits>
+
+#include "tensor/tensor.h"
+
+namespace ditto {
+
+/** Fidelity of one approximate tensor against its exact reference. */
+struct FidelityStats
+{
+    /**
+     * Peak signal-to-noise ratio in dB: 10 log10(range(ref)^2 / MSE),
+     * with range(ref) = max(ref) - min(ref) (the image convention for
+     * data without a fixed peak). +inf on an exact match; 0 when the
+     * reference is constant but the approximation is not.
+     */
+    double psnrDb = std::numeric_limits<double>::infinity();
+
+    /** Cosine similarity of the flattened tensors (1 when exact). */
+    double cosine = 1.0;
+
+    /** True when the tensors compared bitwise equal. */
+    bool exact() const
+    {
+        return psnrDb == std::numeric_limits<double>::infinity();
+    }
+};
+
+/**
+ * Compare an approximate tensor against its equally-shaped exact
+ * reference. Deterministic: a pure function of the two tensors.
+ */
+FidelityStats compareImages(const FloatTensor &ref,
+                            const FloatTensor &approx);
+
+} // namespace ditto
+
+#endif // DITTO_STATS_FIDELITY_H

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -745,6 +746,229 @@ TEST(NewSpecs, MhsaBlockServesThroughDenoiseServer)
 TEST(NewSpecs, DitAdaLnServesThroughDenoiseServer)
 {
     expectServedBitwise(ditAdaLn());
+}
+
+/**
+ * ApproxDitto (docs/approx_reuse.md): cross-step block reuse. At
+ * threshold 0 only bitwise-identical inputs skip, so the mode must
+ * equal QuantDitto exactly; at any threshold the decisions must be
+ * deterministic across thread counts and batch compositions, the
+ * skip accounting must add up, and fidelity must not improve as the
+ * threshold loosens.
+ */
+
+/** The five executable preset specs at test geometry. */
+std::vector<ModelSpec>
+approxPresetSpecs()
+{
+    setenv("DITTO_NO_CACHE", "1", 0);
+    std::vector<ModelSpec> specs;
+    specs.push_back(miniUnetSpec(parityConfig()));
+    DeepUnetConfig du;
+    du.resolution = 8;
+    du.baseChannels = 8;
+    du.steps = 5;
+    specs.push_back(deepUnetSpec(du));
+    DitBlockConfig db;
+    db.resolution = 8;
+    db.embedDim = 16;
+    db.steps = 5;
+    specs.push_back(ditBlockSpec(db));
+    MhsaBlockConfig mh;
+    mh.resolution = 8;
+    mh.embedDim = 16;
+    mh.heads = 2;
+    mh.steps = 5;
+    specs.push_back(mhsaBlockSpec(mh));
+    DitAdaLnConfig da;
+    da.resolution = 8;
+    da.embedDim = 16;
+    da.steps = 5;
+    specs.push_back(ditAdaLnSpec(da));
+    return specs;
+}
+
+TEST(ApproxMode, ThresholdZeroBitwiseIdenticalOnEveryPreset)
+{
+    for (const ModelSpec &spec : approxPresetSpecs()) {
+        CompiledModel m = compile(spec);
+        m.setApproxPolicy(0.0, 3);
+        const RolloutResult exact = m.rollout(RunMode::QuantDitto);
+        const RolloutResult approx = m.rollout(RunMode::ApproxDitto);
+        EXPECT_TRUE(exact.finalImage == approx.finalImage)
+            << spec.name << " diverged at threshold 0";
+        // The exact modes never report reuse or skip logs.
+        EXPECT_EQ(exact.dittoOps.reusedElems, 0);
+        EXPECT_TRUE(exact.nodeSkips.empty());
+        ASSERT_EQ(approx.nodeSkips.size(), m.nodeReports().size());
+    }
+}
+
+TEST(ApproxMode, SkipDecisionsDeterministicAcrossThreadCounts)
+{
+    setenv("DITTO_NO_CACHE", "1", 0);
+    DeepUnetConfig du;
+    du.resolution = 8;
+    du.baseChannels = 8;
+    du.steps = 5;
+    CompiledModel m = compile(deepUnetSpec(du));
+    m.setApproxPolicy(1.0, 2); // skip aggressively: decisions matter
+    setThreadCount(1);
+    const RolloutResult one = m.rollout(RunMode::ApproxDitto);
+    setThreadCount(3);
+    const RolloutResult three = m.rollout(RunMode::ApproxDitto);
+    setThreadCount(1);
+    EXPECT_TRUE(one.finalImage == three.finalImage);
+    EXPECT_EQ(one.dittoOps.reusedElems, three.dittoOps.reusedElems);
+    EXPECT_GT(one.dittoOps.reusedElems, 0);
+    ASSERT_EQ(one.nodeSkips.size(), three.nodeSkips.size());
+    EXPECT_EQ(one.nodeSkips, three.nodeSkips);
+}
+
+TEST(ApproxMode, BatchedSkipDecisionsMatchSequential)
+{
+    // The probes see per-slab regions of the same codes a sequential
+    // rollout sees, so every slab must reproduce its single-request
+    // images, skip log and reuse tally at any batch size. (Full
+    // OpCounts lane tallies are NOT compared: a sequential skip
+    // bypasses the engine while a batched skip runs it over a zeroed
+    // region — same bits, different probe bookkeeping.)
+    setenv("DITTO_NO_CACHE", "1", 0);
+    DeepUnetConfig du;
+    du.resolution = 8;
+    du.baseChannels = 8;
+    du.steps = 5;
+    CompiledModel m = compile(deepUnetSpec(du));
+    m.setApproxPolicy(1.0, 2);
+    for (int64_t batch : {1, 3, 4}) {
+        std::vector<FloatTensor> noises;
+        for (int64_t b = 0; b < batch; ++b)
+            noises.push_back(
+                m.requestNoise(static_cast<uint64_t>(300 + b)));
+        const std::vector<RolloutResult> got =
+            m.rolloutBatch(RunMode::ApproxDitto, noises);
+        ASSERT_EQ(got.size(), noises.size());
+        for (size_t i = 0; i < noises.size(); ++i) {
+            const RolloutResult want =
+                m.rollout(RunMode::ApproxDitto, noises[i]);
+            EXPECT_TRUE(want.finalImage == got[i].finalImage)
+                << "batch " << batch << " slab " << i;
+            EXPECT_EQ(want.nodeSkips, got[i].nodeSkips);
+            EXPECT_EQ(want.dittoOps.reusedElems,
+                      got[i].dittoOps.reusedElems);
+        }
+    }
+}
+
+TEST(ApproxMode, ReusedElemsMatchesPerNodeSkipLog)
+{
+    setenv("DITTO_NO_CACHE", "1", 0);
+    DeepUnetConfig du;
+    du.resolution = 8;
+    du.baseChannels = 8;
+    du.steps = 5;
+    CompiledModel m = compile(deepUnetSpec(du));
+    m.setApproxPolicy(1.0, 2);
+    const RolloutResult r = m.rollout(RunMode::ApproxDitto);
+    const std::vector<CompiledModel::NodeReport> reports =
+        m.nodeReports();
+    ASSERT_EQ(r.nodeSkips.size(), reports.size());
+    int64_t want = 0;
+    for (size_t i = 0; i < reports.size(); ++i) {
+        if (!reports[i].compute)
+            EXPECT_EQ(r.nodeSkips[i], 0) << reports[i].name;
+        want += r.nodeSkips[i] * reports[i].outElems;
+    }
+    EXPECT_GT(want, 0);
+    EXPECT_EQ(r.dittoOps.reusedElems, want);
+}
+
+TEST(ApproxMode, FidelityMonotoneNonImprovingInThreshold)
+{
+    setenv("DITTO_NO_CACHE", "1", 0);
+    DeepUnetConfig du;
+    du.resolution = 8;
+    du.baseChannels = 8;
+    du.steps = 5;
+    CompiledModel m = compile(deepUnetSpec(du));
+    double prev_psnr = std::numeric_limits<double>::infinity();
+    double prev_cos = 1.0;
+    for (double thresh : {0.0, 0.5, 1.0}) {
+        m.setApproxPolicy(thresh, 3);
+        const RolloutResult r =
+            m.rolloutWithFidelity(RunMode::ApproxDitto);
+        ASSERT_TRUE(r.hasFidelity);
+        ASSERT_EQ(r.stepFidelity.size(),
+                  static_cast<size_t>(m.defaultSteps()));
+        // rolloutWithFidelity must not perturb the rollout itself.
+        EXPECT_TRUE(r.finalImage ==
+                    m.rollout(RunMode::ApproxDitto).finalImage);
+        EXPECT_LE(r.fidelity.psnrDb, prev_psnr) << "thresh " << thresh;
+        EXPECT_LE(r.fidelity.cosine, prev_cos) << "thresh " << thresh;
+        prev_psnr = r.fidelity.psnrDb;
+        prev_cos = r.fidelity.cosine;
+        if (thresh == 0.0) // exact by construction
+            EXPECT_TRUE(r.fidelity.exact());
+    }
+    // The loosest policy actually degrades the image.
+    EXPECT_LT(prev_psnr, std::numeric_limits<double>::infinity());
+}
+
+TEST(ApproxMode, ResetSlabClearsApproxReuseState)
+{
+    // Regression: resetSlab() must clear the consecutive-skip
+    // counters along with the primed/approx flags. A replaced slab's
+    // first (unprimed) step never touches the counters, so a stale
+    // consecutive-skip run from the previous occupant would force the
+    // new request's first primed step to execute where a fresh
+    // rollout skips — different bits.
+    setenv("DITTO_NO_CACHE", "1", 0);
+    DeepUnetConfig du;
+    du.resolution = 8;
+    du.baseChannels = 8;
+    du.steps = 5;
+    CompiledModel m = compile(deepUnetSpec(du));
+    m.setApproxPolicy(1.0, 2); // every primed step skips, cap 2
+    const Shape one = m.inputShape();
+    const int64_t slab = one.numel();
+    const int64_t bsz = 2;
+
+    FloatTensor xb(slab::withDim0(one, bsz));
+    for (int64_t b = 0; b < bsz; ++b) {
+        const FloatTensor n =
+            m.requestNoise(static_cast<uint64_t>(400 + b));
+        std::copy(n.data().begin(), n.data().end(),
+                  xb.data().begin() + b * slab);
+    }
+    CompiledModel::BatchDittoState st;
+    st.primed.assign(static_cast<size_t>(bsz), 0);
+    st.approx.assign(static_cast<size_t>(bsz), 1);
+    auto step = [&] {
+        const FloatTensor eps =
+            m.forwardBatch(xb, RunMode::ApproxDitto, &st, nullptr);
+        xb = add(xb, affine(eps, -0.15f, 0.0f));
+    };
+    // Three steps drive slab 1's skip counters to the cap.
+    step();
+    step();
+    step();
+    // Slab 1 finishes; a new approx request takes the slot
+    // mid-rollout (resetSlab also clears the approx flag — the
+    // engine re-arms it per request, as BatchEngine::replaceSlot
+    // does).
+    st.resetSlab(1);
+    st.approx[1] = 1;
+    const FloatTensor fresh_noise = m.requestNoise(777);
+    std::copy(fresh_noise.data().begin(), fresh_noise.data().end(),
+              xb.data().begin() + 1 * slab);
+    step(); // unprimed: must not consult stale counters
+    step(); // first primed step: skips iff the counters were cleared
+    FloatTensor got(one);
+    std::copy(xb.data().begin() + 1 * slab,
+              xb.data().begin() + 2 * slab, got.data().begin());
+    const RolloutResult want =
+        m.rollout(RunMode::ApproxDitto, fresh_noise, 2);
+    EXPECT_TRUE(want.finalImage == got);
 }
 
 TEST(SpecHash, ContentHashDistinguishesGeometryAndSeed)

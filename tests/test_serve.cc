@@ -1014,7 +1014,6 @@ TEST(ShedTest, OverloadShedsByClassWithHysteresis)
     cfg.queueCapacity = 100;
     cfg.shedHighWater = 4;
     cfg.shedLowWater = 1;
-    cfg.shedSteps = 2;
     DenoiseServer server(net.compiled(), cfg);
     DenoiseRequest busy;
     busy.seed = 110;
@@ -1036,7 +1035,7 @@ TEST(ShedTest, OverloadShedsByClassWithHysteresis)
     DenoiseRequest std_req;
     std_req.seed = 120;
     std_req.steps = 4;
-    std_req.mode = RunMode::QuantDirect; // degraded to QuantDitto
+    std_req.mode = RunMode::QuantDirect; // degraded to ApproxDitto
     const uint64_t deg = server.submit(std_req);
     // ... and BestEffort is rejected outright.
     DenoiseRequest be_req;
@@ -1052,10 +1051,11 @@ TEST(ShedTest, OverloadShedsByClassWithHysteresis)
     const DenoiseResult rdeg = server.wait(deg);
     EXPECT_EQ(rdeg.status, RequestStatus::Done);
     EXPECT_TRUE(rdeg.degraded);
-    EXPECT_EQ(rdeg.steps, 2); // clamped to shedSteps
-    // Degraded execution is still exact: bitwise the 2-step QuantDitto
-    // rollout of the same seed.
-    expectBitwiseEqual(referenceImage(RunMode::QuantDitto, 120, 2),
+    // Degradation sheds quality, not steps: the full trajectory runs
+    // in ApproxDitto and is bitwise the sequential ApproxDitto rollout
+    // of the same seed, whatever batch it landed in.
+    EXPECT_EQ(rdeg.steps, 4);
+    expectBitwiseEqual(referenceImage(RunMode::ApproxDitto, 120, 4),
                        rdeg.image);
 
     const ServeMetrics m = server.metrics();
@@ -1077,6 +1077,242 @@ TEST(ShedTest, OverloadShedsByClassWithHysteresis)
     ok.slo = SloClass::BestEffort;
     EXPECT_EQ(server.wait(server.submit(ok)).status,
               RequestStatus::Done);
+}
+
+/**
+ * ApproxDitto through the serving layer (docs/approx_reuse.md): the
+ * approximate mode joins the same batches as the exact modes, its
+ * per-slab reuse decisions are independent of batch composition, and
+ * parking a request mid-rollout carries the reuse state (cached
+ * codes/outputs + consecutive-skip counters) so the resumed
+ * trajectory is bitwise the uninterrupted one.
+ */
+
+/** MiniUnet at test geometry with an aggressive skip policy. */
+const CompiledModel &
+approxNet()
+{
+    static const CompiledModel *m = [] {
+        setenv("DITTO_NO_CACHE", "1", 0);
+        auto *model =
+            new CompiledModel(compile(miniUnetSpec(smallConfig())));
+        // Skip whenever the refresh cap allows: every primed step
+        // reuses, so drift, counters and refresh all get exercised.
+        model->setApproxPolicy(1.0, 3);
+        return model;
+    }();
+    return *m;
+}
+
+TEST(ApproxServe, MixedModesShareABatch)
+{
+    const CompiledModel &m = approxNet();
+    BatchEngine engine(m, /*max_batch=*/3);
+    const RunMode modes[3] = {RunMode::ApproxDitto, RunMode::QuantDitto,
+                              RunMode::QuantDirect};
+    for (uint64_t i = 0; i < 3; ++i) {
+        DenoiseRequest req;
+        req.seed = 700 + i;
+        req.mode = modes[i];
+        engine.admit(i, req);
+    }
+    std::vector<BatchEngine::Finished> all;
+    while (!engine.empty()) {
+        engine.step();
+        std::vector<BatchEngine::Finished> done = engine.retire();
+        std::move(done.begin(), done.end(), std::back_inserter(all));
+    }
+    ASSERT_EQ(all.size(), 3u);
+    for (const BatchEngine::Finished &f : all) {
+        // Each slab reproduces its own sequential rollout — the exact
+        // slabs stay exact even though the batch ran in approx mode.
+        const RolloutResult seq =
+            m.rollout(modes[f.id], m.requestNoise(700 + f.id));
+        expectBitwiseEqual(seq.finalImage, f.image);
+        if (modes[f.id] != RunMode::ApproxDitto)
+            EXPECT_EQ(f.ops.reusedElems, 0);
+        else
+            EXPECT_GT(f.ops.reusedElems, 0);
+    }
+}
+
+TEST(ApproxServe, ParkAndResumePreservesReuseStateBitwise)
+{
+    const CompiledModel &m = approxNet();
+    const int kSteps = 6;
+    DenoiseRequest req;
+    req.seed = 710;
+    req.steps = kSteps;
+    req.mode = RunMode::ApproxDitto;
+
+    BatchEngine first(m, /*max_batch=*/2);
+    first.admit(1, req);
+    // Three steps in, the request sits mid-skip-run (counters at 2 of
+    // cap 3) with live cached codes and outputs.
+    for (int t = 0; t < 3; ++t)
+        first.step();
+    const BatchEngine::Parked p = first.park(0);
+    EXPECT_TRUE(p.approx);
+    EXPECT_TRUE(p.hasState);
+    EXPECT_EQ(p.stepsDone, 3);
+
+    // Resume on a different engine over the same model, sharing the
+    // batch with an unrelated exact request.
+    BatchEngine second(m, /*max_batch=*/2);
+    DenoiseRequest other;
+    other.seed = 711;
+    other.steps = kSteps;
+    second.admit(2, other);
+    second.admitParked(p);
+    while (!second.empty()) {
+        second.step();
+        for (const BatchEngine::Finished &f : second.retire()) {
+            const uint64_t seed = f.id == 1 ? 710 : 711;
+            const RunMode mode = f.id == 1 ? RunMode::ApproxDitto
+                                           : RunMode::QuantDitto;
+            const RolloutResult seq =
+                m.rollout(mode, m.requestNoise(seed), kSteps);
+            expectBitwiseEqual(seq.finalImage, f.image);
+        }
+    }
+}
+
+TEST(ApproxServe, ReplaceSlotParkedRestoresState)
+{
+    const CompiledModel &m = approxNet();
+    DenoiseRequest req;
+    req.seed = 720;
+    req.steps = 6;
+    req.mode = RunMode::ApproxDitto;
+    BatchEngine engine(m, /*max_batch=*/1);
+    engine.admit(1, req);
+    for (int t = 0; t < 3; ++t)
+        engine.step();
+    const BatchEngine::Parked p = engine.park(0);
+
+    // A short request borrows the engine, finishes, and the parked
+    // approx request resumes into its slot in place.
+    DenoiseRequest filler;
+    filler.seed = 721;
+    filler.steps = 2;
+    engine.admit(2, filler);
+    engine.step();
+    engine.step();
+    ASSERT_TRUE(engine.slotFinished(0));
+    expectBitwiseEqual(
+        m.rollout(RunMode::QuantDitto, m.requestNoise(721), 2)
+            .finalImage,
+        engine.extract(0).image);
+    engine.replaceSlotParked(0, p);
+    while (!engine.empty()) {
+        engine.step();
+        for (const BatchEngine::Finished &f : engine.retire())
+            expectBitwiseEqual(
+                m.rollout(RunMode::ApproxDitto, m.requestNoise(720), 6)
+                    .finalImage,
+                f.image);
+    }
+}
+
+TEST(ApproxServe, ReplaceSlotClearsPriorApproxState)
+{
+    // Regression companion to ApproxMode.ResetSlabClearsApproxReuseState:
+    // through the engine surface, a slot that served an approx request
+    // must hand a fresh request (approx or exact) a clean slate.
+    const CompiledModel &m = approxNet();
+    BatchEngine engine(m, /*max_batch=*/1);
+    DenoiseRequest a;
+    a.seed = 730;
+    a.steps = 5;
+    a.mode = RunMode::ApproxDitto;
+    engine.admit(1, a);
+    while (engine.finishedSlots().empty())
+        engine.step();
+
+    DenoiseRequest b;
+    b.seed = 731;
+    b.steps = 5;
+    b.mode = RunMode::ApproxDitto;
+    engine.replaceSlot(0, 2, b);
+    while (engine.finishedSlots().empty())
+        engine.step();
+    expectBitwiseEqual(
+        m.rollout(RunMode::ApproxDitto, m.requestNoise(731), 5)
+            .finalImage,
+        engine.extract(0).image);
+
+    DenoiseRequest c;
+    c.seed = 732;
+    c.steps = 5;
+    c.mode = RunMode::QuantDitto; // exact after approx: no reuse leaks
+    engine.replaceSlot(0, 3, c);
+    while (engine.finishedSlots().empty())
+        engine.step();
+    const BatchEngine::Finished f = engine.extract(0);
+    EXPECT_EQ(f.ops.reusedElems, 0);
+    expectBitwiseEqual(
+        m.rollout(RunMode::QuantDitto, m.requestNoise(732), 5)
+            .finalImage,
+        f.image);
+}
+
+TEST(ApproxServe, ExplicitApproxRequestServedBitwise)
+{
+    DenoiseServer server(testNet().compiled(), quietConfig());
+    DenoiseRequest req;
+    req.seed = 740;
+    req.steps = 4;
+    req.mode = RunMode::ApproxDitto;
+    const DenoiseResult r = server.wait(server.submit(req));
+    EXPECT_EQ(r.status, RequestStatus::Done);
+    EXPECT_FALSE(r.degraded); // asked for, not shed into
+    expectBitwiseEqual(referenceImage(RunMode::ApproxDitto, 740, 4),
+                       r.image);
+}
+
+TEST(ApproxServe, ShedNeverDegradesInteractive)
+{
+    const MiniUnet &net = testNet();
+    ServerConfig cfg = quietConfig();
+    cfg.queueCapacity = 100;
+    cfg.shedHighWater = 4;
+    cfg.shedLowWater = 1;
+    DenoiseServer server(net.compiled(), cfg);
+    DenoiseRequest busy;
+    busy.seed = 750;
+    busy.steps = 500;
+    busy.slo = SloClass::Interactive;
+    const uint64_t a = server.submit(busy);
+    ASSERT_TRUE(spinUntil([&] {
+        return server.queryState(a) == RequestStatus::Running;
+    }));
+    std::vector<uint64_t> backlog;
+    for (uint64_t s = 0; s < 4; ++s) {
+        DenoiseRequest req;
+        req.seed = 751 + s;
+        req.steps = 3;
+        backlog.push_back(server.submit(req)); // engages shedding
+    }
+    // Interactive work submitted during overload is untouched: full
+    // steps, exact mode, no degraded flag.
+    DenoiseRequest vip;
+    vip.seed = 760;
+    vip.steps = 4;
+    vip.slo = SloClass::Interactive;
+    const uint64_t v = server.submit(vip);
+    server.cancel(a);
+    const DenoiseResult rv = server.wait(v);
+    EXPECT_EQ(rv.status, RequestStatus::Done);
+    EXPECT_FALSE(rv.degraded);
+    EXPECT_EQ(rv.steps, 4);
+    expectBitwiseEqual(referenceImage(RunMode::QuantDitto, 760, 4),
+                       rv.image);
+    for (uint64_t id : backlog)
+        (void)server.wait(id);
+    EXPECT_EQ(server.metrics()
+                  .perClass[static_cast<size_t>(SloClass::Interactive)]
+                  .degraded,
+              0u);
 }
 
 TEST(MetricsTest, JsonExportCoversTheDocumentedSurface)

@@ -1,16 +1,73 @@
 /**
  * @file
- * Unit tests for src/stats: similarity metrics and accumulators.
+ * Unit tests for src/stats: similarity metrics, fidelity accounting
+ * and accumulators.
  */
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "common/rng.h"
+#include "stats/fidelity.h"
 #include "stats/similarity.h"
 
 namespace ditto {
 namespace {
+
+TEST(Fidelity, ExactMatchIsInfinitePsnrAndUnitCosine)
+{
+    Rng rng(11);
+    FloatTensor a(Shape{1, 2, 4, 4});
+    a.fillNormal(rng);
+    const FidelityStats s = compareImages(a, a);
+    EXPECT_TRUE(s.exact());
+    EXPECT_TRUE(std::isinf(s.psnrDb));
+    EXPECT_NEAR(s.cosine, 1.0, 1e-9);
+}
+
+TEST(Fidelity, KnownPsnrValue)
+{
+    // ref spans [0, 2] (range 2); approx off by 0.1 everywhere:
+    // MSE = 0.01, PSNR = 10 log10(4 / 0.01) = 10 log10(400).
+    FloatTensor ref(Shape{4}, 1.0f);
+    ref.at(0) = 0.0f;
+    ref.at(3) = 2.0f;
+    FloatTensor approx = ref;
+    for (int64_t i = 0; i < 4; ++i)
+        approx.at(i) += 0.1f;
+    const FidelityStats s = compareImages(ref, approx);
+    EXPECT_FALSE(s.exact());
+    EXPECT_NEAR(s.psnrDb, 10.0 * std::log10(400.0), 1e-3);
+}
+
+TEST(Fidelity, PsnrDecreasesWithError)
+{
+    Rng rng(12);
+    FloatTensor ref(Shape{256});
+    ref.fillNormal(rng);
+    FloatTensor small = ref;
+    FloatTensor big = ref;
+    for (int64_t i = 0; i < 256; ++i) {
+        small.at(i) += 0.01f;
+        big.at(i) += 0.5f;
+    }
+    const FidelityStats a = compareImages(ref, small);
+    const FidelityStats b = compareImages(ref, big);
+    EXPECT_GT(a.psnrDb, b.psnrDb);
+    EXPECT_GE(a.cosine, b.cosine);
+}
+
+TEST(Fidelity, ConstantReferenceConvention)
+{
+    // A constant reference has zero range: PSNR pins to 0 when the
+    // approximation differs (instead of dividing by zero).
+    FloatTensor ref(Shape{8}, 3.0f);
+    FloatTensor approx(Shape{8}, 3.5f);
+    const FidelityStats s = compareImages(ref, approx);
+    EXPECT_DOUBLE_EQ(s.psnrDb, 0.0);
+    // ... and still compares exactly when the bits match.
+    EXPECT_TRUE(compareImages(ref, ref).exact());
+}
 
 TEST(Cosine, IdenticalVectorsGiveOne)
 {

@@ -26,13 +26,26 @@ their record's own context, so plain single-host records keep the old
 behavior exactly. Scaling rows are compared warn-only (per name +
 thread count, flagged when wall time rises past --scaling-tolerance).
 
+With --fidelity-goldens, also warn-gates the ApproxDitto fidelity of
+the fresh record: the BM_ApproxRollout rows at the golden file's
+threshold carry psnr_db/cosine counters (end-to-end fidelity against
+the exact QuantDitto rollout), and each preset's values are compared
+against the committed floors in FIDELITY_goldens.json. Fidelity is
+deterministic (seeded rollouts, thread-invariant skip decisions), so
+the floors are tight; --fidelity-tolerance adds dB slack for PSNR
+(and tolerance/100 for cosine) anyway so a future numeric tweak warns
+instead of blocking. These rows never exit non-zero, even under
+--strict: a fidelity drop is a quality signal for the PR author, not
+a build breakage.
+
 Warn-only by default (exit 0, suitable for a CI gate that must not
 block on shared-runner noise); --strict exits 1 on any rollout-ratio
 regression.
 
     python3 tools/check_bench_regression.py \
         --baseline BENCH_kernels.json \
-        --new build/bench/BENCH_kernels.json
+        --new build/bench/BENCH_kernels.json \
+        --fidelity-goldens FIDELITY_goldens.json
 """
 
 import argparse
@@ -40,6 +53,7 @@ import json
 import sys
 
 FAMILY = "BM_CompiledRollout"
+APPROX_FAMILY = "BM_ApproxRollout"
 SERVE_FAMILIES = ("BM_ServeLatency", "BM_ServeOverload")
 SCALING_PREFIX = "SCALING/"
 HOST_KEYS = ("host_name", "num_cpus", "mhz_per_cpu",
@@ -143,6 +157,49 @@ def check_serve_latency(base, fresh, tolerance):
               f"{verdict}")
 
 
+def approx_fidelity(rows, threshold):
+    """Map spec name -> {psnr_db, cosine} at the golden threshold."""
+    want = f"/approx@{threshold:.2f}"
+    out = {}
+    for bench in rows:
+        if not bench.get("name", "").startswith(APPROX_FAMILY):
+            continue
+        label = bench.get("label", "")
+        if not label.endswith(want):
+            continue
+        spec = label[: -len(want)]
+        if "psnr_db" in bench and "cosine" in bench:
+            out[spec] = {"psnr_db": float(bench["psnr_db"]),
+                         "cosine": float(bench["cosine"])}
+    return out
+
+
+def check_fidelity(goldens_path, fresh_rows, tolerance):
+    """Warn (never fail) on ApproxDitto fidelity below the floors."""
+    with open(goldens_path) as f:
+        goldens = json.load(f)
+    threshold = float(goldens["threshold"])
+    fresh = approx_fidelity(fresh_rows, threshold)
+    print(f"approx fidelity @ threshold {threshold:.2f} (warn-only):")
+    for spec in sorted(goldens["presets"]):
+        floors = goldens["presets"][spec]
+        if spec not in fresh:
+            print(f"  {spec:<12} WARN: no {APPROX_FAMILY} row at the "
+                  "golden threshold")
+            continue
+        psnr_floor = floors["psnr_db"] - tolerance
+        cos_floor = floors["cosine"] - tolerance / 100.0
+        got = fresh[spec]
+        ok = got["psnr_db"] >= psnr_floor and got["cosine"] >= cos_floor
+        print(f"  {spec:<12} PSNR {got['psnr_db']:6.2f} dB (floor "
+              f"{psnr_floor:6.2f}), cosine {got['cosine']:.5f} (floor "
+              f"{cos_floor:.5f}) "
+              f"{'ok' if ok else 'WARN: below golden floor'}")
+    for spec in sorted(set(fresh) - set(goldens["presets"])):
+        print(f"  {spec:<12} PSNR {fresh[spec]['psnr_db']:6.2f} dB "
+              "(no golden floor - new spec)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -157,6 +214,14 @@ def main():
     ap.add_argument("--scaling-tolerance", type=float, default=0.50,
                     help="allowed relative scaling-row wall-time rise "
                          "before a warning (default 0.50)")
+    ap.add_argument("--fidelity-goldens",
+                    help="FIDELITY_goldens.json with per-preset "
+                         "PSNR/cosine floors for the ApproxDitto rows "
+                         "(omit to skip the fidelity check)")
+    ap.add_argument("--fidelity-tolerance", type=float, default=0.5,
+                    help="dB slack below the golden PSNR floor (and "
+                         "tolerance/100 below the cosine floor) before "
+                         "a warning (default 0.5)")
     ap.add_argument("--strict", action="store_true",
                     help="exit non-zero on rollout-ratio regressions "
                          "(default: warn); serve p95 and scaling rows "
@@ -186,6 +251,9 @@ def main():
                         args.serve_tolerance)
     check_scaling(scaling_times(base_rows), scaling_times(fresh_rows),
                   args.scaling_tolerance)
+    if args.fidelity_goldens:
+        check_fidelity(args.fidelity_goldens, fresh_rows,
+                       args.fidelity_tolerance)
 
     if not fresh:
         print(f"warning: no {FAMILY} rows in {args.fresh}; nothing to "
