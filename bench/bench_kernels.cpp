@@ -505,6 +505,68 @@ BENCHMARK(BM_ServeOverload)
     ->UseRealTime();
 
 /**
+ * Inter-request reuse under redundant traffic: bursts of requests
+ * where `dup_pct` percent repeat one of a small pool of
+ * (seed, conditioning) identities and the rest are unique. One server
+ * (and its reuse cache) persists across iterations, so duplicate
+ * arrivals warm-start from checkpoints left by earlier requests of
+ * the same identity — exactly the production pattern the cache
+ * targets (docs/reuse_cache.md).
+ *
+ * Arg: duplicate percentage (0 = all-unique baseline; the acceptance
+ * comparison is p50_us at 90 vs 0). Counters report per-request
+ * latency percentiles plus the cache's cumulative hit rate and saved
+ * steps. Warm results are bitwise identical to cold — the cache
+ * changes wall-clock only.
+ */
+void
+BM_ServeReuse(benchmark::State &state)
+{
+    const int64_t dup_pct = state.range(0);
+    const MiniUnet &net = servingNet();
+    ServerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.maxWaitMicros = 500;
+    cfg.workers = 1;
+    cfg.reuse.capBytes = 64ll << 20;
+    cfg.reuse.checkpointEvery = 2;
+    DenoiseServer server(net.compiled(), cfg);
+    const int64_t kArrivals = 32, kPool = 4;
+    std::vector<double> latencies;
+    uint64_t fresh_seed = 1;
+    for (auto _ : state) {
+        std::vector<uint64_t> ids;
+        for (int64_t i = 0; i < kArrivals; ++i) {
+            DenoiseRequest req;
+            // Deterministic mix: i*100/kArrivals sweeps 0..100, so
+            // dup_pct percent of each burst hits the identity pool.
+            if (i * 100 / kArrivals < dup_pct) {
+                req.seed = 1'000'000 + static_cast<uint64_t>(i % kPool);
+                req.conditioning =
+                    0xD151'C0DEull + static_cast<uint64_t>(i % kPool);
+            } else {
+                req.seed = fresh_seed++;
+            }
+            ids.push_back(server.submit(req));
+        }
+        for (uint64_t id : ids) {
+            DenoiseResult res = server.wait(id);
+            latencies.push_back(res.queueMicros + res.serviceMicros);
+            benchmark::DoNotOptimize(res.image.data().data());
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    state.counters["p50_us"] = latencies[latencies.size() / 2];
+    state.counters["p95_us"] = latencies[latencies.size() * 95 / 100];
+    const ServeMetrics sm = server.metrics();
+    state.counters["hit_rate"] = sm.reuseHitRate();
+    state.counters["steps_saved"] =
+        static_cast<double>(sm.reuseStepsSaved);
+    state.SetItemsProcessed(state.iterations() * kArrivals);
+}
+BENCHMARK(BM_ServeReuse)->Arg(0)->Arg(50)->Arg(90)->UseRealTime();
+
+/**
  * Graph-runtime rollouts per compiled preset spec, QuantDirect vs
  * QuantDitto. Arg 0 selects the spec (0 = the MiniUnet preset at the
  * quickstart shape, 1 = the deep multi-scale UNet, 2 = the DiT-style

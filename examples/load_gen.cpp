@@ -11,6 +11,7 @@
  *
  *   ./load_gen [--rate R] [--duration SEC] [--mix I:S:B]
  *              [--deadline-us D] [--steps N] [--seed K]
+ *              [--dup-frac P] [--prefix-pool N]
  *
  *   --rate        arrivals per second (default 100)
  *   --duration    seconds of traffic (default 2)
@@ -19,11 +20,19 @@
  *   --deadline-us per-request deadline budget, -1 none (default -1)
  *   --steps       steps per request, 0 = model default (default 0)
  *   --seed        arrival-process seed (default 1)
+ *   --dup-frac    fraction of arrivals drawn from a fixed pool of
+ *                 (seed, conditioning) identities instead of fresh
+ *                 ones (default 0) — redundant production traffic
+ *                 for the inter-request reuse cache
+ *                 (docs/reuse_cache.md)
+ *   --prefix-pool size of that identity pool (default 8)
  *
  * Server knobs come from the environment (docs/config.md):
  * DITTO_SERVE_MAX_BATCH, DITTO_SERVE_WORKERS, DITTO_SERVE_QUEUE_CAP,
- * DITTO_SERVE_SHED_HIGH/LOW/STEPS, DITTO_SERVE_ADMIT_BLOCK_US — and
- * DITTO_FAULT_POINTS turns a load run into a chaos run.
+ * DITTO_SERVE_SHED_HIGH/LOW/STEPS, DITTO_SERVE_ADMIT_BLOCK_US,
+ * DITTO_REUSE_CAP_BYTES (enables warm starts for duplicate
+ * identities) — and DITTO_FAULT_POINTS turns a load run into a chaos
+ * run.
  *
  * Exits 0 when at least one request completed; rejections and
  * timeouts are expected outcomes under overload, not errors.
@@ -78,6 +87,8 @@ main(int argc, char **argv)
     int64_t deadline_us = -1;
     int steps = 0;
     uint64_t seed = 1;
+    double dup_frac = 0.0;
+    int prefix_pool = 8;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto value = [&]() -> const char * {
@@ -98,6 +109,10 @@ main(int argc, char **argv)
             steps = std::atoi(value());
         } else if (arg == "--seed") {
             seed = static_cast<uint64_t>(std::atoll(value()));
+        } else if (arg == "--dup-frac") {
+            dup_frac = std::atof(value());
+        } else if (arg == "--prefix-pool") {
+            prefix_pool = std::atoi(value());
         } else if (arg == "--mix") {
             if (std::sscanf(value(), "%lf:%lf:%lf", &mix[0], &mix[1],
                             &mix[2]) != 3) {
@@ -113,6 +128,11 @@ main(int argc, char **argv)
         mix[0] + mix[1] + mix[2] <= 0.0) {
         std::fprintf(stderr, "rate, duration and the mix sum must be "
                              "positive\n");
+        return 2;
+    }
+    if (dup_frac < 0.0 || dup_frac > 1.0 || prefix_pool < 1) {
+        std::fprintf(stderr, "--dup-frac wants 0..1 and --prefix-pool "
+                             "a positive pool size\n");
         return 2;
     }
 
@@ -160,7 +180,19 @@ main(int argc, char **argv)
                                  ? SloClass::Standard
                                  : SloClass::BestEffort;
         DenoiseRequest req;
-        req.seed = 1000 + n++;
+        // Redundant-traffic model: with probability dup_frac the
+        // arrival repeats one of `prefix_pool` fixed identities (pool
+        // seeds sit far from the fresh-seed range), so the reuse cache
+        // sees real duplicate pressure instead of all-unique misses.
+        if (dup_frac > 0.0 && rng.uniform() < dup_frac) {
+            const uint64_t pick_id = static_cast<uint64_t>(
+                rng.uniform() * static_cast<double>(prefix_pool));
+            req.seed = 1'000'000 + pick_id;
+            req.conditioning = 0xC0DE'D151ull + pick_id;
+        } else {
+            req.seed = 1000 + n;
+        }
+        ++n;
         req.steps = steps;
         req.slo = slo;
         req.deadlineMicros = deadline_us;
@@ -221,7 +253,18 @@ main(int argc, char **argv)
                 ids.size(), wall,
                 static_cast<double>(ids.size()) / wall,
                 static_cast<double>(total_done) / wall);
-    std::printf("\nmetrics: %s\n", server.metricsJson().c_str());
+    const ServeMetrics sm = server.metrics();
+    if (sm.reuseHits + sm.reuseMisses > 0)
+        std::printf("reuse: %.1f%% hit rate (%llu/%llu lookups), %llu "
+                    "steps saved, %llu stores, %llu evictions\n",
+                    100.0 * sm.reuseHitRate(),
+                    static_cast<unsigned long long>(sm.reuseHits),
+                    static_cast<unsigned long long>(sm.reuseHits +
+                                                    sm.reuseMisses),
+                    static_cast<unsigned long long>(sm.reuseStepsSaved),
+                    static_cast<unsigned long long>(sm.reuseStores),
+                    static_cast<unsigned long long>(sm.reuseEvictions));
+    std::printf("\nmetrics: %s\n", sm.toJson().c_str());
     if (ids.empty() || total_done == 0) {
         std::fprintf(stderr, "load_gen: no request completed\n");
         return 1;

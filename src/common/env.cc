@@ -72,6 +72,14 @@ constexpr Knob kKnobs[] = {
     {"DITTO_APPROX_MAX_CONSEC", "3", "src/runtime/compiled.cc",
      "Most consecutive steps ApproxDitto may skip one block before "
      "forcing it to execute. Range 1..4096."},
+    {"DITTO_REUSE_CAP_BYTES", "0 (reuse disabled)",
+     "src/serve/reuse_cache.cc",
+     "Byte budget of the inter-request reuse cache "
+     "(docs/reuse_cache.md): resident checkpoint entries are evicted "
+     "LRU past it; 0 disables reuse entirely. Range 0..INT64_MAX."},
+    {"DITTO_REUSE_CHECKPOINT_EVERY", "2", "src/serve/reuse_cache.cc",
+     "Reuse-cache checkpoint cadence in steps: a running request's "
+     "state is stored after every Nth step. Range 1..1048576."},
     {"DITTO_FAULT_POINTS", "unset (no faults)",
      "src/serve/faultpoints.cc",
      "Fault-injection spec: `point:action:schedule[:arg]` clauses "

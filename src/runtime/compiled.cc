@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/env.h"
 #include "common/logging.h"
@@ -401,6 +402,8 @@ CompiledModel::BatchDittoState::appendSlabs(int64_t count)
     }
     primed.insert(primed.end(), static_cast<size_t>(count), 0);
     approx.insert(approx.end(), static_cast<size_t>(count), 0);
+    backRefs.insert(backRefs.end(), static_cast<size_t>(count),
+                    nullptr);
 }
 
 void
@@ -415,6 +418,7 @@ CompiledModel::BatchDittoState::removeSlab(int64_t i)
         approx.clear();
         consec.clear();
         skips.clear();
+        backRefs.clear();
         return;
     }
     for (Int8Tensor &t : prevIn)
@@ -436,6 +440,8 @@ CompiledModel::BatchDittoState::removeSlab(int64_t i)
     primed.erase(primed.begin() + i);
     if (i < static_cast<int64_t>(approx.size()))
         approx.erase(approx.begin() + i);
+    if (i < static_cast<int64_t>(backRefs.size()))
+        backRefs.erase(backRefs.begin() + i);
 }
 
 void
@@ -446,6 +452,12 @@ CompiledModel::BatchDittoState::resetSlab(int64_t i)
     primed[static_cast<size_t>(i)] = 0;
     if (i < static_cast<int64_t>(approx.size()))
         approx[static_cast<size_t>(i)] = 0;
+    // Hand-over severs descent: the new occupant owes nothing to
+    // whatever external object (reuse-cache entry) the previous one
+    // was installed from, and keeping the reference would pin evicted
+    // entries to live slots.
+    if (i < static_cast<int64_t>(backRefs.size()))
+        backRefs[static_cast<size_t>(i)].reset();
     // Stale ApproxDitto reuse state from the slab's previous occupant
     // must not leak into the next request's skip decisions: its first
     // (unprimed) step never touches the counters, so a surviving
@@ -546,6 +558,9 @@ CompiledModel::BatchDittoState::installSlab(int64_t i, const SlabState &s)
     if (approx.size() != primed.size())
         approx.resize(primed.size(), 0);
     approx[static_cast<size_t>(i)] = s.approx;
+    if (backRefs.size() != primed.size())
+        backRefs.resize(primed.size());
+    backRefs[static_cast<size_t>(i)] = s.backRef;
     if (!s.consec.empty()) {
         const size_t stride = s.consec.size();
         if (consec.size() != stride * static_cast<size_t>(b)) {
@@ -1737,6 +1752,13 @@ RolloutResult
 CompiledModel::rollout(RunMode mode, const FloatTensor &noise,
                        int steps) const
 {
+    return rollout(mode, noise, steps, StepObserver());
+}
+
+RolloutResult
+CompiledModel::rollout(RunMode mode, const FloatTensor &noise, int steps,
+                       const StepObserver &obs) const
+{
     validateSingle(noise, "rollout");
     if (steps < 0)
         DITTO_FATAL("rollout: negative step count " << steps);
@@ -1749,6 +1771,8 @@ CompiledModel::rollout(RunMode mode, const FloatTensor &noise,
         const FloatTensor eps =
             forward(x, mode, &state, &result.dittoOps);
         x = add(x, affine(eps, -0.15f, 0.0f));
+        if (obs)
+            obs(t + 1, x, state);
     }
     result.finalImage = std::move(x);
     result.totalMacsPerStep = macsPerStep_;
@@ -1870,6 +1894,23 @@ CompiledModel::requestNoise(uint64_t seed) const
     return noise;
 }
 
+namespace {
+
+/** Digest of a scale vector's exact float bit patterns. */
+uint64_t
+scalesDigest(const std::vector<float> &scales)
+{
+    uint64_t h = hashMix(0xD16E'57CA, scales.size());
+    for (float s : scales) {
+        uint32_t bits;
+        std::memcpy(&bits, &s, sizeof(bits));
+        h = hashMix(h, bits);
+    }
+    return h;
+}
+
+} // namespace
+
 void
 CompiledModel::calibrate()
 {
@@ -1880,8 +1921,10 @@ CompiledModel::calibrate()
     key = hashMix(key, spec_.hash());
     key = hashMix(key, static_cast<uint64_t>(spec_.numScales));
     if (loadCachedScales(key, static_cast<size_t>(spec_.numScales),
-                         &actScale_))
+                         &actScale_)) {
+        calibDigest_ = scalesDigest(actScale_);
         return;
+    }
 
     // Offline calibration: FP32 rollout, max-abs at every quantization
     // point across all steps, 10% safety margin (Q-Diffusion style).
@@ -1904,6 +1947,7 @@ CompiledModel::calibrate()
             std::max(maxabs[static_cast<size_t>(i)], 1e-6f) * 1.1f /
             127.0f;
     storeCachedScales(key, actScale_);
+    calibDigest_ = scalesDigest(actScale_);
 }
 
 CompiledModel

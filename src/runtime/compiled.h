@@ -57,6 +57,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -188,14 +189,39 @@ class CompiledModel
             uint8_t approx = 0;
             std::vector<int32_t> consec;
             std::vector<int64_t> skips;
+
+            /**
+             * Opaque shared owner of whatever this state was built
+             * from — e.g. an inter-request reuse-cache entry
+             * (src/serve/reuse_cache.h). installSlab copies the
+             * tensors byte for byte but parks this reference
+             * slab-parallel in `backRefs`, so the source object stays
+             * alive for exactly as long as some slab claims descent
+             * from it. Null for states extracted from a batch.
+             */
+            std::shared_ptr<const void> backRef;
         };
 
-        /** Copy slab `i` out into standalone shapes. */
+        /**
+         * Slab-parallel back-references to the external objects the
+         * slabs were installed from (SlabState::backRef). resetSlab,
+         * removeSlab and every slot-recycle path built on them MUST
+         * drop the slab's reference: a cache entry evicted elsewhere
+         * must never be kept alive by — or alias — a live slot's
+         * buffers (tests/test_reuse.cc BackRef suite).
+         */
+        std::vector<std::shared_ptr<const void>> backRefs;
+
+        /**
+         * Copy slab `i` out into standalone shapes. The copy owns its
+         * buffers outright, so the returned state carries no backRef.
+         */
         SlabState extractSlab(int64_t i) const;
 
         /**
          * Install `s` into slab `i` (which must exist), materializing
-         * any still-empty slot tensors as zero-filled stacks.
+         * any still-empty slot tensors as zero-filled stacks. Adopts
+         * `s.backRef` into `backRefs[i]`.
          */
         void installSlab(int64_t i, const SlabState &s);
     };
@@ -289,6 +315,24 @@ class CompiledModel
                           int steps = 0) const;
 
     /**
+     * Per-step rollout checkpoint hook: invoked after each step's
+     * image update with the number of completed steps (1-based), the
+     * current image and the resident difference state. Because the
+     * update rule carries no timestep embedding, (x, state) after k
+     * steps is a pure function of (model, noise, mode, k) — never of
+     * the total step count — which is exactly what makes a checkpoint
+     * a reusable prefix for any longer request with the same identity
+     * (docs/reuse_cache.md). The state reference is only valid inside
+     * the call.
+     */
+    using StepObserver = std::function<void(
+        int stepsDone, const FloatTensor &x, const DittoState &state)>;
+
+    /** rollout() with a checkpoint observer on every step boundary. */
+    RolloutResult rollout(RunMode mode, const FloatTensor &noise,
+                          int steps, const StepObserver &obs) const;
+
+    /**
      * Run N full reverse diffusions as one batch; results are bitwise
      * identical to rollout(mode, noises[i]) for every i.
      */
@@ -324,6 +368,16 @@ class CompiledModel
      * composition.
      */
     FloatTensor requestNoise(uint64_t seed) const;
+
+    /**
+     * Content digest of the calibrated activation scales (the exact
+     * float bit patterns). Two CompiledModels with equal spec hash
+     * *and* equal calibration digest execute bitwise identically, so
+     * the pair is the model-identity component of the inter-request
+     * reuse-cache key (src/serve/prefix_key.h) — a recalibration
+     * invalidates cached prefixes by simply never matching them.
+     */
+    uint64_t calibrationDigest() const { return calibDigest_; }
 
   private:
     friend CompiledModel compile(const ModelSpec &spec,
@@ -463,6 +517,7 @@ class CompiledModel
     int64_t macsPerStep_ = 0;
     double approxThresh_ = 0.0;
     int approxCap_ = 1;
+    uint64_t calibDigest_ = 0;
 };
 
 /**

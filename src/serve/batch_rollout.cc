@@ -198,6 +198,24 @@ BatchEngine::park(int64_t i)
     return p;
 }
 
+BatchEngine::Parked
+BatchEngine::snapshot(int64_t i) const
+{
+    const Slot &slot = slots_[static_cast<size_t>(i)];
+    Parked p;
+    p.id = slot.id;
+    p.image = extractImageSlab(x_, i);
+    p.stepsDone = slot.stepsDone;
+    p.stepsTotal = slot.stepsTotal;
+    p.ditto = slot.ditto;
+    p.approx = slot.approx;
+    if (slot.ditto && slot.stepsDone > 0) {
+        p.state = state_.extractSlab(i);
+        p.hasState = true;
+    }
+    return p;
+}
+
 void
 BatchEngine::admitParked(const Parked &p)
 {

@@ -131,6 +131,20 @@ class BatchEngine
      */
     Parked park(int64_t i);
 
+    /**
+     * Copy slot `i`'s portable state out *without* evicting it — the
+     * reuse-cache checkpoint path (src/serve/reuse_cache.h). Unlike
+     * park(), the slot keeps running, `ops` is left zeroed (the work
+     * already done belongs to the executing request, not to whoever
+     * installs the copy), and the Ditto slab state travels for *all*
+     * stateful modes — a warm QuantDitto start installs a primed slab
+     * and continues difference execution immediately, which is the
+     * whole speedup — while QuantDirect (stateless by construction)
+     * carries the image only. The copy owns its buffers and carries no
+     * backRef.
+     */
+    Parked snapshot(int64_t i) const;
+
     /** Re-join a parked request as a fresh-appended (unprimed) slab. */
     void admitParked(const Parked &p);
 

@@ -59,8 +59,8 @@ registry()
 }
 
 const char *const kPointNames[kNumPoints] = {
-    "submit", "admission", "batch_form", "step_begin",
-    "step_end", "park", "resume",
+    "submit",   "admission", "batch_form",  "step_begin",   "step_end",
+    "park",     "resume",    "reuse_store", "reuse_install",
 };
 
 int
@@ -106,10 +106,12 @@ parseClause(const std::string &clause, Registry &reg)
     if (f[1] == "fail") {
         rule.fail = true;
         if (p != static_cast<int>(Point::Submit) &&
-            p != static_cast<int>(Point::Admission))
+            p != static_cast<int>(Point::Admission) &&
+            p != static_cast<int>(Point::ReuseStore) &&
+            p != static_cast<int>(Point::ReuseInstall))
             DITTO_FATAL("fault spec clause '"
                         << clause << "': 'fail' is only meaningful at "
-                        << "submit/admission");
+                        << "submit/admission/reuse_store/reuse_install");
         if (f.size() == 4)
             DITTO_FATAL("fault spec clause '" << clause
                                               << "': 'fail' takes no arg");

@@ -3,8 +3,8 @@
  * Deterministic fault injection for the serving layer.
  *
  * Named fault points sit on the server's request path: submit, worker
- * admission, batch formation, the two step boundaries, park and
- * resume. Each point can be armed with a delay (microseconds) and/or
+ * admission, batch formation, the two step boundaries, park, resume
+ * and the reuse-cache store/install sites. Each point can be armed with a delay (microseconds) and/or
  * a failure, firing on a deterministic counter schedule (`every=N`:
  * every Nth hit) or a seeded pseudo-random one (`prob=P`: probability
  * P per hit from a per-point SplitMix64 stream, reproducible for a
@@ -20,7 +20,8 @@
  *   point:action:schedule[:arg]
  *
  *   point    = submit | admission | batch_form | step_begin
- *            | step_end | park | resume
+ *            | step_end | park | resume | reuse_store
+ *            | reuse_install
  *   action   = delay (arg = microseconds) | fail
  *   schedule = every=N (1-based: hits N, 2N, ...) | prob=P (0..1)
  *
@@ -28,10 +29,14 @@
  *   step_end:delay:every=1:500      500us stall after every step
  *   submit:fail:every=3             every 3rd submit is rejected
  *   batch_form:delay:prob=0.5:2000  seeded coin-flip formation stall
+ *   reuse_install:fail:prob=0.1     10% of warm starts forced cold
  *
  * `fail` is honored where a failure has defined semantics — submit
- * and admission, where the request's result becomes Rejected; at
- * other points configure() refuses it loudly.
+ * and admission, where the request's result becomes Rejected, and
+ * the reuse-cache points, where the checkpoint store (reuse_store)
+ * or the prefix install (reuse_install) is skipped and the request
+ * proceeds cold with no correctness impact; at other points
+ * configure() refuses it loudly.
  */
 #ifndef DITTO_SERVE_FAULTPOINTS_H
 #define DITTO_SERVE_FAULTPOINTS_H
@@ -52,9 +57,11 @@ enum class Point : int
     StepEnd,    //!< after each engine.step()
     Park,       //!< before parking a preempted slot
     Resume,     //!< before resuming a parked request
+    ReuseStore, //!< before storing a reuse-cache checkpoint
+    ReuseInstall, //!< before installing a cached prefix at admission
 };
 
-inline constexpr int kNumPoints = 7;
+inline constexpr int kNumPoints = 9;
 
 /** Stable spec-grammar name of a point ("submit", ...). */
 const char *pointName(Point p);

@@ -116,7 +116,14 @@ ServeMetrics::toJson() const
        << ",\"parked\":" << parked << ",\"parked_peak\":" << parkedPeak
        << ",\"shedding\":" << (shedding ? "true" : "false")
        << ",\"shed_entered\":" << shedEntered
-       << ",\"shed_exited\":" << shedExited << ",\"classes\":{";
+       << ",\"shed_exited\":" << shedExited
+       << ",\"reuse\":{\"hits\":" << reuseHits
+       << ",\"misses\":" << reuseMisses << ",\"stores\":" << reuseStores
+       << ",\"evictions\":" << reuseEvictions
+       << ",\"steps_saved\":" << reuseStepsSaved
+       << ",\"bytes\":" << reuseBytes << ",\"entries\":" << reuseEntries
+       << ",\"hit_rate\":" << reuseHitRate() << "}"
+       << ",\"classes\":{";
     for (int c = 0; c < kNumSloClasses; ++c) {
         const ClassMetrics &m = perClass[static_cast<size_t>(c)];
         if (c)

@@ -97,6 +97,31 @@ struct ServeMetrics
     uint64_t parkedPeak = 0;     //!< high-water mark since start
     bool shedding = false;       //!< gauge at snapshot time
 
+    /**
+     * Inter-request reuse-cache counters (src/serve/reuse_cache.h),
+     * copied from the server's cache at snapshot time. All zero when
+     * the cache is disabled (DITTO_REUSE_CAP_BYTES=0); the "reuse"
+     * JSON object is emitted either way so dashboards need no
+     * presence check.
+     */
+    uint64_t reuseHits = 0;       //!< lookups served from the cache
+    uint64_t reuseMisses = 0;     //!< lookups with no usable prefix
+    uint64_t reuseStores = 0;     //!< checkpoints accepted
+    uint64_t reuseEvictions = 0;  //!< entries dropped by byte budget
+    uint64_t reuseStepsSaved = 0; //!< steps skipped via warm starts
+    uint64_t reuseBytes = 0;      //!< resident bytes (gauge)
+    uint64_t reuseEntries = 0;    //!< resident entries (gauge)
+
+    /** Fraction of reuse lookups that hit (0 with no lookups). */
+    double
+    reuseHitRate() const
+    {
+        const uint64_t lookups = reuseHits + reuseMisses;
+        return lookups ? static_cast<double>(reuseHits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+
     /** Sum of a counter over classes (e.g. &ClassMetrics::preempted). */
     uint64_t total(uint64_t ClassMetrics::*counter) const;
 

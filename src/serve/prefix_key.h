@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Prefix identity for inter-request reuse.
+ *
+ * Two requests can share a rollout prefix exactly when the first k
+ * steps of their trajectories are bitwise identical. For this runtime
+ * that is a *decidable* property: a trajectory is a pure function of
+ * (compiled model, initial noise, execution mode), the initial noise
+ * is a pure function of the request seed (CompiledModel::requestNoise)
+ * and the step update carries no timestep embedding — so the state
+ * after k steps never depends on how many steps the request intends to
+ * run in total. PrefixBase captures that identity:
+ *
+ *  - `model`: the spec content hash mixed with the calibration digest
+ *    (equal pair => bitwise-identical execution), plus — for
+ *    ApproxDitto only — the resolved skip policy, because skip
+ *    decisions change which bits a prefix contains.
+ *  - `seed`:  the request's noise seed.
+ *  - `conditioning`: the caller's opaque conditioning digest
+ *    (DenoiseRequest::conditioning).
+ *  - `mode`:  the execution mode. QuantDitto and QuantDirect produce
+ *    the same images, but their resident difference state differs
+ *    (direct slabs never prime), so prefixes are not shared across
+ *    modes — correctness over hit-rate.
+ *
+ * PrefixKey pins a PrefixBase at a concrete step depth; it is the
+ * reuse-cache key (src/serve/reuse_cache.h). Hashes are 64-bit mixes;
+ * lookups always confirm full equality, so a hash collision costs a
+ * miss, never a wrong prefix.
+ */
+#ifndef DITTO_SERVE_PREFIX_KEY_H
+#define DITTO_SERVE_PREFIX_KEY_H
+
+#include <cstdint>
+
+#include "core/run_mode.h"
+
+namespace ditto {
+
+class CompiledModel;
+
+/** Step-count-independent identity of a rollout trajectory. */
+struct PrefixBase
+{
+    uint64_t model = 0;        //!< spec hash + calibration (+ policy)
+    uint64_t seed = 0;         //!< request noise seed
+    uint64_t conditioning = 0; //!< caller's conditioning digest
+    RunMode mode = RunMode::QuantDitto;
+
+    bool operator==(const PrefixBase &o) const = default;
+
+    /** Deterministic 64-bit mix of all four components. */
+    uint64_t hash() const;
+};
+
+/** A PrefixBase at a concrete step depth — the reuse-cache key. */
+struct PrefixKey
+{
+    PrefixBase base;
+    int steps = 0; //!< completed steps the cached state represents
+
+    bool operator==(const PrefixKey &o) const = default;
+
+    uint64_t hash() const;
+};
+
+/**
+ * Build the prefix identity of a request against a compiled model.
+ * For RunMode::ApproxDitto the model digest additionally folds in the
+ * resolved skip threshold and consecutive-skip cap (bit patterns), so
+ * a policy change — setApproxPolicy or the environment knobs — can
+ * never serve a prefix computed under a different schedule.
+ */
+PrefixBase makePrefixBase(const CompiledModel &model, uint64_t seed,
+                          uint64_t conditioning, RunMode mode);
+
+} // namespace ditto
+
+#endif // DITTO_SERVE_PREFIX_KEY_H

@@ -93,6 +93,17 @@ struct DenoiseRequest
     RunMode mode = RunMode::QuantDitto;
 
     /**
+     * Opaque digest of the request's conditioning (prompt embedding,
+     * guidance scale, ... — whatever the caller hashes). It does not
+     * affect the synthetic compute at all; it is part of the request's
+     * *identity* for inter-request reuse (src/serve/prefix_key.h): two
+     * requests may share a cached rollout prefix only when their
+     * (model, seed, conditioning, mode) all match. Callers that never
+     * enable the reuse cache can ignore it.
+     */
+    uint64_t conditioning = 0;
+
+    /**
      * Longest time this request may sit in an empty engine's batch
      * formation window waiting for co-batchable requests, in
      * microseconds. -1 uses the server's configured window; 0 demands
@@ -124,8 +135,16 @@ struct DenoiseResult
     SloClass slo = SloClass::Standard; //!< class it was served at
     FloatTensor image;        //!< final image (Done only; else empty)
     OpCounts dittoOps;        //!< multiplier-lane tallies (Ditto mode)
-    int steps = 0;            //!< steps actually executed
+    int steps = 0;            //!< total rollout steps (incl. reused)
     int preemptions = 0;      //!< times parked and resumed
+
+    /**
+     * Steps installed from the inter-request reuse cache instead of
+     * executed (<= steps; 0 on a cold start or with the cache
+     * disabled). The image is bitwise identical either way for exact
+     * modes (docs/reuse_cache.md).
+     */
+    int reusedSteps = 0;
     bool degraded = false;    //!< overload policy downgraded the work
     double queueMicros = 0;   //!< submit -> first admitted
     double serviceMicros = 0; //!< first admitted -> terminal state

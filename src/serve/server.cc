@@ -40,6 +40,35 @@ microsBetween(std::chrono::steady_clock::time_point a,
     return std::chrono::duration<double, std::micro>(b - a).count();
 }
 
+/**
+ * Shape a cached prefix as the park/resume transport so the engine
+ * installs it through the one battle-tested join path (admitParked /
+ * replaceSlotParked). The image and state bytes are copied out of the
+ * immutable entry; `state.backRef` adopts the entry itself so it stays
+ * alive while its copy is resident in a slab even if the cache evicts
+ * it concurrently (the slot-recycle paths drop the reference). `ops`
+ * stays zeroed: the warm start's whole point is that this request did
+ * not execute those steps.
+ */
+BatchEngine::Parked
+makeWarmParked(uint64_t id, const DenoiseRequest &req,
+               const ReuseCache::EntryPtr &entry, int steps_total)
+{
+    BatchEngine::Parked p;
+    p.id = id;
+    p.image = entry->image;
+    p.stepsDone = entry->key.steps;
+    p.stepsTotal = steps_total;
+    p.ditto = req.mode != RunMode::QuantDirect;
+    p.approx = req.mode == RunMode::ApproxDitto;
+    if (entry->hasState) {
+        p.state = entry->state;
+        p.state.backRef = entry;
+        p.hasState = true;
+    }
+    return p;
+}
+
 } // namespace
 
 ServerConfig
@@ -61,14 +90,18 @@ ServerConfig::fromEnv()
                                        cfg.shedHighWater, 0, 1'000'000);
     cfg.shedLowWater = env::readInt64("DITTO_SERVE_SHED_LOW",
                                       cfg.shedLowWater, 0, 1'000'000);
+    cfg.reuse = ReuseCacheConfig::fromEnv();
     return cfg;
 }
 
-DenoiseServer::DenoiseServer(const CompiledModel &model, ServerConfig cfg)
-    : model_(model), cfg_(cfg)
+DenoiseServer::DenoiseServer(const CompiledModel &model, ServerConfig cfg,
+                             std::shared_ptr<ReuseCache> cache)
+    : model_(model), cfg_(cfg), cache_(std::move(cache))
 {
     DITTO_ASSERT(cfg_.effectiveShedLow() < cfg_.effectiveShedHigh(),
                  "shed low watermark must sit below the high watermark");
+    if (!cache_ && cfg_.reuse.enabled())
+        cache_ = std::make_shared<ReuseCache>(cfg_.reuse);
     workers_.reserve(static_cast<size_t>(cfg_.workers));
     for (int i = 0; i < cfg_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -152,6 +185,7 @@ DenoiseServer::makeResultLocked(uint64_t id) const
     r.slo = t.slo;
     r.degraded = t.degraded;
     r.preemptions = t.preemptions;
+    r.reusedSteps = t.reusedSteps;
     if (t.state == RequestStatus::Queued) {
         r.queueMicros = microsBetween(t.submitted, now);
         r.serviceMicros = 0.0;
@@ -191,6 +225,7 @@ DenoiseServer::finalizeLocked(uint64_t id, RequestStatus status,
       default:
         DITTO_PANIC("finalize to non-terminal state");
     }
+    reuseBase_.erase(id); // checkpoint identity dies with the request
     results_[id] = std::move(result);
 }
 
@@ -434,6 +469,16 @@ DenoiseServer::metrics() const
     snap.queueDepth = static_cast<uint64_t>(queueDepthLocked());
     snap.parked = static_cast<uint64_t>(parked_.size());
     snap.shedding = shedding_;
+    if (cache_) {
+        const ReuseCacheStats rs = cache_->stats();
+        snap.reuseHits = rs.hits;
+        snap.reuseMisses = rs.misses;
+        snap.reuseStores = rs.stores;
+        snap.reuseEvictions = rs.evictions;
+        snap.reuseStepsSaved = rs.stepsSaved;
+        snap.reuseBytes = rs.bytes;
+        snap.reuseEntries = rs.entries;
+    }
     return snap;
 }
 
@@ -684,6 +729,20 @@ DenoiseServer::workerLoop()
             const bool fault_reject = faults::inject(
                 c.fromParked ? faults::Point::Resume
                              : faults::Point::Admission);
+            // Inter-request reuse: look up the deepest cached prefix
+            // before the recheck (the lookup itself never blocks the
+            // server lock). A reuse_install fault forces a cold start
+            // — never an error; resumes keep their own state.
+            ReuseCache::EntryPtr warm;
+            PrefixBase base{};
+            if (!c.fromParked && cache_) {
+                const DenoiseRequest &req = c.pending.req;
+                base = makePrefixBase(model_, req.seed,
+                                      req.conditioning, req.mode);
+                if (!faults::inject(faults::Point::ReuseInstall))
+                    warm = cache_->lookup(base,
+                                          effectiveSteps(req) - 1);
+            }
             bool dropped = false;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
@@ -719,6 +778,10 @@ DenoiseServer::workerLoop()
                     } else {
                         ++cm.resumed;
                     }
+                    if (!c.fromParked && cache_) {
+                        reuseBase_[id] = base;
+                        t.reusedSteps = warm ? warm->key.steps : 0;
+                    }
                     t.state = RequestStatus::Running;
                 }
             }
@@ -728,6 +791,11 @@ DenoiseServer::workerLoop()
             }
             if (c.fromParked) {
                 engine.admitParked(c.parked.state);
+            } else if (warm) {
+                engine.admitParked(
+                    makeWarmParked(id, c.pending.req, warm,
+                                   effectiveSteps(c.pending.req)));
+                cache_->recordInstalled(warm->key.steps);
             } else {
                 admit_ids.push_back(c.pending.id);
                 admit_reqs.push_back(c.pending.req);
@@ -757,6 +825,12 @@ DenoiseServer::workerLoop()
         };
         std::vector<Removal> removals; // descending slot order
         std::vector<Candidate> repl;
+        struct Checkpoint
+        {
+            int64_t slot;
+            PrefixKey key;
+        };
+        std::vector<Checkpoint> checkpoints;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             ++stats_.steps;
@@ -766,6 +840,27 @@ DenoiseServer::workerLoop()
             metrics_.stepRequests +=
                 static_cast<uint64_t>(engine.active());
             const Clock::time_point now = Clock::now();
+            // Plan reuse checkpoints under the lock (key identity and
+            // cancel flags live here); the state copies run outside
+            // it, before any slot is removed or replaced, so the slot
+            // indices stay valid. Finished slots checkpoint too — a
+            // completed 8-step prefix warm-starts a later 12-step
+            // request.
+            if (cache_) {
+                const int every = cache_->config().checkpointEvery;
+                for (int64_t i = 0; i < engine.active(); ++i) {
+                    const Ticket &t = tickets_.at(engine.slotId(i));
+                    const int done = engine.slotStepsDone(i);
+                    if (t.cancelRequested || done % every != 0 ||
+                        done <= t.reusedSteps)
+                        continue;
+                    auto bi = reuseBase_.find(engine.slotId(i));
+                    if (bi == reuseBase_.end())
+                        continue;
+                    checkpoints.push_back(
+                        {i, PrefixKey{bi->second, done}});
+                }
+            }
             for (int64_t i = engine.active() - 1; i >= 0; --i) {
                 const uint64_t id = engine.slotId(i);
                 const Ticket &t = tickets_.at(id);
@@ -803,6 +898,18 @@ DenoiseServer::workerLoop()
         spaceAvailable_.notify_all();
         resultReady_.notify_all(); // parked-pool pruning may finalize
 
+        // Store planned checkpoints while every planned slot index is
+        // still valid (nothing has mutated the engine since the plan).
+        // A reuse_store fault skips the store — checkpoints are pure
+        // acceleration, losing one can only cost future hits.
+        for (const Checkpoint &cp : checkpoints) {
+            if (faults::inject(faults::Point::ReuseStore))
+                continue;
+            BatchEngine::Parked snap = engine.snapshot(cp.slot);
+            cache_->store(cp.key, std::move(snap.image),
+                          std::move(snap.state), snap.hasState);
+        }
+
         size_t r_idx = 0;
         for (const Removal &rm : removals) {
             if (rm.status == RequestStatus::Done) {
@@ -833,6 +940,18 @@ DenoiseServer::workerLoop()
                 const bool fault_reject = faults::inject(
                     c.fromParked ? faults::Point::Resume
                                  : faults::Point::Admission);
+                // Same reuse lookup as the main admission site: the
+                // replacement fast path must not cost warm starts.
+                ReuseCache::EntryPtr warm;
+                PrefixBase base{};
+                if (!c.fromParked && cache_) {
+                    const DenoiseRequest &req = c.pending.req;
+                    base = makePrefixBase(model_, req.seed,
+                                          req.conditioning, req.mode);
+                    if (!faults::inject(faults::Point::ReuseInstall))
+                        warm = cache_->lookup(
+                            base, effectiveSteps(req) - 1);
+                }
                 bool dropped = false;
                 {
                     std::unique_lock<std::mutex> lock(mutex_);
@@ -868,6 +987,11 @@ DenoiseServer::workerLoop()
                         } else {
                             ++cm.resumed;
                         }
+                        if (!c.fromParked && cache_) {
+                            reuseBase_[cid] = base;
+                            t.reusedSteps =
+                                warm ? warm->key.steps : 0;
+                        }
                         t.state = RequestStatus::Running;
                     }
                 }
@@ -876,6 +1000,12 @@ DenoiseServer::workerLoop()
                         if (c.fromParked)
                             engine.replaceSlotParked(rm.slot,
                                                      c.parked.state);
+                        else if (warm)
+                            engine.replaceSlotParked(
+                                rm.slot,
+                                makeWarmParked(
+                                    cid, c.pending.req, warm,
+                                    effectiveSteps(c.pending.req)));
                         else
                             engine.replaceSlot(rm.slot, c.pending.id,
                                                c.pending.req);
@@ -885,9 +1015,15 @@ DenoiseServer::workerLoop()
                         engine.removeSlot(rm.slot);
                         if (c.fromParked)
                             engine.admitParked(c.parked.state);
+                        else if (warm)
+                            engine.admitParked(makeWarmParked(
+                                cid, c.pending.req, warm,
+                                effectiveSteps(c.pending.req)));
                         else
                             engine.admit(c.pending.id, c.pending.req);
                     }
+                    if (warm)
+                        cache_->recordInstalled(warm->key.steps);
                     replaced = true;
                 }
             }

@@ -33,6 +33,12 @@
  *    step count runs, but temporally stable blocks are skipped
  *    (docs/approx_reuse.md); it releases only below shedLowWater.
  *    Interactive traffic is never touched.
+ *  - Inter-request reuse: with a reuse cache enabled
+ *    (DITTO_REUSE_CAP_BYTES), running requests checkpoint their
+ *    partial state and near-duplicate requests — same (model, seed,
+ *    conditioning, mode) — warm-start from the deepest cached prefix
+ *    instead of step 0, bitwise identical to a cold rollout for the
+ *    exact modes (docs/reuse_cache.md).
  *  - Observability: per-class latency histograms and lifecycle
  *    counters (serve/metrics.h), exported as JSON.
  *  - Fault injection: deterministic delay/failure hooks on the whole
@@ -51,6 +57,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -58,7 +65,9 @@
 
 #include "serve/batch_rollout.h"
 #include "serve/metrics.h"
+#include "serve/prefix_key.h"
 #include "serve/request.h"
+#include "serve/reuse_cache.h"
 
 namespace ditto {
 
@@ -105,6 +114,14 @@ struct ServerConfig
      * to shedHighWater is the hysteresis band.
      */
     int64_t shedLowWater = 0;
+
+    /**
+     * Inter-request reuse cache (DITTO_REUSE_CAP_BYTES /
+     * DITTO_REUSE_CHECKPOINT_EVERY; src/serve/reuse_cache.h). Off by
+     * default. Ignored when the constructor is handed an external
+     * cache — then the cache's own config governs.
+     */
+    ReuseCacheConfig reuse;
 
     /** Defaults with the DITTO_SERVE_* environment overrides applied. */
     static ServerConfig fromEnv();
@@ -153,8 +170,15 @@ struct ServerStats
 class DenoiseServer
 {
   public:
+    /**
+     * `cache` shares an inter-request reuse cache across servers (the
+     * cross-server reuse topology; entries self-invalidate across
+     * models via the prefix key). Null creates a private cache when
+     * cfg.reuse enables one, else serves without reuse.
+     */
     explicit DenoiseServer(const CompiledModel &model,
-                           ServerConfig cfg = ServerConfig::fromEnv());
+                           ServerConfig cfg = ServerConfig::fromEnv(),
+                           std::shared_ptr<ReuseCache> cache = nullptr);
 
     /** shutdown(), then destroys the result map (unretrieved results
      *  are dropped). */
@@ -221,6 +245,9 @@ class DenoiseServer
     /** metrics().toJson() — the machine-readable export. */
     std::string metricsJson() const;
 
+    /** The reuse cache in use (null when reuse is disabled). */
+    std::shared_ptr<ReuseCache> reuseCache() const { return cache_; }
+
   private:
     using Clock = std::chrono::steady_clock;
 
@@ -239,6 +266,7 @@ class DenoiseServer
         bool cancelRequested = false;
         bool degraded = false;
         int preemptions = 0;
+        int reusedSteps = 0; //!< warm-start depth (0: cold)
         Clock::time_point submitted;
         Clock::time_point admitted;  //!< first admission (valid once
                                      //!< state has left Queued)
@@ -281,6 +309,7 @@ class DenoiseServer
 
     const CompiledModel &model_;
     const ServerConfig cfg_;
+    std::shared_ptr<ReuseCache> cache_; //!< null: reuse disabled
 
     mutable std::mutex mutex_;
     std::condition_variable workAvailable_;  //!< queue -> workers
@@ -289,6 +318,13 @@ class DenoiseServer
     std::array<std::deque<Pending>, kNumSloClasses> queues_;
     std::deque<ParkedEntry> parked_;
     std::unordered_map<uint64_t, Ticket> tickets_;
+    /**
+     * Prefix identity of every live admitted request, registered at
+     * first admission and erased with the ticket's terminal transition
+     * (finalizeLocked) — the checkpoint path derives store keys from
+     * it without rehashing the model per step.
+     */
+    std::unordered_map<uint64_t, PrefixBase> reuseBase_;
     std::unordered_map<uint64_t, DenoiseResult> results_;
     ServerStats stats_;
     ServeMetrics metrics_;

@@ -10,7 +10,8 @@ and flags specs whose fresh ratio fell more than --tolerance below the
 baseline ratio.
 
 Also warn-gates the serving-latency families (BM_ServeLatency /
-BM_ServeOverload): their p95_us counters are compared row by row
+BM_ServeOverload / BM_ServeReuse): their p95_us counters are compared
+row by row
 against the baseline and flagged when they rose more than
 --serve-tolerance above it. Serving p95 on a shared runner is even
 noisier than a throughput ratio, so these rows never exit non-zero —
@@ -54,7 +55,8 @@ import sys
 
 FAMILY = "BM_CompiledRollout"
 APPROX_FAMILY = "BM_ApproxRollout"
-SERVE_FAMILIES = ("BM_ServeLatency", "BM_ServeOverload")
+SERVE_FAMILIES = ("BM_ServeLatency", "BM_ServeOverload",
+                  "BM_ServeReuse")
 SCALING_PREFIX = "SCALING/"
 HOST_KEYS = ("host_name", "num_cpus", "mhz_per_cpu",
              "library_build_type")
