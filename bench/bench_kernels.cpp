@@ -19,9 +19,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/parallel.h"
 #include "core/diff_linear.h"
@@ -33,6 +36,8 @@
 #include "runtime/compiled.h"
 #include "runtime/presets.h"
 #include "serve/server.h"
+#include "shard/router.h"
+#include "shard/worker.h"
 #include "tensor/ops.h"
 #include "tensor/simd/simd.h"
 #include "trace/calibrate.h"
@@ -565,6 +570,105 @@ BM_ServeReuse(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kArrivals);
 }
 BENCHMARK(BM_ServeReuse)->Arg(0)->Arg(50)->Arg(90)->UseRealTime();
+
+/**
+ * Scale-out serving tier: N in-process shard workers behind the
+ * front-door router, speaking the real wire protocol over Unix-domain
+ * sockets (src/shard/). Bursts of requests go through
+ * ShardRouter::submit/wait exactly as a remote client's would through
+ * the front door, so the measurement includes framing, routing and
+ * per-RPC socket round trips — the true tier overhead, not a
+ * function-call approximation.
+ *
+ * Args: {workers, dup_pct}. dup_pct = 0 is the all-unique scaling
+ * row (the acceptance comparison is items_per_second at workers N vs
+ * workers 1, expected >= 0.8*N on an N-core host — on fewer cores the
+ * workers contend for the same CPU and the ratio records that
+ * honestly); dup_pct = 90 measures prefix-affinity routing keeping
+ * the per-worker reuse caches warm (hit_rate counter).
+ * tools/run_shard_scaling.sh appends the multi-process variant of the
+ * workers sweep to BENCH_kernels.json.
+ */
+void
+BM_ShardRouter(benchmark::State &state)
+{
+    const int64_t workers = state.range(0);
+    const int64_t dup_pct = state.range(1);
+    const MiniUnet &net = servingNet();
+    ServerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.maxWaitMicros = 500;
+    cfg.workers = 1;
+    cfg.queueCapacity = 256;
+    cfg.reuse.capBytes = 64ll << 20;
+    cfg.reuse.checkpointEvery = 2;
+
+    std::vector<std::unique_ptr<shard::ShardWorker>> tier;
+    shard::ShardRouter router;
+    for (int64_t i = 0; i < workers; ++i) {
+        char path[96];
+        std::snprintf(path, sizeof path, "/tmp/ditto_bm_%d_%lld_%lld.sock",
+                      static_cast<int>(getpid()),
+                      static_cast<long long>(workers * 1000 + dup_pct),
+                      static_cast<long long>(i));
+        std::remove(path);
+        tier.push_back(std::make_unique<shard::ShardWorker>(
+            net.compiled(), path, cfg));
+        std::string why;
+        if (!tier.back()->start(&why) || !router.addWorker(path, &why)) {
+            state.SkipWithError(why.c_str());
+            return;
+        }
+    }
+
+    const int64_t kArrivals = 32, kPool = 4;
+    std::vector<double> latencies;
+    uint64_t fresh_seed = 1;
+    for (auto _ : state) {
+        std::vector<uint64_t> gids;
+        for (int64_t i = 0; i < kArrivals; ++i) {
+            DenoiseRequest req;
+            if (i * 100 / kArrivals < dup_pct) {
+                req.seed = 2'000'000 + static_cast<uint64_t>(i % kPool);
+                req.conditioning =
+                    0x5AD'C0DEull + static_cast<uint64_t>(i % kPool);
+            } else {
+                req.seed = fresh_seed++;
+            }
+            gids.push_back(router.submit(req));
+        }
+        for (uint64_t gid : gids) {
+            DenoiseResult res = router.wait(gid);
+            latencies.push_back(res.queueMicros + res.serviceMicros);
+            benchmark::DoNotOptimize(res.image.data().data());
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+
+    // Cross-worker reuse roll-up straight off the merged export.
+    const std::string json = router.metricsJson();
+    const auto scrape = [&json](const char *key) -> double {
+        const std::string needle = std::string("\"") + key + "\":";
+        const size_t at = json.find(needle);
+        if (at == std::string::npos)
+            return 0.0;
+        return std::atof(json.c_str() + at + needle.size());
+    };
+    const double hits = scrape("hits"), misses = scrape("misses");
+    state.counters["p95_us"] = latencies[latencies.size() * 95 / 100];
+    state.counters["workers"] = static_cast<double>(workers);
+    state.counters["hit_rate"] =
+        hits + misses > 0 ? hits / (hits + misses) : 0.0;
+    state.counters["resubmitted"] = scrape("resubmitted");
+    state.SetItemsProcessed(state.iterations() * kArrivals);
+}
+BENCHMARK(BM_ShardRouter)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({1, 90})
+    ->Args({2, 90})
+    ->UseRealTime();
 
 /**
  * Graph-runtime rollouts per compiled preset spec, QuantDirect vs

@@ -12,6 +12,7 @@
  *   ./load_gen [--rate R] [--duration SEC] [--mix I:S:B]
  *              [--deadline-us D] [--steps N] [--seed K]
  *              [--dup-frac P] [--prefix-pool N]
+ *              [--router SOCK[,SOCK...]] [--drain]
  *
  *   --rate        arrivals per second (default 100)
  *   --duration    seconds of traffic (default 2)
@@ -26,6 +27,14 @@
  *                 for the inter-request reuse cache
  *                 (docs/reuse_cache.md)
  *   --prefix-pool size of that identity pool (default 8)
+ *   --router      drive a shard tier instead of an in-process server:
+ *                 an embedded ShardRouter (src/shard/router.h) over
+ *                 the given comma-separated worker sockets. Affinity
+ *                 routing, failover and cold resubmission apply; a
+ *                 worker killed mid-run costs throughput, not
+ *                 completions (docs/sharding.md)
+ *   --drain       after all results are in, drain every worker
+ *                 (router mode; workers then exit 0)
  *
  * Server knobs come from the environment (docs/config.md):
  * DITTO_SERVE_MAX_BATCH, DITTO_SERVE_WORKERS, DITTO_SERVE_QUEUE_CAP,
@@ -43,6 +52,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,10 +60,28 @@
 #include "common/rng.h"
 #include "core/mini_unet.h"
 #include "serve/server.h"
+#include "shard/router.h"
 
 using namespace ditto;
 
 namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        const size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
 
 double
 percentile(std::vector<double> sorted, double q)
@@ -89,6 +117,8 @@ main(int argc, char **argv)
     uint64_t seed = 1;
     double dup_frac = 0.0;
     int prefix_pool = 8;
+    std::string routerSockets;
+    bool drain = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto value = [&]() -> const char * {
@@ -113,6 +143,10 @@ main(int argc, char **argv)
             dup_frac = std::atof(value());
         } else if (arg == "--prefix-pool") {
             prefix_pool = std::atoi(value());
+        } else if (arg == "--router") {
+            routerSockets = value();
+        } else if (arg == "--drain") {
+            drain = true;
         } else if (arg == "--mix") {
             if (std::sscanf(value(), "%lf:%lf:%lf", &mix[0], &mix[1],
                             &mix[2]) != 3) {
@@ -136,24 +170,47 @@ main(int argc, char **argv)
         return 2;
     }
 
-    MiniUnetConfig cfg;
-    cfg.channels = 16;
-    cfg.resolution = 8;
-    cfg.steps = 8;
-    const MiniUnet net(cfg);
-    const ServerConfig scfg = ServerConfig::fromEnv();
     std::printf("load_gen: %.0f req/s for %.1fs, mix %g:%g:%g, "
                 "deadline %lld us\n",
                 rate, duration, mix[0], mix[1], mix[2],
                 static_cast<long long>(deadline_us));
-    std::printf("server: max batch %lld, %d worker(s), queue cap "
-                "%lld, shed high/low %lld/%lld\n\n",
-                static_cast<long long>(scfg.maxBatch), scfg.workers,
-                static_cast<long long>(scfg.queueCapacity),
-                static_cast<long long>(scfg.effectiveShedHigh()),
-                static_cast<long long>(scfg.effectiveShedLow()));
 
-    DenoiseServer server(net.compiled(), scfg);
+    // Backend: an in-process DenoiseServer by default, or an embedded
+    // ShardRouter over external worker processes with --router.
+    std::unique_ptr<MiniUnet> net;
+    std::unique_ptr<DenoiseServer> server;
+    std::unique_ptr<shard::ShardRouter> router;
+    if (!routerSockets.empty()) {
+        router = std::make_unique<shard::ShardRouter>();
+        for (const std::string &path : splitCommas(routerSockets)) {
+            std::string why;
+            if (!router->addWorker(path, &why)) {
+                std::fprintf(stderr, "load_gen: %s\n", why.c_str());
+                return 1;
+            }
+        }
+        std::printf("router: %d worker(s)\n\n", router->numWorkers());
+    } else {
+        MiniUnetConfig cfg;
+        cfg.channels = 16;
+        cfg.resolution = 8;
+        cfg.steps = 8;
+        net = std::make_unique<MiniUnet>(cfg);
+        const ServerConfig scfg = ServerConfig::fromEnv();
+        std::printf("server: max batch %lld, %d worker(s), queue cap "
+                    "%lld, shed high/low %lld/%lld\n\n",
+                    static_cast<long long>(scfg.maxBatch), scfg.workers,
+                    static_cast<long long>(scfg.queueCapacity),
+                    static_cast<long long>(scfg.effectiveShedHigh()),
+                    static_cast<long long>(scfg.effectiveShedLow()));
+        server = std::make_unique<DenoiseServer>(net->compiled(), scfg);
+    }
+    const auto submitReq = [&](const DenoiseRequest &req) {
+        return router ? router->submit(req) : server->submit(req);
+    };
+    const auto waitResult = [&](uint64_t id) {
+        return router ? router->wait(id) : server->wait(id);
+    };
     Rng rng = Rng::fromKeys(seed, 0x10adu);
     const double mix_sum = mix[0] + mix[1] + mix[2];
 
@@ -196,13 +253,13 @@ main(int argc, char **argv)
         req.steps = steps;
         req.slo = slo;
         req.deadlineMicros = deadline_us;
-        ids.push_back(server.submit(req));
+        ids.push_back(submitReq(req));
         classes.push_back(slo);
     }
 
     ClassTally tally[kNumSloClasses];
     for (size_t i = 0; i < ids.size(); ++i) {
-        const DenoiseResult res = server.wait(ids[i]);
+        const DenoiseResult res = waitResult(ids[i]);
         ClassTally &t = tally[static_cast<size_t>(classes[i])];
         ++t.submitted;
         t.preemptions += static_cast<uint64_t>(res.preemptions);
@@ -253,18 +310,27 @@ main(int argc, char **argv)
                 ids.size(), wall,
                 static_cast<double>(ids.size()) / wall,
                 static_cast<double>(total_done) / wall);
-    const ServeMetrics sm = server.metrics();
-    if (sm.reuseHits + sm.reuseMisses > 0)
-        std::printf("reuse: %.1f%% hit rate (%llu/%llu lookups), %llu "
-                    "steps saved, %llu stores, %llu evictions\n",
-                    100.0 * sm.reuseHitRate(),
-                    static_cast<unsigned long long>(sm.reuseHits),
-                    static_cast<unsigned long long>(sm.reuseHits +
-                                                    sm.reuseMisses),
-                    static_cast<unsigned long long>(sm.reuseStepsSaved),
-                    static_cast<unsigned long long>(sm.reuseStores),
-                    static_cast<unsigned long long>(sm.reuseEvictions));
-    std::printf("\nmetrics: %s\n", sm.toJson().c_str());
+    if (router) {
+        std::printf("\nmetrics: %s\n", router->metricsJson().c_str());
+        if (drain) {
+            router->drainAll();
+            std::printf("drained %d worker(s)\n", router->numWorkers());
+        }
+    } else {
+        const ServeMetrics sm = server->metrics();
+        if (sm.reuseHits + sm.reuseMisses > 0)
+            std::printf(
+                "reuse: %.1f%% hit rate (%llu/%llu lookups), %llu "
+                "steps saved, %llu stores, %llu evictions\n",
+                100.0 * sm.reuseHitRate(),
+                static_cast<unsigned long long>(sm.reuseHits),
+                static_cast<unsigned long long>(sm.reuseHits +
+                                                sm.reuseMisses),
+                static_cast<unsigned long long>(sm.reuseStepsSaved),
+                static_cast<unsigned long long>(sm.reuseStores),
+                static_cast<unsigned long long>(sm.reuseEvictions));
+        std::printf("\nmetrics: %s\n", sm.toJson().c_str());
+    }
     if (ids.empty() || total_done == 0) {
         std::fprintf(stderr, "load_gen: no request completed\n");
         return 1;

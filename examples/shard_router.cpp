@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Front-door router process for a shard-worker tier.
+ *
+ *   ./shard_router --socket FRONT --workers SOCK[,SOCK...]
+ *
+ * Connects to every worker socket (all must serve the same compiled
+ * model), then serves the shard RPC protocol on the front-door socket
+ * with router-level tickets: clients submit/poll/cancel against the
+ * tier as if it were one worker, while the router applies
+ * prefix-affinity routing, SLO/least-loaded dispatch, failure
+ * detection with cold resubmission and explicit migration underneath
+ * (src/shard/router.h, docs/sharding.md).
+ *
+ * A Drain RPC on the front door drains every worker. SIGINT/SIGTERM
+ * stop the router (workers keep running); the merged metrics JSON is
+ * printed on exit either way.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shard/router.h"
+
+using namespace ditto;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        const size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string frontPath;
+    std::string workerList;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            frontPath = value();
+        } else if (arg == "--workers") {
+            workerList = value();
+        } else {
+            std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    const std::vector<std::string> workerPaths = splitCommas(workerList);
+    if (frontPath.empty() || workerPaths.empty()) {
+        std::fprintf(stderr, "usage: shard_router --socket FRONT "
+                             "--workers SOCK[,SOCK...]\n");
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    shard::ShardRouter router;
+    for (const std::string &path : workerPaths) {
+        std::string why;
+        if (!router.addWorker(path, &why)) {
+            std::fprintf(stderr, "shard_router: %s\n", why.c_str());
+            return 1;
+        }
+    }
+    std::string why;
+    if (!router.serve(frontPath, &why)) {
+        std::fprintf(stderr, "shard_router: %s\n", why.c_str());
+        return 1;
+    }
+    std::printf("shard_router: %d worker(s) behind %s\n",
+                router.numWorkers(), frontPath.c_str());
+    std::fflush(stdout);
+
+    while (!g_stop)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    router.stopServing();
+    std::printf("metrics: %s\n", router.metricsJson().c_str());
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Standalone shard worker process: one CompiledModel + DenoiseServer
+ * behind a Unix-domain socket speaking the shard RPC protocol
+ * (src/shard/protocol.h, docs/sharding.md).
+ *
+ *   ./shard_worker --socket PATH [--model NAME] [--steps N]
+ *
+ *   --socket  Unix-domain socket path to serve on (required)
+ *   --model   preset to compile: mini_unet, deep_unet, dit_block,
+ *             mhsa_block or dit_adaln (default mini_unet)
+ *   --steps   override the preset's default step count (0 keeps it)
+ *
+ * Server knobs come from the environment (docs/config.md):
+ * DITTO_SERVE_*, DITTO_REUSE_CAP_BYTES (per-worker reuse cache) and
+ * DITTO_FAULT_POINTS (chaos runs). The process exits 0 after a Drain
+ * RPC completes (the router's graceful-shutdown path) or on
+ * SIGINT/SIGTERM; `kill -9` models the failure the router's cold
+ * resubmission covers.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "runtime/compiled.h"
+#include "runtime/presets.h"
+#include "shard/worker.h"
+
+using namespace ditto;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+bool
+specByName(const std::string &name, int steps, ModelSpec *out)
+{
+    if (name == "mini_unet") {
+        MiniUnetConfig cfg;
+        if (steps > 0)
+            cfg.steps = steps;
+        *out = miniUnetSpec(cfg);
+    } else if (name == "deep_unet") {
+        DeepUnetConfig cfg;
+        if (steps > 0)
+            cfg.steps = steps;
+        *out = deepUnetSpec(cfg);
+    } else if (name == "dit_block") {
+        DitBlockConfig cfg;
+        if (steps > 0)
+            cfg.steps = steps;
+        *out = ditBlockSpec(cfg);
+    } else if (name == "mhsa_block") {
+        MhsaBlockConfig cfg;
+        if (steps > 0)
+            cfg.steps = steps;
+        *out = mhsaBlockSpec(cfg);
+    } else if (name == "dit_adaln") {
+        DitAdaLnConfig cfg;
+        if (steps > 0)
+            cfg.steps = steps;
+        *out = ditAdaLnSpec(cfg);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string model = "mini_unet";
+    int steps = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socketPath = value();
+        } else if (arg == "--model") {
+            model = value();
+        } else if (arg == "--steps") {
+            steps = std::atoi(value());
+        } else {
+            std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (socketPath.empty()) {
+        std::fprintf(stderr, "usage: shard_worker --socket PATH "
+                             "[--model NAME] [--steps N]\n");
+        return 2;
+    }
+    ModelSpec spec;
+    if (!specByName(model, steps, &spec)) {
+        std::fprintf(stderr, "unknown model preset '%s'\n", model.c_str());
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    const CompiledModel compiled = compile(spec);
+    shard::ShardWorker worker(compiled, socketPath);
+    std::string why;
+    if (!worker.start(&why)) {
+        std::fprintf(stderr, "shard_worker: %s\n", why.c_str());
+        return 1;
+    }
+    std::printf("shard_worker: serving %s on %s (spec %016llx, "
+                "calib %016llx)\n",
+                model.c_str(), socketPath.c_str(),
+                static_cast<unsigned long long>(worker.info().specHash),
+                static_cast<unsigned long long>(worker.info().calibDigest));
+    std::fflush(stdout);
+
+    while (!g_stop && !worker.drained())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    const bool drained = worker.drained();
+    worker.stop();
+    std::printf("shard_worker: %s\n",
+                drained ? "drained, exiting" : "signalled, exiting");
+    return 0;
+}

@@ -88,6 +88,24 @@ constexpr Knob kKnobs[] = {
     {"DITTO_FAULT_SEED", "0", "src/serve/faultpoints.cc",
      "Seed for probabilistic fault schedules (prob=P clauses); "
      "every point draws an independent deterministic stream."},
+    {"DITTO_SHARD_SOCKET_DIR", "/tmp", "src/shard/worker.cc",
+     "Directory for shard-tier Unix-domain sockets. Keep it short: "
+     "AF_UNIX paths cap at ~107 bytes."},
+    {"DITTO_SHARD_CONNECT_TIMEOUT_MS", "5000", "src/shard/client.cc",
+     "How long a ShardClient retries connecting to a worker socket "
+     "that does not exist yet / refuses (the worker-startup race), in "
+     "milliseconds. Range 0..600000."},
+    {"DITTO_SHARD_POLL_US", "500", "src/shard/router.cc",
+     "ShardRouter::wait poll interval in microseconds. Range "
+     "1..10000000."},
+    {"DITTO_SHARD_AFFINITY_SLACK", "2", "src/shard/router.cc",
+     "How many outstanding requests the affinity worker may carry "
+     "above the least-loaded worker before prefix-affinity routing is "
+     "overridden by least-loaded dispatch. Range 0..1048576."},
+    {"DITTO_WRITE_GOLDENS", "unset", "tests/test_shard.cc",
+     "Any non-empty value other than 0 makes the slab-codec golden "
+     "test regenerate the committed fixtures under "
+     "tests/goldens/slab/ instead of comparing against them."},
 };
 
 /** Registered lookup; panics on a name missing from the table. */

@@ -472,6 +472,21 @@ CompiledModel::BatchDittoState::resetSlab(int64_t i)
     }
 }
 
+int64_t
+CompiledModel::BatchDittoState::SlabState::payloadBytes() const
+{
+    int64_t b = 0;
+    for (const auto &t : prevIn)
+        b += t.numel() * static_cast<int64_t>(sizeof(int8_t));
+    for (const auto &t : prevOut)
+        b += t.numel() * static_cast<int64_t>(sizeof(int32_t));
+    b += static_cast<int64_t>(consec.size()) *
+         static_cast<int64_t>(sizeof(int32_t));
+    b += static_cast<int64_t>(skips.size()) *
+         static_cast<int64_t>(sizeof(int64_t));
+    return b;
+}
+
 CompiledModel::BatchDittoState::SlabState
 CompiledModel::BatchDittoState::extractSlab(int64_t i) const
 {

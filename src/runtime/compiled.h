@@ -200,6 +200,16 @@ class CompiledModel
              * from it. Null for states extracted from a batch.
              */
             std::shared_ptr<const void> backRef;
+
+            /**
+             * Heap footprint of the tensors and counters, in bytes.
+             * The one accounting number shared by the reuse cache's
+             * byte budget (src/serve/reuse_cache.cc) and the shard
+             * codec's wire-size estimate (src/shard/slab_codec.cc) —
+             * budgets mean the same thing for resident and relocated
+             * slabs.
+             */
+            int64_t payloadBytes() const;
         };
 
         /**
@@ -277,6 +287,18 @@ class CompiledModel
 
     const Shape &inputShape() const { return spec_.inputShape; }
     int defaultSteps() const { return spec_.steps; }
+
+    /**
+     * Slot counts of the compiled difference program's DittoState
+     * (previous-input code slots / previous-output slots). A relocated
+     * slab (src/shard/slab_codec.h) is only installable into a model
+     * with the same slot geometry; the shard worker validates these —
+     * plus the spec hash and calibration digest — *before* install, so
+     * a mismatched slab is rejected gracefully at the wire instead of
+     * tripping installSlab's assertions.
+     */
+    int numStateInSlots() const { return numInSlots_; }
+    int numStateOutSlots() const { return numOutSlots_; }
 
     /** MACs of one denoising step (all steady-state compute layers). */
     int64_t macsPerStep() const { return macsPerStep_; }

@@ -41,6 +41,8 @@ requestStatusName(RequestStatus st)
         return "timed_out";
       case RequestStatus::Rejected:
         return "rejected";
+      case RequestStatus::Migrated:
+        return "migrated";
     }
     return "?";
 }
@@ -117,11 +119,14 @@ ServeMetrics::toJson() const
        << ",\"shedding\":" << (shedding ? "true" : "false")
        << ",\"shed_entered\":" << shedEntered
        << ",\"shed_exited\":" << shedExited
+       << ",\"migrated_out\":" << migratedOut
+       << ",\"migrated_in\":" << migratedIn
        << ",\"reuse\":{\"hits\":" << reuseHits
        << ",\"misses\":" << reuseMisses << ",\"stores\":" << reuseStores
        << ",\"evictions\":" << reuseEvictions
        << ",\"steps_saved\":" << reuseStepsSaved
        << ",\"bytes\":" << reuseBytes << ",\"entries\":" << reuseEntries
+       << ",\"generation\":" << reuseGeneration
        << ",\"hit_rate\":" << reuseHitRate() << "}"
        << ",\"classes\":{";
     for (int c = 0; c < kNumSloClasses; ++c) {

@@ -98,6 +98,17 @@ struct ServeMetrics
     bool shedding = false;       //!< gauge at snapshot time
 
     /**
+     * Cross-worker migration (src/shard/, docs/sharding.md):
+     * requests this server exported to another worker
+     * (exportForMigration) and requests it adopted from one
+     * (importMigrated). A migrated-out ticket terminates here as
+     * RequestStatus::Migrated; the adopted copy runs to its own
+     * terminal state under a fresh ticket.
+     */
+    uint64_t migratedOut = 0;
+    uint64_t migratedIn = 0;
+
+    /**
      * Inter-request reuse-cache counters (src/serve/reuse_cache.h),
      * copied from the server's cache at snapshot time. All zero when
      * the cache is disabled (DITTO_REUSE_CAP_BYTES=0); the "reuse"
@@ -111,6 +122,15 @@ struct ServeMetrics
     uint64_t reuseStepsSaved = 0; //!< steps skipped via warm starts
     uint64_t reuseBytes = 0;      //!< resident bytes (gauge)
     uint64_t reuseEntries = 0;    //!< resident entries (gauge)
+
+    /**
+     * ReuseCacheStats::generation: bumped by every ReuseCache::clear().
+     * Lets a metrics merger (the shard router's cross-worker roll-up)
+     * tell a *cleared* cache (generation advanced, counters continue)
+     * from a *restarted* worker (generation and counters both reset) —
+     * without it, re-aggregating after a restart double-counts.
+     */
+    uint64_t reuseGeneration = 0;
 
     /** Fraction of reuse lookups that hit (0 with no lookups). */
     double

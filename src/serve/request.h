@@ -51,7 +51,7 @@ const char *sloClassName(SloClass slo);
  * its terminal state.
  *
  *   Queued -> Running <-> Parked
- *   Queued/Running/Parked -> {Done, Cancelled, TimedOut}
+ *   Queued/Running/Parked -> {Done, Cancelled, TimedOut, Migrated}
  *   submit() -> Rejected (admission control, shedding, fault points)
  */
 enum class RequestStatus : uint8_t
@@ -63,6 +63,15 @@ enum class RequestStatus : uint8_t
     Cancelled,    //!< cancel() took effect before completion
     TimedOut,     //!< deadline expired before completion
     Rejected,     //!< never admitted (overload / shed / fault)
+
+    /**
+     * Exported to another worker (DenoiseServer::exportForMigration):
+     * this server relinquished the request; its portable state —
+     * partial image plus DittoState slab — continues elsewhere under a
+     * new ticket (src/shard/, docs/sharding.md). Terminal here, with
+     * an empty image.
+     */
+    Migrated,
 };
 
 /** Stable lower-case name ("queued", ...) for logs and JSON. */
@@ -73,7 +82,8 @@ inline bool
 isTerminal(RequestStatus st)
 {
     return st == RequestStatus::Done || st == RequestStatus::Cancelled ||
-           st == RequestStatus::TimedOut || st == RequestStatus::Rejected;
+           st == RequestStatus::TimedOut || st == RequestStatus::Rejected ||
+           st == RequestStatus::Migrated;
 }
 
 /** One denoising request submitted to the server. */

@@ -17,17 +17,12 @@ entryBytes(const ReuseEntry &e)
 {
     // Accounted footprint: tensor payloads plus a fixed per-entry
     // overhead for the key/containers, so byte budgets behave sanely
-    // even for degenerate tiny states.
+    // even for degenerate tiny states. The state's share is the same
+    // number the shard codec accounts (SlabState::payloadBytes), so
+    // budgets mean the same thing for resident and relocated slabs.
     int64_t b = 256;
     b += e.image.numel() * static_cast<int64_t>(sizeof(float));
-    for (const auto &t : e.state.prevIn)
-        b += t.numel() * static_cast<int64_t>(sizeof(int8_t));
-    for (const auto &t : e.state.prevOut)
-        b += t.numel() * static_cast<int64_t>(sizeof(int32_t));
-    b += static_cast<int64_t>(e.state.consec.size()) *
-         static_cast<int64_t>(sizeof(int32_t));
-    b += static_cast<int64_t>(e.state.skips.size()) *
-         static_cast<int64_t>(sizeof(int64_t));
+    b += e.state.payloadBytes();
     return b;
 }
 
@@ -125,6 +120,7 @@ ReuseCache::clear()
     index_.clear();
     stats_.bytes = 0;
     stats_.entries = 0;
+    ++stats_.generation;
 }
 
 ReuseCacheStats

@@ -90,6 +90,17 @@ struct ReuseCacheStats
     uint64_t bytes = 0;      //!< resident bytes (gauge)
     uint64_t entries = 0;    //!< resident entries (gauge)
 
+    /**
+     * Bumped by every clear(). Counters survive a clear, so without
+     * this a metrics consumer cannot tell a deliberately cleared cache
+     * (generation advanced, counters monotonic) from a cold one in a
+     * restarted worker (generation back to 0, counters reset) — and a
+     * multi-worker merge that re-adds a restarted worker's counters
+     * would double-count. The shard router keys its cross-worker
+     * roll-up on (generation, counters) epochs (src/shard/router.cc).
+     */
+    uint64_t generation = 0;
+
     double
     hitRate() const
     {
@@ -143,7 +154,7 @@ class ReuseCache
     /** Account an actually-installed prefix of `steps` steps. */
     void recordInstalled(int steps);
 
-    /** Drop every resident entry (counters survive). */
+    /** Drop every resident entry (counters survive; generation++). */
     void clear();
 
     ReuseCacheStats stats() const;

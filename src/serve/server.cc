@@ -120,6 +120,12 @@ DenoiseServer::shutdown()
         if (shutdown_)
             return;
         stopping_ = true;
+        // Cancel pending migrations: a held parked entry would
+        // otherwise be work no worker may take, deadlocking the drain.
+        // The exporter (if any) observes stopping_ and reports failure;
+        // the request completes locally instead.
+        for (auto &kv : tickets_)
+            kv.second.migrateRequested = false;
     }
     workAvailable_.notify_all();
     spaceAvailable_.notify_all();
@@ -157,9 +163,24 @@ DenoiseServer::queueDepthLocked() const
 }
 
 bool
+DenoiseServer::parkedHeldLocked(const ParkedEntry &e) const
+{
+    // A parked entry whose ticket has a migration pending belongs to
+    // the exporter: admission must not resume it, a worker must not
+    // count it as runnable work (else idle workers would spin on it).
+    return tickets_.at(e.state.id).migrateRequested;
+}
+
+bool
 DenoiseServer::haveWorkLocked() const
 {
-    return !parked_.empty() || queueDepthLocked() > 0;
+    if (queueDepthLocked() > 0)
+        return true;
+    for (const ParkedEntry &p : parked_) {
+        if (!parkedHeldLocked(p))
+            return true;
+    }
+    return false;
 }
 
 void
@@ -221,6 +242,9 @@ DenoiseServer::finalizeLocked(uint64_t id, RequestStatus status,
       case RequestStatus::Rejected:
         // Cause-specific counters (capacity / shed / fault) are
         // incremented at the rejection site.
+        break;
+      case RequestStatus::Migrated:
+        ++metrics_.migratedOut;
         break;
       default:
         DITTO_PANIC("finalize to non-terminal state");
@@ -324,6 +348,7 @@ DenoiseServer::submit(const DenoiseRequest &req)
         return id;
     }
 
+    tickets_[id].req = effective; // for exportForMigration
     Pending p;
     p.id = id;
     p.req = effective;
@@ -478,6 +503,7 @@ DenoiseServer::metrics() const
         snap.reuseStepsSaved = rs.stepsSaved;
         snap.reuseBytes = rs.bytes;
         snap.reuseEntries = rs.entries;
+        snap.reuseGeneration = rs.generation;
     }
     return snap;
 }
@@ -486,6 +512,164 @@ std::string
 DenoiseServer::metricsJson() const
 {
     return metrics().toJson();
+}
+
+bool
+DenoiseServer::exportForMigration(uint64_t id, MigratedRequest *out,
+                                  int64_t waitMicros)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = tickets_.find(id);
+    if (it == tickets_.end() || isTerminal(it->second.state) || stopping_)
+        return false;
+    const Clock::time_point now = Clock::now();
+
+    // The portable identity: the effective request with its deadline
+    // re-expressed as the remaining budget (absolute steady-clock
+    // points do not cross processes).
+    const auto portableReq = [&](const Ticket &t) {
+        DenoiseRequest r = t.req;
+        r.deadlineMicros =
+            t.deadline == Clock::time_point::max()
+                ? -1
+                : std::max<int64_t>(
+                      0, static_cast<int64_t>(microsBetween(now,
+                                                            t.deadline)));
+        return r;
+    };
+
+    // Queued and still in its class queue: export cold — the rollout
+    // never started, and by the determinism contract the importer's
+    // cold run is bitwise the same trajectory.
+    if (it->second.state == RequestStatus::Queued) {
+        std::deque<Pending> &q =
+            queues_[static_cast<size_t>(it->second.slo)];
+        for (auto qi = q.begin(); qi != q.end(); ++qi) {
+            if (qi->id != id)
+                continue;
+            const Ticket &t = it->second;
+            out->req = portableReq(t);
+            out->state = BatchEngine::Parked{};
+            out->state.id = id;
+            out->state.stepsTotal = effectiveSteps(t.req);
+            out->state.ditto = t.req.mode != RunMode::QuantDirect;
+            out->state.approx = t.req.mode == RunMode::ApproxDitto;
+            q.erase(qi);
+            finalizeEmptyLocked(id, RequestStatus::Migrated);
+            lock.unlock();
+            resultReady_.notify_all();
+            spaceAvailable_.notify_all();
+            return true;
+        }
+        // Popped by a worker — it is being admitted right now; fall
+        // through to the flag-and-wait path and take it at the next
+        // step boundary.
+    }
+
+    // Running (or mid-admission): flag it; the owning worker parks it
+    // at the next step boundary and the entry arrives in the parked
+    // pool *held* (admission skips it). Already-parked requests
+    // satisfy the predicate immediately.
+    it->second.migrateRequested = true;
+    const Clock::time_point give_up = deadlineAfter(now, waitMicros);
+    const auto parkedIt = [&] {
+        for (auto pi = parked_.begin(); pi != parked_.end(); ++pi) {
+            if (pi->state.id == id)
+                return pi;
+        }
+        return parked_.end();
+    };
+    resultReady_.wait_until(lock, give_up, [&] {
+        if (stopping_)
+            return true;
+        auto ti = tickets_.find(id);
+        if (ti == tickets_.end() || isTerminal(ti->second.state))
+            return true;
+        return ti->second.state == RequestStatus::Parked &&
+               parkedIt() != parked_.end();
+    });
+
+    auto ti = tickets_.find(id);
+    bool ok = false;
+    if (!stopping_ && ti != tickets_.end() &&
+        ti->second.state == RequestStatus::Parked) {
+        auto pi = parkedIt();
+        if (pi != parked_.end()) {
+            Ticket &t = ti->second;
+            out->req = portableReq(t);
+            out->state = std::move(pi->state);
+            parked_.erase(pi);
+            DenoiseResult r = makeResultLocked(id);
+            r.steps = out->state.stepsDone;
+            r.dittoOps = out->state.ops;
+            finalizeLocked(id, RequestStatus::Migrated, std::move(r));
+            ok = true;
+        }
+    }
+    if (!ok && ti != tickets_.end())
+        ti->second.migrateRequested = false; // resume locally
+    lock.unlock();
+    resultReady_.notify_all();
+    workAvailable_.notify_all(); // an un-held entry is runnable again
+    return ok;
+}
+
+uint64_t
+DenoiseServer::importMigrated(const MigratedRequest &m)
+{
+    if (m.req.mode != RunMode::QuantDitto &&
+        m.req.mode != RunMode::QuantDirect &&
+        m.req.mode != RunMode::ApproxDitto)
+        DITTO_FATAL("importMigrated: only quantized modes are served");
+    const bool has_progress = m.state.stepsDone > 0 || m.state.hasState;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_ || shutdown_)
+        DITTO_FATAL("importMigrated after DenoiseServer::shutdown()");
+    const Clock::time_point now = Clock::now();
+    const uint64_t id = nextId_++;
+    Ticket t;
+    t.slo = m.req.slo;
+    t.submitted = now;
+    t.deadline = deadlineAfter(now, m.req.deadlineMicros);
+    t.req = m.req;
+    ClassMetrics &cm = metrics_.perClass[static_cast<size_t>(m.req.slo)];
+    ++cm.submitted;
+    ++stats_.submitted;
+    ++metrics_.migratedIn;
+    if (has_progress) {
+        // Partial progress re-enters through the parked pool exactly
+        // like a preempted local request; the next admission resumes
+        // it through the one battle-tested join path (admitParked).
+        t.state = RequestStatus::Parked;
+        t.admitted = now; // its queue time was spent on the exporter
+        tickets_[id] = t;
+        ParkedEntry entry;
+        entry.slo = m.req.slo;
+        entry.parkedAt = now;
+        entry.state = m.state;
+        entry.state.id = id;
+        entry.state.state.backRef = nullptr; // owns its bytes outright
+        parked_.push_back(std::move(entry));
+        metrics_.parkedPeak = std::max(
+            metrics_.parkedPeak, static_cast<uint64_t>(parked_.size()));
+    } else {
+        // Never started: queue it normally (deliberately bypassing the
+        // capacity bound — migration rebalances work that was already
+        // admitted somewhere; the source's bound still applies).
+        tickets_[id] = t;
+        Pending p;
+        p.id = id;
+        p.req = m.req;
+        p.submitted = now;
+        queues_[static_cast<size_t>(m.req.slo)].push_back(std::move(p));
+        metrics_.queueDepthPeak =
+            std::max(metrics_.queueDepthPeak,
+                     static_cast<uint64_t>(queueDepthLocked()));
+    }
+    lock.unlock();
+    workAvailable_.notify_one();
+    return id;
 }
 
 SloClass
@@ -498,8 +682,10 @@ DenoiseServer::bestWaitingClassLocked(bool *any) const
             break;
         }
     }
-    for (const ParkedEntry &p : parked_)
-        best = std::min(best, static_cast<int>(p.slo));
+    for (const ParkedEntry &p : parked_) {
+        if (!parkedHeldLocked(p))
+            best = std::min(best, static_cast<int>(p.slo));
+    }
     *any = best < kNumSloClasses;
     return static_cast<SloClass>(best < kNumSloClasses ? best : 0);
 }
@@ -521,6 +707,8 @@ DenoiseServer::popCandidateLocked(Candidate *out)
         size_t parked_at = parked_.size();
         int parked_class = kNumSloClasses;
         for (size_t i = 0; i < parked_.size(); ++i) {
+            if (parkedHeldLocked(parked_[i]))
+                continue; // reserved for an exporter, not for us
             const int c = static_cast<int>(parked_[i].slo);
             if (c < parked_class) {
                 parked_class = c;
@@ -872,6 +1060,11 @@ DenoiseServer::workerLoop()
                 else if (now >= t.deadline)
                     removals.push_back(
                         {i, id, RequestStatus::TimedOut});
+                else if (t.migrateRequested)
+                    // Park-out for migration: Parked is the plan's
+                    // non-terminal sentinel — the slot is parked into
+                    // the pool (held for the exporter), not finalized.
+                    removals.push_back({i, id, RequestStatus::Parked});
             }
             // Expired or cancelled parked requests must not linger
             // until a pop considers them: prune once per step.
@@ -912,7 +1105,31 @@ DenoiseServer::workerLoop()
 
         size_t r_idx = 0;
         for (const Removal &rm : removals) {
-            if (rm.status == RequestStatus::Done) {
+            bool slot_gone = false;
+            if (rm.status == RequestStatus::Parked) {
+                // Park-out for migration: capture the portable state
+                // into the parked pool, where the entry stays *held*
+                // (admission skips it) until the exporter takes it —
+                // or until the flag is cleared and it resumes here.
+                faults::inject(faults::Point::Park);
+                BatchEngine::Parked p = engine.park(rm.slot);
+                slot_gone = true;
+                {
+                    std::unique_lock<std::mutex> lock(mutex_);
+                    Ticket &t = tickets_.at(rm.id);
+                    t.state = RequestStatus::Parked;
+                    ParkedEntry entry;
+                    entry.slo = t.slo;
+                    entry.parkedAt = Clock::now();
+                    entry.state = std::move(p);
+                    parked_.push_back(std::move(entry));
+                    metrics_.parkedPeak =
+                        std::max(metrics_.parkedPeak,
+                                 static_cast<uint64_t>(parked_.size()));
+                }
+                resultReady_.notify_all();   // the exporter waits here
+                workAvailable_.notify_all(); // flag may have cleared
+            } else if (rm.status == RequestStatus::Done) {
                 BatchEngine::Finished f = engine.extract(rm.slot);
                 std::unique_lock<std::mutex> lock(mutex_);
                 DenoiseResult r = makeResultLocked(rm.id);
@@ -1010,9 +1227,13 @@ DenoiseServer::workerLoop()
                             engine.replaceSlot(rm.slot, c.pending.id,
                                                c.pending.req);
                     } else {
-                        // Evicted slots are mid-rollout; the in-place
-                        // overwrite is reserved for finished slabs.
-                        engine.removeSlot(rm.slot);
+                        // Evicted slots are mid-rollout (and a
+                        // migrate-park already removed its slot); the
+                        // in-place overwrite is reserved for finished
+                        // slabs.
+                        if (!slot_gone)
+                            engine.removeSlot(rm.slot);
+                        slot_gone = true;
                         if (c.fromParked)
                             engine.admitParked(c.parked.state);
                         else if (warm)
@@ -1027,7 +1248,7 @@ DenoiseServer::workerLoop()
                     replaced = true;
                 }
             }
-            if (!replaced)
+            if (!replaced && !slot_gone)
                 engine.removeSlot(rm.slot);
         }
         resultReady_.notify_all();

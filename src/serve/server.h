@@ -248,6 +248,49 @@ class DenoiseServer
     /** The reuse cache in use (null when reuse is disabled). */
     std::shared_ptr<ReuseCache> reuseCache() const { return cache_; }
 
+    /**
+     * A request's portable identity + progress: everything another
+     * DenoiseServer needs to continue it (src/shard/, docs/sharding.md).
+     * `req` is the *effective* request (post-shedding mode) with its
+     * deadline re-expressed as the remaining budget in microseconds —
+     * absolute steady-clock points do not cross processes. `state` is
+     * the park/resume transport; stepsDone == 0 && !hasState means the
+     * rollout never started and the importer runs it cold (bitwise
+     * identical by the determinism contract — the trajectory is a pure
+     * function of (model, seed, mode, steps)).
+     */
+    struct MigratedRequest
+    {
+        DenoiseRequest req;
+        BatchEngine::Parked state;
+    };
+
+    /**
+     * Relinquish ticket `id` for migration to another worker. A queued
+     * request is removed from its class queue and exported cold; a
+     * parked one is exported as parked; a running one is flagged and
+     * parked at its next step boundary (this call blocks up to
+     * `waitMicros` for that). On success the local ticket terminates
+     * as RequestStatus::Migrated (empty image) and *out carries the
+     * portable state. False — with the request untouched and still
+     * progressing locally — when the ticket is unknown, already
+     * terminal, finishes before the boundary, or the server is
+     * draining.
+     */
+    bool exportForMigration(uint64_t id, MigratedRequest *out,
+                            int64_t waitMicros = 5'000'000);
+
+    /**
+     * Adopt a migrated request under a fresh ticket (returned).
+     * Partial progress re-enters through the parked pool and resumes
+     * at the next admission; never-started work queues normally.
+     * Admission control is bypassed — migration rebalances work that
+     * was already admitted somewhere — but deadlines keep counting:
+     * the remaining budget in `m.req.deadlineMicros` re-anchors to
+     * now. Fails loudly after shutdown(), like submit().
+     */
+    uint64_t importMigrated(const MigratedRequest &m);
+
   private:
     using Clock = std::chrono::steady_clock;
 
@@ -264,6 +307,15 @@ class DenoiseServer
         RequestStatus state = RequestStatus::Queued;
         SloClass slo = SloClass::Standard;
         bool cancelRequested = false;
+
+        /**
+         * exportForMigration wants this request parked at the next
+         * step boundary. While set, a parked entry is *held*: the
+         * admission paths skip it so the exporter — not a worker —
+         * takes it. Cleared on export failure/timeout and by
+         * shutdown() (a drain completes held work locally).
+         */
+        bool migrateRequested = false;
         bool degraded = false;
         int preemptions = 0;
         int reusedSteps = 0; //!< warm-start depth (0: cold)
@@ -271,6 +323,14 @@ class DenoiseServer
         Clock::time_point admitted;  //!< first admission (valid once
                                      //!< state has left Queued)
         Clock::time_point deadline;  //!< time_point::max(): none
+
+        /**
+         * The effective request (post-shedding mode), kept so
+         * exportForMigration can reconstruct the portable identity of
+         * a request in any lifecycle state. Only populated for
+         * accepted requests (never for rejects).
+         */
+        DenoiseRequest req;
     };
 
     /** A parked (preempted) request waiting to resume. */
@@ -297,6 +357,7 @@ class DenoiseServer
 
     // All *Locked helpers require mutex_ held.
     bool haveWorkLocked() const;
+    bool parkedHeldLocked(const ParkedEntry &e) const;
     int64_t queueDepthLocked() const;
     void updateShedLocked();
     SloClass bestWaitingClassLocked(bool *any) const;

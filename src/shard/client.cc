@@ -1,0 +1,206 @@
+/**
+ * @file
+ * ShardClient implementation (error model in client.h).
+ */
+#include "shard/client.h"
+
+#include "common/env.h"
+
+namespace ditto {
+namespace shard {
+
+bool
+ShardClient::connect(const std::string &socketPath, std::string *why)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fd_ >= 0) {
+        net::closeFd(fd_);
+        fd_ = -1;
+    }
+    const int64_t timeoutMs = env::readInt64("DITTO_SHARD_CONNECT_TIMEOUT_MS",
+                                             5000, 0, 600'000);
+    std::string connectWhy;
+    fd_ = net::connectUnix(socketPath, timeoutMs, &connectWhy);
+    if (fd_ < 0) {
+        if (why)
+            *why = "connect " + socketPath + ": " + connectWhy;
+        return false;
+    }
+    socketPath_ = socketPath;
+
+    // Handshake: learn the worker's model identity + slab geometry.
+    if (!net::sendFrame(fd_, static_cast<uint32_t>(Msg::Info), {})) {
+        net::closeFd(fd_);
+        fd_ = -1;
+        if (why)
+            *why = "info handshake send failed";
+        return false;
+    }
+    net::Frame reply;
+    if (!net::recvFrame(fd_, &reply) ||
+        reply.type != static_cast<uint32_t>(Msg::InfoRe)) {
+        net::closeFd(fd_);
+        fd_ = -1;
+        if (why)
+            *why = "info handshake reply failed";
+        return false;
+    }
+    ByteReader r(reply.payload.data(), reply.payload.size());
+    if (!getInfo(r, &info_)) {
+        net::closeFd(fd_);
+        fd_ = -1;
+        if (why)
+            *why = "malformed worker info";
+        return false;
+    }
+    return true;
+}
+
+void
+ShardClient::disconnect()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fd_ >= 0) {
+        net::closeFd(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ShardClient::rpc(Msg type, const std::vector<uint8_t> &payload, Msg expect,
+                 net::Frame *reply)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fd_ < 0)
+        return false;
+    if (!net::sendFrame(fd_, static_cast<uint32_t>(type), payload) ||
+        !net::recvFrame(fd_, reply)) {
+        // Transport failure: the worker is gone (or the stream is
+        // desynchronized, which is indistinguishable) — drop the
+        // connection so the router's failure detector fires.
+        net::closeFd(fd_);
+        fd_ = -1;
+        return false;
+    }
+    if (reply->type == static_cast<uint32_t>(Msg::Error)) {
+        ByteReader r(reply->payload.data(), reply->payload.size());
+        lastError_.clear();
+        r.str(&lastError_);
+        return false;
+    }
+    return reply->type == static_cast<uint32_t>(expect);
+}
+
+bool
+ShardClient::ping()
+{
+    net::Frame reply;
+    return rpc(Msg::Ping, {}, Msg::PingOk, &reply);
+}
+
+bool
+ShardClient::submit(const DenoiseRequest &req, uint64_t *id)
+{
+    ByteWriter w;
+    putRequest(w, req);
+    net::Frame reply;
+    if (!rpc(Msg::Submit, w.take(), Msg::SubmitOk, &reply))
+        return false;
+    ByteReader r(reply.payload.data(), reply.payload.size());
+    return r.u64(id);
+}
+
+bool
+ShardClient::poll(uint64_t id, bool *ready, DenoiseResult *out)
+{
+    ByteWriter w;
+    w.u64(id);
+    net::Frame reply;
+    if (!rpc(Msg::Poll, w.take(), Msg::PollRe, &reply))
+        return false;
+    ByteReader r(reply.payload.data(), reply.payload.size());
+    uint8_t flag = 0;
+    if (!r.u8(&flag))
+        return false;
+    *ready = flag != 0;
+    if (!*ready)
+        return true;
+    return getResult(r, out);
+}
+
+bool
+ShardClient::cancel(uint64_t id, bool *ok)
+{
+    ByteWriter w;
+    w.u64(id);
+    net::Frame reply;
+    if (!rpc(Msg::Cancel, w.take(), Msg::CancelRe, &reply))
+        return false;
+    ByteReader r(reply.payload.data(), reply.payload.size());
+    uint8_t flag = 0;
+    if (!r.u8(&flag))
+        return false;
+    *ok = flag != 0;
+    return true;
+}
+
+bool
+ShardClient::queryState(uint64_t id, RequestStatus *out)
+{
+    ByteWriter w;
+    w.u64(id);
+    net::Frame reply;
+    if (!rpc(Msg::QueryState, w.take(), Msg::StateRe, &reply))
+        return false;
+    ByteReader r(reply.payload.data(), reply.payload.size());
+    uint8_t state = 0;
+    if (!r.u8(&state) ||
+        state > static_cast<uint8_t>(RequestStatus::Migrated))
+        return false;
+    *out = static_cast<RequestStatus>(state);
+    return true;
+}
+
+bool
+ShardClient::migrateOut(uint64_t id, MigratedWire *out)
+{
+    ByteWriter w;
+    w.u64(id);
+    net::Frame reply;
+    if (!rpc(Msg::MigrateOut, w.take(), Msg::MigrateOutRe, &reply))
+        return false;
+    ByteReader r(reply.payload.data(), reply.payload.size());
+    return getMigratedWire(r, out);
+}
+
+bool
+ShardClient::migrateIn(const MigratedWire &m, uint64_t *id)
+{
+    ByteWriter w;
+    putMigratedWire(w, m);
+    net::Frame reply;
+    if (!rpc(Msg::MigrateIn, w.take(), Msg::MigrateInRe, &reply))
+        return false;
+    ByteReader r(reply.payload.data(), reply.payload.size());
+    return r.u64(id);
+}
+
+bool
+ShardClient::metricsJson(std::string *out)
+{
+    net::Frame reply;
+    if (!rpc(Msg::Metrics, {}, Msg::MetricsRe, &reply))
+        return false;
+    ByteReader r(reply.payload.data(), reply.payload.size());
+    return r.str(out, 1u << 24);
+}
+
+bool
+ShardClient::drain()
+{
+    net::Frame reply;
+    return rpc(Msg::Drain, {}, Msg::DrainRe, &reply);
+}
+
+} // namespace shard
+} // namespace ditto

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ShardClient: one blocking connection to a ShardWorker.
+ *
+ * Thin RPC stubs over the frame protocol (src/shard/protocol.h), one
+ * request frame in, one reply frame out, serialized by a mutex. The
+ * error model is two-level and the router's failover logic depends on
+ * the distinction:
+ *
+ *  - Transport failure (connect refused, EOF mid-RPC — e.g. the worker
+ *    was killed): the RPC returns false and the client latches
+ *    !connected(). The router treats this as a dead worker and
+ *    cold-resubmits its outstanding routes.
+ *  - Protocol-level refusal (Error frame: unknown ticket, migration
+ *    declined, drained): the RPC reports failure but connected() stays
+ *    true and lastError() carries the worker's reason. The worker is
+ *    healthy; only this operation didn't apply.
+ */
+#ifndef DITTO_SHARD_CLIENT_H
+#define DITTO_SHARD_CLIENT_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/net.h"
+#include "shard/protocol.h"
+
+namespace ditto {
+namespace shard {
+
+/** Blocking client for one worker socket. Thread-safe. */
+class ShardClient
+{
+  public:
+    ShardClient() = default;
+    ~ShardClient() { disconnect(); }
+
+    ShardClient(const ShardClient &) = delete;
+    ShardClient &operator=(const ShardClient &) = delete;
+
+    /**
+     * Connect (retrying up to DITTO_SHARD_CONNECT_TIMEOUT_MS for the
+     * worker-startup race) and fetch the worker's Info. False with why
+     * on failure.
+     */
+    bool connect(const std::string &socketPath, std::string *why = nullptr);
+
+    void disconnect();
+
+    bool connected() const { return fd_ >= 0; }
+    const WorkerInfo &info() const { return info_; }
+    const std::string &socketPath() const { return socketPath_; }
+
+    /** Worker-side reason of the last Error-frame refusal. */
+    const std::string &lastError() const { return lastError_; }
+
+    /** Liveness probe. */
+    bool ping();
+
+    /** Submit; false on failure, else *id is the worker-side ticket. */
+    bool submit(const DenoiseRequest &req, uint64_t *id);
+
+    /**
+     * Non-blocking poll. True with *ready=false when the request is
+     * still in flight; true with *ready=true and *out filled when the
+     * result arrived (at most once per ticket). False on failure.
+     */
+    bool poll(uint64_t id, bool *ready, DenoiseResult *out);
+
+    /** Cancel; *ok reports whether the worker accepted it. */
+    bool cancel(uint64_t id, bool *ok);
+
+    /** Lifecycle state of a live worker-side ticket. */
+    bool queryState(uint64_t id, RequestStatus *out);
+
+    /**
+     * Take ticket `id` off the worker as a portable MigratedWire.
+     * False with connected() intact means the worker declined (the
+     * request finished first or is unknown) and still owns the ticket
+     * unless it finished.
+     */
+    bool migrateOut(uint64_t id, MigratedWire *out);
+
+    /** Hand a MigratedWire to this worker; *id is its new ticket. */
+    bool migrateIn(const MigratedWire &m, uint64_t *id);
+
+    /** The worker's metrics JSON export. */
+    bool metricsJson(std::string *out);
+
+    /**
+     * Ask the worker to finish all accepted work and stop accepting.
+     * Blocks until the drain completes.
+     */
+    bool drain();
+
+  private:
+    /**
+     * One RPC round trip. False on transport failure (disconnects) or
+     * Error frame (connection kept; lastError_ set); true only when
+     * the reply type matches `expect`.
+     */
+    bool rpc(Msg type, const std::vector<uint8_t> &payload, Msg expect,
+             net::Frame *reply);
+
+    mutable std::mutex mu_;
+    int fd_ = -1;
+    std::string socketPath_;
+    std::string lastError_;
+    WorkerInfo info_;
+};
+
+} // namespace shard
+} // namespace ditto
+
+#endif // DITTO_SHARD_CLIENT_H

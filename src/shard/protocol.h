@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The shard-tier RPC protocol: message types and payload codecs.
+ *
+ * Workers (src/shard/worker.h) and the front-door router
+ * (src/shard/router.h) speak length-prefixed binary frames over
+ * Unix-domain sockets (framing in src/common/net.h). Each RPC is one
+ * request frame answered by exactly one reply frame on the same
+ * connection; connections are sequential (no pipelining), and any
+ * malformed request is answered with an Error frame rather than a
+ * dropped connection, so one bad client cannot wedge a worker.
+ *
+ * The full protocol grammar — frame layout, per-message payloads and
+ * the slab wire format — is documented in docs/sharding.md.
+ */
+#ifndef DITTO_SHARD_PROTOCOL_H
+#define DITTO_SHARD_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "serve/request.h"
+
+namespace ditto {
+namespace shard {
+
+/** Frame types. Requests are low values; replies add 100. */
+enum class Msg : uint32_t
+{
+    Ping = 1,       //!< liveness probe, empty payload
+    Submit = 2,     //!< DenoiseRequest -> remote ticket
+    Poll = 3,       //!< ticket -> (ready? + DenoiseResult)
+    Cancel = 4,     //!< ticket -> ok flag
+    QueryState = 5, //!< ticket -> RequestStatus
+    MigrateOut = 6, //!< ticket -> portable request + slab blob
+    MigrateIn = 7,  //!< portable request + slab blob -> remote ticket
+    Metrics = 8,    //!< -> metrics JSON string
+    Drain = 9,      //!< finish accepted work, then reply and stop
+    Info = 10,      //!< -> model identity + slab geometry
+
+    PingOk = 101,
+    SubmitOk = 102,
+    PollRe = 103,
+    CancelRe = 104,
+    StateRe = 105,
+    MigrateOutRe = 106,
+    MigrateInRe = 107,
+    MetricsRe = 108,
+    DrainRe = 109,
+    InfoRe = 110,
+
+    /** Reply to any malformed/unserviceable request; payload: str why. */
+    Error = 0xEEEE,
+};
+
+/**
+ * A worker's served-model identity and slab geometry, exchanged at
+ * connect time and revalidated on every MigrateIn: a slab may only
+ * move between workers whose (spec hash, calibration digest) match —
+ * the same invalidation identity the reuse cache keys on.
+ */
+struct WorkerInfo
+{
+    uint64_t specHash = 0;
+    uint64_t calibDigest = 0;
+    int32_t defaultSteps = 0;
+    int32_t stateInSlots = 0;
+    int32_t stateOutSlots = 0;
+};
+
+/**
+ * A migrated request on the wire: the source model's identity, the
+ * portable effective request (deadline already re-expressed as a
+ * remaining budget), and the encoded slab (src/shard/slab_codec.h).
+ */
+struct MigratedWire
+{
+    uint64_t specHash = 0;
+    uint64_t calibDigest = 0;
+    DenoiseRequest req;
+    std::vector<uint8_t> slab;
+};
+
+// Payload section codecs. Encoders append to the writer; decoders
+// return false on malformed/truncated input (reader failure latches).
+void putRequest(ByteWriter &w, const DenoiseRequest &req);
+bool getRequest(ByteReader &r, DenoiseRequest *out);
+
+void putResult(ByteWriter &w, const DenoiseResult &res);
+bool getResult(ByteReader &r, DenoiseResult *out);
+
+void putInfo(ByteWriter &w, const WorkerInfo &info);
+bool getInfo(ByteReader &r, WorkerInfo *out);
+
+void putMigratedWire(ByteWriter &w, const MigratedWire &m);
+bool getMigratedWire(ByteReader &r, MigratedWire *out);
+
+} // namespace shard
+} // namespace ditto
+
+#endif // DITTO_SHARD_PROTOCOL_H

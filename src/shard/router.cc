@@ -1,0 +1,775 @@
+/**
+ * @file
+ * ShardRouter implementation (policies in router.h).
+ */
+#include "shard/router.h"
+
+#include <sys/socket.h>
+
+#include <cctype>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace ditto {
+namespace shard {
+
+namespace {
+
+/** 64-bit finalizer (splitmix64) — the rendezvous-hash mixer. */
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * A request's reuse identity for routing: same (seed, conditioning,
+ * mode) => same key => same affinity worker — the worker whose reuse
+ * cache may already hold this request's prefix (src/serve/prefix_key.h
+ * hashes the same triple plus the model identity, which is uniform
+ * across the tier).
+ */
+uint64_t
+affinityKey(const DenoiseRequest &req)
+{
+    uint64_t h = mix64(req.seed);
+    h = mix64(h ^ req.conditioning);
+    h = mix64(h ^ (static_cast<uint64_t>(req.mode) + 1));
+    return h;
+}
+
+/** Scrape an unsigned JSON number by key (first occurrence). */
+bool
+scrapeU64(const std::string &json, const char *key, uint64_t *out)
+{
+    const std::string pat = std::string("\"") + key + "\":";
+    const size_t p = json.find(pat);
+    if (p == std::string::npos)
+        return false;
+    size_t i = p + pat.size();
+    uint64_t v = 0;
+    bool any = false;
+    while (i < json.size() &&
+           std::isdigit(static_cast<unsigned char>(json[i]))) {
+        v = v * 10 + static_cast<uint64_t>(json[i] - '0');
+        ++i;
+        any = true;
+    }
+    if (any)
+        *out = v;
+    return any;
+}
+
+} // namespace
+
+RouterConfig
+RouterConfig::fromEnv()
+{
+    RouterConfig cfg;
+    cfg.affinitySlack =
+        env::readInt64("DITTO_SHARD_AFFINITY_SLACK", cfg.affinitySlack, 0,
+                       1 << 20);
+    cfg.pollMicros = env::readInt64("DITTO_SHARD_POLL_US", cfg.pollMicros, 1,
+                                    10'000'000);
+    return cfg;
+}
+
+ShardRouter::ShardRouter(RouterConfig cfg) : cfg_(cfg) {}
+
+ShardRouter::~ShardRouter()
+{
+    stopServing();
+}
+
+bool
+ShardRouter::addWorker(const std::string &socketPath, std::string *why,
+                       int *idx)
+{
+    auto client = std::make_unique<ShardClient>();
+    if (!client->connect(socketPath, why))
+        return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!haveInfo_) {
+        info_ = client->info();
+        haveInfo_ = true;
+    } else if (client->info().specHash != info_.specHash ||
+               client->info().calibDigest != info_.calibDigest) {
+        if (why)
+            *why = "worker " + socketPath +
+                   " serves a different model than the tier";
+        return false;
+    }
+    Worker w;
+    w.client = std::move(client);
+    w.healthy = true;
+    workers_.push_back(std::move(w));
+    if (idx)
+        *idx = static_cast<int>(workers_.size()) - 1;
+    return true;
+}
+
+int
+ShardRouter::numWorkers() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<int>(workers_.size());
+}
+
+int
+ShardRouter::numHealthy() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    int n = 0;
+    for (const Worker &w : workers_)
+        n += w.healthy ? 1 : 0;
+    return n;
+}
+
+int
+ShardRouter::leastLoadedLocked() const
+{
+    int best = -1;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        if (!workers_[i].healthy)
+            continue;
+        if (best < 0 ||
+            workers_[i].outstanding < workers_[static_cast<size_t>(best)]
+                                          .outstanding)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+int
+ShardRouter::pickWorkerLocked(const DenoiseRequest &req) const
+{
+    // Rendezvous hash: the healthy worker with the highest
+    // (key, worker) score. Stable under worker death — keys that
+    // hashed elsewhere keep their placement.
+    const uint64_t key = affinityKey(req);
+    int affinity = -1;
+    uint64_t bestScore = 0;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        if (!workers_[i].healthy)
+            continue;
+        const uint64_t score =
+            mix64(key ^ ((i + 1) * 0x9e3779b97f4a7c15ull));
+        if (affinity < 0 || score > bestScore) {
+            affinity = static_cast<int>(i);
+            bestScore = score;
+        }
+    }
+    if (affinity < 0)
+        return -1;
+    const int least = leastLoadedLocked();
+    if (workers_[static_cast<size_t>(affinity)].outstanding >
+        workers_[static_cast<size_t>(least)].outstanding +
+            cfg_.affinitySlack)
+        return least; // overloaded: load beats cache warmth
+    return affinity;
+}
+
+void
+ShardRouter::resolveLocked(uint64_t gid, Route &rt, DenoiseResult &&res)
+{
+    if (rt.worker >= 0)
+        --workers_[static_cast<size_t>(rt.worker)].outstanding;
+    rt.worker = -1;
+    rt.done = true;
+    rt.result = std::move(res);
+    rt.result.id = gid; // router tickets, not worker tickets
+    ++completed_;
+}
+
+void
+ShardRouter::markDeadLocked(int idx)
+{
+    Worker &w = workers_[static_cast<size_t>(idx)];
+    if (w.dead)
+        return;
+    w.dead = true;
+    w.healthy = false;
+    ++failovers_;
+
+    // Cold-resubmit every outstanding route of the dead worker: a
+    // request's trajectory is a pure function of (model, seed, mode,
+    // steps), so a from-scratch rerun yields the identical image.
+    std::vector<uint64_t> orphans;
+    for (auto &[gid, rt] : routes_) {
+        if (!rt.done && rt.worker == idx) {
+            rt.worker = -1;
+            --w.outstanding;
+            orphans.push_back(gid);
+        }
+    }
+    for (size_t n = 0; n < orphans.size(); ++n) {
+        const uint64_t gid = orphans[n];
+        Route &rt = routes_.at(gid);
+        for (;;) {
+            const int target = pickWorkerLocked(rt.req);
+            if (target < 0) {
+                DenoiseResult res;
+                res.status = RequestStatus::Rejected;
+                res.slo = rt.req.slo;
+                resolveLocked(gid, rt, std::move(res));
+                break;
+            }
+            Worker &tw = workers_[static_cast<size_t>(target)];
+            uint64_t remoteId = 0;
+            if (tw.client->submit(rt.req, &remoteId)) {
+                rt.worker = target;
+                rt.remoteId = remoteId;
+                ++tw.outstanding;
+                ++resubmitted_;
+                break;
+            }
+            tw.healthy = false;
+            if (!tw.client->connected() && !tw.dead) {
+                // This worker died too: orphan its routes as well.
+                tw.dead = true;
+                ++failovers_;
+                for (auto &[ogid, ort] : routes_) {
+                    if (!ort.done && ort.worker == target) {
+                        ort.worker = -1;
+                        --tw.outstanding;
+                        orphans.push_back(ogid);
+                    }
+                }
+            }
+        }
+    }
+}
+
+uint64_t
+ShardRouter::submit(const DenoiseRequest &req)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const uint64_t gid = nextGid_++;
+    Route rt;
+    rt.req = req;
+    ++submitted_;
+    for (;;) {
+        const int idx = pickWorkerLocked(req);
+        if (idx < 0) {
+            DenoiseResult res;
+            res.status = RequestStatus::Rejected;
+            res.slo = req.slo;
+            auto [it, ok] = routes_.emplace(gid, std::move(rt));
+            DITTO_ASSERT(ok, "duplicate gid");
+            resolveLocked(gid, it->second, std::move(res));
+            return gid;
+        }
+        Worker &w = workers_[static_cast<size_t>(idx)];
+        uint64_t remoteId = 0;
+        if (w.client->submit(req, &remoteId)) {
+            rt.worker = idx;
+            rt.remoteId = remoteId;
+            ++w.outstanding;
+            routes_.emplace(gid, std::move(rt));
+            return gid;
+        }
+        // Refused (drained) or dead — either way stop routing to it;
+        // a dead worker additionally orphans its outstanding routes.
+        if (w.client->connected())
+            w.healthy = false;
+        else
+            markDeadLocked(idx);
+    }
+}
+
+bool
+ShardRouter::knows(uint64_t gid) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return routes_.count(gid) != 0;
+}
+
+int
+ShardRouter::routeWorker(uint64_t gid) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = routes_.find(gid);
+    return it == routes_.end() || it->second.done ? -1
+                                                  : it->second.worker;
+}
+
+bool
+ShardRouter::pollRouteLocked(uint64_t gid, Route &rt)
+{
+    if (rt.done)
+        return true;
+    if (rt.worker < 0)
+        return false;
+    Worker &w = workers_[static_cast<size_t>(rt.worker)];
+    bool ready = false;
+    DenoiseResult res;
+    if (w.client->poll(rt.remoteId, &ready, &res)) {
+        if (ready)
+            resolveLocked(gid, rt, std::move(res));
+        return rt.done;
+    }
+    if (!w.client->connected()) {
+        markDeadLocked(rt.worker); // rehomes (or rejects) this route
+        return rt.done;
+    }
+    // Protocol refusal on a ticket we thought live (e.g. the worker
+    // restarted behind the same socket): treat the route as lost and
+    // resubmit it cold through the failover machinery.
+    const int idx = rt.worker;
+    rt.worker = -1;
+    --w.outstanding;
+    w.healthy = false;
+    (void)idx;
+    for (;;) {
+        const int target = pickWorkerLocked(rt.req);
+        if (target < 0) {
+            DenoiseResult rej;
+            rej.status = RequestStatus::Rejected;
+            rej.slo = rt.req.slo;
+            resolveLocked(gid, rt, std::move(rej));
+            return true;
+        }
+        Worker &tw = workers_[static_cast<size_t>(target)];
+        uint64_t remoteId = 0;
+        if (tw.client->submit(rt.req, &remoteId)) {
+            rt.worker = target;
+            rt.remoteId = remoteId;
+            ++tw.outstanding;
+            ++resubmitted_;
+            return false;
+        }
+        if (tw.client->connected())
+            tw.healthy = false;
+        else
+            markDeadLocked(target);
+        if (rt.done)
+            return true;
+    }
+}
+
+bool
+ShardRouter::poll(uint64_t gid, DenoiseResult *out)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = routes_.find(gid);
+    if (it == routes_.end())
+        DITTO_FATAL("ShardRouter::poll on unknown/consumed gid " << gid);
+    if (!pollRouteLocked(gid, it->second))
+        return false;
+    *out = std::move(it->second.result);
+    routes_.erase(it);
+    return true;
+}
+
+DenoiseResult
+ShardRouter::wait(uint64_t gid)
+{
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            auto it = routes_.find(gid);
+            if (it == routes_.end())
+                DITTO_FATAL("ShardRouter::wait on unknown/consumed gid "
+                            << gid);
+            if (pollRouteLocked(gid, it->second)) {
+                DenoiseResult res = std::move(it->second.result);
+                routes_.erase(it);
+                return res;
+            }
+        }
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(cfg_.pollMicros));
+    }
+}
+
+bool
+ShardRouter::cancel(uint64_t gid)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = routes_.find(gid);
+    if (it == routes_.end() || it->second.done || it->second.worker < 0)
+        return false;
+    Route &rt = it->second;
+    Worker &w = workers_[static_cast<size_t>(rt.worker)];
+    bool ok = false;
+    if (!w.client->cancel(rt.remoteId, &ok)) {
+        if (!w.client->connected())
+            markDeadLocked(rt.worker);
+        return false;
+    }
+    return ok;
+}
+
+RequestStatus
+ShardRouter::queryState(uint64_t gid)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = routes_.find(gid);
+    if (it == routes_.end())
+        DITTO_FATAL("ShardRouter::queryState on unknown/consumed gid "
+                    << gid);
+    Route &rt = it->second;
+    if (rt.done)
+        return rt.result.status;
+    if (rt.worker < 0)
+        return RequestStatus::Queued; // mid-rehome limbo
+    Worker &w = workers_[static_cast<size_t>(rt.worker)];
+    RequestStatus st = RequestStatus::Queued;
+    if (w.client->queryState(rt.remoteId, &st))
+        return st;
+    if (!w.client->connected()) {
+        markDeadLocked(rt.worker);
+        return rt.done ? rt.result.status : RequestStatus::Queued;
+    }
+    return RequestStatus::Queued;
+}
+
+bool
+ShardRouter::migrate(uint64_t gid, int target)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = routes_.find(gid);
+    if (it == routes_.end())
+        return false;
+    Route &rt = it->second;
+    if (rt.done || rt.worker < 0 || rt.worker == target)
+        return false;
+    if (target < 0 || target >= static_cast<int>(workers_.size()) ||
+        !workers_[static_cast<size_t>(target)].healthy)
+        return false;
+
+    const int src = rt.worker;
+    Worker &sw = workers_[static_cast<size_t>(src)];
+    MigratedWire wire;
+    if (!sw.client->migrateOut(rt.remoteId, &wire)) {
+        if (!sw.client->connected())
+            markDeadLocked(src); // rehomes this route cold
+        return false; // declined: the request stays/finishes on src
+    }
+    --sw.outstanding;
+    rt.worker = -1;
+
+    // Adopt the state on the requested target, falling back to any
+    // healthy worker; as a last resort resubmit cold from the
+    // portable request (progress lost, correctness kept).
+    for (int attempt = 0; attempt < static_cast<int>(workers_.size()) + 1;
+         ++attempt) {
+        const int idx = attempt == 0
+                            ? target
+                            : leastLoadedLocked();
+        if (idx < 0)
+            break;
+        if (attempt > 0 && idx == target)
+            break; // wrapped around
+        Worker &tw = workers_[static_cast<size_t>(idx)];
+        uint64_t remoteId = 0;
+        if (tw.client->migrateIn(wire, &remoteId)) {
+            rt.worker = idx;
+            rt.remoteId = remoteId;
+            ++tw.outstanding;
+            ++migrations_;
+            return idx == target;
+        }
+        if (!tw.client->connected())
+            markDeadLocked(idx);
+        else
+            tw.healthy = false;
+        if (rt.done)
+            return false;
+    }
+    // No adopter: continue the request cold (wire.req is the portable
+    // effective request with its deadline re-expressed as a budget).
+    rt.req = wire.req;
+    for (;;) {
+        const int idx = pickWorkerLocked(rt.req);
+        if (idx < 0) {
+            DenoiseResult rej;
+            rej.status = RequestStatus::Rejected;
+            rej.slo = rt.req.slo;
+            resolveLocked(gid, rt, std::move(rej));
+            return false;
+        }
+        Worker &tw = workers_[static_cast<size_t>(idx)];
+        uint64_t remoteId = 0;
+        if (tw.client->submit(rt.req, &remoteId)) {
+            rt.worker = idx;
+            rt.remoteId = remoteId;
+            ++tw.outstanding;
+            ++resubmitted_;
+            return false;
+        }
+        if (tw.client->connected())
+            tw.healthy = false;
+        else
+            markDeadLocked(idx);
+        if (rt.done)
+            return false;
+    }
+}
+
+void
+ShardRouter::drainAll()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        Worker &w = workers_[i];
+        if (!w.client->connected())
+            continue;
+        if (!w.client->drain() && !w.client->connected())
+            markDeadLocked(static_cast<int>(i));
+        else
+            w.healthy = false; // drained workers accept no new work
+    }
+}
+
+void
+ShardRouter::scrapeReuseLocked(Worker &w, const std::string &json)
+{
+    uint64_t gen = 0, hits = 0, misses = 0, stores = 0, saved = 0;
+    if (!scrapeU64(json, "generation", &gen) ||
+        !scrapeU64(json, "hits", &hits) ||
+        !scrapeU64(json, "misses", &misses) ||
+        !scrapeU64(json, "stores", &stores) ||
+        !scrapeU64(json, "steps_saved", &saved))
+        return;
+    // A worker restart resets both the generation and the counters; a
+    // cache clear() bumps the generation but counters survive. Either
+    // counter running backwards, or the generation running backwards,
+    // therefore means "new process": bank the previous epoch's totals
+    // so the tier-wide sums never double-count and never lose history.
+    if (gen < w.lastGen || hits < w.lastHits || misses < w.lastMisses) {
+        w.baseHits += w.lastHits;
+        w.baseMisses += w.lastMisses;
+        w.baseStores += w.lastStores;
+        w.baseSaved += w.lastSaved;
+    }
+    w.lastGen = gen;
+    w.lastHits = hits;
+    w.lastMisses = misses;
+    w.lastStores = stores;
+    w.lastSaved = saved;
+}
+
+std::string
+ShardRouter::metricsJson()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::string> workerJson(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        Worker &w = workers_[i];
+        if (!w.client->connected())
+            continue;
+        std::string json;
+        if (!w.client->metricsJson(&json)) {
+            if (!w.client->connected())
+                markDeadLocked(static_cast<int>(i));
+            continue;
+        }
+        scrapeReuseLocked(w, json);
+        workerJson[i] = std::move(json);
+    }
+
+    uint64_t hits = 0, misses = 0, stores = 0, saved = 0;
+    int healthy = 0;
+    for (const Worker &w : workers_) {
+        hits += w.baseHits + w.lastHits;
+        misses += w.baseMisses + w.lastMisses;
+        stores += w.baseStores + w.lastStores;
+        saved += w.baseSaved + w.lastSaved;
+        healthy += w.healthy ? 1 : 0;
+    }
+    const double rate =
+        hits + misses
+            ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+            : 0.0;
+
+    std::string out = "{\"router\":{";
+    out += "\"workers\":" + std::to_string(workers_.size());
+    out += ",\"healthy\":" + std::to_string(healthy);
+    out += ",\"submitted\":" + std::to_string(submitted_);
+    out += ",\"completed\":" + std::to_string(completed_);
+    out += ",\"resubmitted\":" + std::to_string(resubmitted_);
+    out += ",\"migrations\":" + std::to_string(migrations_);
+    out += ",\"failovers\":" + std::to_string(failovers_);
+    out += "},\"reuse\":{";
+    out += "\"hits\":" + std::to_string(hits);
+    out += ",\"misses\":" + std::to_string(misses);
+    out += ",\"stores\":" + std::to_string(stores);
+    out += ",\"steps_saved\":" + std::to_string(saved);
+    out += ",\"hit_rate\":" + std::to_string(rate);
+    out += "},\"workers\":[";
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        if (i)
+            out += ",";
+        out += workerJson[i].empty() ? "null" : workerJson[i];
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+ShardRouter::serve(const std::string &socketPath, std::string *why)
+{
+    if (!frontDoor_.listen(socketPath, why))
+        return false;
+    frontStopping_.store(false);
+    frontThread_ = std::thread([this] { frontDoorLoop(); });
+    return true;
+}
+
+void
+ShardRouter::stopServing()
+{
+    if (frontStopping_.exchange(true))
+        return;
+    frontDoor_.close();
+    if (frontThread_.joinable())
+        frontThread_.join();
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lk(connMu_);
+        for (int fd : frontFds_)
+            ::shutdown(fd, SHUT_RDWR);
+        conns = std::move(frontConns_);
+        frontConns_.clear();
+    }
+    for (auto &t : conns)
+        if (t.joinable())
+            t.join();
+}
+
+void
+ShardRouter::frontDoorLoop()
+{
+    while (!frontStopping_.load()) {
+        const int fd = frontDoor_.accept();
+        if (fd < 0)
+            return;
+        std::lock_guard<std::mutex> lk(connMu_);
+        if (frontStopping_.load()) {
+            net::closeFd(fd);
+            return;
+        }
+        frontFds_.push_back(fd);
+        frontConns_.emplace_back([this, fd] { serveFrontConnection(fd); });
+    }
+}
+
+void
+ShardRouter::serveFrontConnection(int fd)
+{
+    auto sendError = [fd](const std::string &why) {
+        ByteWriter w;
+        w.str(why);
+        return net::sendFrame(fd, static_cast<uint32_t>(Msg::Error),
+                              w.take());
+    };
+
+    net::Frame frame;
+    while (!frontStopping_.load() && net::recvFrame(fd, &frame)) {
+        ByteReader r(frame.payload.data(), frame.payload.size());
+        bool ok = true;
+        switch (static_cast<Msg>(frame.type)) {
+          case Msg::Ping:
+            ok = net::sendFrame(fd, static_cast<uint32_t>(Msg::PingOk), {});
+            break;
+          case Msg::Info: {
+            ByteWriter w;
+            putInfo(w, info_);
+            ok = net::sendFrame(fd, static_cast<uint32_t>(Msg::InfoRe),
+                                w.take());
+            break;
+          }
+          case Msg::Submit: {
+            DenoiseRequest req;
+            if (!getRequest(r, &req) || r.remaining() != 0) {
+                ok = sendError("malformed submit");
+                break;
+            }
+            ByteWriter w;
+            w.u64(submit(req));
+            ok = net::sendFrame(fd, static_cast<uint32_t>(Msg::SubmitOk),
+                                w.take());
+            break;
+          }
+          case Msg::Poll: {
+            uint64_t gid = 0;
+            if (!r.u64(&gid) || !knows(gid)) {
+                ok = sendError("unknown ticket");
+                break;
+            }
+            ByteWriter w;
+            DenoiseResult res;
+            if (poll(gid, &res)) {
+                w.u8(1);
+                putResult(w, res);
+            } else {
+                w.u8(0);
+            }
+            ok = net::sendFrame(fd, static_cast<uint32_t>(Msg::PollRe),
+                                w.take());
+            break;
+          }
+          case Msg::Cancel: {
+            uint64_t gid = 0;
+            if (!r.u64(&gid) || !knows(gid)) {
+                ok = sendError("unknown ticket");
+                break;
+            }
+            ByteWriter w;
+            w.u8(cancel(gid) ? 1 : 0);
+            ok = net::sendFrame(fd, static_cast<uint32_t>(Msg::CancelRe),
+                                w.take());
+            break;
+          }
+          case Msg::QueryState: {
+            uint64_t gid = 0;
+            if (!r.u64(&gid) || !knows(gid)) {
+                ok = sendError("unknown ticket");
+                break;
+            }
+            ByteWriter w;
+            w.u8(static_cast<uint8_t>(queryState(gid)));
+            ok = net::sendFrame(fd, static_cast<uint32_t>(Msg::StateRe),
+                                w.take());
+            break;
+          }
+          case Msg::Metrics: {
+            ByteWriter w;
+            w.str(metricsJson());
+            ok = net::sendFrame(fd, static_cast<uint32_t>(Msg::MetricsRe),
+                                w.take());
+            break;
+          }
+          case Msg::Drain:
+            drainAll();
+            ok = net::sendFrame(fd, static_cast<uint32_t>(Msg::DrainRe), {});
+            break;
+          default:
+            ok = sendError("unsupported at the front door");
+            break;
+        }
+        if (!ok)
+            break;
+    }
+    net::closeFd(fd);
+    std::lock_guard<std::mutex> lk(connMu_);
+    for (auto it = frontFds_.begin(); it != frontFds_.end(); ++it) {
+        if (*it == fd) {
+            frontFds_.erase(it);
+            break;
+        }
+    }
+}
+
+} // namespace shard
+} // namespace ditto

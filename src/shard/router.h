@@ -1,0 +1,221 @@
+/**
+ * @file
+ * ShardRouter: the front door of a multi-worker serving tier.
+ *
+ * The router owns one ShardClient per worker and presents the single-
+ * server surface (submit/poll/wait/cancel) over the whole tier, with
+ * router-level tickets (gids) that survive worker failure. Policies:
+ *
+ *  - Prefix-affinity routing: requests are routed by rendezvous
+ *    hashing on their reuse identity (seed, conditioning, mode), so
+ *    near-duplicate requests land on the worker whose reuse cache
+ *    already holds their prefix. A warm route is only overridden when
+ *    the affinity worker is overloaded relative to the least-loaded
+ *    one by more than DITTO_SHARD_AFFINITY_SLACK outstanding requests
+ *    — then deadline pressure wins over cache warmth.
+ *  - Failure detection + cold resubmission: any transport failure
+ *    marks the worker dead and every outstanding route on it is
+ *    resubmitted to a healthy worker from step 0. That is bitwise-safe
+ *    by the determinism contract — a request's trajectory is a pure
+ *    function of (model, seed, mode, steps), so a cold rerun produces
+ *    the identical image. With no healthy worker left, the route
+ *    fails with RequestStatus::Rejected.
+ *  - Explicit migration: migrate(gid, worker) relocates a request's
+ *    partial progress (MigrateOut -> MigrateIn) for rebalancing and
+ *    drain-ahead-of-maintenance; resumed results stay bitwise
+ *    identical for exact modes.
+ *  - Merged metrics: metricsJson() embeds every worker's export and
+ *    rolls up reuse counters across workers, using the cache
+ *    generation to disambiguate a worker restart (counters reset; add
+ *    absolute values) from a cache clear (counters survive; add
+ *    deltas) so aggregate hit counts never double-count.
+ *
+ * All workers must serve the same compiled model — identity
+ * ((spec hash, calibration digest)) is checked at addWorker.
+ *
+ * The router can additionally serve the shard protocol itself
+ * (serve()): a front-door socket speaking Submit/Poll/Cancel/
+ * QueryState/Metrics/Drain with gids for tickets, so load generators
+ * talk to a 4-worker tier exactly as they talk to one worker.
+ */
+#ifndef DITTO_SHARD_ROUTER_H
+#define DITTO_SHARD_ROUTER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/net.h"
+#include "shard/client.h"
+
+namespace ditto {
+namespace shard {
+
+/** Router tuning knobs; both have environment overrides. */
+struct RouterConfig
+{
+    /**
+     * How many outstanding requests the affinity worker may carry
+     * above the least-loaded worker before affinity is overridden
+     * (DITTO_SHARD_AFFINITY_SLACK).
+     */
+    int64_t affinitySlack = 2;
+
+    /** wait() poll interval in microseconds (DITTO_SHARD_POLL_US). */
+    int64_t pollMicros = 500;
+
+    static RouterConfig fromEnv();
+};
+
+/** Front-door router over N shard workers. Thread-safe. */
+class ShardRouter
+{
+  public:
+    explicit ShardRouter(RouterConfig cfg = RouterConfig::fromEnv());
+    ~ShardRouter();
+
+    ShardRouter(const ShardRouter &) = delete;
+    ShardRouter &operator=(const ShardRouter &) = delete;
+
+    /**
+     * Connect a worker socket. The first worker fixes the tier's model
+     * identity; later workers must match it (false + why otherwise).
+     * Returns the worker index on success via *idx (optional).
+     */
+    bool addWorker(const std::string &socketPath, std::string *why = nullptr,
+                   int *idx = nullptr);
+
+    int numWorkers() const;
+    int numHealthy() const;
+    const WorkerInfo &info() const { return info_; }
+
+    /**
+     * Route and submit; returns a router ticket (gid). Never fails at
+     * the router: if no worker accepts, the gid resolves to a Rejected
+     * result.
+     */
+    uint64_t submit(const DenoiseRequest &req);
+
+    /** True while `gid` is known (issued and not yet consumed). */
+    bool knows(uint64_t gid) const;
+
+    /**
+     * Index of the worker currently serving `gid`; -1 when the route
+     * already resolved (or is mid-rehome). Observability for tests
+     * and rebalancers picking migration targets.
+     */
+    int routeWorker(uint64_t gid) const;
+
+    /**
+     * Non-blocking result retrieval; true exactly once per gid. A
+     * worker failure observed underneath resolves through cold
+     * resubmission transparently.
+     */
+    bool poll(uint64_t gid, DenoiseResult *out);
+
+    /** Block until `gid` resolves; the gid is consumed. */
+    DenoiseResult wait(uint64_t gid);
+
+    /** Cancel wherever the request currently lives. */
+    bool cancel(uint64_t gid);
+
+    /** Lifecycle state (terminal once the result is ready). */
+    RequestStatus queryState(uint64_t gid);
+
+    /**
+     * Relocate a live request onto worker `target` via
+     * MigrateOut/MigrateIn. False when the request already finished,
+     * the source declined, or no worker could adopt the state (the
+     * request is then failed or still resolving locally — poll the
+     * gid either way).
+     */
+    bool migrate(uint64_t gid, int target);
+
+    /** Drain every healthy worker (blocks until all finish). */
+    void drainAll();
+
+    /**
+     * Merged metrics: router counters, the cross-worker reuse roll-up
+     * and each worker's own export embedded under "workers".
+     */
+    std::string metricsJson();
+
+    /** Serve the shard protocol on a front-door socket. */
+    bool serve(const std::string &socketPath, std::string *why = nullptr);
+    void stopServing();
+
+  private:
+    struct Worker
+    {
+        std::unique_ptr<ShardClient> client;
+        bool healthy = false; //!< eligible for new routes
+        bool dead = false;    //!< transport lost; routes were rehomed
+        int64_t outstanding = 0;
+
+        /**
+         * Reuse roll-up state: the counters last scraped from this
+         * worker's metrics export, and the totals it contributed from
+         * *previous* cache epochs (restarts). Current epoch counters
+         * are added on top at merge time.
+         */
+        uint64_t lastGen = 0;
+        uint64_t lastHits = 0, lastMisses = 0, lastStores = 0;
+        uint64_t lastSaved = 0;
+        uint64_t baseHits = 0, baseMisses = 0, baseStores = 0;
+        uint64_t baseSaved = 0;
+    };
+
+    /** One routed request, alive until its result is consumed. */
+    struct Route
+    {
+        DenoiseRequest req; //!< for cold resubmission after failure
+        int worker = -1;    //!< current owner (-1 once resolved)
+        uint64_t remoteId = 0;
+        bool done = false;
+        DenoiseResult result; //!< valid when done
+    };
+
+    // All *Locked methods require mu_ held.
+    int pickWorkerLocked(const DenoiseRequest &req) const;
+    int leastLoadedLocked() const;
+    void markDeadLocked(int idx);
+    void resolveLocked(uint64_t gid, Route &rt, DenoiseResult &&res);
+    bool pollRouteLocked(uint64_t gid, Route &rt);
+    void scrapeReuseLocked(Worker &w, const std::string &json);
+
+    void frontDoorLoop();
+    void serveFrontConnection(int fd);
+
+    const RouterConfig cfg_;
+    mutable std::mutex mu_;
+    std::vector<Worker> workers_;
+    WorkerInfo info_;
+    bool haveInfo_ = false;
+    std::unordered_map<uint64_t, Route> routes_;
+    uint64_t nextGid_ = 1;
+
+    // Router-level counters (monotonic).
+    uint64_t submitted_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t resubmitted_ = 0;
+    uint64_t migrations_ = 0;
+    uint64_t failovers_ = 0; //!< workers marked dead
+
+    // Front-door serving state.
+    net::UnixListener frontDoor_;
+    std::thread frontThread_;
+    std::mutex connMu_;
+    std::vector<std::thread> frontConns_;
+    std::vector<int> frontFds_;
+    std::atomic<bool> frontStopping_{false};
+};
+
+} // namespace shard
+} // namespace ditto
+
+#endif // DITTO_SHARD_ROUTER_H

@@ -56,7 +56,7 @@ import sys
 FAMILY = "BM_CompiledRollout"
 APPROX_FAMILY = "BM_ApproxRollout"
 SERVE_FAMILIES = ("BM_ServeLatency", "BM_ServeOverload",
-                  "BM_ServeReuse")
+                  "BM_ServeReuse", "BM_ShardRouter")
 SCALING_PREFIX = "SCALING/"
 HOST_KEYS = ("host_name", "num_cpus", "mhz_per_cpu",
              "library_build_type")

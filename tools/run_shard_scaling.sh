@@ -1,0 +1,220 @@
+#!/usr/bin/env bash
+# Multi-process shard scaling study (docs/sharding.md).
+#
+# For each worker count, launches that many real `shard_worker`
+# processes on Unix-domain sockets, drives them through the front-door
+# router with `load_gen --router` (open-loop Poisson arrivals,
+# all-unique traffic so the reuse cache cannot flatter the numbers),
+# drains the tier, and records completed-request throughput. The rows
+# land next to the committed baseline as
+#
+#   SCALING/shard/workers:<N>   real_time = ns per completed request
+#
+# stamped with the same host context tools/bench_results.py uses, so
+# tools/check_bench_regression.py compares them same-host only and a
+# laptop's numbers never gate a CI runner's. Rows from a host with
+# fewer cores than workers record the contention honestly — the
+# >= 0.8*N expectation only applies when each worker has a core.
+#
+#   tools/run_shard_scaling.sh [-o OUTDIR] [-w "1 2 4"] [-r RATE]
+#                              [-d DURATION] [-m MODEL]
+#                              [-a BENCH_JSON]
+#
+# Defaults: outdir bench-shard-scaling/, worker sweep "1 2 4", 400
+# req/s for 3 s, model mini_unet, no append. With -a the rows are
+# folded into BENCH_JSON in place, replacing any previous
+# SCALING/shard/ rows from the same host.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUTDIR=bench-shard-scaling
+SWEEP="1 2 4"
+RATE=400
+DURATION=3
+MODEL=mini_unet
+APPEND=""
+WORKER_BIN=build/examples/shard_worker
+LOADGEN_BIN=build/examples/load_gen
+BENCH_BIN=build/bench/bench_kernels
+
+while getopts "o:w:r:d:m:a:h" opt; do
+    case "$opt" in
+        o) OUTDIR=$OPTARG ;;
+        w) SWEEP=$OPTARG ;;
+        r) RATE=$OPTARG ;;
+        d) DURATION=$OPTARG ;;
+        m) MODEL=$OPTARG ;;
+        a) APPEND=$OPTARG ;;
+        h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *) exit 2 ;;
+    esac
+done
+
+for bin in "$WORKER_BIN" "$LOADGEN_BIN" "$BENCH_BIN"; do
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not found (build with 'cmake -B build -S ." \
+             "&& cmake --build build -j')" >&2
+        exit 1
+    fi
+done
+
+mkdir -p "$OUTDIR"
+NPROC=$(nproc)
+echo "[shard-scaling] host: $(hostname), $NPROC cpu(s); worker" \
+     "sweep: $SWEEP; $RATE req/s x ${DURATION}s, model $MODEL"
+if [ "$NPROC" -lt "$(echo "$SWEEP" | tr ' ' '\n' | sort -n | tail -1)" ]
+then
+    echo "[shard-scaling] note: fewer cores than max workers -" \
+         "workers will contend for CPU and the curve records that"
+fi
+
+# Never leave orphaned workers behind, even on ^C mid-study.
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# One cheap google-benchmark run gives the honest host stamp (name,
+# cpus, MHz, build type) without hand-rolling it. (A filter matching
+# nothing writes no JSON at all, hence the tiny real benchmark.)
+"$BENCH_BIN" --benchmark_filter='^BM_MatmulInt8/32$' \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$OUTDIR/ctx.json" --benchmark_out_format=json \
+    >/dev/null 2>&1
+python3 tools/bench_results.py stamp "$OUTDIR/ctx.json" \
+    --tag study=shard --out "$OUTDIR/ctx.json"
+
+declare -A RPS
+for N in $SWEEP; do
+    SOCKS=()
+    PIDS=()
+    for i in $(seq 1 "$N"); do
+        sock="$OUTDIR/w${N}_${i}.sock"
+        rm -f "$sock"
+        "$WORKER_BIN" --socket "$sock" --model "$MODEL" \
+            >"$OUTDIR/worker_${N}_${i}.log" 2>&1 &
+        PIDS+=($!)
+        SOCKS+=("$sock")
+    done
+    for sock in "${SOCKS[@]}"; do
+        for _ in $(seq 100); do
+            [ -S "$sock" ] && break
+            sleep 0.1
+        done
+        if [ ! -S "$sock" ]; then
+            echo "error: worker socket $sock never appeared (see" \
+                 "$OUTDIR/worker_*.log)" >&2
+            exit 1
+        fi
+    done
+    joined=$(IFS=,; echo "${SOCKS[*]}")
+    echo "[shard-scaling] workers=$N -> $OUTDIR/load_${N}.log"
+    "$LOADGEN_BIN" --router "$joined" --rate "$RATE" \
+        --duration "$DURATION" --dup-frac 0 --drain \
+        >"$OUTDIR/load_${N}.log" 2>&1
+    # --drain makes every worker exit 0; reap them before the next N.
+    for pid in "${PIDS[@]}"; do
+        wait "$pid"
+    done
+    PIDS=()
+    rps=$(grep -oE '[0-9.]+ req/s completed' "$OUTDIR/load_${N}.log" |
+          awk '{print $1}')
+    if [ -z "$rps" ]; then
+        echo "error: no completed-throughput line in" \
+             "$OUTDIR/load_${N}.log" >&2
+        exit 1
+    fi
+    RPS[$N]=$rps
+    echo "[shard-scaling] workers=$N: $rps req/s completed"
+done
+
+# Emit the study record and (optionally) fold it into the baseline.
+{
+    for N in $SWEEP; do
+        echo "$N ${RPS[$N]}"
+    done
+} >"$OUTDIR/rps.txt"
+
+python3 - "$OUTDIR" "$APPEND" <<'EOF'
+import json
+import os
+import sys
+
+outdir, append = sys.argv[1], sys.argv[2]
+with open(f"{outdir}/ctx.json") as f:
+    ctx = json.load(f)
+hc = ctx["context"]["host_context"]
+
+# Read the baseline up front so a malformed file fails before any
+# output is written, and never truncates the baseline itself.
+bench = None
+if append:
+    with open(append) as f:
+        bench = json.load(f)
+
+rows = []
+with open(f"{outdir}/rps.txt") as f:
+    for line in f:
+        n, rps = line.split()
+        rps = float(rps)
+        rows.append({
+            "name": f"SCALING/shard/workers:{n}",
+            "run_type": "scaling",
+            # ns per completed request: lower is better, same
+            # direction as every other SCALING row.
+            "real_time": 1e9 / rps,
+            "cpu_time": 1e9 / rps,
+            "time_unit": "ns",
+            "iterations": 1,
+            "req_per_sec": rps,
+            "host_context": dict(hc),
+        })
+
+record = {"context": ctx["context"], "benchmarks": rows}
+with open(f"{outdir}/shard_scaling.json", "w") as f:
+    json.dump(record, f, indent=1)
+    f.write("\n")
+
+base = None
+for row in rows:
+    n = row["name"].rpartition(":")[2]
+    if base is None:
+        base, base_rps = n, row["req_per_sec"]
+    speedup = row["req_per_sec"] / base_rps
+    print(f"  workers {n:>2}: {row['req_per_sec']:8.1f} req/s "
+          f"({speedup:4.2f}x vs workers {base})")
+
+if append:
+    key = tuple(str(hc.get(k, "")) for k in
+                ("host_name", "num_cpus", "mhz_per_cpu",
+                 "library_build_type"))
+    kept, dropped = [], 0
+    for row in bench.get("benchmarks", []):
+        rhc = row.get("host_context", {})
+        rkey = tuple(str(rhc.get(k, "")) for k in
+                     ("host_name", "num_cpus", "mhz_per_cpu",
+                      "library_build_type"))
+        if row.get("name", "").startswith("SCALING/shard/") \
+                and rkey == key:
+            dropped += 1
+            continue
+        kept.append(row)
+    bench["benchmarks"] = kept + rows
+    tmp = append + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(bench, f, indent=1)
+        f.write("\n")
+    os.replace(tmp, append)
+    print(f"appended {len(rows)} shard scaling rows "
+          f"(replaced {dropped}) -> {append}")
+EOF
+
+echo "[shard-scaling] record: $OUTDIR/shard_scaling.json"
+if [ -z "$APPEND" ]; then
+    echo "[shard-scaling] fold into the committed baseline with:"
+    echo "  tools/run_shard_scaling.sh -a BENCH_kernels.json"
+fi
